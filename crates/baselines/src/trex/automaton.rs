@@ -1,0 +1,475 @@
+//! Pattern automata: the T-REX-style compiled form of a pattern.
+//!
+//! A [`Pattern`] compiles into an [`Automaton`] with one state per step;
+//! Kleene-`+` states carry a self-loop, `SET` states a member transition
+//! table, and negation guards compile to kill transitions. Runs
+//! ([`AutoRun`]) walk the automaton with the same deterministic
+//! *skip-till-next-match* semantics as the UDF matcher
+//! ([`PartialMatch`](spectre_query::PartialMatch)) — the two are
+//! independently implemented and differentially tested against each other.
+
+use std::sync::Arc;
+
+use spectre_events::{Event, EventType, Seq};
+use spectre_query::pattern::{ElemId, Pattern, StepKind};
+use spectre_query::EvalContext;
+
+use super::bytecode::Program;
+
+/// A compiled single-event matcher: type filter plus bytecode predicate.
+#[derive(Debug, Clone)]
+pub struct CompiledMatcher {
+    /// Binding slot (`None` for kill guards).
+    pub elem: Option<ElemId>,
+    /// Optional event-type filter.
+    pub event_type: Option<EventType>,
+    /// Compiled predicate.
+    pub program: Program,
+}
+
+impl CompiledMatcher {
+    fn matches(&self, ctx: &dyn EvalContext) -> bool {
+        if let Some(ty) = self.event_type {
+            if ctx.current().event_type() != ty {
+                return false;
+            }
+        }
+        self.program.matches(ctx)
+    }
+}
+
+/// The kind of an automaton state.
+#[derive(Debug, Clone)]
+pub enum AutoStateKind {
+    /// Single-event state.
+    One(CompiledMatcher),
+    /// Kleene-`+` state with a self-loop.
+    Plus(CompiledMatcher),
+    /// Unordered set state; each member fires exactly once.
+    Set(Vec<CompiledMatcher>),
+}
+
+/// One automaton state: what it matches, plus kill transitions (negation
+/// guards).
+#[derive(Debug, Clone)]
+pub struct AutoState {
+    /// Matching transitions.
+    pub kind: AutoStateKind,
+    /// Kill transitions: a matching event sends the run to the dead state.
+    pub kills: Vec<CompiledMatcher>,
+}
+
+/// A compiled pattern automaton.
+#[derive(Debug, Clone)]
+pub struct Automaton {
+    states: Vec<AutoState>,
+    elem_count: usize,
+}
+
+/// Outcome of stepping an [`AutoRun`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Event irrelevant to this run.
+    Ignored,
+    /// Event bound by `elem`; the run is still alive.
+    Absorbed(ElemId),
+    /// Event bound by `elem` and the run reached the accepting state.
+    Accepted(ElemId),
+    /// A kill transition fired; the run is dead.
+    Killed,
+}
+
+impl Automaton {
+    /// Compiles a pattern.
+    pub fn compile(pattern: &Pattern) -> Automaton {
+        let compile_matcher = |m: &spectre_query::ElemMatcher| CompiledMatcher {
+            elem: m.elem,
+            event_type: m.event_type,
+            program: Program::compile(&m.pred),
+        };
+        let states = pattern
+            .steps()
+            .iter()
+            .map(|step| AutoState {
+                kind: match &step.kind {
+                    StepKind::One(m) => AutoStateKind::One(compile_matcher(m)),
+                    StepKind::Plus(m) => AutoStateKind::Plus(compile_matcher(m)),
+                    StepKind::Set(ms) => {
+                        AutoStateKind::Set(ms.iter().map(compile_matcher).collect())
+                    }
+                },
+                kills: step.forbid.iter().map(compile_matcher).collect(),
+            })
+            .collect();
+        Automaton {
+            states,
+            elem_count: pattern.elem_count(),
+        }
+    }
+
+    /// Number of states (== pattern steps).
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether `ev` can start a run (matches state 0 with no bindings).
+    pub fn event_starts(&self, ev: &Event) -> bool {
+        let ctx = StartCtx(ev);
+        match &self.states[0].kind {
+            AutoStateKind::One(m) | AutoStateKind::Plus(m) => m.matches(&ctx),
+            AutoStateKind::Set(ms) => ms.iter().any(|m| m.matches(&ctx)),
+        }
+    }
+}
+
+struct StartCtx<'a>(&'a Event);
+
+impl EvalContext for StartCtx<'_> {
+    fn current(&self) -> &Event {
+        self.0
+    }
+    fn bound(&self, _: ElemId) -> Option<&Event> {
+        None
+    }
+}
+
+struct RunCtx<'a> {
+    current: &'a Event,
+    bindings: &'a [Option<Event>],
+}
+
+impl EvalContext for RunCtx<'_> {
+    fn current(&self) -> &Event {
+        self.current
+    }
+    fn bound(&self, elem: ElemId) -> Option<&Event> {
+        self.bindings.get(elem.index())?.as_ref()
+    }
+}
+
+/// A live automaton run: current state, set progress, bindings.
+#[derive(Debug, Clone)]
+pub struct AutoRun {
+    automaton: Arc<Automaton>,
+    state: usize,
+    plus_entered: bool,
+    set_mask: u128,
+    bindings: Vec<Option<Event>>,
+    participants: Vec<(ElemId, Seq)>,
+    accepted: bool,
+    dead: bool,
+}
+
+impl AutoRun {
+    /// Starts a run at state 0.
+    pub fn new(automaton: Arc<Automaton>) -> Self {
+        let elems = automaton.elem_count;
+        AutoRun {
+            automaton,
+            state: 0,
+            plus_entered: false,
+            set_mask: 0,
+            bindings: vec![None; elems],
+            participants: Vec::new(),
+            accepted: false,
+            dead: false,
+        }
+    }
+
+    /// `true` once the run reached the accepting state.
+    pub fn is_accepted(&self) -> bool {
+        self.accepted
+    }
+
+    /// `true` once a kill transition fired.
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Events absorbed so far, in order.
+    pub fn participants(&self) -> &[(ElemId, Seq)] {
+        &self.participants
+    }
+
+    /// Removes the last binding and re-opens the accepting state (EachLast
+    /// selection policy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run is not accepted or the last state is not `One`.
+    pub fn rearm_last(&mut self) {
+        assert!(self.accepted, "rearm_last on non-accepted run");
+        let last = self.automaton.states.len() - 1;
+        let AutoStateKind::One(m) = &self.automaton.states[last].kind else {
+            panic!("rearm_last requires a One last state");
+        };
+        let elem = m.elem.expect("binding element");
+        self.bindings[elem.index()] = None;
+        if let Some(pos) = self.participants.iter().rposition(|(e, _)| *e == elem) {
+            self.participants.remove(pos);
+        }
+        self.accepted = false;
+        self.state = last;
+        self.plus_entered = false;
+        self.set_mask = 0;
+    }
+
+    /// Steps the run with the next event.
+    pub fn step(&mut self, ev: &Event) -> RunOutcome {
+        if self.accepted || self.dead {
+            return RunOutcome::Ignored;
+        }
+        let automaton = Arc::clone(&self.automaton);
+        let states = &automaton.states;
+
+        {
+            let ctx = RunCtx {
+                current: ev,
+                bindings: &self.bindings,
+            };
+            if states[self.state].kills.iter().any(|k| k.matches(&ctx)) {
+                self.dead = true;
+                return RunOutcome::Killed;
+            }
+        }
+
+        if self.plus_entered && self.state + 1 < states.len() {
+            if let Some(elem) = self.try_state(states, self.state + 1, ev) {
+                return self.outcome(elem);
+            }
+        }
+        if let Some(elem) = self.try_state(states, self.state, ev) {
+            return self.outcome(elem);
+        }
+        RunOutcome::Ignored
+    }
+
+    fn outcome(&self, elem: ElemId) -> RunOutcome {
+        if self.accepted {
+            RunOutcome::Accepted(elem)
+        } else {
+            RunOutcome::Absorbed(elem)
+        }
+    }
+
+    fn try_state(&mut self, states: &[AutoState], idx: usize, ev: &Event) -> Option<ElemId> {
+        let ctx = RunCtx {
+            current: ev,
+            bindings: &self.bindings,
+        };
+        match &states[idx].kind {
+            AutoStateKind::One(m) => {
+                if !m.matches(&ctx) {
+                    return None;
+                }
+                let elem = m.elem.expect("binding element");
+                self.bindings[elem.index()] = Some(ev.clone());
+                self.participants.push((elem, ev.seq()));
+                self.state = idx + 1;
+                self.plus_entered = false;
+                self.set_mask = 0;
+                if self.state == states.len() {
+                    self.accepted = true;
+                }
+                Some(elem)
+            }
+            AutoStateKind::Plus(m) => {
+                if !m.matches(&ctx) {
+                    return None;
+                }
+                let elem = m.elem.expect("binding element");
+                let first = self.state != idx || !self.plus_entered;
+                if first {
+                    self.bindings[elem.index()] = Some(ev.clone());
+                }
+                self.participants.push((elem, ev.seq()));
+                self.state = idx;
+                self.plus_entered = true;
+                self.set_mask = 0;
+                if idx == states.len() - 1 {
+                    self.accepted = true;
+                }
+                Some(elem)
+            }
+            AutoStateKind::Set(members) => {
+                let mask = if idx == self.state { self.set_mask } else { 0 };
+                for (i, m) in members.iter().enumerate() {
+                    if mask & (1u128 << i) != 0 {
+                        continue;
+                    }
+                    if m.matches(&ctx) {
+                        let elem = m.elem.expect("binding element");
+                        self.bindings[elem.index()] = Some(ev.clone());
+                        self.participants.push((elem, ev.seq()));
+                        if idx != self.state {
+                            self.set_mask = 0;
+                        }
+                        self.state = idx;
+                        self.plus_entered = false;
+                        self.set_mask |= 1u128 << i;
+                        if self.set_mask.count_ones() as usize == members.len() {
+                            self.state = idx + 1;
+                            self.set_mask = 0;
+                            if self.state == states.len() {
+                                self.accepted = true;
+                            }
+                        }
+                        return Some(elem);
+                    }
+                }
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spectre_query::{Expr, FeedOutcome, PartialMatch};
+    use spectre_events::AttrKey;
+
+    fn ev(seq: Seq, x: f64) -> Event {
+        Event::builder(EventType::new(0))
+            .seq(seq)
+            .ts(seq)
+            .attr(AttrKey::new(0), x)
+            .build()
+    }
+
+    fn x_is(v: f64) -> Expr {
+        Expr::current(AttrKey::new(0)).eq_(Expr::value(v))
+    }
+
+    /// Feeds the same stream to a PartialMatch and an AutoRun and asserts
+    /// step-by-step agreement.
+    fn assert_equivalent(pattern: Pattern, stream: &[Event]) {
+        let pattern = Arc::new(pattern);
+        let automaton = Arc::new(Automaton::compile(&pattern));
+        let mut m = PartialMatch::new(Arc::clone(&pattern));
+        let mut r = AutoRun::new(automaton);
+        for e in stream {
+            let fo = m.feed(e);
+            let ro = r.step(e);
+            match (fo, ro) {
+                (FeedOutcome::Ignored, RunOutcome::Ignored) => {}
+                (FeedOutcome::Absorbed { elem: a }, RunOutcome::Absorbed(b)) => {
+                    assert_eq!(a, b)
+                }
+                (FeedOutcome::Completed { elem: a }, RunOutcome::Accepted(b)) => {
+                    assert_eq!(a, b)
+                }
+                (FeedOutcome::Abandoned, RunOutcome::Killed) => {}
+                other => panic!("divergence at event {}: {:?}", e.seq(), other),
+            }
+        }
+        assert_eq!(m.is_complete(), r.is_accepted());
+        assert_eq!(m.is_abandoned(), r.is_dead());
+        assert_eq!(m.participants(), r.participants());
+    }
+
+    #[test]
+    fn sequence_equivalence() {
+        let p = Pattern::builder()
+            .one("A", x_is(1.0))
+            .one("B", x_is(2.0))
+            .one("C", x_is(3.0))
+            .build()
+            .unwrap();
+        let stream: Vec<_> = [9.0, 1.0, 5.0, 3.0, 2.0, 2.0, 3.0]
+            .iter()
+            .enumerate()
+            .map(|(i, v)| ev(i as u64, *v))
+            .collect();
+        assert_equivalent(p, &stream);
+    }
+
+    #[test]
+    fn kleene_equivalence() {
+        let p = Pattern::builder()
+            .one("A", x_is(1.0))
+            .plus("B", x_is(2.0))
+            .one("C", x_is(3.0))
+            .build()
+            .unwrap();
+        let stream: Vec<_> = [1.0, 2.0, 2.0, 9.0, 2.0, 3.0]
+            .iter()
+            .enumerate()
+            .map(|(i, v)| ev(i as u64, *v))
+            .collect();
+        assert_equivalent(p, &stream);
+    }
+
+    #[test]
+    fn set_equivalence() {
+        let p = Pattern::builder()
+            .one("A", x_is(0.0))
+            .set(vec![
+                ("X".into(), x_is(1.0)),
+                ("Y".into(), x_is(2.0)),
+                ("Z".into(), x_is(3.0)),
+            ])
+            .build()
+            .unwrap();
+        let stream: Vec<_> = [0.0, 3.0, 9.0, 1.0, 1.0, 2.0]
+            .iter()
+            .enumerate()
+            .map(|(i, v)| ev(i as u64, *v))
+            .collect();
+        assert_equivalent(p, &stream);
+    }
+
+    #[test]
+    fn negation_equivalence() {
+        let p = Pattern::builder()
+            .one("A", x_is(1.0))
+            .forbid("K", x_is(9.0))
+            .one("B", x_is(2.0))
+            .build()
+            .unwrap();
+        let stream: Vec<_> = [1.0, 5.0, 9.0, 2.0]
+            .iter()
+            .enumerate()
+            .map(|(i, v)| ev(i as u64, *v))
+            .collect();
+        assert_equivalent(p, &stream);
+    }
+
+    #[test]
+    fn event_starts_agrees() {
+        let p = Pattern::builder()
+            .one("A", x_is(1.0))
+            .one("B", x_is(2.0))
+            .build()
+            .unwrap();
+        let automaton = Automaton::compile(&p);
+        for v in [0.0, 1.0, 2.0] {
+            assert_eq!(
+                automaton.event_starts(&ev(0, v)),
+                PartialMatch::event_starts(&p, &ev(0, v)),
+                "value {v}"
+            );
+        }
+        assert_eq!(automaton.state_count(), 2);
+    }
+
+    #[test]
+    fn rearm_last_matches_matcher_behaviour() {
+        let p = Arc::new(
+            Pattern::builder()
+                .one("A", x_is(1.0))
+                .one("B", x_is(2.0))
+                .build()
+                .unwrap(),
+        );
+        let automaton = Arc::new(Automaton::compile(&p));
+        let mut r = AutoRun::new(automaton);
+        r.step(&ev(1, 1.0));
+        assert_eq!(r.step(&ev(2, 2.0)), RunOutcome::Accepted(ElemId::new(1)));
+        r.rearm_last();
+        assert!(!r.is_accepted());
+        assert_eq!(r.step(&ev(3, 2.0)), RunOutcome::Accepted(ElemId::new(1)));
+        let seqs: Vec<_> = r.participants().iter().map(|(_, s)| *s).collect();
+        assert_eq!(seqs, vec![1, 3]);
+    }
+}

@@ -1,0 +1,351 @@
+//! Stack bytecode for query predicates.
+//!
+//! The T-REX-style engine does not walk expression trees; it compiles each
+//! predicate once into a flat instruction list and interprets that per event.
+//! Semantics are identical to [`Expr::eval`]: evaluation failures (missing
+//! attributes, unbound elements, type errors, division by zero) yield `None`
+//! and `AND`/`OR` short-circuit exactly like the tree walker, so both
+//! evaluators are interchangeable oracles.
+
+use spectre_events::{AttrKey, EventType, Value};
+use spectre_query::{BinOp, ElemRef, EvalContext, Expr, UnaryOp};
+
+/// Slot value in [`Instr::Attr`] denoting the current event.
+pub const CURRENT_SLOT: u16 = u16::MAX;
+
+/// One bytecode instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    /// Push a constant.
+    Const(Value),
+    /// Push attribute `key` of the event in `slot` (binding index, or
+    /// [`CURRENT_SLOT`]).
+    Attr {
+        /// Binding slot or [`CURRENT_SLOT`].
+        slot: u16,
+        /// Attribute to read.
+        key: AttrKey,
+    },
+    /// Push whether the event in `slot` has the given type.
+    TypeIs {
+        /// Binding slot or [`CURRENT_SLOT`].
+        slot: u16,
+        /// Expected event type.
+        ty: EventType,
+    },
+    /// Apply a unary operator to the top of stack.
+    Unary(UnaryOp),
+    /// Apply a strict binary operator to the two top stack values.
+    Bin(BinOp),
+    /// Short-circuit `AND`: if the top is `Some(false)`, jump to the absolute
+    /// target (keeping the top as the result); otherwise fall through.
+    JumpIfFalse(usize),
+    /// Short-circuit `OR`: if the top is `Some(true)`, jump to the target.
+    JumpIfTrue(usize),
+    /// Combine `lhs AND rhs` from the two top stack values (used when no
+    /// short-circuit happened).
+    AndOp,
+    /// Combine `lhs OR rhs`.
+    OrOp,
+}
+
+/// A compiled predicate program.
+///
+/// # Example
+///
+/// ```
+/// use spectre_events::{Event, Schema};
+/// use spectre_query::{Expr, EvalContext, ElemId};
+/// use spectre_baselines::trex::Program;
+///
+/// let mut schema = Schema::new();
+/// let x = schema.attr("x");
+/// let expr = Expr::current(x).gt(Expr::value(1.0));
+/// let prog = Program::compile(&expr);
+///
+/// struct Ctx(Event);
+/// impl EvalContext for Ctx {
+///     fn current(&self) -> &Event { &self.0 }
+///     fn bound(&self, _: ElemId) -> Option<&Event> { None }
+/// }
+/// let t = schema.event_type("E");
+/// let ev = Event::builder(t).attr(x, 2.0).build();
+/// assert!(prog.matches(&Ctx(ev)));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    instrs: Vec<Instr>,
+}
+
+impl Program {
+    /// Compiles an expression into bytecode.
+    pub fn compile(expr: &Expr) -> Program {
+        let mut instrs = Vec::new();
+        emit(expr, &mut instrs);
+        Program { instrs }
+    }
+
+    /// The instruction list (for inspection and tests).
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// Evaluates the program; `None` mirrors [`Expr::eval`] failure.
+    pub fn eval(&self, ctx: &dyn EvalContext) -> Option<Value> {
+        let mut stack: Vec<Option<Value>> = Vec::with_capacity(8);
+        let mut pc = 0usize;
+        while pc < self.instrs.len() {
+            match &self.instrs[pc] {
+                Instr::Const(v) => stack.push(Some(v.clone())),
+                Instr::Attr { slot, key } => {
+                    let ev = if *slot == CURRENT_SLOT {
+                        Some(ctx.current())
+                    } else {
+                        ctx.bound(spectre_query::ElemId::new(*slot))
+                    };
+                    stack.push(ev.and_then(|e| e.get(*key).cloned()));
+                }
+                Instr::TypeIs { slot, ty } => {
+                    let ev = if *slot == CURRENT_SLOT {
+                        Some(ctx.current())
+                    } else {
+                        ctx.bound(spectre_query::ElemId::new(*slot))
+                    };
+                    stack.push(ev.map(|e| Value::Bool(e.event_type() == *ty)));
+                }
+                Instr::Unary(op) => {
+                    let v = stack.pop().expect("stack underflow");
+                    let r = v.and_then(|v| match op {
+                        UnaryOp::Not => v.as_bool().map(|b| Value::Bool(!b)),
+                        UnaryOp::Neg => v.as_f64().map(|f| Value::F64(-f)),
+                    });
+                    stack.push(r);
+                }
+                Instr::Bin(op) => {
+                    let b = stack.pop().expect("stack underflow");
+                    let a = stack.pop().expect("stack underflow");
+                    stack.push(apply_bin(*op, a, b));
+                }
+                Instr::JumpIfFalse(target) => {
+                    let top = stack.last().expect("stack underflow");
+                    if matches!(top, Some(Value::Bool(false))) {
+                        pc = *target;
+                        continue;
+                    }
+                }
+                Instr::JumpIfTrue(target) => {
+                    let top = stack.last().expect("stack underflow");
+                    if matches!(top, Some(Value::Bool(true))) {
+                        pc = *target;
+                        continue;
+                    }
+                }
+                Instr::AndOp => {
+                    let b = stack.pop().expect("stack underflow");
+                    let a = stack.pop().expect("stack underflow");
+                    // lhs was not Some(false) (else we jumped); result is
+                    // None unless both are booleans.
+                    let r = match (a.and_then(|v| v.as_bool()), b.and_then(|v| v.as_bool())) {
+                        (Some(true), Some(rb)) => Some(Value::Bool(rb)),
+                        _ => None,
+                    };
+                    stack.push(r);
+                }
+                Instr::OrOp => {
+                    let b = stack.pop().expect("stack underflow");
+                    let a = stack.pop().expect("stack underflow");
+                    let r = match (a.and_then(|v| v.as_bool()), b.and_then(|v| v.as_bool())) {
+                        (Some(false), Some(rb)) => Some(Value::Bool(rb)),
+                        _ => None,
+                    };
+                    stack.push(r);
+                }
+            }
+            pc += 1;
+        }
+        stack.pop().expect("program must leave a result")
+    }
+
+    /// Evaluates as a predicate; failures count as "no match".
+    pub fn matches(&self, ctx: &dyn EvalContext) -> bool {
+        matches!(self.eval(ctx), Some(Value::Bool(true)))
+    }
+}
+
+fn apply_bin(op: BinOp, a: Option<Value>, b: Option<Value>) -> Option<Value> {
+    let a = a?;
+    let b = b?;
+    match op {
+        BinOp::Add => Some(Value::F64(a.as_f64()? + b.as_f64()?)),
+        BinOp::Sub => Some(Value::F64(a.as_f64()? - b.as_f64()?)),
+        BinOp::Mul => Some(Value::F64(a.as_f64()? * b.as_f64()?)),
+        BinOp::Div => {
+            let d = b.as_f64()?;
+            if d == 0.0 {
+                None
+            } else {
+                Some(Value::F64(a.as_f64()? / d))
+            }
+        }
+        BinOp::Lt => Some(Value::Bool(a < b)),
+        BinOp::Le => Some(Value::Bool(a <= b)),
+        BinOp::Gt => Some(Value::Bool(a > b)),
+        BinOp::Ge => Some(Value::Bool(a >= b)),
+        BinOp::Eq => Some(Value::Bool(a == b)),
+        BinOp::Ne => Some(Value::Bool(a != b)),
+        BinOp::And | BinOp::Or => unreachable!("logical ops compile to jumps"),
+    }
+}
+
+fn slot_of(elem: ElemRef) -> u16 {
+    match elem {
+        ElemRef::Current => CURRENT_SLOT,
+        ElemRef::Bound(id) => id.index() as u16,
+    }
+}
+
+fn emit(expr: &Expr, out: &mut Vec<Instr>) {
+    match expr {
+        Expr::Const(v) => out.push(Instr::Const(v.clone())),
+        Expr::Attr(elem, key) => out.push(Instr::Attr {
+            slot: slot_of(*elem),
+            key: *key,
+        }),
+        Expr::TypeIs(elem, ty) => out.push(Instr::TypeIs {
+            slot: slot_of(*elem),
+            ty: *ty,
+        }),
+        Expr::Unary(op, inner) => {
+            emit(inner, out);
+            out.push(Instr::Unary(*op));
+        }
+        Expr::Binary(BinOp::And, lhs, rhs) => {
+            emit(lhs, out);
+            let jump_at = out.len();
+            out.push(Instr::JumpIfFalse(usize::MAX)); // patched below
+            emit(rhs, out);
+            out.push(Instr::AndOp);
+            let target = out.len();
+            out[jump_at] = Instr::JumpIfFalse(target);
+        }
+        Expr::Binary(BinOp::Or, lhs, rhs) => {
+            emit(lhs, out);
+            let jump_at = out.len();
+            out.push(Instr::JumpIfTrue(usize::MAX));
+            emit(rhs, out);
+            out.push(Instr::OrOp);
+            let target = out.len();
+            out[jump_at] = Instr::JumpIfTrue(target);
+        }
+        Expr::Binary(op, lhs, rhs) => {
+            emit(lhs, out);
+            emit(rhs, out);
+            out.push(Instr::Bin(*op));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spectre_events::{Event, Schema};
+    use spectre_query::ElemId;
+
+    struct Ctx {
+        current: Event,
+        bound: Vec<Option<Event>>,
+    }
+
+    impl EvalContext for Ctx {
+        fn current(&self) -> &Event {
+            &self.current
+        }
+        fn bound(&self, elem: ElemId) -> Option<&Event> {
+            self.bound.get(elem.index())?.as_ref()
+        }
+    }
+
+    fn fixture() -> (Schema, AttrKey, Ctx) {
+        let mut schema = Schema::new();
+        let t = schema.event_type("E");
+        let x = schema.attr("x");
+        let current = Event::builder(t).seq(1).attr(x, 5.0).build();
+        let bound = Event::builder(t).seq(0).attr(x, 3.0).build();
+        (
+            schema,
+            x,
+            Ctx {
+                current,
+                bound: vec![Some(bound), None],
+            },
+        )
+    }
+
+    /// Every compiled program must agree with the tree-walking evaluator.
+    fn assert_agrees(expr: &Expr, ctx: &Ctx) {
+        let prog = Program::compile(expr);
+        assert_eq!(prog.eval(ctx), expr.eval(ctx), "expr: {expr}");
+        assert_eq!(prog.matches(ctx), expr.matches(ctx));
+    }
+
+    #[test]
+    fn agrees_with_tree_walker_on_assorted_expressions() {
+        let (_s, x, ctx) = fixture();
+        let cur = || Expr::current(x);
+        let bound0 = || Expr::attr(ElemRef::Bound(ElemId::new(0)), x);
+        let unbound = || Expr::attr(ElemRef::Bound(ElemId::new(1)), x);
+        let exprs = vec![
+            cur().gt(Expr::value(1.0)),
+            cur().add(bound0()).mul(Expr::value(2.0)).le(Expr::value(16.0)),
+            cur().div(Expr::value(0.0)).gt(Expr::value(0.0)), // div by zero
+            unbound().gt(Expr::value(0.0)),                   // unbound → None
+            Expr::value(false).and(unbound().gt(Expr::value(0.0))), // short-circuit
+            Expr::value(true).or(unbound().gt(Expr::value(0.0))),
+            Expr::value(true).and(unbound().gt(Expr::value(0.0))), // strict → None
+            cur().gt(bound0()).and(cur().lt(Expr::value(100.0))),
+            cur().gt(bound0()).or(cur().lt(Expr::value(0.0))),
+            cur().eq_(Expr::value(5.0)).not(),
+            Expr::Unary(UnaryOp::Neg, Box::new(cur())).lt(Expr::value(0.0)),
+            cur().sub(bound0()).ne_(Expr::value(0.0)),
+        ];
+        for e in &exprs {
+            assert_agrees(e, &ctx);
+        }
+    }
+
+    #[test]
+    fn nested_logic_agrees() {
+        let (_s, x, ctx) = fixture();
+        let cur = || Expr::current(x);
+        let e = cur()
+            .gt(Expr::value(0.0))
+            .and(cur().lt(Expr::value(10.0)).or(cur().eq_(Expr::value(42.0))))
+            .or(cur().eq_(Expr::value(-1.0)).and(Expr::value(true)));
+        assert_agrees(&e, &ctx);
+    }
+
+    #[test]
+    fn type_test_compiles() {
+        let (mut s, x, ctx) = fixture();
+        let e_ty = s.event_type("E");
+        let other = s.event_type("Other");
+        assert_agrees(&Expr::TypeIs(ElemRef::Current, e_ty), &ctx);
+        assert_agrees(&Expr::TypeIs(ElemRef::Current, other), &ctx);
+        let _ = x;
+    }
+
+    #[test]
+    fn jump_targets_are_patched() {
+        let (_s, x, _ctx) = fixture();
+        let e = Expr::current(x)
+            .gt(Expr::value(0.0))
+            .and(Expr::current(x).lt(Expr::value(10.0)));
+        let prog = Program::compile(&e);
+        for instr in prog.instrs() {
+            if let Instr::JumpIfFalse(t) | Instr::JumpIfTrue(t) = instr {
+                assert!(*t <= prog.instrs().len());
+                assert_ne!(*t, usize::MAX);
+            }
+        }
+    }
+}

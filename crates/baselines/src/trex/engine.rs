@@ -1,0 +1,354 @@
+//! The T-REX-style engine: single-threaded, automaton-interpreting CEP with
+//! sequential consumption semantics.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use spectre_events::{Event, Seq};
+use spectre_query::window::compute_ranges;
+use spectre_query::{ComplexEvent, Query, SelectionPolicy};
+
+use super::automaton::{AutoRun, Automaton, RunOutcome};
+
+/// Output and statistics of a [`TrexEngine`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrexResult {
+    /// All complex events, in (window id, detection order).
+    pub complex_events: Vec<ComplexEvent>,
+    /// Windows processed.
+    pub windows: u64,
+    /// Automaton runs created.
+    pub runs_created: u64,
+    /// Runs that reached the accepting state.
+    pub runs_accepted: u64,
+    /// Automaton transition evaluations performed (the interpretation
+    /// overhead of a general-purpose engine; paper §4.2.3).
+    pub transitions_evaluated: u64,
+}
+
+/// A general-purpose engine in the architecture of T-REX (paper §4.2.3):
+/// queries compile to automata once, and a single thread interprets them
+/// window by window. Consumption is supported sequentially only.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use spectre_events::Schema;
+/// use spectre_datasets::{NyseConfig, NyseGenerator};
+/// use spectre_query::queries;
+/// use spectre_baselines::TrexEngine;
+///
+/// let mut schema = Schema::new();
+/// let events: Vec<_> =
+///     NyseGenerator::new(NyseConfig::small(1000, 2), &mut schema).collect();
+/// let query = Arc::new(queries::q1(&mut schema, 3, 100, Default::default()));
+/// let engine = TrexEngine::new(Arc::clone(&query));
+/// let result = engine.run(&events);
+/// assert_eq!(result.windows > 0, true);
+/// ```
+#[derive(Debug)]
+pub struct TrexEngine {
+    query: Arc<Query>,
+    automaton: Arc<Automaton>,
+}
+
+impl TrexEngine {
+    /// Compiles the query into an automaton.
+    pub fn new(query: Arc<Query>) -> Self {
+        let automaton = Arc::new(Automaton::compile(query.pattern()));
+        TrexEngine { query, automaton }
+    }
+
+    /// The compiled automaton.
+    pub fn automaton(&self) -> &Arc<Automaton> {
+        &self.automaton
+    }
+
+    /// Runs the query over a finite stream.
+    pub fn run(&self, events: &[Event]) -> TrexResult {
+        let ranges = compute_ranges(self.query.window(), events);
+        let mut consumed: HashSet<Seq> = HashSet::new();
+        let mut result = TrexResult {
+            complex_events: Vec::new(),
+            windows: ranges.len() as u64,
+            runs_created: 0,
+            runs_accepted: 0,
+            transitions_evaluated: 0,
+        };
+        for range in &ranges {
+            let mut window = WindowRuns {
+                engine: self,
+                window_id: range.bounds.id,
+                active: Vec::new(),
+                events_seen: 0,
+            };
+            for ev in &events[range.bounds.start_pos as usize..range.end_pos as usize] {
+                if consumed.contains(&ev.seq()) {
+                    window.on_consumed();
+                    continue;
+                }
+                window.on_event(ev, &mut consumed, &mut result);
+            }
+        }
+        result
+    }
+}
+
+struct WindowRuns<'e> {
+    engine: &'e TrexEngine,
+    window_id: u64,
+    active: Vec<AutoRun>,
+    /// Window events seen (including consumed skips); anchored queries may
+    /// only start their run on the first one.
+    events_seen: u64,
+}
+
+impl WindowRuns<'_> {
+    /// Records a consumed (skipped) window event — it occupies its window
+    /// position for anchoring purposes.
+    fn on_consumed(&mut self) {
+        self.events_seen += 1;
+    }
+
+    fn on_event(&mut self, ev: &Event, consumed: &mut HashSet<Seq>, result: &mut TrexResult) {
+        self.events_seen += 1;
+        let query = &self.engine.query;
+        let mut absorbed = false;
+        let mut i = 0;
+        while i < self.active.len() {
+            result.transitions_evaluated += 1;
+            match self.active[i].step(ev) {
+                RunOutcome::Ignored => i += 1,
+                RunOutcome::Absorbed(_) => {
+                    absorbed = true;
+                    i += 1;
+                }
+                RunOutcome::Accepted(_) => {
+                    absorbed = true;
+                    let consumed_current = self.accept(i, ev, consumed, result);
+                    if consumed_current {
+                        return; // event consumed: withhold from younger runs
+                    }
+                    // `accept` may have removed the run at `i` (Once) or kept
+                    // it re-armed (EachLast); in the latter case advance.
+                    if matches!(query.selection(), SelectionPolicy::EachLast) {
+                        i += 1;
+                    }
+                }
+                RunOutcome::Killed => {
+                    self.active.remove(i);
+                }
+            }
+        }
+        // Anchored queries (window opens on the pattern's start element)
+        // start their single run only on the window's first event — same
+        // rule as `WindowDetector`.
+        let anchored = matches!(
+            query.window().open(),
+            spectre_query::WindowOpen::OnMatch { .. }
+        );
+        if !absorbed
+            && (!anchored || self.events_seen == 1)
+            && self.active.len() < query.max_active()
+            && self.engine.automaton.event_starts(ev)
+        {
+            result.transitions_evaluated += 1;
+            result.runs_created += 1;
+            let mut run = AutoRun::new(Arc::clone(&self.engine.automaton));
+            match run.step(ev) {
+                RunOutcome::Absorbed(_) => self.active.push(run),
+                RunOutcome::Accepted(_) => {
+                    self.active.push(run);
+                    let idx = self.active.len() - 1;
+                    let _ = self.accept(idx, ev, consumed, result);
+                }
+                RunOutcome::Ignored | RunOutcome::Killed => {
+                    debug_assert!(false, "fresh run must absorb its start event");
+                }
+            }
+        }
+    }
+
+    /// Handles an accepted run; returns whether the current event was
+    /// consumed.
+    fn accept(
+        &mut self,
+        idx: usize,
+        ev: &Event,
+        consumed: &mut HashSet<Seq>,
+        result: &mut TrexResult,
+    ) -> bool {
+        let query = &self.engine.query;
+        result.runs_accepted += 1;
+        let constituents: Vec<Seq> = self.active[idx]
+            .participants()
+            .iter()
+            .map(|(_, s)| *s)
+            .collect();
+        let newly_consumed: Vec<Seq> = self.active[idx]
+            .participants()
+            .iter()
+            .filter(|(elem, _)| query.consumable(*elem))
+            .map(|(_, s)| *s)
+            .collect();
+        result.complex_events.push(ComplexEvent::new(
+            self.window_id,
+            ev.ts(),
+            constituents,
+        ));
+        for s in &newly_consumed {
+            consumed.insert(*s);
+        }
+        let consumed_current = newly_consumed.contains(&ev.seq());
+
+        // Kill sibling runs holding now-consumed events.
+        if !newly_consumed.is_empty() {
+            let mut j = 0;
+            let mut accepted_idx = idx;
+            while j < self.active.len() {
+                if j == accepted_idx {
+                    j += 1;
+                    continue;
+                }
+                let conflicted = self.active[j]
+                    .participants()
+                    .iter()
+                    .any(|(_, s)| newly_consumed.contains(s));
+                if conflicted {
+                    self.active.remove(j);
+                    if j < accepted_idx {
+                        accepted_idx -= 1;
+                    }
+                } else {
+                    j += 1;
+                }
+            }
+            return self.apply_selection(accepted_idx, consumed_current);
+        }
+        self.apply_selection(idx, consumed_current)
+    }
+
+    fn apply_selection(&mut self, idx: usize, consumed_current: bool) -> bool {
+        match self.engine.query.selection() {
+            SelectionPolicy::Once => {
+                self.active.remove(idx);
+            }
+            SelectionPolicy::EachLast => {
+                self.active[idx].rearm_last();
+            }
+        }
+        consumed_current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequential::run_sequential;
+    use spectre_datasets::{NyseConfig, NyseGenerator, RandConfig, RandGenerator};
+    use spectre_events::Schema;
+    use spectre_query::queries::{self, Direction};
+
+    /// The T-REX engine and the sequential reference engine are independent
+    /// implementations; their outputs must agree exactly.
+    fn assert_matches_sequential(query: Arc<Query>, events: &[Event]) {
+        let seq = run_sequential(&query, events);
+        let trex = TrexEngine::new(Arc::clone(&query)).run(events);
+        assert_eq!(trex.complex_events, seq.complex_events);
+        assert_eq!(trex.windows, seq.windows);
+        assert_eq!(trex.runs_created, seq.cgs_created);
+        assert_eq!(trex.runs_accepted, seq.cgs_completed);
+    }
+
+    #[test]
+    fn agrees_with_sequential_on_q1() {
+        let mut schema = Schema::new();
+        let events: Vec<_> =
+            NyseGenerator::new(NyseConfig::small(3000, 17), &mut schema).collect();
+        for q in [2usize, 5, 20] {
+            let query = Arc::new(queries::q1(&mut schema, q, 200, Direction::Rising));
+            assert_matches_sequential(query, &events);
+        }
+    }
+
+    #[test]
+    fn agrees_with_sequential_on_q2() {
+        let mut schema = Schema::new();
+        let events: Vec<_> =
+            NyseGenerator::new(NyseConfig::small(3000, 23), &mut schema).collect();
+        let query = Arc::new(queries::q2(&mut schema, 60.0, 140.0, 400, 50));
+        assert_matches_sequential(query, &events);
+    }
+
+    #[test]
+    fn agrees_with_sequential_on_q3() {
+        let mut schema = Schema::new();
+        let gen = RandGenerator::new(RandConfig::small(3000, 31), &mut schema);
+        let symbols = gen.symbols().to_vec();
+        let events: Vec<_> = gen.collect();
+        let query = Arc::new(queries::q3(
+            &mut schema,
+            symbols[0],
+            &symbols[1..4],
+            150,
+            25,
+        ));
+        assert_matches_sequential(query, &events);
+    }
+
+    #[test]
+    fn agrees_with_sequential_on_qe() {
+        let mut schema = Schema::new();
+        // RAND with 2 symbols gives plenty of A/B interleavings
+        let cfg = RandConfig {
+            symbols: 2,
+            leaders: 0,
+            events: 2000,
+            seed: 5,
+            price: (1.0, 10.0),
+            tick_ms: 1000,
+        };
+        let gen = RandGenerator::new(cfg, &mut schema);
+        let events: Vec<_> = gen.collect();
+        // QE interns its own "A"/"B" symbols; remap: rebuild QE over the
+        // RND symbols by name.
+        let vocab = queries::StockVocab::install(&mut schema);
+        let sym_a = schema.lookup_symbol("RND000").unwrap();
+        let sym_b = schema.lookup_symbol("RND001").unwrap();
+        let pattern = spectre_query::Pattern::builder()
+            .one("A", vocab.symbol_is(sym_a))
+            .one("B", vocab.symbol_is(sym_b))
+            .build()
+            .unwrap();
+        let query = Arc::new(
+            Query::builder("QE")
+                .pattern(pattern)
+                .window(
+                    spectre_query::WindowSpec::on_match_time(
+                        Some(vocab.quote),
+                        vocab.symbol_is(sym_a),
+                        30_000,
+                    )
+                    .unwrap(),
+                )
+                .selection(SelectionPolicy::EachLast)
+                .consumption(spectre_query::ConsumptionPolicy::Selected(vec![
+                    "B".into()
+                ]))
+                .build()
+                .unwrap(),
+        );
+        assert_matches_sequential(query, &events);
+    }
+
+    #[test]
+    fn transition_counter_grows() {
+        let mut schema = Schema::new();
+        let events: Vec<_> =
+            NyseGenerator::new(NyseConfig::small(500, 3), &mut schema).collect();
+        let query = Arc::new(queries::q1(&mut schema, 2, 100, Direction::Rising));
+        let r = TrexEngine::new(query).run(&events);
+        assert!(r.transitions_evaluated > 0);
+    }
+}

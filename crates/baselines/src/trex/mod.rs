@@ -1,0 +1,23 @@
+//! T-REX-style general-purpose CEP engine (paper §4.2.3).
+//!
+//! T-REX [Cugola & Margara 2012] automatically translates TESLA queries into
+//! state machines and interprets them, whereas SPECTRE implements pattern
+//! logic as user-defined functions. This module reproduces that architecture:
+//!
+//! * [`bytecode`] — predicates compile to a small stack bytecode interpreted
+//!   per event (instead of SPECTRE's direct AST walk),
+//! * [`automaton`] — patterns compile to explicit automata with per-state
+//!   transition tables,
+//! * [`engine`] — a single-threaded engine evaluating windows in order; like
+//!   the real T-REX it has no support for consumptions *in parallel
+//!   processing* (it is sequential), but it implements the same sequential
+//!   consumption semantics as the reference engine, making it a second,
+//!   independently implemented differential-testing oracle.
+
+pub mod automaton;
+pub mod bytecode;
+pub mod engine;
+
+pub use automaton::{Automaton, AutoRun, RunOutcome};
+pub use bytecode::{Instr, Program};
+pub use engine::{TrexEngine, TrexResult};

@@ -1,0 +1,59 @@
+//! Criterion end-to-end benchmarks: the four engines over the same small
+//! NYSE workload (Q1), plus the SPECTRE simulator at several instance
+//! counts. These are the regression-guard companions to the figure
+//! binaries in `src/bin/`.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use spectre_baselines::{run_sequential, run_waitful, TrexEngine};
+use spectre_core::{run_simulated, SpectreConfig};
+use spectre_datasets::{NyseConfig, NyseGenerator};
+use spectre_events::{Event, Schema};
+use spectre_query::queries::{self, Direction};
+use spectre_query::Query;
+
+fn fixture() -> (Arc<Query>, Vec<Event>) {
+    let mut schema = Schema::new();
+    let config = NyseConfig {
+        symbols: 100,
+        leaders: 8,
+        events: 5_000,
+        seed: 42,
+        ..NyseConfig::default()
+    };
+    let events: Vec<_> = NyseGenerator::new(config, &mut schema).collect();
+    let query = Arc::new(queries::q1(&mut schema, 4, 200, Direction::Rising));
+    (query, events)
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let (query, events) = fixture();
+    let mut group = c.benchmark_group("q1_5k_events");
+    group.sample_size(10);
+
+    group.bench_function("sequential", |b| {
+        b.iter(|| black_box(run_sequential(&query, &events).complex_events.len()))
+    });
+    let trex = TrexEngine::new(Arc::clone(&query));
+    group.bench_function("trex", |b| {
+        b.iter(|| black_box(trex.run(&events).complex_events.len()))
+    });
+    group.bench_function("waitful_k4", |b| {
+        b.iter(|| black_box(run_waitful(&query, &events, 4).makespan))
+    });
+    for k in [1usize, 4, 16] {
+        group.bench_function(format!("spectre_sim_k{k}"), |b| {
+            b.iter(|| {
+                black_box(
+                    run_simulated(&query, events.clone(), &SpectreConfig::with_instances(k))
+                        .rounds,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(end_to_end, bench_engines);
+criterion_main!(end_to_end);

@@ -1,0 +1,49 @@
+//! Figure 10(d): ground-truth consumption-group completion probability of Q1
+//! vs. pattern-size/window-size ratio.
+//!
+//! Computed exactly as in the paper (§4.2.1): a sequential pass without
+//! speculation; completed consumption groups divided by created consumption
+//! groups.
+
+use std::sync::Arc;
+
+use spectre_bench::{bench_events, nyse_stream, print_row};
+use spectre_baselines::run_sequential;
+use spectre_query::queries::{self, Direction};
+
+fn main() {
+    let ws: u64 = std::env::var("SPECTRE_BENCH_WS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(800);
+    let events_n = bench_events();
+    println!("# Figure 10(d): Q1 ground-truth completion probability vs ratio");
+    println!("# ws = {ws}, events = {events_n}");
+    let widths = vec![8usize, 8, 16, 12, 12];
+    print_row(
+        &[
+            "ratio".into(),
+            "q".into(),
+            "completion_%".into(),
+            "cgs".into(),
+            "complex".into(),
+        ],
+        &widths,
+    );
+    for ratio in [0.005, 0.01, 0.02, 0.04, 0.08, 0.16, 0.32] {
+        let q = ((ratio * ws as f64).round() as usize).max(1);
+        let (mut schema, events) = nyse_stream(events_n, 42);
+        let query = Arc::new(queries::q1(&mut schema, q, ws, Direction::Rising));
+        let r = run_sequential(&query, &events);
+        print_row(
+            &[
+                format!("{ratio}"),
+                format!("{q}"),
+                format!("{:.1}", r.completion_probability() * 100.0),
+                format!("{}", r.cgs_created),
+                format!("{}", r.cgs_completed),
+            ],
+            &widths,
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! Figure 10(f): maximum dependency-tree size (window versions held at the
+//! same time) vs. number of operator instances.
+//!
+//! Paper setting: Q1 on NYSE, q = 80, ws = 8000; tree sizes grew from 41
+//! versions at k = 1 to ≈6,730 at k = 32.
+
+use std::sync::Arc;
+
+use spectre_bench::{bench_events, bench_ks, bench_repeats, nyse_stream, print_row, sim_report};
+use spectre_core::SpectreConfig;
+use spectre_query::queries::{self, Direction};
+
+fn main() {
+    let ws: u64 = std::env::var("SPECTRE_BENCH_WS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(800);
+    let q = ((0.01 * ws as f64) as usize).max(1);
+    let events_n = bench_events();
+    let repeats = bench_repeats();
+
+    println!("# Figure 10(f): max dependency-tree size vs #operator instances");
+    println!("# Q1, q = {q}, ws = {ws}, events = {events_n}");
+    let widths = vec![4usize, 14, 16, 16];
+    print_row(
+        &[
+            "k".into(),
+            "max_tree".into(),
+            "versions_made".into(),
+            "versions_drop".into(),
+        ],
+        &widths,
+    );
+    for k in bench_ks() {
+        let mut max_tree = 0u64;
+        let mut created = 0u64;
+        let mut dropped = 0u64;
+        for rep in 0..repeats {
+            let (mut schema, events) = nyse_stream(events_n, 42 + rep as u64);
+            let query = Arc::new(queries::q1(&mut schema, q, ws, Direction::Rising));
+            let report = sim_report(&query, &events, &SpectreConfig::with_instances(k));
+            max_tree = max_tree.max(report.metrics.max_tree_versions);
+            created = created.max(report.metrics.versions_created);
+            dropped = dropped.max(report.metrics.versions_dropped);
+        }
+        print_row(
+            &[
+                format!("{k}"),
+                format!("{max_tree}"),
+                format!("{created}"),
+                format!("{dropped}"),
+            ],
+            &widths,
+        );
+    }
+}

@@ -1,0 +1,259 @@
+//! Shared consumption-group state.
+//!
+//! A consumption group (CG) records the events of one partial match that
+//! will be consumed if the match completes (paper §3.1). The cell is shared
+//! between the operator instance processing the owning window version (which
+//! adds events and eventually resolves the group) and every instance whose
+//! window version *suppresses* the group's events, plus the splitter (which
+//! reads δ and the window position for prediction).
+//!
+//! The event set carries a version counter, bumped on every mutation — the
+//! consistency check of paper Fig. 8 (lines 31–45) compares it against the
+//! last checked version to detect late updates cheaply.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+use parking_lot::RwLock;
+use spectre_events::Seq;
+
+/// Unique id of a consumption group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CgId(pub u64);
+
+impl std::fmt::Display for CgId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cg{}", self.0)
+    }
+}
+
+/// Life-cycle status of a consumption group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CgStatus {
+    /// The underlying partial match is still in progress.
+    Open,
+    /// The match completed: the group's events are consumed.
+    Completed,
+    /// The match was abandoned: the group is dropped, nothing is consumed.
+    Abandoned,
+}
+
+const OPEN: u8 = 0;
+const COMPLETED: u8 = 1;
+const ABANDONED: u8 = 2;
+
+/// Shared state of one consumption group.
+#[derive(Debug)]
+pub struct CgCell {
+    id: CgId,
+    window_id: u64,
+    status: AtomicU8,
+    /// Mutation counter of `events`.
+    version: AtomicU64,
+    /// Completion distance δ of the underlying partial match.
+    delta: AtomicU64,
+    /// Relative position of the owning version inside its window when δ was
+    /// last updated — input `posInWindow` of the prediction (paper Fig. 5).
+    pos_in_window: AtomicU64,
+    events: RwLock<HashSet<Seq>>,
+}
+
+impl CgCell {
+    /// Creates an open group with the given initial completion distance.
+    pub fn new(id: CgId, window_id: u64, initial_delta: usize) -> Self {
+        CgCell {
+            id,
+            window_id,
+            status: AtomicU8::new(OPEN),
+            version: AtomicU64::new(0),
+            delta: AtomicU64::new(initial_delta as u64),
+            pos_in_window: AtomicU64::new(0),
+            events: RwLock::new(HashSet::new()),
+        }
+    }
+
+    /// The group's id.
+    pub fn id(&self) -> CgId {
+        self.id
+    }
+
+    /// Id of the window whose version created the group.
+    pub fn window_id(&self) -> u64 {
+        self.window_id
+    }
+
+    /// Current status.
+    pub fn status(&self) -> CgStatus {
+        match self.status.load(Ordering::Acquire) {
+            OPEN => CgStatus::Open,
+            COMPLETED => CgStatus::Completed,
+            _ => CgStatus::Abandoned,
+        }
+    }
+
+    /// `true` once completed or abandoned.
+    pub fn is_resolved(&self) -> bool {
+        self.status() != CgStatus::Open
+    }
+
+    /// Current event-set version (bumped on every mutation).
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// Current completion distance δ.
+    pub fn delta(&self) -> usize {
+        self.delta.load(Ordering::Relaxed) as usize
+    }
+
+    /// Position of the owner inside its window at the last update.
+    pub fn pos_in_window(&self) -> u64 {
+        self.pos_in_window.load(Ordering::Relaxed)
+    }
+
+    /// Adds an event to the group and updates δ / window position.
+    ///
+    /// Only the owning instance calls this; the version counter is bumped
+    /// *after* the event is visible so that a reader observing the old
+    /// version also re-reads the set on the next consistency check.
+    pub fn add_event(&self, seq: Seq, delta: usize, pos_in_window: u64) {
+        {
+            let mut events = self.events.write();
+            events.insert(seq);
+        }
+        self.delta.store(delta as u64, Ordering::Relaxed);
+        self.pos_in_window.store(pos_in_window, Ordering::Relaxed);
+        self.version.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Updates δ / window position without adding an event (a processed
+    /// event can advance the match without being consumable).
+    pub fn touch(&self, delta: usize, pos_in_window: u64) {
+        self.delta.store(delta as u64, Ordering::Relaxed);
+        self.pos_in_window.store(pos_in_window, Ordering::Relaxed);
+    }
+
+    /// `true` if `seq` is currently in the group's event set.
+    pub fn contains(&self, seq: Seq) -> bool {
+        self.events.read().contains(&seq)
+    }
+
+    /// Snapshot of the event set.
+    pub fn events(&self) -> Vec<Seq> {
+        self.events.read().iter().copied().collect()
+    }
+
+    /// Number of events in the group.
+    pub fn event_count(&self) -> usize {
+        self.events.read().len()
+    }
+
+    /// `true` if any event of the group is contained in `sorted_used`
+    /// (a sorted slice of processed sequence numbers) — the intersection
+    /// test of the consistency check.
+    pub fn intersects_sorted(&self, sorted_used: &[Seq]) -> bool {
+        let events = self.events.read();
+        events
+            .iter()
+            .any(|seq| sorted_used.binary_search(seq).is_ok())
+    }
+
+    /// Creates an independent *twin* of this (open) group under a new id:
+    /// same event set, completion distance and window position, but its own
+    /// identity and life cycle.
+    ///
+    /// Twins back the speculative copies of window versions: the copy
+    /// continues the same partial match in an alternative world, so its
+    /// group must resolve independently of the original's (the two worlds
+    /// may complete or abandon the corresponding match differently).
+    pub fn twin(&self, id: CgId) -> CgCell {
+        let events = self.events.read().clone();
+        CgCell {
+            id,
+            window_id: self.window_id,
+            // Always open: the twin's owner continues the match and decides
+            // its own outcome, even if the original resolved concurrently.
+            status: AtomicU8::new(OPEN),
+            version: AtomicU64::new(self.version.load(Ordering::Acquire)),
+            delta: AtomicU64::new(self.delta.load(Ordering::Relaxed)),
+            pos_in_window: AtomicU64::new(self.pos_in_window.load(Ordering::Relaxed)),
+            events: RwLock::new(events),
+        }
+    }
+
+    /// Marks the group completed.
+    pub fn complete(&self) {
+        self.status.store(COMPLETED, Ordering::Release);
+    }
+
+    /// Marks the group abandoned.
+    pub fn abandon(&self) {
+        self.status.store(ABANDONED, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle() {
+        let cg = CgCell::new(CgId(1), 7, 5);
+        assert_eq!(cg.id(), CgId(1));
+        assert_eq!(cg.window_id(), 7);
+        assert_eq!(cg.status(), CgStatus::Open);
+        assert_eq!(cg.delta(), 5);
+        assert!(!cg.is_resolved());
+        cg.complete();
+        assert_eq!(cg.status(), CgStatus::Completed);
+        assert!(cg.is_resolved());
+
+        let cg2 = CgCell::new(CgId(2), 7, 5);
+        cg2.abandon();
+        assert_eq!(cg2.status(), CgStatus::Abandoned);
+    }
+
+    #[test]
+    fn add_event_bumps_version_and_updates_delta() {
+        let cg = CgCell::new(CgId(1), 0, 3);
+        assert_eq!(cg.version(), 0);
+        cg.add_event(42, 2, 10);
+        assert_eq!(cg.version(), 1);
+        assert_eq!(cg.delta(), 2);
+        assert_eq!(cg.pos_in_window(), 10);
+        assert!(cg.contains(42));
+        assert!(!cg.contains(43));
+        cg.add_event(43, 1, 11);
+        assert_eq!(cg.version(), 2);
+        assert_eq!(cg.event_count(), 2);
+    }
+
+    #[test]
+    fn touch_updates_delta_without_version_bump() {
+        let cg = CgCell::new(CgId(1), 0, 3);
+        cg.touch(1, 5);
+        assert_eq!(cg.version(), 0);
+        assert_eq!(cg.delta(), 1);
+        assert_eq!(cg.pos_in_window(), 5);
+    }
+
+    #[test]
+    fn sorted_intersection() {
+        let cg = CgCell::new(CgId(1), 0, 3);
+        cg.add_event(10, 2, 0);
+        cg.add_event(20, 1, 1);
+        assert!(cg.intersects_sorted(&[5, 10, 15]));
+        assert!(!cg.intersects_sorted(&[5, 15, 25]));
+        assert!(!cg.intersects_sorted(&[]));
+    }
+
+    #[test]
+    fn events_snapshot() {
+        let cg = CgCell::new(CgId(1), 0, 3);
+        cg.add_event(3, 2, 0);
+        cg.add_event(1, 1, 1);
+        let mut ev = cg.events();
+        ev.sort_unstable();
+        assert_eq!(ev, vec![1, 3]);
+    }
+}

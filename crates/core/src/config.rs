@@ -1,0 +1,124 @@
+//! Runtime configuration.
+
+use crate::markov::MarkovConfig;
+
+/// Which completion-probability predictor to use (paper §4.2.2 compares the
+/// adaptive Markov model against fixed probabilities, Fig. 11).
+#[derive(Debug, Clone)]
+pub enum PredictorKind {
+    /// The adaptive Markov model (paper §3.2.1).
+    Markov(MarkovConfig),
+    /// A fixed completion probability for every group.
+    Fixed(f64),
+}
+
+impl Default for PredictorKind {
+    fn default() -> Self {
+        PredictorKind::Markov(MarkovConfig::default())
+    }
+}
+
+/// Configuration of a SPECTRE runtime (simulated or threaded).
+#[derive(Debug, Clone)]
+pub struct SpectreConfig {
+    /// Number of operator instances k (the paper's parallelization degree).
+    pub instances: usize,
+    /// Completion-probability predictor.
+    pub predictor: PredictorKind,
+    /// Events between consistency checks (`consistencyCheckFreq`,
+    /// paper Fig. 8).
+    pub consistency_check_freq: u32,
+    /// Splitter maintenance cycles happen every `sched_period` simulation
+    /// rounds (the threaded splitter cycles continuously).
+    pub sched_period: u32,
+    /// Maximum events the splitter ingests per maintenance cycle.
+    pub ingest_per_cycle: usize,
+    /// Soft cap on live window versions: ingestion stalls (once the root
+    /// window is fully ingested) while the tree is larger, bounding
+    /// speculative fan-out.
+    pub max_tree_versions: usize,
+    /// Checkpoint interval in events, or `None` to roll back to the window
+    /// start (the paper's final design: "the overhead in periodically
+    /// checkpointing all window versions is much higher than the gain from
+    /// recovering from checkpoints", §3.3). `Some(n)` snapshots a version's
+    /// state at clean cuts (no open partial match) every ≥ `n` events and
+    /// restores from the snapshot on rollback when it is still consistent.
+    pub checkpoint_freq: Option<u32>,
+}
+
+impl Default for SpectreConfig {
+    fn default() -> Self {
+        SpectreConfig {
+            instances: 4,
+            predictor: PredictorKind::default(),
+            consistency_check_freq: 64,
+            sched_period: 1,
+            ingest_per_cycle: 64,
+            max_tree_versions: 8192,
+            checkpoint_freq: None,
+        }
+    }
+}
+
+impl SpectreConfig {
+    /// Convenience constructor for `k` instances with defaults otherwise.
+    pub fn with_instances(instances: usize) -> Self {
+        SpectreConfig {
+            instances,
+            ..Default::default()
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero instances, zero check frequency, zero scheduling
+    /// period or an out-of-range fixed probability.
+    pub fn validate(&self) {
+        assert!(self.instances > 0, "need at least one operator instance");
+        assert!(
+            self.consistency_check_freq > 0,
+            "consistency check frequency must be positive"
+        );
+        assert!(self.sched_period > 0, "scheduling period must be positive");
+        assert!(
+            self.ingest_per_cycle > 0,
+            "ingest batch must be positive"
+        );
+        assert!(
+            self.checkpoint_freq != Some(0),
+            "checkpoint interval must be positive"
+        );
+        if let PredictorKind::Fixed(p) = self.predictor {
+            assert!((0.0..=1.0).contains(&p), "fixed probability out of range");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        SpectreConfig::default().validate();
+        SpectreConfig::with_instances(32).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one operator instance")]
+    fn zero_instances_rejected() {
+        SpectreConfig::with_instances(0).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "fixed probability out of range")]
+    fn bad_fixed_probability_rejected() {
+        SpectreConfig {
+            predictor: PredictorKind::Fixed(2.0),
+            ..Default::default()
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,348 @@
+//! Completion-probability-driven elasticity (paper §4.2.1, discussion).
+//!
+//! The paper observes that SPECTRE's parallelization-to-throughput ratio
+//! "largely depends on the completion probability of partial matches" and
+//! that existing elasticity mechanisms (event-rate or CPU driven) miss this
+//! factor: "Using the described throughput curves, SPECTRE could adapt the
+//! number of operator instances based on the current pattern completion
+//! probability." This module implements that proposal.
+//!
+//! The key quantity is the *speculative efficiency* of `k` operator
+//! instances: the expected number of instances working on window versions
+//! that survive. SPECTRE schedules the `k` window versions with the highest
+//! survival probability; under the simplifying model of one consumption
+//! group per window with completion probability `p`, the dependency tree is
+//! a binary tree whose edges carry probability `p` (completion) and `1 − p`
+//! (abandon), and the survival probability of a version is the product
+//! along its root path. The expected useful parallelism is therefore the
+//! sum of the `k` largest path products — computable greedily with the same
+//! max-heap traversal as the scheduler's top-k selection (paper Fig. 6).
+//!
+//! [`ElasticController`] smooths observed completion probabilities and
+//! recommends the largest `k` whose marginal efficiency stays above a
+//! threshold: at `p ≈ 0` or `p ≈ 1` every added instance is useful (the
+//! tree degenerates to a path and efficiency grows linearly, matching the
+//! paper's near-linear scaling), while at `p ≈ 0.5` marginal gains halve
+//! level by level and the controller caps the parallelism (matching the
+//! throughput plateau at 8 instances in Fig. 10(a)/(b)).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Expected number of *useful* operator instances when scheduling the top-k
+/// window versions of an idealized dependency tree with uniform completion
+/// probability `p`.
+///
+/// The returned value is `Σ` of the `k` largest products of edge
+/// probabilities over the infinite binary speculation tree; it lies in
+/// `[1, k]` for `k ≥ 1` and equals `k` exactly when `p` is 0 or 1.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use spectre_core::elastic::speculative_efficiency;
+///
+/// // Deterministic outcome: all k instances do useful work.
+/// assert!((speculative_efficiency(1.0, 8) - 8.0).abs() < 1e-9);
+/// // Maximum uncertainty: adding instances has quickly vanishing value.
+/// let e8 = speculative_efficiency(0.5, 8);
+/// assert!(e8 < 4.0);
+/// ```
+pub fn speculative_efficiency(p: f64, k: usize) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    if k == 0 {
+        return 0.0;
+    }
+    // Max-heap of path products; each popped path spawns its two children.
+    // Identical to the scheduler's top-k traversal (paper Fig. 6) on the
+    // idealized uniform tree.
+    #[derive(PartialEq)]
+    struct Path(f64);
+    impl Eq for Path {}
+    impl PartialOrd for Path {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Path {
+        fn cmp(&self, other: &Self) -> Ordering {
+            self.0.total_cmp(&other.0)
+        }
+    }
+
+    let mut heap = BinaryHeap::new();
+    heap.push(Path(1.0));
+    let mut sum = 0.0;
+    for _ in 0..k {
+        let Some(Path(prob)) = heap.pop() else { break };
+        sum += prob;
+        if prob > 0.0 {
+            heap.push(Path(prob * p));
+            heap.push(Path(prob * (1.0 - p)));
+        }
+    }
+    sum
+}
+
+/// Configuration of the [`ElasticController`].
+#[derive(Debug, Clone)]
+pub struct ElasticConfig {
+    /// Smallest recommendation.
+    pub min_instances: usize,
+    /// Largest recommendation (the machine's core budget).
+    pub max_instances: usize,
+    /// Minimum marginal efficiency an added instance must contribute
+    /// (`0 < threshold ≤ 1`); higher values scale out more conservatively.
+    pub marginal_threshold: f64,
+    /// Exponential-smoothing factor for observed completion probabilities.
+    pub smoothing: f64,
+}
+
+impl Default for ElasticConfig {
+    fn default() -> Self {
+        ElasticConfig {
+            min_instances: 1,
+            max_instances: 32,
+            marginal_threshold: 0.25,
+            smoothing: 0.3,
+        }
+    }
+}
+
+impl ElasticConfig {
+    fn validate(&self) {
+        assert!(self.min_instances >= 1, "need at least one instance");
+        assert!(
+            self.max_instances >= self.min_instances,
+            "max_instances < min_instances"
+        );
+        assert!(
+            self.marginal_threshold > 0.0 && self.marginal_threshold <= 1.0,
+            "marginal_threshold must be in (0, 1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.smoothing),
+            "smoothing must be in [0, 1]"
+        );
+    }
+}
+
+/// Recommends an operator-instance count from observed consumption-group
+/// completion probabilities.
+///
+/// # Example
+///
+/// ```
+/// use spectre_core::elastic::{ElasticConfig, ElasticController};
+///
+/// let mut ctl = ElasticController::new(ElasticConfig {
+///     max_instances: 32,
+///     ..Default::default()
+/// });
+/// // All partial matches complete: full scale-out pays off.
+/// for _ in 0..32 { ctl.observe(1.0); }
+/// assert_eq!(ctl.recommend(), 32);
+/// // Coin-flip completion: speculation waste caps useful parallelism.
+/// for _ in 0..64 { ctl.observe(0.5); }
+/// assert!(ctl.recommend() <= 8);
+/// ```
+#[derive(Debug)]
+pub struct ElasticController {
+    config: ElasticConfig,
+    estimate: f64,
+    observations: u64,
+}
+
+impl ElasticController {
+    /// Creates a controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (see [`ElasticConfig`]).
+    pub fn new(config: ElasticConfig) -> Self {
+        config.validate();
+        ElasticController {
+            config,
+            estimate: 0.5,
+            observations: 0,
+        }
+    }
+
+    /// Feeds one observed completion probability (e.g. the ratio of
+    /// completed to created consumption groups over the last measurement
+    /// interval, or a prediction-model average).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn observe(&mut self, p: f64) {
+        assert!((0.0..=1.0).contains(&p), "p must be a probability");
+        if self.observations == 0 {
+            self.estimate = p;
+        } else {
+            let a = self.config.smoothing;
+            self.estimate = (1.0 - a) * self.estimate + a * p;
+        }
+        self.observations += 1;
+    }
+
+    /// The smoothed completion-probability estimate.
+    pub fn estimate(&self) -> f64 {
+        self.estimate
+    }
+
+    /// Number of observations fed so far.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// The recommended number of operator instances for the current
+    /// completion-probability estimate: the largest `k` (within bounds)
+    /// whose last added instance still contributes at least
+    /// `marginal_threshold` expected useful work.
+    pub fn recommend(&self) -> usize {
+        recommend_for(&self.config, self.estimate)
+    }
+}
+
+/// Stateless core of [`ElasticController::recommend`].
+pub fn recommend_for(config: &ElasticConfig, p: f64) -> usize {
+    config.validate();
+    let mut best = config.min_instances;
+    let mut prev = speculative_efficiency(p, config.min_instances);
+    for k in (config.min_instances + 1)..=config.max_instances {
+        let eff = speculative_efficiency(p, k);
+        if eff - prev < config.marginal_threshold {
+            break;
+        }
+        prev = eff;
+        best = k;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiency_is_linear_at_certainty() {
+        for k in [1usize, 2, 8, 32] {
+            assert!((speculative_efficiency(1.0, k) - k as f64).abs() < 1e-9);
+            assert!((speculative_efficiency(0.0, k) - k as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn efficiency_is_bounded_and_monotone_in_k() {
+        for &p in &[0.1, 0.3, 0.5, 0.7, 0.9] {
+            let mut prev = 0.0;
+            for k in 1..=64 {
+                let e = speculative_efficiency(p, k);
+                assert!(e >= prev - 1e-12, "monotone in k");
+                assert!(e <= k as f64 + 1e-12, "bounded by k");
+                assert!(e >= 1.0 - 1e-12, "the root version always survives");
+                prev = e;
+            }
+        }
+    }
+
+    #[test]
+    fn half_probability_matches_breadth_analysis() {
+        // Paper §4.2.1: at 50 % the tree is explored in breadth — 1 version
+        // of the first window, 2 of the second, 4 of the third, … with
+        // survival probabilities 1, ½, ½, ¼, ¼, ¼, ¼, …
+        let e1 = speculative_efficiency(0.5, 1);
+        let e3 = speculative_efficiency(0.5, 3);
+        let e7 = speculative_efficiency(0.5, 7);
+        assert!((e1 - 1.0).abs() < 1e-9);
+        assert!((e3 - 2.0).abs() < 1e-9);
+        assert!((e7 - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn efficiency_is_symmetric_in_p() {
+        for k in [1usize, 4, 16] {
+            for &p in &[0.1, 0.25, 0.4] {
+                let a = speculative_efficiency(p, k);
+                let b = speculative_efficiency(1.0 - p, k);
+                assert!((a - b).abs() < 1e-9, "p and 1−p are mirror trees");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_instances_have_zero_efficiency() {
+        assert_eq!(speculative_efficiency(0.7, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn efficiency_rejects_bad_probability() {
+        let _ = speculative_efficiency(1.5, 4);
+    }
+
+    #[test]
+    fn recommendation_scales_with_certainty() {
+        let config = ElasticConfig::default();
+        let certain = recommend_for(&config, 1.0);
+        let coin = recommend_for(&config, 0.5);
+        let skewed = recommend_for(&config, 0.9);
+        assert_eq!(certain, config.max_instances);
+        assert!(coin < skewed || skewed == config.max_instances);
+        assert!(coin <= 8, "50% completion caps parallelism, got {coin}");
+        assert!(coin >= 1);
+    }
+
+    #[test]
+    fn recommendation_respects_bounds() {
+        let config = ElasticConfig {
+            min_instances: 4,
+            max_instances: 6,
+            ..Default::default()
+        };
+        for &p in &[0.0, 0.5, 1.0] {
+            let k = recommend_for(&config, p);
+            assert!((4..=6).contains(&k));
+        }
+    }
+
+    #[test]
+    fn controller_smooths_observations() {
+        let mut ctl = ElasticController::new(ElasticConfig::default());
+        assert_eq!(ctl.observations(), 0);
+        ctl.observe(1.0);
+        assert!((ctl.estimate() - 1.0).abs() < 1e-12, "first observation is adopted");
+        ctl.observe(0.0);
+        assert!(ctl.estimate() > 0.5, "smoothing dampens the jump");
+        assert_eq!(ctl.observations(), 2);
+    }
+
+    #[test]
+    fn controller_tracks_regime_changes() {
+        let mut ctl = ElasticController::new(ElasticConfig::default());
+        for _ in 0..64 {
+            ctl.observe(1.0);
+        }
+        let high = ctl.recommend();
+        for _ in 0..64 {
+            ctl.observe(0.5);
+        }
+        let low = ctl.recommend();
+        assert!(high > low, "uncertain regime must reduce parallelism");
+    }
+
+    #[test]
+    #[should_panic(expected = "max_instances")]
+    fn bad_bounds_rejected() {
+        let _ = ElasticController::new(ElasticConfig {
+            min_instances: 8,
+            max_instances: 2,
+            ..Default::default()
+        });
+    }
+}

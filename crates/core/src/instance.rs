@@ -1,0 +1,713 @@
+//! Operator-instance event processing (paper Fig. 8).
+//!
+//! Each instance repeatedly: checks its scheduling slot, fetches the next
+//! event of its current window version, suppresses it if a
+//! assumed-completed consumption group contains it, otherwise feeds it to
+//! the version's pattern detector and translates the feedback into
+//! consumption-group updates and buffered dependency-tree operations.
+//! Periodic consistency checks detect late consumption-group updates and
+//! roll the version back to the window start.
+
+use std::sync::Arc;
+
+use spectre_query::{DetectorAction, MatchId, SelectionPolicy};
+
+use crate::cg::CgCell;
+use crate::shared::{SharedState, StatsBatch, TreeOp};
+use crate::version::{VersionInner, VersionState};
+
+/// Outcome of one instance step (used by the drivers for accounting and
+/// back-off decisions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// An event was processed (or suppressed) — useful work.
+    Worked,
+    /// The current version finished its window.
+    Finished,
+    /// No version scheduled, or the scheduled version is finished/dropped.
+    Idle,
+    /// The version's next event has not been ingested yet.
+    Stalled,
+    /// A consistency violation was detected; the version was reset.
+    RolledBack,
+}
+
+/// One operator instance's local state.
+#[derive(Debug)]
+pub struct InstanceCore {
+    index: usize,
+    check_freq: u32,
+    checkpoint_freq: Option<u32>,
+    current: Option<Arc<VersionState>>,
+    actions: Vec<DetectorAction>,
+    stats: Vec<(u32, u32)>,
+}
+
+impl InstanceCore {
+    /// Creates the instance for scheduling slot `index`.
+    pub fn new(index: usize, check_freq: u32) -> Self {
+        assert!(check_freq > 0, "check frequency must be positive");
+        InstanceCore {
+            index,
+            check_freq,
+            checkpoint_freq: None,
+            current: None,
+            actions: Vec::new(),
+            stats: Vec::new(),
+        }
+    }
+
+    /// Enables periodic checkpointing (the §3.3 ablation; the paper's final
+    /// design rolls back to the window start instead).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freq` is `Some(0)`.
+    pub fn with_checkpoints(mut self, freq: Option<u32>) -> Self {
+        assert!(freq != Some(0), "checkpoint interval must be positive");
+        self.checkpoint_freq = freq;
+        self
+    }
+
+    /// The instance's slot index.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Performs one processing step (one event of the scheduled window
+    /// version), per paper Fig. 8.
+    pub fn step(&mut self, shared: &SharedState) -> StepOutcome {
+        use std::sync::atomic::Ordering;
+
+        // Pick up a scheduling change (Fig. 8 lines 7–9).
+        {
+            let slot = shared.slots[self.index].lock();
+            let differs = match (&self.current, &*slot) {
+                (Some(a), Some(b)) => !Arc::ptr_eq(a, b),
+                (None, None) => false,
+                _ => true,
+            };
+            if differs {
+                self.current = slot.clone();
+            }
+        }
+        let Some(wv) = self.current.clone() else {
+            shared.metrics.idle_steps.fetch_add(1, Ordering::Relaxed);
+            return StepOutcome::Idle;
+        };
+        if wv.is_dropped() || wv.is_finished() {
+            shared.metrics.idle_steps.fetch_add(1, Ordering::Relaxed);
+            return StepOutcome::Idle;
+        }
+
+        let mut inner = wv.lock();
+        let pos = wv.window().start_pos + inner.pos;
+
+        // Window end?
+        if let Some(end) = wv.window().end_pos() {
+            if pos >= end {
+                self.finish(&wv, &mut inner, shared);
+                return StepOutcome::Finished;
+            }
+        }
+        if pos >= shared.ingested.load(Ordering::Acquire) {
+            shared.metrics.stalled_steps.fetch_add(1, Ordering::Relaxed);
+            return StepOutcome::Stalled;
+        }
+        let Some(ev) = shared.store.get(pos) else {
+            // Pruned or racing: treat as stall; the splitter keeps live
+            // windows' events resident.
+            shared.metrics.stalled_steps.fetch_add(1, Ordering::Relaxed);
+            return StepOutcome::Stalled;
+        };
+        inner.pos += 1;
+
+        // Suppression (Fig. 8 line 13).
+        let suppressed = wv.suppressed().iter().any(|cg| cg.contains(ev.seq()));
+        if suppressed {
+            inner.detector.on_suppressed();
+            shared
+                .metrics
+                .events_suppressed
+                .fetch_add(1, Ordering::Relaxed);
+        } else {
+            let prev_delta = inner.open_cgs.first().map(|(_, cg)| cg.delta());
+            let max_delta = wv.query().pattern().max_delta();
+
+            debug_assert!(
+                inner.used.last().is_none_or(|&last| last < ev.seq()),
+                "input stream must be seq-ordered"
+            );
+            inner.used.push(ev.seq());
+            self.actions.clear();
+            let mut actions = std::mem::take(&mut self.actions);
+            inner.detector.on_event(&ev, &mut actions);
+            let consuming = !wv.query().consumption().is_none();
+            let mut abandoned_any = false;
+            let mut started_any = false;
+            for action in actions.drain(..) {
+                match action {
+                    DetectorAction::MatchStarted { match_id } => {
+                        started_any = true;
+                        if consuming {
+                            self.create_cg(&wv, &mut inner, shared, match_id, max_delta);
+                        }
+                    }
+                    DetectorAction::EventAdded {
+                        match_id,
+                        seq,
+                        consumable,
+                        delta,
+                    } => {
+                        if !consuming {
+                            continue;
+                        }
+                        // EachLast: a completed match keeps matching; its
+                        // next event opens a new consumption group.
+                        if let Some(i) =
+                            inner.needs_new_cg.iter().position(|m| *m == match_id)
+                        {
+                            inner.needs_new_cg.swap_remove(i);
+                            self.create_cg(&wv, &mut inner, shared, match_id, delta);
+                        }
+                        if let Some((_, cg)) =
+                            inner.open_cgs.iter().find(|(m, _)| *m == match_id)
+                        {
+                            if consumable {
+                                cg.add_event(seq, delta, inner.pos);
+                            } else {
+                                cg.touch(delta, inner.pos);
+                            }
+                        }
+                    }
+                    DetectorAction::Completed {
+                        match_id, complex, ..
+                    } => {
+                        inner.outputs.push(complex);
+                        if !consuming {
+                            continue;
+                        }
+                        if let Some(i) =
+                            inner.open_cgs.iter().position(|(m, _)| *m == match_id)
+                        {
+                            let (_, cg) = inner.open_cgs.swap_remove(i);
+                            cg.complete();
+                            shared.ops.push(TreeOp::CgResolved {
+                                cg: cg.id(),
+                                completed: true,
+                            });
+                            shared
+                                .metrics
+                                .cgs_completed
+                                .fetch_add(1, Ordering::Relaxed);
+                            // Remember the completion: checkpoint restores
+                            // re-assert these as suppression facts for the
+                            // rebuilt dependents.
+                            inner.completed_cells.push(cg);
+                        }
+                        if wv.query().selection() == SelectionPolicy::EachLast {
+                            inner.needs_new_cg.push(match_id);
+                        }
+                    }
+                    DetectorAction::Abandoned { match_id } => {
+                        abandoned_any = true;
+                        if !consuming {
+                            continue;
+                        }
+                        if let Some(i) =
+                            inner.open_cgs.iter().position(|(m, _)| *m == match_id)
+                        {
+                            let (_, cg) = inner.open_cgs.swap_remove(i);
+                            cg.abandon();
+                            shared.ops.push(TreeOp::CgResolved {
+                                cg: cg.id(),
+                                completed: false,
+                            });
+                            shared
+                                .metrics
+                                .cgs_abandoned
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
+                        if let Some(i) =
+                            inner.needs_new_cg.iter().position(|m| *m == match_id)
+                        {
+                            inner.needs_new_cg.swap_remove(i);
+                        }
+                    }
+                }
+            }
+            self.actions = actions;
+
+            // Markov statistics: observed δ transition of this event, taken
+            // from non-speculative versions only (paper §3.2.1: statistics
+            // are gathered by versions of independent windows).
+            if wv.suppressed().is_empty() && !abandoned_any {
+                let new_delta = inner.open_cgs.first().map(|(_, cg)| cg.delta());
+                match (prev_delta, new_delta) {
+                    (Some(from), Some(to)) => self.record(shared, from, to),
+                    (Some(from), None) => self.record(shared, from, 0), // completed
+                    (None, Some(to)) if started_any => {
+                        self.record(shared, max_delta, to)
+                    }
+                    _ => {}
+                }
+            }
+            shared
+                .metrics
+                .events_processed
+                .fetch_add(1, Ordering::Relaxed);
+        }
+
+        // Periodic consistency check (Fig. 8 lines 31–45).
+        inner.steps_since_check += 1;
+        if inner.steps_since_check >= self.check_freq {
+            inner.steps_since_check = 0;
+            if !consistency_check(&wv, &mut inner) {
+                drop(inner);
+                self.rollback(&wv, shared);
+                return StepOutcome::RolledBack;
+            }
+        }
+
+        // Checkpoint at clean cuts (§3.3 ablation): no open partial match,
+        // so restoring never resurrects an already-resolved group.
+        if let Some(freq) = self.checkpoint_freq {
+            let due = inner
+                .checkpoint
+                .as_ref()
+                .map_or(inner.pos >= freq as u64, |cp| {
+                    inner.pos - cp.pos >= freq as u64
+                });
+            if due && inner.open_cgs.is_empty() && inner.needs_new_cg.is_empty() {
+                inner.checkpoint = Some(Box::new(crate::version::Checkpoint {
+                    detector: inner.detector.clone(),
+                    pos: inner.pos,
+                    outputs: inner.outputs.clone(),
+                    used: inner.used.clone(),
+                    completed_cells: inner.completed_cells.clone(),
+                }));
+                shared
+                    .metrics
+                    .checkpoints_taken
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        StepOutcome::Worked
+    }
+
+    fn create_cg(
+        &mut self,
+        wv: &Arc<VersionState>,
+        inner: &mut VersionInner,
+        shared: &SharedState,
+        match_id: MatchId,
+        initial_delta: usize,
+    ) {
+        use std::sync::atomic::Ordering;
+        let cell = Arc::new(CgCell::new(
+            shared.alloc_cg_id(),
+            wv.window().id,
+            initial_delta,
+        ));
+        inner.open_cgs.push((match_id, Arc::clone(&cell)));
+        shared.ops.push(TreeOp::CgCreated {
+            creator: wv.id(),
+            cell,
+        });
+        shared.metrics.cgs_created.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn record(&mut self, shared: &SharedState, from: usize, to: usize) {
+        self.stats.push((from.min(u32::MAX as usize) as u32, to as u32));
+        if self.stats.len() >= 256 {
+            self.flush_stats(shared);
+        }
+    }
+
+    /// Flushes buffered Markov observations.
+    pub fn flush_stats(&mut self, shared: &SharedState) {
+        if !self.stats.is_empty() {
+            shared.stats.push(StatsBatch {
+                transitions: std::mem::take(&mut self.stats),
+            });
+        }
+    }
+
+    fn finish(
+        &mut self,
+        wv: &Arc<VersionState>,
+        inner: &mut VersionInner,
+        shared: &SharedState,
+    ) {
+        use std::sync::atomic::Ordering;
+        self.actions.clear();
+        let mut actions = std::mem::take(&mut self.actions);
+        inner.detector.on_window_end(&mut actions);
+        for action in actions.drain(..) {
+            if let DetectorAction::Abandoned { match_id } = action {
+                if let Some(i) = inner.open_cgs.iter().position(|(m, _)| *m == match_id) {
+                    let (_, cg) = inner.open_cgs.swap_remove(i);
+                    cg.abandon();
+                    shared.ops.push(TreeOp::CgResolved {
+                        cg: cg.id(),
+                        completed: false,
+                    });
+                    shared
+                        .metrics
+                        .cgs_abandoned
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        self.actions = actions;
+        // Defensive: no group may stay open past its window (paper §3.1).
+        for (_, cg) in inner.open_cgs.drain(..) {
+            cg.abandon();
+            shared.ops.push(TreeOp::CgResolved {
+                cg: cg.id(),
+                completed: false,
+            });
+        }
+        inner.needs_new_cg.clear();
+        wv.mark_finished();
+        shared.ops.push(TreeOp::WvFinished { wv: wv.id() });
+        self.flush_stats(shared);
+    }
+
+    fn rollback(&mut self, wv: &Arc<VersionState>, shared: &SharedState) {
+        use std::sync::atomic::Ordering;
+        shared.metrics.rollbacks.fetch_add(1, Ordering::Relaxed);
+        if wv.rollback_state() {
+            shared
+                .metrics
+                .checkpoint_restores
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        shared.ops.push(TreeOp::WvRolledBack { wv: wv.id() });
+    }
+}
+
+/// The consistency check of paper Fig. 8 (lines 31–45): for every suppressed
+/// group whose event set changed since the last check, verify none of its
+/// events were erroneously processed. Returns `false` on inconsistency.
+fn consistency_check(wv: &VersionState, inner: &mut VersionInner) -> bool {
+    for (i, cg) in wv.suppressed().iter().enumerate() {
+        let version = cg.version();
+        if version != inner.seen_versions[i] {
+            if cg.intersects_sorted(&inner.used) {
+                return false;
+            }
+            inner.seen_versions[i] = version;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cg::CgId;
+    use crate::store::WindowInfo;
+    use crate::version::WvId;
+    use spectre_events::{AttrKey, Event, EventType, Seq};
+    use spectre_query::{ConsumptionPolicy, Expr, Pattern, Query, WindowSpec};
+
+    fn query(consumption: ConsumptionPolicy) -> Arc<Query> {
+        let x = AttrKey::new(0);
+        Arc::new(
+            Query::builder("t")
+                .pattern(
+                    Pattern::builder()
+                        .one("A", Expr::current(x).eq_(Expr::value(1.0)))
+                        .one("B", Expr::current(x).eq_(Expr::value(2.0)))
+                        .build()
+                        .unwrap(),
+                )
+                .window(WindowSpec::count_sliding(4, 4).unwrap())
+                .consumption(consumption)
+                .build()
+                .unwrap(),
+        )
+    }
+
+    fn ev(seq: Seq, x: f64) -> Event {
+        Event::builder(EventType::new(0))
+            .seq(seq)
+            .ts(seq)
+            .attr(AttrKey::new(0), x)
+            .build()
+    }
+
+    fn setup(
+        consumption: ConsumptionPolicy,
+        events: &[Event],
+        suppressed: Vec<Arc<CgCell>>,
+    ) -> (Arc<SharedState>, Arc<VersionState>, InstanceCore) {
+        let shared = SharedState::new(1);
+        for e in events {
+            shared.store.append(e.clone());
+        }
+        shared
+            .ingested
+            .store(events.len() as u64, std::sync::atomic::Ordering::Release);
+        let window = Arc::new(WindowInfo::new(0, 0, 0, 0));
+        window.set_end_pos(events.len() as u64);
+        let wv = VersionState::new(WvId(0), window, query(consumption), suppressed);
+        *shared.slots[0].lock() = Some(Arc::clone(&wv));
+        let inst = InstanceCore::new(0, 2);
+        (shared, wv, inst)
+    }
+
+    #[test]
+    fn processes_window_and_buffers_outputs() {
+        let events = [ev(0, 1.0), ev(1, 9.0), ev(2, 2.0), ev(3, 9.0)];
+        let (shared, wv, mut inst) = setup(ConsumptionPolicy::All, &events, vec![]);
+        for _ in 0..4 {
+            assert_eq!(inst.step(&shared), StepOutcome::Worked);
+        }
+        assert_eq!(inst.step(&shared), StepOutcome::Finished);
+        assert!(wv.is_finished());
+        let inner = wv.lock();
+        assert_eq!(inner.outputs.len(), 1);
+        assert_eq!(inner.outputs[0].constituents, vec![0, 2]);
+        // CG created and completed
+        let snap = shared.metrics.snapshot();
+        assert_eq!(snap.cgs_created, 1);
+        assert_eq!(snap.cgs_completed, 1);
+        assert_eq!(snap.events_processed, 4);
+    }
+
+    #[test]
+    fn finished_version_goes_idle() {
+        let events = [ev(0, 9.0)];
+        let (shared, _wv, mut inst) = setup(ConsumptionPolicy::All, &events, vec![]);
+        assert_eq!(inst.step(&shared), StepOutcome::Worked);
+        assert_eq!(inst.step(&shared), StepOutcome::Finished);
+        assert_eq!(inst.step(&shared), StepOutcome::Idle);
+    }
+
+    #[test]
+    fn empty_slot_is_idle() {
+        let shared = SharedState::new(1);
+        let mut inst = InstanceCore::new(0, 4);
+        assert_eq!(inst.step(&shared), StepOutcome::Idle);
+        assert_eq!(shared.metrics.snapshot().idle_steps, 1);
+    }
+
+    #[test]
+    fn stalls_until_ingested() {
+        let events = [ev(0, 1.0)];
+        let (shared, _wv, mut inst) = setup(ConsumptionPolicy::All, &events, vec![]);
+        shared
+            .ingested
+            .store(0, std::sync::atomic::Ordering::Release);
+        assert_eq!(inst.step(&shared), StepOutcome::Stalled);
+        shared
+            .ingested
+            .store(1, std::sync::atomic::Ordering::Release);
+        assert_eq!(inst.step(&shared), StepOutcome::Worked);
+    }
+
+    #[test]
+    fn suppressed_events_are_skipped() {
+        // Suppress event 0 (the A): no match can start on it.
+        let cg = Arc::new(CgCell::new(CgId(99), 0, 1));
+        cg.add_event(0, 1, 0);
+        let events = [ev(0, 1.0), ev(1, 2.0)];
+        let (shared, wv, mut inst) =
+            setup(ConsumptionPolicy::All, &events, vec![Arc::clone(&cg)]);
+        inst.step(&shared);
+        inst.step(&shared);
+        inst.step(&shared);
+        assert!(wv.is_finished());
+        assert!(wv.lock().outputs.is_empty());
+        let snap = shared.metrics.snapshot();
+        assert_eq!(snap.events_suppressed, 1);
+        assert_eq!(snap.events_processed, 1);
+    }
+
+    #[test]
+    fn late_cg_update_triggers_rollback() {
+        let cg = Arc::new(CgCell::new(CgId(99), 0, 1));
+        let events = [ev(0, 1.0), ev(1, 9.0), ev(2, 2.0), ev(3, 9.0)];
+        let (shared, wv, mut inst) =
+            setup(ConsumptionPolicy::All, &events, vec![Arc::clone(&cg)]);
+        // process events 0 and 1 (check_freq = 2 → check after step 2, no
+        // violation yet)
+        assert_eq!(inst.step(&shared), StepOutcome::Worked);
+        assert_eq!(inst.step(&shared), StepOutcome::Worked);
+        // the suppressed group *now* receives already-processed event 0
+        cg.add_event(0, 0, 0);
+        assert_eq!(inst.step(&shared), StepOutcome::Worked);
+        // next check (after step 4) detects the violation
+        let out = inst.step(&shared);
+        assert_eq!(out, StepOutcome::RolledBack);
+        assert_eq!(shared.metrics.snapshot().rollbacks, 1);
+        // version reset to the start
+        let inner = wv.lock();
+        assert_eq!(inner.pos, 0);
+        assert!(inner.used.is_empty());
+        // and the splitter was told
+        let mut saw_rollback_op = false;
+        while let Some(op) = shared.ops.pop() {
+            if matches!(op, TreeOp::WvRolledBack { wv: w } if w == WvId(0)) {
+                saw_rollback_op = true;
+            }
+        }
+        assert!(saw_rollback_op);
+    }
+
+    #[test]
+    fn rollback_reprocesses_correctly() {
+        let cg = Arc::new(CgCell::new(CgId(99), 0, 1));
+        let events = [ev(0, 1.0), ev(1, 1.0), ev(2, 2.0), ev(3, 9.0)];
+        let (shared, wv, mut inst) =
+            setup(ConsumptionPolicy::All, &events, vec![Arc::clone(&cg)]);
+        inst.step(&shared);
+        inst.step(&shared);
+        // suppress event 0 after it was processed → rollback at next check
+        cg.add_event(0, 0, 0);
+        let mut rolled = false;
+        for _ in 0..12 {
+            if inst.step(&shared) == StepOutcome::RolledBack {
+                rolled = true;
+                break;
+            }
+        }
+        assert!(rolled);
+        // reprocess: event 0 now suppressed; match starts at event 1 instead
+        loop {
+            match inst.step(&shared) {
+                StepOutcome::Finished => break,
+                StepOutcome::Worked => {}
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        {
+            let inner = wv.lock();
+            assert_eq!(inner.outputs.len(), 1);
+            assert_eq!(inner.outputs[0].constituents, vec![1, 2]);
+        }
+        // Note: is_consistent locks the version state internally, so the
+        // guard above must be released first.
+        assert!(wv.is_consistent());
+    }
+
+    #[test]
+    fn window_end_abandons_open_groups() {
+        let events = [ev(0, 1.0), ev(1, 9.0)];
+        let (shared, wv, mut inst) = setup(ConsumptionPolicy::All, &events, vec![]);
+        inst.step(&shared);
+        inst.step(&shared);
+        assert_eq!(inst.step(&shared), StepOutcome::Finished);
+        assert!(wv.lock().open_cgs.is_empty());
+        let snap = shared.metrics.snapshot();
+        assert_eq!(snap.cgs_created, 1);
+        assert_eq!(snap.cgs_abandoned, 1);
+    }
+
+    #[test]
+    fn no_consumption_skips_cg_machinery() {
+        let events = [ev(0, 1.0), ev(1, 2.0)];
+        let (shared, wv, mut inst) = setup(ConsumptionPolicy::None, &events, vec![]);
+        inst.step(&shared);
+        inst.step(&shared);
+        inst.step(&shared);
+        assert!(wv.is_finished());
+        assert_eq!(wv.lock().outputs.len(), 1);
+        let snap = shared.metrics.snapshot();
+        assert_eq!(snap.cgs_created, 0);
+        // only the WvFinished op was queued
+        let mut count = 0;
+        while let Some(op) = shared.ops.pop() {
+            assert!(matches!(op, TreeOp::WvFinished { .. }));
+            count += 1;
+        }
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn checkpoint_taken_at_clean_cut() {
+        // 1 (A), 9, 9, 9 …: the match at event 0 never completes, so no
+        // clean cut happens until it is abandoned; a pure-noise stream
+        // checkpoints right away.
+        let events = [ev(0, 9.0), ev(1, 9.0), ev(2, 9.0), ev(3, 9.0)];
+        let (shared, wv, inst) = setup(ConsumptionPolicy::All, &events, vec![]);
+        let mut inst = InstanceCore::new(inst.index(), 2).with_checkpoints(Some(2));
+        inst.step(&shared);
+        inst.step(&shared);
+        assert_eq!(shared.metrics.snapshot().checkpoints_taken, 1);
+        assert_eq!(wv.lock().checkpoint.as_ref().unwrap().pos, 2);
+    }
+
+    #[test]
+    fn no_checkpoint_while_match_open() {
+        // Event 0 starts a match that never completes within the window:
+        // every position has an open group, so no snapshot is taken.
+        let events = [ev(0, 1.0), ev(1, 9.0), ev(2, 9.0), ev(3, 9.0)];
+        let (shared, wv, inst) = setup(ConsumptionPolicy::All, &events, vec![]);
+        let mut inst = InstanceCore::new(inst.index(), 2).with_checkpoints(Some(1));
+        for _ in 0..4 {
+            inst.step(&shared);
+        }
+        assert_eq!(shared.metrics.snapshot().checkpoints_taken, 0);
+        assert!(wv.lock().checkpoint.is_none());
+    }
+
+    #[test]
+    fn rollback_restores_consistent_checkpoint() {
+        // Process two noise events (checkpoint at pos 2), then an A whose
+        // event is later consumed by the suppressed group → rollback must
+        // resume from pos 2, not 0.
+        let cg = Arc::new(CgCell::new(CgId(99), 0, 1));
+        let events = [ev(0, 9.0), ev(1, 9.0), ev(2, 1.0), ev(3, 9.0)];
+        let (shared, wv, inst) =
+            setup(ConsumptionPolicy::All, &events, vec![Arc::clone(&cg)]);
+        let mut inst = InstanceCore::new(inst.index(), 2).with_checkpoints(Some(2));
+        inst.step(&shared);
+        inst.step(&shared); // checkpoint at pos 2
+        inst.step(&shared); // processes the A at seq 2
+        cg.add_event(2, 0, 0); // group consumes it retroactively
+        let out = inst.step(&shared); // check detects → rollback
+        assert_eq!(out, StepOutcome::RolledBack);
+        let snap = shared.metrics.snapshot();
+        assert_eq!(snap.rollbacks, 1);
+        assert_eq!(snap.checkpoint_restores, 1);
+        assert_eq!(wv.lock().pos, 2, "resumed from the checkpoint");
+    }
+
+    #[test]
+    fn conflicting_checkpoint_falls_back_to_full_reset() {
+        // The suppressed group consumes an event *before* the checkpoint:
+        // the snapshot itself is invalid and the reset goes to the start.
+        let cg = Arc::new(CgCell::new(CgId(99), 0, 1));
+        let events = [ev(0, 9.0), ev(1, 9.0), ev(2, 9.0), ev(3, 9.0)];
+        let (shared, wv, inst) =
+            setup(ConsumptionPolicy::All, &events, vec![Arc::clone(&cg)]);
+        let mut inst = InstanceCore::new(inst.index(), 2).with_checkpoints(Some(2));
+        inst.step(&shared);
+        inst.step(&shared); // checkpoint at pos 2 (used = [0, 1])
+        cg.add_event(1, 0, 0); // pre-checkpoint event consumed
+        inst.step(&shared);
+        let out = inst.step(&shared);
+        assert_eq!(out, StepOutcome::RolledBack);
+        let snap = shared.metrics.snapshot();
+        assert_eq!(snap.checkpoint_restores, 0, "checkpoint was inconsistent");
+        assert_eq!(wv.lock().pos, 0, "full reset");
+    }
+
+    #[test]
+    fn stats_flushed_on_finish() {
+        let events = [ev(0, 1.0), ev(1, 9.0), ev(2, 2.0)];
+        let (shared, _wv, mut inst) = setup(ConsumptionPolicy::All, &events, vec![]);
+        for _ in 0..4 {
+            inst.step(&shared);
+        }
+        let mut transitions = Vec::new();
+        while let Some(batch) = shared.stats.pop() {
+            transitions.extend(batch.transitions);
+        }
+        // A@0: start 2→1; noise@1: 1→1; B@2: 1→0.
+        assert_eq!(transitions, vec![(2, 1), (1, 1), (1, 0)]);
+    }
+}

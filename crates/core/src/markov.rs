@@ -1,0 +1,353 @@
+//! The Markov completion-probability model (paper §3.2.1, Fig. 5).
+//!
+//! Pattern completion is modeled as a discrete-time Markov process over the
+//! completion distance δ (δ = 0 means the pattern completed). A transition
+//! matrix `T1` is estimated from run-time statistics — the observed
+//! `δ_old → δ_new` transitions per processed event — and refreshed with
+//! exponential smoothing `T1 = (1 − α)·T1_old + α·T1_new` after every ρ new
+//! measurements. Powers `T_ℓ, T_2ℓ, …` are precomputed at step size ℓ and
+//! linearly interpolated, so predicting the completion probability of a
+//! consumption group with `n` expected remaining events is a constant-time
+//! lookup of entry `[δ][0]`.
+//!
+//! Deviation from the paper: the state space is capped at
+//! [`MarkovConfig::state_cap`] states (δ values above the cap saturate).
+//! The paper's examples use δ ≤ 3; query Q1 at q = 2560 would otherwise
+//! need a 2561² matrix with thousands of precomputed powers (see DESIGN.md).
+
+use crate::matrix::Matrix;
+
+/// Configuration of the [`MarkovModel`].
+#[derive(Debug, Clone)]
+pub struct MarkovConfig {
+    /// Exponential-smoothing factor α ∈ [0, 1] (paper default 0.7).
+    pub alpha: f64,
+    /// Precomputed power step size ℓ (paper default 10).
+    pub ell: u32,
+    /// Measurements per `T1` refresh ρ.
+    pub rho: u64,
+    /// Maximum number of δ states tracked (δ saturates above this).
+    pub state_cap: usize,
+    /// Maximum number of precomputed power levels (`T_ℓ … T_{L·ℓ}`);
+    /// predictions beyond saturate at the last level.
+    pub max_levels: usize,
+}
+
+impl Default for MarkovConfig {
+    fn default() -> Self {
+        MarkovConfig {
+            alpha: 0.7,
+            ell: 10,
+            rho: 512,
+            state_cap: 128,
+            max_levels: 128,
+        }
+    }
+}
+
+/// The adaptive Markov model. Owned and updated by the splitter; instances
+/// ship it `(δ_old, δ_new)` observations in batches.
+///
+/// # Example
+///
+/// ```
+/// use spectre_core::markov::{MarkovConfig, MarkovModel};
+///
+/// let mut model = MarkovModel::new(3, MarkovConfig { rho: 4, ..Default::default() });
+/// // Observe a pattern that always advances: 3→2→1→0.
+/// for _ in 0..4 {
+///     model.observe(3, 2);
+///     model.observe(2, 1);
+///     model.observe(1, 0);
+/// }
+/// model.refresh_if_due();
+/// // With many events left, completion from δ=3 is near certain.
+/// assert!(model.completion_probability(3, 100) > 0.9);
+/// ```
+#[derive(Debug)]
+pub struct MarkovModel {
+    config: MarkovConfig,
+    states: usize,
+    t1: Matrix,
+    counts: Matrix,
+    pending: u64,
+    powers: Vec<Matrix>,
+    dirty: bool,
+    refreshes: u64,
+}
+
+impl MarkovModel {
+    /// Creates a model for patterns with initial completion distance
+    /// `max_delta`; the state space is `min(max_delta, state_cap) + 1`
+    /// states.
+    ///
+    /// Before any statistics arrive the model uses an uninformative prior:
+    /// from every state, advance one step or stay with probability ½ each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `[0, 1]` or `ell` is zero.
+    pub fn new(max_delta: usize, config: MarkovConfig) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&config.alpha),
+            "alpha must be in [0, 1]"
+        );
+        assert!(config.ell > 0, "ell must be positive");
+        let states = max_delta.min(config.state_cap) + 1;
+        let mut t1 = Matrix::identity(states);
+        for i in 1..states {
+            t1[(i, i)] = 0.5;
+            t1[(i, i - 1)] = 0.5;
+        }
+        let mut model = MarkovModel {
+            config,
+            states,
+            t1,
+            counts: Matrix::zeros(states),
+            pending: 0,
+            powers: Vec::new(),
+            dirty: true,
+            refreshes: 0,
+        };
+        model.rebuild_powers();
+        model
+    }
+
+    /// Number of δ states (including state 0).
+    pub fn state_count(&self) -> usize {
+        self.states
+    }
+
+    /// Number of `T1` refreshes performed so far.
+    pub fn refresh_count(&self) -> u64 {
+        self.refreshes
+    }
+
+    /// Maps a completion distance onto the (possibly saturated) state index.
+    pub fn clamp_delta(&self, delta: usize) -> usize {
+        delta.min(self.states - 1)
+    }
+
+    /// Records one observed transition `δ_old → δ_new`.
+    pub fn observe(&mut self, delta_old: usize, delta_new: usize) {
+        let from = self.clamp_delta(delta_old);
+        let to = self.clamp_delta(delta_new);
+        self.counts[(from, to)] += 1.0;
+        self.pending += 1;
+    }
+
+    /// Records a batch of transitions.
+    pub fn observe_batch(&mut self, transitions: &[(u32, u32)]) {
+        for &(from, to) in transitions {
+            self.observe(from as usize, to as usize);
+        }
+    }
+
+    /// Refreshes `T1` (exponential smoothing) and the precomputed powers if ρ
+    /// new measurements accumulated. Returns `true` if a refresh happened.
+    pub fn refresh_if_due(&mut self) -> bool {
+        if self.pending < self.config.rho {
+            return false;
+        }
+        let mut t_new = self.counts.clone();
+        t_new.row_normalize();
+        self.t1 = self.t1.lerp(&t_new, self.config.alpha);
+        self.counts = Matrix::zeros(self.states);
+        self.pending = 0;
+        self.dirty = true;
+        self.rebuild_powers();
+        self.refreshes += 1;
+        true
+    }
+
+    fn rebuild_powers(&mut self) {
+        if !self.dirty {
+            return;
+        }
+        let t_ell = self.t1.power(self.config.ell);
+        let mut powers = Vec::with_capacity(self.config.max_levels);
+        powers.push(t_ell.clone());
+        for _ in 1..self.config.max_levels {
+            let next = powers.last().expect("non-empty").multiply(&t_ell);
+            powers.push(next);
+        }
+        self.powers = powers;
+        self.dirty = false;
+    }
+
+    /// Completion probability of a consumption group with completion
+    /// distance `delta` when `events_left` more events are expected in its
+    /// window (paper Fig. 5).
+    ///
+    /// `events_left` is clamped to at least 1 ("at least 1 more event
+    /// expected") and the interpolation reads entry `[δ][0]` of
+    /// `T_n ≈ lerp(T_{⌊n/ℓ⌋·ℓ}, T_{⌈n/ℓ⌉·ℓ})`.
+    pub fn completion_probability(&self, delta: usize, events_left: i64) -> f64 {
+        let delta = self.clamp_delta(delta);
+        if delta == 0 {
+            return 1.0;
+        }
+        let n = events_left.max(1) as u64;
+        let ell = self.config.ell as u64;
+        // Level i holds T^{(i+1)·ℓ}.
+        let lo_level = n / ell; // T^{lo_level·ℓ}
+        let rem = n % ell;
+        let w = rem as f64 / ell as f64;
+        let max_level = self.powers.len() as u64;
+
+        let entry = |level: u64| -> f64 {
+            if level == 0 {
+                // T^0 = identity: probability 1 only from state 0.
+                0.0
+            } else {
+                let idx = (level.min(max_level) - 1) as usize;
+                self.powers[idx][(delta, 0)]
+            }
+        };
+        let lo = entry(lo_level);
+        let hi = entry(lo_level + 1);
+        (1.0 - w) * lo + w * hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config(rho: u64) -> MarkovConfig {
+        MarkovConfig {
+            rho,
+            ell: 4,
+            max_levels: 32,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn prior_gives_moderate_probabilities() {
+        let model = MarkovModel::new(3, small_config(10));
+        let p_short = model.completion_probability(3, 2);
+        let p_long = model.completion_probability(3, 100);
+        assert!(p_short < p_long, "{p_short} vs {p_long}");
+        assert!(p_long > 0.9);
+        assert_eq!(model.completion_probability(0, 5), 1.0);
+    }
+
+    #[test]
+    fn learns_never_completing_patterns() {
+        let mut model = MarkovModel::new(2, small_config(8));
+        // Interleave observation rounds with refreshes so smoothing drives
+        // the transition rates towards "never advance".
+        for _ in 0..12 {
+            for _ in 0..4 {
+                model.observe(2, 2);
+                model.observe(1, 1);
+            }
+            model.refresh_if_due();
+        }
+        let p = model.completion_probability(2, 50);
+        assert!(p < 0.1, "p = {p}");
+    }
+
+    #[test]
+    fn learns_always_advancing_patterns() {
+        let mut model = MarkovModel::new(4, small_config(8));
+        for _ in 0..64 {
+            for d in (1..=4).rev() {
+                model.observe(d, d - 1);
+            }
+        }
+        while model.refresh_if_due() {}
+        assert!(model.completion_probability(4, 20) > 0.95);
+        // but with fewer remaining events than steps needed, low probability
+        assert!(model.completion_probability(4, 2) < 0.5);
+    }
+
+    #[test]
+    fn refresh_respects_rho() {
+        let mut model = MarkovModel::new(2, small_config(10));
+        for _ in 0..9 {
+            model.observe(2, 1);
+        }
+        assert!(!model.refresh_if_due());
+        model.observe(2, 1);
+        assert!(model.refresh_if_due());
+        assert_eq!(model.refresh_count(), 1);
+    }
+
+    #[test]
+    fn smoothing_blends_old_and_new() {
+        let cfg = MarkovConfig {
+            alpha: 0.5,
+            rho: 4,
+            ell: 2,
+            max_levels: 8,
+            state_cap: 128,
+        };
+        let mut model = MarkovModel::new(1, cfg);
+        // Prior: P(1→0) = 0.5. Observe only 1→0.
+        for _ in 0..4 {
+            model.observe(1, 0);
+        }
+        model.refresh_if_due();
+        // T1[1][0] = 0.5 * 0.5 + 0.5 * 1.0 = 0.75
+        let p = model.completion_probability(1, 1);
+        // n=1, ℓ=2: interpolates between T^0 (0.0) and T^2 at weight 0.5.
+        // T^2[1][0] = 1 - 0.25^2 = 0.9375 → p = 0.5 * 0.9375 = 0.46875
+        assert!((p - 0.468_75).abs() < 1e-9, "p = {p}");
+    }
+
+    #[test]
+    fn delta_saturates_at_state_cap() {
+        let cfg = MarkovConfig {
+            state_cap: 8,
+            ..small_config(4)
+        };
+        let model = MarkovModel::new(100, cfg);
+        assert_eq!(model.state_count(), 9);
+        assert_eq!(model.clamp_delta(100), 8);
+        // saturated deltas still produce a valid probability
+        let p = model.completion_probability(100, 1000);
+        assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn events_left_clamps_to_one() {
+        let model = MarkovModel::new(2, small_config(4));
+        let p0 = model.completion_probability(1, 0);
+        let p_neg = model.completion_probability(1, -5);
+        let p1 = model.completion_probability(1, 1);
+        assert_eq!(p0, p1);
+        assert_eq!(p_neg, p1);
+    }
+
+    #[test]
+    fn probabilities_monotone_in_events_left() {
+        let mut model = MarkovModel::new(3, small_config(8));
+        for _ in 0..32 {
+            model.observe(3, 2);
+            model.observe(2, 2);
+            model.observe(2, 1);
+            model.observe(1, 0);
+        }
+        model.refresh_if_due();
+        let mut prev = 0.0;
+        for n in [1i64, 2, 4, 8, 16, 32, 64] {
+            let p = model.completion_probability(3, n);
+            assert!(p + 1e-12 >= prev, "n={n}: {p} < {prev}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in [0, 1]")]
+    fn invalid_alpha_rejected() {
+        let _ = MarkovModel::new(
+            2,
+            MarkovConfig {
+                alpha: 1.5,
+                ..Default::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,236 @@
+//! Minimal dense-matrix kernel for the Markov prediction model.
+//!
+//! SPECTRE's completion-probability model needs only square row-stochastic
+//! matrices, multiplication, and convex combinations (exponential smoothing
+//! and linear interpolation of precomputed powers, paper Fig. 5). This
+//! hand-rolled kernel avoids a linear-algebra dependency.
+
+/// A square matrix of `f64`, row-major.
+///
+/// Rows index the *from* state, columns the *to* state:
+/// `m[(i, j)] = P(i → j)` for stochastic matrices.
+///
+/// # Example
+///
+/// ```
+/// use spectre_core::matrix::Matrix;
+/// let mut m = Matrix::identity(3);
+/// m[(0, 0)] = 0.5;
+/// m[(0, 1)] = 0.5;
+/// let sq = m.multiply(&m);
+/// assert!((sq[(0, 1)] - 0.75).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix of dimension `n × n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn zeros(n: usize) -> Matrix {
+        assert!(n > 0, "matrix dimension must be positive");
+        Matrix {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Identity matrix of dimension `n × n`.
+    pub fn identity(n: usize) -> Matrix {
+        let mut m = Matrix::zeros(n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Matrix product `self × rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn multiply(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.n, rhs.n, "dimension mismatch");
+        let n = self.n;
+        let mut out = Matrix::zeros(n);
+        for i in 0..n {
+            let row = &self.data[i * n..(i + 1) * n];
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            for (k, &a) in row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let rhs_row = &rhs.data[k * n..(k + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self^p` by repeated squaring (`p == 0` gives the identity).
+    pub fn power(&self, p: u32) -> Matrix {
+        let mut result = Matrix::identity(self.n);
+        let mut base = self.clone();
+        let mut p = p;
+        while p > 0 {
+            if p & 1 == 1 {
+                result = result.multiply(&base);
+            }
+            base = base.multiply(&base);
+            p >>= 1;
+        }
+        result
+    }
+
+    /// Convex combination `(1 - w) * self + w * rhs` (exponential smoothing
+    /// and power interpolation both reduce to this).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn lerp(&self, rhs: &Matrix, w: f64) -> Matrix {
+        assert_eq!(self.n, rhs.n, "dimension mismatch");
+        let mut out = Matrix::zeros(self.n);
+        for (o, (&a, &b)) in out.data.iter_mut().zip(self.data.iter().zip(&rhs.data)) {
+            *o = (1.0 - w) * a + w * b;
+        }
+        out
+    }
+
+    /// Normalizes every row to sum 1; rows summing to 0 become the identity
+    /// row (state maps to itself).
+    pub fn row_normalize(&mut self) {
+        let n = self.n;
+        for i in 0..n {
+            let row = &mut self.data[i * n..(i + 1) * n];
+            let sum: f64 = row.iter().sum();
+            if sum > 0.0 {
+                row.iter_mut().for_each(|v| *v /= sum);
+            } else {
+                row.iter_mut().for_each(|v| *v = 0.0);
+                row[i] = 1.0;
+            }
+        }
+    }
+
+    /// `true` if every row sums to 1 within `eps` and all entries are
+    /// non-negative.
+    pub fn is_row_stochastic(&self, eps: f64) -> bool {
+        let n = self.n;
+        (0..n).all(|i| {
+            let row = &self.data[i * n..(i + 1) * n];
+            row.iter().all(|v| *v >= -eps)
+                && (row.iter().sum::<f64>() - 1.0).abs() <= eps
+        })
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.n + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.n + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_state_chain(p: f64) -> Matrix {
+        // state 1 → 0 with probability p; state 0 absorbing.
+        let mut m = Matrix::identity(2);
+        m[(1, 1)] = 1.0 - p;
+        m[(1, 0)] = p;
+        m
+    }
+
+    #[test]
+    fn identity_multiplication_is_neutral() {
+        let m = two_state_chain(0.3);
+        let id = Matrix::identity(2);
+        assert_eq!(m.multiply(&id), m);
+        assert_eq!(id.multiply(&m), m);
+    }
+
+    #[test]
+    fn power_matches_repeated_multiplication() {
+        let m = two_state_chain(0.25);
+        let mut acc = Matrix::identity(2);
+        for p in 0..8 {
+            assert_eq!(m.power(p), acc, "power {p}");
+            acc = acc.multiply(&m);
+        }
+    }
+
+    #[test]
+    fn absorbing_chain_converges() {
+        let m = two_state_chain(0.5);
+        let m64 = m.power(64);
+        // After many steps, state 1 is absorbed into 0 almost surely.
+        assert!((m64[(1, 0)] - 1.0).abs() < 1e-9);
+        assert!(m64.is_row_stochastic(1e-9));
+    }
+
+    #[test]
+    fn lerp_interpolates_entrywise() {
+        let a = two_state_chain(0.0);
+        let b = two_state_chain(1.0);
+        let mid = a.lerp(&b, 0.4);
+        assert!((mid[(1, 0)] - 0.4).abs() < 1e-12);
+        assert!((mid[(1, 1)] - 0.6).abs() < 1e-12);
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+    }
+
+    #[test]
+    fn row_normalize_handles_empty_rows() {
+        let mut m = Matrix::zeros(3);
+        m[(0, 1)] = 2.0;
+        m[(0, 2)] = 6.0;
+        m.row_normalize();
+        assert!((m[(0, 1)] - 0.25).abs() < 1e-12);
+        assert!((m[(0, 2)] - 0.75).abs() < 1e-12);
+        // empty row 1 becomes identity row
+        assert_eq!(m[(1, 1)], 1.0);
+        assert!(m.is_row_stochastic(1e-12));
+    }
+
+    #[test]
+    fn stochasticity_is_preserved_by_products() {
+        let a = two_state_chain(0.3);
+        let b = two_state_chain(0.7);
+        assert!(a.multiply(&b).is_row_stochastic(1e-12));
+        assert!(a.power(17).is_row_stochastic(1e-9));
+        assert!(a.lerp(&b, 0.5).is_row_stochastic(1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension must be positive")]
+    fn zero_dimension_rejected() {
+        let _ = Matrix::zeros(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mismatched_multiply_rejected() {
+        let _ = Matrix::identity(2).multiply(&Matrix::identity(3));
+    }
+}

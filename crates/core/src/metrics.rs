@@ -1,0 +1,143 @@
+//! Runtime metrics: the counters behind the paper's overhead analysis
+//! (Fig. 10(c) scheduling frequency, Fig. 10(f) tree size) plus speculation
+//! accounting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared atomic counters, updated by splitter and instances.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Events processed by instances (excluding suppressed skips).
+    pub events_processed: AtomicU64,
+    /// Events skipped because a suppressed group contained them.
+    pub events_suppressed: AtomicU64,
+    /// Consumption groups created.
+    pub cgs_created: AtomicU64,
+    /// Consumption groups completed.
+    pub cgs_completed: AtomicU64,
+    /// Consumption groups abandoned.
+    pub cgs_abandoned: AtomicU64,
+    /// Window versions created.
+    pub versions_created: AtomicU64,
+    /// Window versions dropped (wasted speculation).
+    pub versions_dropped: AtomicU64,
+    /// Rollbacks (instance consistency check or final check).
+    pub rollbacks: AtomicU64,
+    /// Splitter maintenance + scheduling cycles.
+    pub sched_cycles: AtomicU64,
+    /// Maximum observed live-version count (paper Fig. 10(f)).
+    pub max_tree_versions: AtomicU64,
+    /// Windows retired (fully processed and emitted).
+    pub windows_retired: AtomicU64,
+    /// Idle instance steps (no version scheduled).
+    pub idle_steps: AtomicU64,
+    /// Stalled instance steps (version waiting for ingestion).
+    pub stalled_steps: AtomicU64,
+    /// State snapshots taken (checkpointing ablation, §3.3).
+    pub checkpoints_taken: AtomicU64,
+    /// Rollbacks served from a checkpoint instead of the window start.
+    pub checkpoint_restores: AtomicU64,
+}
+
+impl Metrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a tree-size observation, keeping the maximum.
+    pub fn observe_tree_size(&self, size: u64) {
+        self.max_tree_versions.fetch_max(size, Ordering::Relaxed);
+    }
+
+    /// Takes a plain-value snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            events_processed: self.events_processed.load(Ordering::Relaxed),
+            events_suppressed: self.events_suppressed.load(Ordering::Relaxed),
+            cgs_created: self.cgs_created.load(Ordering::Relaxed),
+            cgs_completed: self.cgs_completed.load(Ordering::Relaxed),
+            cgs_abandoned: self.cgs_abandoned.load(Ordering::Relaxed),
+            versions_created: self.versions_created.load(Ordering::Relaxed),
+            versions_dropped: self.versions_dropped.load(Ordering::Relaxed),
+            rollbacks: self.rollbacks.load(Ordering::Relaxed),
+            sched_cycles: self.sched_cycles.load(Ordering::Relaxed),
+            max_tree_versions: self.max_tree_versions.load(Ordering::Relaxed),
+            windows_retired: self.windows_retired.load(Ordering::Relaxed),
+            idle_steps: self.idle_steps.load(Ordering::Relaxed),
+            stalled_steps: self.stalled_steps.load(Ordering::Relaxed),
+            checkpoints_taken: self.checkpoints_taken.load(Ordering::Relaxed),
+            checkpoint_restores: self.checkpoint_restores.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-value snapshot of [`Metrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct MetricsSnapshot {
+    pub events_processed: u64,
+    pub events_suppressed: u64,
+    pub cgs_created: u64,
+    pub cgs_completed: u64,
+    pub cgs_abandoned: u64,
+    pub versions_created: u64,
+    pub versions_dropped: u64,
+    pub rollbacks: u64,
+    pub sched_cycles: u64,
+    pub max_tree_versions: u64,
+    pub windows_retired: u64,
+    pub idle_steps: u64,
+    pub stalled_steps: u64,
+    pub checkpoints_taken: u64,
+    pub checkpoint_restores: u64,
+}
+
+impl MetricsSnapshot {
+    /// Fraction of processing that survived (was not spent on later-dropped
+    /// versions); a rough utility measure of the speculation.
+    pub fn cg_completion_ratio(&self) -> f64 {
+        let resolved = self.cgs_completed + self.cgs_abandoned;
+        if resolved == 0 {
+            1.0
+        } else {
+            self.cgs_completed as f64 / resolved as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let m = Metrics::new();
+        m.events_processed.fetch_add(5, Ordering::Relaxed);
+        m.rollbacks.fetch_add(2, Ordering::Relaxed);
+        let s = m.snapshot();
+        assert_eq!(s.events_processed, 5);
+        assert_eq!(s.rollbacks, 2);
+        assert_eq!(s.cgs_created, 0);
+    }
+
+    #[test]
+    fn tree_size_keeps_maximum() {
+        let m = Metrics::new();
+        m.observe_tree_size(10);
+        m.observe_tree_size(4);
+        m.observe_tree_size(17);
+        assert_eq!(m.snapshot().max_tree_versions, 17);
+    }
+
+    #[test]
+    fn completion_ratio() {
+        let s = MetricsSnapshot {
+            cgs_completed: 3,
+            cgs_abandoned: 1,
+            ..Default::default()
+        };
+        assert!((s.cg_completion_ratio() - 0.75).abs() < 1e-12);
+        assert_eq!(MetricsSnapshot::default().cg_completion_ratio(), 1.0);
+    }
+}

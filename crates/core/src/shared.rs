@@ -1,0 +1,147 @@
+//! State shared between the splitter and the operator instances.
+//!
+//! The communication structure follows paper §3.3: instances buffer their
+//! dependency-tree function calls ([`TreeOp`]) and Markov-model observations
+//! ([`StatsBatch`]); the splitter drains and applies them in batches at each
+//! maintenance cycle. Scheduling is a set of per-instance slots the splitter
+//! writes and instances poll (paper Fig. 8 lines 7–9).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::queue::SegQueue;
+use parking_lot::Mutex;
+
+use crate::cg::{CgCell, CgId};
+use crate::metrics::Metrics;
+use crate::store::EventStore;
+use crate::version::{VersionState, WvId};
+
+/// A buffered dependency-tree update from an operator instance
+/// (the function calls of paper Fig. 4 / Fig. 8).
+#[derive(Debug)]
+pub enum TreeOp {
+    /// A version created a consumption group
+    /// (`consumptionGroupCreated`).
+    CgCreated {
+        /// The creating version.
+        creator: WvId,
+        /// The new group.
+        cell: Arc<CgCell>,
+    },
+    /// A consumption group completed or was abandoned
+    /// (`consumptionGroupCompleted` / `consumptionGroupAbandoned`).
+    CgResolved {
+        /// The resolved group.
+        cg: CgId,
+        /// `true` for completion.
+        completed: bool,
+    },
+    /// A version processed its whole window.
+    WvFinished {
+        /// The finished version.
+        wv: WvId,
+    },
+    /// A version detected an inconsistency and reset itself; the splitter
+    /// must rebuild its dependent subtree.
+    WvRolledBack {
+        /// The rolled-back version.
+        wv: WvId,
+    },
+}
+
+/// A batch of observed `(δ_old, δ_new)` transitions for the Markov model.
+#[derive(Debug, Default)]
+pub struct StatsBatch {
+    /// The transitions.
+    pub transitions: Vec<(u32, u32)>,
+}
+
+/// Everything splitter and instances share.
+#[derive(Debug)]
+pub struct SharedState {
+    /// The event buffer.
+    pub store: EventStore,
+    /// Per-instance scheduling slot.
+    pub slots: Vec<Mutex<Option<Arc<VersionState>>>>,
+    /// Buffered tree updates (instances → splitter).
+    pub ops: SegQueue<TreeOp>,
+    /// Buffered Markov observations (instances → splitter).
+    pub stats: SegQueue<StatsBatch>,
+    /// Number of events ingested so far (positions below are readable).
+    pub ingested: AtomicU64,
+    /// Set once the input stream is exhausted.
+    pub ingest_done: AtomicBool,
+    /// Set once all windows retired; instances shut down.
+    pub done: AtomicBool,
+    /// Shared counters.
+    pub metrics: Metrics,
+    next_cg: AtomicU64,
+    next_wv: AtomicU64,
+}
+
+impl SharedState {
+    /// Creates shared state for `instances` operator instances.
+    pub fn new(instances: usize) -> Arc<Self> {
+        Arc::new(SharedState {
+            store: EventStore::new(),
+            slots: (0..instances).map(|_| Mutex::new(None)).collect(),
+            ops: SegQueue::new(),
+            stats: SegQueue::new(),
+            ingested: AtomicU64::new(0),
+            ingest_done: AtomicBool::new(false),
+            done: AtomicBool::new(false),
+            metrics: Metrics::new(),
+            next_cg: AtomicU64::new(0),
+            next_wv: AtomicU64::new(0),
+        })
+    }
+
+    /// Number of operator instances.
+    pub fn instance_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Allocates a consumption-group id.
+    pub fn alloc_cg_id(&self) -> CgId {
+        CgId(self.next_cg.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Allocates a window-version id.
+    pub fn alloc_wv_id(&self) -> WvId {
+        WvId(self.next_wv.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// `true` once processing completed.
+    pub fn is_done(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_allocation_is_unique() {
+        let s = SharedState::new(2);
+        let a = s.alloc_cg_id();
+        let b = s.alloc_cg_id();
+        assert_ne!(a, b);
+        let x = s.alloc_wv_id();
+        let y = s.alloc_wv_id();
+        assert_ne!(x, y);
+        assert_eq!(s.instance_count(), 2);
+    }
+
+    #[test]
+    fn ops_queue_is_fifo() {
+        let s = SharedState::new(1);
+        s.ops.push(TreeOp::WvFinished { wv: WvId(1) });
+        s.ops.push(TreeOp::WvFinished { wv: WvId(2) });
+        let TreeOp::WvFinished { wv } = s.ops.pop().unwrap() else {
+            panic!()
+        };
+        assert_eq!(wv, WvId(1));
+    }
+}

@@ -1,0 +1,309 @@
+//! Deterministic multicore simulation runtime.
+//!
+//! The paper evaluates SPECTRE on a 2×10-core machine; this reproduction
+//! targets the same *figures* on arbitrary hardware by executing the real
+//! splitter and instance logic under a virtual-time scheduler: per round,
+//! the splitter runs one maintenance cycle (every
+//! [`SpectreConfig::sched_period`] rounds) and each of the k operator
+//! instances processes at most one event. A round therefore models the time
+//! slice in which one instance handles one event, and
+//!
+//! ```text
+//! throughput(k) = input_events / rounds × per_instance_event_rate
+//! ```
+//!
+//! Speculation waste — rounds spent on window versions that are later
+//! dropped — and scheduling breadth/depth are exactly the effects the
+//! paper's scalability curves measure (§4.2.1), and they are captured
+//! faithfully because the *same* tree, predictor, scheduler and consistency
+//! machinery run underneath. Everything is single-threaded and seeded-free,
+//! so runs are bit-for-bit reproducible.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use spectre_events::Event;
+use spectre_query::{ComplexEvent, Query};
+
+use crate::config::SpectreConfig;
+use crate::instance::InstanceCore;
+use crate::metrics::MetricsSnapshot;
+use crate::shared::SharedState;
+use crate::splitter::Splitter;
+
+/// Result of a simulated run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Complex events in window order (identical to the sequential
+    /// reference output).
+    pub complex_events: Vec<ComplexEvent>,
+    /// Metric counters.
+    pub metrics: MetricsSnapshot,
+    /// Virtual rounds until completion.
+    pub rounds: u64,
+    /// Number of input events.
+    pub input_events: u64,
+    /// Wall-clock time spent inside splitter maintenance cycles (basis of
+    /// the Fig. 10(c) scheduling-frequency measurement).
+    pub splitter_wall: Duration,
+    /// Total wall-clock time of the run.
+    pub total_wall: Duration,
+}
+
+impl SimReport {
+    /// Virtual throughput in events/second, calibrated by the rate at which
+    /// one operator instance processes events (the paper's Q1 baseline is
+    /// ≈10,800 events/s at one instance).
+    pub fn throughput(&self, per_instance_event_rate: f64) -> f64 {
+        if self.rounds == 0 {
+            return 0.0;
+        }
+        self.input_events as f64 / self.rounds as f64 * per_instance_event_rate
+    }
+
+    /// Real scheduling cycles per second of splitter wall time
+    /// (paper Fig. 10(c)).
+    pub fn scheduling_cycles_per_sec(&self) -> f64 {
+        let secs = self.splitter_wall.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.metrics.sched_cycles as f64 / secs
+        }
+    }
+}
+
+/// Runs SPECTRE over a finite stream under the virtual-time scheduler.
+///
+/// # Panics
+///
+/// Panics if the run exceeds `200 × events + 1_000_000` rounds — a
+/// liveness guard; a correct configuration always terminates far below it.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use spectre_events::Schema;
+/// use spectre_datasets::{NyseConfig, NyseGenerator};
+/// use spectre_query::queries;
+/// use spectre_core::{run_simulated, SpectreConfig};
+///
+/// let mut schema = Schema::new();
+/// let events: Vec<_> =
+///     NyseGenerator::new(NyseConfig::small(500, 1), &mut schema).collect();
+/// let query = Arc::new(queries::q1(&mut schema, 2, 100, Default::default()));
+/// let report = run_simulated(&query, events, &SpectreConfig::with_instances(4));
+/// assert!(report.rounds > 0);
+/// ```
+pub fn run_simulated(
+    query: &Arc<Query>,
+    events: Vec<Event>,
+    config: &SpectreConfig,
+) -> SimReport {
+    config.validate();
+    let start = Instant::now();
+    let input_events = events.len() as u64;
+    let k = config.instances;
+    let shared = SharedState::new(k);
+    let mut splitter = Splitter::new(
+        Arc::clone(query),
+        events.into_iter(),
+        config.clone(),
+        Arc::clone(&shared),
+    );
+    let mut instances: Vec<InstanceCore> = (0..k)
+        .map(|i| {
+            InstanceCore::new(i, config.consistency_check_freq)
+                .with_checkpoints(config.checkpoint_freq)
+        })
+        .collect();
+
+    let limit = 200u64.saturating_mul(input_events) + 1_000_000;
+    let mut rounds = 0u64;
+    let mut splitter_wall = Duration::ZERO;
+    loop {
+        if rounds % config.sched_period as u64 == 0 {
+            let t = Instant::now();
+            let done = splitter.cycle();
+            splitter_wall += t.elapsed();
+            if done {
+                break;
+            }
+        }
+        for inst in &mut instances {
+            let _ = inst.step(&shared);
+        }
+        rounds += 1;
+        assert!(rounds < limit, "simulation exceeded liveness bound");
+    }
+
+    SimReport {
+        complex_events: splitter.into_outputs(),
+        metrics: shared.metrics.snapshot(),
+        rounds,
+        input_events,
+        splitter_wall,
+        total_wall: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PredictorKind;
+    use spectre_baselines::run_sequential;
+    use spectre_datasets::{NyseConfig, NyseGenerator, RandConfig, RandGenerator};
+    use spectre_events::Schema;
+    use spectre_query::queries::{self, Direction};
+
+    fn nyse(events: usize, seed: u64) -> (Schema, Vec<Event>) {
+        let mut schema = Schema::new();
+        let ev: Vec<_> =
+            NyseGenerator::new(NyseConfig::small(events, seed), &mut schema).collect();
+        (schema, ev)
+    }
+
+    #[test]
+    fn q1_output_matches_sequential_for_all_k() {
+        let (mut schema, events) = nyse(2000, 11);
+        let query = Arc::new(queries::q1(&mut schema, 3, 200, Direction::Rising));
+        let expected = run_sequential(&query, &events).complex_events;
+        assert!(!expected.is_empty(), "fixture must produce matches");
+        for k in [1usize, 2, 4, 8] {
+            let report =
+                run_simulated(&query, events.clone(), &SpectreConfig::with_instances(k));
+            assert_eq!(report.complex_events, expected, "k = {k}");
+            assert_eq!(report.metrics.windows_retired > 0, true);
+        }
+    }
+
+    #[test]
+    fn q2_output_matches_sequential() {
+        let (mut schema, events) = nyse(3000, 5);
+        let query = Arc::new(queries::q2(&mut schema, 60.0, 140.0, 300, 50));
+        let expected = run_sequential(&query, &events).complex_events;
+        let report =
+            run_simulated(&query, events, &SpectreConfig::with_instances(4));
+        assert_eq!(report.complex_events, expected);
+    }
+
+    #[test]
+    fn q3_output_matches_sequential() {
+        let mut schema = Schema::new();
+        let gen = RandGenerator::new(RandConfig::small(2000, 9), &mut schema);
+        let symbols = gen.symbols().to_vec();
+        let events: Vec<_> = gen.collect();
+        let query = Arc::new(queries::q3(
+            &mut schema,
+            symbols[0],
+            &symbols[1..4],
+            200,
+            40,
+        ));
+        let expected = run_sequential(&query, &events).complex_events;
+        let report =
+            run_simulated(&query, events, &SpectreConfig::with_instances(8));
+        assert_eq!(report.complex_events, expected);
+    }
+
+    #[test]
+    fn qe_output_matches_sequential() {
+        let mut schema = Schema::new();
+        let cfg = RandConfig {
+            symbols: 2,
+            leaders: 0,
+            events: 1500,
+            seed: 3,
+            price: (1.0, 10.0),
+            tick_ms: 1000,
+        };
+        let events: Vec<_> = RandGenerator::new(cfg, &mut schema).collect();
+        let vocab = queries::StockVocab::install(&mut schema);
+        let sym_a = schema.lookup_symbol("RND000").unwrap();
+        let sym_b = schema.lookup_symbol("RND001").unwrap();
+        let pattern = spectre_query::Pattern::builder()
+            .one("A", vocab.symbol_is(sym_a))
+            .one("B", vocab.symbol_is(sym_b))
+            .build()
+            .unwrap();
+        let query = Arc::new(
+            Query::builder("QE")
+                .pattern(pattern)
+                .window(
+                    spectre_query::WindowSpec::on_match_time(
+                        Some(vocab.quote),
+                        vocab.symbol_is(sym_a),
+                        30_000,
+                    )
+                    .unwrap(),
+                )
+                .selection(spectre_query::SelectionPolicy::EachLast)
+                .consumption(spectre_query::ConsumptionPolicy::Selected(vec![
+                    "B".into()
+                ]))
+                .build()
+                .unwrap(),
+        );
+        let expected = run_sequential(&query, &events).complex_events;
+        let report =
+            run_simulated(&query, events, &SpectreConfig::with_instances(4));
+        assert_eq!(report.complex_events, expected);
+    }
+
+    #[test]
+    fn fixed_predictor_also_produces_correct_output() {
+        let (mut schema, events) = nyse(1500, 21);
+        let query = Arc::new(queries::q1(&mut schema, 3, 150, Direction::Rising));
+        let expected = run_sequential(&query, &events).complex_events;
+        for p in [0.0, 0.5, 1.0] {
+            let config = SpectreConfig {
+                instances: 4,
+                predictor: PredictorKind::Fixed(p),
+                ..Default::default()
+            };
+            let report = run_simulated(&query, events.clone(), &config);
+            assert_eq!(report.complex_events, expected, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn more_instances_do_not_slow_down_high_completion_workloads() {
+        // All quotes rising → every partial match completes (probability 1):
+        // speculation always picks the right branch and scaling is near
+        // linear (paper §4.2.1, ratio 0.005 case).
+        let mut schema = Schema::new();
+        let config = NyseConfig {
+            symbols: 20,
+            leaders: 4,
+            events: 3000,
+            drift: 1.0, // strongly positive: always rising
+            volatility: 0.0,
+            ..NyseConfig::default()
+        };
+        let events: Vec<_> = NyseGenerator::new(config, &mut schema).collect();
+        let query = Arc::new(queries::q1(&mut schema, 4, 100, Direction::Rising));
+        let r1 = run_simulated(&query, events.clone(), &SpectreConfig::with_instances(1));
+        let r8 = run_simulated(&query, events.clone(), &SpectreConfig::with_instances(8));
+        assert_eq!(r1.complex_events, r8.complex_events);
+        assert!(
+            r8.rounds * 2 < r1.rounds,
+            "8 instances should be much faster: {} vs {}",
+            r8.rounds,
+            r1.rounds
+        );
+    }
+
+    #[test]
+    fn report_accessors() {
+        let (mut schema, events) = nyse(500, 2);
+        let query = Arc::new(queries::q1(&mut schema, 2, 100, Direction::Rising));
+        let report = run_simulated(&query, events, &SpectreConfig::with_instances(2));
+        assert_eq!(report.input_events, 500);
+        assert!(report.throughput(10_800.0) > 0.0);
+        assert!(report.scheduling_cycles_per_sec() >= 0.0);
+        assert!(report.metrics.sched_cycles > 0);
+    }
+
+    use spectre_query::Query;
+}

@@ -1,0 +1,582 @@
+//! The splitter: ingestion, dependency-tree maintenance, completion-
+//! probability prediction, top-k selection and scheduling (paper §3.2).
+//!
+//! One maintenance cycle performs, in order (paper §4.2.1's "cycle"):
+//! (a) apply all buffered dependency-tree updates from the instances,
+//! (b) feed the Markov model, (c) ingest a batch of input events (opening
+//! and closing windows), (d) retire finished, confirmed root versions —
+//! emitting their buffered complex events in window order — and (e) select
+//! and schedule the top-k window versions.
+
+use std::collections::{HashSet, VecDeque};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use spectre_events::Event;
+use spectre_query::window::WindowAssigner;
+use spectre_query::{ComplexEvent, Query, WindowClose};
+
+use crate::cg::{CgCell, CgId};
+use crate::config::{PredictorKind, SpectreConfig};
+use crate::predictor::{CompletionPredictor, FixedPredictor, MarkovPredictor};
+use crate::shared::{SharedState, TreeOp};
+use crate::store::WindowInfo;
+use crate::tree::{DependencyTree, VersionFactory};
+use crate::version::{VersionState, WvId};
+
+/// The splitter's state; driven by [`cycle`](Splitter::cycle).
+pub struct Splitter<I: Iterator<Item = Event>> {
+    config: SpectreConfig,
+    query: Arc<Query>,
+    shared: Arc<SharedState>,
+    source: I,
+    assigner: WindowAssigner,
+    tree: DependencyTree,
+    predictor: Box<dyn CompletionPredictor>,
+    /// Live (unretired) windows, oldest first.
+    live: VecDeque<Arc<WindowInfo>>,
+    /// Versions whose `WvFinished` op has been applied. Retirement requires
+    /// the ack: the op queue is FIFO and an instance pushes all of a
+    /// version's consumption-group ops *before* its `WvFinished`, so the ack
+    /// guarantees the dependency tree reflects every group the version
+    /// created or resolved. Retiring on the atomic `is_finished` flag alone
+    /// races with those queued ops (they would be dropped as stale and
+    /// dependent windows would never suppress the consumed events).
+    finished_acked: HashSet<WvId>,
+    /// Running average window length (events), for the prediction input `n`.
+    avg_window_size: f64,
+    closed_windows: u64,
+    outputs: Vec<ComplexEvent>,
+    ingest_done: bool,
+    progress: bool,
+}
+
+impl<I: Iterator<Item = Event>> Splitter<I> {
+    /// Creates a splitter over the given input stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or the query allows more than
+    /// one concurrently active partial match. The speculative runtime keeps
+    /// one open consumption group per window version at a time (the paper's
+    /// evaluation setting, §4.2); a version's groups resolve strictly in
+    /// creation order, which the dependency-tree chain construction relies
+    /// on. Queries with `max_active > 1` run on the sequential engines.
+    pub fn new(
+        query: Arc<Query>,
+        source: I,
+        config: SpectreConfig,
+        shared: Arc<SharedState>,
+    ) -> Self {
+        config.validate();
+        assert_eq!(
+            query.max_active(),
+            1,
+            "the speculative runtime requires max_active = 1"
+        );
+        let predictor: Box<dyn CompletionPredictor> = match &config.predictor {
+            PredictorKind::Markov(mc) => Box::new(MarkovPredictor::new(
+                query.pattern().max_delta(),
+                mc.clone(),
+            )),
+            PredictorKind::Fixed(p) => Box::new(FixedPredictor::new(*p)),
+        };
+        // Initial window-size estimate: exact for count windows.
+        let avg_window_size = match query.window().close() {
+            WindowClose::Count(ws) => ws as f64,
+            WindowClose::Time(_) => 64.0,
+        };
+        let assigner = WindowAssigner::new(query.window().clone());
+        Splitter {
+            config,
+            query,
+            shared,
+            source,
+            assigner,
+            tree: DependencyTree::new(),
+            predictor,
+            live: VecDeque::new(),
+            finished_acked: HashSet::new(),
+            avg_window_size,
+            closed_windows: 0,
+            outputs: Vec::new(),
+            ingest_done: false,
+            progress: false,
+        }
+    }
+
+    /// Complex events emitted so far (window order, detection order within a
+    /// window).
+    pub fn outputs(&self) -> &[ComplexEvent] {
+        &self.outputs
+    }
+
+    /// Consumes the splitter, returning all emitted complex events.
+    pub fn into_outputs(self) -> Vec<ComplexEvent> {
+        self.outputs
+    }
+
+    /// `true` if the last [`cycle`](Self::cycle) applied an op, ingested an
+    /// event or retired a window. Threaded drivers yield when a cycle made
+    /// no progress so operator instances are not starved of CPU time.
+    pub fn made_progress(&self) -> bool {
+        self.progress
+    }
+
+    /// Current dependency-tree size in window versions.
+    pub fn tree_versions(&self) -> usize {
+        self.tree.version_count()
+    }
+
+    /// One maintenance + scheduling cycle. Returns `true` once all input is
+    /// ingested and every window retired (the shared `done` flag is set).
+    pub fn cycle(&mut self) -> bool {
+        self.progress = false;
+        self.apply_ops();
+        self.apply_stats();
+        self.ingest();
+        self.retire();
+        self.schedule();
+        let metrics = &self.shared.metrics;
+        metrics.sched_cycles.fetch_add(1, Ordering::Relaxed);
+        metrics.observe_tree_size(self.tree.version_count() as u64);
+        if self.ingest_done && self.tree.is_empty() {
+            self.shared.done.store(true, Ordering::Release);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn factory(&self) -> SplitterFactory {
+        SplitterFactory {
+            shared: Arc::clone(&self.shared),
+            query: Arc::clone(&self.query),
+            acked_clones: Vec::new(),
+        }
+    }
+
+    /// Merges the factory's side effects back into the splitter (clones of
+    /// already-finished versions count as acked: their source's ops were
+    /// applied before the copy, and the clone itself never runs).
+    fn absorb(&mut self, factory: SplitterFactory) {
+        self.finished_acked.extend(factory.acked_clones);
+    }
+
+    fn apply_ops(&mut self) {
+        let mut factory = self.factory();
+        while let Some(op) = self.shared.ops.pop() {
+            self.progress = true;
+            match op {
+                TreeOp::CgCreated { creator, cell } => {
+                    self.tree.cg_created(creator, cell, &mut factory);
+                }
+                TreeOp::CgResolved { cg, completed } => {
+                    let dropped = self.tree.cg_resolved(cg, completed);
+                    self.shared
+                        .metrics
+                        .versions_dropped
+                        .fetch_add(dropped as u64, Ordering::Relaxed);
+                }
+                TreeOp::WvFinished { wv } => {
+                    self.finished_acked.insert(wv);
+                }
+                TreeOp::WvRolledBack { wv } => {
+                    // The version restarted; a previous finish ack is void.
+                    self.finished_acked.remove(&wv);
+                    let Some(version) = self.tree.version(wv) else {
+                        continue; // version already dropped: stale op
+                    };
+                    let window_id = version.window().id;
+                    // Completions surviving the rollback (the restored
+                    // checkpoint's, if one was restored; empty otherwise)
+                    // stay facts for the rebuilt dependents.
+                    let carried = version.lock().completed_cells.clone();
+                    let newer: Vec<Arc<WindowInfo>> = self
+                        .live
+                        .iter()
+                        .filter(|w| w.id > window_id)
+                        .cloned()
+                        .collect();
+                    let dropped =
+                        self.tree.rollback_rebuild(wv, &newer, carried, &mut factory);
+                    self.shared
+                        .metrics
+                        .versions_dropped
+                        .fetch_add(dropped as u64, Ordering::Relaxed);
+                }
+            }
+        }
+        self.absorb(factory);
+    }
+
+    fn apply_stats(&mut self) {
+        while let Some(batch) = self.shared.stats.pop() {
+            self.predictor.observe_batch(&batch.transitions);
+        }
+        self.predictor.refresh();
+    }
+
+    fn ingest(&mut self) {
+        if self.ingest_done {
+            return;
+        }
+        for _ in 0..self.config.ingest_per_cycle {
+            // Back-pressure: stall speculative fan-out while the tree is
+            // oversized — but never starve the root window of its remaining
+            // events (it must be able to finish so the tree can shrink).
+            if self.tree.version_count() >= self.config.max_tree_versions {
+                let root_fully_ingested = self
+                    .live
+                    .front()
+                    .is_none_or(|w| w.end_pos().is_some());
+                if root_fully_ingested {
+                    break;
+                }
+            }
+            let Some(event) = self.source.next() else {
+                self.finish_ingest();
+                return;
+            };
+            self.progress = true;
+            let assign = self.assigner.observe(&event);
+            let pos = self.shared.store.append(event);
+            self.shared.ingested.store(pos + 1, Ordering::Release);
+            for closed in assign.closed {
+                self.close_window(closed.id, pos);
+            }
+            if let Some(opened) = assign.opened {
+                let info = Arc::new(WindowInfo::new(
+                    opened.id,
+                    opened.start_pos,
+                    opened.start_seq,
+                    opened.start_ts,
+                ));
+                self.live.push_back(Arc::clone(&info));
+                let mut factory = self.factory();
+                self.tree.new_window(&info, &mut factory);
+                self.absorb(factory);
+            }
+        }
+    }
+
+    fn finish_ingest(&mut self) {
+        let total = self.shared.store.len();
+        for closed in self.assigner.finish() {
+            self.close_window(closed.id, total);
+        }
+        self.ingest_done = true;
+        self.shared.ingest_done.store(true, Ordering::Release);
+    }
+
+    fn close_window(&mut self, id: u64, end_pos: u64) {
+        if let Some(info) = self.live.iter().find(|w| w.id == id) {
+            info.set_end_pos(end_pos);
+            let len = (end_pos - info.start_pos) as f64;
+            self.closed_windows += 1;
+            // Running average (paper Fig. 5: `Splitter.avgWindowSize`).
+            let n = self.closed_windows as f64;
+            self.avg_window_size += (len - self.avg_window_size) / n;
+        }
+    }
+
+    fn retire(&mut self) {
+        loop {
+            let Some(root) = self.tree.root_version() else {
+                return;
+            };
+            if !root.is_finished()
+                || !self.finished_acked.contains(&root.id())
+                || self.tree.root_blocked_by_cg()
+            {
+                return;
+            }
+            let root = Arc::clone(root);
+            // Final validation: the surviving version must never have
+            // processed an event a suppressed (now final) group consumed.
+            if !root.is_consistent() {
+                self.shared
+                    .metrics
+                    .rollbacks
+                    .fetch_add(1, Ordering::Relaxed);
+                self.finished_acked.remove(&root.id());
+                if root.rollback_state() {
+                    self.shared
+                        .metrics
+                        .checkpoint_restores
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                let carried = root.lock().completed_cells.clone();
+                let newer: Vec<Arc<WindowInfo>> = self
+                    .live
+                    .iter()
+                    .filter(|w| w.id > root.window().id)
+                    .cloned()
+                    .collect();
+                let mut factory = self.factory();
+                let dropped = self
+                    .tree
+                    .rollback_rebuild(root.id(), &newer, carried, &mut factory);
+                self.absorb(factory);
+                self.shared
+                    .metrics
+                    .versions_dropped
+                    .fetch_add(dropped as u64, Ordering::Relaxed);
+                return;
+            }
+            // Emit buffered complex events in detection order (paper §3.3).
+            {
+                let mut inner = root.lock();
+                self.outputs.append(&mut inner.outputs);
+            }
+            self.progress = true;
+            let retired = self.tree.retire_root();
+            self.finished_acked.remove(&retired.id());
+            // Acks of versions dropped from the tree are dead; prune them
+            // here (retirement is rare relative to cycles).
+            let tree = &self.tree;
+            self.finished_acked.retain(|id| tree.version(*id).is_some());
+            debug_assert_eq!(
+                self.live.front().map(|w| w.id),
+                Some(retired.window().id),
+                "windows retire in id order"
+            );
+            self.live.pop_front();
+            self.shared
+                .metrics
+                .windows_retired
+                .fetch_add(1, Ordering::Relaxed);
+            // Events before the oldest live window are dead.
+            let prune_to = self
+                .live
+                .front()
+                .map(|w| w.start_pos)
+                .unwrap_or_else(|| self.shared.store.len());
+            self.shared.store.prune_before(prune_to);
+        }
+    }
+
+    fn schedule(&mut self) {
+        let avg = self.avg_window_size;
+        let predictor = &*self.predictor;
+        let prob = move |cell: &CgCell| -> f64 {
+            let events_left = avg as i64 - cell.pos_in_window() as i64;
+            predictor.predict(cell.delta(), events_left)
+        };
+        let top = self.tree.top_k(self.config.instances, &prob);
+
+        // Two-pass assignment (paper Fig. 7): keep already-placed versions,
+        // hand the rest to free instances.
+        let mut to_place: Vec<Arc<VersionState>> = Vec::new();
+        let mut kept: Vec<bool> = vec![false; self.shared.slots.len()];
+        'version: for v in &top {
+            for (i, slot) in self.shared.slots.iter().enumerate() {
+                if kept[i] {
+                    continue;
+                }
+                let guard = slot.lock();
+                if guard.as_ref().is_some_and(|s| Arc::ptr_eq(s, v)) {
+                    kept[i] = true;
+                    continue 'version;
+                }
+            }
+            to_place.push(Arc::clone(v));
+        }
+        let mut to_place = to_place.into_iter();
+        for (i, slot) in self.shared.slots.iter().enumerate() {
+            if kept[i] {
+                continue;
+            }
+            *slot.lock() = to_place.next();
+        }
+    }
+}
+
+/// The splitter's [`VersionFactory`]: allocates ids from the shared
+/// counters, keeps the `versions_created` metric, and records clones of
+/// already-finished versions so they can retire without a fresh
+/// `WvFinished` op (see [`Splitter::absorb`]).
+struct SplitterFactory {
+    shared: Arc<SharedState>,
+    query: Arc<Query>,
+    acked_clones: Vec<WvId>,
+}
+
+impl VersionFactory for SplitterFactory {
+    fn fresh(
+        &mut self,
+        window: &Arc<WindowInfo>,
+        suppressed: Vec<Arc<CgCell>>,
+    ) -> Arc<VersionState> {
+        self.shared
+            .metrics
+            .versions_created
+            .fetch_add(1, Ordering::Relaxed);
+        VersionState::new(
+            self.shared.alloc_wv_id(),
+            Arc::clone(window),
+            Arc::clone(&self.query),
+            suppressed,
+        )
+    }
+
+    fn clone_of(
+        &mut self,
+        source: &Arc<VersionState>,
+        suppressed: Vec<Arc<CgCell>>,
+        expected_open: &[CgId],
+    ) -> Option<(Arc<VersionState>, Vec<(CgId, Arc<CgCell>)>)> {
+        let shared = Arc::clone(&self.shared);
+        let mut mk_twin =
+            |cell: &CgCell| Arc::new(cell.twin(shared.alloc_cg_id()));
+        let (version, twins) = VersionState::clone_speculative(
+            source,
+            self.shared.alloc_wv_id(),
+            suppressed,
+            expected_open,
+            &mut mk_twin,
+        )?;
+        self.shared
+            .metrics
+            .versions_created
+            .fetch_add(1, Ordering::Relaxed);
+        if version.is_finished() {
+            self.acked_clones.push(version.id());
+        }
+        Some((version, twins))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{InstanceCore, StepOutcome};
+    use spectre_events::{AttrKey, EventType, Schema};
+    use spectre_query::{ConsumptionPolicy, Expr, Pattern, WindowSpec};
+
+    fn ev(seq: u64, x: f64) -> Event {
+        Event::builder(EventType::new(0))
+            .seq(seq)
+            .ts(seq)
+            .attr(AttrKey::new(0), x)
+            .build()
+    }
+
+    fn ab_query() -> Arc<Query> {
+        let x = AttrKey::new(0);
+        Arc::new(
+            Query::builder("t")
+                .pattern(
+                    Pattern::builder()
+                        .one("A", Expr::current(x).eq_(Expr::value(1.0)))
+                        .one("B", Expr::current(x).eq_(Expr::value(2.0)))
+                        .build()
+                        .unwrap(),
+                )
+                .window(WindowSpec::count_sliding(4, 2).unwrap())
+                .consumption(ConsumptionPolicy::All)
+                .build()
+                .unwrap(),
+        )
+    }
+
+    /// Drives splitter + instances single-threadedly until done.
+    fn drive(query: Arc<Query>, events: Vec<Event>, k: usize) -> Vec<ComplexEvent> {
+        let shared = SharedState::new(k);
+        let config = SpectreConfig::with_instances(k);
+        let check_freq = config.consistency_check_freq;
+        let mut splitter =
+            Splitter::new(query, events.into_iter(), config, Arc::clone(&shared));
+        let mut instances: Vec<_> =
+            (0..k).map(|i| InstanceCore::new(i, check_freq)).collect();
+        for round in 0..1_000_000u64 {
+            if splitter.cycle() {
+                return splitter.into_outputs();
+            }
+            for inst in &mut instances {
+                let _ = inst.step(&shared);
+            }
+            let _ = round;
+        }
+        panic!("did not converge");
+    }
+
+    #[test]
+    fn small_stream_matches_sequential_reference() {
+        let _ = Schema::new();
+        let query = ab_query();
+        let events: Vec<Event> = vec![
+            ev(0, 1.0),
+            ev(1, 2.0),
+            ev(2, 1.0),
+            ev(3, 9.0),
+            ev(4, 2.0),
+            ev(5, 1.0),
+            ev(6, 2.0),
+            ev(7, 9.0),
+        ];
+        let expected =
+            spectre_baselines::run_sequential(&query, &events).complex_events;
+        for k in [1usize, 2, 4] {
+            let got = drive(Arc::clone(&query), events.clone(), k);
+            assert_eq!(got, expected, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn empty_stream_terminates() {
+        let query = ab_query();
+        let got = drive(query, vec![], 2);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn stream_without_matches_terminates() {
+        let query = ab_query();
+        let events: Vec<Event> = (0..50).map(|i| ev(i, 9.0)).collect();
+        let got = drive(query, events, 3);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn single_instance_behaves_like_sequential() {
+        let query = ab_query();
+        let events: Vec<Event> =
+            (0..100).map(|i| ev(i, [1.0, 9.0, 2.0, 9.0][i as usize % 4])).collect();
+        let expected =
+            spectre_baselines::run_sequential(&query, &events).complex_events;
+        let got = drive(query, events, 1);
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn instance_outcomes_cover_stall() {
+        // A splitter that ingests slowly: instances must stall, not skip.
+        let query = ab_query();
+        let shared = SharedState::new(1);
+        let config = SpectreConfig {
+            instances: 1,
+            ingest_per_cycle: 1,
+            ..Default::default()
+        };
+        let events: Vec<Event> = vec![ev(0, 1.0), ev(1, 2.0), ev(2, 9.0), ev(3, 9.0)];
+        let mut splitter = Splitter::new(
+            query,
+            events.into_iter(),
+            config,
+            Arc::clone(&shared),
+        );
+        let mut inst = InstanceCore::new(0, 64);
+        splitter.cycle();
+        // one event ingested; process it, then stall
+        assert_eq!(inst.step(&shared), StepOutcome::Worked);
+        assert_eq!(inst.step(&shared), StepOutcome::Stalled);
+        for _ in 0..100 {
+            if splitter.cycle() {
+                break;
+            }
+            let _ = inst.step(&shared);
+        }
+        assert!(shared.is_done());
+    }
+}

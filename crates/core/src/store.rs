@@ -1,0 +1,193 @@
+//! Shared event store and window bookkeeping.
+//!
+//! The splitter appends incoming events to the store; operator instances
+//! read them by *position* (ingestion order). Windows are described by
+//! [`WindowInfo`] cells shared between the splitter (which discovers the end
+//! position during ingestion) and all versions of the window (paper §2.2:
+//! window boundaries are kept in shared memory).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use spectre_events::{Event, Seq, Timestamp};
+
+/// Sentinel for "window end not yet known".
+pub const END_UNKNOWN: u64 = u64::MAX;
+
+/// Shared, immutable-except-end description of one window.
+#[derive(Debug)]
+pub struct WindowInfo {
+    /// Window id (windows are totally ordered by id, paper §3.1).
+    pub id: u64,
+    /// Position of the window's start event.
+    pub start_pos: u64,
+    /// Sequence number of the start event.
+    pub start_seq: Seq,
+    /// Timestamp of the start event.
+    pub start_ts: Timestamp,
+    /// Exclusive end position; [`END_UNKNOWN`] until the splitter observes
+    /// the close condition.
+    end_pos: AtomicU64,
+}
+
+impl WindowInfo {
+    /// Creates a window whose end is not yet known.
+    pub fn new(id: u64, start_pos: u64, start_seq: Seq, start_ts: Timestamp) -> Self {
+        WindowInfo {
+            id,
+            start_pos,
+            start_seq,
+            start_ts,
+            end_pos: AtomicU64::new(END_UNKNOWN),
+        }
+    }
+
+    /// The exclusive end position, if known.
+    pub fn end_pos(&self) -> Option<u64> {
+        match self.end_pos.load(Ordering::Acquire) {
+            END_UNKNOWN => None,
+            v => Some(v),
+        }
+    }
+
+    /// Publishes the end position (idempotent; called by the splitter).
+    pub fn set_end_pos(&self, end: u64) {
+        self.end_pos.store(end, Ordering::Release);
+    }
+
+    /// `true` if `pos` lies inside the window (given current knowledge).
+    pub fn contains_pos(&self, pos: u64) -> bool {
+        pos >= self.start_pos && self.end_pos().map_or(true, |e| pos < e)
+    }
+}
+
+/// Append-only shared event buffer with prefix pruning.
+///
+/// Events are stored behind `Arc` so instances can hold a reference without
+/// cloning payloads. `prune_before` drops events no longer needed by any
+/// live window.
+#[derive(Debug, Default)]
+pub struct EventStore {
+    inner: RwLock<StoreInner>,
+}
+
+#[derive(Debug, Default)]
+struct StoreInner {
+    base: u64,
+    events: VecDeque<Arc<Event>>,
+}
+
+impl EventStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the next event; returns its position.
+    pub fn append(&self, event: Event) -> u64 {
+        let mut inner = self.inner.write();
+        let pos = inner.base + inner.events.len() as u64;
+        inner.events.push_back(Arc::new(event));
+        pos
+    }
+
+    /// Fetches the event at `pos`, if ingested and not pruned.
+    pub fn get(&self, pos: u64) -> Option<Arc<Event>> {
+        let inner = self.inner.read();
+        if pos < inner.base {
+            return None;
+        }
+        inner.events.get((pos - inner.base) as usize).cloned()
+    }
+
+    /// Number of events ever appended.
+    pub fn len(&self) -> u64 {
+        let inner = self.inner.read();
+        inner.base + inner.events.len() as u64
+    }
+
+    /// `true` if nothing was appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all events before `pos` (they must no longer be referenced by
+    /// any live window).
+    pub fn prune_before(&self, pos: u64) {
+        let mut inner = self.inner.write();
+        while inner.base < pos && !inner.events.is_empty() {
+            inner.events.pop_front();
+            inner.base += 1;
+        }
+    }
+
+    /// Number of events currently held in memory.
+    pub fn resident(&self) -> usize {
+        self.inner.read().events.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spectre_events::EventType;
+
+    fn ev(seq: Seq) -> Event {
+        Event::builder(EventType::new(0)).seq(seq).ts(seq).build()
+    }
+
+    #[test]
+    fn append_and_get() {
+        let store = EventStore::new();
+        assert!(store.is_empty());
+        for i in 0..10 {
+            assert_eq!(store.append(ev(i)), i);
+        }
+        assert_eq!(store.len(), 10);
+        assert_eq!(store.get(3).unwrap().seq(), 3);
+        assert!(store.get(10).is_none());
+    }
+
+    #[test]
+    fn prune_drops_prefix_only() {
+        let store = EventStore::new();
+        for i in 0..10 {
+            store.append(ev(i));
+        }
+        store.prune_before(4);
+        assert!(store.get(3).is_none());
+        assert_eq!(store.get(4).unwrap().seq(), 4);
+        assert_eq!(store.len(), 10);
+        assert_eq!(store.resident(), 6);
+        // appending continues at the right position
+        assert_eq!(store.append(ev(10)), 10);
+        assert_eq!(store.get(10).unwrap().seq(), 10);
+    }
+
+    #[test]
+    fn prune_beyond_len_empties() {
+        let store = EventStore::new();
+        for i in 0..5 {
+            store.append(ev(i));
+        }
+        store.prune_before(100);
+        assert_eq!(store.resident(), 0);
+        assert_eq!(store.len(), 5);
+        assert_eq!(store.append(ev(5)), 5);
+    }
+
+    #[test]
+    fn window_info_end_publishing() {
+        let w = WindowInfo::new(3, 10, 10, 1000);
+        assert_eq!(w.end_pos(), None);
+        assert!(w.contains_pos(10));
+        assert!(w.contains_pos(1_000_000)); // end unknown: optimistic
+        assert!(!w.contains_pos(9));
+        w.set_end_pos(20);
+        assert_eq!(w.end_pos(), Some(20));
+        assert!(w.contains_pos(19));
+        assert!(!w.contains_pos(20));
+    }
+}

@@ -1,0 +1,1496 @@
+//! The dependency tree of window versions and consumption groups
+//! (paper §3.1, Figs. 3, 4 and 6).
+//!
+//! Vertices are either *window versions* (with at most one child) or
+//! *consumption groups* (with a *completion* edge and an *abandon* edge).
+//! The invariants from the paper:
+//!
+//! * the root is the only version of the oldest unretired window,
+//! * all versions reachable via a CG's completion edge suppress that CG's
+//!   events; versions on the abandon edge are unaffected,
+//! * creating a CG doubles the creator's dependent subtree (the old subtree
+//!   becomes the abandon branch, a suppressing copy the completion branch),
+//! * resolving a CG drops the losing branch and splices the winner up,
+//! * new windows attach fresh versions at every leaf.
+//!
+//! Additions needed for a working system (the paper describes these
+//! operationally): rollback teardown (a rolled-back version's dependent
+//! subtree is rebuilt from scratch, since its consumption groups were
+//! produced by invalid processing) and root retirement (emitting a finished,
+//! confirmed root version and promoting its child).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::cg::{CgCell, CgId};
+use crate::store::WindowInfo;
+use crate::version::{VersionState, WvId};
+
+/// Vertex handle inside the arena.
+type NodeId = usize;
+
+#[derive(Debug)]
+enum Node {
+    Version {
+        parent: Option<NodeId>,
+        state: Arc<VersionState>,
+        child: Option<NodeId>,
+        /// Completed consumption groups owned by this version whose splice
+        /// found *no* dependent versions to carry the suppression (the
+        /// completion edge was empty). Dependent versions created later —
+        /// by window attach or chain building — must still suppress these
+        /// consumed events, so the facts are inherited into every new
+        /// suppressed set derived from this vertex.
+        facts: Vec<Arc<CgCell>>,
+    },
+    Cg {
+        parent: Option<NodeId>,
+        cell: Arc<CgCell>,
+        completion: Option<NodeId>,
+        abandon: Option<NodeId>,
+    },
+}
+
+/// Materializes window versions and twin cells for the tree. The splitter
+/// implements this to allocate ids and keep metrics; test fixtures provide
+/// counters.
+pub trait VersionFactory {
+    /// Creates a fresh version of `window` (processing starts at the window
+    /// start) with the given suppressed set.
+    fn fresh(
+        &mut self,
+        window: &Arc<WindowInfo>,
+        suppressed: Vec<Arc<CgCell>>,
+    ) -> Arc<VersionState>;
+
+    /// Clones `source`'s processing state into a new version with the given
+    /// suppressed set. Every open consumption group of the clone is
+    /// replaced, atomically under the source's state lock, by an
+    /// independent *twin* cell; the created `(original id, twin)` pairs are
+    /// returned so the tree can key the copied group vertices to them.
+    ///
+    /// Returns `None` when the clone holds an open group outside
+    /// `expected_open` — the tree state predates that group (its `CgCreated`
+    /// op is still in flight), so the copy must fall back to fresh versions.
+    #[allow(clippy::type_complexity)]
+    fn clone_of(
+        &mut self,
+        source: &Arc<VersionState>,
+        suppressed: Vec<Arc<CgCell>>,
+        expected_open: &[CgId],
+    ) -> Option<(Arc<VersionState>, Vec<(CgId, Arc<CgCell>)>)>;
+}
+
+/// The dependency tree.
+///
+/// All mutating operations are driven by the splitter during its maintenance
+/// cycle; the tree is not shared across threads.
+#[derive(Debug, Default)]
+pub struct DependencyTree {
+    nodes: Vec<Option<Node>>,
+    free: Vec<NodeId>,
+    root: Option<NodeId>,
+    version_vertex: HashMap<u64, NodeId>,
+    cg_vertices: HashMap<CgId, Vec<NodeId>>,
+    version_count: usize,
+}
+
+impl DependencyTree {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live window versions — the paper's "tree size" metric
+    /// (Fig. 10(f)).
+    pub fn version_count(&self) -> usize {
+        self.version_count
+    }
+
+    /// `true` when no window is live.
+    pub fn is_empty(&self) -> bool {
+        self.root.is_none()
+    }
+
+    /// The root version (of the oldest unretired window).
+    pub fn root_version(&self) -> Option<&Arc<VersionState>> {
+        let id = self.root?;
+        match self.node(id) {
+            Node::Version { state, .. } => Some(state),
+            Node::Cg { .. } => unreachable!("root is always a version"),
+        }
+    }
+
+    /// `true` if the root version still has an unspliced consumption-group
+    /// vertex as child (retirement must wait for its resolution ops).
+    pub fn root_blocked_by_cg(&self) -> bool {
+        let Some(root) = self.root else { return false };
+        let Node::Version { child, .. } = self.node(root) else {
+            unreachable!("root is always a version")
+        };
+        matches!(child.map(|c| self.node(c)), Some(Node::Cg { .. }))
+    }
+
+    /// Looks up the version state registered for `wv`.
+    pub fn version(&self, wv: WvId) -> Option<&Arc<VersionState>> {
+        let &node = self.version_vertex.get(&wv.0)?;
+        match self.node(node) {
+            Node::Version { state, .. } => Some(state),
+            Node::Cg { .. } => None,
+        }
+    }
+
+    fn node(&self, id: NodeId) -> &Node {
+        self.nodes[id].as_ref().expect("live node")
+    }
+
+    fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        self.nodes[id].as_mut().expect("live node")
+    }
+
+    fn alloc(&mut self, node: Node) -> NodeId {
+        if let Some(id) = self.free.pop() {
+            self.nodes[id] = Some(node);
+            id
+        } else {
+            self.nodes.push(Some(node));
+            self.nodes.len() - 1
+        }
+    }
+
+    fn register_version(&mut self, id: NodeId, state: &Arc<VersionState>) {
+        self.version_vertex.insert(state.id().0, id);
+        self.version_count += 1;
+    }
+
+    fn alloc_version(
+        &mut self,
+        parent: Option<NodeId>,
+        state: Arc<VersionState>,
+    ) -> NodeId {
+        let id = self.alloc(Node::Version {
+            parent,
+            state: Arc::clone(&state),
+            child: None,
+            facts: Vec::new(),
+        });
+        self.register_version(id, &state);
+        id
+    }
+
+    /// Attaches versions of a newly opened window at every leaf
+    /// (paper Fig. 4, `newWindow`). Returns the created versions.
+    pub fn new_window(
+        &mut self,
+        window: &Arc<WindowInfo>,
+        f: &mut dyn VersionFactory,
+    ) -> Vec<Arc<VersionState>> {
+        let mut created = Vec::new();
+        match self.root {
+            None => {
+                // Independent window: single version, no suppression (an
+                // empty tree implies no live overlapping window; see the
+                // retirement argument in DESIGN.md).
+                let state = f.fresh(window, Vec::new());
+                let id = self.alloc_version(None, Arc::clone(&state));
+                self.root = Some(id);
+                created.push(state);
+            }
+            Some(root) => {
+                self.attach_recursive(root, window, f, &mut created);
+            }
+        }
+        created
+    }
+
+    fn attach_recursive(
+        &mut self,
+        node: NodeId,
+        window: &Arc<WindowInfo>,
+        f: &mut dyn VersionFactory,
+        created: &mut Vec<Arc<VersionState>>,
+    ) {
+        match self.node(node) {
+            Node::Version {
+                child,
+                state,
+                facts,
+                ..
+            } => match child {
+                Some(c) => {
+                    let c = *c;
+                    self.attach_recursive(c, window, f, created);
+                }
+                None => {
+                    let mut suppressed = state.suppressed().to_vec();
+                    suppressed.extend(facts.iter().cloned());
+                    let state = f.fresh(window, suppressed);
+                    let id = self.alloc_version(Some(node), Arc::clone(&state));
+                    let Node::Version { child, .. } = self.node_mut(node) else {
+                        unreachable!()
+                    };
+                    *child = Some(id);
+                    created.push(state);
+                }
+            },
+            Node::Cg {
+                completion,
+                abandon,
+                cell,
+                ..
+            } => {
+                let (completion, abandon, cell) = (*completion, *abandon, Arc::clone(cell));
+                match completion {
+                    Some(c) => self.attach_recursive(c, window, f, created),
+                    None => {
+                        let mut supp = self.suppression_above(node);
+                        supp.push(Arc::clone(&cell));
+                        let state = f.fresh(window, supp);
+                        let id = self.alloc_version(Some(node), Arc::clone(&state));
+                        let Node::Cg { completion, .. } = self.node_mut(node) else {
+                            unreachable!()
+                        };
+                        *completion = Some(id);
+                        created.push(state);
+                    }
+                }
+                match abandon {
+                    Some(a) => self.attach_recursive(a, window, f, created),
+                    None => {
+                        let supp = self.suppression_above(node);
+                        let state = f.fresh(window, supp);
+                        let id = self.alloc_version(Some(node), Arc::clone(&state));
+                        let Node::Cg { abandon, .. } = self.node_mut(node) else {
+                            unreachable!()
+                        };
+                        *abandon = Some(id);
+                        created.push(state);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Suppression set that applies *above* a CG vertex: the nearest
+    /// ancestor version's suppressed set (plus its recorded facts) plus
+    /// every completion edge between it and `node` (exclusive of `node`'s
+    /// own cell).
+    fn suppression_above(&self, node: NodeId) -> Vec<Arc<CgCell>> {
+        let mut extra: Vec<Arc<CgCell>> = Vec::new();
+        let mut cur = node;
+        loop {
+            let parent = match self.node(cur) {
+                Node::Version { parent, .. } | Node::Cg { parent, .. } => *parent,
+            };
+            let Some(p) = parent else {
+                unreachable!("CG vertices always have a version ancestor")
+            };
+            match self.node(p) {
+                Node::Version { state, facts, .. } => {
+                    let mut supp = state.suppressed().to_vec();
+                    supp.extend(facts.iter().cloned());
+                    extra.reverse();
+                    supp.extend(extra);
+                    return supp;
+                }
+                Node::Cg {
+                    cell, completion, ..
+                } => {
+                    if *completion == Some(cur) {
+                        extra.push(Arc::clone(cell));
+                    }
+                    cur = p;
+                }
+            }
+        }
+    }
+
+    /// Inserts a new consumption group under its creator version
+    /// (paper Fig. 4, `consumptionGroupCreated`): the old dependent subtree
+    /// becomes the abandon branch; a *modified copy* that suppresses the
+    /// group's events becomes the completion branch.
+    ///
+    /// The copy clones each dependent version's processing state — the
+    /// paper's intent, since reprocessing every dependent window on each
+    /// group creation would erase the speculation win — with one essential
+    /// correction: a copied consumption-group vertex cannot share its
+    /// original's identity. The copied versions continue the same partial
+    /// matches in an *alternative world*, and the two worlds may resolve a
+    /// match differently; sharing identity would apply one branch's outcome
+    /// to the other (unsound), or leave the copy unresolved forever when the
+    /// original's branch is dropped first (deadlock). Every open group
+    /// vertex in the copy therefore gets an independent **twin cell** (same
+    /// events and completion distance, fresh id), owned and resolved by the
+    /// cloned version that continues the match. Retroactive conflicts with
+    /// the new group's events are caught by the copies' consistency checks,
+    /// exactly as for any late group update (paper Fig. 8).
+    ///
+    /// Returns `false` (no-op) if the creator version is no longer in the
+    /// tree — its subtree was dropped by a concurrent resolution or
+    /// rollback, making the operation stale.
+    pub fn cg_created(
+        &mut self,
+        creator: WvId,
+        cell: Arc<CgCell>,
+        f: &mut dyn VersionFactory,
+    ) -> bool {
+        let Some(&vnode) = self.version_vertex.get(&creator.0) else {
+            return false;
+        };
+        let Node::Version { child, .. } = self.node(vnode) else {
+            unreachable!()
+        };
+        let old_child = *child;
+
+        let copy = old_child.and_then(|c| {
+            let mut twins = HashMap::new();
+            let mut stray_facts = Vec::new();
+            let copied =
+                self.copy_stateful(c, &cell, &mut twins, f, &mut stray_facts, &[]);
+            debug_assert!(
+                stray_facts.is_empty(),
+                "the copy root is a version vertex and collects its own facts"
+            );
+            copied
+        });
+        let cg_node = self.alloc(Node::Cg {
+            parent: Some(vnode),
+            cell: Arc::clone(&cell),
+            completion: copy,
+            abandon: old_child,
+        });
+        if let Some(c) = copy {
+            self.set_parent(c, cg_node);
+        }
+        if let Some(c) = old_child {
+            self.set_parent(c, cg_node);
+        }
+        let Node::Version { child, .. } = self.node_mut(vnode) else {
+            unreachable!()
+        };
+        *child = Some(cg_node);
+        self.cg_vertices.entry(cell.id()).or_default().push(cg_node);
+        true
+    }
+
+    /// Distinct windows of the versions in `src`'s subtree, ascending by id.
+    fn subtree_windows(&self, src: NodeId) -> Vec<Arc<WindowInfo>> {
+        let mut windows: Vec<Arc<WindowInfo>> = Vec::new();
+        let mut stack = vec![src];
+        while let Some(id) = stack.pop() {
+            match self.node(id) {
+                Node::Version { state, child, .. } => {
+                    if !windows.iter().any(|w| w.id == state.window().id) {
+                        windows.push(Arc::clone(state.window()));
+                    }
+                    if let Some(c) = child {
+                        stack.push(*c);
+                    }
+                }
+                Node::Cg {
+                    completion,
+                    abandon,
+                    ..
+                } => {
+                    if let Some(c) = completion {
+                        stack.push(*c);
+                    }
+                    if let Some(a) = abandon {
+                        stack.push(*a);
+                    }
+                }
+            }
+        }
+        windows.sort_by_key(|w| w.id);
+        windows
+    }
+
+    /// Builds a parentless chain of fresh versions (one per window, in the
+    /// given order), all suppressing `suppression`. Returns the chain head.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `windows` is empty.
+    fn fresh_chain(
+        &mut self,
+        windows: &[Arc<WindowInfo>],
+        suppression: &[Arc<CgCell>],
+        f: &mut dyn VersionFactory,
+    ) -> NodeId {
+        let mut head: Option<NodeId> = None;
+        let mut cur: Option<NodeId> = None;
+        for window in windows {
+            let state = f.fresh(window, suppression.to_vec());
+            let id = self.alloc_version(cur, state);
+            if let Some(p) = cur {
+                let Node::Version { child, .. } = self.node_mut(p) else {
+                    unreachable!("chain links versions only")
+                };
+                *child = Some(id);
+            } else {
+                head = Some(id);
+            }
+            cur = Some(id);
+        }
+        head.expect("chain must cover at least one window")
+    }
+
+    /// Copies `src`'s subtree for the completion branch of `extra`
+    /// (see [`cg_created`](Self::cg_created)). Version state is cloned;
+    /// open consumption-group vertices get twin cells (recorded in
+    /// `twins`); vertices of groups that already resolved (their splice op
+    /// still in flight) are pre-spliced in the copy. A completed-and-empty
+    /// vertex pushes its cell into `facts_out`, to be recorded on the
+    /// nearest copied ancestor version.
+    ///
+    /// Returns the copied subtree root, or `None` if nothing remains (the
+    /// subtree was a single pre-spliced vertex with an empty winner edge).
+    fn copy_stateful(
+        &mut self,
+        src: NodeId,
+        extra: &Arc<CgCell>,
+        twins: &mut HashMap<CgId, Arc<CgCell>>,
+        f: &mut dyn VersionFactory,
+        facts_out: &mut Vec<Arc<CgCell>>,
+        inherited: &[Arc<CgCell>],
+    ) -> Option<NodeId> {
+        match self.node(src) {
+            Node::Version {
+                state,
+                child,
+                facts,
+                ..
+            } => {
+                let (state, child, mut new_facts) =
+                    (Arc::clone(state), *child, facts.clone());
+                // Rewrite the suppressed set: twins replace open groups
+                // whose vertices lie inside the copy (recorded by ancestor
+                // recursion steps); resolved cells and groups above the
+                // creator stay shared. Append the new group last.
+                let mut suppressed: Vec<Arc<CgCell>> = state
+                    .suppressed()
+                    .iter()
+                    .map(|c| {
+                        twins
+                            .get(&c.id())
+                            .cloned()
+                            .unwrap_or_else(|| Arc::clone(c))
+                    })
+                    .collect();
+                // Completions inherited from cloned ancestors whose splice
+                // ops were lost (the ancestor was dropped with its
+                // CgCreated op still in flight; the clone carries the
+                // consumed events) must be suppressed here too.
+                for cell in inherited {
+                    if !suppressed.iter().any(|c| c.id() == cell.id()) {
+                        suppressed.push(Arc::clone(cell));
+                    }
+                }
+                suppressed.push(Arc::clone(extra));
+
+                // Groups this version may legitimately hold open: the CG
+                // vertex directly below it, if any (its own speculation
+                // point).
+                let expected_open: Vec<CgId> = match child.map(|c| self.node(c)) {
+                    Some(Node::Cg { cell, .. }) => vec![cell.id()],
+                    _ => Vec::new(),
+                };
+                let Some((new_state, new_twins)) =
+                    f.clone_of(&state, suppressed.clone(), &expected_open)
+                else {
+                    // An open group of `state` has no vertex yet (its
+                    // CgCreated op is still in flight): the clone would
+                    // share ownership of that group. Fall back to fresh
+                    // versions for this whole subtree; the speculation
+                    // below re-emerges as they reprocess.
+                    let windows = self.subtree_windows(src);
+                    return Some(self.fresh_chain(&windows, &suppressed, f));
+                };
+                twins.extend(new_twins);
+                // The clone's completed groups stand in its world whether
+                // or not the tree ever saw their vertices (the original may
+                // be dropped with the CgCreated op still in flight, which
+                // stale-drops it). Dependent copies below must suppress
+                // them, and windows attached below the clone later must
+                // inherit them as facts.
+                let clone_completed: Vec<Arc<CgCell>> =
+                    new_state.lock().completed_cells.clone();
+                let mut inherited_next: Vec<Arc<CgCell>> = inherited.to_vec();
+                for cell in &clone_completed {
+                    if !inherited_next.iter().any(|c| c.id() == cell.id()) {
+                        inherited_next.push(Arc::clone(cell));
+                    }
+                }
+                for cell in &clone_completed {
+                    if !new_facts.iter().any(|c| c.id() == cell.id()) {
+                        new_facts.push(Arc::clone(cell));
+                    }
+                }
+                let new_id = self.alloc_version(None, new_state);
+                if let Some(c) = child {
+                    let mut child_facts = Vec::new();
+                    if let Some(cc) =
+                        self.copy_stateful(c, extra, twins, f, &mut child_facts, &inherited_next)
+                    {
+                        self.set_parent(cc, new_id);
+                        let Node::Version { child, .. } = self.node_mut(new_id)
+                        else {
+                            unreachable!()
+                        };
+                        *child = Some(cc);
+                    }
+                    new_facts.extend(child_facts);
+                }
+                let Node::Version { facts, .. } = self.node_mut(new_id) else {
+                    unreachable!()
+                };
+                *facts = new_facts;
+                Some(new_id)
+            }
+            Node::Cg {
+                cell,
+                completion,
+                abandon,
+                ..
+            } => {
+                let (cell, completion, abandon) =
+                    (Arc::clone(cell), *completion, *abandon);
+                let Some(twin) = twins.get(&cell.id()).cloned() else {
+                    // The owner's clone (made just above in the recursion)
+                    // no longer holds this group open: the owner resolved
+                    // it and the splice op is in flight. Pre-apply the
+                    // splice in the copy. The status was published under
+                    // the owner's state lock before the clone was taken,
+                    // so it is visible here.
+                    let completed =
+                        cell.status() == crate::cg::CgStatus::Completed;
+                    debug_assert!(
+                        cell.is_resolved(),
+                        "un-twinned group vertices are resolved-pending"
+                    );
+                    let winner = if completed { completion } else { abandon };
+                    return match winner {
+                        Some(w) => {
+                            self.copy_stateful(w, extra, twins, f, facts_out, inherited)
+                        }
+                        None => {
+                            if completed {
+                                facts_out.push(cell);
+                            }
+                            None
+                        }
+                    };
+                };
+                let new_id = self.alloc(Node::Cg {
+                    parent: None,
+                    cell: Arc::clone(&twin),
+                    completion: None,
+                    abandon: None,
+                });
+                self.cg_vertices.entry(twin.id()).or_default().push(new_id);
+                if let Some(c) = completion {
+                    let mut sub_facts = Vec::new();
+                    let cc =
+                        self.copy_stateful(c, extra, twins, f, &mut sub_facts, inherited);
+                    debug_assert!(
+                        sub_facts.is_empty(),
+                        "edge children are version vertices which keep their own facts"
+                    );
+                    if let Some(cc) = cc {
+                        self.set_parent(cc, new_id);
+                        let Node::Cg { completion, .. } = self.node_mut(new_id)
+                        else {
+                            unreachable!()
+                        };
+                        *completion = Some(cc);
+                    }
+                }
+                if let Some(a) = abandon {
+                    let mut sub_facts = Vec::new();
+                    let ac =
+                        self.copy_stateful(a, extra, twins, f, &mut sub_facts, inherited);
+                    debug_assert!(sub_facts.is_empty());
+                    if let Some(ac) = ac {
+                        self.set_parent(ac, new_id);
+                        let Node::Cg { abandon, .. } = self.node_mut(new_id)
+                        else {
+                            unreachable!()
+                        };
+                        *abandon = Some(ac);
+                    }
+                }
+                Some(new_id)
+            }
+        }
+    }
+
+    fn set_parent(&mut self, node: NodeId, parent: NodeId) {
+        match self.node_mut(node) {
+            Node::Version { parent: p, .. } | Node::Cg { parent: p, .. } => {
+                *p = Some(parent)
+            }
+        }
+    }
+
+    /// Resolves a consumption group (paper Fig. 4,
+    /// `consumptionGroupCompleted` / `Abandoned`): at every vertex of the
+    /// group, the losing branch is dropped and the winning branch spliced to
+    /// the parent. Returns the number of versions dropped.
+    pub fn cg_resolved(&mut self, cg: CgId, completed: bool) -> usize {
+        let Some(vertices) = self.cg_vertices.remove(&cg) else {
+            return 0;
+        };
+        let mut dropped = 0;
+        for vertex in vertices {
+            // The vertex may already be gone: it sat inside the losing
+            // branch of another vertex of the same group (or a rollback
+            // teardown). Verify it is still this group's vertex.
+            let Some(Some(Node::Cg { cell, .. })) = self.nodes.get(vertex) else {
+                continue;
+            };
+            if cell.id() != cg {
+                continue;
+            }
+            let Node::Cg {
+                parent,
+                completion,
+                abandon,
+                cell,
+            } = self.node(vertex)
+            else {
+                unreachable!()
+            };
+            let (parent, completion, abandon, cell) =
+                (*parent, *completion, *abandon, Arc::clone(cell));
+            let (winner, loser) = if completed {
+                (completion, abandon)
+            } else {
+                (abandon, completion)
+            };
+            if let Some(l) = loser {
+                dropped += self.drop_subtree(l);
+            }
+            // Splice winner up.
+            self.nodes[vertex] = None;
+            self.free.push(vertex);
+            if let Some(w) = winner {
+                match parent {
+                    Some(p) => {
+                        self.replace_child(p, vertex, w);
+                        self.set_parent(w, p);
+                    }
+                    None => {
+                        debug_assert_eq!(self.root, Some(vertex));
+                        self.set_root(w);
+                    }
+                }
+            } else {
+                match parent {
+                    Some(p) => {
+                        self.replace_child(p, vertex, usize::MAX);
+                        // A completion with no dependent versions to carry
+                        // the suppression: record the consumed events as a
+                        // fact on the owner so later-created dependents
+                        // still suppress them.
+                        if completed {
+                            // Walk up to the nearest version vertex (the
+                            // parent may itself be a CG vertex when several
+                            // groups of one version are open at once).
+                            let mut owner = p;
+                            loop {
+                                match self.node_mut(owner) {
+                                    Node::Version { facts, .. } => {
+                                        facts.push(cell);
+                                        break;
+                                    }
+                                    Node::Cg { parent, .. } => {
+                                        owner = parent
+                                            .expect("CG vertices have version ancestors");
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    None => self.root = None,
+                }
+            }
+        }
+        dropped
+    }
+
+    fn set_root(&mut self, node: NodeId) {
+        match self.node_mut(node) {
+            Node::Version { parent, .. } | Node::Cg { parent, .. } => *parent = None,
+        }
+        self.root = Some(node);
+    }
+
+    /// Replaces `old` in `parent`'s child slots with `new`
+    /// (`new == usize::MAX` clears the slot).
+    fn replace_child(&mut self, parent: NodeId, old: NodeId, new: NodeId) {
+        let new = if new == usize::MAX { None } else { Some(new) };
+        match self.node_mut(parent) {
+            Node::Version { child, .. } => {
+                if *child == Some(old) {
+                    *child = new;
+                }
+            }
+            Node::Cg {
+                completion,
+                abandon,
+                ..
+            } => {
+                if *completion == Some(old) {
+                    *completion = new;
+                } else if *abandon == Some(old) {
+                    *abandon = new;
+                }
+            }
+        }
+    }
+
+    /// Drops a whole subtree, marking all contained versions dropped.
+    /// Returns the number of versions dropped.
+    fn drop_subtree(&mut self, node: NodeId) -> usize {
+        let mut dropped = 0;
+        let mut stack = vec![node];
+        while let Some(id) = stack.pop() {
+            let Some(n) = self.nodes[id].take() else {
+                continue;
+            };
+            self.free.push(id);
+            match n {
+                Node::Version { state, child, .. } => {
+                    state.mark_dropped();
+                    self.version_vertex.remove(&state.id().0);
+                    self.version_count -= 1;
+                    dropped += 1;
+                    if let Some(c) = child {
+                        stack.push(c);
+                    }
+                }
+                Node::Cg {
+                    cell,
+                    completion,
+                    abandon,
+                    ..
+                } => {
+                    if let Some(v) = self.cg_vertices.get_mut(&cell.id()) {
+                        v.retain(|&x| x != id);
+                        if v.is_empty() {
+                            self.cg_vertices.remove(&cell.id());
+                        }
+                    }
+                    if let Some(c) = completion {
+                        stack.push(c);
+                    }
+                    if let Some(a) = abandon {
+                        stack.push(a);
+                    }
+                }
+            }
+        }
+        dropped
+    }
+
+    /// Tears down and rebuilds the dependent subtree of a rolled-back
+    /// version: all consumption groups the invalid processing produced (and
+    /// every version speculating on them) are discarded, and one fresh
+    /// version per newer live window is chained below (see DESIGN.md §6).
+    ///
+    /// `newer_windows` must be the live windows with id greater than the
+    /// rolled-back version's window, in ascending id order. Returns the
+    /// number of versions dropped.
+    /// `carried_facts` are completions that *survive* the rollback — empty
+    /// for a reset to the window start, or the completions preceding the
+    /// restored checkpoint (their events stay consumed in the restarted
+    /// world, so the rebuilt dependents must suppress them).
+    pub fn rollback_rebuild(
+        &mut self,
+        wv: WvId,
+        newer_windows: &[Arc<WindowInfo>],
+        carried_facts: Vec<Arc<CgCell>>,
+        f: &mut dyn VersionFactory,
+    ) -> usize {
+        let Some(&vnode) = self.version_vertex.get(&wv.0) else {
+            return 0;
+        };
+        let Node::Version { child, state, .. } = self.node(vnode) else {
+            unreachable!()
+        };
+        let old_child = *child;
+        let mut suppressed = state.suppressed().to_vec();
+        suppressed.extend(carried_facts.iter().cloned());
+        let mut dropped = 0;
+        if let Some(c) = old_child {
+            dropped += self.drop_subtree(c);
+        }
+        {
+            // The version restarts: its previous completions (and any facts
+            // they recorded) came from processing that is now invalid —
+            // except the carried ones, which the restored state keeps.
+            let Node::Version { child, facts, .. } = self.node_mut(vnode) else {
+                unreachable!()
+            };
+            *child = None;
+            *facts = carried_facts;
+        }
+        if !newer_windows.is_empty() {
+            let head = self.fresh_chain(newer_windows, &suppressed, f);
+            self.set_parent(head, vnode);
+            match self.node_mut(vnode) {
+                Node::Version { child, .. } => *child = Some(head),
+                Node::Cg { .. } => unreachable!("rollback roots are versions"),
+            }
+        }
+        dropped
+    }
+
+    /// Removes the root version after it was emitted; its child becomes the
+    /// new root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree is empty or the root's child is an unresolved CG
+    /// vertex (callers must check [`root_blocked_by_cg`](Self::root_blocked_by_cg)).
+    pub fn retire_root(&mut self) -> Arc<VersionState> {
+        let root = self.root.expect("tree not empty");
+        let Some(Node::Version { state, child, .. }) = self.nodes[root].take() else {
+            unreachable!("root is always a version")
+        };
+        self.free.push(root);
+        self.version_vertex.remove(&state.id().0);
+        self.version_count -= 1;
+        match child {
+            Some(c) => {
+                assert!(
+                    matches!(self.node(c), Node::Version { .. }),
+                    "root child must be a version at retirement"
+                );
+                self.set_root(c);
+            }
+            None => self.root = None,
+        }
+        state
+    }
+
+    /// Selects the k window versions with the highest survival probability
+    /// (paper Fig. 6). `prob_of` supplies the completion probability of an
+    /// open consumption group.
+    ///
+    /// Finished versions are traversed but not returned (they need no
+    /// instance). The returned list is ordered by decreasing survival
+    /// probability.
+    pub fn top_k(&self, k: usize, prob_of: &dyn Fn(&CgCell) -> f64) -> Vec<Arc<VersionState>> {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        // Ordering: survival probability first; ties go to the *earlier
+        // window* (it retires first, so finishing it unblocks emission),
+        // then to the older vertex for determinism.
+        #[derive(PartialEq)]
+        struct Cand(f64, Reverse<u64>, Reverse<usize>, NodeId);
+        impl Eq for Cand {}
+        impl PartialOrd for Cand {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Cand {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                self.0
+                    .total_cmp(&other.0)
+                    .then_with(|| self.1.cmp(&other.1))
+                    .then_with(|| self.2.cmp(&other.2))
+            }
+        }
+
+        let mut result = Vec::with_capacity(k);
+        let mut heap: BinaryHeap<Cand> = BinaryHeap::new();
+        let push_version = |heap: &mut BinaryHeap<Cand>, prob: f64, node: NodeId| {
+            let Node::Version { state, .. } = self.node(node) else {
+                unreachable!("only version vertices are heap candidates")
+            };
+            heap.push(Cand(prob, Reverse(state.window().id), Reverse(node), node));
+        };
+        if let Some(root) = self.root {
+            push_version(&mut heap, 1.0, root);
+        }
+        while result.len() < k {
+            let Some(Cand(prob, _, _, node)) = heap.pop() else {
+                break;
+            };
+            let Node::Version { state, child, .. } = self.node(node) else {
+                unreachable!("heap contains version vertices only")
+            };
+            if !state.is_finished() {
+                result.push(Arc::clone(state));
+            }
+            // Expand the child, resolving CG vertices into their two
+            // version branches weighted by completion probability.
+            let mut stack: Vec<(f64, NodeId)> = Vec::new();
+            if let Some(c) = child {
+                stack.push((prob, *c));
+            }
+            while let Some((p, n)) = stack.pop() {
+                match self.node(n) {
+                    Node::Version { .. } => push_version(&mut heap, p, n),
+                    Node::Cg {
+                        cell,
+                        completion,
+                        abandon,
+                        ..
+                    } => {
+                        let pc = prob_of(cell).clamp(0.0, 1.0);
+                        if let Some(c) = completion {
+                            stack.push((p * pc, *c));
+                        }
+                        if let Some(a) = abandon {
+                            stack.push((p * (1.0 - pc), *a));
+                        }
+                    }
+                }
+            }
+        }
+        result
+    }
+
+    /// Iterates over all live versions (diagnostics and tests).
+    pub fn versions(&self) -> Vec<Arc<VersionState>> {
+        self.nodes
+            .iter()
+            .filter_map(|n| match n {
+                Some(Node::Version { state, .. }) => Some(Arc::clone(state)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Structural self-check for tests: parent/child links are mutual, the
+    /// registry matches the arena, and every version's suppressed set equals
+    /// the completion edges on its root path.
+    #[doc(hidden)]
+    pub fn assert_invariants(&self) {
+        let mut seen_versions = 0;
+        for (id, node) in self.nodes.iter().enumerate() {
+            let Some(node) = node else { continue };
+            match node {
+                Node::Version {
+                    parent,
+                    state,
+                    child,
+                    ..
+                } => {
+                    seen_versions += 1;
+                    assert_eq!(self.version_vertex.get(&state.id().0), Some(&id));
+                    if let Some(c) = child {
+                        self.assert_child_link(id, *c);
+                    }
+                    if parent.is_none() {
+                        assert_eq!(self.root, Some(id));
+                    }
+                    // suppressed set == completion edges on root path
+                    let mut expected: Vec<CgId> = Vec::new();
+                    let mut cur = id;
+                    while let Some(p) = self.parent_of(cur) {
+                        if let Node::Cg {
+                            cell, completion, ..
+                        } = self.node(p)
+                        {
+                            if *completion == Some(cur) {
+                                expected.push(cell.id());
+                            }
+                        }
+                        cur = p;
+                    }
+                    let mut actual: Vec<CgId> = state
+                        .suppressed()
+                        .iter()
+                        .map(|c| c.id())
+                        .collect();
+                    // the root path may omit suppression inherited from
+                    // retired windows: every expected edge must be present.
+                    actual.sort();
+                    expected.sort();
+                    for e in &expected {
+                        assert!(
+                            actual.contains(e),
+                            "version {} missing suppression {e}",
+                            state.id()
+                        );
+                    }
+                }
+                Node::Cg {
+                    parent,
+                    cell,
+                    completion,
+                    abandon,
+                } => {
+                    assert!(parent.is_some(), "CG vertex cannot be root");
+                    assert!(self
+                        .cg_vertices
+                        .get(&cell.id())
+                        .is_some_and(|v| v.contains(&id)));
+                    if let Some(c) = completion {
+                        self.assert_child_link(id, *c);
+                    }
+                    if let Some(a) = abandon {
+                        self.assert_child_link(id, *a);
+                    }
+                }
+            }
+        }
+        assert_eq!(seen_versions, self.version_count);
+    }
+
+    fn parent_of(&self, node: NodeId) -> Option<NodeId> {
+        match self.node(node) {
+            Node::Version { parent, .. } | Node::Cg { parent, .. } => *parent,
+        }
+    }
+
+    fn assert_child_link(&self, parent: NodeId, child: NodeId) {
+        assert_eq!(self.parent_of(child), Some(parent), "broken parent link");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cg::CgStatus;
+    use spectre_query::{Expr, Pattern, Query, WindowSpec};
+
+    /// Test factory: sequential ids, no metrics.
+    struct TestFactory {
+        query: Arc<Query>,
+        next_wv: u64,
+        next_cg: u64,
+    }
+
+    impl VersionFactory for TestFactory {
+        fn fresh(
+            &mut self,
+            window: &Arc<WindowInfo>,
+            suppressed: Vec<Arc<CgCell>>,
+        ) -> Arc<VersionState> {
+            let v = VersionState::new(
+                WvId(self.next_wv),
+                Arc::clone(window),
+                Arc::clone(&self.query),
+                suppressed,
+            );
+            self.next_wv += 1;
+            v
+        }
+
+        fn clone_of(
+            &mut self,
+            source: &Arc<VersionState>,
+            suppressed: Vec<Arc<CgCell>>,
+            expected_open: &[CgId],
+        ) -> Option<(Arc<VersionState>, Vec<(CgId, Arc<CgCell>)>)> {
+            let id = WvId(self.next_wv);
+            self.next_wv += 1;
+            let next_cg = &mut self.next_cg;
+            let mut mk_twin = |cell: &CgCell| {
+                let t = Arc::new(cell.twin(CgId(*next_cg)));
+                *next_cg += 1;
+                t
+            };
+            VersionState::clone_speculative(
+                source,
+                id,
+                suppressed,
+                expected_open,
+                &mut mk_twin,
+            )
+        }
+    }
+
+    struct Fixture {
+        tree: DependencyTree,
+        factory: TestFactory,
+    }
+
+    impl Fixture {
+        fn new() -> Self {
+            let query = Arc::new(
+                Query::builder("t")
+                    .pattern(Pattern::builder().one("A", Expr::truth()).build().unwrap())
+                    .window(WindowSpec::count_sliding(4, 2).unwrap())
+                    .build()
+                    .unwrap(),
+            );
+            Fixture {
+                tree: DependencyTree::new(),
+                factory: TestFactory {
+                    query,
+                    next_wv: 0,
+                    next_cg: 0,
+                },
+            }
+        }
+
+        fn open_window(&mut self, id: u64) -> Vec<Arc<VersionState>> {
+            let window = Arc::new(WindowInfo::new(id, id * 2, id * 2, id * 2));
+            let out = self.tree.new_window(&window, &mut self.factory);
+            self.tree.assert_invariants();
+            out
+        }
+
+        fn create_cg(&mut self, creator: &Arc<VersionState>) -> Arc<CgCell> {
+            let cell = Arc::new(CgCell::new(
+                CgId(self.factory.next_cg),
+                creator.window().id,
+                1,
+            ));
+            self.factory.next_cg += 1;
+            assert!(self
+                .tree
+                .cg_created(creator.id(), Arc::clone(&cell), &mut self.factory));
+            self.tree.assert_invariants();
+            cell
+        }
+    }
+
+    #[test]
+    fn independent_window_becomes_root() {
+        let mut f = Fixture::new();
+        let created = f.open_window(0);
+        assert_eq!(created.len(), 1);
+        assert_eq!(f.tree.version_count(), 1);
+        assert_eq!(
+            f.tree.root_version().unwrap().id(),
+            created[0].id()
+        );
+        assert!(created[0].suppressed().is_empty());
+    }
+
+    #[test]
+    fn cg_creation_doubles_dependent_versions() {
+        // Paper Fig. 3: w1 with CG, w2 depends.
+        let mut f = Fixture::new();
+        let w1 = f.open_window(0).remove(0);
+        let w2 = f.open_window(1);
+        assert_eq!(w2.len(), 1);
+        let cg = f.create_cg(&w1);
+        // w2 now has two versions: original (abandon) + copy (completion).
+        assert_eq!(f.tree.version_count(), 3);
+        let versions = f.tree.versions();
+        let w2_versions: Vec<_> = versions
+            .iter()
+            .filter(|v| v.window().id == 1)
+            .collect();
+        assert_eq!(w2_versions.len(), 2);
+        let suppressing = w2_versions
+            .iter()
+            .filter(|v| v.suppressed().iter().any(|c| c.id() == cg.id()))
+            .count();
+        assert_eq!(suppressing, 1);
+    }
+
+    #[test]
+    fn new_window_attaches_at_all_leaves() {
+        let mut f = Fixture::new();
+        let w1 = f.open_window(0).remove(0);
+        let _w2 = f.open_window(1);
+        let _cg = f.create_cg(&w1);
+        // leaves: two w2 versions → two w3 versions.
+        let w3 = f.open_window(2);
+        assert_eq!(w3.len(), 2);
+        assert_eq!(f.tree.version_count(), 5);
+    }
+
+    #[test]
+    fn new_window_under_leaf_cg_creates_both_branches() {
+        let mut f = Fixture::new();
+        let w1 = f.open_window(0).remove(0);
+        // CG before any dependent window exists: CG vertex is a leaf.
+        let cg = f.create_cg(&w1);
+        let w2 = f.open_window(1);
+        assert_eq!(w2.len(), 2);
+        let suppressing = w2
+            .iter()
+            .filter(|v| v.suppressed().iter().any(|c| c.id() == cg.id()))
+            .count();
+        assert_eq!(suppressing, 1);
+    }
+
+    #[test]
+    fn completion_keeps_suppressing_branch() {
+        let mut f = Fixture::new();
+        let w1 = f.open_window(0).remove(0);
+        let _w2 = f.open_window(1);
+        let cg = f.create_cg(&w1);
+        cg.complete();
+        let dropped = f.tree.cg_resolved(cg.id(), true);
+        f.tree.assert_invariants();
+        assert_eq!(dropped, 1);
+        assert_eq!(f.tree.version_count(), 2);
+        let survivor = f
+            .tree
+            .versions()
+            .into_iter()
+            .find(|v| v.window().id == 1)
+            .unwrap();
+        assert!(survivor.suppressed().iter().any(|c| c.id() == cg.id()));
+    }
+
+    #[test]
+    fn abandonment_keeps_original_branch() {
+        let mut f = Fixture::new();
+        let w1 = f.open_window(0).remove(0);
+        let w2_orig = f.open_window(1).remove(0);
+        let cg = f.create_cg(&w1);
+        cg.abandon();
+        let dropped = f.tree.cg_resolved(cg.id(), false);
+        f.tree.assert_invariants();
+        assert_eq!(dropped, 1);
+        // The surviving version is the *original* (it kept its state).
+        let survivor = f
+            .tree
+            .versions()
+            .into_iter()
+            .find(|v| v.window().id == 1)
+            .unwrap();
+        assert_eq!(survivor.id(), w2_orig.id());
+        assert!(survivor.suppressed().is_empty());
+    }
+
+    #[test]
+    fn sequential_cgs_accumulate_suppression() {
+        // The runtime's actual lifecycle (max_active = 1): a version's
+        // groups are created and resolved one after another; completed
+        // suppression accumulates in the surviving dependent versions.
+        let mut f = Fixture::new();
+        let w1 = f.open_window(0).remove(0);
+        let _w2 = f.open_window(1);
+        let cg1 = f.create_cg(&w1);
+        assert_eq!(f.tree.version_count(), 3);
+        cg1.complete();
+        f.tree.cg_resolved(cg1.id(), true);
+        f.tree.assert_invariants();
+
+        let cg2 = f.create_cg(&w1);
+        // Completion chain inherits the cg1 fact from the old child.
+        let suppressing_both = f
+            .tree
+            .versions()
+            .iter()
+            .filter(|v| v.window().id == 1)
+            .filter(|v| {
+                let ids: Vec<CgId> = v.suppressed().iter().map(|c| c.id()).collect();
+                ids.contains(&cg1.id()) && ids.contains(&cg2.id())
+            })
+            .count();
+        assert_eq!(suppressing_both, 1, "completion branch carries both groups");
+
+        cg2.complete();
+        f.tree.cg_resolved(cg2.id(), true);
+        f.tree.assert_invariants();
+        assert_eq!(f.tree.version_count(), 2);
+        let survivor = f
+            .tree
+            .versions()
+            .into_iter()
+            .find(|v| v.window().id == 1)
+            .unwrap();
+        let mut ids: Vec<CgId> = survivor.suppressed().iter().map(|c| c.id()).collect();
+        ids.sort();
+        assert_eq!(ids, vec![cg1.id(), cg2.id()]);
+    }
+
+    #[test]
+    fn abandoned_then_completed_keeps_only_completed() {
+        let mut f = Fixture::new();
+        let w1 = f.open_window(0).remove(0);
+        let _w2 = f.open_window(1);
+        let cg1 = f.create_cg(&w1);
+        cg1.abandon();
+        f.tree.cg_resolved(cg1.id(), false);
+        f.tree.assert_invariants();
+        let cg2 = f.create_cg(&w1);
+        cg2.complete();
+        f.tree.cg_resolved(cg2.id(), true);
+        f.tree.assert_invariants();
+        let survivor = f
+            .tree
+            .versions()
+            .into_iter()
+            .find(|v| v.window().id == 1)
+            .unwrap();
+        let ids: Vec<CgId> = survivor.suppressed().iter().map(|c| c.id()).collect();
+        assert_eq!(ids, vec![cg2.id()]);
+    }
+
+    #[test]
+    fn completion_without_dependents_is_recorded_as_fact() {
+        // A group completes while no dependent window exists; a window
+        // opening afterwards must still suppress the consumed events.
+        let mut f = Fixture::new();
+        let w1 = f.open_window(0).remove(0);
+        let cg = f.create_cg(&w1);
+        cg.complete();
+        f.tree.cg_resolved(cg.id(), true);
+        f.tree.assert_invariants();
+        assert_eq!(f.tree.version_count(), 1);
+        let w2 = f.open_window(1);
+        assert_eq!(w2.len(), 1);
+        assert!(
+            w2[0].suppressed().iter().any(|c| c.id() == cg.id()),
+            "later window inherits the completed-group fact"
+        );
+    }
+
+    #[test]
+    fn facts_chain_through_later_groups() {
+        // cg1 completes with no dependents (fact on w1); cg2 opens; a new
+        // window attaching below cg2 must suppress cg1 on *both* edges and
+        // cg2 only on the completion edge.
+        let mut f = Fixture::new();
+        let w1 = f.open_window(0).remove(0);
+        let cg1 = f.create_cg(&w1);
+        cg1.complete();
+        f.tree.cg_resolved(cg1.id(), true);
+        let cg2 = f.create_cg(&w1);
+        let w2 = f.open_window(1);
+        assert_eq!(w2.len(), 2);
+        for v in &w2 {
+            assert!(
+                v.suppressed().iter().any(|c| c.id() == cg1.id()),
+                "fact cg1 applies to every branch"
+            );
+        }
+        let with_cg2 = w2
+            .iter()
+            .filter(|v| v.suppressed().iter().any(|c| c.id() == cg2.id()))
+            .count();
+        assert_eq!(with_cg2, 1);
+    }
+
+    #[test]
+    fn dropped_versions_are_flagged() {
+        let mut f = Fixture::new();
+        let w1 = f.open_window(0).remove(0);
+        let w2_orig = f.open_window(1).remove(0);
+        let cg = f.create_cg(&w1);
+        cg.complete();
+        f.tree.cg_resolved(cg.id(), true);
+        assert!(w2_orig.is_dropped());
+    }
+
+    #[test]
+    fn retirement_promotes_child() {
+        let mut f = Fixture::new();
+        let w1 = f.open_window(0).remove(0);
+        let w2 = f.open_window(1).remove(0);
+        let retired = f.tree.retire_root();
+        f.tree.assert_invariants();
+        assert_eq!(retired.id(), w1.id());
+        assert_eq!(f.tree.root_version().unwrap().id(), w2.id());
+        let last = f.tree.retire_root();
+        assert_eq!(last.id(), w2.id());
+        assert!(f.tree.is_empty());
+    }
+
+    #[test]
+    fn root_blocked_by_cg_detected() {
+        let mut f = Fixture::new();
+        let w1 = f.open_window(0).remove(0);
+        assert!(!f.tree.root_blocked_by_cg());
+        let cg = f.create_cg(&w1);
+        assert!(f.tree.root_blocked_by_cg());
+        cg.abandon();
+        f.tree.cg_resolved(cg.id(), false);
+        assert!(!f.tree.root_blocked_by_cg());
+    }
+
+    #[test]
+    fn top_k_prefers_likely_branches() {
+        let mut f = Fixture::new();
+        let w1 = f.open_window(0).remove(0);
+        let _w2 = f.open_window(1);
+        let cg = f.create_cg(&w1);
+        // completion probability 0.9 → completion-branch version outranks
+        // the abandon-branch version.
+        let top = f.tree.top_k(2, &|_c| 0.9);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].id(), w1.id()); // root first (prob 1.0)
+        assert!(top[1].suppressed().iter().any(|c| c.id() == cg.id()));
+        let top_low = f.tree.top_k(3, &|_c| 0.1);
+        assert!(top_low[1].suppressed().is_empty());
+        let _ = cg;
+    }
+
+    #[test]
+    fn top_k_skips_finished_versions() {
+        let mut f = Fixture::new();
+        let w1 = f.open_window(0).remove(0);
+        let w2 = f.open_window(1).remove(0);
+        w1.mark_finished();
+        let top = f.tree.top_k(2, &|_c| 0.5);
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0].id(), w2.id());
+    }
+
+    #[test]
+    fn top_k_visits_minimal_vertices_breadth_case() {
+        // 50 % probability: SPECTRE explores in breadth (paper §4.2.1).
+        let mut f = Fixture::new();
+        let w1 = f.open_window(0).remove(0);
+        let _w2 = f.open_window(1);
+        let _w3 = f.open_window(2);
+        let _cg = f.create_cg(&w1);
+        let top = f.tree.top_k(3, &|_c| 0.5);
+        assert_eq!(top.len(), 3);
+        assert_eq!(top[0].id(), w1.id());
+        // the two w2 versions (each 0.5) come before any w3 version
+        assert_eq!(top[1].window().id, 1);
+        assert_eq!(top[2].window().id, 1);
+    }
+
+    #[test]
+    fn rollback_rebuild_resets_subtree() {
+        let mut f = Fixture::new();
+        let w1 = f.open_window(0).remove(0);
+        let w2_windows: Vec<Arc<WindowInfo>> = vec![
+            Arc::new(WindowInfo::new(1, 2, 2, 2)),
+            Arc::new(WindowInfo::new(2, 4, 4, 4)),
+        ];
+        let _w2 = f.open_window(1);
+        let _w3 = f.open_window(2);
+        let _cg = f.create_cg(&w1);
+        assert_eq!(f.tree.version_count(), 5);
+        let dropped = f.tree.rollback_rebuild(w1.id(), &w2_windows, Vec::new(), &mut f.factory);
+        f.tree.assert_invariants();
+        assert_eq!(dropped, 4);
+        // fresh chain: w1 + one version each of w2, w3
+        assert_eq!(f.tree.version_count(), 3);
+        let top = f.tree.top_k(3, &|_c| 0.5);
+        assert_eq!(top.len(), 3);
+    }
+
+    #[test]
+    fn stale_cg_created_is_ignored() {
+        let mut f = Fixture::new();
+        let w1 = f.open_window(0).remove(0);
+        let w2 = f.open_window(1).remove(0);
+        // Drop w2's subtree via rollback of w1 (no newer windows recreated).
+        f.tree.rollback_rebuild(w1.id(), &[], Vec::new(), &mut f.factory);
+        assert!(w2.is_dropped());
+        // An op from the dropped version arrives late: ignored.
+        let cell = Arc::new(CgCell::new(CgId(99), 1, 1));
+        assert!(!f.tree.cg_created(w2.id(), cell, &mut f.factory));
+        f.tree.assert_invariants();
+    }
+
+    #[test]
+    fn resolved_cell_status_is_visible_to_predictor_paths() {
+        let mut f = Fixture::new();
+        let w1 = f.open_window(0).remove(0);
+        let cg = f.create_cg(&w1);
+        assert_eq!(cg.status(), CgStatus::Open);
+        cg.complete();
+        assert!(cg.is_resolved());
+    }
+}

@@ -1,0 +1,379 @@
+//! Window-version state.
+//!
+//! A *window version* is one speculative variant of a window, defined by the
+//! set of consumption groups it assumes to complete — its *suppressed set*
+//! (paper §3.1). The state is shared between the splitter (which creates,
+//! schedules, drops and retires versions) and the operator instance
+//! currently processing it.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, MutexGuard};
+use spectre_events::Seq;
+use spectre_query::{ComplexEvent, MatchId, Query, WindowDetector};
+
+use crate::cg::{CgCell, CgId};
+use crate::store::WindowInfo;
+
+/// Unique id of a window version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WvId(pub u64);
+
+impl std::fmt::Display for WvId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wv{}", self.0)
+    }
+}
+
+/// Mutable processing state of a version, guarded by a mutex (a version is
+/// scheduled to at most one instance at a time, so contention is between
+/// that instance and occasional splitter inspection).
+#[derive(Debug, Clone)]
+pub struct VersionInner {
+    /// Pattern-detection state.
+    pub detector: WindowDetector,
+    /// Relative position: number of window events looked at (processed or
+    /// suppressed).
+    pub pos: u64,
+    /// Buffered speculative complex events (paper §3.3: outputs are held
+    /// back until the version becomes valid).
+    pub outputs: Vec<ComplexEvent>,
+    /// Sorted sequence numbers of events actually processed (not
+    /// suppressed) — `usedEvents` of paper Fig. 8.
+    pub used: Vec<Seq>,
+    /// Per suppressed CG: last event-set version seen by the consistency
+    /// check (`lastCheckedVersion`, paper Fig. 8).
+    pub seen_versions: Vec<u64>,
+    /// Open consumption groups created by this version, by match id.
+    pub open_cgs: Vec<(MatchId, Arc<CgCell>)>,
+    /// Matches whose group completed and that continue matching (EachLast
+    /// selection): the next consumable event opens a new group.
+    pub needs_new_cg: Vec<MatchId>,
+    /// Events processed since the last consistency check.
+    pub steps_since_check: u32,
+    /// Consumption groups this version has *completed* so far. Carried as
+    /// facts when the version rolls back to a checkpoint past their
+    /// completion (the rebuilt dependents must still suppress them).
+    pub completed_cells: Vec<Arc<CgCell>>,
+    /// Last snapshot taken at a clean cut (checkpointing ablation, §3.3).
+    pub checkpoint: Option<Box<Checkpoint>>,
+}
+
+/// A state snapshot taken at a *clean cut*: no partial match (and hence no
+/// open consumption group) was active, so restoring it never resurrects a
+/// group the dependency tree has already resolved.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// Detector state at the cut.
+    pub detector: WindowDetector,
+    /// Relative position at the cut.
+    pub pos: u64,
+    /// Buffered outputs at the cut.
+    pub outputs: Vec<ComplexEvent>,
+    /// Processed events at the cut (sorted).
+    pub used: Vec<Seq>,
+    /// Groups completed before the cut.
+    pub completed_cells: Vec<Arc<CgCell>>,
+}
+
+impl VersionInner {
+    fn new(query: Arc<Query>, window_id: u64, suppressed_count: usize) -> Self {
+        VersionInner {
+            detector: WindowDetector::new(query, window_id),
+            pos: 0,
+            outputs: Vec::new(),
+            used: Vec::new(),
+            seen_versions: vec![0; suppressed_count],
+            open_cgs: Vec::new(),
+            needs_new_cg: Vec::new(),
+            steps_since_check: 0,
+            completed_cells: Vec::new(),
+            checkpoint: None,
+        }
+    }
+}
+
+/// Shared state of one window version.
+#[derive(Debug)]
+pub struct VersionState {
+    id: WvId,
+    window: Arc<WindowInfo>,
+    query: Arc<Query>,
+    suppressed: Vec<Arc<CgCell>>,
+    dropped: AtomicBool,
+    finished: AtomicBool,
+    inner: Mutex<VersionInner>,
+}
+
+impl VersionState {
+    /// Creates a fresh version of `window` suppressing the given groups.
+    pub fn new(
+        id: WvId,
+        window: Arc<WindowInfo>,
+        query: Arc<Query>,
+        suppressed: Vec<Arc<CgCell>>,
+    ) -> Arc<Self> {
+        let inner = VersionInner::new(Arc::clone(&query), window.id, suppressed.len());
+        Arc::new(VersionState {
+            id,
+            window,
+            query,
+            suppressed,
+            dropped: AtomicBool::new(false),
+            finished: AtomicBool::new(false),
+            inner: Mutex::new(inner),
+        })
+    }
+
+    /// The version's id.
+    pub fn id(&self) -> WvId {
+        self.id
+    }
+
+    /// The window this is a version of.
+    pub fn window(&self) -> &Arc<WindowInfo> {
+        &self.window
+    }
+
+    /// The query.
+    pub fn query(&self) -> &Arc<Query> {
+        &self.query
+    }
+
+    /// The consumption groups this version assumes completed; their events
+    /// are suppressed (paper §3.1).
+    pub fn suppressed(&self) -> &[Arc<CgCell>] {
+        &self.suppressed
+    }
+
+    /// `true` once the splitter removed this version from the dependency
+    /// tree; the processing instance must stop working on it.
+    pub fn is_dropped(&self) -> bool {
+        self.dropped.load(Ordering::Acquire)
+    }
+
+    /// Marks the version dropped.
+    pub fn mark_dropped(&self) {
+        self.dropped.store(true, Ordering::Release);
+    }
+
+    /// `true` once the version processed its whole window.
+    pub fn is_finished(&self) -> bool {
+        self.finished.load(Ordering::Acquire)
+    }
+
+    /// Marks the version finished.
+    pub fn mark_finished(&self) {
+        self.finished.store(true, Ordering::Release);
+    }
+
+    /// Locks the processing state.
+    pub fn lock(&self) -> MutexGuard<'_, VersionInner> {
+        self.inner.lock()
+    }
+
+    /// Resets all processing state — rollback to the window start (paper
+    /// §3.3: "the window version is reprocessed from the start").
+    ///
+    /// Open consumption groups created by the discarded processing are
+    /// marked abandoned; the caller must also rebuild the dependency-tree
+    /// subtree (see [`DependencyTree::rollback_rebuild`](crate::tree::DependencyTree::rollback_rebuild)).
+    pub fn reset(&self) {
+        let mut inner = self.inner.lock();
+        for (_, cg) in inner.open_cgs.drain(..) {
+            cg.abandon();
+        }
+        *inner = VersionInner::new(
+            Arc::clone(&self.query),
+            self.window.id,
+            self.suppressed.len(),
+        );
+        self.finished.store(false, Ordering::Release);
+    }
+
+    /// Rolls the version back: restores the latest checkpoint if one exists
+    /// and is still consistent with the suppressed groups, otherwise resets
+    /// to the window start. Returns `true` when a checkpoint was restored.
+    ///
+    /// A checkpoint is consistent when none of its processed events belongs
+    /// to a currently suppressed group — the same criterion the periodic
+    /// consistency check applies to live state (paper Fig. 8).
+    pub fn rollback_state(&self) -> bool {
+        let mut inner = self.inner.lock();
+        let restorable = inner.checkpoint.as_ref().is_some_and(|cp| {
+            self.suppressed
+                .iter()
+                .all(|cg| !cg.intersects_sorted(&cp.used))
+        });
+        if !restorable {
+            drop(inner);
+            self.reset();
+            return false;
+        }
+        for (_, cg) in inner.open_cgs.drain(..) {
+            cg.abandon();
+        }
+        let cp = inner.checkpoint.clone().expect("checked above");
+        inner.detector = cp.detector.clone();
+        inner.pos = cp.pos;
+        inner.outputs = cp.outputs.clone();
+        inner.used = cp.used.clone();
+        inner.completed_cells = cp.completed_cells.clone();
+        inner.needs_new_cg.clear();
+        inner.seen_versions = vec![0; self.suppressed.len()];
+        inner.steps_since_check = 0;
+        self.finished.store(false, Ordering::Release);
+        true
+    }
+
+    /// Clones this version's full processing state into a new speculative
+    /// version with a different suppressed set (paper §3.1: the "modified
+    /// copy" of a dependent version when a consumption group is created).
+    ///
+    /// Open consumption groups are replaced by independent *twin* cells
+    /// created through `mk_twin` — the copy continues the same partial
+    /// matches, but in its world they must resolve independently of the
+    /// originals. The snapshot, the expected-open validation and the twin
+    /// creation all happen under the source's state lock, so they are
+    /// atomic with respect to the owning instance's processing.
+    ///
+    /// Returns `None` when an open group is not listed in `expected_open`:
+    /// the caller's tree state predates that group (its `CgCreated` op is
+    /// still in flight), and the copy must fall back to a fresh version.
+    ///
+    /// The consistency bookkeeping restarts from scratch (`seen_versions`
+    /// zeroed, check counter reset): the first periodic check re-validates
+    /// every suppressed group against the inherited `used` set, catching
+    /// events the inherited state processed that the new world suppresses.
+    #[allow(clippy::type_complexity)]
+    pub fn clone_speculative(
+        source: &Arc<VersionState>,
+        id: WvId,
+        suppressed: Vec<Arc<CgCell>>,
+        expected_open: &[CgId],
+        mk_twin: &mut dyn FnMut(&CgCell) -> Arc<CgCell>,
+    ) -> Option<(Arc<Self>, Vec<(CgId, Arc<CgCell>)>)> {
+        let guard = source.inner.lock();
+        let mut inner = guard.clone();
+        // The finished flag is only flipped while the state lock is held,
+        // so reading it under the same guard keeps it consistent with the
+        // snapshot (a finished snapshot has no open groups left).
+        let finished = source.is_finished();
+        drop(guard);
+        let mut twins = Vec::with_capacity(inner.open_cgs.len());
+        for (_, cell) in &mut inner.open_cgs {
+            if !expected_open.contains(&cell.id()) {
+                return None;
+            }
+            let twin = mk_twin(cell);
+            twins.push((cell.id(), Arc::clone(&twin)));
+            *cell = twin;
+        }
+        inner.seen_versions = vec![0; suppressed.len()];
+        inner.steps_since_check = 0;
+        let version = Arc::new(VersionState {
+            id,
+            window: Arc::clone(&source.window),
+            query: Arc::clone(&source.query),
+            suppressed,
+            dropped: AtomicBool::new(false),
+            finished: AtomicBool::new(finished),
+            inner: Mutex::new(inner),
+        });
+        Some((version, twins))
+    }
+
+    /// Runs the full consistency check (paper Fig. 8 lines 31–45) without
+    /// the version-counter fast path: `true` iff no suppressed group's event
+    /// set intersects the processed events.
+    pub fn is_consistent(&self) -> bool {
+        let inner = self.inner.lock();
+        self.suppressed
+            .iter()
+            .all(|cg| !cg.intersects_sorted(&inner.used))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cg::CgId;
+    use spectre_query::{Expr, Pattern, WindowSpec};
+
+    fn query() -> Arc<Query> {
+        Arc::new(
+            Query::builder("t")
+                .pattern(Pattern::builder().one("A", Expr::truth()).build().unwrap())
+                .window(WindowSpec::count_sliding(4, 2).unwrap())
+                .build()
+                .unwrap(),
+        )
+    }
+
+    fn version(suppressed: Vec<Arc<CgCell>>) -> Arc<VersionState> {
+        VersionState::new(
+            WvId(1),
+            Arc::new(WindowInfo::new(0, 0, 0, 0)),
+            query(),
+            suppressed,
+        )
+    }
+
+    #[test]
+    fn flags_lifecycle() {
+        let v = version(vec![]);
+        assert!(!v.is_dropped());
+        assert!(!v.is_finished());
+        v.mark_finished();
+        assert!(v.is_finished());
+        v.mark_dropped();
+        assert!(v.is_dropped());
+        assert_eq!(v.id(), WvId(1));
+    }
+
+    #[test]
+    fn reset_clears_state_and_abandons_open_groups() {
+        let v = version(vec![]);
+        let cg = Arc::new(CgCell::new(CgId(1), 0, 2));
+        {
+            let mut inner = v.lock();
+            inner.pos = 5;
+            inner.used = vec![1, 2, 3];
+            inner.open_cgs.push((MatchId(0), Arc::clone(&cg)));
+            inner.outputs.push(ComplexEvent::new(0, 0, vec![1]));
+        }
+        v.mark_finished();
+        v.reset();
+        assert!(!v.is_finished());
+        let inner = v.lock();
+        assert_eq!(inner.pos, 0);
+        assert!(inner.used.is_empty());
+        assert!(inner.outputs.is_empty());
+        assert!(inner.open_cgs.is_empty());
+        assert_eq!(cg.status(), crate::cg::CgStatus::Abandoned);
+    }
+
+    #[test]
+    fn consistency_check_detects_intersections() {
+        let cg = Arc::new(CgCell::new(CgId(1), 0, 2));
+        let v = version(vec![Arc::clone(&cg)]);
+        {
+            let mut inner = v.lock();
+            inner.used = vec![5, 7, 9];
+        }
+        assert!(v.is_consistent());
+        cg.add_event(7, 1, 0);
+        assert!(!v.is_consistent());
+    }
+
+    #[test]
+    fn seen_versions_sized_to_suppressed() {
+        let cgs: Vec<_> = (0..3)
+            .map(|i| Arc::new(CgCell::new(CgId(i), 0, 1)))
+            .collect();
+        let v = version(cgs);
+        assert_eq!(v.lock().seen_versions.len(), 3);
+        assert_eq!(v.suppressed().len(), 3);
+    }
+}

@@ -1,0 +1,217 @@
+//! CSV persistence for stock-quote streams.
+//!
+//! Format (no header): `seq,ts,symbol,open,close,leading` — one event per
+//! line, `symbol` as the symbol's interned name, `leading` as `0`/`1`. This
+//! mirrors typical quote dumps and lets generated datasets be inspected and
+//! re-used across runs.
+
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use spectre_events::{Event, Schema, Value};
+use spectre_query::queries::StockVocab;
+
+/// Error produced when reading a malformed CSV line.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A line did not have the expected 6 fields or a field failed to parse.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        msg: String,
+    },
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "i/o error: {e}"),
+            CsvError::Malformed { line, msg } => write!(f, "line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<io::Error> for CsvError {
+    fn from(e: io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Writes a quote stream to `path`.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn write_quotes<'a>(
+    path: &Path,
+    events: impl IntoIterator<Item = &'a Event>,
+    schema: &Schema,
+    vocab: StockVocab,
+) -> Result<(), CsvError> {
+    let mut out = BufWriter::new(File::create(path)?);
+    let mut line = String::new();
+    for ev in events {
+        line.clear();
+        let sym = ev
+            .symbol(vocab.symbol)
+            .and_then(|s| schema.symbol_name(s))
+            .unwrap_or("?");
+        let leading = matches!(ev.get(vocab.leading), Some(Value::Bool(true)));
+        let _ = write!(
+            line,
+            "{},{},{},{},{},{}",
+            ev.seq(),
+            ev.ts(),
+            sym,
+            ev.f64(vocab.open_price).unwrap_or(0.0),
+            ev.f64(vocab.close_price).unwrap_or(0.0),
+            u8::from(leading),
+        );
+        out.write_all(line.as_bytes())?;
+        out.write_all(b"\n")?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Reads a quote stream from `path`, interning symbols into `schema`.
+///
+/// # Errors
+///
+/// Returns [`CsvError::Malformed`] with the offending line number on parse
+/// failures.
+pub fn read_quotes(path: &Path, schema: &mut Schema) -> Result<Vec<Event>, CsvError> {
+    let vocab = StockVocab::install(schema);
+    let reader = BufReader::new(File::open(path)?);
+    let mut events = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let line_no = idx + 1;
+        let mut fields = line.split(',');
+        let mut field = |name: &str| -> Result<&str, CsvError> {
+            fields.next().ok_or_else(|| CsvError::Malformed {
+                line: line_no,
+                msg: format!("missing field `{name}`"),
+            })
+        };
+        fn parse<T: std::str::FromStr>(raw: &str, name: &str, line: usize) -> Result<T, CsvError> {
+            raw.parse().map_err(|_| CsvError::Malformed {
+                line,
+                msg: format!("invalid `{name}`"),
+            })
+        }
+        let seq: u64 = parse(field("seq")?, "seq", line_no)?;
+        let ts: u64 = parse(field("ts")?, "ts", line_no)?;
+        let sym = schema.symbol(field("symbol")?);
+        let open: f64 = parse(field("open")?, "open", line_no)?;
+        let close: f64 = parse(field("close")?, "close", line_no)?;
+        let leading_raw = field("leading")?;
+        let leading = match leading_raw {
+            "0" => false,
+            "1" => true,
+            other => {
+                return Err(CsvError::Malformed {
+                    line: line_no,
+                    msg: format!("invalid `leading` flag `{other}`"),
+                })
+            }
+        };
+        events.push(
+            Event::builder(vocab.quote)
+                .seq(seq)
+                .ts(ts)
+                .attr(vocab.symbol, Value::Symbol(sym))
+                .attr(vocab.open_price, open)
+                .attr(vocab.close_price, close)
+                .attr(vocab.leading, leading)
+                .build(),
+        );
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nyse::{NyseConfig, NyseGenerator};
+
+    #[test]
+    fn round_trip() {
+        let dir = std::env::temp_dir().join("spectre_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("quotes.csv");
+
+        let mut schema = Schema::new();
+        let gen = NyseGenerator::new(NyseConfig::small(200, 8), &mut schema);
+        let vocab = gen.vocab();
+        let events: Vec<_> = gen.collect();
+        write_quotes(&path, &events, &schema, vocab).unwrap();
+
+        let mut schema2 = Schema::new();
+        let back = read_quotes(&path, &mut schema2).unwrap();
+        assert_eq!(back.len(), events.len());
+        for (a, b) in events.iter().zip(&back) {
+            assert_eq!(a.seq(), b.seq());
+            assert_eq!(a.ts(), b.ts());
+            // symbol *names* must agree even though ids may differ
+            let an = schema
+                .symbol_name(a.symbol(vocab.symbol).unwrap())
+                .unwrap();
+            let bn = schema2
+                .symbol_name(b.symbol(vocab.symbol).unwrap())
+                .unwrap();
+            assert_eq!(an, bn);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn malformed_lines_are_reported_with_line_numbers() {
+        let dir = std::env::temp_dir().join("spectre_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.csv");
+        std::fs::write(&path, "0,0,SYM,1.0,2.0,1\n1,zzz,SYM,1.0,2.0,0\n").unwrap();
+        let mut schema = Schema::new();
+        let err = read_quotes(&path, &mut schema).unwrap_err();
+        let CsvError::Malformed { line, msg } = err else {
+            panic!("expected malformed error");
+        };
+        assert_eq!(line, 2);
+        assert!(msg.contains("ts"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_lines_are_skipped() {
+        let dir = std::env::temp_dir().join("spectre_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("gaps.csv");
+        std::fs::write(&path, "0,0,A,1.0,2.0,1\n\n1,5,B,2.0,1.0,0\n").unwrap();
+        let mut schema = Schema::new();
+        let events = read_quotes(&path, &mut schema).unwrap();
+        assert_eq!(events.len(), 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bad_leading_flag_is_rejected() {
+        let dir = std::env::temp_dir().join("spectre_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("flag.csv");
+        std::fs::write(&path, "0,0,A,1.0,2.0,yes\n").unwrap();
+        let mut schema = Schema::new();
+        let err = read_quotes(&path, &mut schema).unwrap_err();
+        assert!(matches!(err, CsvError::Malformed { line: 1, .. }));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,197 @@
+//! TCP ingestion path (paper §4.1: "we provide a client program that reads
+//! events from a source file and sends them to SPECTRE over a TCP
+//! connection").
+//!
+//! [`StreamServer`] plays the client role of the paper (it *produces* the
+//! stream); [`TcpSource`] is the engine-side source: an
+//! `Iterator<Item = Event>` decoding length-prefixed frames
+//! ([`spectre_events::codec`]) from a socket, suitable for feeding directly
+//! into `Splitter::new` or the run drivers.
+//!
+//! # Example
+//!
+//! ```
+//! use spectre_events::{Event, EventType, Schema};
+//! use spectre_datasets::net::{StreamServer, TcpSource};
+//!
+//! let mut schema = Schema::new();
+//! let t = schema.event_type("E");
+//! let events: Vec<Event> = (0..100).map(|i| Event::builder(t).seq(i).ts(i).build()).collect();
+//!
+//! let server = StreamServer::spawn(events.clone()).unwrap();
+//! let source = TcpSource::connect(server.addr()).unwrap();
+//! let received: Vec<Event> = source.collect();
+//! assert_eq!(received, events);
+//! server.join();
+//! ```
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::thread::JoinHandle;
+
+use bytes::BytesMut;
+use spectre_events::codec::{encode, Decoder};
+use spectre_events::Event;
+
+/// How many events are encoded per write burst.
+const BATCH: usize = 256;
+
+/// A background thread serving one event stream to the first client that
+/// connects — the paper's "client program" counterpart.
+#[derive(Debug)]
+pub struct StreamServer {
+    addr: SocketAddr,
+    handle: JoinHandle<io::Result<u64>>,
+}
+
+impl StreamServer {
+    /// Binds an ephemeral loopback port and spawns the serving thread. The
+    /// thread accepts exactly one connection, streams all events and closes.
+    ///
+    /// # Errors
+    ///
+    /// Returns any error from binding the listener.
+    pub fn spawn(events: Vec<Event>) -> io::Result<StreamServer> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let handle = std::thread::spawn(move || -> io::Result<u64> {
+            let (mut stream, _) = listener.accept()?;
+            stream.set_nodelay(true)?;
+            let mut buf = BytesMut::new();
+            let mut sent = 0u64;
+            for chunk in events.chunks(BATCH) {
+                buf.clear();
+                for ev in chunk {
+                    encode(ev, &mut buf);
+                    sent += 1;
+                }
+                stream.write_all(&buf)?;
+            }
+            stream.flush()?;
+            Ok(sent)
+        });
+        Ok(StreamServer { addr, handle })
+    }
+
+    /// The address to connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Waits for the serving thread; returns the number of events sent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the serving thread failed (I/O error or panic).
+    pub fn join(self) -> u64 {
+        self.handle
+            .join()
+            .expect("stream server thread panicked")
+            .expect("stream server I/O failed")
+    }
+}
+
+/// Engine-side TCP event source: decodes framed events from a socket.
+///
+/// The iterator ends when the peer closes the connection and all buffered
+/// frames are drained. Malformed frames end the stream as well (the decode
+/// error is retrievable via [`TcpSource::error`]).
+#[derive(Debug)]
+pub struct TcpSource {
+    stream: TcpStream,
+    decoder: Decoder,
+    read_buf: Vec<u8>,
+    eof: bool,
+    error: Option<String>,
+}
+
+impl TcpSource {
+    /// Connects to a [`StreamServer`] (or any peer speaking the codec).
+    ///
+    /// # Errors
+    ///
+    /// Returns any connection error.
+    pub fn connect(addr: SocketAddr) -> io::Result<TcpSource> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(TcpSource {
+            stream,
+            decoder: Decoder::new(),
+            read_buf: vec![0u8; 64 * 1024],
+            eof: false,
+            error: None,
+        })
+    }
+
+    /// The decode error that ended the stream, if any.
+    pub fn error(&self) -> Option<&str> {
+        self.error.as_deref()
+    }
+}
+
+impl Iterator for TcpSource {
+    type Item = Event;
+
+    fn next(&mut self) -> Option<Event> {
+        loop {
+            match self.decoder.next_event() {
+                Ok(Some(ev)) => return Some(ev),
+                Ok(None) => {}
+                Err(e) => {
+                    self.error = Some(e.to_string());
+                    return None;
+                }
+            }
+            if self.eof {
+                return None;
+            }
+            match self.stream.read(&mut self.read_buf) {
+                Ok(0) => self.eof = true,
+                Ok(n) => self.decoder.extend(&self.read_buf[..n]),
+                Err(e) => {
+                    self.error = Some(e.to_string());
+                    return None;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NyseConfig, NyseGenerator};
+    use spectre_events::Schema;
+
+    #[test]
+    fn roundtrip_over_loopback() {
+        let mut schema = Schema::new();
+        let events: Vec<Event> =
+            NyseGenerator::new(NyseConfig::small(500, 3), &mut schema).collect();
+        let server = StreamServer::spawn(events.clone()).unwrap();
+        let source = TcpSource::connect(server.addr()).unwrap();
+        let received: Vec<Event> = source.collect();
+        assert_eq!(received, events);
+        assert_eq!(server.join(), 500);
+    }
+
+    #[test]
+    fn empty_stream_closes_cleanly() {
+        let server = StreamServer::spawn(Vec::new()).unwrap();
+        let source = TcpSource::connect(server.addr()).unwrap();
+        assert_eq!(source.count(), 0);
+        assert_eq!(server.join(), 0);
+    }
+
+    #[test]
+    fn source_reports_no_error_on_clean_close() {
+        let mut schema = Schema::new();
+        let events: Vec<Event> =
+            NyseGenerator::new(NyseConfig::small(10, 5), &mut schema).collect();
+        let server = StreamServer::spawn(events).unwrap();
+        let mut source = TcpSource::connect(server.addr()).unwrap();
+        while source.next().is_some() {}
+        assert!(source.error().is_none());
+        server.join();
+    }
+}

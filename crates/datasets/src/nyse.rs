@@ -1,0 +1,259 @@
+//! Synthetic NYSE-like stock-quote stream.
+//!
+//! Models the paper's NYSE dataset: `symbols` stocks quoted once per minute
+//! each, interleaved in a fixed per-minute round-robin (real consolidated
+//! feeds interleave symbols within the minute; the fixed order keeps the
+//! stream deterministic for a given seed). Prices follow independent
+//! geometric random walks. The first `leaders` symbols are blue chips whose
+//! quotes carry `leading = true` (query Q1's MLE events).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use spectre_events::{Event, Schema, SymbolId, Value};
+use spectre_query::queries::StockVocab;
+
+/// Configuration of the [`NyseGenerator`].
+#[derive(Debug, Clone)]
+pub struct NyseConfig {
+    /// Number of distinct stock symbols (paper: ≈3000).
+    pub symbols: usize,
+    /// Number of leading blue-chip symbols (paper: 16); must be ≤ `symbols`.
+    pub leaders: usize,
+    /// Total number of quote events to generate.
+    pub events: usize,
+    /// RNG seed; equal seeds produce identical streams.
+    pub seed: u64,
+    /// Per-step volatility of the log-price random walk.
+    pub volatility: f64,
+    /// Per-step drift of the log-price random walk.
+    pub drift: f64,
+    /// Initial price band `[low, high]` sampled uniformly per symbol.
+    pub initial_price: (f64, f64),
+}
+
+impl Default for NyseConfig {
+    fn default() -> Self {
+        NyseConfig {
+            symbols: 3000,
+            leaders: 16,
+            events: 100_000,
+            seed: 42,
+            volatility: 0.01,
+            drift: 0.0,
+            initial_price: (20.0, 200.0),
+        }
+    }
+}
+
+impl NyseConfig {
+    /// A small configuration for unit tests.
+    pub fn small(events: usize, seed: u64) -> Self {
+        NyseConfig {
+            symbols: 50,
+            leaders: 4,
+            events,
+            seed,
+            ..Self::default()
+        }
+    }
+}
+
+/// Deterministic generator of the synthetic NYSE stream.
+///
+/// Implements `Iterator<Item = Event>`; events carry dense sequence numbers
+/// starting at 0 and timestamps advancing one minute per symbol round.
+///
+/// # Example
+///
+/// ```
+/// use spectre_events::Schema;
+/// use spectre_datasets::{NyseConfig, NyseGenerator};
+///
+/// let mut schema = Schema::new();
+/// let events: Vec<_> =
+///     NyseGenerator::new(NyseConfig::small(100, 7), &mut schema).collect();
+/// assert_eq!(events.len(), 100);
+/// assert!(events.windows(2).all(|w| w[0].seq() + 1 == w[1].seq()));
+/// ```
+#[derive(Debug)]
+pub struct NyseGenerator {
+    config: NyseConfig,
+    vocab: StockVocab,
+    symbols: Vec<SymbolId>,
+    prices: Vec<f64>,
+    rng: SmallRng,
+    produced: usize,
+    minute: u64,
+    cursor: usize,
+}
+
+impl NyseGenerator {
+    /// Creates a generator, interning the stock vocabulary and symbol names
+    /// into `schema`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaders > symbols` or `symbols == 0`.
+    pub fn new(config: NyseConfig, schema: &mut Schema) -> Self {
+        assert!(config.symbols > 0, "need at least one symbol");
+        assert!(
+            config.leaders <= config.symbols,
+            "leaders must not exceed symbols"
+        );
+        let vocab = StockVocab::install(schema);
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let symbols: Vec<SymbolId> = (0..config.symbols)
+            .map(|i| schema.symbol(&format!("NYSE{i:04}")))
+            .collect();
+        let (lo, hi) = config.initial_price;
+        let prices: Vec<f64> = (0..config.symbols)
+            .map(|_| rng.gen_range(lo..hi))
+            .collect();
+        NyseGenerator {
+            config,
+            vocab,
+            symbols,
+            prices,
+            rng,
+            produced: 0,
+            minute: 0,
+            cursor: 0,
+        }
+    }
+
+    /// The stock vocabulary used by the generated events.
+    pub fn vocab(&self) -> StockVocab {
+        self.vocab
+    }
+
+    /// The interned symbol ids, leaders first.
+    pub fn symbols(&self) -> &[SymbolId] {
+        &self.symbols
+    }
+}
+
+impl Iterator for NyseGenerator {
+    type Item = Event;
+
+    fn next(&mut self) -> Option<Event> {
+        if self.produced >= self.config.events {
+            return None;
+        }
+        let sym_idx = self.cursor;
+        let open = self.prices[sym_idx];
+        let z: f64 = self.rng.gen_range(-1.0..1.0);
+        let close = open * (self.config.drift + self.config.volatility * z).exp();
+        self.prices[sym_idx] = close;
+
+        let seq = self.produced as u64;
+        // One quote per minute per symbol: all quotes of one round share the
+        // minute, spread evenly inside it.
+        let intra = (60_000 * sym_idx as u64) / self.config.symbols as u64;
+        let ts = self.minute * 60_000 + intra;
+        let ev = Event::builder(self.vocab.quote)
+            .seq(seq)
+            .ts(ts)
+            .attr(self.vocab.symbol, Value::Symbol(self.symbols[sym_idx]))
+            .attr(self.vocab.open_price, open)
+            .attr(self.vocab.close_price, close)
+            .attr(self.vocab.leading, sym_idx < self.config.leaders)
+            .build();
+
+        self.produced += 1;
+        self.cursor += 1;
+        if self.cursor == self.config.symbols {
+            self.cursor = 0;
+            self.minute += 1;
+        }
+        Some(ev)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.config.events - self.produced;
+        (left, Some(left))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut s1 = Schema::new();
+        let mut s2 = Schema::new();
+        let a: Vec<_> = NyseGenerator::new(NyseConfig::small(500, 9), &mut s1).collect();
+        let b: Vec<_> = NyseGenerator::new(NyseConfig::small(500, 9), &mut s2).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut s = Schema::new();
+        let a: Vec<_> = NyseGenerator::new(NyseConfig::small(500, 1), &mut s).collect();
+        let b: Vec<_> = NyseGenerator::new(NyseConfig::small(500, 2), &mut s).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn leading_flag_marks_first_symbols() {
+        let mut schema = Schema::new();
+        let config = NyseConfig::small(100, 3);
+        let leaders = config.leaders;
+        let symbols = config.symbols;
+        let gen = NyseGenerator::new(config, &mut schema);
+        let vocab = gen.vocab();
+        for (i, ev) in gen.enumerate() {
+            let is_leader = (i % symbols) < leaders;
+            assert_eq!(
+                ev.get(vocab.leading).unwrap(),
+                &Value::Bool(is_leader),
+                "event {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn timestamps_are_nondecreasing_and_minute_resolved() {
+        let mut schema = Schema::new();
+        let gen = NyseGenerator::new(NyseConfig::small(200, 5), &mut schema);
+        let events: Vec<_> = gen.collect();
+        assert!(events.windows(2).all(|w| w[0].ts() <= w[1].ts()));
+        // 50 symbols per minute round → event 50 starts minute 1
+        assert!(events[50].ts() >= 60_000);
+        assert!(events[49].ts() < 60_000);
+    }
+
+    #[test]
+    fn prices_form_a_walk_per_symbol() {
+        let mut schema = Schema::new();
+        let gen = NyseGenerator::new(NyseConfig::small(150, 5), &mut schema);
+        let vocab = gen.vocab();
+        let events: Vec<_> = gen.collect();
+        // symbol 0 quotes at indices 0, 50, 100: open of the next equals
+        // close of the previous.
+        let closes: Vec<f64> = [0usize, 50, 100]
+            .iter()
+            .map(|&i| events[i].f64(vocab.close_price).unwrap())
+            .collect();
+        let opens: Vec<f64> = [50usize, 100]
+            .iter()
+            .map(|&i| events[i].f64(vocab.open_price).unwrap())
+            .collect();
+        assert_eq!(opens[0], closes[0]);
+        assert_eq!(opens[1], closes[1]);
+        assert!(events.iter().all(|e| e.f64(vocab.close_price).unwrap() > 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "leaders must not exceed symbols")]
+    fn rejects_bad_leader_count() {
+        let mut schema = Schema::new();
+        let config = NyseConfig {
+            symbols: 4,
+            leaders: 5,
+            ..NyseConfig::default()
+        };
+        let _ = NyseGenerator::new(config, &mut schema);
+    }
+}

@@ -1,0 +1,200 @@
+//! The paper's RAND dataset: a random sequence of quote events over a set of
+//! equally likely stock symbols (paper §4.1: 3 M events, 300 symbols).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use spectre_events::{Event, Schema, SymbolId, Value};
+use spectre_query::queries::StockVocab;
+
+/// Configuration of the [`RandGenerator`].
+#[derive(Debug, Clone)]
+pub struct RandConfig {
+    /// Number of distinct stock symbols (paper: 300).
+    pub symbols: usize,
+    /// Number of leading symbols (flagged `leading = true`).
+    pub leaders: usize,
+    /// Total number of events.
+    pub events: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Price band `[low, high]`; open/close are sampled per event.
+    pub price: (f64, f64),
+    /// Timestamp increment between consecutive events (ms).
+    pub tick_ms: u64,
+}
+
+impl Default for RandConfig {
+    fn default() -> Self {
+        RandConfig {
+            symbols: 300,
+            leaders: 16,
+            events: 3_000_000,
+            seed: 42,
+            price: (10.0, 100.0),
+            tick_ms: 20,
+        }
+    }
+}
+
+impl RandConfig {
+    /// A small configuration for unit tests.
+    pub fn small(events: usize, seed: u64) -> Self {
+        RandConfig {
+            symbols: 20,
+            leaders: 2,
+            events,
+            seed,
+            ..Self::default()
+        }
+    }
+}
+
+/// Deterministic generator of the RAND stream: each event draws its symbol
+/// uniformly; open and close prices are independent uniform draws, so every
+/// quote is rising with probability ½.
+///
+/// # Example
+///
+/// ```
+/// use spectre_events::Schema;
+/// use spectre_datasets::{RandConfig, RandGenerator};
+///
+/// let mut schema = Schema::new();
+/// let events: Vec<_> =
+///     RandGenerator::new(RandConfig::small(50, 1), &mut schema).collect();
+/// assert_eq!(events.len(), 50);
+/// ```
+#[derive(Debug)]
+pub struct RandGenerator {
+    config: RandConfig,
+    vocab: StockVocab,
+    symbols: Vec<SymbolId>,
+    rng: SmallRng,
+    produced: usize,
+}
+
+impl RandGenerator {
+    /// Creates a generator, interning vocabulary and symbols into `schema`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `symbols == 0` or `leaders > symbols`.
+    pub fn new(config: RandConfig, schema: &mut Schema) -> Self {
+        assert!(config.symbols > 0, "need at least one symbol");
+        assert!(
+            config.leaders <= config.symbols,
+            "leaders must not exceed symbols"
+        );
+        let vocab = StockVocab::install(schema);
+        let symbols: Vec<SymbolId> = (0..config.symbols)
+            .map(|i| schema.symbol(&format!("RND{i:03}")))
+            .collect();
+        let rng = SmallRng::seed_from_u64(config.seed);
+        RandGenerator {
+            config,
+            vocab,
+            symbols,
+            rng,
+            produced: 0,
+        }
+    }
+
+    /// The stock vocabulary used by the generated events.
+    pub fn vocab(&self) -> StockVocab {
+        self.vocab
+    }
+
+    /// The interned symbol ids, leaders first.
+    pub fn symbols(&self) -> &[SymbolId] {
+        &self.symbols
+    }
+}
+
+impl Iterator for RandGenerator {
+    type Item = Event;
+
+    fn next(&mut self) -> Option<Event> {
+        if self.produced >= self.config.events {
+            return None;
+        }
+        let sym_idx = self.rng.gen_range(0..self.config.symbols);
+        let (lo, hi) = self.config.price;
+        let open: f64 = self.rng.gen_range(lo..hi);
+        let close: f64 = self.rng.gen_range(lo..hi);
+        let seq = self.produced as u64;
+        let ev = Event::builder(self.vocab.quote)
+            .seq(seq)
+            .ts(seq * self.config.tick_ms)
+            .attr(self.vocab.symbol, Value::Symbol(self.symbols[sym_idx]))
+            .attr(self.vocab.open_price, open)
+            .attr(self.vocab.close_price, close)
+            .attr(self.vocab.leading, sym_idx < self.config.leaders)
+            .build();
+        self.produced += 1;
+        Some(ev)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.config.events - self.produced;
+        (left, Some(left))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut s1 = Schema::new();
+        let mut s2 = Schema::new();
+        let a: Vec<_> = RandGenerator::new(RandConfig::small(300, 4), &mut s1).collect();
+        let b: Vec<_> = RandGenerator::new(RandConfig::small(300, 4), &mut s2).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn symbols_roughly_uniform() {
+        let mut schema = Schema::new();
+        let gen = RandGenerator::new(RandConfig::small(20_000, 11), &mut schema);
+        let vocab = gen.vocab();
+        let mut counts: HashMap<u32, usize> = HashMap::new();
+        for ev in gen {
+            *counts
+                .entry(ev.symbol(vocab.symbol).unwrap().as_u32())
+                .or_default() += 1;
+        }
+        assert_eq!(counts.len(), 20);
+        let expected = 20_000 / 20;
+        for (&sym, &n) in &counts {
+            assert!(
+                n > expected / 2 && n < expected * 2,
+                "symbol {sym} count {n} far from uniform"
+            );
+        }
+    }
+
+    #[test]
+    fn seq_and_ts_are_dense() {
+        let mut schema = Schema::new();
+        let cfg = RandConfig::small(100, 2);
+        let tick = cfg.tick_ms;
+        let events: Vec<_> = RandGenerator::new(cfg, &mut schema).collect();
+        for (i, ev) in events.iter().enumerate() {
+            assert_eq!(ev.seq(), i as u64);
+            assert_eq!(ev.ts(), i as u64 * tick);
+        }
+    }
+
+    #[test]
+    fn rising_probability_near_half() {
+        let mut schema = Schema::new();
+        let gen = RandGenerator::new(RandConfig::small(10_000, 6), &mut schema);
+        let vocab = gen.vocab();
+        let rising = gen
+            .filter(|e| e.f64(vocab.close_price) > e.f64(vocab.open_price))
+            .count();
+        assert!((4_000..6_000).contains(&rising), "rising = {rising}");
+    }
+}

@@ -1,0 +1,294 @@
+//! Length-prefixed binary framing for events.
+//!
+//! The paper's deployment feeds SPECTRE from a client program over TCP
+//! (paper §4.1). This module reproduces the serialization path — a compact
+//! binary frame per event with a `u32` length prefix — without requiring a
+//! socket: any `bytes` buffer, file or in-memory pipe can carry frames.
+//!
+//! Frame layout (little endian):
+//!
+//! ```text
+//! u32 frame_len   (bytes after this field)
+//! u64 seq
+//! u64 ts
+//! u16 event_type
+//! u16 attr_count
+//! per attribute:
+//!   u16 key
+//!   u8  tag        (0=F64, 1=I64, 2=Bool, 3=Symbol, 4=Str)
+//!   payload        (8 bytes for F64/I64, 1 for Bool, 4 for Symbol,
+//!                   u32 len + bytes for Str)
+//! ```
+
+use std::fmt;
+use std::sync::Arc;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::schema::{AttrKey, EventType, SymbolId};
+use crate::value::Value;
+use crate::Event;
+
+/// Maximum accepted frame length; guards against corrupt length prefixes.
+pub const MAX_FRAME_LEN: usize = 1 << 20;
+
+/// Error produced when decoding a malformed frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The frame declared a length larger than [`MAX_FRAME_LEN`].
+    FrameTooLarge(usize),
+    /// The buffer ended in the middle of a declared frame.
+    Truncated,
+    /// An unknown value tag was encountered.
+    BadTag(u8),
+    /// A string payload was not valid UTF-8.
+    BadUtf8,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::FrameTooLarge(n) => write!(f, "frame length {n} exceeds maximum"),
+            DecodeError::Truncated => write!(f, "frame truncated"),
+            DecodeError::BadTag(t) => write!(f, "unknown value tag {t}"),
+            DecodeError::BadUtf8 => write!(f, "string payload was not valid utf-8"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Appends one encoded event frame to `out`.
+pub fn encode(event: &Event, out: &mut BytesMut) {
+    let start = out.len();
+    out.put_u32_le(0); // patched below
+    out.put_u64_le(event.seq());
+    out.put_u64_le(event.ts());
+    out.put_u16_le(event.event_type().as_u32() as u16);
+    out.put_u16_le(event.attr_count() as u16);
+    for (key, value) in event.attrs() {
+        out.put_u16_le(key.as_u32() as u16);
+        match value {
+            Value::F64(v) => {
+                out.put_u8(0);
+                out.put_f64_le(*v);
+            }
+            Value::I64(v) => {
+                out.put_u8(1);
+                out.put_i64_le(*v);
+            }
+            Value::Bool(v) => {
+                out.put_u8(2);
+                out.put_u8(u8::from(*v));
+            }
+            Value::Symbol(v) => {
+                out.put_u8(3);
+                out.put_u32_le(v.as_u32());
+            }
+            Value::Str(v) => {
+                out.put_u8(4);
+                out.put_u32_le(v.len() as u32);
+                out.put_slice(v.as_bytes());
+            }
+        }
+    }
+    let len = (out.len() - start - 4) as u32;
+    out[start..start + 4].copy_from_slice(&len.to_le_bytes());
+}
+
+/// Encodes a batch of events into a single freshly allocated buffer.
+pub fn encode_all<'a>(events: impl IntoIterator<Item = &'a Event>) -> Bytes {
+    let mut buf = BytesMut::new();
+    for ev in events {
+        encode(ev, &mut buf);
+    }
+    buf.freeze()
+}
+
+/// Incremental frame decoder.
+///
+/// Feed bytes with [`Decoder::extend`] and pull complete events with
+/// [`Decoder::next_event`]; partial frames are buffered until completed, so
+/// the decoder works over arbitrarily fragmented input.
+#[derive(Debug, Default)]
+pub struct Decoder {
+    buf: BytesMut,
+}
+
+impl Decoder {
+    /// Creates an empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw bytes to the internal buffer.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Number of buffered, not yet consumed bytes.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Attempts to decode the next complete event.
+    ///
+    /// Returns `Ok(None)` if the buffer holds no complete frame yet.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] if the buffered bytes are malformed; the
+    /// decoder should be discarded afterwards.
+    pub fn next_event(&mut self) -> Result<Option<Event>, DecodeError> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.buf[0..4].try_into().expect("4 bytes")) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(DecodeError::FrameTooLarge(len));
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        self.buf.advance(4);
+        let mut frame = self.buf.split_to(len);
+        decode_frame(&mut frame).map(Some)
+    }
+}
+
+fn decode_frame(buf: &mut BytesMut) -> Result<Event, DecodeError> {
+    fn need(buf: &BytesMut, n: usize) -> Result<(), DecodeError> {
+        if buf.len() < n {
+            Err(DecodeError::Truncated)
+        } else {
+            Ok(())
+        }
+    }
+    need(buf, 8 + 8 + 2 + 2)?;
+    let seq = buf.get_u64_le();
+    let ts = buf.get_u64_le();
+    let etype = EventType::new(buf.get_u16_le());
+    let attr_count = buf.get_u16_le();
+    let mut builder = Event::builder(etype).seq(seq).ts(ts);
+    for _ in 0..attr_count {
+        need(buf, 3)?;
+        let key = AttrKey::new(buf.get_u16_le());
+        let tag = buf.get_u8();
+        let value = match tag {
+            0 => {
+                need(buf, 8)?;
+                Value::F64(buf.get_f64_le())
+            }
+            1 => {
+                need(buf, 8)?;
+                Value::I64(buf.get_i64_le())
+            }
+            2 => {
+                need(buf, 1)?;
+                Value::Bool(buf.get_u8() != 0)
+            }
+            3 => {
+                need(buf, 4)?;
+                Value::Symbol(SymbolId::new(buf.get_u32_le()))
+            }
+            4 => {
+                need(buf, 4)?;
+                let len = buf.get_u32_le() as usize;
+                need(buf, len)?;
+                let raw = buf.split_to(len);
+                let s = std::str::from_utf8(&raw).map_err(|_| DecodeError::BadUtf8)?;
+                Value::Str(Arc::from(s))
+            }
+            other => return Err(DecodeError::BadTag(other)),
+        };
+        builder = builder.attr(key, value);
+    }
+    Ok(builder.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(seq: u64) -> Event {
+        Event::builder(EventType::new(3))
+            .seq(seq)
+            .ts(seq * 10)
+            .attr(AttrKey::new(0), Value::F64(1.25 * seq as f64))
+            .attr(AttrKey::new(1), Value::Symbol(SymbolId::new(7)))
+            .attr(AttrKey::new(2), Value::from("hello"))
+            .attr(AttrKey::new(3), Value::Bool(true))
+            .attr(AttrKey::new(4), Value::I64(-9))
+            .build()
+    }
+
+    #[test]
+    fn round_trip_single() {
+        let ev = sample(1);
+        let bytes = encode_all([&ev]);
+        let mut dec = Decoder::new();
+        dec.extend(&bytes);
+        assert_eq!(dec.next_event().unwrap(), Some(ev));
+        assert_eq!(dec.next_event().unwrap(), None);
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn round_trip_many() {
+        let events: Vec<_> = (0..100).map(sample).collect();
+        let bytes = encode_all(&events);
+        let mut dec = Decoder::new();
+        dec.extend(&bytes);
+        for ev in &events {
+            assert_eq!(dec.next_event().unwrap().as_ref(), Some(ev));
+        }
+        assert_eq!(dec.next_event().unwrap(), None);
+    }
+
+    #[test]
+    fn fragmented_input() {
+        let events: Vec<_> = (0..10).map(sample).collect();
+        let bytes = encode_all(&events);
+        let mut dec = Decoder::new();
+        let mut out = Vec::new();
+        for chunk in bytes.chunks(3) {
+            dec.extend(chunk);
+            while let Some(ev) = dec.next_event().unwrap() {
+                out.push(ev);
+            }
+        }
+        assert_eq!(out, events);
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected() {
+        let mut dec = Decoder::new();
+        dec.extend(&(u32::MAX).to_le_bytes());
+        assert_eq!(
+            dec.next_event(),
+            Err(DecodeError::FrameTooLarge(u32::MAX as usize))
+        );
+    }
+
+    #[test]
+    fn bad_tag_is_rejected() {
+        let ev = sample(1);
+        let mut buf = BytesMut::new();
+        encode(&ev, &mut buf);
+        // Corrupt the first attribute's tag byte: 4 len + 8 seq + 8 ts + 2 ty
+        // + 2 count + 2 key = offset 26.
+        buf[26] = 99;
+        let mut dec = Decoder::new();
+        dec.extend(&buf);
+        assert_eq!(dec.next_event(), Err(DecodeError::BadTag(99)));
+    }
+
+    #[test]
+    fn empty_event_round_trips() {
+        let ev = Event::builder(EventType::new(0)).seq(5).ts(6).build();
+        let bytes = encode_all([&ev]);
+        let mut dec = Decoder::new();
+        dec.extend(&bytes);
+        assert_eq!(dec.next_event().unwrap(), Some(ev));
+    }
+}

@@ -1,0 +1,168 @@
+//! Deterministic k-way merging of event streams.
+//!
+//! An operator in the DCEP operator graph receives several incoming event
+//! streams and processes their union in a well-defined global order derived
+//! from timestamps plus tie-breaker rules (paper §2.1). [`MergedStream`]
+//! implements that ordering: events are merged by `(timestamp, stream id)`
+//! and re-sequenced with dense [`Seq`](crate::Seq) numbers, which the rest of
+//! the engine uses as the canonical total order.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::Event;
+
+/// K-way merge iterator over per-stream iterators that are individually
+/// ordered by timestamp.
+///
+/// Ties between streams at equal timestamps break by stream index (lower
+/// index first), making the merge fully deterministic. Output events are
+/// re-sequenced starting at `first_seq`.
+///
+/// # Example
+///
+/// ```
+/// use spectre_events::{Event, Schema};
+/// use spectre_events::merge::MergedStream;
+/// let mut schema = Schema::new();
+/// let t = schema.event_type("T");
+/// let mk = |ts| Event::builder(t).ts(ts).build();
+/// let a = vec![mk(10), mk(30)];
+/// let b = vec![mk(20), mk(30)];
+/// let merged: Vec<_> = MergedStream::new(vec![a.into_iter(), b.into_iter()], 0).collect();
+/// let ts: Vec<_> = merged.iter().map(|e| e.ts()).collect();
+/// assert_eq!(ts, vec![10, 20, 30, 30]);
+/// let seqs: Vec<_> = merged.iter().map(|e| e.seq()).collect();
+/// assert_eq!(seqs, vec![0, 1, 2, 3]);
+/// ```
+#[derive(Debug)]
+pub struct MergedStream<I: Iterator<Item = Event>> {
+    streams: Vec<I>,
+    heap: BinaryHeap<HeapEntry>,
+    next_seq: u64,
+}
+
+#[derive(Debug)]
+struct HeapEntry {
+    event: Event,
+    stream: usize,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the smallest (ts, stream) pops
+        // first.
+        (other.event.ts(), other.stream).cmp(&(self.event.ts(), self.stream))
+    }
+}
+
+impl<I: Iterator<Item = Event>> MergedStream<I> {
+    /// Creates a merge over `streams`, re-sequencing output from `first_seq`.
+    ///
+    /// Each input iterator must already be ordered by non-decreasing
+    /// timestamp; this is the usual per-source FIFO guarantee.
+    pub fn new(streams: Vec<I>, first_seq: u64) -> Self {
+        let mut this = MergedStream {
+            streams,
+            heap: BinaryHeap::new(),
+            next_seq: first_seq,
+        };
+        for idx in 0..this.streams.len() {
+            this.refill(idx);
+        }
+        this
+    }
+
+    fn refill(&mut self, stream: usize) {
+        if let Some(event) = self.streams[stream].next() {
+            self.heap.push(HeapEntry { event, stream });
+        }
+    }
+}
+
+impl<I: Iterator<Item = Event>> Iterator for MergedStream<I> {
+    type Item = Event;
+
+    fn next(&mut self) -> Option<Event> {
+        let entry = self.heap.pop()?;
+        self.refill(entry.stream);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        Some(entry.event.with_seq(seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::EventType;
+
+    fn mk(ts: u64, tag: i64) -> Event {
+        Event::builder(EventType::new(0))
+            .ts(ts)
+            .attr(crate::AttrKey::new(0), tag)
+            .build()
+    }
+
+    fn tags(events: &[Event]) -> Vec<i64> {
+        events
+            .iter()
+            .map(|e| e.get(crate::AttrKey::new(0)).unwrap().as_i64().unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn merges_by_timestamp() {
+        let a = vec![mk(1, 10), mk(4, 11), mk(9, 12)];
+        let b = vec![mk(2, 20), mk(3, 21), mk(8, 22)];
+        let out: Vec<_> = MergedStream::new(vec![a.into_iter(), b.into_iter()], 0).collect();
+        assert_eq!(tags(&out), vec![10, 20, 21, 11, 22, 12]);
+    }
+
+    #[test]
+    fn ties_break_by_stream_index() {
+        let a = vec![mk(5, 1)];
+        let b = vec![mk(5, 2)];
+        let c = vec![mk(5, 3)];
+        let out: Vec<_> =
+            MergedStream::new(vec![a.into_iter(), b.into_iter(), c.into_iter()], 0).collect();
+        assert_eq!(tags(&out), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn resequences_densely_from_offset() {
+        let a = vec![mk(1, 0), mk(2, 0)];
+        let b = vec![mk(3, 0)];
+        let out: Vec<_> = MergedStream::new(vec![a.into_iter(), b.into_iter()], 100).collect();
+        let seqs: Vec<_> = out.iter().map(Event::seq).collect();
+        assert_eq!(seqs, vec![100, 101, 102]);
+    }
+
+    #[test]
+    fn empty_streams() {
+        let out: Vec<_> = MergedStream::new(Vec::<std::vec::IntoIter<Event>>::new(), 0).collect();
+        assert!(out.is_empty());
+        let a: Vec<Event> = vec![];
+        let b = vec![mk(1, 7)];
+        let out: Vec<_> = MergedStream::new(vec![a.into_iter(), b.into_iter()], 0).collect();
+        assert_eq!(tags(&out), vec![7]);
+    }
+
+    #[test]
+    fn single_stream_passthrough_order() {
+        let a: Vec<_> = (0..50).map(|i| mk(i, i as i64)).collect();
+        let out: Vec<_> = MergedStream::new(vec![a.into_iter()], 0).collect();
+        assert_eq!(tags(&out), (0..50).collect::<Vec<_>>());
+    }
+}

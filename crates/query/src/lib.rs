@@ -1,0 +1,57 @@
+//! Pattern specification language and incremental matcher for SPECTRE.
+//!
+//! This crate implements the query side of the paper: event patterns with
+//! sequence, Kleene-`+` and unordered-set steps, negation guards, predicate
+//! expressions over event attributes, sliding-window specifications
+//! (`WITHIN … FROM …`), and *selection* / *consumption* policies
+//! (paper §2.1, §5). It provides:
+//!
+//! * [`Expr`] — predicate/arithmetic expressions over the current event and
+//!   earlier pattern bindings,
+//! * [`Pattern`] / [`PatternBuilder`] — the pattern structure,
+//! * [`Query`] / [`QueryBuilder`] — pattern + window + policies,
+//! * [`PartialMatch`] — the incremental match machine with completion
+//!   distance δ (the state the paper's Markov model is built over),
+//! * [`WindowDetector`] — per-window pattern detection with the feedback
+//!   actions of paper Fig. 8 (consumption-group creation / completion /
+//!   abandonment),
+//! * [`parse_query`] — a parser for the paper's extended `MATCH_RECOGNIZE`
+//!   notation (Fig. 9),
+//! * [`queries`] — ready-made builders for the paper's queries Q1, Q2, Q3
+//!   and the introduction's example query QE.
+//!
+//! # Example: the paper's example query QE
+//!
+//! ```
+//! use spectre_events::Schema;
+//! use spectre_query::queries;
+//!
+//! let mut schema = Schema::new();
+//! let q = queries::qe(&mut schema, 60_000);
+//! assert_eq!(q.pattern().step_count(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod complex;
+mod detector;
+mod expr;
+mod matcher;
+mod policy;
+mod query;
+
+pub mod parser;
+pub mod pattern;
+pub mod queries;
+pub mod window;
+
+pub use complex::ComplexEvent;
+pub use detector::{DetectorAction, MatchId, WindowDetector};
+pub use expr::{BinOp, ElemRef, EvalContext, Expr, UnaryOp};
+pub use matcher::{FeedOutcome, PartialMatch};
+pub use parser::{parse_query, ParseError};
+pub use pattern::{ElemId, ElemMatcher, Pattern, PatternBuilder, Step, StepId, StepKind};
+pub use policy::{ConsumptionPolicy, SelectionPolicy};
+pub use query::{Query, QueryBuilder};
+pub use window::{WindowClose, WindowOpen, WindowSpec};

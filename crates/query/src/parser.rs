@@ -1,0 +1,901 @@
+//! Parser for the paper's extended `MATCH_RECOGNIZE` notation (Fig. 9).
+//!
+//! The paper writes queries in the SQL `MATCH_RECOGNIZE` style [Zemke et al.]
+//! extended with two constructs from the Tesla language: `WITHIN … FROM …`
+//! (window size and start condition) and `CONSUME …` (consumption policy).
+//! This module parses that notation into a [`Query`]:
+//!
+//! ```text
+//! PATTERN (MLE RE1 RE2)
+//! DEFINE
+//!   MLE AS (MLE.closePrice > MLE.openPrice AND MLE.symbol == SYM('AAPL')),
+//!   RE1 AS (RE1.closePrice > RE1.openPrice),
+//!   RE2 AS (RE2.closePrice > RE2.openPrice)
+//! WITHIN 8000 EVENTS FROM MLE
+//! CONSUME (MLE RE1 RE2)
+//! ```
+//!
+//! Grammar (keywords case-insensitive):
+//!
+//! ```text
+//! query    := PATTERN '(' elem+ ')' [DEFINE def (',' def)*]
+//!             WITHIN num unit FROM from [SELECT sel] [CONSUME cons]
+//! elem     := '!' NAME | NAME ['+'] | SET '(' NAME+ ')'
+//! def      := NAME AS expr
+//! unit     := EVENTS | MS | SEC | MIN
+//! from     := EVERY num EVENTS | NAME
+//! sel      := ONCE | EACH
+//! cons     := ALL | NONE | '(' NAME* ')'
+//! expr     := or; or := and (OR and)*; and := not (AND not)*
+//! not      := [NOT] cmp
+//! cmp      := add [(< | <= | > | >= | == | !=) add]
+//! add      := mul (('+'|'-') mul)*; mul := prim (('*'|'/') prim)*
+//! prim     := num | TRUE | FALSE | 'string' | SYM '(' 'name' ')'
+//!           | TYPE '(' 'name' ')' | NAME '.' IDENT | '(' expr ')'
+//! ```
+//!
+//! Attribute references `X.attr` resolve to the *current* event inside `X`'s
+//! own definition and to `X`'s binding elsewhere; `TYPE('T')` tests the
+//! current event's type; `SYM('AAPL')` interns a symbol literal.
+
+use std::fmt;
+
+use spectre_events::{Schema, Value};
+
+use crate::expr::{ElemRef, Expr};
+use crate::pattern::{ElemId, Pattern, PatternBuilder};
+use crate::policy::{ConsumptionPolicy, SelectionPolicy};
+use crate::query::Query;
+use crate::window::{WindowClose, WindowOpen, WindowSpec};
+
+/// Error produced by [`parse_query`], with a byte offset into the source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub msg: String,
+    /// Byte offset of the offending token.
+    pub pos: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a query in the extended `MATCH_RECOGNIZE` notation.
+///
+/// Attribute names, event types and symbol literals are interned into
+/// `schema`.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on malformed input, unknown element references or
+/// semantically invalid combinations (which wrap the corresponding
+/// [`QueryError`](crate::query::QueryError) / pattern errors).
+///
+/// # Example
+///
+/// ```
+/// use spectre_events::Schema;
+/// use spectre_query::parse_query;
+///
+/// let mut schema = Schema::new();
+/// let q = parse_query(
+///     "PATTERN (A B)
+///      DEFINE A AS (A.x < 0), B AS (B.x > A.x)
+///      WITHIN 100 EVENTS FROM EVERY 10 EVENTS
+///      CONSUME ALL",
+///     &mut schema,
+/// )?;
+/// assert_eq!(q.pattern().step_count(), 2);
+/// # Ok::<(), spectre_query::ParseError>(())
+/// ```
+pub fn parse_query(src: &str, schema: &mut Schema) -> Result<Query, ParseError> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser {
+        toks: tokens,
+        pos: 0,
+        schema,
+    };
+    p.query()
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Num(f64),
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Bang,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    Ne,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Num(n) => write!(f, "number {n}"),
+            Tok::Str(s) => write!(f, "'{s}'"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::Comma => write!(f, "`,`"),
+            Tok::Dot => write!(f, "`.`"),
+            Tok::Plus => write!(f, "`+`"),
+            Tok::Minus => write!(f, "`-`"),
+            Tok::Star => write!(f, "`*`"),
+            Tok::Slash => write!(f, "`/`"),
+            Tok::Bang => write!(f, "`!`"),
+            Tok::Lt => write!(f, "`<`"),
+            Tok::Le => write!(f, "`<=`"),
+            Tok::Gt => write!(f, "`>`"),
+            Tok::Ge => write!(f, "`>=`"),
+            Tok::EqEq => write!(f, "`==`"),
+            Tok::Ne => write!(f, "`!=`"),
+        }
+    }
+}
+
+fn tokenize(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                i += 1;
+            }
+            '(' => {
+                toks.push((Tok::LParen, start));
+                i += 1;
+            }
+            ')' => {
+                toks.push((Tok::RParen, start));
+                i += 1;
+            }
+            ',' => {
+                toks.push((Tok::Comma, start));
+                i += 1;
+            }
+            '.' => {
+                toks.push((Tok::Dot, start));
+                i += 1;
+            }
+            '+' => {
+                toks.push((Tok::Plus, start));
+                i += 1;
+            }
+            '-' => {
+                toks.push((Tok::Minus, start));
+                i += 1;
+            }
+            '*' => {
+                toks.push((Tok::Star, start));
+                i += 1;
+            }
+            '/' => {
+                toks.push((Tok::Slash, start));
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push((Tok::Le, start));
+                    i += 2;
+                } else {
+                    toks.push((Tok::Lt, start));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push((Tok::Ge, start));
+                    i += 2;
+                } else {
+                    toks.push((Tok::Gt, start));
+                    i += 1;
+                }
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push((Tok::EqEq, start));
+                    i += 2;
+                } else {
+                    return Err(ParseError {
+                        msg: "expected `==`".into(),
+                        pos: start,
+                    });
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push((Tok::Ne, start));
+                    i += 2;
+                } else {
+                    toks.push((Tok::Bang, start));
+                    i += 1;
+                }
+            }
+            '\'' => {
+                i += 1;
+                let s_start = i;
+                while i < bytes.len() && bytes[i] != b'\'' {
+                    i += 1;
+                }
+                if i == bytes.len() {
+                    return Err(ParseError {
+                        msg: "unterminated string literal".into(),
+                        pos: start,
+                    });
+                }
+                toks.push((Tok::Str(src[s_start..i].to_owned()), start));
+                i += 1;
+            }
+            '0'..='9' => {
+                let mut j = i;
+                while j < bytes.len()
+                    && (bytes[j].is_ascii_digit() || bytes[j] == b'.' || bytes[j] == b'_')
+                {
+                    // Don't swallow a `.` that is not followed by a digit
+                    // (e.g. ranges); attribute access never follows numbers
+                    // in this grammar, so a simple rule suffices.
+                    if bytes[j] == b'.'
+                        && !bytes.get(j + 1).is_some_and(u8::is_ascii_digit)
+                    {
+                        break;
+                    }
+                    j += 1;
+                }
+                let text: String = src[i..j].chars().filter(|c| *c != '_').collect();
+                let num = text.parse::<f64>().map_err(|_| ParseError {
+                    msg: format!("invalid number `{text}`"),
+                    pos: start,
+                })?;
+                toks.push((Tok::Num(num), start));
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                toks.push((Tok::Ident(src[i..j].to_owned()), start));
+                i = j;
+            }
+            other => {
+                return Err(ParseError {
+                    msg: format!("unexpected character `{other}`"),
+                    pos: start,
+                });
+            }
+        }
+    }
+    Ok(toks)
+}
+
+#[derive(Debug, Clone)]
+enum RawElem {
+    One(String),
+    Plus(String),
+    Neg(String),
+    Set(Vec<String>),
+}
+
+struct Parser<'s> {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+    schema: &'s mut Schema,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        let pos = self
+            .toks
+            .get(self.pos)
+            .map(|(_, p)| *p)
+            .unwrap_or_else(|| self.toks.last().map(|(_, p)| *p + 1).unwrap_or(0));
+        ParseError {
+            msg: msg.into(),
+            pos,
+        }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, tok: &Tok) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(t) if t == tok => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(t) => Err(self.err(format!("expected {tok}, found {t}"))),
+            None => Err(self.err(format!("expected {tok}, found end of input"))),
+        }
+    }
+
+    /// Peeks whether the next token is the given keyword (case-insensitive).
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.peek_kw(kw) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected keyword `{kw}`")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(Tok::Ident(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            _ => Err(self.err("expected identifier")),
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, ParseError> {
+        match self.peek() {
+            Some(Tok::Num(n)) => {
+                let n = *n;
+                self.pos += 1;
+                Ok(n)
+            }
+            _ => Err(self.err("expected number")),
+        }
+    }
+
+    fn query(&mut self) -> Result<Query, ParseError> {
+        self.eat_kw("PATTERN")?;
+        self.eat(&Tok::LParen)?;
+        let mut elems = Vec::new();
+        while !matches!(self.peek(), Some(Tok::RParen)) {
+            elems.push(self.elem()?);
+        }
+        self.eat(&Tok::RParen)?;
+        if elems.is_empty() {
+            return Err(self.err("pattern must contain at least one element"));
+        }
+
+        // Binding-element name table, in PatternBuilder allocation order.
+        let mut binding_names: Vec<String> = Vec::new();
+        for e in &elems {
+            match e {
+                RawElem::One(n) | RawElem::Plus(n) => binding_names.push(n.clone()),
+                RawElem::Set(ns) => binding_names.extend(ns.iter().cloned()),
+                RawElem::Neg(_) => {}
+            }
+        }
+        let guard_names: Vec<String> = elems
+            .iter()
+            .filter_map(|e| match e {
+                RawElem::Neg(n) => Some(n.clone()),
+                _ => None,
+            })
+            .collect();
+
+        // DEFINE clause.
+        let mut defs: Vec<(String, Expr)> = Vec::new();
+        if self.peek_kw("DEFINE") {
+            self.pos += 1;
+            loop {
+                let name = self.ident()?;
+                if !binding_names.contains(&name) && !guard_names.contains(&name) {
+                    return Err(self.err(format!("DEFINE for unknown element `{name}`")));
+                }
+                self.eat_kw("AS")?;
+                let expr = self.expr(&name, &binding_names)?;
+                defs.push((name, expr));
+                if matches!(self.peek(), Some(Tok::Comma)) {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        let def_of = |name: &str| -> Expr {
+            defs.iter()
+                .rev()
+                .find(|(n, _)| n == name)
+                .map(|(_, e)| e.clone())
+                .unwrap_or_else(Expr::truth)
+        };
+
+        // WITHIN clause.
+        self.eat_kw("WITHIN")?;
+        let scope_num = self.number()?;
+        let unit = self.ident()?;
+        let close = match unit.to_ascii_uppercase().as_str() {
+            "EVENTS" | "EVENT" => WindowClose::Count(scope_num as u64),
+            "MS" => WindowClose::Time(scope_num as u64),
+            "SEC" | "SECONDS" => WindowClose::Time((scope_num * 1_000.0) as u64),
+            "MIN" | "MINUTES" => WindowClose::Time((scope_num * 60_000.0) as u64),
+            other => return Err(self.err(format!("unknown scope unit `{other}`"))),
+        };
+        self.eat_kw("FROM")?;
+        let open = if self.peek_kw("EVERY") {
+            self.pos += 1;
+            let s = self.number()?;
+            self.eat_kw("EVENTS")?;
+            WindowOpen::EverySlide(s as u64)
+        } else {
+            let name = self.ident()?;
+            if !binding_names.contains(&name) {
+                return Err(self.err(format!("FROM references unknown element `{name}`")));
+            }
+            let pred = def_of(&name);
+            let mut refs = Vec::new();
+            pred.referenced_elems(&mut refs);
+            if !refs.is_empty() {
+                return Err(self.err(format!(
+                    "window-start element `{name}` must not reference other elements"
+                )));
+            }
+            WindowOpen::OnMatch {
+                event_type: None,
+                pred,
+            }
+        };
+        let window = WindowSpec::new(open, close).map_err(|e| self.err(e.to_string()))?;
+
+        // SELECT clause (extension; default ONCE).
+        let mut selection = SelectionPolicy::Once;
+        if self.peek_kw("SELECT") {
+            self.pos += 1;
+            let kw = self.ident()?;
+            selection = match kw.to_ascii_uppercase().as_str() {
+                "ONCE" => SelectionPolicy::Once,
+                "EACH" => SelectionPolicy::EachLast,
+                other => return Err(self.err(format!("unknown selection policy `{other}`"))),
+            };
+        }
+
+        // CONSUME clause.
+        let mut consumption = ConsumptionPolicy::None;
+        if self.peek_kw("CONSUME") {
+            self.pos += 1;
+            if self.peek_kw("ALL") {
+                self.pos += 1;
+                consumption = ConsumptionPolicy::All;
+            } else if self.peek_kw("NONE") {
+                self.pos += 1;
+                consumption = ConsumptionPolicy::None;
+            } else {
+                self.eat(&Tok::LParen)?;
+                let mut names = Vec::new();
+                while !matches!(self.peek(), Some(Tok::RParen)) {
+                    let n = self.ident()?;
+                    if !binding_names.contains(&n) {
+                        return Err(self.err(format!("CONSUME names unknown element `{n}`")));
+                    }
+                    names.push(n);
+                }
+                self.eat(&Tok::RParen)?;
+                consumption = ConsumptionPolicy::Selected(names);
+            }
+        }
+
+        if let Some(t) = self.peek() {
+            let t = t.clone();
+            return Err(self.err(format!("unexpected trailing {t}")));
+        }
+
+        // Build the pattern.
+        let mut builder: PatternBuilder = Pattern::builder();
+        for e in &elems {
+            builder = match e {
+                RawElem::One(n) => builder.one(n, def_of(n)),
+                RawElem::Plus(n) => builder.plus(n, def_of(n)),
+                RawElem::Neg(n) => builder.forbid(n, def_of(n)),
+                RawElem::Set(ns) => {
+                    builder.set(ns.iter().map(|n| (n.clone(), def_of(n))).collect())
+                }
+            };
+        }
+        let pattern = builder.build().map_err(|e| ParseError {
+            msg: e.to_string(),
+            pos: 0,
+        })?;
+
+        Query::builder("parsed")
+            .pattern(pattern)
+            .window(window)
+            .selection(selection)
+            .consumption(consumption)
+            .build()
+            .map_err(|e| ParseError {
+                msg: e.to_string(),
+                pos: 0,
+            })
+    }
+
+    fn elem(&mut self) -> Result<RawElem, ParseError> {
+        if matches!(self.peek(), Some(Tok::Bang)) {
+            self.pos += 1;
+            let name = self.ident()?;
+            return Ok(RawElem::Neg(name));
+        }
+        if self.peek_kw("SET") {
+            self.pos += 1;
+            self.eat(&Tok::LParen)?;
+            let mut names = Vec::new();
+            while !matches!(self.peek(), Some(Tok::RParen)) {
+                names.push(self.ident()?);
+            }
+            self.eat(&Tok::RParen)?;
+            return Ok(RawElem::Set(names));
+        }
+        let name = self.ident()?;
+        if matches!(self.peek(), Some(Tok::Plus)) {
+            self.pos += 1;
+            Ok(RawElem::Plus(name))
+        } else {
+            Ok(RawElem::One(name))
+        }
+    }
+
+    // ----- expression parsing (inside DEFINE for element `owner`) -----
+
+    fn expr(&mut self, owner: &str, bindings: &[String]) -> Result<Expr, ParseError> {
+        self.or_expr(owner, bindings)
+    }
+
+    fn or_expr(&mut self, owner: &str, bindings: &[String]) -> Result<Expr, ParseError> {
+        let mut lhs = self.and_expr(owner, bindings)?;
+        while self.peek_kw("OR") {
+            self.pos += 1;
+            let rhs = self.and_expr(owner, bindings)?;
+            lhs = lhs.or(rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self, owner: &str, bindings: &[String]) -> Result<Expr, ParseError> {
+        let mut lhs = self.not_expr(owner, bindings)?;
+        while self.peek_kw("AND") {
+            self.pos += 1;
+            let rhs = self.not_expr(owner, bindings)?;
+            lhs = lhs.and(rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self, owner: &str, bindings: &[String]) -> Result<Expr, ParseError> {
+        if self.peek_kw("NOT") {
+            self.pos += 1;
+            return Ok(self.not_expr(owner, bindings)?.not());
+        }
+        self.cmp_expr(owner, bindings)
+    }
+
+    fn cmp_expr(&mut self, owner: &str, bindings: &[String]) -> Result<Expr, ParseError> {
+        let lhs = self.add_expr(owner, bindings)?;
+        let op = match self.peek() {
+            Some(Tok::Lt) => Some(Expr::lt as fn(Expr, Expr) -> Expr),
+            Some(Tok::Le) => Some(Expr::le as fn(Expr, Expr) -> Expr),
+            Some(Tok::Gt) => Some(Expr::gt as fn(Expr, Expr) -> Expr),
+            Some(Tok::Ge) => Some(Expr::ge as fn(Expr, Expr) -> Expr),
+            Some(Tok::EqEq) => Some(Expr::eq_ as fn(Expr, Expr) -> Expr),
+            Some(Tok::Ne) => Some(Expr::ne_ as fn(Expr, Expr) -> Expr),
+            _ => None,
+        };
+        if let Some(f) = op {
+            self.pos += 1;
+            let rhs = self.add_expr(owner, bindings)?;
+            Ok(f(lhs, rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn add_expr(&mut self, owner: &str, bindings: &[String]) -> Result<Expr, ParseError> {
+        let mut lhs = self.mul_expr(owner, bindings)?;
+        loop {
+            match self.peek() {
+                Some(Tok::Plus) => {
+                    self.pos += 1;
+                    lhs = lhs.add(self.mul_expr(owner, bindings)?);
+                }
+                Some(Tok::Minus) => {
+                    self.pos += 1;
+                    lhs = lhs.sub(self.mul_expr(owner, bindings)?);
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn mul_expr(&mut self, owner: &str, bindings: &[String]) -> Result<Expr, ParseError> {
+        let mut lhs = self.prim_expr(owner, bindings)?;
+        loop {
+            match self.peek() {
+                Some(Tok::Star) => {
+                    self.pos += 1;
+                    lhs = lhs.mul(self.prim_expr(owner, bindings)?);
+                }
+                Some(Tok::Slash) => {
+                    self.pos += 1;
+                    lhs = lhs.div(self.prim_expr(owner, bindings)?);
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn prim_expr(&mut self, owner: &str, bindings: &[String]) -> Result<Expr, ParseError> {
+        match self.next() {
+            Some(Tok::Num(n)) => Ok(Expr::value(n)),
+            Some(Tok::Minus) => {
+                let inner = self.prim_expr(owner, bindings)?;
+                Ok(Expr::Unary(crate::expr::UnaryOp::Neg, Box::new(inner)))
+            }
+            Some(Tok::Str(s)) => Ok(Expr::value(s.as_str())),
+            Some(Tok::LParen) => {
+                let e = self.expr(owner, bindings)?;
+                self.eat(&Tok::RParen)?;
+                Ok(e)
+            }
+            Some(Tok::Ident(id)) if id.eq_ignore_ascii_case("TRUE") => {
+                Ok(Expr::value(true))
+            }
+            Some(Tok::Ident(id)) if id.eq_ignore_ascii_case("FALSE") => {
+                Ok(Expr::value(false))
+            }
+            Some(Tok::Ident(id)) if id.eq_ignore_ascii_case("SYM") => {
+                self.eat(&Tok::LParen)?;
+                let Some(Tok::Str(name)) = self.next() else {
+                    return Err(self.err("SYM() expects a quoted symbol name"));
+                };
+                self.eat(&Tok::RParen)?;
+                Ok(Expr::value(Value::Symbol(self.schema.symbol(&name))))
+            }
+            Some(Tok::Ident(id)) if id.eq_ignore_ascii_case("TYPE") => {
+                self.eat(&Tok::LParen)?;
+                let Some(Tok::Str(name)) = self.next() else {
+                    return Err(self.err("TYPE() expects a quoted type name"));
+                };
+                self.eat(&Tok::RParen)?;
+                let ty = self.schema.event_type(&name);
+                Ok(Expr::TypeIs(ElemRef::Current, ty))
+            }
+            Some(Tok::Ident(name)) => {
+                self.eat(&Tok::Dot)?;
+                let attr_name = self.ident()?;
+                let attr = self.schema.attr(&attr_name);
+                let elem_ref = if name == owner {
+                    ElemRef::Current
+                } else if let Some(i) = bindings.iter().position(|b| *b == name) {
+                    ElemRef::Bound(ElemId::new(i as u16))
+                } else {
+                    return Err(self.err(format!("reference to unknown element `{name}`")));
+                };
+                Ok(Expr::attr(elem_ref, attr))
+            }
+            Some(t) => Err(ParseError {
+                msg: format!("unexpected {t} in expression"),
+                pos: self.toks[self.pos - 1].1,
+            }),
+            None => Err(self.err("unexpected end of input in expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::StepKind;
+
+    fn schema() -> Schema {
+        Schema::new()
+    }
+
+    #[test]
+    fn parses_q1_style_query() {
+        let mut s = schema();
+        let q = parse_query(
+            "PATTERN (MLE RE1 RE2)
+             DEFINE MLE AS (MLE.closePrice > MLE.openPrice AND MLE.leading == 1),
+                    RE1 AS (RE1.closePrice > RE1.openPrice),
+                    RE2 AS (RE2.closePrice > RE2.openPrice)
+             WITHIN 8000 EVENTS FROM MLE
+             CONSUME (MLE RE1 RE2)",
+            &mut s,
+        )
+        .unwrap();
+        assert_eq!(q.pattern().step_count(), 3);
+        assert!(matches!(q.window().close(), WindowClose::Count(8000)));
+        assert!(matches!(q.window().open(), WindowOpen::OnMatch { .. }));
+        for i in 0..3 {
+            assert!(q.consumable(ElemId::new(i)));
+        }
+    }
+
+    #[test]
+    fn parses_kleene_and_slide() {
+        let mut s = schema();
+        let q = parse_query(
+            "PATTERN (A B+ C)
+             DEFINE A AS (A.closePrice < 10),
+                    B AS (B.closePrice >= 10 AND B.closePrice <= 20),
+                    C AS (C.closePrice > 20)
+             WITHIN 8000 EVENTS FROM EVERY 1000 EVENTS
+             CONSUME ALL",
+            &mut s,
+        )
+        .unwrap();
+        assert_eq!(q.pattern().step_count(), 3);
+        assert!(matches!(
+            q.pattern().steps()[1].kind,
+            StepKind::Plus(_)
+        ));
+        assert!(matches!(q.window().open(), WindowOpen::EverySlide(1000)));
+    }
+
+    #[test]
+    fn parses_set_pattern() {
+        let mut s = schema();
+        let q = parse_query(
+            "PATTERN (A SET(X1 X2 X3))
+             DEFINE A AS (A.symbol == SYM('LEAD')),
+                    X1 AS (X1.symbol == SYM('S1')),
+                    X2 AS (X2.symbol == SYM('S2')),
+                    X3 AS (X3.symbol == SYM('S3'))
+             WITHIN 1000 EVENTS FROM EVERY 100 EVENTS
+             CONSUME ALL",
+            &mut s,
+        )
+        .unwrap();
+        assert_eq!(q.pattern().step_count(), 2);
+        assert!(matches!(&q.pattern().steps()[1].kind, StepKind::Set(m) if m.len() == 3));
+        assert_eq!(s.symbol_count(), 4);
+    }
+
+    #[test]
+    fn parses_negation_and_time_window() {
+        let mut s = schema();
+        let q = parse_query(
+            "PATTERN (A !C B)
+             DEFINE A AS (A.x == 1), C AS (C.x == 9), B AS (B.x == 2)
+             WITHIN 1 MIN FROM A
+             SELECT EACH
+             CONSUME (B)",
+            &mut s,
+        )
+        .unwrap();
+        assert_eq!(q.pattern().step_count(), 2);
+        assert_eq!(q.pattern().steps()[1].forbid.len(), 1);
+        assert!(matches!(q.window().close(), WindowClose::Time(60_000)));
+        assert_eq!(q.selection(), SelectionPolicy::EachLast);
+        assert_eq!(
+            q.consumption(),
+            &ConsumptionPolicy::Selected(vec!["B".into()])
+        );
+    }
+
+    #[test]
+    fn cross_element_reference_resolves_to_binding() {
+        let mut s = schema();
+        let q = parse_query(
+            "PATTERN (A B)
+             DEFINE A AS (A.x > 0), B AS (B.x > A.x * 2)
+             WITHIN 10 EVENTS FROM EVERY 5 EVENTS",
+            &mut s,
+        )
+        .unwrap();
+        let StepKind::One(m) = &q.pattern().steps()[1].kind else {
+            panic!()
+        };
+        let mut refs = Vec::new();
+        m.pred.referenced_elems(&mut refs);
+        assert_eq!(refs, vec![ElemId::new(0)]);
+    }
+
+    #[test]
+    fn rejects_unknown_references() {
+        let mut s = schema();
+        let err = parse_query(
+            "PATTERN (A) DEFINE A AS (Z.x > 0) WITHIN 10 EVENTS FROM A",
+            &mut s,
+        )
+        .unwrap_err();
+        assert!(err.msg.contains("unknown element `Z`"), "{}", err.msg);
+
+        let err = parse_query(
+            "PATTERN (A) DEFINE B AS (B.x > 0) WITHIN 10 EVENTS FROM A",
+            &mut s,
+        )
+        .unwrap_err();
+        assert!(err.msg.contains("unknown element `B`"), "{}", err.msg);
+
+        let err = parse_query("PATTERN (A) WITHIN 10 EVENTS FROM Q", &mut s).unwrap_err();
+        assert!(err.msg.contains("unknown element `Q`"), "{}", err.msg);
+
+        let err =
+            parse_query("PATTERN (A) WITHIN 10 EVENTS FROM A CONSUME (Z)", &mut s).unwrap_err();
+        assert!(err.msg.contains("unknown element `Z`"), "{}", err.msg);
+    }
+
+    #[test]
+    fn rejects_window_start_with_cross_references() {
+        let mut s = schema();
+        let err = parse_query(
+            "PATTERN (A B) DEFINE A AS (A.x > 0), B AS (B.x > A.x)
+             WITHIN 10 EVENTS FROM B",
+            &mut s,
+        )
+        .unwrap_err();
+        assert!(err.msg.contains("must not reference"), "{}", err.msg);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        let mut s = schema();
+        assert!(parse_query("", &mut s).is_err());
+        assert!(parse_query("PATTERN ()", &mut s).is_err());
+        assert!(parse_query("PATTERN (A) WITHIN x EVENTS FROM A", &mut s).is_err());
+        assert!(parse_query(
+            "PATTERN (A) WITHIN 10 FURLONGS FROM A",
+            &mut s
+        )
+        .is_err());
+        assert!(parse_query(
+            "PATTERN (A) WITHIN 10 EVENTS FROM A trailing garbage",
+            &mut s
+        )
+        .is_err());
+        assert!(parse_query("PATTERN (A DEFINE", &mut s).is_err());
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let mut s = schema();
+        let q = parse_query(
+            "PATTERN (A) DEFINE A AS (A.x + 2 * 3 == 7) WITHIN 10 EVENTS FROM EVERY 1 EVENTS",
+            &mut s,
+        )
+        .unwrap();
+        let StepKind::One(m) = &q.pattern().steps()[0].kind else {
+            panic!()
+        };
+        // ((A.x + (2 * 3)) == 7)
+        assert_eq!(m.pred.to_string(), "((self.a0 + (2 * 3)) == 7)");
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        let mut s = schema();
+        let err = parse_query("PATTERN (A) DEFINE A AS (A.s == 'oops", &mut s).unwrap_err();
+        assert!(err.msg.contains("unterminated"));
+    }
+}

@@ -1,0 +1,292 @@
+//! Ready-made builders for the paper's evaluation queries (Fig. 9) and the
+//! introduction's example query QE (Fig. 1).
+//!
+//! All queries work on a shared stock-quote vocabulary ([`StockVocab`]):
+//! events of type `Quote` carrying `symbol`, `openPrice`, `closePrice` and a
+//! `leading` flag (set for the 16 blue-chip leader symbols of Q1).
+
+use spectre_events::{AttrKey, EventType, Schema, SymbolId, Value};
+
+use crate::expr::Expr;
+use crate::pattern::Pattern;
+use crate::policy::{ConsumptionPolicy, SelectionPolicy};
+use crate::query::Query;
+use crate::window::WindowSpec;
+
+/// Interned ids of the stock-quote vocabulary shared by the paper's queries
+/// and the dataset generators.
+#[derive(Debug, Clone, Copy)]
+pub struct StockVocab {
+    /// Event type of stock quotes.
+    pub quote: EventType,
+    /// Stock symbol attribute ([`Value::Symbol`]).
+    pub symbol: AttrKey,
+    /// Opening price of the quote interval.
+    pub open_price: AttrKey,
+    /// Closing price of the quote interval.
+    pub close_price: AttrKey,
+    /// `true` on quotes of leading (blue-chip) symbols.
+    pub leading: AttrKey,
+}
+
+impl StockVocab {
+    /// Interns the vocabulary into `schema` (idempotent).
+    pub fn install(schema: &mut Schema) -> Self {
+        StockVocab {
+            quote: schema.event_type("Quote"),
+            symbol: schema.attr("symbol"),
+            open_price: schema.attr("openPrice"),
+            close_price: schema.attr("closePrice"),
+            leading: schema.attr("leading"),
+        }
+    }
+
+    /// Predicate: the current quote is rising (`closePrice > openPrice`).
+    pub fn rising(&self) -> Expr {
+        Expr::current(self.close_price).gt(Expr::current(self.open_price))
+    }
+
+    /// Predicate: the current quote is falling (`closePrice < openPrice`).
+    pub fn falling(&self) -> Expr {
+        Expr::current(self.close_price).lt(Expr::current(self.open_price))
+    }
+
+    /// Predicate: the current quote belongs to a leading symbol.
+    pub fn is_leading(&self) -> Expr {
+        Expr::current(self.leading).eq_(Expr::value(true))
+    }
+
+    /// Predicate: the current quote's symbol equals `sym`.
+    pub fn symbol_is(&self, sym: SymbolId) -> Expr {
+        Expr::current(self.symbol).eq_(Expr::value(Value::Symbol(sym)))
+    }
+}
+
+/// Trend direction for [`q1`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Direction {
+    /// Rising quotes (`closePrice > openPrice`), the variant listed in Fig. 9.
+    #[default]
+    Rising,
+    /// Falling quotes (`closePrice < openPrice`).
+    Falling,
+}
+
+/// Paper query **Q1**: the first `q` rising (or falling) quotes within a
+/// window of `ws` events opened by a rising (falling) quote of a *leading*
+/// symbol; all constituents are consumed.
+///
+/// The pattern has fixed length `q + 1` and every matching event advances
+/// the completion state — the property the paper uses to sweep the
+/// consumption-group completion probability in Fig. 10(a)/(d).
+///
+/// # Panics
+///
+/// Panics if `q == 0` or `ws == 0`.
+pub fn q1(schema: &mut Schema, q: usize, ws: u64, direction: Direction) -> Query {
+    assert!(q > 0, "Q1 needs at least one RE step");
+    let vocab = StockVocab::install(schema);
+    let trend = match direction {
+        Direction::Rising => vocab.rising(),
+        Direction::Falling => vocab.falling(),
+    };
+    let mle_pred = vocab.is_leading().and(trend.clone());
+    let mut b = Pattern::builder().one("MLE", mle_pred.clone());
+    for i in 1..=q {
+        b = b.one(&format!("RE{i}"), trend.clone());
+    }
+    let pattern = b.build().expect("valid Q1 pattern");
+    Query::builder("Q1")
+        .pattern(pattern)
+        .window(
+            WindowSpec::on_match_count(Some(vocab.quote), mle_pred, ws)
+                .expect("valid Q1 window"),
+        )
+        .consumption(ConsumptionPolicy::All)
+        .build()
+        .expect("valid Q1 query")
+}
+
+/// Paper query **Q2** (from Balkesen & Tatbul, extended with window and
+/// consumption policy): price oscillations of a symbol between `lower` and
+/// `upper` limits, `A B+ C D+ E F+ G H+ I J+ K L+ M`, window of `ws` events
+/// sliding every `s` events, all constituents consumed.
+///
+/// The Kleene-`+` steps give the pattern a *variable* length: matching
+/// events may absorb without advancing completion (paper §4.1). The
+/// `lower`/`upper` limits control the average pattern size and thereby the
+/// completion probability (Fig. 10(b)/(e)).
+pub fn q2(schema: &mut Schema, lower: f64, upper: f64, ws: u64, s: u64) -> Query {
+    let vocab = StockVocab::install(schema);
+    let below = Expr::current(vocab.close_price).lt(Expr::value(lower));
+    let between = Expr::current(vocab.close_price)
+        .gt(Expr::value(lower))
+        .and(Expr::current(vocab.close_price).lt(Expr::value(upper)));
+    let above = Expr::current(vocab.close_price).gt(Expr::value(upper));
+
+    // A(<) B+(=) C(>) D+(=) E(<) F+(=) G(>) H+(=) I(<) J+(=) K(>) L+(=) M(<)
+    let pattern = Pattern::builder()
+        .one("A", below.clone())
+        .plus("B", between.clone())
+        .one("C", above.clone())
+        .plus("D", between.clone())
+        .one("E", below.clone())
+        .plus("F", between.clone())
+        .one("G", above.clone())
+        .plus("H", between.clone())
+        .one("I", below.clone())
+        .plus("J", between.clone())
+        .one("K", above)
+        .plus("L", between)
+        .one("M", below)
+        .build()
+        .expect("valid Q2 pattern");
+    Query::builder("Q2")
+        .pattern(pattern)
+        .window(WindowSpec::count_sliding(ws, s).expect("valid Q2 window"))
+        .consumption(ConsumptionPolicy::All)
+        .build()
+        .expect("valid Q2 query")
+}
+
+/// Paper query **Q3**: stock symbol `leader` followed by a *set* of `n`
+/// specific symbols in any order, window of `ws` events sliding every `s`
+/// events, all constituents consumed (used for the Markov-model evaluation,
+/// Fig. 11).
+///
+/// # Panics
+///
+/// Panics if `members` is empty or larger than 128.
+pub fn q3(
+    schema: &mut Schema,
+    leader: SymbolId,
+    members: &[SymbolId],
+    ws: u64,
+    s: u64,
+) -> Query {
+    assert!(!members.is_empty(), "Q3 needs at least one set member");
+    let vocab = StockVocab::install(schema);
+    let set_members: Vec<(String, Expr)> = members
+        .iter()
+        .enumerate()
+        .map(|(i, sym)| (format!("X{}", i + 1), vocab.symbol_is(*sym)))
+        .collect();
+    let pattern = Pattern::builder()
+        .one("A", vocab.symbol_is(leader))
+        .set(set_members)
+        .build()
+        .expect("valid Q3 pattern");
+    Query::builder("Q3")
+        .pattern(pattern)
+        .window(WindowSpec::count_sliding(ws, s).expect("valid Q3 window"))
+        .consumption(ConsumptionPolicy::All)
+        .build()
+        .expect("valid Q3 query")
+}
+
+/// The introduction's example query **QE** (paper §2.1, Fig. 1): correlate a
+/// change of stock `B` with a change of stock `A` within a time scope,
+/// selection policy "first A, each B", consumption policy "selected B".
+///
+/// Windows open on `A` quotes with a time scope of `scope_ms`; each `B`
+/// quote in the window produces a complex event and is consumed.
+pub fn qe(schema: &mut Schema, scope_ms: u64) -> Query {
+    let vocab = StockVocab::install(schema);
+    let sym_a = schema.symbol("A");
+    let sym_b = schema.symbol("B");
+    let a_pred = vocab.symbol_is(sym_a);
+    let b_pred = vocab.symbol_is(sym_b);
+    let pattern = Pattern::builder()
+        .one("A", a_pred.clone())
+        .one("B", b_pred)
+        .build()
+        .expect("valid QE pattern");
+    Query::builder("QE")
+        .pattern(pattern)
+        .window(
+            WindowSpec::on_match_time(Some(vocab.quote), a_pred, scope_ms)
+                .expect("valid QE window"),
+        )
+        .selection(SelectionPolicy::EachLast)
+        .consumption(ConsumptionPolicy::Selected(vec!["B".into()]))
+        .build()
+        .expect("valid QE query")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::StepKind;
+    use crate::window::{WindowClose, WindowOpen};
+
+    #[test]
+    fn q1_shape() {
+        let mut s = Schema::new();
+        let q = q1(&mut s, 40, 8000, Direction::Rising);
+        assert_eq!(q.pattern().step_count(), 41);
+        assert_eq!(q.pattern().max_delta(), 41);
+        assert!(matches!(q.window().close(), WindowClose::Count(8000)));
+        assert!(matches!(q.window().open(), WindowOpen::OnMatch { .. }));
+        assert_eq!(q.consumption(), &ConsumptionPolicy::All);
+    }
+
+    #[test]
+    fn q1_falling_variant_differs() {
+        let mut s = Schema::new();
+        let rising = q1(&mut s, 2, 100, Direction::Rising);
+        let falling = q1(&mut s, 2, 100, Direction::Falling);
+        let StepKind::One(mr) = &rising.pattern().steps()[1].kind else {
+            panic!()
+        };
+        let StepKind::One(mf) = &falling.pattern().steps()[1].kind else {
+            panic!()
+        };
+        assert_ne!(mr.pred, mf.pred);
+    }
+
+    #[test]
+    fn q2_shape() {
+        let mut s = Schema::new();
+        let q = q2(&mut s, 10.0, 20.0, 8000, 1000);
+        assert_eq!(q.pattern().step_count(), 13);
+        // 7 One steps + 6 Plus steps → max_delta 13
+        assert_eq!(q.pattern().max_delta(), 13);
+        let plus_count = q
+            .pattern()
+            .steps()
+            .iter()
+            .filter(|st| matches!(st.kind, StepKind::Plus(_)))
+            .count();
+        assert_eq!(plus_count, 6);
+    }
+
+    #[test]
+    fn q3_shape() {
+        let mut s = Schema::new();
+        let leader = s.symbol("LEAD");
+        let members: Vec<_> = (0..5).map(|i| s.symbol(&format!("S{i}"))).collect();
+        let q = q3(&mut s, leader, &members, 1000, 100);
+        assert_eq!(q.pattern().step_count(), 2);
+        assert_eq!(q.pattern().max_delta(), 6);
+    }
+
+    #[test]
+    fn qe_shape() {
+        let mut s = Schema::new();
+        let q = qe(&mut s, 60_000);
+        assert_eq!(q.pattern().step_count(), 2);
+        assert_eq!(q.selection(), SelectionPolicy::EachLast);
+        assert_eq!(
+            q.consumption(),
+            &ConsumptionPolicy::Selected(vec!["B".into()])
+        );
+        assert!(matches!(q.window().close(), WindowClose::Time(60_000)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one RE step")]
+    fn q1_rejects_zero_q() {
+        let mut s = Schema::new();
+        let _ = q1(&mut s, 0, 100, Direction::Rising);
+    }
+}

@@ -1,0 +1,80 @@
+//! Shared helpers for the SPECTRE integration test suite.
+//!
+//! The tests in `tests/` compare every execution mode of the workspace —
+//! the sequential reference, the wait-based parallel baseline, the T-REX
+//! style automaton engine, the deterministic simulation runtime and the
+//! threaded runtime — against each other on the paper's queries and
+//! datasets. This crate hosts the small amount of common scaffolding.
+
+use std::sync::Arc;
+
+use spectre_core::{run_simulated, SpectreConfig};
+use spectre_events::Event;
+use spectre_query::{ComplexEvent, Query};
+
+/// Renders a complex event compactly for assertion diffs.
+pub fn fmt_complex(ce: &ComplexEvent) -> String {
+    format!("w{}@{}{:?}", ce.window_id, ce.ts, ce.constituents)
+}
+
+/// Renders a whole output stream compactly.
+pub fn fmt_all(ces: &[ComplexEvent]) -> Vec<String> {
+    ces.iter().map(fmt_complex).collect()
+}
+
+/// Asserts two outputs are identical, with a readable diff on mismatch.
+pub fn assert_same_output(label: &str, got: &[ComplexEvent], expected: &[ComplexEvent]) {
+    assert_eq!(
+        fmt_all(got),
+        fmt_all(expected),
+        "{label}: output differs from the sequential reference"
+    );
+}
+
+/// Runs the simulation runtime for each `k` and asserts output equality
+/// with the sequential reference (the paper's central correctness claim,
+/// §2.3: no false positives, no false negatives).
+pub fn assert_sim_matches_sequential(query: &Arc<Query>, events: &[Event], ks: &[usize]) {
+    let expected = spectre_baselines::run_sequential(query, events).complex_events;
+    for &k in ks {
+        let report =
+            run_simulated(query, events.to_vec(), &SpectreConfig::with_instances(k));
+        assert_same_output(&format!("sim k={k}"), &report.complex_events, &expected);
+    }
+}
+
+/// A tiny deterministic schema + stream builder for hand-written scenarios.
+pub mod mini {
+    use spectre_events::{AttrKey, Event, EventType, Schema};
+
+    /// Single-attribute event vocabulary used by hand-written streams.
+    #[derive(Debug, Clone, Copy)]
+    pub struct MiniVocab {
+        /// The only event type.
+        pub ty: EventType,
+        /// The only attribute (`x`).
+        pub x: AttrKey,
+    }
+
+    /// Interns the mini vocabulary.
+    pub fn vocab(schema: &mut Schema) -> MiniVocab {
+        MiniVocab {
+            ty: schema.event_type("E"),
+            x: schema.attr("x"),
+        }
+    }
+
+    /// Builds a stream of events whose `x` attribute takes the given values.
+    pub fn stream(v: MiniVocab, xs: &[f64]) -> Vec<Event> {
+        xs.iter()
+            .enumerate()
+            .map(|(i, &x)| {
+                Event::builder(v.ty)
+                    .seq(i as u64)
+                    .ts(i as u64)
+                    .attr(v.x, x)
+                    .build()
+            })
+            .collect()
+    }
+}

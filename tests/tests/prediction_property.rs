@@ -1,0 +1,148 @@
+//! Property-based tests for the prediction substrate: the stochastic-matrix
+//! kernel and the Markov completion-probability model (paper Fig. 5).
+
+use proptest::prelude::*;
+use spectre_core::markov::{MarkovConfig, MarkovModel};
+use spectre_core::matrix::Matrix;
+
+/// Builds a row-stochastic matrix from arbitrary non-negative rows.
+fn stochastic(rows: Vec<Vec<f64>>) -> Matrix {
+    let n = rows.len();
+    let mut m = Matrix::zeros(n);
+    for (i, row) in rows.iter().enumerate() {
+        for (j, &v) in row.iter().enumerate() {
+            m[(i, j)] = v;
+        }
+    }
+    m.row_normalize();
+    m
+}
+
+fn rows_strategy(n: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(0.0f64..10.0, n..=n),
+        n..=n,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Products of row-stochastic matrices are row-stochastic.
+    #[test]
+    fn products_stay_stochastic(a in rows_strategy(4), b in rows_strategy(4)) {
+        let (a, b) = (stochastic(a), stochastic(b));
+        prop_assume!(a.is_row_stochastic(1e-9) && b.is_row_stochastic(1e-9));
+        let c = a.multiply(&b);
+        prop_assert!(c.is_row_stochastic(1e-6));
+    }
+
+    /// Powers of row-stochastic matrices are row-stochastic, and power(1)
+    /// is the matrix itself.
+    #[test]
+    fn powers_stay_stochastic(a in rows_strategy(3), p in 1u32..20) {
+        let a = stochastic(a);
+        prop_assume!(a.is_row_stochastic(1e-9));
+        let ap = a.power(p);
+        prop_assert!(ap.is_row_stochastic(1e-6));
+        let a1 = a.power(1);
+        for i in 0..3 {
+            for j in 0..3 {
+                prop_assert!((a1[(i, j)] - a[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// Interpolation of stochastic matrices is stochastic and bounded by
+    /// its endpoints entrywise.
+    #[test]
+    fn lerp_is_bounded(a in rows_strategy(3), b in rows_strategy(3), w in 0.0f64..=1.0) {
+        let (a, b) = (stochastic(a), stochastic(b));
+        let l = a.lerp(&b, w);
+        prop_assert!(l.is_row_stochastic(1e-6));
+        for i in 0..3 {
+            for j in 0..3 {
+                let lo = a[(i, j)].min(b[(i, j)]) - 1e-12;
+                let hi = a[(i, j)].max(b[(i, j)]) + 1e-12;
+                prop_assert!((lo..=hi).contains(&l[(i, j)]));
+            }
+        }
+    }
+
+    /// The Markov model always returns a probability, whatever it observed.
+    #[test]
+    fn predictions_are_probabilities(
+        transitions in proptest::collection::vec((0u32..6, 0u32..6), 0..300),
+        delta in 0usize..6,
+        events_left in -10i64..500,
+    ) {
+        let mut model = MarkovModel::new(5, MarkovConfig { rho: 16, ..Default::default() });
+        model.observe_batch(&transitions);
+        model.refresh_if_due();
+        let p = model.completion_probability(delta, events_left);
+        prop_assert!((0.0..=1.0).contains(&p), "p = {p}");
+    }
+
+    /// δ = 0 means the pattern already completed: probability 1 regardless
+    /// of history.
+    #[test]
+    fn zero_delta_is_certain(
+        transitions in proptest::collection::vec((0u32..4, 0u32..4), 0..100),
+    ) {
+        let mut model = MarkovModel::new(3, MarkovConfig { rho: 8, ..Default::default() });
+        model.observe_batch(&transitions);
+        model.refresh_if_due();
+        prop_assert!(model.completion_probability(0, 10) > 0.999);
+    }
+
+    /// More remaining events never decrease the completion probability
+    /// (reaching the absorbing state is monotone in horizon length).
+    #[test]
+    fn monotone_in_horizon(
+        transitions in proptest::collection::vec((0u32..4, 0u32..4), 0..200),
+        delta in 1usize..4,
+    ) {
+        let mut model = MarkovModel::new(3, MarkovConfig { rho: 16, ..Default::default() });
+        // Make observed transitions monotone toward completion: δ never
+        // increases within a match (the matcher only moves δ downward or
+        // abandons), so filter the arbitrary pairs accordingly.
+        let monotone: Vec<(u32, u32)> =
+            transitions.into_iter().filter(|(a, b)| b <= a).collect();
+        model.observe_batch(&monotone);
+        model.refresh_if_due();
+        let mut last = 0.0f64;
+        for n in [1i64, 5, 20, 80, 320] {
+            let p = model.completion_probability(delta, n);
+            prop_assert!(p >= last - 1e-9, "p({n}) = {p} < {last}");
+            last = p;
+        }
+    }
+}
+
+#[test]
+fn model_learns_the_two_extremes() {
+    // Always-advancing patterns → probability near 1 with enough horizon;
+    // never-advancing patterns → probability near 0.
+    let mut always = MarkovModel::new(3, MarkovConfig { rho: 4, ..Default::default() });
+    for _ in 0..64 {
+        always.observe(3, 2);
+        always.observe(2, 1);
+        always.observe(1, 0);
+    }
+    always.refresh_if_due();
+    assert!(always.completion_probability(3, 50) > 0.95);
+
+    // The uninformative prior decays geometrically with each smoothing
+    // refresh (the splitter refreshes every maintenance cycle), so feed the
+    // observations in rounds.
+    let mut never = MarkovModel::new(3, MarkovConfig { rho: 4, ..Default::default() });
+    for _ in 0..16 {
+        for _ in 0..4 {
+            never.observe(3, 3);
+            never.observe(2, 2);
+            never.observe(1, 1);
+        }
+        never.refresh_if_due();
+    }
+    assert!(never.completion_probability(3, 50) < 0.2);
+}

@@ -1,0 +1,70 @@
+//! Threaded-runtime integration: real OS threads (1 splitter + k operator
+//! instances over shared memory) must deliver the sequential output under
+//! arbitrary interleavings. Streams are kept small — this suite also runs on
+//! single-core machines where the threads time-slice.
+
+use std::sync::Arc;
+
+use spectre_baselines::run_sequential;
+use spectre_core::{run_threaded, SpectreConfig};
+use spectre_datasets::{NyseConfig, NyseGenerator, RandConfig, RandGenerator};
+use spectre_events::Schema;
+use spectre_integration::assert_same_output;
+use spectre_query::queries::{self, Direction};
+
+#[test]
+fn threaded_q1_matches_sequential() {
+    let mut schema = Schema::new();
+    let events: Vec<_> =
+        NyseGenerator::new(NyseConfig::small(1000, 61), &mut schema).collect();
+    let query = Arc::new(queries::q1(&mut schema, 3, 150, Direction::Rising));
+    let expected = run_sequential(&query, &events).complex_events;
+    for k in [1usize, 2, 3] {
+        let report =
+            run_threaded(&query, events.clone(), &SpectreConfig::with_instances(k));
+        assert_same_output(&format!("threaded q1 k={k}"), &report.complex_events, &expected);
+        assert_eq!(report.input_events, 1000);
+    }
+}
+
+#[test]
+fn threaded_q3_matches_sequential() {
+    let mut schema = Schema::new();
+    let gen = RandGenerator::new(RandConfig::small(800, 67), &mut schema);
+    let symbols = gen.symbols().to_vec();
+    let events: Vec<_> = gen.collect();
+    let query = Arc::new(queries::q3(&mut schema, symbols[0], &symbols[1..4], 200, 40));
+    let expected = run_sequential(&query, &events).complex_events;
+    let report = run_threaded(&query, events, &SpectreConfig::with_instances(2));
+    assert_same_output("threaded q3", &report.complex_events, &expected);
+}
+
+#[test]
+fn threaded_repeated_runs_are_deterministic_in_output() {
+    // Thread schedules differ between runs; outputs must not.
+    let mut schema = Schema::new();
+    let events: Vec<_> =
+        NyseGenerator::new(NyseConfig::small(700, 71), &mut schema).collect();
+    let query = Arc::new(queries::q2(&mut schema, 60.0, 140.0, 200, 40));
+    let expected = run_sequential(&query, &events).complex_events;
+    for run in 0..3 {
+        let report =
+            run_threaded(&query, events.clone(), &SpectreConfig::with_instances(2));
+        eprintln!("run {run}: metrics = {:?}", report.metrics);
+        assert_same_output(&format!("run {run}"), &report.complex_events, &expected);
+    }
+}
+
+#[test]
+fn threaded_reports_plausible_metrics() {
+    let mut schema = Schema::new();
+    let events: Vec<_> =
+        NyseGenerator::new(NyseConfig::small(500, 73), &mut schema).collect();
+    let query = Arc::new(queries::q1(&mut schema, 2, 100, Direction::Rising));
+    let report = run_threaded(&query, events, &SpectreConfig::with_instances(2));
+    let m = &report.metrics;
+    assert!(m.events_processed >= 500, "each event processed at least once");
+    assert!(m.windows_retired > 0);
+    assert!(m.sched_cycles > 0);
+    assert!(report.throughput() > 0.0);
+}
