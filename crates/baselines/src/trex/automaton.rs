@@ -326,8 +326,8 @@ impl AutoRun {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spectre_query::{Expr, FeedOutcome, PartialMatch};
     use spectre_events::AttrKey;
+    use spectre_query::{Expr, FeedOutcome, PartialMatch};
 
     fn ev(seq: Seq, x: f64) -> Event {
         Event::builder(EventType::new(0))

@@ -296,7 +296,10 @@ mod tests {
         let unbound = || Expr::attr(ElemRef::Bound(ElemId::new(1)), x);
         let exprs = vec![
             cur().gt(Expr::value(1.0)),
-            cur().add(bound0()).mul(Expr::value(2.0)).le(Expr::value(16.0)),
+            cur()
+                .add(bound0())
+                .mul(Expr::value(2.0))
+                .le(Expr::value(16.0)),
             cur().div(Expr::value(0.0)).gt(Expr::value(0.0)), // div by zero
             unbound().gt(Expr::value(0.0)),                   // unbound → None
             Expr::value(false).and(unbound().gt(Expr::value(0.0))), // short-circuit

@@ -192,11 +192,9 @@ impl WindowRuns<'_> {
             .filter(|(elem, _)| query.consumable(*elem))
             .map(|(_, s)| *s)
             .collect();
-        result.complex_events.push(ComplexEvent::new(
-            self.window_id,
-            ev.ts(),
-            constituents,
-        ));
+        result
+            .complex_events
+            .push(ComplexEvent::new(self.window_id, ev.ts(), constituents));
         for s in &newly_consumed {
             consumed.insert(*s);
         }
@@ -264,8 +262,7 @@ mod tests {
     #[test]
     fn agrees_with_sequential_on_q1() {
         let mut schema = Schema::new();
-        let events: Vec<_> =
-            NyseGenerator::new(NyseConfig::small(3000, 17), &mut schema).collect();
+        let events: Vec<_> = NyseGenerator::new(NyseConfig::small(3000, 17), &mut schema).collect();
         for q in [2usize, 5, 20] {
             let query = Arc::new(queries::q1(&mut schema, q, 200, Direction::Rising));
             assert_matches_sequential(query, &events);
@@ -275,8 +272,7 @@ mod tests {
     #[test]
     fn agrees_with_sequential_on_q2() {
         let mut schema = Schema::new();
-        let events: Vec<_> =
-            NyseGenerator::new(NyseConfig::small(3000, 23), &mut schema).collect();
+        let events: Vec<_> = NyseGenerator::new(NyseConfig::small(3000, 23), &mut schema).collect();
         let query = Arc::new(queries::q2(&mut schema, 60.0, 140.0, 400, 50));
         assert_matches_sequential(query, &events);
     }
@@ -333,9 +329,7 @@ mod tests {
                     .unwrap(),
                 )
                 .selection(SelectionPolicy::EachLast)
-                .consumption(spectre_query::ConsumptionPolicy::Selected(vec![
-                    "B".into()
-                ]))
+                .consumption(spectre_query::ConsumptionPolicy::Selected(vec!["B".into()]))
                 .build()
                 .unwrap(),
         );
@@ -345,8 +339,7 @@ mod tests {
     #[test]
     fn transition_counter_grows() {
         let mut schema = Schema::new();
-        let events: Vec<_> =
-            NyseGenerator::new(NyseConfig::small(500, 3), &mut schema).collect();
+        let events: Vec<_> = NyseGenerator::new(NyseConfig::small(500, 3), &mut schema).collect();
         let query = Arc::new(queries::q1(&mut schema, 2, 100, Direction::Rising));
         let r = TrexEngine::new(query).run(&events);
         assert!(r.transitions_evaluated > 0);

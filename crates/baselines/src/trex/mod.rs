@@ -18,6 +18,6 @@ pub mod automaton;
 pub mod bytecode;
 pub mod engine;
 
-pub use automaton::{Automaton, AutoRun, RunOutcome};
+pub use automaton::{AutoRun, Automaton, RunOutcome};
 pub use bytecode::{Instr, Program};
 pub use engine::{TrexEngine, TrexResult};

@@ -46,8 +46,7 @@ fn bench_engines(c: &mut Criterion) {
         group.bench_function(format!("spectre_sim_k{k}"), |b| {
             b.iter(|| {
                 black_box(
-                    run_simulated(&query, events.clone(), &SpectreConfig::with_instances(k))
-                        .rounds,
+                    run_simulated(&query, events.clone(), &SpectreConfig::with_instances(k)).rounds,
                 )
             })
         });

@@ -17,8 +17,7 @@ use spectre_query::{PartialMatch, WindowDetector};
 
 fn bench_matcher(c: &mut Criterion) {
     let mut schema = Schema::new();
-    let events: Vec<_> =
-        NyseGenerator::new(NyseConfig::small(2000, 7), &mut schema).collect();
+    let events: Vec<_> = NyseGenerator::new(NyseConfig::small(2000, 7), &mut schema).collect();
     let query = Arc::new(queries::q1(&mut schema, 10, 500, Direction::Rising));
     c.bench_function("matcher_feed_2000_events", |b| {
         b.iter(|| {
@@ -141,8 +140,7 @@ fn bench_tree(c: &mut Criterion) {
 
 fn bench_codec(c: &mut Criterion) {
     let mut schema = Schema::new();
-    let events: Vec<_> =
-        NyseGenerator::new(NyseConfig::small(1000, 3), &mut schema).collect();
+    let events: Vec<_> = NyseGenerator::new(NyseConfig::small(1000, 3), &mut schema).collect();
     c.bench_function("codec_encode_1000", |b| {
         b.iter(|| black_box(codec::encode_all(&events).len()))
     });

@@ -36,7 +36,13 @@ fn main() {
          matches open → rare cuts)"
     );
     let header: Vec<String> = [
-        "query", "variant", "rounds", "wall_ms", "rollbacks", "snapshots", "restores",
+        "query",
+        "variant",
+        "rounds",
+        "wall_ms",
+        "rollbacks",
+        "snapshots",
+        "restores",
     ]
     .iter()
     .map(|s| s.to_string())
@@ -45,7 +51,11 @@ fn main() {
     print_row(&header, &widths);
 
     let variants: Vec<(String, Option<u32>)> = std::iter::once(("restart".into(), None))
-        .chain([16u32, 64, 256].into_iter().map(|f| (format!("cp-{f}"), Some(f))))
+        .chain(
+            [16u32, 64, 256]
+                .into_iter()
+                .map(|f| (format!("cp-{f}"), Some(f))),
+        )
         .collect();
 
     for query_name in ["Q1", "Q2"] {

@@ -12,8 +12,8 @@
 
 use std::sync::Arc;
 
-use spectre_bench::{bench_events, nyse_stream, print_row, sim_throughput};
 use spectre_baselines::run_sequential;
+use spectre_bench::{bench_events, nyse_stream, print_row, sim_throughput};
 use spectre_core::elastic::{recommend_for, speculative_efficiency, ElasticConfig};
 use spectre_core::SpectreConfig;
 use spectre_query::queries::{self, Direction};
@@ -33,10 +33,19 @@ fn main() {
 
     println!("# Elasticity: completion-probability-driven instance recommendation");
     println!("# Q1 on NYSE, ws = {ws}, events = {events_n}");
-    let header: Vec<String> = ["ratio", "gt_prob", "rec_k", "thr(rec_k)", "best_k", "thr(best_k)", "thr(k=32)", "efficiency(rec_k)"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let header: Vec<String> = [
+        "ratio",
+        "gt_prob",
+        "rec_k",
+        "thr(rec_k)",
+        "best_k",
+        "thr(best_k)",
+        "thr(k=32)",
+        "efficiency(rec_k)",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     let widths: Vec<usize> = header.iter().map(|h| h.len().max(12)).collect();
     print_row(&header, &widths);
 
@@ -55,8 +64,7 @@ fn main() {
         }
         let rec = recommend_for(&config, gt);
         // Measure the recommendation (it may fall between swept ks).
-        let thr_rec =
-            sim_throughput(&query, &events, &SpectreConfig::with_instances(rec));
+        let thr_rec = sim_throughput(&query, &events, &SpectreConfig::with_instances(rec));
         let (&best_k, &thr_best) = thr
             .iter()
             .max_by(|a, b| a.1.total_cmp(b.1))

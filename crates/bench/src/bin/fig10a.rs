@@ -8,11 +8,10 @@
 
 use std::sync::Arc;
 
-use spectre_bench::{
-    bench_events, bench_ks, bench_repeats, nyse_stream, print_row, sim_throughput,
-    Candlestick,
-};
 use spectre_baselines::run_sequential;
+use spectre_bench::{
+    bench_events, bench_ks, bench_repeats, nyse_stream, print_row, sim_throughput, Candlestick,
+};
 use spectre_core::SpectreConfig;
 use spectre_query::queries::{self, Direction};
 
@@ -48,8 +47,7 @@ fn main() {
             let mut samples = Vec::with_capacity(repeats);
             for rep in 0..repeats {
                 let (mut schema, events) = nyse_stream(events_n, 42 + rep as u64);
-                let query =
-                    Arc::new(queries::q1(&mut schema, q, ws, Direction::Rising));
+                let query = Arc::new(queries::q1(&mut schema, q, ws, Direction::Rising));
                 let config = SpectreConfig::with_instances(k);
                 samples.push(sim_throughput(&query, &events, &config));
             }

@@ -11,11 +11,10 @@
 
 use std::sync::Arc;
 
-use spectre_bench::{
-    bench_events, bench_ks, bench_repeats, nyse_stream, print_row, sim_throughput,
-    Candlestick,
-};
 use spectre_baselines::run_sequential;
+use spectre_bench::{
+    bench_events, bench_ks, bench_repeats, nyse_stream, print_row, sim_throughput, Candlestick,
+};
 use spectre_core::SpectreConfig;
 use spectre_query::queries::{self, StockVocab};
 
@@ -46,14 +45,46 @@ fn main() {
     // Narrow bands → frequent limit crossings → small patterns; wide bands →
     // large patterns; inverted band → no completions.
     let bands: Vec<(String, f64, f64)> = vec![
-        ("q45-q55".into(), quantile(&closes, 0.45), quantile(&closes, 0.55)),
-        ("q40-q60".into(), quantile(&closes, 0.40), quantile(&closes, 0.60)),
-        ("q35-q65".into(), quantile(&closes, 0.35), quantile(&closes, 0.65)),
-        ("q30-q70".into(), quantile(&closes, 0.30), quantile(&closes, 0.70)),
-        ("q25-q75".into(), quantile(&closes, 0.25), quantile(&closes, 0.75)),
-        ("q20-q80".into(), quantile(&closes, 0.20), quantile(&closes, 0.80)),
-        ("q15-q85".into(), quantile(&closes, 0.15), quantile(&closes, 0.85)),
-        ("q10-q90".into(), quantile(&closes, 0.10), quantile(&closes, 0.90)),
+        (
+            "q45-q55".into(),
+            quantile(&closes, 0.45),
+            quantile(&closes, 0.55),
+        ),
+        (
+            "q40-q60".into(),
+            quantile(&closes, 0.40),
+            quantile(&closes, 0.60),
+        ),
+        (
+            "q35-q65".into(),
+            quantile(&closes, 0.35),
+            quantile(&closes, 0.65),
+        ),
+        (
+            "q30-q70".into(),
+            quantile(&closes, 0.30),
+            quantile(&closes, 0.70),
+        ),
+        (
+            "q25-q75".into(),
+            quantile(&closes, 0.25),
+            quantile(&closes, 0.75),
+        ),
+        (
+            "q20-q80".into(),
+            quantile(&closes, 0.20),
+            quantile(&closes, 0.80),
+        ),
+        (
+            "q15-q85".into(),
+            quantile(&closes, 0.15),
+            quantile(&closes, 0.85),
+        ),
+        (
+            "q10-q90".into(),
+            quantile(&closes, 0.10),
+            quantile(&closes, 0.90),
+        ),
         (
             "0cplx".into(),
             // lower below every price: the A step (close < lower) never fires.
@@ -72,7 +103,10 @@ fn main() {
     ];
     header.extend(ks.iter().map(|k| format!("k={k}")));
 
-    print_row(&header, &header.iter().map(|h| h.len().max(12)).collect::<Vec<_>>());
+    print_row(
+        &header,
+        &header.iter().map(|h| h.len().max(12)).collect::<Vec<_>>(),
+    );
 
     for (name, lower, upper) in bands {
         // Measure average completed pattern size + ground truth sequentially.
@@ -98,8 +132,7 @@ fn main() {
             let mut samples = Vec::with_capacity(repeats);
             for rep in 0..repeats {
                 let (mut schema, events) = nyse_stream(events_n, 42 + rep as u64);
-                let query =
-                    Arc::new(queries::q2(&mut schema, lower, upper, ws, slide));
+                let query = Arc::new(queries::q2(&mut schema, lower, upper, ws, slide));
                 samples.push(sim_throughput(
                     &query,
                     &events,

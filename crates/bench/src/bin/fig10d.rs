@@ -7,8 +7,8 @@
 
 use std::sync::Arc;
 
-use spectre_bench::{bench_events, nyse_stream, print_row};
 use spectre_baselines::run_sequential;
+use spectre_bench::{bench_events, nyse_stream, print_row};
 use spectre_query::queries::{self, Direction};
 
 fn main() {

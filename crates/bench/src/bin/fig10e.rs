@@ -4,8 +4,8 @@
 
 use std::sync::Arc;
 
-use spectre_bench::{bench_events, nyse_stream, print_row};
 use spectre_baselines::run_sequential;
+use spectre_bench::{bench_events, nyse_stream, print_row};
 use spectre_query::queries::{self, StockVocab};
 
 fn quantile(sorted: &[f64], p: f64) -> f64 {
@@ -47,7 +47,11 @@ fn main() {
         .iter()
         .map(|&half| {
             (
-                format!("q{:02.0}-q{:02.0}", (0.5 - half) * 100.0, (0.5 + half) * 100.0),
+                format!(
+                    "q{:02.0}-q{:02.0}",
+                    (0.5 - half) * 100.0,
+                    (0.5 + half) * 100.0
+                ),
                 quantile(&closes, 0.5 - half),
                 quantile(&closes, 0.5 + half),
             )

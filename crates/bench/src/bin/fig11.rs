@@ -9,10 +9,10 @@
 
 use std::sync::Arc;
 
+use spectre_baselines::run_sequential;
 use spectre_bench::{
     bench_events, bench_repeats, print_row, rand_stream, sim_throughput, Candlestick,
 };
-use spectre_baselines::run_sequential;
 use spectre_core::{PredictorKind, SpectreConfig};
 use spectre_query::queries;
 
@@ -77,10 +77,7 @@ fn main() {
                 };
                 samples.push(sim_throughput(&query, &events, &config));
             }
-            print_row(
-                &[name, Candlestick::of(&samples).to_string()],
-                &widths,
-            );
+            print_row(&[name, Candlestick::of(&samples).to_string()], &widths);
         }
         println!();
     }

@@ -10,10 +10,8 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use spectre_bench::{
-    bench_events, nyse_stream, print_row, sim_report, PER_INSTANCE_EVENT_RATE,
-};
 use spectre_baselines::{run_sequential, TrexEngine};
+use spectre_bench::{bench_events, nyse_stream, print_row, sim_report, PER_INSTANCE_EVENT_RATE};
 use spectre_core::{run_threaded, SpectreConfig};
 use spectre_query::queries::{self, Direction};
 

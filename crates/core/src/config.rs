@@ -82,10 +82,7 @@ impl SpectreConfig {
             "consistency check frequency must be positive"
         );
         assert!(self.sched_period > 0, "scheduling period must be positive");
-        assert!(
-            self.ingest_per_cycle > 0,
-            "ingest batch must be positive"
-        );
+        assert!(self.ingest_per_cycle > 0, "ingest batch must be positive");
         assert!(
             self.checkpoint_freq != Some(0),
             "checkpoint interval must be positive"

@@ -316,7 +316,10 @@ mod tests {
         let mut ctl = ElasticController::new(ElasticConfig::default());
         assert_eq!(ctl.observations(), 0);
         ctl.observe(1.0);
-        assert!((ctl.estimate() - 1.0).abs() < 1e-12, "first observation is adopted");
+        assert!(
+            (ctl.estimate() - 1.0).abs() < 1e-12,
+            "first observation is adopted"
+        );
         ctl.observe(0.0);
         assert!(ctl.estimate() > 0.5, "smoothing dampens the jump");
         assert_eq!(ctl.observations(), 2);

@@ -164,15 +164,11 @@ impl InstanceCore {
                         }
                         // EachLast: a completed match keeps matching; its
                         // next event opens a new consumption group.
-                        if let Some(i) =
-                            inner.needs_new_cg.iter().position(|m| *m == match_id)
-                        {
+                        if let Some(i) = inner.needs_new_cg.iter().position(|m| *m == match_id) {
                             inner.needs_new_cg.swap_remove(i);
                             self.create_cg(&wv, &mut inner, shared, match_id, delta);
                         }
-                        if let Some((_, cg)) =
-                            inner.open_cgs.iter().find(|(m, _)| *m == match_id)
-                        {
+                        if let Some((_, cg)) = inner.open_cgs.iter().find(|(m, _)| *m == match_id) {
                             if consumable {
                                 cg.add_event(seq, delta, inner.pos);
                             } else {
@@ -187,19 +183,14 @@ impl InstanceCore {
                         if !consuming {
                             continue;
                         }
-                        if let Some(i) =
-                            inner.open_cgs.iter().position(|(m, _)| *m == match_id)
-                        {
+                        if let Some(i) = inner.open_cgs.iter().position(|(m, _)| *m == match_id) {
                             let (_, cg) = inner.open_cgs.swap_remove(i);
                             cg.complete();
                             shared.ops.push(TreeOp::CgResolved {
                                 cg: cg.id(),
                                 completed: true,
                             });
-                            shared
-                                .metrics
-                                .cgs_completed
-                                .fetch_add(1, Ordering::Relaxed);
+                            shared.metrics.cgs_completed.fetch_add(1, Ordering::Relaxed);
                             // Remember the completion: checkpoint restores
                             // re-assert these as suppression facts for the
                             // rebuilt dependents.
@@ -214,23 +205,16 @@ impl InstanceCore {
                         if !consuming {
                             continue;
                         }
-                        if let Some(i) =
-                            inner.open_cgs.iter().position(|(m, _)| *m == match_id)
-                        {
+                        if let Some(i) = inner.open_cgs.iter().position(|(m, _)| *m == match_id) {
                             let (_, cg) = inner.open_cgs.swap_remove(i);
                             cg.abandon();
                             shared.ops.push(TreeOp::CgResolved {
                                 cg: cg.id(),
                                 completed: false,
                             });
-                            shared
-                                .metrics
-                                .cgs_abandoned
-                                .fetch_add(1, Ordering::Relaxed);
+                            shared.metrics.cgs_abandoned.fetch_add(1, Ordering::Relaxed);
                         }
-                        if let Some(i) =
-                            inner.needs_new_cg.iter().position(|m| *m == match_id)
-                        {
+                        if let Some(i) = inner.needs_new_cg.iter().position(|m| *m == match_id) {
                             inner.needs_new_cg.swap_remove(i);
                         }
                     }
@@ -246,9 +230,7 @@ impl InstanceCore {
                 match (prev_delta, new_delta) {
                     (Some(from), Some(to)) => self.record(shared, from, to),
                     (Some(from), None) => self.record(shared, from, 0), // completed
-                    (None, Some(to)) if started_any => {
-                        self.record(shared, max_delta, to)
-                    }
+                    (None, Some(to)) if started_any => self.record(shared, max_delta, to),
                     _ => {}
                 }
             }
@@ -318,7 +300,8 @@ impl InstanceCore {
     }
 
     fn record(&mut self, shared: &SharedState, from: usize, to: usize) {
-        self.stats.push((from.min(u32::MAX as usize) as u32, to as u32));
+        self.stats
+            .push((from.min(u32::MAX as usize) as u32, to as u32));
         if self.stats.len() >= 256 {
             self.flush_stats(shared);
         }
@@ -333,12 +316,7 @@ impl InstanceCore {
         }
     }
 
-    fn finish(
-        &mut self,
-        wv: &Arc<VersionState>,
-        inner: &mut VersionInner,
-        shared: &SharedState,
-    ) {
+    fn finish(&mut self, wv: &Arc<VersionState>, inner: &mut VersionInner, shared: &SharedState) {
         use std::sync::atomic::Ordering;
         self.actions.clear();
         let mut actions = std::mem::take(&mut self.actions);
@@ -352,10 +330,7 @@ impl InstanceCore {
                         cg: cg.id(),
                         completed: false,
                     });
-                    shared
-                        .metrics
-                        .cgs_abandoned
-                        .fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.cgs_abandoned.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
@@ -514,8 +489,7 @@ mod tests {
         let cg = Arc::new(CgCell::new(CgId(99), 0, 1));
         cg.add_event(0, 1, 0);
         let events = [ev(0, 1.0), ev(1, 2.0)];
-        let (shared, wv, mut inst) =
-            setup(ConsumptionPolicy::All, &events, vec![Arc::clone(&cg)]);
+        let (shared, wv, mut inst) = setup(ConsumptionPolicy::All, &events, vec![Arc::clone(&cg)]);
         inst.step(&shared);
         inst.step(&shared);
         inst.step(&shared);
@@ -530,8 +504,7 @@ mod tests {
     fn late_cg_update_triggers_rollback() {
         let cg = Arc::new(CgCell::new(CgId(99), 0, 1));
         let events = [ev(0, 1.0), ev(1, 9.0), ev(2, 2.0), ev(3, 9.0)];
-        let (shared, wv, mut inst) =
-            setup(ConsumptionPolicy::All, &events, vec![Arc::clone(&cg)]);
+        let (shared, wv, mut inst) = setup(ConsumptionPolicy::All, &events, vec![Arc::clone(&cg)]);
         // process events 0 and 1 (check_freq = 2 → check after step 2, no
         // violation yet)
         assert_eq!(inst.step(&shared), StepOutcome::Worked);
@@ -561,8 +534,7 @@ mod tests {
     fn rollback_reprocesses_correctly() {
         let cg = Arc::new(CgCell::new(CgId(99), 0, 1));
         let events = [ev(0, 1.0), ev(1, 1.0), ev(2, 2.0), ev(3, 9.0)];
-        let (shared, wv, mut inst) =
-            setup(ConsumptionPolicy::All, &events, vec![Arc::clone(&cg)]);
+        let (shared, wv, mut inst) = setup(ConsumptionPolicy::All, &events, vec![Arc::clone(&cg)]);
         inst.step(&shared);
         inst.step(&shared);
         // suppress event 0 after it was processed → rollback at next check
@@ -661,8 +633,7 @@ mod tests {
         // resume from pos 2, not 0.
         let cg = Arc::new(CgCell::new(CgId(99), 0, 1));
         let events = [ev(0, 9.0), ev(1, 9.0), ev(2, 1.0), ev(3, 9.0)];
-        let (shared, wv, inst) =
-            setup(ConsumptionPolicy::All, &events, vec![Arc::clone(&cg)]);
+        let (shared, wv, inst) = setup(ConsumptionPolicy::All, &events, vec![Arc::clone(&cg)]);
         let mut inst = InstanceCore::new(inst.index(), 2).with_checkpoints(Some(2));
         inst.step(&shared);
         inst.step(&shared); // checkpoint at pos 2
@@ -682,8 +653,7 @@ mod tests {
         // the snapshot itself is invalid and the reset goes to the start.
         let cg = Arc::new(CgCell::new(CgId(99), 0, 1));
         let events = [ev(0, 9.0), ev(1, 9.0), ev(2, 9.0), ev(3, 9.0)];
-        let (shared, wv, inst) =
-            setup(ConsumptionPolicy::All, &events, vec![Arc::clone(&cg)]);
+        let (shared, wv, inst) = setup(ConsumptionPolicy::All, &events, vec![Arc::clone(&cg)]);
         let mut inst = InstanceCore::new(inst.index(), 2).with_checkpoints(Some(2));
         inst.step(&shared);
         inst.step(&shared); // checkpoint at pos 2 (used = [0, 1])

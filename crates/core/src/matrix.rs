@@ -131,8 +131,7 @@ impl Matrix {
         let n = self.n;
         (0..n).all(|i| {
             let row = &self.data[i * n..(i + 1) * n];
-            row.iter().all(|v| *v >= -eps)
-                && (row.iter().sum::<f64>() - 1.0).abs() <= eps
+            row.iter().all(|v| *v >= -eps) && (row.iter().sum::<f64>() - 1.0).abs() <= eps
         })
     }
 }

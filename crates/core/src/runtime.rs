@@ -85,8 +85,7 @@ pub fn run_threaded(
             let check_freq = config.consistency_check_freq;
             let checkpoint_freq = config.checkpoint_freq;
             scope.spawn(move || {
-                let mut inst =
-                    InstanceCore::new(i, check_freq).with_checkpoints(checkpoint_freq);
+                let mut inst = InstanceCore::new(i, check_freq).with_checkpoints(checkpoint_freq);
                 let mut idle_spins = 0u32;
                 while !shared.is_done() {
                     match inst.step(&shared) {
@@ -135,13 +134,11 @@ mod tests {
     #[test]
     fn threaded_output_matches_sequential() {
         let mut schema = Schema::new();
-        let events: Vec<_> =
-            NyseGenerator::new(NyseConfig::small(2000, 13), &mut schema).collect();
+        let events: Vec<_> = NyseGenerator::new(NyseConfig::small(2000, 13), &mut schema).collect();
         let query = Arc::new(queries::q1(&mut schema, 3, 200, Direction::Rising));
         let expected = run_sequential(&query, &events).complex_events;
         for k in [1usize, 2, 4] {
-            let report =
-                run_threaded(&query, events.clone(), &SpectreConfig::with_instances(k));
+            let report = run_threaded(&query, events.clone(), &SpectreConfig::with_instances(k));
             assert_eq!(report.complex_events, expected, "k = {k}");
         }
     }
@@ -149,14 +146,12 @@ mod tests {
     #[test]
     fn threaded_run_is_repeatable_across_interleavings() {
         let mut schema = Schema::new();
-        let events: Vec<_> =
-            NyseGenerator::new(NyseConfig::small(1500, 29), &mut schema).collect();
+        let events: Vec<_> = NyseGenerator::new(NyseConfig::small(1500, 29), &mut schema).collect();
         let query = Arc::new(queries::q2(&mut schema, 60.0, 140.0, 300, 60));
         let expected = run_sequential(&query, &events).complex_events;
         // Several runs: thread schedules differ, output must not.
         for _ in 0..3 {
-            let report =
-                run_threaded(&query, events.clone(), &SpectreConfig::with_instances(3));
+            let report = run_threaded(&query, events.clone(), &SpectreConfig::with_instances(3));
             assert_eq!(report.complex_events, expected);
         }
     }

@@ -96,11 +96,7 @@ impl SimReport {
 /// let report = run_simulated(&query, events, &SpectreConfig::with_instances(4));
 /// assert!(report.rounds > 0);
 /// ```
-pub fn run_simulated(
-    query: &Arc<Query>,
-    events: Vec<Event>,
-    config: &SpectreConfig,
-) -> SimReport {
+pub fn run_simulated(query: &Arc<Query>, events: Vec<Event>, config: &SpectreConfig) -> SimReport {
     config.validate();
     let start = Instant::now();
     let input_events = events.len() as u64;
@@ -123,7 +119,7 @@ pub fn run_simulated(
     let mut rounds = 0u64;
     let mut splitter_wall = Duration::ZERO;
     loop {
-        if rounds % config.sched_period as u64 == 0 {
+        if rounds.is_multiple_of(config.sched_period as u64) {
             let t = Instant::now();
             let done = splitter.cycle();
             splitter_wall += t.elapsed();
@@ -159,8 +155,7 @@ mod tests {
 
     fn nyse(events: usize, seed: u64) -> (Schema, Vec<Event>) {
         let mut schema = Schema::new();
-        let ev: Vec<_> =
-            NyseGenerator::new(NyseConfig::small(events, seed), &mut schema).collect();
+        let ev: Vec<_> = NyseGenerator::new(NyseConfig::small(events, seed), &mut schema).collect();
         (schema, ev)
     }
 
@@ -171,10 +166,9 @@ mod tests {
         let expected = run_sequential(&query, &events).complex_events;
         assert!(!expected.is_empty(), "fixture must produce matches");
         for k in [1usize, 2, 4, 8] {
-            let report =
-                run_simulated(&query, events.clone(), &SpectreConfig::with_instances(k));
+            let report = run_simulated(&query, events.clone(), &SpectreConfig::with_instances(k));
             assert_eq!(report.complex_events, expected, "k = {k}");
-            assert_eq!(report.metrics.windows_retired > 0, true);
+            assert!(report.metrics.windows_retired > 0);
         }
     }
 
@@ -183,8 +177,7 @@ mod tests {
         let (mut schema, events) = nyse(3000, 5);
         let query = Arc::new(queries::q2(&mut schema, 60.0, 140.0, 300, 50));
         let expected = run_sequential(&query, &events).complex_events;
-        let report =
-            run_simulated(&query, events, &SpectreConfig::with_instances(4));
+        let report = run_simulated(&query, events, &SpectreConfig::with_instances(4));
         assert_eq!(report.complex_events, expected);
     }
 
@@ -202,8 +195,7 @@ mod tests {
             40,
         ));
         let expected = run_sequential(&query, &events).complex_events;
-        let report =
-            run_simulated(&query, events, &SpectreConfig::with_instances(8));
+        let report = run_simulated(&query, events, &SpectreConfig::with_instances(8));
         assert_eq!(report.complex_events, expected);
     }
 
@@ -239,15 +231,12 @@ mod tests {
                     .unwrap(),
                 )
                 .selection(spectre_query::SelectionPolicy::EachLast)
-                .consumption(spectre_query::ConsumptionPolicy::Selected(vec![
-                    "B".into()
-                ]))
+                .consumption(spectre_query::ConsumptionPolicy::Selected(vec!["B".into()]))
                 .build()
                 .unwrap(),
         );
         let expected = run_sequential(&query, &events).complex_events;
-        let report =
-            run_simulated(&query, events, &SpectreConfig::with_instances(4));
+        let report = run_simulated(&query, events, &SpectreConfig::with_instances(4));
         assert_eq!(report.complex_events, expected);
     }
 

@@ -198,8 +198,9 @@ impl<I: Iterator<Item = Event>> Splitter<I> {
                         .filter(|w| w.id > window_id)
                         .cloned()
                         .collect();
-                    let dropped =
-                        self.tree.rollback_rebuild(wv, &newer, carried, &mut factory);
+                    let dropped = self
+                        .tree
+                        .rollback_rebuild(wv, &newer, carried, &mut factory);
                     self.shared
                         .metrics
                         .versions_dropped
@@ -226,10 +227,7 @@ impl<I: Iterator<Item = Event>> Splitter<I> {
             // oversized — but never starve the root window of its remaining
             // events (it must be able to finish so the tree can shrink).
             if self.tree.version_count() >= self.config.max_tree_versions {
-                let root_fully_ingested = self
-                    .live
-                    .front()
-                    .is_none_or(|w| w.end_pos().is_some());
+                let root_fully_ingested = self.live.front().is_none_or(|w| w.end_pos().is_some());
                 if root_fully_ingested {
                     break;
                 }
@@ -427,8 +425,7 @@ impl VersionFactory for SplitterFactory {
         expected_open: &[CgId],
     ) -> Option<(Arc<VersionState>, Vec<(CgId, Arc<CgCell>)>)> {
         let shared = Arc::clone(&self.shared);
-        let mut mk_twin =
-            |cell: &CgCell| Arc::new(cell.twin(shared.alloc_cg_id()));
+        let mut mk_twin = |cell: &CgCell| Arc::new(cell.twin(shared.alloc_cg_id()));
         let (version, twins) = VersionState::clone_speculative(
             source,
             self.shared.alloc_wv_id(),
@@ -485,10 +482,8 @@ mod tests {
         let shared = SharedState::new(k);
         let config = SpectreConfig::with_instances(k);
         let check_freq = config.consistency_check_freq;
-        let mut splitter =
-            Splitter::new(query, events.into_iter(), config, Arc::clone(&shared));
-        let mut instances: Vec<_> =
-            (0..k).map(|i| InstanceCore::new(i, check_freq)).collect();
+        let mut splitter = Splitter::new(query, events.into_iter(), config, Arc::clone(&shared));
+        let mut instances: Vec<_> = (0..k).map(|i| InstanceCore::new(i, check_freq)).collect();
         for round in 0..1_000_000u64 {
             if splitter.cycle() {
                 return splitter.into_outputs();
@@ -515,8 +510,7 @@ mod tests {
             ev(6, 2.0),
             ev(7, 9.0),
         ];
-        let expected =
-            spectre_baselines::run_sequential(&query, &events).complex_events;
+        let expected = spectre_baselines::run_sequential(&query, &events).complex_events;
         for k in [1usize, 2, 4] {
             let got = drive(Arc::clone(&query), events.clone(), k);
             assert_eq!(got, expected, "k = {k}");
@@ -541,10 +535,10 @@ mod tests {
     #[test]
     fn single_instance_behaves_like_sequential() {
         let query = ab_query();
-        let events: Vec<Event> =
-            (0..100).map(|i| ev(i, [1.0, 9.0, 2.0, 9.0][i as usize % 4])).collect();
-        let expected =
-            spectre_baselines::run_sequential(&query, &events).complex_events;
+        let events: Vec<Event> = (0..100)
+            .map(|i| ev(i, [1.0, 9.0, 2.0, 9.0][i as usize % 4]))
+            .collect();
+        let expected = spectre_baselines::run_sequential(&query, &events).complex_events;
         let got = drive(query, events, 1);
         assert_eq!(got, expected);
     }
@@ -560,12 +554,7 @@ mod tests {
             ..Default::default()
         };
         let events: Vec<Event> = vec![ev(0, 1.0), ev(1, 2.0), ev(2, 9.0), ev(3, 9.0)];
-        let mut splitter = Splitter::new(
-            query,
-            events.into_iter(),
-            config,
-            Arc::clone(&shared),
-        );
+        let mut splitter = Splitter::new(query, events.into_iter(), config, Arc::clone(&shared));
         let mut inst = InstanceCore::new(0, 64);
         splitter.cycle();
         // one event ingested; process it, then stall

@@ -59,7 +59,7 @@ impl WindowInfo {
 
     /// `true` if `pos` lies inside the window (given current knowledge).
     pub fn contains_pos(&self, pos: u64) -> bool {
-        pos >= self.start_pos && self.end_pos().map_or(true, |e| pos < e)
+        pos >= self.start_pos && self.end_pos().is_none_or(|e| pos < e)
     }
 }
 

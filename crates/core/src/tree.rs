@@ -163,11 +163,7 @@ impl DependencyTree {
         self.version_count += 1;
     }
 
-    fn alloc_version(
-        &mut self,
-        parent: Option<NodeId>,
-        state: Arc<VersionState>,
-    ) -> NodeId {
+    fn alloc_version(&mut self, parent: Option<NodeId>, state: Arc<VersionState>) -> NodeId {
         let id = self.alloc(Node::Version {
             parent,
             state: Arc::clone(&state),
@@ -345,8 +341,7 @@ impl DependencyTree {
         let copy = old_child.and_then(|c| {
             let mut twins = HashMap::new();
             let mut stray_facts = Vec::new();
-            let copied =
-                self.copy_stateful(c, &cell, &mut twins, f, &mut stray_facts, &[]);
+            let copied = self.copy_stateful(c, &cell, &mut twins, f, &mut stray_facts, &[]);
             debug_assert!(
                 stray_facts.is_empty(),
                 "the copy root is a version vertex and collects its own facts"
@@ -461,8 +456,7 @@ impl DependencyTree {
                 facts,
                 ..
             } => {
-                let (state, child, mut new_facts) =
-                    (Arc::clone(state), *child, facts.clone());
+                let (state, child, mut new_facts) = (Arc::clone(state), *child, facts.clone());
                 // Rewrite the suppressed set: twins replace open groups
                 // whose vertices lie inside the copy (recorded by ancestor
                 // recursion steps); resolved cells and groups above the
@@ -470,12 +464,7 @@ impl DependencyTree {
                 let mut suppressed: Vec<Arc<CgCell>> = state
                     .suppressed()
                     .iter()
-                    .map(|c| {
-                        twins
-                            .get(&c.id())
-                            .cloned()
-                            .unwrap_or_else(|| Arc::clone(c))
-                    })
+                    .map(|c| twins.get(&c.id()).cloned().unwrap_or_else(|| Arc::clone(c)))
                     .collect();
                 // Completions inherited from cloned ancestors whose splice
                 // ops were lost (the ancestor was dropped with its
@@ -513,8 +502,7 @@ impl DependencyTree {
                 // stale-drops it). Dependent copies below must suppress
                 // them, and windows attached below the clone later must
                 // inherit them as facts.
-                let clone_completed: Vec<Arc<CgCell>> =
-                    new_state.lock().completed_cells.clone();
+                let clone_completed: Vec<Arc<CgCell>> = new_state.lock().completed_cells.clone();
                 let mut inherited_next: Vec<Arc<CgCell>> = inherited.to_vec();
                 for cell in &clone_completed {
                     if !inherited_next.iter().any(|c| c.id() == cell.id()) {
@@ -533,8 +521,7 @@ impl DependencyTree {
                         self.copy_stateful(c, extra, twins, f, &mut child_facts, &inherited_next)
                     {
                         self.set_parent(cc, new_id);
-                        let Node::Version { child, .. } = self.node_mut(new_id)
-                        else {
+                        let Node::Version { child, .. } = self.node_mut(new_id) else {
                             unreachable!()
                         };
                         *child = Some(cc);
@@ -553,8 +540,7 @@ impl DependencyTree {
                 abandon,
                 ..
             } => {
-                let (cell, completion, abandon) =
-                    (Arc::clone(cell), *completion, *abandon);
+                let (cell, completion, abandon) = (Arc::clone(cell), *completion, *abandon);
                 let Some(twin) = twins.get(&cell.id()).cloned() else {
                     // The owner's clone (made just above in the recursion)
                     // no longer holds this group open: the owner resolved
@@ -562,17 +548,14 @@ impl DependencyTree {
                     // splice in the copy. The status was published under
                     // the owner's state lock before the clone was taken,
                     // so it is visible here.
-                    let completed =
-                        cell.status() == crate::cg::CgStatus::Completed;
+                    let completed = cell.status() == crate::cg::CgStatus::Completed;
                     debug_assert!(
                         cell.is_resolved(),
                         "un-twinned group vertices are resolved-pending"
                     );
                     let winner = if completed { completion } else { abandon };
                     return match winner {
-                        Some(w) => {
-                            self.copy_stateful(w, extra, twins, f, facts_out, inherited)
-                        }
+                        Some(w) => self.copy_stateful(w, extra, twins, f, facts_out, inherited),
                         None => {
                             if completed {
                                 facts_out.push(cell);
@@ -590,16 +573,14 @@ impl DependencyTree {
                 self.cg_vertices.entry(twin.id()).or_default().push(new_id);
                 if let Some(c) = completion {
                     let mut sub_facts = Vec::new();
-                    let cc =
-                        self.copy_stateful(c, extra, twins, f, &mut sub_facts, inherited);
+                    let cc = self.copy_stateful(c, extra, twins, f, &mut sub_facts, inherited);
                     debug_assert!(
                         sub_facts.is_empty(),
                         "edge children are version vertices which keep their own facts"
                     );
                     if let Some(cc) = cc {
                         self.set_parent(cc, new_id);
-                        let Node::Cg { completion, .. } = self.node_mut(new_id)
-                        else {
+                        let Node::Cg { completion, .. } = self.node_mut(new_id) else {
                             unreachable!()
                         };
                         *completion = Some(cc);
@@ -607,13 +588,11 @@ impl DependencyTree {
                 }
                 if let Some(a) = abandon {
                     let mut sub_facts = Vec::new();
-                    let ac =
-                        self.copy_stateful(a, extra, twins, f, &mut sub_facts, inherited);
+                    let ac = self.copy_stateful(a, extra, twins, f, &mut sub_facts, inherited);
                     debug_assert!(sub_facts.is_empty());
                     if let Some(ac) = ac {
                         self.set_parent(ac, new_id);
-                        let Node::Cg { abandon, .. } = self.node_mut(new_id)
-                        else {
+                        let Node::Cg { abandon, .. } = self.node_mut(new_id) else {
                             unreachable!()
                         };
                         *abandon = Some(ac);
@@ -626,9 +605,7 @@ impl DependencyTree {
 
     fn set_parent(&mut self, node: NodeId, parent: NodeId) {
         match self.node_mut(node) {
-            Node::Version { parent: p, .. } | Node::Cg { parent: p, .. } => {
-                *p = Some(parent)
-            }
+            Node::Version { parent: p, .. } | Node::Cg { parent: p, .. } => *p = Some(parent),
         }
     }
 
@@ -704,8 +681,7 @@ impl DependencyTree {
                                         break;
                                     }
                                     Node::Cg { parent, .. } => {
-                                        owner = parent
-                                            .expect("CG vertices have version ancestors");
+                                        owner = parent.expect("CG vertices have version ancestors");
                                     }
                                 }
                             }
@@ -1003,11 +979,7 @@ impl DependencyTree {
                         }
                         cur = p;
                     }
-                    let mut actual: Vec<CgId> = state
-                        .suppressed()
-                        .iter()
-                        .map(|c| c.id())
-                        .collect();
+                    let mut actual: Vec<CgId> = state.suppressed().iter().map(|c| c.id()).collect();
                     // the root path may omit suppression inherited from
                     // retired windows: every expected edge must be present.
                     actual.sort();
@@ -1097,13 +1069,7 @@ mod tests {
                 *next_cg += 1;
                 t
             };
-            VersionState::clone_speculative(
-                source,
-                id,
-                suppressed,
-                expected_open,
-                &mut mk_twin,
-            )
+            VersionState::clone_speculative(source, id, suppressed, expected_open, &mut mk_twin)
         }
     }
 
@@ -1159,10 +1125,7 @@ mod tests {
         let created = f.open_window(0);
         assert_eq!(created.len(), 1);
         assert_eq!(f.tree.version_count(), 1);
-        assert_eq!(
-            f.tree.root_version().unwrap().id(),
-            created[0].id()
-        );
+        assert_eq!(f.tree.root_version().unwrap().id(), created[0].id());
         assert!(created[0].suppressed().is_empty());
     }
 
@@ -1177,10 +1140,7 @@ mod tests {
         // w2 now has two versions: original (abandon) + copy (completion).
         assert_eq!(f.tree.version_count(), 3);
         let versions = f.tree.versions();
-        let w2_versions: Vec<_> = versions
-            .iter()
-            .filter(|v| v.window().id == 1)
-            .collect();
+        let w2_versions: Vec<_> = versions.iter().filter(|v| v.window().id == 1).collect();
         assert_eq!(w2_versions.len(), 2);
         let suppressing = w2_versions
             .iter()
@@ -1461,7 +1421,9 @@ mod tests {
         let _w3 = f.open_window(2);
         let _cg = f.create_cg(&w1);
         assert_eq!(f.tree.version_count(), 5);
-        let dropped = f.tree.rollback_rebuild(w1.id(), &w2_windows, Vec::new(), &mut f.factory);
+        let dropped = f
+            .tree
+            .rollback_rebuild(w1.id(), &w2_windows, Vec::new(), &mut f.factory);
         f.tree.assert_invariants();
         assert_eq!(dropped, 4);
         // fresh chain: w1 + one version each of w2, w3
@@ -1476,7 +1438,8 @@ mod tests {
         let w1 = f.open_window(0).remove(0);
         let w2 = f.open_window(1).remove(0);
         // Drop w2's subtree via rollback of w1 (no newer windows recreated).
-        f.tree.rollback_rebuild(w1.id(), &[], Vec::new(), &mut f.factory);
+        f.tree
+            .rollback_rebuild(w1.id(), &[], Vec::new(), &mut f.factory);
         assert!(w2.is_dropped());
         // An op from the dropped version arrives late: ignored.
         let cell = Arc::new(CgCell::new(CgId(99), 1, 1));

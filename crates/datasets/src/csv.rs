@@ -164,9 +164,7 @@ mod tests {
             assert_eq!(a.seq(), b.seq());
             assert_eq!(a.ts(), b.ts());
             // symbol *names* must agree even though ids may differ
-            let an = schema
-                .symbol_name(a.symbol(vocab.symbol).unwrap())
-                .unwrap();
+            let an = schema.symbol_name(a.symbol(vocab.symbol).unwrap()).unwrap();
             let bn = schema2
                 .symbol_name(b.symbol(vocab.symbol).unwrap())
                 .unwrap();

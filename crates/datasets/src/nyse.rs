@@ -106,9 +106,7 @@ impl NyseGenerator {
             .map(|i| schema.symbol(&format!("NYSE{i:04}")))
             .collect();
         let (lo, hi) = config.initial_price;
-        let prices: Vec<f64> = (0..config.symbols)
-            .map(|_| rng.gen_range(lo..hi))
-            .collect();
+        let prices: Vec<f64> = (0..config.symbols).map(|_| rng.gen_range(lo..hi)).collect();
         NyseGenerator {
             config,
             vocab,
@@ -242,7 +240,9 @@ mod tests {
             .collect();
         assert_eq!(opens[0], closes[0]);
         assert_eq!(opens[1], closes[1]);
-        assert!(events.iter().all(|e| e.f64(vocab.close_price).unwrap() > 0.0));
+        assert!(events
+            .iter()
+            .all(|e| e.f64(vocab.close_price).unwrap() > 0.0));
     }
 
     #[test]

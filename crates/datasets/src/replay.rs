@@ -122,8 +122,7 @@ mod tests {
     #[test]
     fn framed_replay_is_lossless() {
         let mut schema = Schema::new();
-        let events: Vec<_> =
-            RandGenerator::new(RandConfig::small(500, 3), &mut schema).collect();
+        let events: Vec<_> = RandGenerator::new(RandConfig::small(500, 3), &mut schema).collect();
         for chunk in [1usize, 7, 64, 1000] {
             let replayed: Vec<_> = ReplaySource::framed(events.clone(), chunk).collect();
             assert_eq!(replayed, events, "chunk {chunk}");
@@ -133,8 +132,7 @@ mod tests {
     #[test]
     fn direct_replay_is_identity() {
         let mut schema = Schema::new();
-        let events: Vec<_> =
-            RandGenerator::new(RandConfig::small(100, 3), &mut schema).collect();
+        let events: Vec<_> = RandGenerator::new(RandConfig::small(100, 3), &mut schema).collect();
         let replayed: Vec<_> = ReplaySource::direct(events.clone()).collect();
         assert_eq!(replayed, events);
     }

@@ -213,8 +213,7 @@ impl WindowDetector {
                         consumable,
                         delta: 0,
                     });
-                    let (removed, consumed_current) =
-                        self.finish_match(i, match_id, ev, out);
+                    let (removed, consumed_current) = self.finish_match(i, match_id, ev, out);
                     if consumed_current {
                         // The completing match consumed the event under
                         // processing: it must not feed younger matches nor
@@ -241,8 +240,10 @@ impl WindowDetector {
         // only that event may start the (single) match — the paper's Q1/QE
         // shape and its evaluation setting of one consumption group per
         // window version (§4.2).
-        let anchored =
-            matches!(self.query.window().open(), crate::window::WindowOpen::OnMatch { .. });
+        let anchored = matches!(
+            self.query.window().open(),
+            crate::window::WindowOpen::OnMatch { .. }
+        );
         let may_start = if anchored {
             self.events_seen == 1
         } else {
@@ -472,10 +473,7 @@ mod tests {
     fn once_selection_allows_new_match_after_completion() {
         let q = query(ConsumptionPolicy::All, SelectionPolicy::Once);
         let mut det = WindowDetector::new(q, 0);
-        let actions = run(
-            &mut det,
-            &[ev(1, 1.0), ev(2, 2.0), ev(3, 1.0), ev(4, 2.0)],
-        );
+        let actions = run(&mut det, &[ev(1, 1.0), ev(2, 2.0), ev(3, 1.0), ev(4, 2.0)]);
         let c = completions(&actions);
         assert_eq!(c.len(), 2);
         assert_eq!(c[0].constituents, vec![1, 2]);
@@ -543,10 +541,7 @@ mod tests {
                 .unwrap(),
         );
         let mut det = WindowDetector::new(q, 0);
-        let actions = run(
-            &mut det,
-            &[ev(1, 1.0), ev(2, 1.0), ev(3, 2.0), ev(4, 2.0)],
-        );
+        let actions = run(&mut det, &[ev(1, 1.0), ev(2, 1.0), ev(3, 2.0), ev(4, 2.0)]);
         let c = completions(&actions);
         assert_eq!(c.len(), 2);
         assert_eq!(c[0].constituents, vec![1, 3]);
@@ -579,10 +574,7 @@ mod tests {
         // once bound? both matches at step B... careful: m0 at step B ignores
         // A@2; m0 doesn't absorb so m1 starts). B@3 feeds both. C@4
         // completes m0 consuming {1,3,4}; m1 holds {2,3} -> abandoned.
-        let actions = run(
-            &mut det,
-            &[ev(1, 1.0), ev(2, 1.0), ev(3, 2.0), ev(4, 3.0)],
-        );
+        let actions = run(&mut det, &[ev(1, 1.0), ev(2, 1.0), ev(3, 2.0), ev(4, 3.0)]);
         let c = completions(&actions);
         assert_eq!(c.len(), 1);
         assert_eq!(c[0].constituents, vec![1, 3, 4]);

@@ -108,6 +108,10 @@ pub trait EvalContext {
     fn bound(&self, elem: ElemId) -> Option<&Event>;
 }
 
+// `add`/`sub`/`mul`/`div`/`not` are DSL combinators building AST nodes, not
+// arithmetic on `Expr` values; implementing the `std::ops` traits instead
+// would wrongly suggest the latter.
+#[allow(clippy::should_implement_trait)]
 impl Expr {
     /// Literal constructor.
     pub fn value(v: impl Into<Value>) -> Expr {

@@ -153,9 +153,7 @@ impl PartialMatch {
                 d += match &step.kind {
                     StepKind::One(_) => 1,
                     StepKind::Plus(_) => usize::from(!self.plus_entered),
-                    StepKind::Set(members) => {
-                        members.len() - (self.set_mask.count_ones() as usize)
-                    }
+                    StepKind::Set(members) => members.len() - (self.set_mask.count_ones() as usize),
                 };
             } else {
                 d += step.kind.min_events();
@@ -231,11 +229,7 @@ impl PartialMatch {
         };
         let elem = m.elem.expect("binding element");
         self.bindings[elem.index()] = None;
-        if let Some(pos) = self
-            .participants
-            .iter()
-            .rposition(|(e, _)| *e == elem)
-        {
+        if let Some(pos) = self.participants.iter().rposition(|(e, _)| *e == elem) {
             self.participants.remove(pos);
         }
         self.complete = false;
@@ -293,7 +287,6 @@ impl PartialMatch {
                 Some(elem)
             }
             StepKind::Set(members) => {
-                debug_assert!(idx == self.step || self.set_mask == 0 || idx != self.step);
                 let mask = if idx == self.step { self.set_mask } else { 0 };
                 for (i, m) in members.iter().enumerate() {
                     if mask & (1u128 << i) != 0 {
@@ -595,10 +588,7 @@ mod tests {
         assert!(!m.is_complete());
         assert_eq!(m.delta(), 1);
         // A binding survives, B is free again
-        assert_eq!(
-            m.binding(p.elem_by_name("A").unwrap()).unwrap().seq(),
-            1
-        );
+        assert_eq!(m.binding(p.elem_by_name("A").unwrap()).unwrap().seq(), 1);
         assert!(m.binding(p.elem_by_name("B").unwrap()).is_none());
         assert!(matches!(m.feed(&ev(3, 2.0)), FeedOutcome::Completed { .. }));
         let seqs: Vec<_> = m.participants().iter().map(|(_, s)| *s).collect();

@@ -254,9 +254,7 @@ fn tokenize(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
                     // Don't swallow a `.` that is not followed by a digit
                     // (e.g. ranges); attribute access never follows numbers
                     // in this grammar, so a simple rule suffices.
-                    if bytes[j] == b'.'
-                        && !bytes.get(j + 1).is_some_and(u8::is_ascii_digit)
-                    {
+                    if bytes[j] == b'.' && !bytes.get(j + 1).is_some_and(u8::is_ascii_digit) {
                         break;
                     }
                     j += 1;
@@ -666,12 +664,8 @@ impl Parser<'_> {
                 self.eat(&Tok::RParen)?;
                 Ok(e)
             }
-            Some(Tok::Ident(id)) if id.eq_ignore_ascii_case("TRUE") => {
-                Ok(Expr::value(true))
-            }
-            Some(Tok::Ident(id)) if id.eq_ignore_ascii_case("FALSE") => {
-                Ok(Expr::value(false))
-            }
+            Some(Tok::Ident(id)) if id.eq_ignore_ascii_case("TRUE") => Ok(Expr::value(true)),
+            Some(Tok::Ident(id)) if id.eq_ignore_ascii_case("FALSE") => Ok(Expr::value(false)),
             Some(Tok::Ident(id)) if id.eq_ignore_ascii_case("SYM") => {
                 self.eat(&Tok::LParen)?;
                 let Some(Tok::Str(name)) = self.next() else {
@@ -755,10 +749,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(q.pattern().step_count(), 3);
-        assert!(matches!(
-            q.pattern().steps()[1].kind,
-            StepKind::Plus(_)
-        ));
+        assert!(matches!(q.pattern().steps()[1].kind, StepKind::Plus(_)));
         assert!(matches!(q.window().open(), WindowOpen::EverySlide(1000)));
     }
 
@@ -864,11 +855,7 @@ mod tests {
         assert!(parse_query("", &mut s).is_err());
         assert!(parse_query("PATTERN ()", &mut s).is_err());
         assert!(parse_query("PATTERN (A) WITHIN x EVENTS FROM A", &mut s).is_err());
-        assert!(parse_query(
-            "PATTERN (A) WITHIN 10 FURLONGS FROM A",
-            &mut s
-        )
-        .is_err());
+        assert!(parse_query("PATTERN (A) WITHIN 10 FURLONGS FROM A", &mut s).is_err());
         assert!(parse_query(
             "PATTERN (A) WITHIN 10 EVENTS FROM A trailing garbage",
             &mut s

@@ -99,8 +99,7 @@ pub fn q1(schema: &mut Schema, q: usize, ws: u64, direction: Direction) -> Query
     Query::builder("Q1")
         .pattern(pattern)
         .window(
-            WindowSpec::on_match_count(Some(vocab.quote), mle_pred, ws)
-                .expect("valid Q1 window"),
+            WindowSpec::on_match_count(Some(vocab.quote), mle_pred, ws).expect("valid Q1 window"),
         )
         .consumption(ConsumptionPolicy::All)
         .build()
@@ -157,13 +156,7 @@ pub fn q2(schema: &mut Schema, lower: f64, upper: f64, ws: u64, s: u64) -> Query
 /// # Panics
 ///
 /// Panics if `members` is empty or larger than 128.
-pub fn q3(
-    schema: &mut Schema,
-    leader: SymbolId,
-    members: &[SymbolId],
-    ws: u64,
-    s: u64,
-) -> Query {
+pub fn q3(schema: &mut Schema, leader: SymbolId, members: &[SymbolId], ws: u64, s: u64) -> Query {
     assert!(!members.is_empty(), "Q3 needs at least one set member");
     let vocab = StockVocab::install(schema);
     let set_members: Vec<(String, Expr)> = members

@@ -75,9 +75,7 @@ impl WindowSpec {
             return Err(WindowSpecError::ZeroSlide);
         }
         match close {
-            WindowClose::Count(0) | WindowClose::Time(0) => {
-                return Err(WindowSpecError::ZeroScope)
-            }
+            WindowClose::Count(0) | WindowClose::Time(0) => return Err(WindowSpecError::ZeroScope),
             _ => {}
         }
         Ok(WindowSpec { open, close })
@@ -94,7 +92,10 @@ impl WindowSpec {
         pred: Expr,
         ws: u64,
     ) -> Result<Self, WindowSpecError> {
-        Self::new(WindowOpen::OnMatch { event_type, pred }, WindowClose::Count(ws))
+        Self::new(
+            WindowOpen::OnMatch { event_type, pred },
+            WindowClose::Count(ws),
+        )
     }
 
     /// Predicate-opened window with a time scope.
@@ -103,7 +104,10 @@ impl WindowSpec {
         pred: Expr,
         duration: Timestamp,
     ) -> Result<Self, WindowSpecError> {
-        Self::new(WindowOpen::OnMatch { event_type, pred }, WindowClose::Time(duration))
+        Self::new(
+            WindowOpen::OnMatch { event_type, pred },
+            WindowClose::Time(duration),
+        )
     }
 
     /// The open condition.
@@ -231,7 +235,9 @@ impl WindowAssigner {
                 WindowClose::Time(d) => ev.ts() >= front.start_ts.saturating_add(d),
             };
             if excluded {
-                result.closed.push(self.open.pop_front().expect("front exists"));
+                result
+                    .closed
+                    .push(self.open.pop_front().expect("front exists"));
             } else {
                 break;
             }
@@ -239,9 +245,9 @@ impl WindowAssigner {
 
         // 2. Maybe open a new window starting at this event.
         let opens = match &self.spec.open {
-            WindowOpen::EverySlide(s) => pos % s == 0,
+            WindowOpen::EverySlide(s) => pos.is_multiple_of(*s),
             WindowOpen::OnMatch { event_type, pred } => {
-                let type_ok = event_type.map_or(true, |t| ev.event_type() == t);
+                let type_ok = event_type.is_none_or(|t| ev.event_type() == t);
                 type_ok && pred.matches(&SelfCtx(ev))
             }
         };
@@ -356,12 +362,8 @@ mod range_tests {
     fn predicate_windows_for_time_scope() {
         let mut schema = Schema::new();
         let x = schema.attr("x");
-        let spec = WindowSpec::on_match_time(
-            None,
-            Expr::current(x).eq_(Expr::value(1.0)),
-            5,
-        )
-        .unwrap();
+        let spec =
+            WindowSpec::on_match_time(None, Expr::current(x).eq_(Expr::value(1.0)), 5).unwrap();
         let mkx = |seq: Seq, ts: Timestamp, x_val: f64| {
             Event::builder(EventType::new(0))
                 .seq(seq)
@@ -439,12 +441,8 @@ mod tests {
         let _ = schema.event_type("E");
         let x = schema.attr("x");
         // windows open on x == 1.0 events, scope 10 time units
-        let spec = WindowSpec::on_match_time(
-            None,
-            Expr::current(x).eq_(Expr::value(1.0)),
-            10,
-        )
-        .unwrap();
+        let spec =
+            WindowSpec::on_match_time(None, Expr::current(x).eq_(Expr::value(1.0)), 10).unwrap();
         let mut wa = WindowAssigner::new(spec);
         // event at ts 0 doesn't open
         assert!(wa.observe(&mk(0, 0, 0.0)).members.is_empty());
@@ -465,12 +463,8 @@ mod tests {
         let mut schema = Schema::new();
         let _ = schema.event_type("E");
         let x = schema.attr("x");
-        let spec = WindowSpec::on_match_count(
-            None,
-            Expr::current(x).eq_(Expr::value(1.0)),
-            4,
-        )
-        .unwrap();
+        let spec =
+            WindowSpec::on_match_count(None, Expr::current(x).eq_(Expr::value(1.0)), 4).unwrap();
         let mut wa = WindowAssigner::new(spec);
         assert_eq!(wa.observe(&mk(0, 0, 1.0)).members, vec![0]);
         assert_eq!(wa.observe(&mk(1, 1, 1.0)).members, vec![0, 1]);

@@ -48,7 +48,10 @@ fn main() {
     let avg_len = if seq.complex_events.is_empty() {
         0.0
     } else {
-        seq.complex_events.iter().map(|c| c.len() as f64).sum::<f64>()
+        seq.complex_events
+            .iter()
+            .map(|c| c.len() as f64)
+            .sum::<f64>()
             / seq.complex_events.len() as f64
     };
     println!(

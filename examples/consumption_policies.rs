@@ -73,8 +73,14 @@ fn main() {
     let none = run_simulated(&qe_none, events.clone(), &config);
     let selected = run_simulated(&qe, events.clone(), &config);
 
-    println!("consumption policy NONE       → {:?}", render(&none.complex_events));
-    println!("consumption policy SELECTED B → {:?}", render(&selected.complex_events));
+    println!(
+        "consumption policy NONE       → {:?}",
+        render(&none.complex_events)
+    );
+    println!(
+        "consumption policy SELECTED B → {:?}",
+        render(&selected.complex_events)
+    );
 
     // Paper Fig. 1a: A1B1, A1B2, A2B1, A2B2, A2B3.
     assert_eq!(

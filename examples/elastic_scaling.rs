@@ -52,10 +52,12 @@ fn main() {
         controller.observe(stats.completion_probability());
         let k = controller.recommend();
 
-        let report =
-            run_simulated(&query, events.clone(), &SpectreConfig::with_instances(k));
+        let report = run_simulated(&query, events.clone(), &SpectreConfig::with_instances(k));
         println!("phase: {phase}");
-        println!("  completion probability : {:.0}%", stats.completion_probability() * 100.0);
+        println!(
+            "  completion probability : {:.0}%",
+            stats.completion_probability() * 100.0
+        );
         println!("  recommended instances  : {k}");
         println!(
             "  complex events         : {} ({} versions dropped on the way)",

@@ -48,7 +48,10 @@ fn main() {
         seq.completion_probability() * 100.0
     );
 
-    println!("{:<10} {:>14} {:>12} {:>10}", "predictor", "rounds", "dropped", "rollbacks");
+    println!(
+        "{:<10} {:>14} {:>12} {:>10}",
+        "predictor", "rounds", "dropped", "rollbacks"
+    );
     let mut rows: Vec<(String, PredictorKind)> = vec![
         ("fixed 10%".into(), PredictorKind::Fixed(0.1)),
         ("fixed 50%".into(), PredictorKind::Fixed(0.5)),

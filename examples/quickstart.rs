@@ -57,9 +57,7 @@ fn main() {
     println!("virtual rounds : {}", report.rounds);
     println!(
         "speculation    : {} versions created, {} dropped, {} rollbacks",
-        report.metrics.versions_created,
-        report.metrics.versions_dropped,
-        report.metrics.rollbacks
+        report.metrics.versions_created, report.metrics.versions_dropped, report.metrics.rollbacks
     );
     for ce in report.complex_events.iter().take(5) {
         println!("  {ce}");

@@ -1,0 +1,273 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements the [`BytesMut`]/[`Bytes`] pair plus the [`Buf`]/[`BufMut`]
+//! accessor traits over a plain `Vec<u8>`, covering exactly the surface the
+//! SPECTRE event codec and dataset replay paths use. `advance`/`split_to`
+//! memmove instead of refcount-splitting — semantically identical, merely
+//! less zero-copy. Swap for the real crate once the registry is reachable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Deref, DerefMut};
+
+/// A growable byte buffer, analogous to `bytes::BytesMut`.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty buffer with at least `cap` bytes of capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of bytes currently in the buffer.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Appends `slice` to the end of the buffer.
+    pub fn extend_from_slice(&mut self, slice: &[u8]) {
+        self.data.extend_from_slice(slice);
+    }
+
+    /// Removes all bytes from the buffer.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Splits off and returns the first `at` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at > len`.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.data.len(), "split_to out of bounds");
+        let rest = self.data.split_off(at);
+        BytesMut {
+            data: std::mem::replace(&mut self.data, rest),
+        }
+    }
+
+    /// Freezes the buffer into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes { data: self.data }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(data: Vec<u8>) -> Self {
+        BytesMut { data }
+    }
+}
+
+/// An immutable byte buffer, analogous to `bytes::Bytes`.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+}
+
+impl Bytes {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of bytes in the buffer.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data }
+    }
+}
+
+/// Read-side accessors over a byte buffer (little/big-endian integer pops).
+pub trait Buf {
+    /// Discards the first `n` bytes.
+    fn advance(&mut self, n: usize);
+
+    /// Pops the leading `N` bytes as an array.
+    ///
+    /// Implementations panic if fewer than `N` bytes remain; callers are
+    /// expected to length-check first (the codec does).
+    fn take_array<const N: usize>(&mut self) -> [u8; N];
+
+    /// Pops a `u8`.
+    fn get_u8(&mut self) -> u8 {
+        self.take_array::<1>()[0]
+    }
+
+    /// Pops a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        u16::from_le_bytes(self.take_array())
+    }
+
+    /// Pops a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take_array())
+    }
+
+    /// Pops a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take_array())
+    }
+
+    /// Pops a little-endian `i64`.
+    fn get_i64_le(&mut self) -> i64 {
+        i64::from_le_bytes(self.take_array())
+    }
+
+    /// Pops a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_le_bytes(self.take_array())
+    }
+}
+
+impl Buf for BytesMut {
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.data.len(), "advance out of bounds");
+        self.data.drain(..n);
+    }
+
+    fn take_array<const N: usize>(&mut self) -> [u8; N] {
+        let mut out = [0u8; N];
+        out.copy_from_slice(&self.data[..N]);
+        self.data.drain(..N);
+        out
+    }
+}
+
+/// Write-side accessors over a byte buffer (little/big-endian integer puts).
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, slice: &[u8]);
+
+    /// Appends a `u8`.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `i64`.
+    fn put_i64_le(&mut self, v: i64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, slice: &[u8]) {
+        self.data.extend_from_slice(slice);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_integers() {
+        let mut b = BytesMut::new();
+        b.put_u32_le(7);
+        b.put_u64_le(u64::MAX);
+        b.put_i64_le(-5);
+        b.put_f64_le(1.5);
+        b.put_u16_le(300);
+        b.put_u8(9);
+        assert_eq!(b.get_u32_le(), 7);
+        assert_eq!(b.get_u64_le(), u64::MAX);
+        assert_eq!(b.get_i64_le(), -5);
+        assert_eq!(b.get_f64_le(), 1.5);
+        assert_eq!(b.get_u16_le(), 300);
+        assert_eq!(b.get_u8(), 9);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn split_advance_freeze() {
+        let mut b = BytesMut::new();
+        b.extend_from_slice(b"hello world");
+        b.advance(6);
+        let head = b.split_to(5);
+        assert_eq!(&head[..], b"world");
+        assert!(b.is_empty());
+        let frozen = head.freeze();
+        assert_eq!(frozen.len(), 5);
+        assert_eq!(&frozen[..], b"world");
+    }
+}

@@ -1,0 +1,69 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only [`queue::SegQueue`] is provided — the single crossbeam type the
+//! SPECTRE runtime uses for its cross-thread operation queues. The shim backs
+//! it with a mutex-protected `VecDeque`; it is linearizable and lock-based
+//! rather than lock-free, which is semantically equivalent (and fine for the
+//! current scale). Swap for the real crate once the registry is reachable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Concurrent queues (shim: only [`queue::SegQueue`]).
+pub mod queue {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::Mutex;
+
+    /// An unbounded multi-producer multi-consumer FIFO queue.
+    pub struct SegQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> SegQueue<T> {
+        /// Creates an empty queue.
+        pub fn new() -> Self {
+            SegQueue {
+                inner: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Pushes `value` onto the back of the queue.
+        pub fn push(&self, value: T) {
+            self.lock().push_back(value);
+        }
+
+        /// Pops the front element, or `None` if the queue is empty.
+        pub fn pop(&self) -> Option<T> {
+            self.lock().pop_front()
+        }
+
+        /// Number of queued elements at the time of the call.
+        pub fn len(&self) -> usize {
+            self.lock().len()
+        }
+
+        /// Whether the queue was empty at the time of the call.
+        pub fn is_empty(&self) -> bool {
+            self.lock().is_empty()
+        }
+
+        fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+            self.inner.lock().unwrap_or_else(|e| e.into_inner())
+        }
+    }
+
+    impl<T> Default for SegQueue<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> fmt::Debug for SegQueue<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("SegQueue")
+                .field("len", &self.len())
+                .finish()
+        }
+    }
+}

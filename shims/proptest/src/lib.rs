@@ -1,0 +1,486 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Reimplements the slice of proptest the SPECTRE property suites use: the
+//! [`proptest!`] macro with `arg in strategy` bindings and
+//! `#![proptest_config(..)]`, range/tuple/[`Just`]/[`prop_oneof!`] /
+//! [`collection::vec`] strategies, and the `prop_assert*`/[`prop_assume!`]
+//! macros. Cases are generated from a seed derived deterministically from
+//! the test name, so failures reproduce across runs. No shrinking: a
+//! failing case panics with the sampled values' debug rendering instead of
+//! a minimized counterexample. Swap for the real crate once the registry
+//! is reachable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Test-runner configuration and case plumbing.
+pub mod test_runner {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SampleRange, SeedableRng};
+
+    /// Configuration for a [`proptest!`](crate::proptest) block, analogous
+    /// to `proptest::test_runner::Config`.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+        /// Maximum number of [`prop_assume!`](crate::prop_assume)
+        /// rejections tolerated across the whole run.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config {
+                cases: 256,
+                max_global_rejects: 65_536,
+            }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// An assertion failed; the run aborts with this message.
+        Fail(String),
+        /// The case was rejected by an assumption; another case is drawn.
+        Reject,
+    }
+
+    /// Deterministic source of randomness for strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(SmallRng);
+
+    impl TestRng {
+        /// Creates a generator seeded from `name` (stable across runs).
+        pub fn deterministic(name: &str) -> Self {
+            // FNV-1a; any stable string hash works — the seed only needs to
+            // differ between tests, not be cryptographic.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng(SmallRng::seed_from_u64(h))
+        }
+
+        /// Draws one uniform sample from `range`.
+        pub fn sample<R: SampleRange>(&mut self, range: R) -> R::Output {
+            self.0.gen_range(range)
+        }
+    }
+
+    /// Drives the generate→run loop for one `proptest!` test function.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a case fails or when the rejection budget is exhausted,
+    /// which is how failures surface through the standard test harness.
+    pub fn run_cases<F>(config: &Config, name: &str, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let mut rng = TestRng::deterministic(name);
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        while passed < config.cases {
+            match case(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject) => {
+                    rejected += 1;
+                    assert!(
+                        rejected <= config.max_global_rejects,
+                        "{name}: gave up after {rejected} prop_assume! rejections \
+                         ({passed}/{} cases passed)",
+                        config.cases
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("{name}: case {passed} failed: {msg}")
+                }
+            }
+        }
+    }
+
+    /// Runs a closure returning a case result (exists so the [`proptest!`]
+    /// expansion avoids an immediately-invoked closure literal).
+    ///
+    /// [`proptest!`]: crate::proptest
+    pub fn run_one<F>(f: F) -> Result<(), TestCaseError>
+    where
+        F: FnOnce() -> Result<(), TestCaseError>,
+    {
+        f()
+    }
+
+    /// Appends the rendered sampled inputs to a failing case's message, so
+    /// the panic names the counterexample (the shim does not shrink).
+    pub fn attach_inputs(
+        result: Result<(), TestCaseError>,
+        inputs: String,
+    ) -> Result<(), TestCaseError> {
+        match result {
+            Err(TestCaseError::Fail(msg)) => {
+                Err(TestCaseError::Fail(format!("{msg}\n    inputs: {inputs}")))
+            }
+            other => other,
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A generator of values of type [`Strategy::Value`].
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    /// Boxes a strategy, erasing its concrete type (used by
+    /// [`prop_oneof!`](crate::prop_oneof)).
+    pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(s)
+    }
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (**self).sample(rng)
+        }
+    }
+
+    /// A strategy that always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between several strategies of the same value type.
+    pub struct Union<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// Creates a union over `options`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `options` is empty.
+        pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let i = rng.sample(0..self.options.len());
+            self.options[i].sample(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($ty:ty),*) => {$(
+            impl Strategy for std::ops::Range<$ty> {
+                type Value = $ty;
+
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    rng.sample(self.clone())
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$ty> {
+                type Value = $ty;
+
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    rng.sample(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i64, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+}
+
+/// Strategies over collections.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// An inclusive-exclusive bound on generated collection sizes.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                min: *r.start(),
+                max_exclusive: *r.end() + 1,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_exclusive: n + 1,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose length is drawn from `size` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.sample(self.size.min..self.size.max_exclusive);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// The glob-importable prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Declares property tests, analogous to `proptest::proptest!`.
+///
+/// Each `fn name(arg in strategy, ...) { body }` item expands to a
+/// zero-argument test function that samples the strategies and runs the
+/// body for the configured number of cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::Config = $config;
+                $crate::test_runner::run_cases(&__config, stringify!($name), |__rng| {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strategy), __rng);)+
+                    let mut __inputs = ::std::string::String::new();
+                    $(
+                        __inputs.push_str(::std::concat!(::std::stringify!($arg), " = "));
+                        __inputs.push_str(&::std::format!("{:?}; ", $arg));
+                    )+
+                    let __result = $crate::test_runner::run_one(move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    });
+                    $crate::test_runner::attach_inputs(__result, __inputs)
+                });
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $crate::test_runner::Config::default();
+                $crate::test_runner::run_cases(&__config, stringify!($name), |__rng| {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strategy), __rng);)+
+                    let mut __inputs = ::std::string::String::new();
+                    $(
+                        __inputs.push_str(::std::concat!(::std::stringify!($arg), " = "));
+                        __inputs.push_str(&::std::format!("{:?}; ", $arg));
+                    )+
+                    let __result = $crate::test_runner::run_one(move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    });
+                    $crate::test_runner::attach_inputs(__result, __inputs)
+                });
+            }
+        )*
+    };
+}
+
+/// Fails the current case with a message unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__left, __right) = (&$left, &$right);
+        if !(__left == __right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    __left,
+                    __right
+                ),
+            ));
+        }
+    }};
+}
+
+/// Rejects the current case (drawing a fresh one) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice between strategies, analogous to `proptest::prop_oneof!`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn generated_values_respect_strategies(
+            x in 0u8..10,
+            f in 0.5f64..=1.0,
+            pair in (0u32..3, 0u32..3),
+            v in crate::collection::vec(0u32..5, 1..4),
+            choice in prop_oneof![Just(1usize), Just(5)],
+        ) {
+            prop_assert!(x < 10);
+            prop_assert!((0.5..=1.0).contains(&f));
+            prop_assert!(pair.0 < 3 && pair.1 < 3);
+            prop_assert!((1..4).contains(&v.len()));
+            prop_assert!(v.iter().all(|&e| e < 5));
+            prop_assert!(choice == 1 || choice == 5);
+            prop_assume!(x != 255); // never rejects, exercises the path
+        }
+    }
+
+    // No `#[test]` meta: expanded as a plain fn, invoked via catch_unwind
+    // below to observe the failure message.
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 1, ..ProptestConfig::default() })]
+
+        fn always_fails(x in 0u8..10) {
+            prop_assert!(x > 200, "x too small");
+        }
+    }
+
+    #[test]
+    fn failing_case_reports_its_inputs() {
+        let payload = std::panic::catch_unwind(always_fails).unwrap_err();
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("panic payload is a formatted string");
+        assert!(msg.contains("x too small"), "{msg}");
+        assert!(msg.contains("inputs: x = "), "{msg}");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let s = crate::collection::vec(0u32..100, 3..10);
+        let mut a = crate::test_runner::TestRng::deterministic("seed-name");
+        let mut b = crate::test_runner::TestRng::deterministic("seed-name");
+        for _ in 0..50 {
+            assert_eq!(s.sample(&mut a), s.sample(&mut b));
+        }
+    }
+}

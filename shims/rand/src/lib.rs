@@ -1,0 +1,250 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Provides [`rngs::SmallRng`] (a xoshiro256++ generator seeded through
+//! SplitMix64 — the same family the real `SmallRng` uses), the
+//! [`SeedableRng`]/[`Rng`] traits, and uniform range sampling for the
+//! integer and float ranges the SPECTRE dataset generators draw from.
+//! Deterministic for a fixed seed, which is all the workspace requires.
+//! Swap for the real crate once the registry is reachable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Concrete generator types (shim: only [`rngs::SmallRng`]).
+pub mod rngs {
+    /// A small, fast, deterministic generator (xoshiro256++).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        pub(crate) s: [u64; 4],
+    }
+}
+
+use rngs::SmallRng;
+
+/// Seeding constructors for generators.
+pub trait SeedableRng: Sized {
+    /// Creates a generator deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed into the xoshiro state, as
+        // recommended by the xoshiro authors (avoids all-zero states).
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        SmallRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+/// Core generation plus uniform range sampling.
+pub trait Rng {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples uniformly from `range`.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl Rng for SmallRng {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Converts 64 random bits into a uniform `f64` in `[0, 1)`.
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A range that can be sampled uniformly.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+
+    /// Draws one uniform sample from the range.
+    fn sample<R: Rng>(self, rng: &mut R) -> Self::Output;
+}
+
+macro_rules! impl_int_range {
+    ($($ty:ty),*) => {$(
+        impl SampleRange for std::ops::Range<$ty> {
+            type Output = $ty;
+
+            fn sample<R: Rng>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end - self.start) as u64;
+                // Debiased multiply-shift (Lemire); the retry loop runs
+                // `span / 2^64` of the time, i.e. essentially never here.
+                loop {
+                    let x = rng.next_u64();
+                    let hi = ((x as u128 * span as u128) >> 64) as u64;
+                    let lo = (x as u128 * span as u128) as u64;
+                    if lo >= span.wrapping_neg() % span {
+                        return self.start + hi as $ty;
+                    }
+                }
+            }
+        }
+
+        impl SampleRange for std::ops::RangeInclusive<$ty> {
+            type Output = $ty;
+
+            fn sample<R: Rng>(self, rng: &mut R) -> $ty {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range");
+                if start == end {
+                    return start;
+                }
+                // `span` can't be computed as an exclusive range width when
+                // `end` is the type maximum, so sample an offset instead.
+                let span = (end - start) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $ty;
+                }
+                start + (0u64..span + 1).sample(rng) as $ty
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize);
+
+impl SampleRange for std::ops::Range<i64> {
+    type Output = i64;
+
+    fn sample<R: Rng>(self, rng: &mut R) -> i64 {
+        assert!(self.start < self.end, "empty range");
+        let span = self.end.wrapping_sub(self.start) as u64;
+        let off = (0u64..span).sample(rng);
+        self.start.wrapping_add(off as i64)
+    }
+}
+
+impl SampleRange for std::ops::RangeInclusive<i64> {
+    type Output = i64;
+
+    fn sample<R: Rng>(self, rng: &mut R) -> i64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "empty range");
+        if start == end {
+            return start;
+        }
+        let span = end.wrapping_sub(start) as u64;
+        if span == u64::MAX {
+            return rng.next_u64() as i64;
+        }
+        start.wrapping_add((0u64..span + 1).sample(rng) as i64)
+    }
+}
+
+impl SampleRange for std::ops::Range<f64> {
+    type Output = f64;
+
+    fn sample<R: Rng>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        let u = unit_f64(rng.next_u64());
+        let v = self.start + (self.end - self.start) * u;
+        // Floating rounding can land exactly on `end`; clamp back inside.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleRange for std::ops::RangeInclusive<f64> {
+    type Output = f64;
+
+    fn sample<R: Rng>(self, rng: &mut R) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "empty range");
+        start + (end - start) * unit_f64(rng.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let u = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&u));
+            let f = rng.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let i = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn inclusive_ranges_cover_extremes() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..1_000 {
+            // These all previously overflowed on `end + 1`.
+            let _ = rng.gen_range(1u64..=u64::MAX);
+            let _ = rng.gen_range(1i64..=i64::MAX);
+            let _ = rng.gen_range(0u8..=u8::MAX);
+            assert_eq!(rng.gen_range(7usize..=7), 7);
+            let v = rng.gen_range(250u8..=255);
+            assert!((250..=255).contains(&v));
+        }
+    }
+
+    #[test]
+    fn integer_sampling_roughly_uniform() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[rng.gen_range(0usize..10)] += 1;
+        }
+        for &n in &counts {
+            assert!((8_000..12_000).contains(&n), "count {n} far from uniform");
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! SPECTRE's query and event types derive `Serialize`/`Deserialize` so that
+//! a future wire/persistence layer can use them, but nothing in the
+//! workspace serializes yet. This shim keeps the derives compiling without
+//! network access: the traits are empty markers with blanket
+//! implementations, and the derive macros (re-exported from the shim
+//! `serde_derive`) generate nothing. Swap for the real crate once the
+//! registry is reachable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The shim `serde` crate gives `Serialize`/`Deserialize` blanket
+//! implementations, so the derive macros have nothing to generate: they
+//! accept the same positions real serde derives do (including
+//! `#[serde(...)]` helper attributes) and emit no code. Swap for the real
+//! crate once the registry is reachable.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`; the shim `serde::Serialize` is blanket-implemented.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`; the shim `serde::Deserialize` is blanket-implemented.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

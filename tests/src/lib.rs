@@ -37,8 +37,7 @@ pub fn assert_same_output(label: &str, got: &[ComplexEvent], expected: &[Complex
 pub fn assert_sim_matches_sequential(query: &Arc<Query>, events: &[Event], ks: &[usize]) {
     let expected = spectre_baselines::run_sequential(query, events).complex_events;
     for &k in ks {
-        let report =
-            run_simulated(query, events.to_vec(), &SpectreConfig::with_instances(k));
+        let report = run_simulated(query, events.to_vec(), &SpectreConfig::with_instances(k));
         assert_same_output(&format!("sim k={k}"), &report.complex_events, &expected);
     }
 }

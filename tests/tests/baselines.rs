@@ -13,8 +13,7 @@ use spectre_query::queries::{self, Direction};
 #[test]
 fn trex_agrees_with_sequential_on_q1() {
     let mut schema = Schema::new();
-    let events: Vec<_> =
-        NyseGenerator::new(NyseConfig::small(2500, 19), &mut schema).collect();
+    let events: Vec<_> = NyseGenerator::new(NyseConfig::small(2500, 19), &mut schema).collect();
     let query = Arc::new(queries::q1(&mut schema, 3, 200, Direction::Rising));
     let expected = run_sequential(&query, &events).complex_events;
     let trex = TrexEngine::new(Arc::clone(&query)).run(&events);
@@ -24,8 +23,7 @@ fn trex_agrees_with_sequential_on_q1() {
 #[test]
 fn trex_agrees_with_sequential_on_q2() {
     let mut schema = Schema::new();
-    let events: Vec<_> =
-        NyseGenerator::new(NyseConfig::small(2000, 23), &mut schema).collect();
+    let events: Vec<_> = NyseGenerator::new(NyseConfig::small(2000, 23), &mut schema).collect();
     let query = Arc::new(queries::q2(&mut schema, 60.0, 140.0, 300, 60));
     let expected = run_sequential(&query, &events).complex_events;
     let trex = TrexEngine::new(Arc::clone(&query)).run(&events);
@@ -38,7 +36,13 @@ fn trex_agrees_with_sequential_on_q3() {
     let gen = RandGenerator::new(RandConfig::small(1800, 37), &mut schema);
     let symbols = gen.symbols().to_vec();
     let events: Vec<_> = gen.collect();
-    let query = Arc::new(queries::q3(&mut schema, symbols[0], &symbols[1..5], 300, 60));
+    let query = Arc::new(queries::q3(
+        &mut schema,
+        symbols[0],
+        &symbols[1..5],
+        300,
+        60,
+    ));
     let expected = run_sequential(&query, &events).complex_events;
     let trex = TrexEngine::new(Arc::clone(&query)).run(&events);
     assert_same_output("trex q3", &trex.complex_events, &expected);
@@ -47,8 +51,7 @@ fn trex_agrees_with_sequential_on_q3() {
 #[test]
 fn waitful_output_is_sequential_and_speedup_is_bounded() {
     let mut schema = Schema::new();
-    let events: Vec<_> =
-        NyseGenerator::new(NyseConfig::small(2000, 41), &mut schema).collect();
+    let events: Vec<_> = NyseGenerator::new(NyseConfig::small(2000, 41), &mut schema).collect();
     let query = Arc::new(queries::q1(&mut schema, 3, 200, Direction::Rising));
     let expected = run_sequential(&query, &events).complex_events;
     for k in [1usize, 4, 16] {
@@ -69,8 +72,7 @@ fn waitful_speedup_collapses_under_consumption_dependencies() {
     // windows, the wait-based schedule is (nearly) serialized regardless of
     // k, while the same query *without* consumption parallelizes freely.
     let mut schema = Schema::new();
-    let events: Vec<_> =
-        NyseGenerator::new(NyseConfig::small(2000, 43), &mut schema).collect();
+    let events: Vec<_> = NyseGenerator::new(NyseConfig::small(2000, 43), &mut schema).collect();
     let consuming = Arc::new(queries::q2(&mut schema, 60.0, 140.0, 400, 50));
     let r16 = run_waitful(&consuming, &events, 16);
     // Windows overlap 8-fold (ws=400, s=50): dependencies serialize them.
@@ -84,8 +86,7 @@ fn waitful_speedup_collapses_under_consumption_dependencies() {
 #[test]
 fn sequential_statistics_are_internally_consistent() {
     let mut schema = Schema::new();
-    let events: Vec<_> =
-        NyseGenerator::new(NyseConfig::small(2500, 47), &mut schema).collect();
+    let events: Vec<_> = NyseGenerator::new(NyseConfig::small(2500, 47), &mut schema).collect();
     let query = Arc::new(queries::q1(&mut schema, 3, 200, Direction::Rising));
     let r = run_sequential(&query, &events);
     assert_eq!(r.complex_events.len() as u64, r.cgs_completed);
@@ -113,8 +114,7 @@ fn consumed_events_never_appear_in_two_complex_events() {
     // The defining property of consumption (§1): one event, one pattern
     // instance.
     let mut schema = Schema::new();
-    let events: Vec<_> =
-        NyseGenerator::new(NyseConfig::small(3000, 53), &mut schema).collect();
+    let events: Vec<_> = NyseGenerator::new(NyseConfig::small(3000, 53), &mut schema).collect();
     for query in [
         Arc::new(queries::q1(&mut schema, 3, 250, Direction::Rising)),
         Arc::new(queries::q2(&mut schema, 60.0, 140.0, 400, 80)),

@@ -10,9 +10,7 @@ use spectre_core::{run_simulated, SpectreConfig};
 use spectre_events::{Event, Schema, Value};
 use spectre_integration::fmt_all;
 use spectre_query::queries::StockVocab;
-use spectre_query::{
-    ConsumptionPolicy, Expr, Pattern, Query, SelectionPolicy, WindowSpec,
-};
+use spectre_query::{ConsumptionPolicy, Expr, Pattern, Query, SelectionPolicy, WindowSpec};
 
 /// Builds the Fig. 1 stream: A1, A2, B1, B2, B3 (in that order), all within
 /// one minute of each other so both windows span all B events.
@@ -21,7 +19,7 @@ fn fig1_stream(schema: &mut Schema) -> (Vec<Event>, StockVocab) {
     let sym_a = schema.symbol("A");
     let sym_b = schema.symbol("B");
     let quotes = [
-        (sym_a, 0u64),  // A1
+        (sym_a, 0u64),   // A1
         (sym_a, 10_000), // A2
         (sym_b, 20_000), // B1
         (sym_b, 30_000), // B2
@@ -76,8 +74,16 @@ fn fig1a_no_consumption_yields_five_complex_events() {
     //  [A1, A1+1min] and B3 falls at A1+40s, inside the scope, so with the
     //  stated timestamps A1B3 is also produced; the figure's stream spaces
     //  B3 outside w1. We reproduce the figure's count with B3 late below.)
-    let w0: Vec<_> = r.complex_events.iter().filter(|c| c.window_id == 0).collect();
-    let w1: Vec<_> = r.complex_events.iter().filter(|c| c.window_id == 1).collect();
+    let w0: Vec<_> = r
+        .complex_events
+        .iter()
+        .filter(|c| c.window_id == 0)
+        .collect();
+    let w1: Vec<_> = r
+        .complex_events
+        .iter()
+        .filter(|c| c.window_id == 1)
+        .collect();
     assert_eq!(w0.len(), 3, "A1 correlates with each B");
     assert_eq!(w1.len(), 3, "A2 correlates with each B");
 }
@@ -152,8 +158,7 @@ fn fig1b_speculative_runtime_reproduces_selected_b() {
     ));
     let expected = run_sequential(&query, &events).complex_events;
     for k in [1usize, 2, 4] {
-        let report =
-            run_simulated(&query, events.clone(), &SpectreConfig::with_instances(k));
+        let report = run_simulated(&query, events.clone(), &SpectreConfig::with_instances(k));
         assert_eq!(
             fmt_all(&report.complex_events),
             fmt_all(&expected),

@@ -6,9 +6,7 @@ use std::sync::Arc;
 
 use spectre_baselines::run_sequential;
 use spectre_core::{run_simulated, SpectreConfig};
-use spectre_datasets::{
-    csv, NyseConfig, NyseGenerator, RandConfig, RandGenerator, ReplaySource,
-};
+use spectre_datasets::{csv, NyseConfig, NyseGenerator, RandConfig, RandGenerator, ReplaySource};
 use spectre_events::Schema;
 use spectre_integration::fmt_all;
 use spectre_query::queries::{self, Direction};
@@ -48,7 +46,9 @@ fn nyse_symbols_are_roughly_round_robin() {
     // Every symbol appears exactly events/symbols times.
     let mut counts = std::collections::HashMap::new();
     for ev in &events {
-        *counts.entry(ev.symbol(vocab.symbol).unwrap()).or_insert(0u32) += 1;
+        *counts
+            .entry(ev.symbol(vocab.symbol).unwrap())
+            .or_insert(0u32) += 1;
     }
     assert_eq!(counts.len(), 10);
     assert!(counts.values().all(|&c| c == 10));
@@ -78,10 +78,7 @@ fn csv_roundtrip_preserves_stream_and_output() {
     let q2 = Arc::new(queries::q1(&mut schema2, 3, 100, Direction::Rising));
     let out1 = run_sequential(&q1, &events);
     let out2 = run_sequential(&q2, &restored);
-    assert_eq!(
-        fmt_all(&out1.complex_events),
-        fmt_all(&out2.complex_events)
-    );
+    assert_eq!(fmt_all(&out1.complex_events), fmt_all(&out2.complex_events));
     std::fs::remove_file(&path).ok();
 }
 
@@ -100,8 +97,7 @@ fn csv_read_rejects_malformed_lines() {
 #[test]
 fn framed_replay_equals_direct_replay() {
     let mut schema = Schema::new();
-    let events: Vec<_> =
-        NyseGenerator::new(NyseConfig::small(600, 15), &mut schema).collect();
+    let events: Vec<_> = NyseGenerator::new(NyseConfig::small(600, 15), &mut schema).collect();
     for chunk in [1usize, 7, 64, 1024] {
         let direct: Vec<_> = ReplaySource::direct(events.clone()).collect();
         let framed: Vec<_> = ReplaySource::framed(events.clone(), chunk).collect();
@@ -114,8 +110,7 @@ fn engine_output_identical_through_codec_path() {
     // End-to-end: NYSE stream → binary frames → decoder → SPECTRE, as the
     // paper's TCP client would feed it.
     let mut schema = Schema::new();
-    let events: Vec<_> =
-        NyseGenerator::new(NyseConfig::small(1200, 19), &mut schema).collect();
+    let events: Vec<_> = NyseGenerator::new(NyseConfig::small(1200, 19), &mut schema).collect();
     let query = Arc::new(queries::q1(&mut schema, 3, 150, Direction::Rising));
     let expected = run_sequential(&query, &events).complex_events;
     let framed: Vec<_> = ReplaySource::framed(events, 128).collect();

@@ -16,8 +16,7 @@ use spectre_query::queries::{self, Direction};
 #[test]
 fn q1_on_nyse_matches_sequential_for_all_k() {
     let mut schema = Schema::new();
-    let events: Vec<_> =
-        NyseGenerator::new(NyseConfig::small(3000, 7), &mut schema).collect();
+    let events: Vec<_> = NyseGenerator::new(NyseConfig::small(3000, 7), &mut schema).collect();
     let query = Arc::new(queries::q1(&mut schema, 3, 200, Direction::Rising));
     assert_sim_matches_sequential(&query, &events, &[1, 2, 4, 8]);
 }
@@ -25,8 +24,7 @@ fn q1_on_nyse_matches_sequential_for_all_k() {
 #[test]
 fn q1_falling_on_nyse_matches_sequential() {
     let mut schema = Schema::new();
-    let events: Vec<_> =
-        NyseGenerator::new(NyseConfig::small(2000, 11), &mut schema).collect();
+    let events: Vec<_> = NyseGenerator::new(NyseConfig::small(2000, 11), &mut schema).collect();
     let query = Arc::new(queries::q1(&mut schema, 4, 150, Direction::Falling));
     assert_sim_matches_sequential(&query, &events, &[1, 4]);
 }
@@ -35,8 +33,7 @@ fn q1_falling_on_nyse_matches_sequential() {
 fn q1_large_pattern_low_completion_matches_sequential() {
     // Large q / small window → most consumption groups abandon.
     let mut schema = Schema::new();
-    let events: Vec<_> =
-        NyseGenerator::new(NyseConfig::small(2500, 3), &mut schema).collect();
+    let events: Vec<_> = NyseGenerator::new(NyseConfig::small(2500, 3), &mut schema).collect();
     let query = Arc::new(queries::q1(&mut schema, 30, 100, Direction::Rising));
     assert_sim_matches_sequential(&query, &events, &[1, 8]);
 }
@@ -44,8 +41,7 @@ fn q1_large_pattern_low_completion_matches_sequential() {
 #[test]
 fn q2_on_nyse_matches_sequential_for_all_k() {
     let mut schema = Schema::new();
-    let events: Vec<_> =
-        NyseGenerator::new(NyseConfig::small(2500, 21), &mut schema).collect();
+    let events: Vec<_> = NyseGenerator::new(NyseConfig::small(2500, 21), &mut schema).collect();
     let query = Arc::new(queries::q2(&mut schema, 60.0, 140.0, 400, 80));
     assert_sim_matches_sequential(&query, &events, &[1, 2, 4, 8]);
 }
@@ -55,8 +51,7 @@ fn q2_tight_limits_matches_sequential() {
     // Narrow band → patterns almost never complete ("0 cplx" column of
     // Fig. 10(b)).
     let mut schema = Schema::new();
-    let events: Vec<_> =
-        NyseGenerator::new(NyseConfig::small(1500, 5), &mut schema).collect();
+    let events: Vec<_> = NyseGenerator::new(NyseConfig::small(1500, 5), &mut schema).collect();
     let query = Arc::new(queries::q2(&mut schema, 99.0, 101.0, 300, 50));
     assert_sim_matches_sequential(&query, &events, &[1, 4]);
 }
@@ -111,8 +106,7 @@ fn fixed_predictors_do_not_change_output() {
     // Wrong probability predictions cost throughput, never correctness
     // (paper §4.2.2).
     let mut schema = Schema::new();
-    let events: Vec<_> =
-        NyseGenerator::new(NyseConfig::small(1500, 41), &mut schema).collect();
+    let events: Vec<_> = NyseGenerator::new(NyseConfig::small(1500, 41), &mut schema).collect();
     let query = Arc::new(queries::q1(&mut schema, 3, 150, Direction::Rising));
     let expected = spectre_baselines::run_sequential(&query, &events).complex_events;
     for p in [0.0, 0.2, 0.5, 0.8, 1.0] {
@@ -129,8 +123,7 @@ fn fixed_predictors_do_not_change_output() {
 #[test]
 fn aggressive_consistency_check_frequency_is_transparent() {
     let mut schema = Schema::new();
-    let events: Vec<_> =
-        NyseGenerator::new(NyseConfig::small(1200, 43), &mut schema).collect();
+    let events: Vec<_> = NyseGenerator::new(NyseConfig::small(1200, 43), &mut schema).collect();
     let query = Arc::new(queries::q1(&mut schema, 3, 120, Direction::Rising));
     let expected = spectre_baselines::run_sequential(&query, &events).complex_events;
     for freq in [1u32, 7, 1024] {
@@ -152,8 +145,7 @@ fn aggressive_consistency_check_frequency_is_transparent() {
 fn tiny_tree_budget_is_transparent() {
     // Back-pressure on the speculative fan-out must not change the output.
     let mut schema = Schema::new();
-    let events: Vec<_> =
-        NyseGenerator::new(NyseConfig::small(1200, 47), &mut schema).collect();
+    let events: Vec<_> = NyseGenerator::new(NyseConfig::small(1200, 47), &mut schema).collect();
     let query = Arc::new(queries::q1(&mut schema, 3, 120, Direction::Rising));
     let expected = spectre_baselines::run_sequential(&query, &events).complex_events;
     for budget in [2usize, 8, 64] {
@@ -174,8 +166,7 @@ fn tiny_tree_budget_is_transparent() {
 #[test]
 fn slow_ingestion_is_transparent() {
     let mut schema = Schema::new();
-    let events: Vec<_> =
-        NyseGenerator::new(NyseConfig::small(800, 53), &mut schema).collect();
+    let events: Vec<_> = NyseGenerator::new(NyseConfig::small(800, 53), &mut schema).collect();
     let query = Arc::new(queries::q1(&mut schema, 2, 100, Direction::Rising));
     let expected = spectre_baselines::run_sequential(&query, &events).complex_events;
     for ingest in [1usize, 3, 1000] {
@@ -198,8 +189,7 @@ fn checkpointing_is_transparent() {
     // §3.3 ablation: recovering from checkpoints instead of the window
     // start must never change the output, whatever the interval.
     let mut schema = Schema::new();
-    let events: Vec<_> =
-        NyseGenerator::new(NyseConfig::small(1500, 59), &mut schema).collect();
+    let events: Vec<_> = NyseGenerator::new(NyseConfig::small(1500, 59), &mut schema).collect();
     let query = Arc::new(queries::q2(&mut schema, 60.0, 140.0, 300, 60));
     let expected = spectre_baselines::run_sequential(&query, &events).complex_events;
     for freq in [Some(8u32), Some(64), Some(1024), None] {
@@ -228,8 +218,7 @@ fn empty_stream_produces_empty_output() {
 #[test]
 fn single_event_stream_terminates() {
     let mut schema = Schema::new();
-    let events: Vec<_> =
-        NyseGenerator::new(NyseConfig::small(1, 1), &mut schema).collect();
+    let events: Vec<_> = NyseGenerator::new(NyseConfig::small(1, 1), &mut schema).collect();
     let query = Arc::new(queries::q1(&mut schema, 2, 100, Direction::Rising));
     assert_sim_matches_sequential(&query, &events, &[1, 4]);
 }

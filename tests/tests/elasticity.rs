@@ -12,7 +12,11 @@ use spectre_datasets::{NyseConfig, NyseGenerator};
 use spectre_events::Schema;
 use spectre_query::queries::{self, Direction};
 
-fn throughput(query: &Arc<spectre_query::Query>, events: &[spectre_events::Event], k: usize) -> f64 {
+fn throughput(
+    query: &Arc<spectre_query::Query>,
+    events: &[spectre_events::Event],
+    k: usize,
+) -> f64 {
     let report = run_simulated(query, events.to_vec(), &SpectreConfig::with_instances(k));
     if report.rounds == 0 {
         0.0
@@ -24,8 +28,7 @@ fn throughput(query: &Arc<spectre_query::Query>, events: &[spectre_events::Event
 #[test]
 fn recommendation_is_near_best_fixed_k() {
     let mut schema = Schema::new();
-    let events: Vec<_> =
-        NyseGenerator::new(NyseConfig::small(4000, 71), &mut schema).collect();
+    let events: Vec<_> = NyseGenerator::new(NyseConfig::small(4000, 71), &mut schema).collect();
     let config = ElasticConfig {
         max_instances: 16,
         ..Default::default()
@@ -54,8 +57,7 @@ fn efficiency_model_matches_simulated_shape() {
     // stops helping; verify the measured curve flattens no later than ~2x
     // the predicted knee.
     let mut schema = Schema::new();
-    let events: Vec<_> =
-        NyseGenerator::new(NyseConfig::small(4000, 73), &mut schema).collect();
+    let events: Vec<_> = NyseGenerator::new(NyseConfig::small(4000, 73), &mut schema).collect();
     let query = Arc::new(queries::q1(&mut schema, 60, 200, Direction::Rising));
     let gt = run_sequential(&query, &events).completion_probability();
     // Mid-range probability → limited useful parallelism.
@@ -81,6 +83,9 @@ fn controller_recommends_fewer_instances_in_uncertain_regimes() {
     };
     let certain = recommend_for(&config, 0.98);
     let uncertain = recommend_for(&config, 0.5);
-    assert!(certain >= 16, "near-certain completion scales out, got {certain}");
+    assert!(
+        certain >= 16,
+        "near-certain completion scales out, got {certain}"
+    );
     assert!(uncertain <= 8, "coin-flip completion caps, got {uncertain}");
 }

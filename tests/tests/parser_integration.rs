@@ -13,9 +13,8 @@ use spectre_query::{parse_query, queries, ConsumptionPolicy};
 
 fn q1_text(q: usize, ws: u64) -> String {
     let mut pattern = String::from("MLE");
-    let mut defines = String::from(
-        "MLE AS (MLE.closePrice > MLE.openPrice AND MLE.leading == TRUE)",
-    );
+    let mut defines =
+        String::from("MLE AS (MLE.closePrice > MLE.openPrice AND MLE.leading == TRUE)");
     let mut consume = String::from("MLE");
     for i in 1..=q {
         pattern.push_str(&format!(" RE{i}"));
@@ -32,8 +31,7 @@ fn q1_text(q: usize, ws: u64) -> String {
 #[test]
 fn parsed_q1_behaves_like_builder_q1() {
     let mut schema = Schema::new();
-    let events: Vec<_> =
-        NyseGenerator::new(NyseConfig::small(2000, 83), &mut schema).collect();
+    let events: Vec<_> = NyseGenerator::new(NyseConfig::small(2000, 83), &mut schema).collect();
     let built = Arc::new(queries::q1(&mut schema, 3, 200, Default::default()));
     let parsed = Arc::new(parse_query(&q1_text(3, 200), &mut schema).unwrap());
 
@@ -52,8 +50,7 @@ fn parsed_q1_behaves_like_builder_q1() {
 #[test]
 fn parsed_q2_behaves_like_builder_q2() {
     let mut schema = Schema::new();
-    let events: Vec<_> =
-        NyseGenerator::new(NyseConfig::small(1500, 89), &mut schema).collect();
+    let events: Vec<_> = NyseGenerator::new(NyseConfig::small(1500, 89), &mut schema).collect();
     let built = Arc::new(queries::q2(&mut schema, 60.0, 140.0, 300, 60));
     let text = "
 PATTERN (A B+ C D+ E F+ G H+ I J+ K L+ M)
@@ -82,12 +79,10 @@ CONSUME ALL";
 #[test]
 fn parsed_query_runs_under_speculation() {
     let mut schema = Schema::new();
-    let events: Vec<_> =
-        NyseGenerator::new(NyseConfig::small(1500, 97), &mut schema).collect();
+    let events: Vec<_> = NyseGenerator::new(NyseConfig::small(1500, 97), &mut schema).collect();
     let parsed = Arc::new(parse_query(&q1_text(3, 150), &mut schema).unwrap());
     let expected = run_sequential(&parsed, &events).complex_events;
-    let report =
-        run_simulated(&parsed, events, &SpectreConfig::with_instances(4));
+    let report = run_simulated(&parsed, events, &SpectreConfig::with_instances(4));
     assert_eq!(fmt_all(&report.complex_events), fmt_all(&expected));
 }
 
@@ -97,7 +92,6 @@ fn parse_errors_carry_positions() {
     let err = parse_query("PATTERN (A", &mut schema).unwrap_err();
     assert!(err.pos <= "PATTERN (A".len());
     assert!(!err.msg.is_empty());
-    let err2 =
-        parse_query("PATTERN (A) WITHIN x EVENTS FROM A", &mut schema).unwrap_err();
+    let err2 = parse_query("PATTERN (A) WITHIN x EVENTS FROM A", &mut schema).unwrap_err();
     assert!(!err2.msg.is_empty());
 }

@@ -19,10 +19,7 @@ fn stochastic(rows: Vec<Vec<f64>>) -> Matrix {
 }
 
 fn rows_strategy(n: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
-    proptest::collection::vec(
-        proptest::collection::vec(0.0f64..10.0, n..=n),
-        n..=n,
-    )
+    proptest::collection::vec(proptest::collection::vec(0.0f64..10.0, n..=n), n..=n)
 }
 
 proptest! {
@@ -123,7 +120,13 @@ proptest! {
 fn model_learns_the_two_extremes() {
     // Always-advancing patterns → probability near 1 with enough horizon;
     // never-advancing patterns → probability near 0.
-    let mut always = MarkovModel::new(3, MarkovConfig { rho: 4, ..Default::default() });
+    let mut always = MarkovModel::new(
+        3,
+        MarkovConfig {
+            rho: 4,
+            ..Default::default()
+        },
+    );
     for _ in 0..64 {
         always.observe(3, 2);
         always.observe(2, 1);
@@ -135,7 +138,13 @@ fn model_learns_the_two_extremes() {
     // The uninformative prior decays geometrically with each smoothing
     // refresh (the splitter refreshes every maintenance cycle), so feed the
     // observations in rounds.
-    let mut never = MarkovModel::new(3, MarkovConfig { rho: 4, ..Default::default() });
+    let mut never = MarkovModel::new(
+        3,
+        MarkovConfig {
+            rho: 4,
+            ..Default::default()
+        },
+    );
     for _ in 0..16 {
         for _ in 0..4 {
             never.observe(3, 3);

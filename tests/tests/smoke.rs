@@ -1,0 +1,30 @@
+//! Deterministic end-to-end smoke test: the speculative simulation runtime
+//! must reproduce the sequential reference output exactly on a small seeded
+//! NYSE stream, for several instance counts. This is the fastest full pass
+//! through ingestion → windowing → matching → speculation → output, and the
+//! first test to look at when the engine regresses wholesale.
+
+use std::sync::Arc;
+
+use spectre_baselines::run_sequential;
+use spectre_datasets::{NyseConfig, NyseGenerator};
+use spectre_events::Schema;
+use spectre_integration::assert_sim_matches_sequential;
+use spectre_query::queries::{self, Direction};
+
+#[test]
+fn sim_matches_sequential_on_small_nyse() {
+    let mut schema = Schema::new();
+    let events: Vec<_> = NyseGenerator::new(NyseConfig::small(2_000, 42), &mut schema).collect();
+    let query = Arc::new(queries::q1(&mut schema, 4, 120, Direction::Rising));
+
+    // The reference output must be non-trivial, otherwise the equality
+    // below would pass vacuously on an engine that drops everything.
+    let expected = run_sequential(&query, &events).complex_events;
+    assert!(
+        !expected.is_empty(),
+        "seeded NYSE stream should produce complex events"
+    );
+
+    assert_sim_matches_sequential(&query, &events, &[1, 2, 4, 8]);
+}

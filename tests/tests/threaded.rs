@@ -15,14 +15,16 @@ use spectre_query::queries::{self, Direction};
 #[test]
 fn threaded_q1_matches_sequential() {
     let mut schema = Schema::new();
-    let events: Vec<_> =
-        NyseGenerator::new(NyseConfig::small(1000, 61), &mut schema).collect();
+    let events: Vec<_> = NyseGenerator::new(NyseConfig::small(1000, 61), &mut schema).collect();
     let query = Arc::new(queries::q1(&mut schema, 3, 150, Direction::Rising));
     let expected = run_sequential(&query, &events).complex_events;
     for k in [1usize, 2, 3] {
-        let report =
-            run_threaded(&query, events.clone(), &SpectreConfig::with_instances(k));
-        assert_same_output(&format!("threaded q1 k={k}"), &report.complex_events, &expected);
+        let report = run_threaded(&query, events.clone(), &SpectreConfig::with_instances(k));
+        assert_same_output(
+            &format!("threaded q1 k={k}"),
+            &report.complex_events,
+            &expected,
+        );
         assert_eq!(report.input_events, 1000);
     }
 }
@@ -33,7 +35,13 @@ fn threaded_q3_matches_sequential() {
     let gen = RandGenerator::new(RandConfig::small(800, 67), &mut schema);
     let symbols = gen.symbols().to_vec();
     let events: Vec<_> = gen.collect();
-    let query = Arc::new(queries::q3(&mut schema, symbols[0], &symbols[1..4], 200, 40));
+    let query = Arc::new(queries::q3(
+        &mut schema,
+        symbols[0],
+        &symbols[1..4],
+        200,
+        40,
+    ));
     let expected = run_sequential(&query, &events).complex_events;
     let report = run_threaded(&query, events, &SpectreConfig::with_instances(2));
     assert_same_output("threaded q3", &report.complex_events, &expected);
@@ -43,13 +51,11 @@ fn threaded_q3_matches_sequential() {
 fn threaded_repeated_runs_are_deterministic_in_output() {
     // Thread schedules differ between runs; outputs must not.
     let mut schema = Schema::new();
-    let events: Vec<_> =
-        NyseGenerator::new(NyseConfig::small(700, 71), &mut schema).collect();
+    let events: Vec<_> = NyseGenerator::new(NyseConfig::small(700, 71), &mut schema).collect();
     let query = Arc::new(queries::q2(&mut schema, 60.0, 140.0, 200, 40));
     let expected = run_sequential(&query, &events).complex_events;
     for run in 0..3 {
-        let report =
-            run_threaded(&query, events.clone(), &SpectreConfig::with_instances(2));
+        let report = run_threaded(&query, events.clone(), &SpectreConfig::with_instances(2));
         eprintln!("run {run}: metrics = {:?}", report.metrics);
         assert_same_output(&format!("run {run}"), &report.complex_events, &expected);
     }
@@ -58,12 +64,14 @@ fn threaded_repeated_runs_are_deterministic_in_output() {
 #[test]
 fn threaded_reports_plausible_metrics() {
     let mut schema = Schema::new();
-    let events: Vec<_> =
-        NyseGenerator::new(NyseConfig::small(500, 73), &mut schema).collect();
+    let events: Vec<_> = NyseGenerator::new(NyseConfig::small(500, 73), &mut schema).collect();
     let query = Arc::new(queries::q1(&mut schema, 2, 100, Direction::Rising));
     let report = run_threaded(&query, events, &SpectreConfig::with_instances(2));
     let m = &report.metrics;
-    assert!(m.events_processed >= 500, "each event processed at least once");
+    assert!(
+        m.events_processed >= 500,
+        "each event processed at least once"
+    );
     assert!(m.windows_retired > 0);
     assert!(m.sched_cycles > 0);
     assert!(report.throughput() > 0.0);
