@@ -1,17 +1,19 @@
 //! Criterion end-to-end benchmarks: the four engines over the same small
 //! NYSE workload (Q1), plus the SPECTRE simulator at several instance
-//! counts. These are the regression-guard companions to the figure
+//! counts, plus the threaded runtime on a paper-scale stream comparing the
+//! batched/sharded data path against the unbatched single-shard
+//! configuration. These are the regression-guard companions to the figure
 //! binaries in `src/bin/`.
 
 use std::sync::Arc;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use spectre_baselines::{run_sequential, run_waitful, TrexEngine};
-use spectre_core::{run_simulated, SpectreConfig};
+use spectre_core::{run_simulated, run_threaded, SpectreConfig};
 use spectre_datasets::{NyseConfig, NyseGenerator};
 use spectre_events::{Event, Schema};
 use spectre_query::queries::{self, Direction};
-use spectre_query::Query;
+use spectre_query::{ConsumptionPolicy, Query};
 
 fn fixture() -> (Arc<Query>, Vec<Event>) {
     let mut schema = Schema::new();
@@ -54,5 +56,61 @@ fn bench_engines(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(end_to_end, bench_engines);
+/// Paper-scale (default 1 M events, `SPECTRE_BENCH_EVENTS` to override)
+/// data-path-bound fixture: Q1's pattern and window without consumption,
+/// so no speculation machinery runs and the splitter→store→instance
+/// hand-off itself is what the numbers measure.
+fn threaded_fixture() -> (Arc<Query>, Vec<Event>) {
+    let mut schema = Schema::new();
+    let config = NyseConfig {
+        symbols: 300,
+        leaders: 16,
+        events: spectre_bench::threaded_bench_events(),
+        seed: 42,
+        ..NyseConfig::default()
+    };
+    let events: Vec<_> = NyseGenerator::new(config, &mut schema).collect();
+    let base = queries::q1(&mut schema, 3, 200, Direction::Rising);
+    let query = Arc::new(
+        Query::builder("Q1-NC")
+            .pattern_arc(Arc::clone(base.pattern()))
+            .window(base.window().clone())
+            .selection(base.selection())
+            .consumption(ConsumptionPolicy::None)
+            .build()
+            .expect("valid fixture query"),
+    );
+    (query, events)
+}
+
+fn bench_threaded(c: &mut Criterion) {
+    let (query, events) = threaded_fixture();
+    let mut group = c.benchmark_group(format!("threaded_e2e_{}k_events", events.len() / 1000));
+    group.sample_size(3);
+    // The original event-at-a-time, single-lock hand-off …
+    group.bench_function("unbatched_1shard_k2", |b| {
+        b.iter(|| {
+            let config = SpectreConfig::with_batching(2, 1, 1);
+            black_box(
+                run_threaded(&query, events.clone(), &config)
+                    .complex_events
+                    .len(),
+            )
+        })
+    });
+    // … versus the default batched hand-off + sharded window store.
+    group.bench_function("batched64_8shards_k2", |b| {
+        b.iter(|| {
+            let config = SpectreConfig::with_batching(2, 64, 8);
+            black_box(
+                run_threaded(&query, events.clone(), &config)
+                    .complex_events
+                    .len(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(end_to_end, bench_engines, bench_threaded);
 criterion_main!(end_to_end);

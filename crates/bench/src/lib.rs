@@ -8,8 +8,9 @@
 //!
 //! Scale knobs (environment variables):
 //!
-//! * `SPECTRE_BENCH_EVENTS` — input stream length (default 40 000; the paper
-//!   streams 24 M NYSE quotes),
+//! * `SPECTRE_BENCH_EVENTS` — input stream length (default 100 000 for the
+//!   simulator-driven figure binaries, 1 000 000 for the threaded
+//!   end-to-end bench; the paper streams 24 M NYSE quotes),
 //! * `SPECTRE_BENCH_REPEATS` — repetitions per configuration (default 3;
 //!   paper: 10),
 //! * `SPECTRE_BENCH_KS` — comma-separated operator-instance counts
@@ -28,12 +29,24 @@ use spectre_query::Query;
 /// their ratios.
 pub const PER_INSTANCE_EVENT_RATE: f64 = 10_800.0;
 
-/// Reads the benchmark stream length.
-pub fn bench_events() -> usize {
+fn events_from_env(default: usize) -> usize {
     std::env::var("SPECTRE_BENCH_EVENTS")
         .ok()
         .and_then(|v| v.parse().ok())
-        .unwrap_or(40_000)
+        .unwrap_or(default)
+}
+
+/// Reads the benchmark stream length for the simulator-driven figure
+/// binaries.
+pub fn bench_events() -> usize {
+    events_from_env(100_000)
+}
+
+/// Reads the stream length for the threaded end-to-end bench (same
+/// environment variable, paper-scale default: the data-path-bound fixture
+/// sustains it in seconds).
+pub fn threaded_bench_events() -> usize {
+    events_from_env(1_000_000)
 }
 
 /// Reads the per-configuration repetition count.
@@ -94,13 +107,24 @@ pub fn rand_stream(events: usize, seed: u64) -> (Schema, Vec<Event>, Vec<SymbolI
 /// Runs SPECTRE in the virtual-time simulator and reports throughput in
 /// events/second (calibrated by [`PER_INSTANCE_EVENT_RATE`]).
 pub fn sim_throughput(query: &Arc<Query>, events: &[Event], config: &SpectreConfig) -> f64 {
-    let report = run_simulated(query, events.to_vec(), config);
-    report.throughput(PER_INSTANCE_EVENT_RATE)
+    sim_report(query, events, config).throughput(PER_INSTANCE_EVENT_RATE)
 }
 
 /// Runs SPECTRE in the simulator and returns the full report.
+///
+/// The virtual-time calibration defines a round as *one event per
+/// instance* ([`SimReport::throughput`]), so the figure harness pins
+/// `batch_size` to 1 regardless of the passed configuration — a batched
+/// round would process up to `batch_size` events and inflate the
+/// calibrated events/s by that factor. The batched data path is a
+/// real-thread optimization; its win is measured by the threaded
+/// `end_to_end` bench.
 pub fn sim_report(query: &Arc<Query>, events: &[Event], config: &SpectreConfig) -> SimReport {
-    run_simulated(query, events.to_vec(), config)
+    let config = SpectreConfig {
+        batch_size: 1,
+        ..config.clone()
+    };
+    run_simulated(query, events.to_vec(), &config)
 }
 
 /// The paper's candlestick summary: 0th, 25th, 50th, 75th and 100th

@@ -33,9 +33,27 @@ pub struct SpectreConfig {
     pub sched_period: u32,
     /// Maximum events the splitter ingests per maintenance cycle.
     pub ingest_per_cycle: usize,
+    /// Size of one [`EventBatch`](crate::splitter::EventBatch): how many
+    /// events the splitter accumulates before flushing them to the window
+    /// store in one write per touched window, and how many events an
+    /// operator instance fetches and processes per scheduling step. Larger
+    /// batches amortize lock and queue traffic on the hot path; smaller
+    /// batches tighten scheduling granularity. `1` reproduces the original
+    /// event-at-a-time hand-off exactly. Output is identical for every
+    /// batch size (see `tests/tests/smoke.rs`).
+    pub batch_size: usize,
+    /// Number of shards in the [`WindowStore`](crate::store::WindowStore).
+    /// Windows are mapped to shards by window-id hash, so instances working
+    /// on different windows take different locks instead of serializing on
+    /// one. `1` degenerates to the original single-lock store. Output is
+    /// identical for every shard count.
+    pub store_shards: usize,
     /// Soft cap on live window versions: ingestion stalls (once the root
     /// window is fully ingested) while the tree is larger, bounding
-    /// speculative fan-out.
+    /// speculative fan-out. Creating a consumption group copies the
+    /// creator's dependent subtree, so the per-group cost grows with the
+    /// tree; a bounded tree keeps throughput stable on long streams
+    /// (million-event workloads degrade severely above ~1k versions).
     pub max_tree_versions: usize,
     /// Checkpoint interval in events, or `None` to roll back to the window
     /// start (the paper's final design: "the overhead in periodically
@@ -54,7 +72,9 @@ impl Default for SpectreConfig {
             consistency_check_freq: 64,
             sched_period: 1,
             ingest_per_cycle: 64,
-            max_tree_versions: 8192,
+            batch_size: 64,
+            store_shards: 8,
+            max_tree_versions: 512,
             checkpoint_freq: None,
         }
     }
@@ -65,6 +85,30 @@ impl SpectreConfig {
     pub fn with_instances(instances: usize) -> Self {
         SpectreConfig {
             instances,
+            ..Default::default()
+        }
+    }
+
+    /// Convenience constructor for the batching/sharding sweep: `k`
+    /// instances, the given hand-off batch size and window-store shard
+    /// count, defaults otherwise.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use spectre_core::SpectreConfig;
+    ///
+    /// let unbatched = SpectreConfig::with_batching(4, 1, 1);
+    /// let batched = SpectreConfig::with_batching(4, 1024, 8);
+    /// assert_eq!(unbatched.instances, batched.instances);
+    /// assert_eq!(batched.batch_size, 1024);
+    /// assert_eq!(batched.store_shards, 8);
+    /// ```
+    pub fn with_batching(instances: usize, batch_size: usize, store_shards: usize) -> Self {
+        SpectreConfig {
+            instances,
+            batch_size,
+            store_shards,
             ..Default::default()
         }
     }
@@ -83,6 +127,8 @@ impl SpectreConfig {
         );
         assert!(self.sched_period > 0, "scheduling period must be positive");
         assert!(self.ingest_per_cycle > 0, "ingest batch must be positive");
+        assert!(self.batch_size > 0, "hand-off batch size must be positive");
+        assert!(self.store_shards > 0, "store shard count must be positive");
         assert!(
             self.checkpoint_freq != Some(0),
             "checkpoint interval must be positive"
@@ -101,6 +147,19 @@ mod tests {
     fn defaults_validate() {
         SpectreConfig::default().validate();
         SpectreConfig::with_instances(32).validate();
+        SpectreConfig::with_batching(4, 1024, 16).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "hand-off batch size must be positive")]
+    fn zero_batch_rejected() {
+        SpectreConfig::with_batching(1, 0, 1).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "store shard count must be positive")]
+    fn zero_shards_rejected() {
+        SpectreConfig::with_batching(1, 1, 0).validate();
     }
 
     #[test]

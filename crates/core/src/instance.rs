@@ -1,19 +1,31 @@
 //! Operator-instance event processing (paper Fig. 8).
 //!
-//! Each instance repeatedly: checks its scheduling slot, fetches the next
-//! event of its current window version, suppresses it if a
-//! assumed-completed consumption group contains it, otherwise feeds it to
-//! the version's pattern detector and translates the feedback into
-//! consumption-group updates and buffered dependency-tree operations.
-//! Periodic consistency checks detect late consumption-group updates and
-//! roll the version back to the window start.
+//! Each instance repeatedly: checks its scheduling slot, fetches a *run* of
+//! its current window version's next events from the sharded window store
+//! (up to [`SpectreConfig::batch_size`](crate::SpectreConfig::batch_size)
+//! under one shard-lock acquisition), and processes the run while holding
+//! the version lock once: each event is suppressed if an assumed-completed
+//! consumption group contains it, otherwise fed to the version's pattern
+//! detector, with the feedback translated into consumption-group updates
+//! and dependency-tree operations. The tree operations are buffered locally
+//! and flushed to the shared queue in one `push_many` per step. Periodic
+//! consistency checks (still per event) detect late consumption-group
+//! updates and roll the version back.
+//!
+//! Scheduling granularity is the step: a slot change or version drop takes
+//! effect at the next step (drops are additionally honoured between the
+//! events of a run), so a larger batch size trades scheduling latency for
+//! amortized lock and queue traffic. The output is identical for every
+//! batch size.
 
 use std::sync::Arc;
 
+use spectre_events::Event;
 use spectre_query::{DetectorAction, MatchId, SelectionPolicy};
 
 use crate::cg::CgCell;
 use crate::shared::{SharedState, StatsBatch, TreeOp};
+use crate::store::EventRun;
 use crate::version::{VersionInner, VersionState};
 
 /// Outcome of one instance step (used by the drivers for accounting and
@@ -38,22 +50,33 @@ pub struct InstanceCore {
     index: usize,
     check_freq: u32,
     checkpoint_freq: Option<u32>,
+    batch: usize,
     current: Option<Arc<VersionState>>,
     actions: Vec<DetectorAction>,
     stats: Vec<(u32, u32)>,
+    ops_buf: Vec<TreeOp>,
+    fetch: Vec<EventRun>,
+    run_processed: u64,
+    run_suppressed: u64,
 }
 
 impl InstanceCore {
-    /// Creates the instance for scheduling slot `index`.
+    /// Creates the instance for scheduling slot `index`, processing one
+    /// event per step (see [`with_batch`](Self::with_batch)).
     pub fn new(index: usize, check_freq: u32) -> Self {
         assert!(check_freq > 0, "check frequency must be positive");
         InstanceCore {
             index,
             check_freq,
             checkpoint_freq: None,
+            batch: 1,
             current: None,
             actions: Vec::new(),
             stats: Vec::new(),
+            ops_buf: Vec::new(),
+            fetch: Vec::new(),
+            run_processed: 0,
+            run_suppressed: 0,
         }
     }
 
@@ -69,14 +92,55 @@ impl InstanceCore {
         self
     }
 
+    /// Sets the maximum events processed per [`step`](Self::step) (the
+    /// consume side of the batched hand-off,
+    /// [`SpectreConfig::batch_size`](crate::SpectreConfig::batch_size)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        assert!(batch > 0, "batch size must be positive");
+        self.batch = batch;
+        self
+    }
+
     /// The instance's slot index.
     pub fn index(&self) -> usize {
         self.index
     }
 
-    /// Performs one processing step (one event of the scheduled window
-    /// version), per paper Fig. 8.
+    /// Performs one processing step — up to [`with_batch`](Self::with_batch)
+    /// events of the scheduled window version, fetched as one run and
+    /// processed under one version-lock acquisition — per paper Fig. 8.
     pub fn step(&mut self, shared: &SharedState) -> StepOutcome {
+        let outcome = self.step_inner(shared);
+        self.flush_ops(shared);
+        self.flush_run_counters(shared);
+        outcome
+    }
+
+    /// Publishes the run's event counters with one atomic update each
+    /// (amortizing per-event metric traffic over the batch).
+    fn flush_run_counters(&mut self, shared: &SharedState) {
+        use std::sync::atomic::Ordering;
+        if self.run_processed > 0 {
+            shared
+                .metrics
+                .events_processed
+                .fetch_add(self.run_processed, Ordering::Relaxed);
+            self.run_processed = 0;
+        }
+        if self.run_suppressed > 0 {
+            shared
+                .metrics
+                .events_suppressed
+                .fetch_add(self.run_suppressed, Ordering::Relaxed);
+            self.run_suppressed = 0;
+        }
+    }
+
+    fn step_inner(&mut self, shared: &SharedState) -> StepOutcome {
         use std::sync::atomic::Ordering;
 
         // Pick up a scheduling change (Fig. 8 lines 7–9).
@@ -100,36 +164,84 @@ impl InstanceCore {
             return StepOutcome::Idle;
         }
 
+        let window = Arc::clone(wv.window());
         let mut inner = wv.lock();
-        let pos = wv.window().start_pos + inner.pos;
 
-        // Window end?
-        if let Some(end) = wv.window().end_pos() {
-            if pos >= end {
+        // Window end already reached?
+        if let Some(end) = window.end_pos() {
+            if window.start_pos + inner.pos >= end {
                 self.finish(&wv, &mut inner, shared);
                 return StepOutcome::Finished;
             }
         }
-        if pos >= shared.ingested.load(Ordering::Acquire) {
+
+        // Fetch the next run under one store shard-lock acquisition. The
+        // per-window buffer only ever holds the window's own events, so the
+        // run can never overshoot the window end.
+        self.fetch.clear();
+        let n = shared
+            .store
+            .read_run(window.id, inner.pos, self.batch, &mut self.fetch);
+        if n == 0 {
+            // Not yet ingested (or the window is racing retirement, which a
+            // later step resolves via the dropped flag): stall.
             shared.metrics.stalled_steps.fetch_add(1, Ordering::Relaxed);
             return StepOutcome::Stalled;
         }
-        let Some(ev) = shared.store.get(pos) else {
-            // Pruned or racing: treat as stall; the splitter keeps live
-            // windows' events resident.
-            shared.metrics.stalled_steps.fetch_add(1, Ordering::Relaxed);
-            return StepOutcome::Stalled;
-        };
+        let runs = std::mem::take(&mut self.fetch);
+        let mut inconsistent = false;
+        'runs: for run in &runs {
+            for ev in run.events() {
+                // A drop mid-run aborts the rest: the splitter discarded
+                // this version, further work on it would be wasted.
+                if wv.is_dropped() {
+                    break 'runs;
+                }
+                if !self.process_event(&wv, &mut inner, shared, ev) {
+                    inconsistent = true;
+                    break 'runs;
+                }
+            }
+        }
+        // Reclaim the vec's allocation but drop the runs now: holding them
+        // across steps would pin their batches (and every event in them)
+        // while the instance sits idle or unscheduled.
+        self.fetch = runs;
+        self.fetch.clear();
+        if inconsistent {
+            drop(inner);
+            self.rollback(&wv, shared);
+            return StepOutcome::RolledBack;
+        }
+
+        // Finish immediately when the run consumed the window's last event.
+        if let Some(end) = window.end_pos() {
+            if window.start_pos + inner.pos >= end {
+                self.finish(&wv, &mut inner, shared);
+                return StepOutcome::Finished;
+            }
+        }
+        StepOutcome::Worked
+    }
+
+    /// Processes one event of `wv` (suppression, detection, consumption
+    /// groups, statistics, consistency check, checkpointing). Returns
+    /// `false` when a consistency violation demands a rollback.
+    fn process_event(
+        &mut self,
+        wv: &Arc<VersionState>,
+        inner: &mut VersionInner,
+        shared: &SharedState,
+        ev: &Event,
+    ) -> bool {
+        use std::sync::atomic::Ordering;
         inner.pos += 1;
 
         // Suppression (Fig. 8 line 13).
         let suppressed = wv.suppressed().iter().any(|cg| cg.contains(ev.seq()));
         if suppressed {
             inner.detector.on_suppressed();
-            shared
-                .metrics
-                .events_suppressed
-                .fetch_add(1, Ordering::Relaxed);
+            self.run_suppressed += 1;
         } else {
             let prev_delta = inner.open_cgs.first().map(|(_, cg)| cg.delta());
             let max_delta = wv.query().pattern().max_delta();
@@ -141,7 +253,7 @@ impl InstanceCore {
             inner.used.push(ev.seq());
             self.actions.clear();
             let mut actions = std::mem::take(&mut self.actions);
-            inner.detector.on_event(&ev, &mut actions);
+            inner.detector.on_event(ev, &mut actions);
             let consuming = !wv.query().consumption().is_none();
             let mut abandoned_any = false;
             let mut started_any = false;
@@ -150,7 +262,7 @@ impl InstanceCore {
                     DetectorAction::MatchStarted { match_id } => {
                         started_any = true;
                         if consuming {
-                            self.create_cg(&wv, &mut inner, shared, match_id, max_delta);
+                            self.create_cg(wv, inner, shared, match_id, max_delta);
                         }
                     }
                     DetectorAction::EventAdded {
@@ -166,7 +278,7 @@ impl InstanceCore {
                         // next event opens a new consumption group.
                         if let Some(i) = inner.needs_new_cg.iter().position(|m| *m == match_id) {
                             inner.needs_new_cg.swap_remove(i);
-                            self.create_cg(&wv, &mut inner, shared, match_id, delta);
+                            self.create_cg(wv, inner, shared, match_id, delta);
                         }
                         if let Some((_, cg)) = inner.open_cgs.iter().find(|(m, _)| *m == match_id) {
                             if consumable {
@@ -186,7 +298,7 @@ impl InstanceCore {
                         if let Some(i) = inner.open_cgs.iter().position(|(m, _)| *m == match_id) {
                             let (_, cg) = inner.open_cgs.swap_remove(i);
                             cg.complete();
-                            shared.ops.push(TreeOp::CgResolved {
+                            self.ops_buf.push(TreeOp::CgResolved {
                                 cg: cg.id(),
                                 completed: true,
                             });
@@ -208,7 +320,7 @@ impl InstanceCore {
                         if let Some(i) = inner.open_cgs.iter().position(|(m, _)| *m == match_id) {
                             let (_, cg) = inner.open_cgs.swap_remove(i);
                             cg.abandon();
-                            shared.ops.push(TreeOp::CgResolved {
+                            self.ops_buf.push(TreeOp::CgResolved {
                                 cg: cg.id(),
                                 completed: false,
                             });
@@ -234,20 +346,15 @@ impl InstanceCore {
                     _ => {}
                 }
             }
-            shared
-                .metrics
-                .events_processed
-                .fetch_add(1, Ordering::Relaxed);
+            self.run_processed += 1;
         }
 
         // Periodic consistency check (Fig. 8 lines 31–45).
         inner.steps_since_check += 1;
         if inner.steps_since_check >= self.check_freq {
             inner.steps_since_check = 0;
-            if !consistency_check(&wv, &mut inner) {
-                drop(inner);
-                self.rollback(&wv, shared);
-                return StepOutcome::RolledBack;
+            if !consistency_check(wv, inner) {
+                return false;
             }
         }
 
@@ -274,7 +381,7 @@ impl InstanceCore {
                     .fetch_add(1, Ordering::Relaxed);
             }
         }
-        StepOutcome::Worked
+        true
     }
 
     fn create_cg(
@@ -292,7 +399,7 @@ impl InstanceCore {
             initial_delta,
         ));
         inner.open_cgs.push((match_id, Arc::clone(&cell)));
-        shared.ops.push(TreeOp::CgCreated {
+        self.ops_buf.push(TreeOp::CgCreated {
             creator: wv.id(),
             cell,
         });
@@ -316,6 +423,16 @@ impl InstanceCore {
         }
     }
 
+    /// Flushes buffered dependency-tree operations to the shared queue in
+    /// one lock acquisition, preserving their order ([`step`](Self::step)
+    /// does this automatically on every return path; the FIFO op order per
+    /// instance is what retirement acks rely on).
+    pub fn flush_ops(&mut self, shared: &SharedState) {
+        if !self.ops_buf.is_empty() {
+            shared.ops.push_many(self.ops_buf.drain(..));
+        }
+    }
+
     fn finish(&mut self, wv: &Arc<VersionState>, inner: &mut VersionInner, shared: &SharedState) {
         use std::sync::atomic::Ordering;
         self.actions.clear();
@@ -326,7 +443,7 @@ impl InstanceCore {
                 if let Some(i) = inner.open_cgs.iter().position(|(m, _)| *m == match_id) {
                     let (_, cg) = inner.open_cgs.swap_remove(i);
                     cg.abandon();
-                    shared.ops.push(TreeOp::CgResolved {
+                    self.ops_buf.push(TreeOp::CgResolved {
                         cg: cg.id(),
                         completed: false,
                     });
@@ -338,27 +455,31 @@ impl InstanceCore {
         // Defensive: no group may stay open past its window (paper §3.1).
         for (_, cg) in inner.open_cgs.drain(..) {
             cg.abandon();
-            shared.ops.push(TreeOp::CgResolved {
+            self.ops_buf.push(TreeOp::CgResolved {
                 cg: cg.id(),
                 completed: false,
             });
         }
         inner.needs_new_cg.clear();
         wv.mark_finished();
-        shared.ops.push(TreeOp::WvFinished { wv: wv.id() });
+        self.ops_buf.push(TreeOp::WvFinished { wv: wv.id() });
         self.flush_stats(shared);
     }
 
     fn rollback(&mut self, wv: &Arc<VersionState>, shared: &SharedState) {
         use std::sync::atomic::Ordering;
         shared.metrics.rollbacks.fetch_add(1, Ordering::Relaxed);
-        if wv.rollback_state() {
+        let outcome = wv.rollback_state();
+        if outcome.restored_checkpoint {
             shared
                 .metrics
                 .checkpoint_restores
                 .fetch_add(1, Ordering::Relaxed);
         }
-        shared.ops.push(TreeOp::WvRolledBack { wv: wv.id() });
+        self.ops_buf.push(TreeOp::WvRolledBack {
+            wv: wv.id(),
+            revoked: outcome.revoked,
+        });
     }
 }
 
@@ -419,9 +540,13 @@ mod tests {
         suppressed: Vec<Arc<CgCell>>,
     ) -> (Arc<SharedState>, Arc<VersionState>, InstanceCore) {
         let shared = SharedState::new(1);
+        let mut batch = crate::splitter::EventBatch::with_capacity(0, events.len());
         for e in events {
-            shared.store.append(e.clone());
+            batch.push(e.clone());
         }
+        let n = batch.len();
+        shared.store.open_window(0, 0);
+        shared.store.extend(0, &Arc::new(batch), 0..n);
         shared
             .ingested
             .store(events.len() as u64, std::sync::atomic::Ordering::Release);
@@ -437,9 +562,10 @@ mod tests {
     fn processes_window_and_buffers_outputs() {
         let events = [ev(0, 1.0), ev(1, 9.0), ev(2, 2.0), ev(3, 9.0)];
         let (shared, wv, mut inst) = setup(ConsumptionPolicy::All, &events, vec![]);
-        for _ in 0..4 {
+        for _ in 0..3 {
             assert_eq!(inst.step(&shared), StepOutcome::Worked);
         }
+        // The step that consumes the window's last event finishes it.
         assert_eq!(inst.step(&shared), StepOutcome::Finished);
         assert!(wv.is_finished());
         let inner = wv.lock();
@@ -456,7 +582,6 @@ mod tests {
     fn finished_version_goes_idle() {
         let events = [ev(0, 9.0)];
         let (shared, _wv, mut inst) = setup(ConsumptionPolicy::All, &events, vec![]);
-        assert_eq!(inst.step(&shared), StepOutcome::Worked);
         assert_eq!(inst.step(&shared), StepOutcome::Finished);
         assert_eq!(inst.step(&shared), StepOutcome::Idle);
     }
@@ -471,16 +596,20 @@ mod tests {
 
     #[test]
     fn stalls_until_ingested() {
-        let events = [ev(0, 1.0)];
-        let (shared, _wv, mut inst) = setup(ConsumptionPolicy::All, &events, vec![]);
-        shared
-            .ingested
-            .store(0, std::sync::atomic::Ordering::Release);
+        // Build the version by hand with an *empty* window buffer: the
+        // instance must stall until the splitter flushes events into it.
+        let shared = SharedState::new(1);
+        shared.store.open_window(0, 0);
+        let window = Arc::new(WindowInfo::new(0, 0, 0, 0));
+        window.set_end_pos(1);
+        let wv = VersionState::new(WvId(0), window, query(ConsumptionPolicy::All), vec![]);
+        *shared.slots[0].lock() = Some(Arc::clone(&wv));
+        let mut inst = InstanceCore::new(0, 2);
         assert_eq!(inst.step(&shared), StepOutcome::Stalled);
-        shared
-            .ingested
-            .store(1, std::sync::atomic::Ordering::Release);
-        assert_eq!(inst.step(&shared), StepOutcome::Worked);
+        let mut batch = crate::splitter::EventBatch::with_capacity(0, 1);
+        batch.push(ev(0, 1.0));
+        shared.store.extend(0, &Arc::new(batch), 0..1);
+        assert_eq!(inst.step(&shared), StepOutcome::Finished);
     }
 
     #[test]
@@ -523,7 +652,7 @@ mod tests {
         // and the splitter was told
         let mut saw_rollback_op = false;
         while let Some(op) = shared.ops.pop() {
-            if matches!(op, TreeOp::WvRolledBack { wv: w } if w == WvId(0)) {
+            if matches!(op, TreeOp::WvRolledBack { wv: w, .. } if w == WvId(0)) {
                 saw_rollback_op = true;
             }
         }
@@ -569,7 +698,6 @@ mod tests {
     fn window_end_abandons_open_groups() {
         let events = [ev(0, 1.0), ev(1, 9.0)];
         let (shared, wv, mut inst) = setup(ConsumptionPolicy::All, &events, vec![]);
-        inst.step(&shared);
         inst.step(&shared);
         assert_eq!(inst.step(&shared), StepOutcome::Finished);
         assert!(wv.lock().open_cgs.is_empty());
@@ -664,6 +792,40 @@ mod tests {
         let snap = shared.metrics.snapshot();
         assert_eq!(snap.checkpoint_restores, 0, "checkpoint was inconsistent");
         assert_eq!(wv.lock().pos, 0, "full reset");
+    }
+
+    #[test]
+    fn batched_step_processes_whole_run_and_finishes() {
+        // With a batch larger than the window, one step consumes the whole
+        // window under a single version-lock acquisition and finishes it —
+        // with the same outputs the event-at-a-time path produces.
+        let events = [ev(0, 1.0), ev(1, 9.0), ev(2, 2.0), ev(3, 9.0)];
+        let (shared, wv, inst) = setup(ConsumptionPolicy::All, &events, vec![]);
+        let mut inst = InstanceCore::new(inst.index(), 2).with_batch(1024);
+        assert_eq!(inst.step(&shared), StepOutcome::Finished);
+        assert!(wv.is_finished());
+        let inner = wv.lock();
+        assert_eq!(inner.outputs.len(), 1);
+        assert_eq!(inner.outputs[0].constituents, vec![0, 2]);
+        let snap = shared.metrics.snapshot();
+        assert_eq!(snap.events_processed, 4);
+        assert_eq!(snap.cgs_created, 1);
+        assert_eq!(snap.cgs_completed, 1);
+    }
+
+    #[test]
+    fn batched_run_detects_late_consumption_and_rolls_back() {
+        // A late consumption-group update is caught by the periodic check
+        // inside a batched run, aborting the step with a rollback.
+        let cg = Arc::new(CgCell::new(CgId(99), 0, 1));
+        let events = [ev(0, 1.0), ev(1, 9.0), ev(2, 2.0), ev(3, 9.0)];
+        let (shared, wv, inst) = setup(ConsumptionPolicy::All, &events, vec![Arc::clone(&cg)]);
+        let mut inst = InstanceCore::new(inst.index(), 2).with_batch(2);
+        assert_eq!(inst.step(&shared), StepOutcome::Worked); // events 0, 1
+        cg.add_event(0, 0, 0); // seq 0 consumed *after* it was processed
+        assert_eq!(inst.step(&shared), StepOutcome::RolledBack);
+        assert_eq!(wv.lock().pos, 0, "reset to the window start");
+        assert_eq!(shared.metrics.snapshot().rollbacks, 1);
     }
 
     #[test]

@@ -24,6 +24,28 @@
 //! the sequential-semantics output: no false positives, no false negatives,
 //! in window order.
 //!
+//! ## The batched, sharded data path
+//!
+//! The hot path moves data in batches end to end (see
+//! `docs/ARCHITECTURE.md` at the repository root for the full map):
+//!
+//! * the splitter accumulates ingested events into an
+//!   [`EventBatch`] of up to
+//!   [`SpectreConfig::batch_size`] events and flushes each batch to the
+//!   [`store::WindowStore`] with one write per touched window,
+//! * the window store is sharded by window-id hash
+//!   ([`SpectreConfig::store_shards`]), so instances working on different
+//!   windows take different locks,
+//! * instances fetch and process events in runs of up to `batch_size`
+//!   under one shard read-lock plus one version-lock acquisition, and
+//!   flush their buffered dependency-tree operations with one queue
+//!   operation per step.
+//!
+//! `batch_size: 1` together with `store_shards: 1` reproduces the original
+//! event-at-a-time, single-lock data path; the output is bit-identical for
+//! every combination (enforced by `tests/tests/smoke.rs` and
+//! `tests/tests/threaded.rs`).
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -65,3 +87,5 @@ pub use config::{PredictorKind, SpectreConfig};
 pub use metrics::MetricsSnapshot;
 pub use runtime::{run_threaded, ThreadedReport};
 pub use sim::{run_simulated, SimReport};
+pub use splitter::{EventBatch, Splitter};
+pub use store::WindowStore;

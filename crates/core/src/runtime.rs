@@ -71,7 +71,7 @@ pub fn run_threaded(
     config.validate();
     let start = Instant::now();
     let input_events = events.len() as u64;
-    let shared = SharedState::new(config.instances);
+    let shared = SharedState::for_config(config);
     let mut splitter = Splitter::new(
         Arc::clone(query),
         events.into_iter(),
@@ -84,8 +84,11 @@ pub fn run_threaded(
             let shared = Arc::clone(&shared);
             let check_freq = config.consistency_check_freq;
             let checkpoint_freq = config.checkpoint_freq;
+            let batch_size = config.batch_size;
             scope.spawn(move || {
-                let mut inst = InstanceCore::new(i, check_freq).with_checkpoints(checkpoint_freq);
+                let mut inst = InstanceCore::new(i, check_freq)
+                    .with_checkpoints(checkpoint_freq)
+                    .with_batch(batch_size);
                 let mut idle_spins = 0u32;
                 while !shared.is_done() {
                     match inst.step(&shared) {

@@ -5,6 +5,13 @@
 //! ([`StatsBatch`]); the splitter drains and applies them in batches at each
 //! maintenance cycle. Scheduling is a set of per-instance slots the splitter
 //! writes and instances poll (paper Fig. 8 lines 7–9).
+//!
+//! Every hot-path structure here moves data in batches: events travel
+//! through the sharded [`WindowStore`] in runs (see
+//! [`EventBatch`](crate::splitter::EventBatch)), tree ops are flushed with
+//! `SegQueue::push_many` / drained with `SegQueue::pop_many` (one lock
+//! acquisition per batch), and the `ingested` watermark is published once
+//! per batch rather than once per event.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -13,8 +20,9 @@ use crossbeam::queue::SegQueue;
 use parking_lot::Mutex;
 
 use crate::cg::{CgCell, CgId};
+use crate::config::SpectreConfig;
 use crate::metrics::Metrics;
-use crate::store::EventStore;
+use crate::store::WindowStore;
 use crate::version::{VersionState, WvId};
 
 /// A buffered dependency-tree update from an operator instance
@@ -43,10 +51,15 @@ pub enum TreeOp {
         wv: WvId,
     },
     /// A version detected an inconsistency and reset itself; the splitter
-    /// must rebuild its dependent subtree.
+    /// must rebuild its dependent subtree and revoke the completions its
+    /// discarded processing produced.
     WvRolledBack {
         /// The rolled-back version.
         wv: WvId,
+        /// Completed groups of the discarded processing that the rollback
+        /// does not carry over (see
+        /// [`VersionState::rollback_state`](crate::version::VersionState::rollback_state)).
+        revoked: Vec<Arc<CgCell>>,
     },
 }
 
@@ -60,15 +73,18 @@ pub struct StatsBatch {
 /// Everything splitter and instances share.
 #[derive(Debug)]
 pub struct SharedState {
-    /// The event buffer.
-    pub store: EventStore,
+    /// The sharded per-window event buffers.
+    pub store: WindowStore,
     /// Per-instance scheduling slot.
     pub slots: Vec<Mutex<Option<Arc<VersionState>>>>,
     /// Buffered tree updates (instances → splitter).
     pub ops: SegQueue<TreeOp>,
     /// Buffered Markov observations (instances → splitter).
     pub stats: SegQueue<StatsBatch>,
-    /// Number of events ingested so far (positions below are readable).
+    /// Number of events ingested so far, published once per
+    /// [`EventBatch`](crate::splitter::EventBatch) flush. Diagnostics /
+    /// monitoring watermark only: instances detect readable events through
+    /// the window store's buffers, not this counter.
     pub ingested: AtomicU64,
     /// Set once the input stream is exhausted.
     pub ingest_done: AtomicBool,
@@ -81,10 +97,23 @@ pub struct SharedState {
 }
 
 impl SharedState {
-    /// Creates shared state for `instances` operator instances.
+    /// Creates shared state for `instances` operator instances with the
+    /// default window-store shard count.
     pub fn new(instances: usize) -> Arc<Self> {
+        Self::with_shards(instances, SpectreConfig::default().store_shards)
+    }
+
+    /// Creates shared state for a configuration (instance count and
+    /// window-store shard count).
+    pub fn for_config(config: &SpectreConfig) -> Arc<Self> {
+        Self::with_shards(config.instances, config.store_shards)
+    }
+
+    /// Creates shared state for `instances` operator instances and a
+    /// window store with `shards` shards.
+    pub fn with_shards(instances: usize, shards: usize) -> Arc<Self> {
         Arc::new(SharedState {
-            store: EventStore::new(),
+            store: WindowStore::new(shards),
             slots: (0..instances).map(|_| Mutex::new(None)).collect(),
             ops: SegQueue::new(),
             stats: SegQueue::new(),
@@ -132,6 +161,14 @@ mod tests {
         let y = s.alloc_wv_id();
         assert_ne!(x, y);
         assert_eq!(s.instance_count(), 2);
+    }
+
+    #[test]
+    fn for_config_sizes_store_and_slots() {
+        let config = SpectreConfig::with_batching(3, 16, 4);
+        let s = SharedState::for_config(&config);
+        assert_eq!(s.instance_count(), 3);
+        assert_eq!(s.store.shard_count(), 4);
     }
 
     #[test]

@@ -2,18 +2,20 @@
 //! probability prediction, top-k selection and scheduling (paper §3.2).
 //!
 //! One maintenance cycle performs, in order (paper §4.2.1's "cycle"):
-//! (a) apply all buffered dependency-tree updates from the instances,
-//! (b) feed the Markov model, (c) ingest a batch of input events (opening
-//! and closing windows), (d) retire finished, confirmed root versions —
-//! emitting their buffered complex events in window order — and (e) select
-//! and schedule the top-k window versions.
+//! (a) apply all buffered dependency-tree updates from the instances
+//! (drained in one batch), (b) feed the Markov model, (c) ingest input
+//! events in [`EventBatch`] units (opening and closing windows, flushing
+//! each batch to the window store with one write per touched window),
+//! (d) retire finished, confirmed root versions — emitting their buffered
+//! complex events in window order — and (e) select and schedule the top-k
+//! window versions.
 
 use std::collections::{HashSet, VecDeque};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use spectre_events::Event;
-use spectre_query::window::WindowAssigner;
+use spectre_query::window::{WindowAssigner, WindowBounds};
 use spectre_query::{ComplexEvent, Query, WindowClose};
 
 use crate::cg::{CgCell, CgId};
@@ -23,6 +25,96 @@ use crate::shared::{SharedState, TreeOp};
 use crate::store::WindowInfo;
 use crate::tree::{DependencyTree, VersionFactory};
 use crate::version::{VersionState, WvId};
+
+/// One splitter→store hand-off unit: a run of consecutive stream events
+/// starting at stream position [`first_pos`](Self::first_pos).
+///
+/// The splitter accumulates up to
+/// [`SpectreConfig::batch_size`](crate::SpectreConfig::batch_size) events
+/// per batch, wraps the batch in *one* `Arc`, and hands each window its
+/// slice of it with a single
+/// [`WindowStore::extend`](crate::store::WindowStore::extend) call — so
+/// allocation, reference-count and lock traffic all scale with batches,
+/// not events, and overlapping windows share the event payloads through
+/// the batch. A batch size of 1 reproduces the original event-at-a-time
+/// hand-off exactly.
+///
+/// # Example
+///
+/// ```
+/// use spectre_core::splitter::EventBatch;
+/// use spectre_events::{Event, EventType};
+///
+/// let mut batch = EventBatch::with_capacity(100, 64);
+/// for seq in 100..104 {
+///     batch.push(Event::builder(EventType::new(0)).seq(seq).ts(seq).build());
+/// }
+/// assert_eq!(batch.len(), 4);
+/// assert_eq!(batch.first_pos(), 100);
+/// // A window that opened at the batch's third event owns the slice
+/// // from index 2 on:
+/// assert_eq!(batch.events()[2..].len(), 2);
+/// assert_eq!(batch.events()[2].seq(), 102);
+/// ```
+#[derive(Debug, Default)]
+pub struct EventBatch {
+    first_pos: u64,
+    events: Vec<Event>,
+}
+
+impl EventBatch {
+    /// Creates an empty batch starting at stream position `first_pos` with
+    /// room for `cap` events.
+    pub fn with_capacity(first_pos: u64, cap: usize) -> Self {
+        EventBatch {
+            first_pos,
+            events: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Appends the next event (stream position `first_pos() + len()`).
+    pub fn push(&mut self, event: Event) {
+        self.events.push(event);
+    }
+
+    /// Stream position of the batch's first event.
+    pub fn first_pos(&self) -> u64 {
+        self.first_pos
+    }
+
+    /// Number of events in the batch.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if the batch holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The events accumulated so far.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+}
+
+/// A not-yet-closed window together with the batch-relative index of the
+/// first batch event belonging to it.
+struct OpenWindow {
+    info: Arc<WindowInfo>,
+    pending: usize,
+}
+
+/// Why [`Splitter::fill_batch`] stopped collecting events.
+enum FillOutcome {
+    /// The batch reached its size cap.
+    Full,
+    /// Speculative back-pressure: the dependency tree is oversized and the
+    /// root window is fully ingested; stop ingesting for this cycle.
+    BackPressure,
+    /// The input stream is exhausted.
+    SourceExhausted,
+}
 
 /// The splitter's state; driven by [`cycle`](Splitter::cycle).
 pub struct Splitter<I: Iterator<Item = Event>> {
@@ -35,6 +127,20 @@ pub struct Splitter<I: Iterator<Item = Event>> {
     predictor: Box<dyn CompletionPredictor>,
     /// Live (unretired) windows, oldest first.
     live: VecDeque<Arc<WindowInfo>>,
+    /// Not-yet-closed windows (a suffix of `live`), with per-batch flush
+    /// bookkeeping. Mirrors the assigner's open set.
+    open_windows: Vec<OpenWindow>,
+    /// The in-flight hand-off batch (sealed into an `Arc` at flush).
+    batch: EventBatch,
+    /// Windows closed while the current batch was filling, with the
+    /// batch-relative ranges they own (distributed at flush).
+    batch_closed: Vec<(u64, std::ops::Range<usize>)>,
+    /// Reusable buffer for per-event window closes.
+    closed_buf: Vec<WindowBounds>,
+    /// Reusable buffer for draining the shared op queue.
+    ops_scratch: Vec<TreeOp>,
+    /// Next stream position to assign (= events ingested so far).
+    next_pos: u64,
     /// Versions whose `WvFinished` op has been applied. Retirement requires
     /// the ack: the op queue is FIFO and an instance pushes all of a
     /// version's consumption-group ops *before* its `WvFinished`, so the ack
@@ -87,6 +193,7 @@ impl<I: Iterator<Item = Event>> Splitter<I> {
             WindowClose::Time(_) => 64.0,
         };
         let assigner = WindowAssigner::new(query.window().clone());
+        let batch = EventBatch::with_capacity(0, config.batch_size);
         Splitter {
             config,
             query,
@@ -96,6 +203,12 @@ impl<I: Iterator<Item = Event>> Splitter<I> {
             tree: DependencyTree::new(),
             predictor,
             live: VecDeque::new(),
+            open_windows: Vec::new(),
+            batch,
+            batch_closed: Vec::new(),
+            closed_buf: Vec::new(),
+            ops_scratch: Vec::new(),
+            next_pos: 0,
             finished_acked: HashSet::new(),
             avg_window_size,
             closed_windows: 0,
@@ -164,8 +277,12 @@ impl<I: Iterator<Item = Event>> Splitter<I> {
     }
 
     fn apply_ops(&mut self) {
+        // One lock acquisition drains everything queued up to this point;
+        // ops pushed while we process land in the next cycle's drain.
+        let mut ops = std::mem::take(&mut self.ops_scratch);
+        self.shared.ops.pop_many(&mut ops, usize::MAX);
         let mut factory = self.factory();
-        while let Some(op) = self.shared.ops.pop() {
+        for op in ops.drain(..) {
             self.progress = true;
             match op {
                 TreeOp::CgCreated { creator, cell } => {
@@ -181,34 +298,73 @@ impl<I: Iterator<Item = Event>> Splitter<I> {
                 TreeOp::WvFinished { wv } => {
                     self.finished_acked.insert(wv);
                 }
-                TreeOp::WvRolledBack { wv } => {
+                TreeOp::WvRolledBack { wv, revoked } => {
                     // The version restarted; a previous finish ack is void.
                     self.finished_acked.remove(&wv);
-                    let Some(version) = self.tree.version(wv) else {
-                        continue; // version already dropped: stale op
-                    };
-                    let window_id = version.window().id;
-                    // Completions surviving the rollback (the restored
-                    // checkpoint's, if one was restored; empty otherwise)
-                    // stay facts for the rebuilt dependents.
-                    let carried = version.lock().completed_cells.clone();
-                    let newer: Vec<Arc<WindowInfo>> = self
-                        .live
-                        .iter()
-                        .filter(|w| w.id > window_id)
-                        .cloned()
-                        .collect();
-                    let dropped = self
-                        .tree
-                        .rollback_rebuild(wv, &newer, carried, &mut factory);
-                    self.shared
-                        .metrics
-                        .versions_dropped
-                        .fetch_add(dropped as u64, Ordering::Relaxed);
+                    if let Some(version) = self.tree.version(wv) {
+                        let window_id = version.window().id;
+                        // Completions surviving the rollback (the restored
+                        // checkpoint's, if one was restored; empty
+                        // otherwise) stay facts for the rebuilt dependents.
+                        let carried = version.lock().completed_cells.clone();
+                        let newer: Vec<Arc<WindowInfo>> = self
+                            .live
+                            .iter()
+                            .filter(|w| w.id > window_id)
+                            .cloned()
+                            .collect();
+                        let dropped = self
+                            .tree
+                            .rollback_rebuild(wv, &newer, carried, &mut factory);
+                        self.shared
+                            .metrics
+                            .versions_dropped
+                            .fetch_add(dropped as u64, Ordering::Relaxed);
+                    }
+                    // Even when the version itself is already gone (stale
+                    // op), its discarded completions may survive in state
+                    // copies under other branches; revoke them.
+                    self.revoke(&revoked, &mut factory);
                 }
             }
         }
         self.absorb(factory);
+        self.ops_scratch = ops;
+    }
+
+    /// Revokes void consumption-group completions tree-wide (see
+    /// [`DependencyTree::revoke_completions`]). Completions of already-
+    /// retired windows are confirmed by the final validation and are never
+    /// revoked.
+    fn revoke(&mut self, revoked: &[Arc<CgCell>], factory: &mut SplitterFactory) {
+        if revoked.is_empty() {
+            return;
+        }
+        let Some(oldest_live) = self.live.front().map(|w| w.id) else {
+            return;
+        };
+        let revocable: Vec<Arc<CgCell>> = revoked
+            .iter()
+            .filter(|c| c.window_id() >= oldest_live)
+            .cloned()
+            .collect();
+        if revocable.is_empty() {
+            return;
+        }
+        let live = &self.live;
+        let newer = |window_id: u64| -> Vec<Arc<WindowInfo>> {
+            live.iter().filter(|w| w.id > window_id).cloned().collect()
+        };
+        let dropped = self.tree.revoke_completions(&revocable, &newer, factory);
+        if dropped > 0 {
+            self.shared
+                .metrics
+                .versions_dropped
+                .fetch_add(dropped as u64, Ordering::Relaxed);
+            // Acks of replaced versions are dead.
+            let tree = &self.tree;
+            self.finished_acked.retain(|id| tree.version(*id).is_some());
+        }
     }
 
     fn apply_stats(&mut self) {
@@ -222,44 +378,106 @@ impl<I: Iterator<Item = Event>> Splitter<I> {
         if self.ingest_done {
             return;
         }
-        for _ in 0..self.config.ingest_per_cycle {
+        let mut budget = self.config.ingest_per_cycle;
+        while budget > 0 {
+            let cap = budget.min(self.config.batch_size);
+            let outcome = self.fill_batch(cap);
+            budget -= self.batch.len();
+            self.flush_batch();
+            match outcome {
+                FillOutcome::Full => {}
+                FillOutcome::BackPressure => return,
+                FillOutcome::SourceExhausted => {
+                    self.finish_ingest();
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Collects up to `cap` source events into the hand-off batch, applying
+    /// window opens/closes as they are discovered. The batch's event slices
+    /// are distributed to their windows by [`flush_batch`](Self::flush_batch).
+    fn fill_batch(&mut self, cap: usize) -> FillOutcome {
+        debug_assert_eq!(
+            self.batch.first_pos() + self.batch.len() as u64,
+            self.next_pos,
+            "batch continues the stream"
+        );
+        while self.batch.len() < cap {
             // Back-pressure: stall speculative fan-out while the tree is
             // oversized — but never starve the root window of its remaining
             // events (it must be able to finish so the tree can shrink).
             if self.tree.version_count() >= self.config.max_tree_versions {
                 let root_fully_ingested = self.live.front().is_none_or(|w| w.end_pos().is_some());
                 if root_fully_ingested {
-                    break;
+                    return FillOutcome::BackPressure;
                 }
             }
             let Some(event) = self.source.next() else {
-                self.finish_ingest();
-                return;
+                return FillOutcome::SourceExhausted;
             };
             self.progress = true;
-            let assign = self.assigner.observe(&event);
-            let pos = self.shared.store.append(event);
-            self.shared.ingested.store(pos + 1, Ordering::Release);
-            for closed in assign.closed {
-                self.close_window(closed.id, pos);
+            let pos = self.next_pos;
+            self.next_pos += 1;
+            let mut closed = std::mem::take(&mut self.closed_buf);
+            let opened = self.assigner.ingest(&event, &mut closed);
+            // Closes exclude the current event, which is not yet in the
+            // batch, so the closing window's slice is exactly the batch
+            // tail so far.
+            for bounds in closed.drain(..) {
+                self.close_window(bounds.id, pos);
             }
-            if let Some(opened) = assign.opened {
+            self.closed_buf = closed;
+            self.batch.push(event);
+            if let Some(opened) = opened {
                 let info = Arc::new(WindowInfo::new(
                     opened.id,
                     opened.start_pos,
                     opened.start_seq,
                     opened.start_ts,
                 ));
+                self.shared.store.open_window(opened.id, opened.start_pos);
                 self.live.push_back(Arc::clone(&info));
+                self.open_windows.push(OpenWindow {
+                    info: Arc::clone(&info),
+                    // The window contains its start event — the one just
+                    // pushed.
+                    pending: self.batch.len() - 1,
+                });
                 let mut factory = self.factory();
                 self.tree.new_window(&info, &mut factory);
                 self.absorb(factory);
             }
         }
+        FillOutcome::Full
+    }
+
+    /// Seals the batch into one shared `Arc`, hands every touched window
+    /// its slice (one store write and one `Arc` clone per window), and
+    /// publishes the ingestion watermark once.
+    fn flush_batch(&mut self) {
+        let len = self.batch.len();
+        if len == 0 {
+            debug_assert!(self.batch_closed.is_empty());
+            return;
+        }
+        let next = EventBatch::with_capacity(self.next_pos, self.config.batch_size);
+        let sealed = Arc::new(std::mem::replace(&mut self.batch, next));
+        for (id, range) in self.batch_closed.drain(..) {
+            self.shared.store.extend(id, &sealed, range);
+        }
+        for ow in &mut self.open_windows {
+            self.shared
+                .store
+                .extend(ow.info.id, &sealed, ow.pending..len);
+            ow.pending = 0; // relative to the next batch
+        }
+        self.shared.ingested.store(self.next_pos, Ordering::Release);
     }
 
     fn finish_ingest(&mut self) {
-        let total = self.shared.store.len();
+        let total = self.next_pos;
         for closed in self.assigner.finish() {
             self.close_window(closed.id, total);
         }
@@ -267,12 +485,19 @@ impl<I: Iterator<Item = Event>> Splitter<I> {
         self.shared.ingest_done.store(true, Ordering::Release);
     }
 
+    /// Closes window `id` at exclusive end `end_pos`: records its final
+    /// batch slice (distributed at the next flush), publishes the end
+    /// position and feeds the running window-size average (paper Fig. 5:
+    /// `Splitter.avgWindowSize`).
     fn close_window(&mut self, id: u64, end_pos: u64) {
-        if let Some(info) = self.live.iter().find(|w| w.id == id) {
-            info.set_end_pos(end_pos);
-            let len = (end_pos - info.start_pos) as f64;
+        if let Some(i) = self.open_windows.iter().position(|ow| ow.info.id == id) {
+            let ow = self.open_windows.remove(i);
+            if ow.pending < self.batch.len() {
+                self.batch_closed.push((id, ow.pending..self.batch.len()));
+            }
+            ow.info.set_end_pos(end_pos);
+            let len = (end_pos - ow.info.start_pos) as f64;
             self.closed_windows += 1;
-            // Running average (paper Fig. 5: `Splitter.avgWindowSize`).
             let n = self.closed_windows as f64;
             self.avg_window_size += (len - self.avg_window_size) / n;
         }
@@ -298,7 +523,8 @@ impl<I: Iterator<Item = Event>> Splitter<I> {
                     .rollbacks
                     .fetch_add(1, Ordering::Relaxed);
                 self.finished_acked.remove(&root.id());
-                if root.rollback_state() {
+                let outcome = root.rollback_state();
+                if outcome.restored_checkpoint {
                     self.shared
                         .metrics
                         .checkpoint_restores
@@ -315,6 +541,7 @@ impl<I: Iterator<Item = Event>> Splitter<I> {
                 let dropped = self
                     .tree
                     .rollback_rebuild(root.id(), &newer, carried, &mut factory);
+                self.revoke(&outcome.revoked, &mut factory);
                 self.absorb(factory);
                 self.shared
                     .metrics
@@ -344,13 +571,9 @@ impl<I: Iterator<Item = Event>> Splitter<I> {
                 .metrics
                 .windows_retired
                 .fetch_add(1, Ordering::Relaxed);
-            // Events before the oldest live window are dead.
-            let prune_to = self
-                .live
-                .front()
-                .map(|w| w.start_pos)
-                .unwrap_or_else(|| self.shared.store.len());
-            self.shared.store.prune_before(prune_to);
+            // The retired window's events are dead to it; payloads shared
+            // with younger windows stay alive through their own buffers.
+            self.shared.store.remove_window(retired.window().id);
         }
     }
 
@@ -478,12 +701,19 @@ mod tests {
     }
 
     /// Drives splitter + instances single-threadedly until done.
-    fn drive(query: Arc<Query>, events: Vec<Event>, k: usize) -> Vec<ComplexEvent> {
-        let shared = SharedState::new(k);
-        let config = SpectreConfig::with_instances(k);
+    fn drive_config(
+        query: Arc<Query>,
+        events: Vec<Event>,
+        config: SpectreConfig,
+    ) -> Vec<ComplexEvent> {
+        let shared = SharedState::for_config(&config);
+        let k = config.instances;
         let check_freq = config.consistency_check_freq;
+        let batch = config.batch_size;
         let mut splitter = Splitter::new(query, events.into_iter(), config, Arc::clone(&shared));
-        let mut instances: Vec<_> = (0..k).map(|i| InstanceCore::new(i, check_freq)).collect();
+        let mut instances: Vec<_> = (0..k)
+            .map(|i| InstanceCore::new(i, check_freq).with_batch(batch))
+            .collect();
         for round in 0..1_000_000u64 {
             if splitter.cycle() {
                 return splitter.into_outputs();
@@ -494,6 +724,10 @@ mod tests {
             let _ = round;
         }
         panic!("did not converge");
+    }
+
+    fn drive(query: Arc<Query>, events: Vec<Event>, k: usize) -> Vec<ComplexEvent> {
+        drive_config(query, events, SpectreConfig::with_instances(k))
     }
 
     #[test]
@@ -530,6 +764,27 @@ mod tests {
         let events: Vec<Event> = (0..50).map(|i| ev(i, 9.0)).collect();
         let got = drive(query, events, 3);
         assert!(got.is_empty());
+    }
+
+    #[test]
+    fn outputs_identical_across_batch_sizes_and_shard_counts() {
+        // The batched hand-off and store sharding are pure mechanics: for
+        // any batch size (including the degenerate 1 = the original
+        // event-at-a-time path) and any shard count, the emitted complex
+        // events are identical.
+        let query = ab_query();
+        let events: Vec<Event> = (0..200)
+            .map(|i| ev(i, [1.0, 9.0, 2.0, 1.0, 2.0, 9.0][i as usize % 6]))
+            .collect();
+        let expected = spectre_baselines::run_sequential(&query, &events).complex_events;
+        assert!(!expected.is_empty());
+        for batch in [1usize, 7, 64, 1024] {
+            for shards in [1usize, 8] {
+                let config = SpectreConfig::with_batching(3, batch, shards);
+                let got = drive_config(Arc::clone(&query), events.clone(), config);
+                assert_eq!(got, expected, "batch = {batch}, shards = {shards}");
+            }
+        }
     }
 
     #[test]

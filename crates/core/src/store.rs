@@ -1,17 +1,49 @@
-//! Shared event store and window bookkeeping.
+//! Sharded window store and window bookkeeping.
 //!
-//! The splitter appends incoming events to the store; operator instances
-//! read them by *position* (ingestion order). Windows are described by
-//! [`WindowInfo`] cells shared between the splitter (which discovers the end
-//! position during ingestion) and all versions of the window (paper §2.2:
-//! window boundaries are kept in shared memory).
+//! The splitter hands each sealed [`EventBatch`] to every window that
+//! overlaps it — one `Arc` clone and one shard-lock acquisition per
+//! (window, batch), never per event — and operator instances read their
+//! scheduled window's events back by *window-relative index* as
+//! [`EventRun`] slices of those shared batches. Window boundaries are
+//! described by [`WindowInfo`] cells shared between the splitter (which
+//! discovers the end position during ingestion) and all versions of the
+//! window (paper §2.2: window boundaries are kept in shared memory).
+//!
+//! # Sharding
+//!
+//! Buffers live in [`WindowStore`], which is sharded by window-id hash:
+//! window `w` belongs to shard `w mod shards`. Window ids are allocated
+//! sequentially, so consecutive — and therefore concurrently live — windows
+//! land on *different* shards, and k instances working on k different
+//! windows take k different locks instead of serializing on one. With
+//! `shards = 1` the store degenerates to the original single-lock design;
+//! the output is identical for every shard count (the shard map is pure
+//! placement, never ordering).
+//!
+//! # Batching
+//!
+//! A window's buffer is a list of *segments*, each a sub-range of one
+//! shared hand-off batch. Writers ([`WindowStore::extend`]) append one
+//! segment per (window, batch); readers ([`WindowStore::read_run`]) fetch
+//! up to a whole batch of events under a single shard read-lock. Event
+//! payloads live inside the batches and are shared by every overlapping
+//! window — per-event allocation and reference counting are gone from the
+//! hot path entirely.
+//!
+//! Because every window's buffer references exactly the window's own
+//! events, pruning is trivial: retiring a window removes its buffer
+//! ([`WindowStore::remove_window`]), and a batch is freed when the last
+//! window referencing it retires.
 
-use std::collections::VecDeque;
+use std::collections::HashMap;
+use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
 use spectre_events::{Event, Seq, Timestamp};
+
+use crate::splitter::EventBatch;
 
 /// Sentinel for "window end not yet known".
 pub const END_UNKNOWN: u64 = u64::MAX;
@@ -63,69 +95,244 @@ impl WindowInfo {
     }
 }
 
-/// Append-only shared event buffer with prefix pruning.
-///
-/// Events are stored behind `Arc` so instances can hold a reference without
-/// cloning payloads. `prune_before` drops events no longer needed by any
-/// live window.
-#[derive(Debug, Default)]
-pub struct EventStore {
-    inner: RwLock<StoreInner>,
+/// A contiguous run of window events handed to an operator instance: one
+/// shared hand-off batch plus the sub-range of it that belongs to the
+/// reading window. Holding the run keeps the batch alive; the events are
+/// read in place, with no per-event copies or reference counts.
+#[derive(Debug, Clone)]
+pub struct EventRun {
+    batch: Arc<EventBatch>,
+    range: Range<usize>,
 }
 
-#[derive(Debug, Default)]
-struct StoreInner {
-    base: u64,
-    events: VecDeque<Arc<Event>>,
-}
-
-impl EventStore {
-    /// Creates an empty store.
-    pub fn new() -> Self {
-        Self::default()
+impl EventRun {
+    /// The run's events, in stream order.
+    pub fn events(&self) -> &[Event] {
+        &self.batch.events()[self.range.clone()]
     }
 
-    /// Appends the next event; returns its position.
-    pub fn append(&self, event: Event) -> u64 {
-        let mut inner = self.inner.write();
-        let pos = inner.base + inner.events.len() as u64;
-        inner.events.push_back(Arc::new(event));
-        pos
+    /// Number of events in the run.
+    pub fn len(&self) -> usize {
+        self.range.len()
     }
 
-    /// Fetches the event at `pos`, if ingested and not pruned.
-    pub fn get(&self, pos: u64) -> Option<Arc<Event>> {
-        let inner = self.inner.read();
-        if pos < inner.base {
-            return None;
-        }
-        inner.events.get((pos - inner.base) as usize).cloned()
-    }
-
-    /// Number of events ever appended.
-    pub fn len(&self) -> u64 {
-        let inner = self.inner.read();
-        inner.base + inner.events.len() as u64
-    }
-
-    /// `true` if nothing was appended yet.
+    /// `true` for an empty run (the store never produces one).
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.range.is_empty()
     }
+}
 
-    /// Drops all events before `pos` (they must no longer be referenced by
-    /// any live window).
-    pub fn prune_before(&self, pos: u64) {
-        let mut inner = self.inner.write();
-        while inner.base < pos && !inner.events.is_empty() {
-            inner.events.pop_front();
-            inner.base += 1;
+/// One segment of a window's buffer: a sub-range of one shared batch.
+#[derive(Debug)]
+struct Seg {
+    /// Window-relative index of the segment's first event.
+    first: u64,
+    batch: Arc<EventBatch>,
+    range: Range<usize>,
+}
+
+/// One window's event buffer: the segments covering window-relative
+/// indices `[0, len)`, ascending.
+#[derive(Debug)]
+struct WindowBuf {
+    start_pos: u64,
+    len: u64,
+    segs: Vec<Seg>,
+}
+
+/// One shard: the buffers of all live windows hashing to it.
+#[derive(Debug, Default)]
+struct Shard {
+    windows: HashMap<u64, WindowBuf>,
+}
+
+/// Sharded per-window event store (see the [module docs](self)).
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use spectre_core::splitter::EventBatch;
+/// use spectre_core::store::WindowStore;
+/// use spectre_events::{Event, EventType};
+///
+/// let store = WindowStore::new(8);
+/// store.open_window(0, 0);
+/// let mut batch = EventBatch::with_capacity(0, 3);
+/// for seq in 0..3 {
+///     batch.push(Event::builder(EventType::new(0)).seq(seq).ts(seq).build());
+/// }
+/// let batch = Arc::new(batch);
+/// store.extend(0, &batch, 0..3); // one lock + one Arc clone for the run
+///
+/// let mut runs = Vec::new();
+/// assert_eq!(store.read_run(0, 1, 16, &mut runs), 2); // events 1 and 2
+/// assert_eq!(runs[0].events()[0].seq(), 1);
+///
+/// store.remove_window(0); // retirement frees the buffer
+/// runs.clear();
+/// assert_eq!(store.read_run(0, 0, 16, &mut runs), 0);
+/// ```
+#[derive(Debug)]
+pub struct WindowStore {
+    shards: Box<[RwLock<Shard>]>,
+}
+
+impl WindowStore {
+    /// Creates a store with the given number of shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "store shard count must be positive");
+        WindowStore {
+            shards: (0..shards).map(|_| RwLock::new(Shard::default())).collect(),
         }
     }
 
-    /// Number of events currently held in memory.
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, window_id: u64) -> &RwLock<Shard> {
+        // Window ids are dense and sequential, so modulo is a perfect hash
+        // here: consecutive (concurrently live) windows map to distinct
+        // shards.
+        &self.shards[(window_id % self.shards.len() as u64) as usize]
+    }
+
+    /// Registers a window that starts at stream position `start_pos`; its
+    /// buffer starts empty. Idempotent: re-opening an existing window is a
+    /// no-op.
+    pub fn open_window(&self, window_id: u64, start_pos: u64) {
+        let mut shard = self.shard(window_id).write();
+        shard.windows.entry(window_id).or_insert_with(|| WindowBuf {
+            start_pos,
+            len: 0,
+            segs: Vec::new(),
+        });
+    }
+
+    /// Appends `batch[range]` to `window_id`'s buffer as one segment, under
+    /// one shard-lock acquisition and one `Arc` clone. The segment
+    /// continues the window's event sequence. Appending to an unknown
+    /// (already retired) window or an empty range is a no-op.
+    pub fn extend(&self, window_id: u64, batch: &Arc<EventBatch>, range: Range<usize>) {
+        if range.is_empty() {
+            return;
+        }
+        debug_assert!(range.end <= batch.len(), "segment range out of batch");
+        let mut shard = self.shard(window_id).write();
+        if let Some(buf) = shard.windows.get_mut(&window_id) {
+            let first = buf.len;
+            buf.len += range.len() as u64;
+            buf.segs.push(Seg {
+                first,
+                batch: Arc::clone(batch),
+                range,
+            });
+        }
+    }
+
+    /// Collects up to `max` events of `window_id` starting at
+    /// window-relative index `from` into `out` as [`EventRun`] slices
+    /// (appended; `out` is *not* cleared). Returns the number of events
+    /// covered — `0` when the events are not yet ingested or the window is
+    /// unknown.
+    pub fn read_run(
+        &self,
+        window_id: u64,
+        from: u64,
+        max: usize,
+        out: &mut Vec<EventRun>,
+    ) -> usize {
+        let shard = self.shard(window_id).read();
+        let Some(buf) = shard.windows.get(&window_id) else {
+            return 0;
+        };
+        if from >= buf.len {
+            return 0;
+        }
+        let mut idx = buf
+            .segs
+            .partition_point(|s| s.first + s.range.len() as u64 <= from);
+        let mut remaining = max;
+        let mut covered = 0usize;
+        while remaining > 0 {
+            let Some(seg) = buf.segs.get(idx) else { break };
+            let skip = (from.max(seg.first) - seg.first) as usize;
+            let take = (seg.range.len() - skip).min(remaining);
+            if take == 0 {
+                break;
+            }
+            let start = seg.range.start + skip;
+            out.push(EventRun {
+                batch: Arc::clone(&seg.batch),
+                range: start..start + take,
+            });
+            covered += take;
+            remaining -= take;
+            idx += 1;
+        }
+        covered
+    }
+
+    /// Fetches a copy of the event at window-relative index `idx` of
+    /// `window_id` (test/diagnostic convenience; the hot path uses
+    /// [`read_run`](Self::read_run)).
+    pub fn get(&self, window_id: u64, idx: u64) -> Option<Event> {
+        let shard = self.shard(window_id).read();
+        let buf = shard.windows.get(&window_id)?;
+        let si = buf
+            .segs
+            .partition_point(|s| s.first + s.range.len() as u64 <= idx);
+        let seg = buf.segs.get(si)?;
+        let off = idx.checked_sub(seg.first)? as usize;
+        seg.batch.events().get(seg.range.start + off).cloned()
+    }
+
+    /// Number of events currently buffered for `window_id`, or `None` if
+    /// the window is unknown.
+    pub fn window_len(&self, window_id: u64) -> Option<u64> {
+        let shard = self.shard(window_id).read();
+        shard.windows.get(&window_id).map(|b| b.len)
+    }
+
+    /// The stream position of `window_id`'s first event, or `None` if the
+    /// window is unknown.
+    pub fn window_start(&self, window_id: u64) -> Option<u64> {
+        let shard = self.shard(window_id).read();
+        shard.windows.get(&window_id).map(|b| b.start_pos)
+    }
+
+    /// Drops `window_id`'s buffer (called at retirement; hand-off batches
+    /// shared with other live windows stay alive through their segments).
+    pub fn remove_window(&self, window_id: u64) {
+        let mut shard = self.shard(window_id).write();
+        shard.windows.remove(&window_id);
+    }
+
+    /// Number of live window buffers.
+    pub fn live_windows(&self) -> usize {
+        self.shards.iter().map(|s| s.read().windows.len()).sum()
+    }
+
+    /// Total buffered events across all windows. Overlapping windows each
+    /// count the events of their own segments (the payloads behind them
+    /// live once, inside the shared batches).
     pub fn resident(&self) -> usize {
-        self.inner.read().events.len()
+        self.shards
+            .iter()
+            .map(|s| {
+                s.read()
+                    .windows
+                    .values()
+                    .map(|b| b.len as usize)
+                    .sum::<usize>()
+            })
+            .sum()
     }
 }
 
@@ -134,48 +341,126 @@ mod tests {
     use super::*;
     use spectre_events::EventType;
 
-    fn ev(seq: Seq) -> Event {
-        Event::builder(EventType::new(0)).seq(seq).ts(seq).build()
+    fn batch(first_pos: u64, seqs: Range<u64>) -> Arc<EventBatch> {
+        let mut b = EventBatch::with_capacity(first_pos, (seqs.end - seqs.start) as usize);
+        for seq in seqs {
+            b.push(Event::builder(EventType::new(0)).seq(seq).ts(seq).build());
+        }
+        Arc::new(b)
+    }
+
+    fn read_seqs(store: &WindowStore, w: u64, from: u64, max: usize) -> Vec<Seq> {
+        let mut runs = Vec::new();
+        store.read_run(w, from, max, &mut runs);
+        runs.iter()
+            .flat_map(|r| r.events().iter().map(|e| e.seq()))
+            .collect()
     }
 
     #[test]
-    fn append_and_get() {
-        let store = EventStore::new();
-        assert!(store.is_empty());
-        for i in 0..10 {
-            assert_eq!(store.append(ev(i)), i);
-        }
-        assert_eq!(store.len(), 10);
-        assert_eq!(store.get(3).unwrap().seq(), 3);
-        assert!(store.get(10).is_none());
+    fn extend_and_read_runs() {
+        let store = WindowStore::new(4);
+        store.open_window(7, 10);
+        assert_eq!(store.window_start(7), Some(10));
+        store.extend(7, &batch(10, 10..14), 0..4);
+        store.extend(7, &batch(14, 14..20), 0..6);
+        assert_eq!(store.window_len(7), Some(10));
+        assert_eq!(store.get(7, 3).unwrap().seq(), 13);
+        assert!(store.get(7, 10).is_none());
+
+        // Runs can start inside a segment and span segment boundaries.
+        assert_eq!(read_seqs(&store, 7, 0, 3), vec![10, 11, 12]);
+        assert_eq!(
+            read_seqs(&store, 7, 3, usize::MAX),
+            (13..20).collect::<Vec<_>>()
+        );
+        assert_eq!(read_seqs(&store, 7, 5, 3), vec![15, 16, 17]);
+        let mut out = Vec::new();
+        assert_eq!(store.read_run(7, 10, 16, &mut out), 0, "past the buffer");
     }
 
     #[test]
-    fn prune_drops_prefix_only() {
-        let store = EventStore::new();
-        for i in 0..10 {
-            store.append(ev(i));
-        }
-        store.prune_before(4);
-        assert!(store.get(3).is_none());
-        assert_eq!(store.get(4).unwrap().seq(), 4);
-        assert_eq!(store.len(), 10);
-        assert_eq!(store.resident(), 6);
-        // appending continues at the right position
-        assert_eq!(store.append(ev(10)), 10);
-        assert_eq!(store.get(10).unwrap().seq(), 10);
+    fn partial_batch_ranges_are_respected() {
+        // A window that opened mid-batch owns only its slice.
+        let store = WindowStore::new(2);
+        store.open_window(3, 12);
+        let b = batch(10, 10..16);
+        store.extend(3, &b, 2..6); // events 12..16
+        assert_eq!(store.window_len(3), Some(4));
+        assert_eq!(read_seqs(&store, 3, 0, 16), vec![12, 13, 14, 15]);
+        assert_eq!(store.get(3, 1).unwrap().seq(), 13);
     }
 
     #[test]
-    fn prune_beyond_len_empties() {
-        let store = EventStore::new();
-        for i in 0..5 {
-            store.append(ev(i));
-        }
-        store.prune_before(100);
+    fn unknown_windows_are_inert() {
+        let store = WindowStore::new(2);
+        let mut out = Vec::new();
+        assert_eq!(store.read_run(5, 0, 8, &mut out), 0);
+        assert!(store.get(5, 0).is_none());
+        assert_eq!(store.window_len(5), None);
+        store.extend(5, &batch(0, 0..1), 0..1); // no-op, not a panic
+        store.remove_window(5); // idempotent
         assert_eq!(store.resident(), 0);
-        assert_eq!(store.len(), 5);
-        assert_eq!(store.append(ev(5)), 5);
+    }
+
+    #[test]
+    fn overlapping_windows_share_batches() {
+        let store = WindowStore::new(3);
+        store.open_window(0, 0);
+        store.open_window(1, 2);
+        let b = batch(0, 0..4);
+        store.extend(0, &b, 0..4);
+        store.extend(1, &b, 2..4); // w1 starts at event 2
+        assert_eq!(store.resident(), 6, "six referenced slots, one batch");
+        assert_eq!(
+            Arc::strong_count(&b),
+            3,
+            "one Arc per window, not per event"
+        );
+        store.remove_window(0);
+        assert_eq!(store.live_windows(), 1);
+        assert_eq!(store.get(1, 0).unwrap().seq(), 2, "still alive via w1");
+        store.remove_window(1);
+        assert_eq!(Arc::strong_count(&b), 1, "batch freed with its windows");
+    }
+
+    #[test]
+    fn single_shard_behaves_identically() {
+        // The shard count is pure placement: the same call sequence gives
+        // the same observable state for 1 and many shards.
+        for shards in [1usize, 2, 8] {
+            let store = WindowStore::new(shards);
+            assert_eq!(store.shard_count(), shards);
+            for w in 0..10u64 {
+                store.open_window(w, w * 2);
+                store.extend(w, &batch(w * 2, w * 2..w * 2 + 4), 0..4);
+            }
+            for w in 0..10u64 {
+                assert_eq!(
+                    read_seqs(&store, w, 1, 2),
+                    vec![w * 2 + 1, w * 2 + 2],
+                    "shards = {shards}"
+                );
+            }
+            assert_eq!(store.resident(), 40);
+            store.remove_window(3);
+            assert_eq!(store.live_windows(), 9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "store shard count must be positive")]
+    fn zero_shards_rejected() {
+        let _ = WindowStore::new(0);
+    }
+
+    #[test]
+    fn open_window_is_idempotent() {
+        let store = WindowStore::new(2);
+        store.open_window(1, 5);
+        store.extend(1, &batch(5, 5..6), 0..1);
+        store.open_window(1, 5); // must not clear the buffer
+        assert_eq!(store.window_len(1), Some(1));
     }
 
     #[test]

@@ -822,6 +822,179 @@ impl DependencyTree {
         dropped
     }
 
+    /// `true` if, on `from`'s ancestor chain, the version of `cell`'s
+    /// window still *vouches* for the completion: its processing state
+    /// holds the completed group. A version whose chain ancestor no longer
+    /// vouches assumes a completion that never happened in the surviving
+    /// timeline.
+    fn completion_vouched(&self, from: NodeId, cell: &CgCell) -> bool {
+        let mut cur = Some(from);
+        while let Some(id) = cur {
+            match self.node(id) {
+                Node::Version { state, parent, .. } => {
+                    if state.window().id == cell.window_id() {
+                        return state
+                            .lock()
+                            .completed_cells
+                            .iter()
+                            .any(|c| c.id() == cell.id());
+                    }
+                    if state.window().id < cell.window_id() {
+                        return false;
+                    }
+                    cur = *parent;
+                }
+                Node::Cg { parent, .. } => cur = *parent,
+            }
+        }
+        false
+    }
+
+    /// Revokes consumption-group completions discarded by a rollback.
+    ///
+    /// A version that completes a group and *then* rolls back voids the
+    /// completion — but the tree may already have spliced the group's
+    /// resolution, and state copies made under other branches (see
+    /// [`cg_created`](Self::cg_created)) may carry the completion onward as
+    /// suppressed sets or recorded facts even though the processing that
+    /// produced it never happens in the restarted timeline. The rolled-back
+    /// version's own dependent subtree is handled by
+    /// [`rollback_rebuild`](Self::rollback_rebuild); this sweep finds the
+    /// escapees: every version that still assumes one of the `revoked`
+    /// completions (suppressed set or vertex facts) *without* a chain
+    /// ancestor that still vouches for it is replaced by a fresh version
+    /// with the void groups removed, and its dependents are rebuilt.
+    ///
+    /// `newer_of` must return the live windows with id greater than the
+    /// given window id, ascending. Returns the number of versions dropped.
+    pub fn revoke_completions(
+        &mut self,
+        revoked: &[Arc<CgCell>],
+        newer_of: &dyn Fn(u64) -> Vec<Arc<WindowInfo>>,
+        f: &mut dyn VersionFactory,
+    ) -> usize {
+        if revoked.is_empty() {
+            return 0;
+        }
+        // Candidates oldest-window first: replacing an owner rebuilds (and
+        // thereby cleans) its dependents, so deeper candidates drop out.
+        let mut candidates: Vec<(u64, WvId)> = self
+            .version_vertex
+            .values()
+            .filter_map(|&node| {
+                let Some(Some(Node::Version { state, facts, .. })) = self.nodes.get(node) else {
+                    return None;
+                };
+                let involved = state
+                    .suppressed()
+                    .iter()
+                    .chain(facts.iter())
+                    .any(|s| revoked.iter().any(|r| r.id() == s.id()));
+                involved.then(|| (state.window().id, state.id()))
+            })
+            .collect();
+        candidates.sort_unstable_by_key(|&(w, v)| (w, v.0));
+
+        let mut dropped = 0;
+        for (window_id, wv) in candidates {
+            let Some(&vnode) = self.version_vertex.get(&wv.0) else {
+                continue; // already cleaned by an ancestor's replacement
+            };
+            let Node::Version { state, facts, .. } = self.node(vnode) else {
+                unreachable!()
+            };
+            let assumed: Vec<Arc<CgCell>> = revoked
+                .iter()
+                .filter(|r| {
+                    state
+                        .suppressed()
+                        .iter()
+                        .chain(facts.iter())
+                        .any(|s| s.id() == r.id())
+                })
+                .cloned()
+                .collect();
+            let unvouched: Vec<CgId> = assumed
+                .iter()
+                .filter(|cell| !self.completion_vouched(vnode, cell))
+                .map(|cell| cell.id())
+                .collect();
+            if unvouched.is_empty() {
+                continue; // a live ancestor still stands by the completion
+            }
+            dropped += self.replace_poisoned(wv, &unvouched, &newer_of(window_id), f);
+        }
+        dropped
+    }
+
+    /// Replaces a version that assumes void completions: the version is
+    /// dropped and a fresh version of the same window — with the `void`
+    /// groups removed from its suppressed set and vertex facts — takes its
+    /// place in the tree; its dependent subtree is rebuilt from scratch.
+    /// Returns the number of versions dropped (including the replaced one).
+    fn replace_poisoned(
+        &mut self,
+        wv: WvId,
+        void: &[CgId],
+        newer_windows: &[Arc<WindowInfo>],
+        f: &mut dyn VersionFactory,
+    ) -> usize {
+        let Some(&vnode) = self.version_vertex.get(&wv.0) else {
+            return 0;
+        };
+        let (old_state, old_facts, old_child) = match self.node(vnode) {
+            Node::Version {
+                state,
+                facts,
+                child,
+                ..
+            } => (Arc::clone(state), facts.clone(), *child),
+            Node::Cg { .. } => unreachable!(),
+        };
+        let keep = |cells: &[Arc<CgCell>]| -> Vec<Arc<CgCell>> {
+            cells
+                .iter()
+                .filter(|c| !void.contains(&c.id()))
+                .cloned()
+                .collect()
+        };
+        let new_suppressed = keep(old_state.suppressed());
+        let new_facts = keep(&old_facts);
+        let mut dropped = 1; // the replaced version itself
+        if let Some(c) = old_child {
+            dropped += self.drop_subtree(c);
+        }
+        old_state.mark_dropped();
+        let new_state = f.fresh(old_state.window(), new_suppressed.clone());
+        self.version_vertex.remove(&wv.0);
+        self.version_vertex.insert(new_state.id().0, vnode);
+        {
+            let Node::Version {
+                state,
+                facts,
+                child,
+                ..
+            } = self.node_mut(vnode)
+            else {
+                unreachable!()
+            };
+            *state = Arc::clone(&new_state);
+            *facts = new_facts.clone();
+            *child = None;
+        }
+        if !newer_windows.is_empty() {
+            let mut suppression = new_suppressed;
+            suppression.extend(new_facts);
+            let head = self.fresh_chain(newer_windows, &suppression, f);
+            self.set_parent(head, vnode);
+            let Node::Version { child, .. } = self.node_mut(vnode) else {
+                unreachable!()
+            };
+            *child = Some(head);
+        }
+        dropped
+    }
+
     /// Removes the root version after it was emitted; its child becomes the
     /// new root.
     ///
@@ -1147,6 +1320,60 @@ mod tests {
             .filter(|v| v.suppressed().iter().any(|c| c.id() == cg.id()))
             .count();
         assert_eq!(suppressing, 1);
+    }
+
+    #[test]
+    fn revoked_completion_replaces_unvouched_suppressors() {
+        // A version completes a group, the tree splices the resolution,
+        // and then the version rolls back: the completion is void, and
+        // dependents still suppressing it must be replaced — unless the
+        // completing version still vouches for it.
+        let mut f = Fixture::new();
+        let v0 = f.open_window(0).remove(0);
+        let _ = f.open_window(1);
+        let cell = f.create_cg(&v0);
+        // The owning instance completes the group.
+        cell.complete();
+        v0.lock().completed_cells.push(Arc::clone(&cell));
+        let dropped = f.tree.cg_resolved(cell.id(), true);
+        assert_eq!(dropped, 1, "abandon branch dropped");
+        f.tree.assert_invariants();
+        let suppressor = |tree: &DependencyTree| {
+            tree.versions()
+                .into_iter()
+                .find(|v| v.window().id == 1)
+                .expect("a w1 version exists")
+        };
+        let w1 = suppressor(&f.tree);
+        assert!(w1.suppressed().iter().any(|c| c.id() == cell.id()));
+
+        // While v0's state still holds the completion, it is vouched for:
+        // the sweep must not touch anything.
+        let newer_of = |_: u64| Vec::new();
+        let revoked = vec![Arc::clone(&cell)];
+        assert_eq!(
+            f.tree
+                .revoke_completions(&revoked, &newer_of, &mut f.factory),
+            0
+        );
+        assert_eq!(suppressor(&f.tree).id(), w1.id());
+
+        // v0 rolls back: the completion is discarded and reported revoked.
+        let outcome = v0.rollback_state();
+        assert!(!outcome.restored_checkpoint);
+        assert!(outcome.revoked.iter().any(|c| c.id() == cell.id()));
+        let dropped = f
+            .tree
+            .revoke_completions(&outcome.revoked, &newer_of, &mut f.factory);
+        assert_eq!(dropped, 1, "the poisoned w1 version is replaced");
+        f.tree.assert_invariants();
+        assert!(w1.is_dropped());
+        let replacement = suppressor(&f.tree);
+        assert_ne!(replacement.id(), w1.id());
+        assert!(
+            replacement.suppressed().is_empty(),
+            "the void group is gone from the replacement's world"
+        );
     }
 
     #[test]

@@ -60,6 +60,17 @@ pub struct VersionInner {
     pub checkpoint: Option<Box<Checkpoint>>,
 }
 
+/// Outcome of [`VersionState::rollback_state`].
+#[derive(Debug)]
+pub struct RollbackOutcome {
+    /// `true` when a checkpoint was restored rather than a full reset.
+    pub restored_checkpoint: bool,
+    /// Consumption groups the discarded processing had completed that the
+    /// rollback does not carry over; their completion is void and must be
+    /// revoked from the dependency tree.
+    pub revoked: Vec<Arc<CgCell>>,
+}
+
 /// A state snapshot taken at a *clean cut*: no partial match (and hence no
 /// open consumption group) was active, so restoring it never resurrects a
 /// group the dependency tree has already resolved.
@@ -194,13 +205,22 @@ impl VersionState {
 
     /// Rolls the version back: restores the latest checkpoint if one exists
     /// and is still consistent with the suppressed groups, otherwise resets
-    /// to the window start. Returns `true` when a checkpoint was restored.
+    /// to the window start.
     ///
     /// A checkpoint is consistent when none of its processed events belongs
     /// to a currently suppressed group — the same criterion the periodic
     /// consistency check applies to live state (paper Fig. 8).
-    pub fn rollback_state(&self) -> bool {
+    ///
+    /// The outcome reports the consumption groups the discarded processing
+    /// had *completed* that do not survive the rollback. Their completion
+    /// was speculative output of processing that never happened in the
+    /// restarted timeline; the splitter must revoke them from the
+    /// dependency tree (versions elsewhere in the tree may still suppress
+    /// their events based on the void completion — see
+    /// [`DependencyTree::revoke_completions`](crate::tree::DependencyTree::revoke_completions)).
+    pub fn rollback_state(&self) -> RollbackOutcome {
         let mut inner = self.inner.lock();
+        let before = inner.completed_cells.clone();
         let restorable = inner.checkpoint.as_ref().is_some_and(|cp| {
             self.suppressed
                 .iter()
@@ -209,7 +229,10 @@ impl VersionState {
         if !restorable {
             drop(inner);
             self.reset();
-            return false;
+            return RollbackOutcome {
+                restored_checkpoint: false,
+                revoked: before,
+            };
         }
         for (_, cg) in inner.open_cgs.drain(..) {
             cg.abandon();
@@ -224,7 +247,15 @@ impl VersionState {
         inner.seen_versions = vec![0; self.suppressed.len()];
         inner.steps_since_check = 0;
         self.finished.store(false, Ordering::Release);
-        true
+        let surviving = &inner.completed_cells;
+        let revoked = before
+            .into_iter()
+            .filter(|c| !surviving.iter().any(|k| k.id() == c.id()))
+            .collect();
+        RollbackOutcome {
+            restored_checkpoint: true,
+            revoked,
+        }
     }
 
     /// Clones this version's full processing state into a new speculative

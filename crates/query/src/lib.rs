@@ -53,5 +53,5 @@ pub use matcher::{FeedOutcome, PartialMatch};
 pub use parser::{parse_query, ParseError};
 pub use pattern::{ElemId, ElemMatcher, Pattern, PatternBuilder, Step, StepId, StepKind};
 pub use policy::{ConsumptionPolicy, SelectionPolicy};
-pub use query::{Query, QueryBuilder};
+pub use query::{Query, QueryBuilder, QueryError};
 pub use window::{WindowClose, WindowOpen, WindowSpec};

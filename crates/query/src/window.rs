@@ -223,21 +223,36 @@ impl WindowAssigner {
     /// it, possibly opens a new window starting at it, and reports the
     /// windows it belongs to.
     pub fn observe(&mut self, ev: &Event) -> AssignResult {
+        let mut closed = Vec::new();
+        let opened = self.ingest(ev, &mut closed);
+        AssignResult {
+            opened,
+            closed,
+            // Memberships: all still-open windows contain this event.
+            members: self.open.iter().map(|w| w.id).collect(),
+        }
+    }
+
+    /// Allocation-free variant of [`observe`](Self::observe) for the
+    /// splitter's hot path: windows the event closes are appended to
+    /// `closed` (a caller-owned, reusable buffer), the window the event
+    /// opens — if any — is returned, and no per-event membership list is
+    /// built (every still-open window contains the event by construction,
+    /// so callers that mirror the open set need none).
+    pub fn ingest(&mut self, ev: &Event, closed: &mut Vec<WindowBounds>) -> Option<WindowBounds> {
         let pos = self.pos;
         self.pos += 1;
 
-        let mut result = AssignResult::default();
-
-        // 1. Close windows that do not include this event.
+        // 1. Close windows that do not include this event (oldest first;
+        //    start positions and timestamps are non-decreasing, so the scan
+        //    can stop at the first still-included window).
         while let Some(front) = self.open.front() {
             let excluded = match self.spec.close {
                 WindowClose::Count(ws) => pos >= front.start_pos + ws,
                 WindowClose::Time(d) => ev.ts() >= front.start_ts.saturating_add(d),
             };
             if excluded {
-                result
-                    .closed
-                    .push(self.open.pop_front().expect("front exists"));
+                closed.push(self.open.pop_front().expect("front exists"));
             } else {
                 break;
             }
@@ -260,12 +275,9 @@ impl WindowAssigner {
             };
             self.next_id += 1;
             self.open.push_back(bounds);
-            result.opened = Some(bounds);
+            return Some(bounds);
         }
-
-        // 3. Memberships: all still-open windows contain this event.
-        result.members = self.open.iter().map(|w| w.id).collect();
-        result
+        None
     }
 
     /// Flushes the stream end: every still-open window closes.
@@ -503,6 +515,24 @@ mod tests {
             WindowSpec::on_match_time(None, Expr::truth(), 0).unwrap_err(),
             WindowSpecError::ZeroScope
         );
+    }
+
+    #[test]
+    fn ingest_matches_observe() {
+        // The allocation-free hot-path entry point must report exactly the
+        // opens and closes of `observe` on the same stream.
+        let mk_pair = || WindowAssigner::new(WindowSpec::count_sliding(4, 2).unwrap());
+        let (mut a, mut b) = (mk_pair(), mk_pair());
+        let mut closed = Vec::new();
+        for i in 0..16 {
+            let ev = mk(i, i, 0.0);
+            let r = a.observe(&ev);
+            closed.clear();
+            let opened = b.ingest(&ev, &mut closed);
+            assert_eq!(opened, r.opened, "event {i}");
+            assert_eq!(closed, r.closed, "event {i}");
+        }
+        assert_eq!(a.finish(), b.finish());
     }
 
     #[test]

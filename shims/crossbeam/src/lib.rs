@@ -3,8 +3,15 @@
 //! Only [`queue::SegQueue`] is provided — the single crossbeam type the
 //! SPECTRE runtime uses for its cross-thread operation queues. The shim backs
 //! it with a mutex-protected `VecDeque`; it is linearizable and lock-based
-//! rather than lock-free, which is semantically equivalent (and fine for the
-//! current scale). Swap for the real crate once the registry is reachable.
+//! rather than lock-free, which is semantically equivalent. Because every
+//! `push`/`pop` takes the mutex, per-element traffic dominates threaded
+//! profiles at scale; [`queue::SegQueue::push_many`] and
+//! [`queue::SegQueue::pop_many`] move whole batches under a single lock
+//! acquisition and are what the SPECTRE hot path uses. Swap for the real
+//! crate once the registry is reachable — the batched methods are shim
+//! extensions (real `crossbeam` has no `push_many`/`pop_many`), so the swap
+//! needs a thin extension trait or a per-element fallback loop at the call
+//! sites.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,6 +45,23 @@ pub mod queue {
             self.lock().pop_front()
         }
 
+        /// Pushes every element of `items` onto the back of the queue,
+        /// preserving iteration order, under one lock acquisition.
+        pub fn push_many<I: IntoIterator<Item = T>>(&self, items: I) {
+            let mut inner = self.lock();
+            inner.extend(items);
+        }
+
+        /// Pops up to `max` front elements into `out` (appended in queue
+        /// order) under one lock acquisition. Returns how many were moved.
+        pub fn pop_many(&self, out: &mut Vec<T>, max: usize) -> usize {
+            let mut inner = self.lock();
+            let n = max.min(inner.len());
+            out.reserve(n);
+            out.extend(inner.drain(..n));
+            n
+        }
+
         /// Number of queued elements at the time of the call.
         pub fn len(&self) -> usize {
             self.lock().len()
@@ -64,6 +88,26 @@ pub mod queue {
             f.debug_struct("SegQueue")
                 .field("len", &self.len())
                 .finish()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn batched_ops_preserve_fifo_order() {
+            let q = SegQueue::new();
+            q.push(0);
+            q.push_many([1, 2, 3]);
+            q.push(4);
+            let mut out = Vec::new();
+            assert_eq!(q.pop_many(&mut out, 3), 3);
+            assert_eq!(out, vec![0, 1, 2]);
+            assert_eq!(q.pop_many(&mut out, usize::MAX), 2);
+            assert_eq!(out, vec![0, 1, 2, 3, 4]);
+            assert_eq!(q.pop_many(&mut out, usize::MAX), 0);
+            assert!(q.is_empty());
         }
     }
 }

@@ -2,7 +2,7 @@
 //!
 //! Reimplements the slice of proptest the SPECTRE property suites use: the
 //! [`proptest!`] macro with `arg in strategy` bindings and
-//! `#![proptest_config(..)]`, range/tuple/[`Just`]/[`prop_oneof!`] /
+//! `#![proptest_config(..)]`, range/tuple/[`Just`](strategy::Just)/[`prop_oneof!`] /
 //! [`collection::vec`] strategies, and the `prop_assert*`/[`prop_assume!`]
 //! macros. Cases are generated from a seed derived deterministically from
 //! the test name, so failures reproduce across runs. No shrinking: a
