@@ -1,15 +1,21 @@
 //! Criterion end-to-end benchmarks: the four engines over the same small
 //! NYSE workload (Q1), plus the SPECTRE simulator at several instance
-//! counts, plus the threaded runtime on a paper-scale stream comparing the
+//! counts, plus the threaded runtime on paper-scale streams — the
 //! batched/sharded data path against the unbatched single-shard
-//! configuration. These are the regression-guard companions to the figure
-//! binaries in `src/bin/`.
+//! configuration, and a consumption-heavy fixture comparing the lazy
+//! dependency tree against eager subtree copies. These are the
+//! regression-guard companions to the figure binaries in `src/bin/`.
+//!
+//! Set `SPECTRE_BENCH_SUMMARY=<path>` to additionally write a small JSON
+//! summary (events/s and peak tree size per threaded case) for CI bench
+//! trend tracking; `scripts/bench_gate.py` diffs it against the checked-in
+//! baseline in `crates/bench/baseline/`.
 
 use std::sync::Arc;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use spectre_baselines::{run_sequential, run_waitful, TrexEngine};
-use spectre_core::{run_simulated, run_threaded, SpectreConfig};
+use spectre_core::{run_simulated, run_threaded, SpectreConfig, ThreadedReport};
 use spectre_datasets::{NyseConfig, NyseGenerator};
 use spectre_events::{Event, Schema};
 use spectre_query::queries::{self, Direction};
@@ -112,5 +118,138 @@ fn bench_threaded(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(end_to_end, bench_engines, bench_threaded);
+/// Consumption-heavy fixture: Q1 *with* its consumption policy at a high
+/// pattern/window ratio (q = 110, ws = 200 → most partial matches abandon,
+/// the paper's high-ratio regime, while enough complete to keep the
+/// output non-trivial). Here the speculative machinery — group creation,
+/// completion-branch copies, resolutions — dominates the data path, which
+/// is exactly what the lazy dependency tree targets.
+fn consumption_fixture() -> (Arc<Query>, Vec<Event>) {
+    let mut schema = Schema::new();
+    let config = NyseConfig {
+        symbols: 300,
+        leaders: 16,
+        events: spectre_bench::threaded_bench_events(),
+        seed: 42,
+        ..NyseConfig::default()
+    };
+    let events: Vec<_> = NyseGenerator::new(config, &mut schema).collect();
+    let query = Arc::new(queries::q1(&mut schema, 110, 200, Direction::Rising));
+    (query, events)
+}
+
+/// The lazy tree (defaults: O(1) group creation, cap 1024) against eager
+/// subtree copies with the cap PR 2 tuned for them (512 — higher caps
+/// make eager strictly worse, since every group creation copies a subtree
+/// bounded by the cap).
+fn consumption_configs() -> [(&'static str, SpectreConfig); 2] {
+    let lazy = SpectreConfig::with_batching(2, 64, 8);
+    let eager = SpectreConfig {
+        max_tree_versions: 512,
+        ..SpectreConfig::with_batching(2, 64, 8).with_lazy_materialization(false)
+    };
+    [
+        ("consumption_lazy_k2", lazy),
+        ("consumption_eager_k2", eager),
+    ]
+}
+
+/// Last [`ThreadedReport`] per consumption case, stashed by
+/// [`bench_consumption`] so [`emit_summary`] can report speculation
+/// metrics without re-running the (expensive) cases.
+static CONSUMPTION_REPORTS: std::sync::Mutex<Vec<(&'static str, ThreadedReport)>> =
+    std::sync::Mutex::new(Vec::new());
+
+fn bench_consumption(c: &mut Criterion) {
+    let (query, events) = consumption_fixture();
+    let mut group = c.benchmark_group(format!(
+        "threaded_consumption_{}k_events",
+        events.len() / 1000
+    ));
+    group.sample_size(2);
+    for (name, config) in consumption_configs() {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let report = run_threaded(&query, events.clone(), &config);
+                let out = report.complex_events.len();
+                let mut stash = CONSUMPTION_REPORTS.lock().expect("report stash");
+                stash.retain(|(n, _)| *n != name);
+                stash.push((name, report));
+                black_box(out)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Writes the machine-readable bench summary for CI trend tracking when
+/// `SPECTRE_BENCH_SUMMARY` names a path: per threaded case, events/s (from
+/// the criterion shim's retained minimum) plus — for the consumption cases
+/// — peak tree size and the lazy-speculation counters from the reports
+/// [`bench_consumption`] stashed.
+fn emit_summary(_c: &mut Criterion) {
+    let Ok(path) = std::env::var("SPECTRE_BENCH_SUMMARY") else {
+        return;
+    };
+    let events_n = spectre_bench::threaded_bench_events();
+    let mut cases: Vec<(String, String)> = Vec::new();
+    for summary in criterion::take_summaries() {
+        let Some((group, name)) = summary.id.split_once('/') else {
+            continue;
+        };
+        if !group.starts_with("threaded_") {
+            continue;
+        }
+        let eps = events_n as f64 / summary.min.as_secs_f64();
+        cases.push((
+            name.to_string(),
+            format!(
+                "\"events_per_sec\": {eps:.0}, \"samples\": {}",
+                summary.samples
+            ),
+        ));
+    }
+    // Speculation accounting from the runs bench_consumption already did.
+    let reports = std::mem::take(&mut *CONSUMPTION_REPORTS.lock().expect("report stash"));
+    for (name, report) in &reports {
+        let m = &report.metrics;
+        let extra = format!(
+            "\"peak_tree\": {}, \"versions_materialized\": {}, \
+             \"lazy_versions_dropped\": {}, \"outputs\": {}",
+            m.max_tree_versions,
+            m.versions_materialized,
+            m.lazy_versions_dropped,
+            report.complex_events.len()
+        );
+        match cases.iter_mut().find(|(n, _)| n == name) {
+            Some((_, fields)) => *fields = format!("{fields}, {extra}"),
+            None => cases.push((name.to_string(), extra)),
+        }
+    }
+    let body: Vec<String> = cases
+        .iter()
+        .map(|(name, fields)| format!("    \"{name}\": {{ {fields} }}"))
+        .collect();
+    let json = format!(
+        "{{\n  \"schema\": 1,\n  \"events\": {events_n},\n  \"cases\": {{\n{}\n  }}\n}}\n",
+        body.join(",\n")
+    );
+    // Cargo runs benches with the package directory as cwd; make parent
+    // directories so relative paths from the workspace root work too.
+    if let Some(parent) = std::path::Path::new(&path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create summary directory");
+        }
+    }
+    std::fs::write(&path, json).expect("write bench summary");
+    println!("bench summary written to {path}");
+}
+
+criterion_group!(
+    end_to_end,
+    bench_engines,
+    bench_threaded,
+    bench_consumption,
+    emit_summary
+);
 criterion_main!(end_to_end);

@@ -106,15 +106,19 @@ impl VersionFactory for BenchFactory {
     }
 }
 
-fn populated_tree(windows: usize, cgs: usize) -> DependencyTree {
+fn bench_factory() -> BenchFactory {
     let mut schema = Schema::new();
     let query = Arc::new(queries::q1(&mut schema, 2, 50, Direction::Rising));
-    let mut tree = DependencyTree::new();
-    let mut factory = BenchFactory {
+    BenchFactory {
         query,
         next_wv: 0,
         next_cg: 10_000,
-    };
+    }
+}
+
+fn populated_tree(windows: usize, cgs: usize, lazy: bool) -> (DependencyTree, BenchFactory) {
+    let mut tree = DependencyTree::with_lazy(lazy);
+    let mut factory = bench_factory();
     let mut creators = Vec::new();
     for w in 0..windows as u64 {
         let window = Arc::new(WindowInfo::new(w, w * 10, w * 10, w * 10));
@@ -125,16 +129,23 @@ fn populated_tree(windows: usize, cgs: usize) -> DependencyTree {
         let cell = Arc::new(CgCell::new(CgId(i as u64), creator.window().id, 2));
         tree.cg_created(creator.id(), cell, &mut factory);
     }
-    tree
+    (tree, factory)
 }
 
 fn bench_tree(c: &mut Criterion) {
-    c.bench_function("tree_build_8_windows_4_cgs", |b| {
-        b.iter(|| black_box(populated_tree(8, 4).version_count()))
+    // Group creation: the eager tree copies the dependent subtree per
+    // group; the lazy tree allocates two arena nodes per group.
+    c.bench_function("tree_build_8_windows_4_cgs_eager", |b| {
+        b.iter(|| black_box(populated_tree(8, 4, false).0.version_count()))
     });
-    let tree = populated_tree(8, 4);
+    c.bench_function("tree_build_8_windows_4_cgs_lazy", |b| {
+        b.iter(|| black_box(populated_tree(8, 4, true).0.version_count()))
+    });
+    let (mut tree, mut factory) = populated_tree(8, 4, true);
+    // The first selection materializes the branches it schedules; steady
+    // state measures the selection walk itself.
     c.bench_function("tree_top_k_16", |b| {
-        b.iter(|| black_box(tree.top_k(16, &|_c| 0.5).len()))
+        b.iter(|| black_box(tree.top_k(16, &|_c| 0.5, &mut factory).len()))
     });
 }
 
@@ -175,7 +186,7 @@ fn bench_elastic(c: &mut Criterion) {
 fn bench_tree_resolution(c: &mut Criterion) {
     c.bench_function("tree_cg_create_resolve_cycle", |b| {
         b.iter(|| {
-            let tree = populated_tree(8, 4);
+            let (tree, _) = populated_tree(8, 4, true);
             black_box(tree.version_count())
         })
     });

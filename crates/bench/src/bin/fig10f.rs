@@ -21,13 +21,18 @@ fn main() {
 
     println!("# Figure 10(f): max dependency-tree size vs #operator instances");
     println!("# Q1, q = {q}, ws = {ws}, events = {events_n}");
-    let widths = vec![4usize, 14, 16, 16];
+    println!("# wasted-speculation accounting includes the lazy tree:");
+    println!("#   versions_mat  = clones actually taken (scheduled/completed branches)");
+    println!("#   lazy_dropped  = completion branches discarded before any clone");
+    let widths = vec![4usize, 14, 16, 16, 16, 16];
     print_row(
         &[
             "k".into(),
             "max_tree".into(),
             "versions_made".into(),
             "versions_drop".into(),
+            "versions_mat".into(),
+            "lazy_dropped".into(),
         ],
         &widths,
     );
@@ -35,6 +40,8 @@ fn main() {
         let mut max_tree = 0u64;
         let mut created = 0u64;
         let mut dropped = 0u64;
+        let mut materialized = 0u64;
+        let mut lazy_dropped = 0u64;
         for rep in 0..repeats {
             let (mut schema, events) = nyse_stream(events_n, 42 + rep as u64);
             let query = Arc::new(queries::q1(&mut schema, q, ws, Direction::Rising));
@@ -42,6 +49,8 @@ fn main() {
             max_tree = max_tree.max(report.metrics.max_tree_versions);
             created = created.max(report.metrics.versions_created);
             dropped = dropped.max(report.metrics.versions_dropped);
+            materialized = materialized.max(report.metrics.versions_materialized);
+            lazy_dropped = lazy_dropped.max(report.metrics.lazy_versions_dropped);
         }
         print_row(
             &[
@@ -49,6 +58,8 @@ fn main() {
                 format!("{max_tree}"),
                 format!("{created}"),
                 format!("{dropped}"),
+                format!("{materialized}"),
+                format!("{lazy_dropped}"),
             ],
             &widths,
         );

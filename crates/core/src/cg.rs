@@ -55,6 +55,12 @@ pub struct CgCell {
     /// Relative position of the owning version inside its window when δ was
     /// last updated — input `posInWindow` of the prediction (paper Fig. 5).
     pos_in_window: AtomicU64,
+    /// Highest sequence number ever added to `events`. A *resolved* cell
+    /// whose `max_seq` precedes a window's first event can never suppress
+    /// anything in that window — versions of later windows prune such
+    /// cells at creation, keeping suppressed sets bounded by the live
+    /// overlap instead of growing with stream history.
+    max_seq: AtomicU64,
     events: RwLock<HashSet<Seq>>,
 }
 
@@ -68,6 +74,7 @@ impl CgCell {
             version: AtomicU64::new(0),
             delta: AtomicU64::new(initial_delta as u64),
             pos_in_window: AtomicU64::new(0),
+            max_seq: AtomicU64::new(0),
             events: RwLock::new(HashSet::new()),
         }
     }
@@ -121,6 +128,7 @@ impl CgCell {
             let mut events = self.events.write();
             events.insert(seq);
         }
+        self.max_seq.fetch_max(seq, Ordering::Relaxed);
         self.delta.store(delta as u64, Ordering::Relaxed);
         self.pos_in_window.store(pos_in_window, Ordering::Relaxed);
         self.version.fetch_add(1, Ordering::AcqRel);
@@ -146,6 +154,35 @@ impl CgCell {
     /// Number of events in the group.
     pub fn event_count(&self) -> usize {
         self.events.read().len()
+    }
+
+    /// Highest sequence number ever added (0 for an empty group). Only
+    /// meaningful for pruning once the cell [is resolved](Self::is_resolved)
+    /// — an open group may still grow.
+    pub fn max_seq(&self) -> Seq {
+        self.max_seq.load(Ordering::Relaxed)
+    }
+
+    /// `true` if this cell can never suppress an event of a window whose
+    /// first event is `window_start_seq`: the group is resolved (its event
+    /// set is final) and every event precedes the window. Versions prune
+    /// such cells from their suppressed sets at creation. Lock-free on
+    /// purpose — it runs per inherited cell per version creation, on the
+    /// splitter's hot path. `max_seq == 0` is left ambiguous with "empty"
+    /// and never pruned (an empty completed cell suppresses nothing but is
+    /// kept defensively; at most one real event, seq 0, shares the value).
+    ///
+    /// Ordering matters: the status is read *first* (Acquire). The owning
+    /// instance's last `add_event` happens-before its `complete()`
+    /// (Release), so observing the resolved status guarantees the final
+    /// `max_seq` is visible — reading `max_seq` before the status could
+    /// pair a stale maximum with a fresh resolution and prune a cell
+    /// whose real events reach into the window.
+    pub fn is_dead_for(&self, window_start_seq: Seq) -> bool {
+        self.is_resolved() && {
+            let max = self.max_seq.load(Ordering::Relaxed);
+            max > 0 && max < window_start_seq
+        }
     }
 
     /// `true` if any event of the group is contained in `sorted_used`
@@ -177,6 +214,7 @@ impl CgCell {
             version: AtomicU64::new(self.version.load(Ordering::Acquire)),
             delta: AtomicU64::new(self.delta.load(Ordering::Relaxed)),
             pos_in_window: AtomicU64::new(self.pos_in_window.load(Ordering::Relaxed)),
+            max_seq: AtomicU64::new(self.max_seq.load(Ordering::Relaxed)),
             events: RwLock::new(events),
         }
     }

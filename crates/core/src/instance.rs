@@ -17,6 +17,13 @@
 //! events of a run), so a larger batch size trades scheduling latency for
 //! amortized lock and queue traffic. The output is identical for every
 //! batch size.
+//!
+//! Instances are oblivious to lazy branch materialization: the splitter's
+//! top-k selection materializes an unmaterialized completion branch
+//! *before* writing it to a scheduling slot, so a slot only ever holds a
+//! fully materialized [`VersionState`]. A late clone that inherited
+//! processing the new suppression invalidates is caught here by the same
+//! periodic consistency check that catches late group updates.
 
 use std::sync::Arc;
 
@@ -336,8 +343,9 @@ impl InstanceCore {
 
             // Markov statistics: observed δ transition of this event, taken
             // from non-speculative versions only (paper §3.2.1: statistics
-            // are gathered by versions of independent windows).
-            if wv.suppressed().is_empty() && !abandoned_any {
+            // are gathered by versions of independent windows — a
+            // creation-time property, see `VersionState::stats_eligible`).
+            if wv.stats_eligible() && !abandoned_any {
                 let new_delta = inner.open_cgs.first().map(|(_, cg)| cg.delta());
                 match (prev_delta, new_delta) {
                     (Some(from), Some(to)) => self.record(shared, from, to),

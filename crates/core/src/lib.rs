@@ -46,6 +46,20 @@
 //! every combination (enforced by `tests/tests/smoke.rs` and
 //! `tests/tests/threaded.rs`).
 //!
+//! ## The lazy dependency tree
+//!
+//! Creating a consumption group nominally doubles the creator's dependent
+//! subtree. With [`SpectreConfig::lazy_materialization`] on (the default)
+//! the completion branch is a single *lazy vertex* — a thunk over the
+//! sibling abandon edge — and group creation is O(1) in tree size. The
+//! branch's version state is cloned only when the top-k selection first
+//! schedules it or its group completes; branches dropped by an
+//! abandonment, a rollback or a losing outer branch cost nothing
+//! (counted by [`MetricsSnapshot::lazy_versions_dropped`]). `false`
+//! restores the eager subtree copy for A/B runs; the output is identical
+//! either way (enforced by the lazy on/off matrices in the same test
+//! suites).
+//!
 //! ## Quickstart
 //!
 //! ```

@@ -21,6 +21,13 @@ pub struct Metrics {
     pub versions_created: AtomicU64,
     /// Window versions dropped (wasted speculation).
     pub versions_dropped: AtomicU64,
+    /// Window versions created by materializing lazy completion branches
+    /// (the demand-driven subset of `versions_created`).
+    pub versions_materialized: AtomicU64,
+    /// Lazy completion branches discarded before ever being materialized —
+    /// speculation the lazy tree made free (each one stands for a whole
+    /// subtree copy the eager tree would have made and thrown away).
+    pub lazy_versions_dropped: AtomicU64,
     /// Rollbacks (instance consistency check or final check).
     pub rollbacks: AtomicU64,
     /// Splitter maintenance + scheduling cycles.
@@ -60,6 +67,8 @@ impl Metrics {
             cgs_abandoned: self.cgs_abandoned.load(Ordering::Relaxed),
             versions_created: self.versions_created.load(Ordering::Relaxed),
             versions_dropped: self.versions_dropped.load(Ordering::Relaxed),
+            versions_materialized: self.versions_materialized.load(Ordering::Relaxed),
+            lazy_versions_dropped: self.lazy_versions_dropped.load(Ordering::Relaxed),
             rollbacks: self.rollbacks.load(Ordering::Relaxed),
             sched_cycles: self.sched_cycles.load(Ordering::Relaxed),
             max_tree_versions: self.max_tree_versions.load(Ordering::Relaxed),
@@ -83,6 +92,8 @@ pub struct MetricsSnapshot {
     pub cgs_abandoned: u64,
     pub versions_created: u64,
     pub versions_dropped: u64,
+    pub versions_materialized: u64,
+    pub lazy_versions_dropped: u64,
     pub rollbacks: u64,
     pub sched_cycles: u64,
     pub max_tree_versions: u64,

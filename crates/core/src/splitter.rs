@@ -194,13 +194,14 @@ impl<I: Iterator<Item = Event>> Splitter<I> {
         };
         let assigner = WindowAssigner::new(query.window().clone());
         let batch = EventBatch::with_capacity(0, config.batch_size);
+        let tree = DependencyTree::with_lazy(config.lazy_materialization);
         Splitter {
             config,
             query,
             shared,
             source,
             assigner,
-            tree: DependencyTree::new(),
+            tree,
             predictor,
             live: VecDeque::new(),
             open_windows: Vec::new(),
@@ -250,7 +251,18 @@ impl<I: Iterator<Item = Event>> Splitter<I> {
         self.ingest();
         self.retire();
         self.schedule();
+        let (materialized, lazy_dropped) = self.tree.take_lazy_stats();
         let metrics = &self.shared.metrics;
+        if materialized > 0 {
+            metrics
+                .versions_materialized
+                .fetch_add(materialized, Ordering::Relaxed);
+        }
+        if lazy_dropped > 0 {
+            metrics
+                .lazy_versions_dropped
+                .fetch_add(lazy_dropped, Ordering::Relaxed);
+        }
         metrics.sched_cycles.fetch_add(1, Ordering::Relaxed);
         metrics.observe_tree_size(self.tree.version_count() as u64);
         if self.ingest_done && self.tree.is_empty() {
@@ -289,7 +301,7 @@ impl<I: Iterator<Item = Event>> Splitter<I> {
                     self.tree.cg_created(creator, cell, &mut factory);
                 }
                 TreeOp::CgResolved { cg, completed } => {
-                    let dropped = self.tree.cg_resolved(cg, completed);
+                    let dropped = self.tree.cg_resolved(cg, completed, &mut factory);
                     self.shared
                         .metrics
                         .versions_dropped
@@ -578,13 +590,17 @@ impl<I: Iterator<Item = Event>> Splitter<I> {
     }
 
     fn schedule(&mut self) {
+        let mut factory = self.factory();
         let avg = self.avg_window_size;
         let predictor = &*self.predictor;
         let prob = move |cell: &CgCell| -> f64 {
             let events_left = avg as i64 - cell.pos_in_window() as i64;
             predictor.predict(cell.delta(), events_left)
         };
-        let top = self.tree.top_k(self.config.instances, &prob);
+        // Selecting the top k is also where lazy completion branches
+        // materialize: a branch clones its state only on first schedule.
+        let top = self.tree.top_k(self.config.instances, &prob, &mut factory);
+        self.absorb(factory);
 
         // Two-pass assignment (paper Fig. 7): keep already-placed versions,
         // hand the rest to free instances.

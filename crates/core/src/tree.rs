@@ -18,6 +18,26 @@
 //! subtree is rebuilt from scratch, since its consumption groups were
 //! produced by invalid processing) and root retirement (emitting a finished,
 //! confirmed root version and promoting its child).
+//!
+//! # Lazy completion branches
+//!
+//! Creating a CG nominally *doubles* the creator's dependent subtree —
+//! O(tree) state cloning per group, which dominates consumption-heavy
+//! workloads (most cloned branches are dropped before ever being
+//! scheduled). When lazy materialization is on (the default,
+//! [`SpectreConfig::lazy_materialization`](crate::SpectreConfig::lazy_materialization)),
+//! [`cg_created`](DependencyTree::cg_created) instead installs a single
+//! `Lazy` vertex on the completion edge: a thunk whose
+//! materialization source is the sibling abandon edge and whose
+//! suppressed-set delta is the owning CG's cell. The branch is
+//! [materialized](DependencyTree::top_k) — cloned from the *current*
+//! abandon-side state, twin cells and all — only when the top-k selection
+//! actually schedules it or its group completes; a lazy branch dropped by
+//! an abandonment, a rollback teardown or a losing outer branch costs
+//! nothing. Cloning from a source that has advanced past the group's
+//! events is sound for the same reason eager clones survive late group
+//! updates: the consistency checks (and the final validation at
+//! retirement) detect the overlap and roll the copy back.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -49,6 +69,13 @@ enum Node {
         completion: Option<NodeId>,
         abandon: Option<NodeId>,
     },
+    /// An unmaterialized completion branch: stands for "the parent CG's
+    /// abandon-side subtree, re-suppressed under the parent's cell". It
+    /// carries no state of its own — the materialization source (the
+    /// abandon edge) and the suppressed-set delta (the cell) are both read
+    /// from the parent CG vertex at materialization time, so creation and
+    /// teardown are O(1).
+    Lazy { parent: Option<NodeId> },
 }
 
 /// Materializes window versions and twin cells for the tree. The splitter
@@ -85,7 +112,7 @@ pub trait VersionFactory {
 ///
 /// All mutating operations are driven by the splitter during its maintenance
 /// cycle; the tree is not shared across threads.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct DependencyTree {
     nodes: Vec<Option<Node>>,
     free: Vec<NodeId>,
@@ -93,12 +120,62 @@ pub struct DependencyTree {
     version_vertex: HashMap<u64, NodeId>,
     cg_vertices: HashMap<CgId, Vec<NodeId>>,
     version_count: usize,
+    /// When set (the default), completion branches are created as lazy
+    /// vertices and cloned only on demand; when clear,
+    /// [`cg_created`](Self::cg_created) copies the dependent subtree
+    /// eagerly (the original behavior, kept for A/B comparison).
+    lazy: bool,
+    /// Versions created by materializing lazy branches since the last
+    /// [`take_lazy_stats`](Self::take_lazy_stats).
+    versions_materialized: u64,
+    /// Lazy branches discarded unmaterialized since the last
+    /// [`take_lazy_stats`](Self::take_lazy_stats) — speculation that cost
+    /// nothing.
+    lazy_versions_dropped: u64,
+}
+
+impl Default for DependencyTree {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl DependencyTree {
-    /// Creates an empty tree.
+    /// Creates an empty tree with lazy completion branches (the default).
     pub fn new() -> Self {
-        Self::default()
+        Self::with_lazy(true)
+    }
+
+    /// Creates an empty tree that copies completion branches eagerly at
+    /// [`cg_created`](Self::cg_created) (the pre-lazy behavior).
+    pub fn eager() -> Self {
+        Self::with_lazy(false)
+    }
+
+    /// Creates an empty tree with the given materialization mode.
+    pub fn with_lazy(lazy: bool) -> Self {
+        DependencyTree {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            root: None,
+            version_vertex: HashMap::new(),
+            cg_vertices: HashMap::new(),
+            version_count: 0,
+            lazy,
+            versions_materialized: 0,
+            lazy_versions_dropped: 0,
+        }
+    }
+
+    /// Drains the lazy-materialization counters accumulated since the last
+    /// call: `(versions materialized, lazy branches dropped unmaterialized)`.
+    /// The splitter flushes these into the shared
+    /// [`Metrics`](crate::metrics::Metrics) once per maintenance cycle.
+    pub fn take_lazy_stats(&mut self) -> (u64, u64) {
+        (
+            std::mem::take(&mut self.versions_materialized),
+            std::mem::take(&mut self.lazy_versions_dropped),
+        )
     }
 
     /// Number of live window versions — the paper's "tree size" metric
@@ -117,7 +194,7 @@ impl DependencyTree {
         let id = self.root?;
         match self.node(id) {
             Node::Version { state, .. } => Some(state),
-            Node::Cg { .. } => unreachable!("root is always a version"),
+            Node::Cg { .. } | Node::Lazy { .. } => unreachable!("root is always a version"),
         }
     }
 
@@ -136,8 +213,21 @@ impl DependencyTree {
         let &node = self.version_vertex.get(&wv.0)?;
         match self.node(node) {
             Node::Version { state, .. } => Some(state),
-            Node::Cg { .. } => None,
+            Node::Cg { .. } | Node::Lazy { .. } => None,
         }
+    }
+
+    /// `true` if `id` is an unmaterialized completion branch.
+    fn is_lazy(&self, id: NodeId) -> bool {
+        matches!(self.node(id), Node::Lazy { .. })
+    }
+
+    /// Number of unmaterialized completion branches (diagnostics/tests).
+    pub fn lazy_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Some(Node::Lazy { .. })))
+            .count()
     }
 
     fn node(&self, id: NodeId) -> &Node {
@@ -237,7 +327,20 @@ impl DependencyTree {
             } => {
                 let (completion, abandon, cell) = (*completion, *abandon, Arc::clone(cell));
                 match completion {
+                    // An unmaterialized branch needs no per-window work: its
+                    // materialization clones the abandon side, which this
+                    // attach extends below.
+                    Some(c) if self.is_lazy(c) => {}
                     Some(c) => self.attach_recursive(c, window, f, created),
+                    None if self.lazy => {
+                        // Defer the completion-side version the same way
+                        // cg_created defers the completion-side copy.
+                        let id = self.alloc(Node::Lazy { parent: Some(node) });
+                        let Node::Cg { completion, .. } = self.node_mut(node) else {
+                            unreachable!()
+                        };
+                        *completion = Some(id);
+                    }
                     None => {
                         let mut supp = self.suppression_above(node);
                         supp.push(Arc::clone(&cell));
@@ -264,6 +367,7 @@ impl DependencyTree {
                     }
                 }
             }
+            Node::Lazy { .. } => unreachable!("attach never descends into lazy vertices"),
         }
     }
 
@@ -275,10 +379,7 @@ impl DependencyTree {
         let mut extra: Vec<Arc<CgCell>> = Vec::new();
         let mut cur = node;
         loop {
-            let parent = match self.node(cur) {
-                Node::Version { parent, .. } | Node::Cg { parent, .. } => *parent,
-            };
-            let Some(p) = parent else {
+            let Some(p) = self.parent_of(cur) else {
                 unreachable!("CG vertices always have a version ancestor")
             };
             match self.node(p) {
@@ -297,6 +398,7 @@ impl DependencyTree {
                     }
                     cur = p;
                 }
+                Node::Lazy { .. } => unreachable!("lazy vertices have no children"),
             }
         }
     }
@@ -324,6 +426,11 @@ impl DependencyTree {
     /// Returns `false` (no-op) if the creator version is no longer in the
     /// tree — its subtree was dropped by a concurrent resolution or
     /// rollback, making the operation stale.
+    ///
+    /// With lazy materialization on (the default), the completion branch is
+    /// a single lazy thunk instead of a copy: creation is O(1) in
+    /// tree size, and the clone happens only if the top-k selection
+    /// schedules the branch or the group completes.
     pub fn cg_created(
         &mut self,
         creator: WvId,
@@ -338,16 +445,20 @@ impl DependencyTree {
         };
         let old_child = *child;
 
-        let copy = old_child.and_then(|c| {
-            let mut twins = HashMap::new();
-            let mut stray_facts = Vec::new();
-            let copied = self.copy_stateful(c, &cell, &mut twins, f, &mut stray_facts, &[]);
-            debug_assert!(
-                stray_facts.is_empty(),
-                "the copy root is a version vertex and collects its own facts"
-            );
-            copied
-        });
+        let copy = if self.lazy {
+            old_child.map(|_| self.alloc(Node::Lazy { parent: None }))
+        } else {
+            old_child.and_then(|c| {
+                let mut twins = HashMap::new();
+                let mut stray_facts = Vec::new();
+                let copied = self.copy_stateful(c, &cell, &mut twins, f, &mut stray_facts, &[]);
+                debug_assert!(
+                    stray_facts.is_empty(),
+                    "the copy root is a version vertex and collects its own facts"
+                );
+                copied
+            })
+        };
         let cg_node = self.alloc(Node::Cg {
             parent: Some(vnode),
             cell: Arc::clone(&cell),
@@ -394,6 +505,9 @@ impl DependencyTree {
                         stack.push(*a);
                     }
                 }
+                // A lazy branch mirrors the sibling abandon edge, whose
+                // windows the traversal collects anyway.
+                Node::Lazy { .. } => {}
             }
         }
         windows.sort_by_key(|w| w.id);
@@ -553,7 +667,18 @@ impl DependencyTree {
                         cell.is_resolved(),
                         "un-twinned group vertices are resolved-pending"
                     );
-                    let winner = if completed { completion } else { abandon };
+                    let winner = if completed {
+                        // A completed group whose own completion branch is
+                        // still a thunk: realize it in the *source* tree
+                        // first (fresh rebuild, exactly as cg_resolved
+                        // will when the in-flight splice op arrives).
+                        match completion {
+                            Some(c) if self.is_lazy(c) => self.rebuild_completion_fresh(src, c, f),
+                            other => other,
+                        }
+                    } else {
+                        abandon
+                    };
                     return match winner {
                         Some(w) => self.copy_stateful(w, extra, twins, f, facts_out, inherited),
                         None => {
@@ -572,18 +697,32 @@ impl DependencyTree {
                 });
                 self.cg_vertices.entry(twin.id()).or_default().push(new_id);
                 if let Some(c) = completion {
-                    let mut sub_facts = Vec::new();
-                    let cc = self.copy_stateful(c, extra, twins, f, &mut sub_facts, inherited);
-                    debug_assert!(
-                        sub_facts.is_empty(),
-                        "edge children are version vertices which keep their own facts"
-                    );
-                    if let Some(cc) = cc {
-                        self.set_parent(cc, new_id);
+                    // An unmaterialized branch copies as an unmaterialized
+                    // branch: the copy's thunk re-suppresses the copy's own
+                    // abandon edge under the twin cell — laziness survives
+                    // nested group creation.
+                    if self.is_lazy(c) {
+                        let lz = self.alloc(Node::Lazy {
+                            parent: Some(new_id),
+                        });
                         let Node::Cg { completion, .. } = self.node_mut(new_id) else {
                             unreachable!()
                         };
-                        *completion = Some(cc);
+                        *completion = Some(lz);
+                    } else {
+                        let mut sub_facts = Vec::new();
+                        let cc = self.copy_stateful(c, extra, twins, f, &mut sub_facts, inherited);
+                        debug_assert!(
+                            sub_facts.is_empty(),
+                            "edge children are version vertices which keep their own facts"
+                        );
+                        if let Some(cc) = cc {
+                            self.set_parent(cc, new_id);
+                            let Node::Cg { completion, .. } = self.node_mut(new_id) else {
+                                unreachable!()
+                            };
+                            *completion = Some(cc);
+                        }
                     }
                 }
                 if let Some(a) = abandon {
@@ -600,12 +739,145 @@ impl DependencyTree {
                 }
                 Some(new_id)
             }
+            Node::Lazy { .. } => unreachable!("lazy vertices are copied at their parent CG edge"),
         }
+    }
+
+    /// Materializes an unmaterialized completion branch: clones the parent
+    /// CG's *current* abandon-side subtree — via the same
+    /// [`copy_stateful`](Self::copy_stateful) machinery `cg_created` uses
+    /// eagerly — with the parent's cell appended to every suppressed set,
+    /// and installs the clone as the completion edge. Returns the new edge
+    /// (`None` when the abandon side holds no versions: the branch
+    /// materializes to the same emptiness an eager copy would have
+    /// collapsed to).
+    ///
+    /// Cloning from the *live* abandon-side state (which may have advanced
+    /// past, or even processed, events the group consumed) is sound: the
+    /// clone's consistency bookkeeping restarts from scratch, so its first
+    /// check — and at the latest the final validation before retirement —
+    /// detects any overlap with the suppressed groups and rolls the clone
+    /// back, exactly as an eager copy handles a late group update.
+    fn materialize(&mut self, lazy: NodeId, f: &mut dyn VersionFactory) -> Option<NodeId> {
+        let Node::Lazy { parent } = self.node(lazy) else {
+            unreachable!("materialize takes a lazy vertex")
+        };
+        let cg = parent.expect("lazy vertices hang off a CG vertex");
+        let Node::Cg {
+            cell,
+            completion,
+            abandon,
+            ..
+        } = self.node(cg)
+        else {
+            unreachable!("lazy parents are CG vertices")
+        };
+        debug_assert_eq!(*completion, Some(lazy));
+        let (cell, source) = (Arc::clone(cell), *abandon);
+        self.nodes[lazy] = None;
+        self.free.push(lazy);
+        let before = self.version_count;
+        let copy = source.and_then(|src| {
+            let mut twins = HashMap::new();
+            let mut stray_facts = Vec::new();
+            let copied = self.copy_stateful(src, &cell, &mut twins, f, &mut stray_facts, &[]);
+            // A stray fact can only surface when the source root is itself
+            // a resolved-pending CG vertex that pre-spliced to nothing;
+            // record it on the nearest ancestor version (the group owner),
+            // as cg_resolved does for an empty completion edge.
+            if !stray_facts.is_empty() {
+                let mut owner = cg;
+                loop {
+                    match self.node_mut(owner) {
+                        Node::Version { facts, .. } => {
+                            for cell in stray_facts.drain(..) {
+                                if !facts.iter().any(|c| c.id() == cell.id()) {
+                                    facts.push(cell);
+                                }
+                            }
+                            break;
+                        }
+                        Node::Cg { parent, .. } | Node::Lazy { parent, .. } => {
+                            owner = parent.expect("CG vertices have version ancestors");
+                        }
+                    }
+                }
+            }
+            copied
+        });
+        self.versions_materialized += (self.version_count - before) as u64;
+        let Node::Cg { completion, .. } = self.node_mut(cg) else {
+            unreachable!()
+        };
+        *completion = copy;
+        if let Some(c) = copy {
+            self.set_parent(c, cg);
+        }
+        copy
+    }
+
+    /// Replaces the unmaterialized completion branch of `cg_node` with a
+    /// chain of *fresh* versions — one per window of the (doomed) abandon
+    /// side — suppressing the group's cell on top of the suppression above
+    /// the vertex. This is the completion path for branches the scheduler
+    /// never chose (see [`cg_resolved`](Self::cg_resolved)): no state is
+    /// worth cloning, so none is, and the fresh versions simply reprocess —
+    /// the position every viable clone would have rolled back to. Returns
+    /// the new completion edge.
+    fn rebuild_completion_fresh(
+        &mut self,
+        cg_node: NodeId,
+        lazy: NodeId,
+        f: &mut dyn VersionFactory,
+    ) -> Option<NodeId> {
+        let Node::Cg {
+            cell,
+            completion,
+            abandon,
+            ..
+        } = self.node(cg_node)
+        else {
+            unreachable!("rebuild takes a CG vertex")
+        };
+        debug_assert_eq!(*completion, Some(lazy));
+        let (cell, source) = (Arc::clone(cell), *abandon);
+        self.nodes[lazy] = None;
+        self.free.push(lazy);
+        let windows = source.map_or_else(Vec::new, |s| self.subtree_windows(s));
+        let head = if windows.is_empty() {
+            None
+        } else {
+            // The lineage suppression is the abandon-side root's own
+            // suppressed set: it carries completions accumulated from
+            // groups long since resolved (and retired), which the vertex
+            // walk above this CG cannot see. Facts recorded *on* dropped
+            // subtree versions are their own (now void) completions and
+            // must not leak in; facts from live ancestors were folded into
+            // the root's suppressed set when it was created.
+            let mut suppression = match source.map(|s| self.node(s)) {
+                Some(Node::Version { state, .. }) => state.suppressed().to_vec(),
+                _ => self.suppression_above(cg_node),
+            };
+            if !suppression.iter().any(|c| c.id() == cell.id()) {
+                suppression.push(cell);
+            }
+            Some(self.fresh_chain(&windows, &suppression, f))
+        };
+        let Node::Cg { completion, .. } = self.node_mut(cg_node) else {
+            unreachable!()
+        };
+        *completion = head;
+        if let Some(h) = head {
+            self.set_parent(h, cg_node);
+        }
+        head
     }
 
     fn set_parent(&mut self, node: NodeId, parent: NodeId) {
         match self.node_mut(node) {
-            Node::Version { parent: p, .. } | Node::Cg { parent: p, .. } => *p = Some(parent),
+            Node::Version { parent: p, .. }
+            | Node::Cg { parent: p, .. }
+            | Node::Lazy { parent: p, .. } => *p = Some(parent),
         }
     }
 
@@ -613,7 +885,19 @@ impl DependencyTree {
     /// `consumptionGroupCompleted` / `Abandoned`): at every vertex of the
     /// group, the losing branch is dropped and the winning branch spliced to
     /// the parent. Returns the number of versions dropped.
-    pub fn cg_resolved(&mut self, cg: CgId, completed: bool) -> usize {
+    ///
+    /// A *completed* group whose completion branch is still a lazy
+    /// thunk *rebuilds* it as a chain of fresh versions (one per dependent
+    /// window, suppressing the group) instead of cloning the doomed abandon
+    /// side: an unscheduled source sits at position 0 (nothing to inherit),
+    /// and a scheduled one has processed the very events the completion
+    /// just consumed, so its clone would fail the first consistency check
+    /// and reset to the window start anyway — the rebuild goes straight to
+    /// that state, the same §3.3 reprocess-from-start argument behind
+    /// [`rollback_rebuild`](Self::rollback_rebuild). An *abandoned* group's
+    /// unmaterialized completion branch is discarded without ever having
+    /// cost anything.
+    pub fn cg_resolved(&mut self, cg: CgId, completed: bool, f: &mut dyn VersionFactory) -> usize {
         let Some(vertices) = self.cg_vertices.remove(&cg) else {
             return 0;
         };
@@ -627,6 +911,16 @@ impl DependencyTree {
             };
             if cell.id() != cg {
                 continue;
+            }
+            if completed {
+                let Node::Cg { completion, .. } = self.node(vertex) else {
+                    unreachable!()
+                };
+                if let Some(c) = *completion {
+                    if self.is_lazy(c) {
+                        self.rebuild_completion_fresh(vertex, c, f);
+                    }
+                }
             }
             let Node::Cg {
                 parent,
@@ -680,7 +974,7 @@ impl DependencyTree {
                                         facts.push(cell);
                                         break;
                                     }
-                                    Node::Cg { parent, .. } => {
+                                    Node::Cg { parent, .. } | Node::Lazy { parent, .. } => {
                                         owner = parent.expect("CG vertices have version ancestors");
                                     }
                                 }
@@ -697,6 +991,7 @@ impl DependencyTree {
     fn set_root(&mut self, node: NodeId) {
         match self.node_mut(node) {
             Node::Version { parent, .. } | Node::Cg { parent, .. } => *parent = None,
+            Node::Lazy { .. } => unreachable!("lazy vertices never become root"),
         }
         self.root = Some(node);
     }
@@ -722,6 +1017,7 @@ impl DependencyTree {
                     *abandon = new;
                 }
             }
+            Node::Lazy { .. } => unreachable!("lazy vertices have no children"),
         }
     }
 
@@ -763,6 +1059,11 @@ impl DependencyTree {
                     if let Some(a) = abandon {
                         stack.push(a);
                     }
+                }
+                Node::Lazy { .. } => {
+                    // An unmaterialized branch dies for free: no version
+                    // state was ever cloned for it.
+                    self.lazy_versions_dropped += 1;
                 }
             }
         }
@@ -816,7 +1117,9 @@ impl DependencyTree {
             self.set_parent(head, vnode);
             match self.node_mut(vnode) {
                 Node::Version { child, .. } => *child = Some(head),
-                Node::Cg { .. } => unreachable!("rollback roots are versions"),
+                Node::Cg { .. } | Node::Lazy { .. } => {
+                    unreachable!("rollback roots are versions")
+                }
             }
         }
         dropped
@@ -844,7 +1147,7 @@ impl DependencyTree {
                     }
                     cur = *parent;
                 }
-                Node::Cg { parent, .. } => cur = *parent,
+                Node::Cg { parent, .. } | Node::Lazy { parent, .. } => cur = *parent,
             }
         }
         false
@@ -949,7 +1252,7 @@ impl DependencyTree {
                 child,
                 ..
             } => (Arc::clone(state), facts.clone(), *child),
-            Node::Cg { .. } => unreachable!(),
+            Node::Cg { .. } | Node::Lazy { .. } => unreachable!(),
         };
         let keep = |cells: &[Arc<CgCell>]| -> Vec<Arc<CgCell>> {
             cells
@@ -1030,15 +1333,42 @@ impl DependencyTree {
     /// Finished versions are traversed but not returned (they need no
     /// instance). The returned list is ordered by decreasing survival
     /// probability.
-    pub fn top_k(&self, k: usize, prob_of: &dyn Fn(&CgCell) -> f64) -> Vec<Arc<VersionState>> {
+    ///
+    /// This is where lazy completion branches materialize on demand: an
+    /// unmaterialized branch competes in the selection heap at its branch
+    /// probability, and is cloned only when it actually *pops* within the
+    /// top k — i.e. when the predictor ranks it high enough to schedule.
+    /// Branches that never rank are never cloned, which is the entire
+    /// win of the lazy tree (hence `&mut self` and the factory).
+    pub fn top_k(
+        &mut self,
+        k: usize,
+        prob_of: &dyn Fn(&CgCell) -> f64,
+        f: &mut dyn VersionFactory,
+    ) -> Vec<Arc<VersionState>> {
         use std::cmp::Reverse;
         use std::collections::BinaryHeap;
 
         // Ordering: survival probability first; ties go to the *earlier
         // window* (it retires first, so finishing it unblocks emission),
-        // then to the older vertex for determinism.
-        #[derive(PartialEq)]
-        struct Cand(f64, Reverse<u64>, Reverse<usize>, NodeId);
+        // then to the older vertex for determinism. Each candidate records
+        // what it expects its node id to be — a materialization taken
+        // while the walk is in progress can free an already-queued lazy
+        // vertex (a copy crossing a resolved-pending group rebuilds that
+        // group's thunk in the source) and the freed slot may be reused,
+        // so a popped entry whose id no longer holds the expected vertex
+        // is stale and must be skipped, never interpreted as whatever now
+        // occupies the slot.
+        enum Expect {
+            Version(WvId),
+            Lazy,
+        }
+        struct Cand(f64, Reverse<u64>, Reverse<usize>, NodeId, Expect);
+        impl PartialEq for Cand {
+            fn eq(&self, other: &Self) -> bool {
+                self.cmp(other) == std::cmp::Ordering::Equal
+            }
+        }
         impl Eq for Cand {}
         impl PartialOrd for Cand {
             fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
@@ -1056,34 +1386,60 @@ impl DependencyTree {
 
         let mut result = Vec::with_capacity(k);
         let mut heap: BinaryHeap<Cand> = BinaryHeap::new();
-        let push_version = |heap: &mut BinaryHeap<Cand>, prob: f64, node: NodeId| {
-            let Node::Version { state, .. } = self.node(node) else {
-                unreachable!("only version vertices are heap candidates")
+        let push_candidate = |tree: &Self, heap: &mut BinaryHeap<Cand>, p: f64, n: NodeId| {
+            let expect = match tree.node(n) {
+                Node::Version { state, .. } => Expect::Version(state.id()),
+                Node::Lazy { .. } => Expect::Lazy,
+                Node::Cg { .. } => unreachable!("CG vertices are expanded, not queued"),
             };
-            heap.push(Cand(prob, Reverse(state.window().id), Reverse(node), node));
+            heap.push(Cand(
+                p,
+                Reverse(tree.candidate_window(n)),
+                Reverse(n),
+                n,
+                expect,
+            ));
         };
         if let Some(root) = self.root {
-            push_version(&mut heap, 1.0, root);
+            push_candidate(self, &mut heap, 1.0, root);
         }
         while result.len() < k {
-            let Some(Cand(prob, _, _, node)) = heap.pop() else {
+            let Some(Cand(prob, _, _, node, expect)) = heap.pop() else {
                 break;
             };
-            let Node::Version { state, child, .. } = self.node(node) else {
-                unreachable!("heap contains version vertices only")
+            // Stale entry (vertex freed or slot reused since the push)?
+            let live = match (&expect, self.nodes.get(node).and_then(Option::as_ref)) {
+                (Expect::Version(wv), Some(Node::Version { state, .. })) => state.id() == *wv,
+                (Expect::Lazy, Some(Node::Lazy { .. })) => true,
+                _ => false,
             };
-            if !state.is_finished() {
-                result.push(Arc::clone(state));
+            if !live {
+                continue;
             }
-            // Expand the child, resolving CG vertices into their two
-            // version branches weighted by completion probability.
+            // A live candidate is either a version (schedule it) or an
+            // unmaterialized branch that just ranked inside the top k —
+            // clone it now and let its versions compete.
+            let expand = if matches!(expect, Expect::Lazy) {
+                self.materialize(node, f).map(|c| (prob, c))
+            } else {
+                let Node::Version { state, child, .. } = self.node(node) else {
+                    unreachable!("validated above")
+                };
+                if !state.is_finished() {
+                    result.push(Arc::clone(state));
+                }
+                child.map(|c| (prob, c))
+            };
+            // Expand downward, resolving CG vertices into their two
+            // branches weighted by completion probability; versions and
+            // lazy branches become heap candidates.
             let mut stack: Vec<(f64, NodeId)> = Vec::new();
-            if let Some(c) = child {
-                stack.push((prob, *c));
-            }
+            stack.extend(expand);
             while let Some((p, n)) = stack.pop() {
                 match self.node(n) {
-                    Node::Version { .. } => push_version(&mut heap, p, n),
+                    Node::Version { .. } | Node::Lazy { .. } => {
+                        push_candidate(self, &mut heap, p, n);
+                    }
                     Node::Cg {
                         cell,
                         completion,
@@ -1102,6 +1458,40 @@ impl DependencyTree {
             }
         }
         result
+    }
+
+    /// Tie-break window id of a heap candidate: a version's own window, or
+    /// — for an unmaterialized branch — the first window its
+    /// materialization source (the sibling abandon edge) covers.
+    fn candidate_window(&self, node: NodeId) -> u64 {
+        let mut stack = vec![node];
+        while let Some(id) = stack.pop() {
+            match self.node(id) {
+                Node::Version { state, .. } => return state.window().id,
+                Node::Cg {
+                    completion,
+                    abandon,
+                    ..
+                } => {
+                    if let Some(c) = completion {
+                        stack.push(*c);
+                    }
+                    if let Some(a) = abandon {
+                        stack.push(*a);
+                    }
+                }
+                Node::Lazy { parent } => {
+                    let p = parent.expect("lazy vertices hang off a CG vertex");
+                    let Node::Cg { abandon, .. } = self.node(p) else {
+                        unreachable!()
+                    };
+                    if let Some(a) = abandon {
+                        stack.push(*a);
+                    }
+                }
+            }
+        }
+        u64::MAX
     }
 
     /// Iterates over all live versions (diagnostics and tests).
@@ -1183,6 +1573,17 @@ impl DependencyTree {
                         self.assert_child_link(id, *a);
                     }
                 }
+                Node::Lazy { parent } => {
+                    let p = parent.expect("lazy vertices hang off a CG vertex");
+                    let Node::Cg { completion, .. } = self.node(p) else {
+                        panic!("lazy vertex parent must be a CG vertex")
+                    };
+                    assert_eq!(
+                        *completion,
+                        Some(id),
+                        "lazy vertices sit on completion edges only"
+                    );
+                }
             }
         }
         assert_eq!(seen_versions, self.version_count);
@@ -1190,7 +1591,9 @@ impl DependencyTree {
 
     fn parent_of(&self, node: NodeId) -> Option<NodeId> {
         match self.node(node) {
-            Node::Version { parent, .. } | Node::Cg { parent, .. } => *parent,
+            Node::Version { parent, .. } | Node::Cg { parent, .. } | Node::Lazy { parent, .. } => {
+                *parent
+            }
         }
     }
 
@@ -1203,7 +1606,7 @@ impl DependencyTree {
 mod tests {
     use super::*;
     use crate::cg::CgStatus;
-    use spectre_query::{Expr, Pattern, Query, WindowSpec};
+    use spectre_query::{Expr, MatchId, Pattern, Query, WindowSpec};
 
     /// Test factory: sequential ids, no metrics.
     struct TestFactory {
@@ -1252,7 +1655,18 @@ mod tests {
     }
 
     impl Fixture {
+        /// Eager fixture: the pre-lazy behavior most structural tests
+        /// specify (copies made at `cg_created` time).
         fn new() -> Self {
+            Self::with_lazy(false)
+        }
+
+        /// Lazy fixture: completion branches defer until scheduled.
+        fn lazy() -> Self {
+            Self::with_lazy(true)
+        }
+
+        fn with_lazy(lazy: bool) -> Self {
             let query = Arc::new(
                 Query::builder("t")
                     .pattern(Pattern::builder().one("A", Expr::truth()).build().unwrap())
@@ -1261,7 +1675,7 @@ mod tests {
                     .unwrap(),
             );
             Fixture {
-                tree: DependencyTree::new(),
+                tree: DependencyTree::with_lazy(lazy),
                 factory: TestFactory {
                     query,
                     next_wv: 0,
@@ -1335,7 +1749,7 @@ mod tests {
         // The owning instance completes the group.
         cell.complete();
         v0.lock().completed_cells.push(Arc::clone(&cell));
-        let dropped = f.tree.cg_resolved(cell.id(), true);
+        let dropped = f.tree.cg_resolved(cell.id(), true, &mut f.factory);
         assert_eq!(dropped, 1, "abandon branch dropped");
         f.tree.assert_invariants();
         let suppressor = |tree: &DependencyTree| {
@@ -1410,7 +1824,7 @@ mod tests {
         let _w2 = f.open_window(1);
         let cg = f.create_cg(&w1);
         cg.complete();
-        let dropped = f.tree.cg_resolved(cg.id(), true);
+        let dropped = f.tree.cg_resolved(cg.id(), true, &mut f.factory);
         f.tree.assert_invariants();
         assert_eq!(dropped, 1);
         assert_eq!(f.tree.version_count(), 2);
@@ -1430,7 +1844,7 @@ mod tests {
         let w2_orig = f.open_window(1).remove(0);
         let cg = f.create_cg(&w1);
         cg.abandon();
-        let dropped = f.tree.cg_resolved(cg.id(), false);
+        let dropped = f.tree.cg_resolved(cg.id(), false, &mut f.factory);
         f.tree.assert_invariants();
         assert_eq!(dropped, 1);
         // The surviving version is the *original* (it kept its state).
@@ -1455,7 +1869,7 @@ mod tests {
         let cg1 = f.create_cg(&w1);
         assert_eq!(f.tree.version_count(), 3);
         cg1.complete();
-        f.tree.cg_resolved(cg1.id(), true);
+        f.tree.cg_resolved(cg1.id(), true, &mut f.factory);
         f.tree.assert_invariants();
 
         let cg2 = f.create_cg(&w1);
@@ -1473,7 +1887,7 @@ mod tests {
         assert_eq!(suppressing_both, 1, "completion branch carries both groups");
 
         cg2.complete();
-        f.tree.cg_resolved(cg2.id(), true);
+        f.tree.cg_resolved(cg2.id(), true, &mut f.factory);
         f.tree.assert_invariants();
         assert_eq!(f.tree.version_count(), 2);
         let survivor = f
@@ -1494,11 +1908,11 @@ mod tests {
         let _w2 = f.open_window(1);
         let cg1 = f.create_cg(&w1);
         cg1.abandon();
-        f.tree.cg_resolved(cg1.id(), false);
+        f.tree.cg_resolved(cg1.id(), false, &mut f.factory);
         f.tree.assert_invariants();
         let cg2 = f.create_cg(&w1);
         cg2.complete();
-        f.tree.cg_resolved(cg2.id(), true);
+        f.tree.cg_resolved(cg2.id(), true, &mut f.factory);
         f.tree.assert_invariants();
         let survivor = f
             .tree
@@ -1518,7 +1932,7 @@ mod tests {
         let w1 = f.open_window(0).remove(0);
         let cg = f.create_cg(&w1);
         cg.complete();
-        f.tree.cg_resolved(cg.id(), true);
+        f.tree.cg_resolved(cg.id(), true, &mut f.factory);
         f.tree.assert_invariants();
         assert_eq!(f.tree.version_count(), 1);
         let w2 = f.open_window(1);
@@ -1538,7 +1952,7 @@ mod tests {
         let w1 = f.open_window(0).remove(0);
         let cg1 = f.create_cg(&w1);
         cg1.complete();
-        f.tree.cg_resolved(cg1.id(), true);
+        f.tree.cg_resolved(cg1.id(), true, &mut f.factory);
         let cg2 = f.create_cg(&w1);
         let w2 = f.open_window(1);
         assert_eq!(w2.len(), 2);
@@ -1562,7 +1976,7 @@ mod tests {
         let w2_orig = f.open_window(1).remove(0);
         let cg = f.create_cg(&w1);
         cg.complete();
-        f.tree.cg_resolved(cg.id(), true);
+        f.tree.cg_resolved(cg.id(), true, &mut f.factory);
         assert!(w2_orig.is_dropped());
     }
 
@@ -1588,7 +2002,7 @@ mod tests {
         let cg = f.create_cg(&w1);
         assert!(f.tree.root_blocked_by_cg());
         cg.abandon();
-        f.tree.cg_resolved(cg.id(), false);
+        f.tree.cg_resolved(cg.id(), false, &mut f.factory);
         assert!(!f.tree.root_blocked_by_cg());
     }
 
@@ -1600,11 +2014,11 @@ mod tests {
         let cg = f.create_cg(&w1);
         // completion probability 0.9 → completion-branch version outranks
         // the abandon-branch version.
-        let top = f.tree.top_k(2, &|_c| 0.9);
+        let top = f.tree.top_k(2, &|_c| 0.9, &mut f.factory);
         assert_eq!(top.len(), 2);
         assert_eq!(top[0].id(), w1.id()); // root first (prob 1.0)
         assert!(top[1].suppressed().iter().any(|c| c.id() == cg.id()));
-        let top_low = f.tree.top_k(3, &|_c| 0.1);
+        let top_low = f.tree.top_k(3, &|_c| 0.1, &mut f.factory);
         assert!(top_low[1].suppressed().is_empty());
         let _ = cg;
     }
@@ -1615,7 +2029,7 @@ mod tests {
         let w1 = f.open_window(0).remove(0);
         let w2 = f.open_window(1).remove(0);
         w1.mark_finished();
-        let top = f.tree.top_k(2, &|_c| 0.5);
+        let top = f.tree.top_k(2, &|_c| 0.5, &mut f.factory);
         assert_eq!(top.len(), 1);
         assert_eq!(top[0].id(), w2.id());
     }
@@ -1628,7 +2042,7 @@ mod tests {
         let _w2 = f.open_window(1);
         let _w3 = f.open_window(2);
         let _cg = f.create_cg(&w1);
-        let top = f.tree.top_k(3, &|_c| 0.5);
+        let top = f.tree.top_k(3, &|_c| 0.5, &mut f.factory);
         assert_eq!(top.len(), 3);
         assert_eq!(top[0].id(), w1.id());
         // the two w2 versions (each 0.5) come before any w3 version
@@ -1655,7 +2069,7 @@ mod tests {
         assert_eq!(dropped, 4);
         // fresh chain: w1 + one version each of w2, w3
         assert_eq!(f.tree.version_count(), 3);
-        let top = f.tree.top_k(3, &|_c| 0.5);
+        let top = f.tree.top_k(3, &|_c| 0.5, &mut f.factory);
         assert_eq!(top.len(), 3);
     }
 
@@ -1672,6 +2086,254 @@ mod tests {
         let cell = Arc::new(CgCell::new(CgId(99), 1, 1));
         assert!(!f.tree.cg_created(w2.id(), cell, &mut f.factory));
         f.tree.assert_invariants();
+    }
+
+    #[test]
+    fn lazy_cg_creation_defers_the_clone() {
+        // Lazy mode: creating a group allocates a thunk instead of copying
+        // the dependent subtree — the version count does not move.
+        let mut f = Fixture::lazy();
+        let w1 = f.open_window(0).remove(0);
+        let _w2 = f.open_window(1);
+        assert_eq!(f.tree.version_count(), 2);
+        let _cg = f.create_cg(&w1);
+        assert_eq!(f.tree.version_count(), 2, "no eager copy");
+        assert_eq!(f.tree.lazy_count(), 1);
+        assert_eq!(f.tree.take_lazy_stats(), (0, 0));
+    }
+
+    #[test]
+    fn lazy_branch_dropped_on_abandonment_costs_nothing() {
+        let mut f = Fixture::lazy();
+        let w1 = f.open_window(0).remove(0);
+        let w2_orig = f.open_window(1).remove(0);
+        let cg = f.create_cg(&w1);
+        cg.abandon();
+        let dropped = f.tree.cg_resolved(cg.id(), false, &mut f.factory);
+        f.tree.assert_invariants();
+        assert_eq!(dropped, 0, "the loser branch held no versions");
+        assert_eq!(f.tree.version_count(), 2);
+        assert_eq!(f.tree.lazy_count(), 0);
+        assert_eq!(f.tree.take_lazy_stats(), (0, 1), "one free drop");
+        let survivor = f
+            .tree
+            .versions()
+            .into_iter()
+            .find(|v| v.window().id == 1)
+            .unwrap();
+        assert_eq!(survivor.id(), w2_orig.id(), "original kept, never cloned");
+    }
+
+    #[test]
+    fn lazy_branch_completion_rebuilds_fresh() {
+        // A group completing before its branch was ever scheduled: no
+        // clone is worth taking (an unscheduled source has no progress, a
+        // scheduled one processed the just-consumed events and would roll
+        // back), so the winner is rebuilt as fresh suppressing versions.
+        let mut f = Fixture::lazy();
+        let w1 = f.open_window(0).remove(0);
+        let w2_orig = f.open_window(1).remove(0);
+        let cg = f.create_cg(&w1);
+        cg.complete();
+        let dropped = f.tree.cg_resolved(cg.id(), true, &mut f.factory);
+        f.tree.assert_invariants();
+        assert_eq!(dropped, 1, "the abandon original is dropped");
+        assert!(w2_orig.is_dropped());
+        assert_eq!(f.tree.version_count(), 2);
+        assert_eq!(
+            f.tree.take_lazy_stats(),
+            (0, 0),
+            "neither cloned nor dropped: rebuilt fresh"
+        );
+        let survivor = f
+            .tree
+            .versions()
+            .into_iter()
+            .find(|v| v.window().id == 1)
+            .unwrap();
+        assert_ne!(survivor.id(), w2_orig.id());
+        assert!(survivor.suppressed().iter().any(|c| c.id() == cg.id()));
+        assert_eq!(survivor.lock().pos, 0, "reprocesses from the start");
+    }
+
+    #[test]
+    fn lazy_branch_materializes_when_scheduled() {
+        // The predictor ranks the completion branch high: selecting the
+        // top k materializes it. Ranked low, it is never cloned.
+        let mut f = Fixture::lazy();
+        let w1 = f.open_window(0).remove(0);
+        let _w2 = f.open_window(1);
+        let cg = f.create_cg(&w1);
+        let top = f.tree.top_k(2, &|_c| 0.1, &mut f.factory);
+        assert_eq!(top.len(), 2);
+        assert!(top[1].suppressed().is_empty(), "abandon branch preferred");
+        assert_eq!(f.tree.take_lazy_stats(), (0, 0), "low rank: no clone");
+        assert_eq!(f.tree.lazy_count(), 1);
+
+        let top = f.tree.top_k(2, &|_c| 0.9, &mut f.factory);
+        f.tree.assert_invariants();
+        assert_eq!(top.len(), 2);
+        assert!(
+            top[1].suppressed().iter().any(|c| c.id() == cg.id()),
+            "high rank: the completion branch materialized and was selected"
+        );
+        assert_eq!(f.tree.take_lazy_stats(), (1, 0));
+        assert_eq!(f.tree.version_count(), 3);
+    }
+
+    #[test]
+    fn rollback_teardown_drops_unmaterialized_branches() {
+        let mut f = Fixture::lazy();
+        let w1 = f.open_window(0).remove(0);
+        let _w2 = f.open_window(1);
+        let _cg = f.create_cg(&w1);
+        assert_eq!(f.tree.lazy_count(), 1);
+        let w2_windows = vec![Arc::new(WindowInfo::new(1, 2, 2, 2))];
+        let dropped = f
+            .tree
+            .rollback_rebuild(w1.id(), &w2_windows, Vec::new(), &mut f.factory);
+        f.tree.assert_invariants();
+        assert_eq!(dropped, 1, "only the materialized dependent version");
+        assert_eq!(f.tree.lazy_count(), 0);
+        assert_eq!(f.tree.take_lazy_stats(), (0, 1));
+        assert_eq!(f.tree.version_count(), 2, "w1 + rebuilt w2");
+    }
+
+    #[test]
+    fn revoke_completions_crosses_unmaterialized_vertex() {
+        // A void completion is revoked while a *different* group's
+        // completion branch is still a thunk: the sweep cleans the
+        // materialization source, and a later materialization clones the
+        // cleaned world — the lazy vertex itself needs no sweep.
+        let mut f = Fixture::lazy();
+        let v0 = f.open_window(0).remove(0);
+        let _ = f.open_window(1);
+        let cg_a = f.create_cg(&v0);
+        cg_a.complete();
+        v0.lock().completed_cells.push(Arc::clone(&cg_a));
+        f.tree.cg_resolved(cg_a.id(), true, &mut f.factory);
+        f.tree.assert_invariants();
+        // The survivor w1 version suppresses a. Open the next group: its
+        // completion branch stays lazy.
+        let cg_b = f.create_cg(&v0);
+        assert_eq!(f.tree.lazy_count(), 1);
+        let poisoned = f
+            .tree
+            .versions()
+            .into_iter()
+            .find(|v| v.window().id == 1)
+            .unwrap();
+        assert!(poisoned.suppressed().iter().any(|c| c.id() == cg_a.id()));
+
+        // v0 rolls back; its completion of a is void.
+        let outcome = v0.rollback_state();
+        assert!(outcome.revoked.iter().any(|c| c.id() == cg_a.id()));
+        let newer_of = |_: u64| Vec::new();
+        let dropped = f
+            .tree
+            .revoke_completions(&outcome.revoked, &newer_of, &mut f.factory);
+        f.tree.assert_invariants();
+        assert_eq!(dropped, 1, "the poisoned w1 version is replaced");
+        assert!(poisoned.is_dropped());
+        assert_eq!(f.tree.lazy_count(), 1, "the thunk survives the sweep");
+
+        // b completes: the branch materializes from the *cleaned* source.
+        cg_b.complete();
+        f.tree.cg_resolved(cg_b.id(), true, &mut f.factory);
+        f.tree.assert_invariants();
+        let survivor = f
+            .tree
+            .versions()
+            .into_iter()
+            .find(|v| v.window().id == 1)
+            .unwrap();
+        let ids: Vec<CgId> = survivor.suppressed().iter().map(|c| c.id()).collect();
+        assert!(ids.contains(&cg_b.id()));
+        assert!(
+            !ids.contains(&cg_a.id()),
+            "the void completion never leaks into the late clone"
+        );
+    }
+
+    #[test]
+    fn attach_under_lazy_leaf_cg_defers_completion_version() {
+        // A group created before any dependent window exists: a window
+        // opening later eagerly creates both edge versions; lazily it
+        // creates only the abandon-side version plus a thunk.
+        let mut f = Fixture::lazy();
+        let w1 = f.open_window(0).remove(0);
+        let cg = f.create_cg(&w1);
+        assert_eq!(f.tree.lazy_count(), 0, "no dependents: nothing to defer");
+        let w2 = f.open_window(1);
+        assert_eq!(w2.len(), 1, "only the abandon-side version exists");
+        assert!(w2[0].suppressed().is_empty());
+        assert_eq!(f.tree.lazy_count(), 1);
+        cg.complete();
+        f.tree.cg_resolved(cg.id(), true, &mut f.factory);
+        f.tree.assert_invariants();
+        let survivor = f
+            .tree
+            .versions()
+            .into_iter()
+            .find(|v| v.window().id == 1)
+            .unwrap();
+        assert!(survivor.suppressed().iter().any(|c| c.id() == cg.id()));
+        assert_eq!(f.tree.take_lazy_stats(), (0, 0), "rebuilt fresh");
+    }
+
+    #[test]
+    fn nested_branches_stay_lazy_through_materialization() {
+        // Materializing an outer branch copies an inner unresolved group's
+        // vertex — the inner completion branch must stay a thunk in the
+        // copy (under the twin cell), not get cloned transitively.
+        let mut f = Fixture::lazy();
+        let w1 = f.open_window(0).remove(0);
+        let w2 = f.open_window(1).remove(0);
+        let cg1 = f.create_cg(&w1); // thunk over the w2 subtree
+        let cg2 = f.create_cg(&w2); // leaf CG under the original w2 version
+                                    // Mirror the runtime: the owning version holds its group open, so
+                                    // a clone of it gets an independent twin.
+        w2.lock().open_cgs.push((MatchId(0), Arc::clone(&cg2)));
+        let _w3 = f.open_window(2); // attaches below cg2 (abandon + thunk)
+        assert_eq!(f.tree.lazy_count(), 2);
+        assert_eq!(f.tree.version_count(), 3);
+
+        // The predictor ranks cg1's completion branch highest: the top-k
+        // selection clones it. The clone must carry w2', w3', a twin CG
+        // vertex for cg2 — and the twin's completion edge must again be a
+        // thunk, not a transitively forced clone.
+        let top = f.tree.top_k(2, &|_c| 0.95, &mut f.factory);
+        f.tree.assert_invariants();
+        assert_eq!(top.len(), 2);
+        assert_eq!(f.tree.version_count(), 5, "w1..w3 plus w2', w3'");
+        assert_eq!(f.tree.lazy_count(), 2, "inner thunk re-created lazily");
+        let (materialized, lazy_dropped) = f.tree.take_lazy_stats();
+        assert_eq!(materialized, 2, "w2' and w3'");
+        assert_eq!(lazy_dropped, 0);
+        // The scheduled branch head is the w2 clone in the cg1-completed
+        // world, holding an open twin in place of cg2.
+        let w2_copy = Arc::clone(&top[1]);
+        assert_eq!(w2_copy.window().id, 1);
+        assert!(w2_copy.suppressed().iter().any(|c| c.id() == cg1.id()));
+        {
+            let inner = w2_copy.lock();
+            assert_eq!(inner.open_cgs.len(), 1);
+            assert_ne!(inner.open_cgs[0].1.id(), cg2.id(), "independent twin");
+        }
+
+        // cg1 then completes: the already-materialized branch wins as-is,
+        // and the abandon side (with the original inner thunk) dies free.
+        cg1.complete();
+        f.tree.cg_resolved(cg1.id(), true, &mut f.factory);
+        f.tree.assert_invariants();
+        assert_eq!(f.tree.version_count(), 3);
+        assert_eq!(f.tree.lazy_count(), 1);
+        assert_eq!(f.tree.take_lazy_stats(), (0, 1));
+        for v in f.tree.versions() {
+            if v.window().id > 0 {
+                assert!(v.suppressed().iter().any(|c| c.id() == cg1.id()));
+            }
+        }
     }
 
     #[test]

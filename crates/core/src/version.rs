@@ -112,25 +112,48 @@ pub struct VersionState {
     window: Arc<WindowInfo>,
     query: Arc<Query>,
     suppressed: Vec<Arc<CgCell>>,
+    /// `true` iff the version was created with *no* assumptions at all —
+    /// a version of an independent window. Only these feed the Markov
+    /// statistics (paper §3.2.1). Evaluated before dead-cell pruning, so
+    /// pruning a long-settled history does not silently promote a
+    /// dependent version into a statistics source.
+    stats_eligible: bool,
     dropped: AtomicBool,
     finished: AtomicBool,
     inner: Mutex<VersionInner>,
 }
 
+/// Drops suppressed cells that can never matter to `window`: groups whose
+/// resolution froze an event set lying entirely before the window's first
+/// event. Suppression accumulates along the lineage for as long as windows
+/// overlap; without this, every version created late in a long stream
+/// would re-check the whole consumption history on every event — the
+/// per-event cost would grow with stream length instead of live overlap.
+fn prune_dead_suppressed(window: &WindowInfo, suppressed: Vec<Arc<CgCell>>) -> Vec<Arc<CgCell>> {
+    suppressed
+        .into_iter()
+        .filter(|cell| !cell.is_dead_for(window.start_seq))
+        .collect()
+}
+
 impl VersionState {
-    /// Creates a fresh version of `window` suppressing the given groups.
+    /// Creates a fresh version of `window` suppressing the given groups
+    /// (dead cells pruned, see [`CgCell::is_dead_for`]).
     pub fn new(
         id: WvId,
         window: Arc<WindowInfo>,
         query: Arc<Query>,
         suppressed: Vec<Arc<CgCell>>,
     ) -> Arc<Self> {
+        let stats_eligible = suppressed.is_empty();
+        let suppressed = prune_dead_suppressed(&window, suppressed);
         let inner = VersionInner::new(Arc::clone(&query), window.id, suppressed.len());
         Arc::new(VersionState {
             id,
             window,
             query,
             suppressed,
+            stats_eligible,
             dropped: AtomicBool::new(false),
             finished: AtomicBool::new(false),
             inner: Mutex::new(inner),
@@ -156,6 +179,16 @@ impl VersionState {
     /// are suppressed (paper §3.1).
     pub fn suppressed(&self) -> &[Arc<CgCell>] {
         &self.suppressed
+    }
+
+    /// `true` iff this version was created with no assumptions at all — a
+    /// version of an independent window, eligible to feed the Markov
+    /// statistics (paper §3.2.1: "statistics are gathered by versions of
+    /// independent windows"). Deliberately *not* `suppressed().is_empty()`:
+    /// dead-cell pruning may empty a dependent version's set without
+    /// making its processing independent in the statistical sense.
+    pub fn stats_eligible(&self) -> bool {
+        self.stats_eligible
     }
 
     /// `true` once the splitter removed this version from the dependency
@@ -262,6 +295,18 @@ impl VersionState {
     /// version with a different suppressed set (paper §3.1: the "modified
     /// copy" of a dependent version when a consumption group is created).
     ///
+    /// This is both the eager copy at `cg_created` time and the clone
+    /// behind *lazy branch materialization*
+    /// (see [`DependencyTree`](crate::tree::DependencyTree)): in the lazy
+    /// case the source has usually advanced past the group's creation
+    /// point — possibly even processing events the group consumed. That is
+    /// safe for the same reason eager copies survive late group updates:
+    /// the clone's consistency bookkeeping restarts from scratch (below),
+    /// so the first periodic check — and at the latest the final
+    /// validation before retirement — detects the overlap and rolls the
+    /// clone back. No separate creation-time snapshot of `VersionInner` is
+    /// needed; the live state *is* the thunk source.
+    ///
     /// Open consumption groups are replaced by independent *twin* cells
     /// created through `mk_twin` — the copy continues the same partial
     /// matches, but in its world they must resolve independently of the
@@ -285,6 +330,7 @@ impl VersionState {
         expected_open: &[CgId],
         mk_twin: &mut dyn FnMut(&CgCell) -> Arc<CgCell>,
     ) -> Option<(Arc<Self>, Vec<(CgId, Arc<CgCell>)>)> {
+        let suppressed = prune_dead_suppressed(&source.window, suppressed);
         let guard = source.inner.lock();
         let mut inner = guard.clone();
         // The finished flag is only flipped while the state lock is held,
@@ -308,6 +354,9 @@ impl VersionState {
             window: Arc::clone(&source.window),
             query: Arc::clone(&source.query),
             suppressed,
+            // A speculative copy always assumes its branch's completion —
+            // never a statistics source, even if pruning empties its set.
+            stats_eligible: false,
             dropped: AtomicBool::new(false),
             finished: AtomicBool::new(finished),
             inner: Mutex::new(inner),

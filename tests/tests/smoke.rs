@@ -31,30 +31,77 @@ fn sim_matches_sequential_on_small_nyse() {
 }
 
 #[test]
-fn sim_matches_sequential_across_batch_sizes_and_shard_counts() {
-    // The batched splitter hand-off and the sharded window store are pure
-    // mechanics: k ∈ {1,2,4,8} × batch ∈ {1,64,1024} × shards ∈ {1,8} all
-    // reproduce the sequential reference exactly (batch 1 / shards 1 is
-    // the original event-at-a-time, single-lock data path).
+fn sim_matches_sequential_across_batch_sizes_shard_counts_and_lazy_modes() {
+    // The batched splitter hand-off, the sharded window store and the lazy
+    // dependency tree are pure mechanics: k ∈ {1,2,4,8} × batch ∈
+    // {1,64,1024} × shards ∈ {1,8} × lazy ∈ {on,off} all reproduce the
+    // sequential reference exactly (batch 1 / shards 1 / lazy off is the
+    // original event-at-a-time, single-lock, eager-copy engine).
     let mut schema = Schema::new();
     let events: Vec<_> = NyseGenerator::new(NyseConfig::small(2_000, 42), &mut schema).collect();
     let query = Arc::new(queries::q1(&mut schema, 4, 120, Direction::Rising));
     let expected = run_sequential(&query, &events).complex_events;
     assert!(!expected.is_empty());
 
-    for k in [1usize, 2, 4, 8] {
-        for batch in [1usize, 64, 1024] {
-            for shards in [1usize, 8] {
-                let config = SpectreConfig::with_batching(k, batch, shards);
-                let report = run_simulated(&query, events.clone(), &config);
-                assert_same_output(
-                    &format!("sim k={k} batch={batch} shards={shards}"),
-                    &report.complex_events,
-                    &expected,
-                );
+    for lazy in [true, false] {
+        for k in [1usize, 2, 4, 8] {
+            for batch in [1usize, 64, 1024] {
+                for shards in [1usize, 8] {
+                    let config = SpectreConfig::with_batching(k, batch, shards)
+                        .with_lazy_materialization(lazy);
+                    let report = run_simulated(&query, events.clone(), &config);
+                    assert_same_output(
+                        &format!("sim k={k} batch={batch} shards={shards} lazy={lazy}"),
+                        &report.complex_events,
+                        &expected,
+                    );
+                }
             }
         }
     }
+}
+
+#[test]
+fn lazy_tree_clones_only_scheduled_branches() {
+    // The O(1)-creation claim, observed end to end on an
+    // abandonment-dominant workload (q/ws = 0.5, the paper's high-ratio
+    // regime where most partial matches fail): the lazy engine clones
+    // strictly less than the eager engine copies and accounts every
+    // skipped clone in `lazy_versions_dropped`.
+    let mut schema = Schema::new();
+    let events: Vec<_> = NyseGenerator::new(NyseConfig::small(2_000, 42), &mut schema).collect();
+    let query = Arc::new(queries::q1(&mut schema, 60, 120, Direction::Rising));
+
+    // k = 1: only the root is ever scheduled, so no branch materializes
+    // through scheduling — abandoned groups drop their thunks for free and
+    // only completed groups force a clone. This is where the O(1) claim
+    // is sharpest.
+    let lazy = run_simulated(&query, events.clone(), &SpectreConfig::with_instances(1));
+    let eager = run_simulated(
+        &query,
+        events,
+        &SpectreConfig::with_instances(1).with_lazy_materialization(false),
+    );
+    assert_eq!(lazy.complex_events, eager.complex_events);
+
+    let lm = &lazy.metrics;
+    let em = &eager.metrics;
+    assert_eq!(em.versions_materialized, 0, "eager mode never defers");
+    assert_eq!(em.lazy_versions_dropped, 0);
+    assert!(
+        lm.lazy_versions_dropped > 0,
+        "abandoned groups must drop their unscheduled branches for free"
+    );
+    assert!(
+        lm.versions_created < em.versions_created,
+        "lazy created {} versions, eager {} — deferral must shrink cloning",
+        lm.versions_created,
+        em.versions_created
+    );
+    assert!(
+        lm.versions_materialized <= lm.versions_created,
+        "materializations are a subset of creations"
+    );
 }
 
 #[test]

@@ -62,25 +62,31 @@ fn threaded_repeated_runs_are_deterministic_in_output() {
 }
 
 #[test]
-fn threaded_matches_sequential_across_batch_sizes_and_shard_counts() {
+fn threaded_matches_sequential_across_batch_sizes_shard_counts_and_lazy_modes() {
     // Deterministic-equivalence matrix for the batched/sharded data path
-    // under real threads: k ∈ {1,2,4,8} × batch ∈ {1,64,1024} ×
-    // shards ∈ {1,8} all deliver the sequential output, on any machine
-    // and any interleaving.
+    // and the lazy dependency tree under real threads: k ∈ {1,2,4,8} ×
+    // batch ∈ {1,64,1024} × shards ∈ {1,8} × lazy ∈ {on,off} all deliver
+    // the sequential output, on any machine and any interleaving. Lazy
+    // materialization is the racier half (clones are taken from *live*
+    // source state that instances mutate concurrently), which is exactly
+    // why it runs under real threads here.
     let mut schema = Schema::new();
     let events: Vec<_> = NyseGenerator::new(NyseConfig::small(1000, 83), &mut schema).collect();
     let query = Arc::new(queries::q1(&mut schema, 3, 150, Direction::Rising));
     let expected = run_sequential(&query, &events).complex_events;
-    for k in [1usize, 2, 4, 8] {
-        for batch in [1usize, 64, 1024] {
-            for shards in [1usize, 8] {
-                let config = SpectreConfig::with_batching(k, batch, shards);
-                let report = run_threaded(&query, events.clone(), &config);
-                assert_same_output(
-                    &format!("threaded k={k} batch={batch} shards={shards}"),
-                    &report.complex_events,
-                    &expected,
-                );
+    for lazy in [true, false] {
+        for k in [1usize, 2, 4, 8] {
+            for batch in [1usize, 64, 1024] {
+                for shards in [1usize, 8] {
+                    let config = SpectreConfig::with_batching(k, batch, shards)
+                        .with_lazy_materialization(lazy);
+                    let report = run_threaded(&query, events.clone(), &config);
+                    assert_same_output(
+                        &format!("threaded k={k} batch={batch} shards={shards} lazy={lazy}"),
+                        &report.complex_events,
+                        &expected,
+                    );
+                }
             }
         }
     }
