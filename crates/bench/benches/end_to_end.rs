@@ -138,15 +138,18 @@ fn consumption_fixture() -> (Arc<Query>, Vec<Event>) {
     (query, events)
 }
 
-/// The lazy tree (defaults: O(1) group creation, cap 1024) against eager
-/// subtree copies with the cap PR 2 tuned for them (512 — higher caps
-/// make eager strictly worse, since every group creation copies a subtree
-/// bounded by the cap).
+/// The lazy tree (defaults: O(1) group creation, lazy window attach,
+/// cap 1024) against the fully eager engine — eager subtree copies *and*
+/// eager per-leaf attach — with the cap PR 2 tuned for it (512 — higher
+/// caps make eager strictly worse, since every group creation copies a
+/// subtree bounded by the cap).
 fn consumption_configs() -> [(&'static str, SpectreConfig); 2] {
     let lazy = SpectreConfig::with_batching(2, 64, 8);
     let eager = SpectreConfig {
         max_tree_versions: 512,
-        ..SpectreConfig::with_batching(2, 64, 8).with_lazy_materialization(false)
+        ..SpectreConfig::with_batching(2, 64, 8)
+            .with_lazy_materialization(false)
+            .with_lazy_attach(false)
     };
     [
         ("consumption_lazy_k2", lazy),
@@ -215,10 +218,13 @@ fn emit_summary(_c: &mut Criterion) {
         let m = &report.metrics;
         let extra = format!(
             "\"peak_tree\": {}, \"versions_materialized\": {}, \
-             \"lazy_versions_dropped\": {}, \"outputs\": {}",
+             \"lazy_versions_dropped\": {}, \"predictor_refreshes\": {}, \
+             \"predictor_refresh_ms\": {:.3}, \"outputs\": {}",
             m.max_tree_versions,
             m.versions_materialized,
             m.lazy_versions_dropped,
+            m.predictor_refreshes,
+            m.predictor_refresh_nanos as f64 / 1e6,
             report.complex_events.len()
         );
         match cases.iter_mut().find(|(n, _)| n == name) {

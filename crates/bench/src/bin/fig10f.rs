@@ -24,7 +24,9 @@ fn main() {
     println!("# wasted-speculation accounting includes the lazy tree:");
     println!("#   versions_mat  = clones actually taken (scheduled/completed branches)");
     println!("#   lazy_dropped  = completion branches discarded before any clone");
-    let widths = vec![4usize, 14, 16, 16, 16, 16];
+    println!("# predictor cost: refreshes = completion-vector rebuilds,");
+    println!("#   refresh_ms = cumulative wall-clock spent in them");
+    let widths = vec![4usize, 14, 16, 16, 16, 16, 12, 12];
     print_row(
         &[
             "k".into(),
@@ -33,6 +35,8 @@ fn main() {
             "versions_drop".into(),
             "versions_mat".into(),
             "lazy_dropped".into(),
+            "refreshes".into(),
+            "refresh_ms".into(),
         ],
         &widths,
     );
@@ -42,6 +46,8 @@ fn main() {
         let mut dropped = 0u64;
         let mut materialized = 0u64;
         let mut lazy_dropped = 0u64;
+        let mut refreshes = 0u64;
+        let mut refresh_nanos = 0u64;
         for rep in 0..repeats {
             let (mut schema, events) = nyse_stream(events_n, 42 + rep as u64);
             let query = Arc::new(queries::q1(&mut schema, q, ws, Direction::Rising));
@@ -51,6 +57,8 @@ fn main() {
             dropped = dropped.max(report.metrics.versions_dropped);
             materialized = materialized.max(report.metrics.versions_materialized);
             lazy_dropped = lazy_dropped.max(report.metrics.lazy_versions_dropped);
+            refreshes = refreshes.max(report.metrics.predictor_refreshes);
+            refresh_nanos = refresh_nanos.max(report.metrics.predictor_refresh_nanos);
         }
         print_row(
             &[
@@ -60,6 +68,8 @@ fn main() {
                 format!("{dropped}"),
                 format!("{materialized}"),
                 format!("{lazy_dropped}"),
+                format!("{refreshes}"),
+                format!("{:.1}", refresh_nanos as f64 / 1e6),
             ],
             &widths,
         );

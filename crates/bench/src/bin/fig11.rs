@@ -11,7 +11,8 @@ use std::sync::Arc;
 
 use spectre_baselines::run_sequential;
 use spectre_bench::{
-    bench_events, bench_repeats, print_row, rand_stream, sim_throughput, Candlestick,
+    bench_events, bench_repeats, print_row, rand_stream, sim_report, Candlestick,
+    PER_INSTANCE_EVENT_RATE,
 };
 use spectre_core::{PredictorKind, SpectreConfig};
 use spectre_query::queries;
@@ -49,8 +50,16 @@ fn main() {
             let gt = run_sequential(&query, &events).completion_probability();
             println!("# ground-truth completion probability: {:.1}%", gt * 100.0);
         }
-        let widths = vec![10usize, 28];
-        print_row(&["model".into(), "throughput".into()], &widths);
+        let widths = vec![10usize, 28, 12, 12];
+        print_row(
+            &[
+                "model".into(),
+                "throughput".into(),
+                "refreshes".into(),
+                "refresh_ms".into(),
+            ],
+            &widths,
+        );
         let mut models: Vec<(String, PredictorKind)> = (0..=5)
             .map(|i| {
                 let p = i as f64 * 0.2;
@@ -61,6 +70,8 @@ fn main() {
 
         for (name, predictor) in models {
             let mut samples = Vec::with_capacity(repeats);
+            let mut refreshes = 0u64;
+            let mut refresh_nanos = 0u64;
             for rep in 0..repeats {
                 let (mut schema, events, symbols) = rand_stream(events_n, 42 + rep as u64);
                 let query = Arc::new(queries::q3(
@@ -75,9 +86,20 @@ fn main() {
                     predictor: predictor.clone(),
                     ..Default::default()
                 };
-                samples.push(sim_throughput(&query, &events, &config));
+                let report = sim_report(&query, &events, &config);
+                samples.push(report.throughput(PER_INSTANCE_EVENT_RATE));
+                refreshes = refreshes.max(report.metrics.predictor_refreshes);
+                refresh_nanos = refresh_nanos.max(report.metrics.predictor_refresh_nanos);
             }
-            print_row(&[name, Candlestick::of(&samples).to_string()], &widths);
+            print_row(
+                &[
+                    name,
+                    Candlestick::of(&samples).to_string(),
+                    format!("{refreshes}"),
+                    format!("{:.1}", refresh_nanos as f64 / 1e6),
+                ],
+                &widths,
+            );
         }
         println!();
     }

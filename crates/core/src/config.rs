@@ -70,6 +70,17 @@ pub struct SpectreConfig {
     /// comparison. Output is identical either way (enforced by the lazy
     /// on/off matrices in `tests/tests/smoke.rs` / `threaded.rs`).
     pub lazy_materialization: bool,
+    /// Attach newly opened windows to the dependency tree as *pending
+    /// attach* thunks. On — the default — opening a window records the
+    /// window on one marker per leaf lineage (O(leaves) pointer work, no
+    /// version state), and the fresh versions are created only when the
+    /// top-k selection actually schedules the lineage (or the root lineage
+    /// retires into it), so per-window version creation drops from
+    /// O(leaves) to O(scheduled lineages). Off reproduces the original
+    /// eager per-leaf attach for A/B comparison. Output is identical
+    /// either way (enforced by the attach on/off matrices in
+    /// `tests/tests/smoke.rs` / `threaded.rs`).
+    pub lazy_attach: bool,
     /// Checkpoint interval in events, or `None` to roll back to the window
     /// start (the paper's final design: "the overhead in periodically
     /// checkpointing all window versions is much higher than the gain from
@@ -91,6 +102,7 @@ impl Default for SpectreConfig {
             store_shards: 8,
             max_tree_versions: 1024,
             lazy_materialization: true,
+            lazy_attach: true,
             checkpoint_freq: None,
         }
     }
@@ -147,6 +159,24 @@ impl SpectreConfig {
     #[must_use]
     pub fn with_lazy_materialization(mut self, on: bool) -> Self {
         self.lazy_materialization = on;
+        self
+    }
+
+    /// Returns the configuration with lazy window attach toggled — `false`
+    /// restores the eager fresh-version-per-leaf attach at window open.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use spectre_core::SpectreConfig;
+    ///
+    /// let eager = SpectreConfig::with_instances(4).with_lazy_attach(false);
+    /// assert!(!eager.lazy_attach);
+    /// assert!(SpectreConfig::default().lazy_attach);
+    /// ```
+    #[must_use]
+    pub fn with_lazy_attach(mut self, on: bool) -> Self {
+        self.lazy_attach = on;
         self
     }
 

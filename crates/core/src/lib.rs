@@ -55,10 +55,29 @@
 //! branch's version state is cloned only when the top-k selection first
 //! schedules it or its group completes; branches dropped by an
 //! abandonment, a rollback or a losing outer branch cost nothing
-//! (counted by [`MetricsSnapshot::lazy_versions_dropped`]). `false`
-//! restores the eager subtree copy for A/B runs; the output is identical
-//! either way (enforced by the lazy on/off matrices in the same test
-//! suites).
+//! (counted by [`MetricsSnapshot::lazy_versions_dropped`]). Window attach
+//! is deferred the same way ([`SpectreConfig::lazy_attach`], default on):
+//! opening a window records it on a *pending-attach marker* per leaf
+//! lineage, and the fresh version is created only when the selection
+//! actually schedules the lineage — one version per pop, so per-window
+//! version creation is O(scheduled lineages) instead of O(leaves).
+//! `false` restores the eager behaviors for A/B runs; the output is
+//! identical either way (enforced by the lazy/attach on/off matrices in
+//! the same test suites).
+//!
+//! ## The vectorized Markov predictor
+//!
+//! The completion-probability prediction (paper Fig. 5) only reads entry
+//! `[δ][0]` of the precomputed transition-matrix powers, so
+//! [`markov::MarkovModel`] maintains just those *columns*
+//! (`v_{i+1} = T^ℓ·v_i`): a statistics refresh costs O(L·n²)
+//! matrix–vector work instead of O(L·n³) full products. Refreshes apply
+//! one exponential-smoothing step per full ρ-window of pending
+//! observations (remainder carried over) — the paper's per-ρ cadence even
+//! when statistics arrive in bulk — and can be rate-limited via
+//! [`markov::MarkovConfig::min_events_between_refreshes`]. The splitter
+//! accounts the cost in [`MetricsSnapshot::predictor_refreshes`] /
+//! [`MetricsSnapshot::predictor_refresh_nanos`].
 //!
 //! ## Quickstart
 //!

@@ -5,10 +5,26 @@
 //! matrix `T1` is estimated from run-time statistics — the observed
 //! `δ_old → δ_new` transitions per processed event — and refreshed with
 //! exponential smoothing `T1 = (1 − α)·T1_old + α·T1_new` after every ρ new
-//! measurements. Powers `T_ℓ, T_2ℓ, …` are precomputed at step size ℓ and
-//! linearly interpolated, so predicting the completion probability of a
-//! consumption group with `n` expected remaining events is a constant-time
-//! lookup of entry `[δ][0]`.
+//! measurements. The prediction of Fig. 5 only ever reads entry `[δ][0]`
+//! of the precomputed powers `T_ℓ, T_2ℓ, …`, so instead of maintaining the
+//! full matrices the model keeps just their completion-probability
+//! *columns*: `v_i = T^{iℓ}·e₀` with `v_{i+1} = T^ℓ·v_i`, making a refresh
+//! O(L·n²) matrix–vector work (plus the O(n³·log ℓ) computation of `T^ℓ`)
+//! instead of O(L·n³) full products. Predictions interpolate linearly
+//! between adjacent levels, exactly as with the dense powers — the
+//! matrix-power formulation survives as the executable specification
+//! [`completion_probability_via_matrix_powers`](MarkovModel::completion_probability_via_matrix_powers),
+//! which the equivalence tests hold the vectors to.
+//!
+//! Refresh cadence: statistics arrive in per-cycle batches, so `pending`
+//! may cross several ρ-windows at once. [`refresh_if_due`](MarkovModel::refresh_if_due)
+//! applies one smoothing step per *full* ρ-window (`pending / ρ` steps,
+//! remainder carried into the next window), matching the paper's per-ρ
+//! cadence instead of collapsing a whole backlog into a single step.
+//! [`MarkovConfig::min_events_between_refreshes`] optionally rate-limits
+//! the (rebuild-carrying) refreshes on top: while throttled, observations
+//! keep accumulating and the eventual refresh catches up on every full
+//! ρ-window at once.
 //!
 //! Deviation from the paper: the state space is capped at
 //! [`MarkovConfig::state_cap`] states (δ values above the cap saturate).
@@ -31,6 +47,13 @@ pub struct MarkovConfig {
     /// Maximum number of precomputed power levels (`T_ℓ … T_{L·ℓ}`);
     /// predictions beyond saturate at the last level.
     pub max_levels: usize,
+    /// Minimum number of *observations* between two refreshes (each refresh
+    /// rebuilds the completion-probability vectors). `0` disables the
+    /// throttle: a refresh happens whenever a full ρ-window is pending.
+    /// With a positive value, a flood of stats batches cannot trigger
+    /// back-to-back rebuilds — pending observations accumulate and the
+    /// next permitted refresh applies every full ρ-window at once.
+    pub min_events_between_refreshes: u64,
 }
 
 impl Default for MarkovConfig {
@@ -41,6 +64,7 @@ impl Default for MarkovConfig {
             rho: 512,
             state_cap: 128,
             max_levels: 128,
+            min_events_between_refreshes: 0,
         }
     }
 }
@@ -71,9 +95,16 @@ pub struct MarkovModel {
     t1: Matrix,
     counts: Matrix,
     pending: u64,
-    powers: Vec<Matrix>,
+    /// Lifetime observation count (drives the refresh rate limiter).
+    events_seen: u64,
+    /// `events_seen` at the last refresh.
+    last_refresh_events: u64,
+    /// Completion-probability vectors, level-major:
+    /// `completion[i·states + δ] = (T^{(i+1)·ℓ})[δ][0]`.
+    completion: Vec<f64>,
     dirty: bool,
     refreshes: u64,
+    smoothing_steps: u64,
 }
 
 impl MarkovModel {
@@ -105,11 +136,14 @@ impl MarkovModel {
             t1,
             counts: Matrix::zeros(states),
             pending: 0,
-            powers: Vec::new(),
+            events_seen: 0,
+            last_refresh_events: 0,
+            completion: Vec::new(),
             dirty: true,
             refreshes: 0,
+            smoothing_steps: 0,
         };
-        model.rebuild_powers();
+        model.rebuild_completion_levels();
         model
     }
 
@@ -118,9 +152,28 @@ impl MarkovModel {
         self.states
     }
 
-    /// Number of `T1` refreshes performed so far.
+    /// Number of refreshes performed so far (each rebuilt the
+    /// completion-probability vectors; one refresh may apply several
+    /// smoothing steps, see [`smoothing_steps`](Self::smoothing_steps)).
     pub fn refresh_count(&self) -> u64 {
         self.refreshes
+    }
+
+    /// Number of exponential-smoothing steps applied so far — one per full
+    /// ρ-window of observations, however they were batched.
+    pub fn smoothing_steps(&self) -> u64 {
+        self.smoothing_steps
+    }
+
+    /// Observations accumulated towards the next ρ-window.
+    pub fn pending_observations(&self) -> u64 {
+        self.pending
+    }
+
+    /// The current smoothed transition matrix `T1` (for inspection and the
+    /// equivalence tests).
+    pub fn t1(&self) -> &Matrix {
+        &self.t1
     }
 
     /// Maps a completion distance onto the (possibly saturated) state index.
@@ -134,6 +187,7 @@ impl MarkovModel {
         let to = self.clamp_delta(delta_new);
         self.counts[(from, to)] += 1.0;
         self.pending += 1;
+        self.events_seen += 1;
     }
 
     /// Records a batch of transitions.
@@ -143,35 +197,74 @@ impl MarkovModel {
         }
     }
 
-    /// Refreshes `T1` (exponential smoothing) and the precomputed powers if ρ
-    /// new measurements accumulated. Returns `true` if a refresh happened.
+    /// Refreshes `T1` (exponential smoothing) and the precomputed
+    /// completion-probability vectors if at least one full ρ-window of
+    /// measurements accumulated — one smoothing step per full window, the
+    /// remainder carried over — unless the refresh rate limiter
+    /// ([`MarkovConfig::min_events_between_refreshes`]) is still in its
+    /// hold-off period. Returns `true` if a refresh happened.
+    ///
+    /// Statistics arrive in per-cycle batches, so `pending` routinely
+    /// crosses several ρ-windows at once; collapsing them into a single
+    /// smoothing step would under-weight recent observations relative to
+    /// the paper's per-ρ cadence (`T1 = (1−α)·T1_old + α·T1_new` once per
+    /// window). The aggregated counts stand in for each window's estimate:
+    /// when every window drew from the same distribution this is exact
+    /// (normalization is scale-invariant), otherwise it is the natural
+    /// batch approximation. The `pending % ρ` remainder observations stay
+    /// pending, their counts scaled down to the remainder's share of the
+    /// aggregate.
     pub fn refresh_if_due(&mut self) -> bool {
         if self.pending < self.config.rho {
             return false;
         }
+        let min_gap = self.config.min_events_between_refreshes;
+        if min_gap > 0 && self.events_seen - self.last_refresh_events < min_gap {
+            return false;
+        }
+        let steps = self.pending / self.config.rho;
+        let remainder = self.pending % self.config.rho;
         let mut t_new = self.counts.clone();
         t_new.row_normalize();
-        self.t1 = self.t1.lerp(&t_new, self.config.alpha);
-        self.counts = Matrix::zeros(self.states);
-        self.pending = 0;
+        // One lerp per full ρ-window — bit-identical to feeding the same
+        // windows one refresh at a time.
+        for _ in 0..steps {
+            self.t1 = self.t1.lerp(&t_new, self.config.alpha);
+        }
+        if remainder == 0 {
+            self.counts = Matrix::zeros(self.states);
+        } else {
+            // Keep the remainder's share of the aggregate distribution.
+            self.counts.scale(remainder as f64 / self.pending as f64);
+        }
+        self.pending = remainder;
+        self.smoothing_steps += steps;
+        self.last_refresh_events = self.events_seen;
         self.dirty = true;
-        self.rebuild_powers();
+        self.rebuild_completion_levels();
         self.refreshes += 1;
         true
     }
 
-    fn rebuild_powers(&mut self) {
+    /// Rebuilds the completion-probability vectors from `T1`: level `i`
+    /// holds column 0 of `T^{(i+1)·ℓ}`, advanced one level at a time via
+    /// `v_{i+1} = T^ℓ·v_i` — O(max_levels · n²) after the single O(n³·log ℓ)
+    /// power for `T^ℓ`.
+    fn rebuild_completion_levels(&mut self) {
         if !self.dirty {
             return;
         }
         let t_ell = self.t1.power(self.config.ell);
-        let mut powers = Vec::with_capacity(self.config.max_levels);
-        powers.push(t_ell.clone());
+        let states = self.states;
+        let mut completion = Vec::with_capacity(self.config.max_levels * states);
+        // Level 0: column 0 of T^ℓ itself.
+        let mut v: Vec<f64> = (0..states).map(|i| t_ell[(i, 0)]).collect();
+        completion.extend_from_slice(&v);
         for _ in 1..self.config.max_levels {
-            let next = powers.last().expect("non-empty").multiply(&t_ell);
-            powers.push(next);
+            v = t_ell.mul_col(&v);
+            completion.extend_from_slice(&v);
         }
-        self.powers = powers;
+        self.completion = completion;
         self.dirty = false;
     }
 
@@ -180,8 +273,9 @@ impl MarkovModel {
     /// window (paper Fig. 5).
     ///
     /// `events_left` is clamped to at least 1 ("at least 1 more event
-    /// expected") and the interpolation reads entry `[δ][0]` of
-    /// `T_n ≈ lerp(T_{⌊n/ℓ⌋·ℓ}, T_{⌈n/ℓ⌉·ℓ})`.
+    /// expected") and the interpolation reads the `[δ][0]` entries of
+    /// `T_n ≈ lerp(T_{⌊n/ℓ⌋·ℓ}, T_{⌈n/ℓ⌉·ℓ})` — two lookups in the
+    /// precomputed completion vectors plus the lerp.
     pub fn completion_probability(&self, delta: usize, events_left: i64) -> f64 {
         let delta = self.clamp_delta(delta);
         if delta == 0 {
@@ -189,11 +283,11 @@ impl MarkovModel {
         }
         let n = events_left.max(1) as u64;
         let ell = self.config.ell as u64;
-        // Level i holds T^{(i+1)·ℓ}.
+        // Level i holds the [δ][0] column of T^{(i+1)·ℓ}.
         let lo_level = n / ell; // T^{lo_level·ℓ}
         let rem = n % ell;
         let w = rem as f64 / ell as f64;
-        let max_level = self.powers.len() as u64;
+        let max_level = (self.completion.len() / self.states) as u64;
 
         let entry = |level: u64| -> f64 {
             if level == 0 {
@@ -201,12 +295,47 @@ impl MarkovModel {
                 0.0
             } else {
                 let idx = (level.min(max_level) - 1) as usize;
-                self.powers[idx][(delta, 0)]
+                self.completion[idx * self.states + delta]
             }
         };
         let lo = entry(lo_level);
         let hi = entry(lo_level + 1);
         (1.0 - w) * lo + w * hi
+    }
+
+    /// Reference implementation of [`completion_probability`](Self::completion_probability)
+    /// via full dense matrix powers, recomputed from the current `T1` on
+    /// every call — O(max_levels·n³), the pre-vectorization cost. This is
+    /// the executable specification the equivalence tests hold the
+    /// maintained completion vectors to (≤ 1e-9); it is not used on any
+    /// hot path.
+    pub fn completion_probability_via_matrix_powers(&self, delta: usize, events_left: i64) -> f64 {
+        let delta = self.clamp_delta(delta);
+        if delta == 0 {
+            return 1.0;
+        }
+        let t_ell = self.t1.power(self.config.ell);
+        let mut powers: Vec<Matrix> = Vec::with_capacity(self.config.max_levels);
+        powers.push(t_ell.clone());
+        for _ in 1..self.config.max_levels {
+            let next = powers.last().expect("non-empty").multiply(&t_ell);
+            powers.push(next);
+        }
+        let n = events_left.max(1) as u64;
+        let ell = self.config.ell as u64;
+        let lo_level = n / ell;
+        let rem = n % ell;
+        let w = rem as f64 / ell as f64;
+        let max_level = powers.len() as u64;
+        let entry = |level: u64| -> f64 {
+            if level == 0 {
+                0.0
+            } else {
+                let idx = (level.min(max_level) - 1) as usize;
+                powers[idx][(delta, 0)]
+            }
+        };
+        (1.0 - w) * entry(lo_level) + w * entry(lo_level + 1)
     }
 }
 
@@ -259,8 +388,13 @@ mod tests {
         }
         while model.refresh_if_due() {}
         assert!(model.completion_probability(4, 20) > 0.95);
-        // but with fewer remaining events than steps needed, low probability
-        assert!(model.completion_probability(4, 2) < 0.5);
+        // With fewer remaining events (2) than steps needed (4) the true
+        // probability is 0; the ℓ-grid interpolation between T⁰ and T^ℓ
+        // floors the estimate at (n mod ℓ)/ℓ · T^ℓ[δ][0] = 0.5 here (the
+        // fully-learned chain reaches 0 in exactly ℓ = 4 steps).
+        let p_short = model.completion_probability(4, 2);
+        assert!(p_short <= 0.5 + 1e-9, "p = {p_short}");
+        assert!(p_short < model.completion_probability(4, 20));
     }
 
     #[test]
@@ -273,6 +407,8 @@ mod tests {
         model.observe(2, 1);
         assert!(model.refresh_if_due());
         assert_eq!(model.refresh_count(), 1);
+        assert_eq!(model.smoothing_steps(), 1);
+        assert_eq!(model.pending_observations(), 0);
     }
 
     #[test]
@@ -283,6 +419,7 @@ mod tests {
             ell: 2,
             max_levels: 8,
             state_cap: 128,
+            min_events_between_refreshes: 0,
         };
         let mut model = MarkovModel::new(1, cfg);
         // Prior: P(1→0) = 0.5. Observe only 1→0.
@@ -295,6 +432,132 @@ mod tests {
         // n=1, ℓ=2: interpolates between T^0 (0.0) and T^2 at weight 0.5.
         // T^2[1][0] = 1 - 0.25^2 = 0.9375 → p = 0.5 * 0.9375 = 0.46875
         assert!((p - 0.468_75).abs() < 1e-9, "p = {p}");
+    }
+
+    #[test]
+    fn batched_stats_match_sequential_refreshes() {
+        // The ρ-collapse regression test: 5ρ observations delivered in one
+        // batch must produce the same T1 as the same observations fed one
+        // ρ-window at a time with a refresh after each — the paper's
+        // per-ρ smoothing cadence, not a single collapsed step.
+        let rho = 8u64;
+        let window = [
+            (2u32, 1u32),
+            (2, 2),
+            (1, 0),
+            (1, 1),
+            (2, 1),
+            (1, 0),
+            (2, 2),
+            (1, 1),
+        ];
+        assert_eq!(window.len() as u64, rho);
+
+        let mut sequential = MarkovModel::new(2, small_config(rho));
+        for _ in 0..5 {
+            sequential.observe_batch(&window);
+            assert!(sequential.refresh_if_due());
+        }
+        assert_eq!(sequential.smoothing_steps(), 5);
+
+        let mut batched = MarkovModel::new(2, small_config(rho));
+        let bulk: Vec<(u32, u32)> = (0..5).flat_map(|_| window.iter().copied()).collect();
+        batched.observe_batch(&bulk);
+        assert!(batched.refresh_if_due());
+        assert_eq!(batched.refresh_count(), 1, "one rebuild for the backlog");
+        assert_eq!(batched.smoothing_steps(), 5, "one step per full ρ-window");
+
+        for i in 0..3 {
+            for j in 0..3 {
+                let (s, b) = (sequential.t1()[(i, j)], batched.t1()[(i, j)]);
+                assert!(
+                    (s - b).abs() < 1e-15,
+                    "T1[{i}][{j}]: sequential {s} vs batched {b}"
+                );
+            }
+        }
+        for (delta, n) in [(1usize, 3i64), (2, 10), (2, 100)] {
+            let (s, b) = (
+                sequential.completion_probability(delta, n),
+                batched.completion_probability(delta, n),
+            );
+            assert!((s - b).abs() < 1e-12, "p({delta},{n}): {s} vs {b}");
+        }
+    }
+
+    #[test]
+    fn refresh_carries_the_remainder() {
+        // 2ρ + 3 pending → two smoothing steps, 3 observations carried.
+        let mut model = MarkovModel::new(2, small_config(8));
+        for _ in 0..19 {
+            model.observe(2, 1);
+        }
+        assert!(model.refresh_if_due());
+        assert_eq!(model.smoothing_steps(), 2);
+        assert_eq!(model.pending_observations(), 3);
+        // Topping the carried remainder up to a full window triggers the
+        // next step.
+        for _ in 0..5 {
+            model.observe(2, 1);
+        }
+        assert!(model.refresh_if_due());
+        assert_eq!(model.smoothing_steps(), 3);
+        assert_eq!(model.pending_observations(), 0);
+    }
+
+    #[test]
+    fn rate_limiter_batches_pending_windows() {
+        // With a 100-observation hold-off, ρ-windows pile up unrefreshed
+        // and the eventual refresh applies them all in one rebuild.
+        let cfg = MarkovConfig {
+            min_events_between_refreshes: 100,
+            ..small_config(10)
+        };
+        let mut model = MarkovModel::new(2, cfg);
+        for _ in 0..40 {
+            model.observe(2, 1);
+        }
+        assert!(!model.refresh_if_due(), "throttled despite 4 full windows");
+        assert_eq!(model.refresh_count(), 0);
+        for _ in 0..60 {
+            model.observe(2, 1);
+        }
+        assert!(model.refresh_if_due());
+        assert_eq!(model.refresh_count(), 1, "one rebuild for 10 windows");
+        assert_eq!(model.smoothing_steps(), 10);
+        // The hold-off restarts from the refresh.
+        for _ in 0..10 {
+            model.observe(2, 1);
+        }
+        assert!(!model.refresh_if_due());
+    }
+
+    #[test]
+    fn vectors_match_matrix_power_reference() {
+        // The maintained completion vectors against the dense-power
+        // executable spec, before and after refreshes.
+        let mut model = MarkovModel::new(5, small_config(6));
+        let probe = |m: &MarkovModel| {
+            for delta in 0..=5usize {
+                for n in [0i64, 1, 3, 4, 7, 16, 64, 500] {
+                    let fast = m.completion_probability(delta, n);
+                    let slow = m.completion_probability_via_matrix_powers(delta, n);
+                    assert!(
+                        (fast - slow).abs() <= 1e-9,
+                        "delta={delta} n={n}: {fast} vs {slow}"
+                    );
+                }
+            }
+        };
+        probe(&model);
+        for round in 0..4 {
+            for _ in 0..6 {
+                model.observe(5 - (round % 3), 4 - (round % 3));
+                model.observe(2, 2);
+            }
+            model.refresh_if_due();
+            probe(&model);
+        }
     }
 
     #[test]

@@ -94,6 +94,43 @@ impl Matrix {
         result
     }
 
+    /// Matrix–column-vector product `self × v`.
+    ///
+    /// This is the kernel behind the Markov model's vectorized power
+    /// maintenance: keeping only the completion-probability *columns*
+    /// `T^{iℓ}·e₀` and advancing them with one `mul_col` per level costs
+    /// O(n²) per level where a full matrix product costs O(n³).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use spectre_core::matrix::Matrix;
+    /// let mut m = Matrix::identity(2);
+    /// m[(1, 0)] = 0.5;
+    /// m[(1, 1)] = 0.5;
+    /// assert_eq!(m.mul_col(&[1.0, 0.0]), vec![1.0, 0.5]);
+    /// ```
+    pub fn mul_col(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(self.n, v.len(), "dimension mismatch");
+        let n = self.n;
+        let mut out = vec![0.0; n];
+        for (i, o) in out.iter_mut().enumerate() {
+            let row = &self.data[i * n..(i + 1) * n];
+            *o = row.iter().zip(v).map(|(&a, &b)| a * b).sum();
+        }
+        out
+    }
+
+    /// Scales every entry by `s` in place (used to carry a remainder
+    /// fraction of accumulated transition counts across a refresh).
+    pub fn scale(&mut self, s: f64) {
+        self.data.iter_mut().for_each(|v| *v *= s);
+    }
+
     /// Convex combination `(1 - w) * self + w * rhs` (exponential smoothing
     /// and power interpolation both reduce to this).
     ///
@@ -219,6 +256,34 @@ mod tests {
         assert!(a.multiply(&b).is_row_stochastic(1e-12));
         assert!(a.power(17).is_row_stochastic(1e-9));
         assert!(a.lerp(&b, 0.5).is_row_stochastic(1e-12));
+    }
+
+    #[test]
+    fn mul_col_matches_full_product() {
+        let a = two_state_chain(0.3);
+        let b = two_state_chain(0.7);
+        let ab = a.multiply(&b);
+        for col in 0..2 {
+            let v: Vec<f64> = (0..2).map(|i| b[(i, col)]).collect();
+            let got = a.mul_col(&v);
+            for (i, g) in got.iter().enumerate() {
+                assert!((g - ab[(i, col)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn scale_is_entrywise() {
+        let mut m = two_state_chain(0.25);
+        m.scale(0.5);
+        assert!((m[(1, 0)] - 0.125).abs() < 1e-12);
+        assert!((m[(0, 0)] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mismatched_mul_col_rejected() {
+        let _ = Matrix::identity(2).mul_col(&[1.0, 0.0, 0.0]);
     }
 
     #[test]

@@ -28,6 +28,12 @@ pub struct Metrics {
     /// speculation the lazy tree made free (each one stands for a whole
     /// subtree copy the eager tree would have made and thrown away).
     pub lazy_versions_dropped: AtomicU64,
+    /// Predictor refreshes performed by the splitter (each rebuilt the
+    /// Markov completion-probability vectors).
+    pub predictor_refreshes: AtomicU64,
+    /// Cumulative wall-clock time spent in predictor refreshes, in
+    /// nanoseconds (the `apply_stats` share of the splitter cycle).
+    pub predictor_refresh_nanos: AtomicU64,
     /// Rollbacks (instance consistency check or final check).
     pub rollbacks: AtomicU64,
     /// Splitter maintenance + scheduling cycles.
@@ -69,6 +75,8 @@ impl Metrics {
             versions_dropped: self.versions_dropped.load(Ordering::Relaxed),
             versions_materialized: self.versions_materialized.load(Ordering::Relaxed),
             lazy_versions_dropped: self.lazy_versions_dropped.load(Ordering::Relaxed),
+            predictor_refreshes: self.predictor_refreshes.load(Ordering::Relaxed),
+            predictor_refresh_nanos: self.predictor_refresh_nanos.load(Ordering::Relaxed),
             rollbacks: self.rollbacks.load(Ordering::Relaxed),
             sched_cycles: self.sched_cycles.load(Ordering::Relaxed),
             max_tree_versions: self.max_tree_versions.load(Ordering::Relaxed),
@@ -94,6 +102,8 @@ pub struct MetricsSnapshot {
     pub versions_dropped: u64,
     pub versions_materialized: u64,
     pub lazy_versions_dropped: u64,
+    pub predictor_refreshes: u64,
+    pub predictor_refresh_nanos: u64,
     pub rollbacks: u64,
     pub sched_cycles: u64,
     pub max_tree_versions: u64,

@@ -187,14 +187,19 @@ impl<I: Iterator<Item = Event>> Splitter<I> {
             )),
             PredictorKind::Fixed(p) => Box::new(FixedPredictor::new(*p)),
         };
-        // Initial window-size estimate: exact for count windows.
+        // Warm-up window-size estimate, used by the prediction input
+        // `events_left` until the first window closes: exact for count
+        // windows; for time windows the duration in ticks stands in for
+        // the event count (the generators emit ~1 event per tick) — a
+        // spec-derived estimate instead of an arbitrary constant, so the
+        // first-cycle predictions are not fed a wildly wrong horizon.
         let avg_window_size = match query.window().close() {
-            WindowClose::Count(ws) => ws as f64,
-            WindowClose::Time(_) => 64.0,
+            WindowClose::Count(ws) => (ws as f64).max(1.0),
+            WindowClose::Time(duration) => (duration as f64).max(1.0),
         };
         let assigner = WindowAssigner::new(query.window().clone());
         let batch = EventBatch::with_capacity(0, config.batch_size);
-        let tree = DependencyTree::with_lazy(config.lazy_materialization);
+        let tree = DependencyTree::with_modes(config.lazy_materialization, config.lazy_attach);
         Splitter {
             config,
             query,
@@ -383,7 +388,14 @@ impl<I: Iterator<Item = Event>> Splitter<I> {
         while let Some(batch) = self.shared.stats.pop() {
             self.predictor.observe_batch(&batch.transitions);
         }
-        self.predictor.refresh();
+        let started = std::time::Instant::now();
+        if self.predictor.refresh() {
+            let metrics = &self.shared.metrics;
+            metrics.predictor_refreshes.fetch_add(1, Ordering::Relaxed);
+            metrics
+                .predictor_refresh_nanos
+                .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
     }
 
     fn ingest(&mut self) {
@@ -420,7 +432,12 @@ impl<I: Iterator<Item = Event>> Splitter<I> {
             // Back-pressure: stall speculative fan-out while the tree is
             // oversized — but never starve the root window of its remaining
             // events (it must be able to finish so the tree can shrink).
-            if self.tree.version_count() >= self.config.max_tree_versions {
+            // The load counts windows pending on attach markers alongside
+            // live versions: lazy attach keeps the version count low while
+            // windows accumulate, and every completion-driven rebuild
+            // spans all of them, so unbounded pending windows would blow
+            // the cycle cost up exactly like unbounded versions.
+            if self.tree.speculative_load() >= self.config.max_tree_versions {
                 let root_fully_ingested = self.live.front().is_none_or(|w| w.end_pos().is_some());
                 if root_fully_ingested {
                     return FillOutcome::BackPressure;
@@ -567,7 +584,11 @@ impl<I: Iterator<Item = Event>> Splitter<I> {
                 self.outputs.append(&mut inner.outputs);
             }
             self.progress = true;
-            let retired = self.tree.retire_root();
+            // Retirement materializes a pending-attach child, so it takes
+            // the factory too.
+            let mut factory = self.factory();
+            let retired = self.tree.retire_root(&mut factory);
+            self.absorb(factory);
             self.finished_acked.remove(&retired.id());
             // Acks of versions dropped from the tree are dead; prune them
             // here (retirement is rare relative to cycles).
@@ -589,12 +610,28 @@ impl<I: Iterator<Item = Event>> Splitter<I> {
         }
     }
 
+    /// Running average window length in events — the prediction input's
+    /// window-size term (paper Fig. 5: `Splitter.avgWindowSize`). Seeded
+    /// from the query's window spec until the first window closes.
+    pub fn avg_window_size(&self) -> f64 {
+        self.avg_window_size
+    }
+
+    /// Prediction input `n` for a consumption group at `pos_in_window`:
+    /// the expected further events in its window under the running average
+    /// window size, clamped to ≥ 1 — a stale or short estimate (e.g. a
+    /// group already past the average) must never feed the predictor a
+    /// non-positive horizon.
+    fn events_left(avg_window_size: f64, pos_in_window: u64) -> i64 {
+        (avg_window_size as i64 - pos_in_window as i64).max(1)
+    }
+
     fn schedule(&mut self) {
         let mut factory = self.factory();
         let avg = self.avg_window_size;
         let predictor = &*self.predictor;
         let prob = move |cell: &CgCell| -> f64 {
-            let events_left = avg as i64 - cell.pos_in_window() as i64;
+            let events_left = Self::events_left(avg, cell.pos_in_window());
             predictor.predict(cell.delta(), events_left)
         };
         // Selecting the top k is also where lazy completion branches
@@ -812,6 +849,62 @@ mod tests {
         let expected = spectre_baselines::run_sequential(&query, &events).complex_events;
         let got = drive(query, events, 1);
         assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn warmup_window_size_estimate_derives_from_spec() {
+        use spectre_query::window::{WindowClose, WindowOpen};
+
+        // Count windows: the estimate is exact before the first close.
+        let shared = SharedState::new(1);
+        let splitter = Splitter::new(
+            ab_query(), // ws = 4
+            std::iter::empty::<Event>(),
+            SpectreConfig::with_instances(1),
+            shared,
+        );
+        assert_eq!(splitter.avg_window_size(), 4.0);
+
+        // Time windows: the duration in ticks stands in for the event
+        // count — derived from the spec, not a hardcoded constant.
+        let x = AttrKey::new(0);
+        let time_query = Arc::new(
+            Query::builder("t")
+                .pattern(
+                    Pattern::builder()
+                        .one("A", Expr::current(x).eq_(Expr::value(1.0)))
+                        .build()
+                        .unwrap(),
+                )
+                .window(WindowSpec::new(WindowOpen::EverySlide(5), WindowClose::Time(250)).unwrap())
+                .build()
+                .unwrap(),
+        );
+        let shared = SharedState::new(1);
+        let mut splitter = Splitter::new(
+            time_query,
+            (0..4).map(|i| ev(i, 9.0)),
+            SpectreConfig::with_instances(1),
+            shared,
+        );
+        assert_eq!(splitter.avg_window_size(), 250.0);
+        // The first cycle ingests the whole (short) stream and the final
+        // flush closes the only window at 4 events: the measured length
+        // replaces the warm-up estimate.
+        splitter.cycle();
+        assert_eq!(splitter.avg_window_size(), 4.0);
+    }
+
+    #[test]
+    fn prediction_events_left_clamps_to_at_least_one() {
+        type S = Splitter<std::iter::Empty<Event>>;
+        assert_eq!(S::events_left(200.0, 10), 190);
+        // At or past the average the horizon floors at one expected
+        // event, matching the model's own clamp.
+        assert_eq!(S::events_left(200.0, 200), 1);
+        assert_eq!(S::events_left(200.0, 5000), 1);
+        // A degenerate (zero) average must not produce a zero horizon.
+        assert_eq!(S::events_left(0.0, 0), 1);
     }
 
     #[test]

@@ -74,8 +74,26 @@ enum Node {
     /// carries no state of its own — the materialization source (the
     /// abandon edge) and the suppressed-set delta (the cell) are both read
     /// from the parent CG vertex at materialization time, so creation and
-    /// teardown are O(1).
-    Lazy { parent: Option<NodeId> },
+    /// teardown are O(1). `stamp` is a unique id that lets queued top-k
+    /// candidates detect arena-slot reuse (a thunk can be freed and its
+    /// slot recycled for a *different* thunk while the walk is in
+    /// progress — see [`top_k`](DependencyTree::top_k)).
+    Lazy { parent: Option<NodeId>, stamp: u64 },
+    /// A pending tail of fresh window versions: windows attached to this
+    /// leaf lineage (ascending by id) whose versions have not been created
+    /// yet. Like `Lazy`, the marker holds no version state — the
+    /// suppression context is derived from the parent at materialization
+    /// time — so attaching a window to a lineage is O(1) and a marker
+    /// dropped with a losing branch costs nothing. Materialized into a
+    /// [`fresh_chain`](DependencyTree::fresh_chain) when the top-k
+    /// selection schedules the lineage or the root lineage retires into
+    /// it. `stamp` is a unique id that lets queued top-k candidates detect
+    /// arena-slot reuse.
+    PendingAttach {
+        parent: Option<NodeId>,
+        windows: Vec<Arc<WindowInfo>>,
+        stamp: u64,
+    },
 }
 
 /// Materializes window versions and twin cells for the tree. The splitter
@@ -125,6 +143,18 @@ pub struct DependencyTree {
     /// [`cg_created`](Self::cg_created) copies the dependent subtree
     /// eagerly (the original behavior, kept for A/B comparison).
     lazy: bool,
+    /// When set (the default), newly opened windows are recorded on
+    /// pending-attach markers (one per leaf lineage) instead of eagerly
+    /// creating one fresh version per leaf; when clear,
+    /// [`new_window`](Self::new_window) attaches eagerly.
+    lazy_attach: bool,
+    /// Monotonic stamp source for thunk vertices (lazy branches and
+    /// pending-attach markers).
+    next_thunk_stamp: u64,
+    /// Windows currently recorded on pending-attach markers, summed over
+    /// all markers (kept incrementally: the back-pressure check reads it
+    /// per ingested event).
+    pending_window_count: usize,
     /// Versions created by materializing lazy branches since the last
     /// [`take_lazy_stats`](Self::take_lazy_stats).
     versions_materialized: u64,
@@ -141,19 +171,29 @@ impl Default for DependencyTree {
 }
 
 impl DependencyTree {
-    /// Creates an empty tree with lazy completion branches (the default).
+    /// Creates an empty tree with lazy completion branches *and* lazy
+    /// window attach (the defaults).
     pub fn new() -> Self {
-        Self::with_lazy(true)
+        Self::with_modes(true, true)
     }
 
     /// Creates an empty tree that copies completion branches eagerly at
-    /// [`cg_created`](Self::cg_created) (the pre-lazy behavior).
+    /// [`cg_created`](Self::cg_created) and attaches windows eagerly (the
+    /// fully pre-lazy behavior).
     pub fn eager() -> Self {
-        Self::with_lazy(false)
+        Self::with_modes(false, false)
     }
 
-    /// Creates an empty tree with the given materialization mode.
+    /// Creates an empty tree with the given completion-branch
+    /// materialization mode and *eager* window attach (the PR-3
+    /// configuration; the structural unit tests pin this shape).
     pub fn with_lazy(lazy: bool) -> Self {
+        Self::with_modes(lazy, false)
+    }
+
+    /// Creates an empty tree with the given completion-branch and window-
+    /// attach materialization modes.
+    pub fn with_modes(lazy: bool, lazy_attach: bool) -> Self {
         DependencyTree {
             nodes: Vec::new(),
             free: Vec::new(),
@@ -162,6 +202,9 @@ impl DependencyTree {
             cg_vertices: HashMap::new(),
             version_count: 0,
             lazy,
+            lazy_attach,
+            next_thunk_stamp: 0,
+            pending_window_count: 0,
             versions_materialized: 0,
             lazy_versions_dropped: 0,
         }
@@ -194,7 +237,7 @@ impl DependencyTree {
         let id = self.root?;
         match self.node(id) {
             Node::Version { state, .. } => Some(state),
-            Node::Cg { .. } | Node::Lazy { .. } => unreachable!("root is always a version"),
+            _ => unreachable!("root is always a version"),
         }
     }
 
@@ -213,7 +256,7 @@ impl DependencyTree {
         let &node = self.version_vertex.get(&wv.0)?;
         match self.node(node) {
             Node::Version { state, .. } => Some(state),
-            Node::Cg { .. } | Node::Lazy { .. } => None,
+            _ => None,
         }
     }
 
@@ -222,12 +265,64 @@ impl DependencyTree {
         matches!(self.node(id), Node::Lazy { .. })
     }
 
+    /// `true` if `id` is a pending-attach marker.
+    fn is_pending_attach(&self, id: NodeId) -> bool {
+        matches!(self.node(id), Node::PendingAttach { .. })
+    }
+
     /// Number of unmaterialized completion branches (diagnostics/tests).
     pub fn lazy_count(&self) -> usize {
         self.nodes
             .iter()
             .filter(|n| matches!(n, Some(Node::Lazy { .. })))
             .count()
+    }
+
+    /// Number of pending-attach markers (diagnostics/tests).
+    pub fn pending_attach_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Some(Node::PendingAttach { .. })))
+            .count()
+    }
+
+    /// Total windows recorded on pending-attach markers — fresh versions
+    /// the lazy attach has not had to create yet (diagnostics/tests).
+    pub fn pending_attach_windows(&self) -> usize {
+        self.pending_window_count
+    }
+
+    /// Speculative load the tree represents: live versions plus the
+    /// deferred versions pending-attach markers stand for. This — not
+    /// [`version_count`](Self::version_count) alone — is what ingestion
+    /// back-pressure must bound: lazy attach keeps the version count
+    /// artificially low while windows pile up, and every
+    /// completion-driven rebuild spans all of them.
+    pub fn speculative_load(&self) -> usize {
+        self.version_count + self.pending_window_count
+    }
+
+    /// Allocates a fresh lazy completion-branch thunk.
+    fn alloc_lazy(&mut self, parent: Option<NodeId>) -> NodeId {
+        let stamp = self.next_thunk_stamp;
+        self.next_thunk_stamp += 1;
+        self.alloc(Node::Lazy { parent, stamp })
+    }
+
+    /// Allocates a fresh pending-attach marker holding `windows`.
+    fn alloc_attach_marker(
+        &mut self,
+        parent: Option<NodeId>,
+        windows: Vec<Arc<WindowInfo>>,
+    ) -> NodeId {
+        let stamp = self.next_thunk_stamp;
+        self.next_thunk_stamp += 1;
+        self.pending_window_count += windows.len();
+        self.alloc(Node::PendingAttach {
+            parent,
+            windows,
+            stamp,
+        })
     }
 
     fn node(&self, id: NodeId) -> &Node {
@@ -296,6 +391,15 @@ impl DependencyTree {
         f: &mut dyn VersionFactory,
         created: &mut Vec<Arc<VersionState>>,
     ) {
+        // A lineage that already ends in a pending-attach marker absorbs
+        // the window with one push — this is what makes per-window attach
+        // O(lineages) pointer work instead of O(leaves) version creation.
+        if let Node::PendingAttach { windows, .. } = self.node_mut(node) {
+            debug_assert!(windows.last().is_none_or(|w| w.id < window.id));
+            windows.push(Arc::clone(window));
+            self.pending_window_count += 1;
+            return;
+        }
         match self.node(node) {
             Node::Version {
                 child,
@@ -306,6 +410,13 @@ impl DependencyTree {
                 Some(c) => {
                     let c = *c;
                     self.attach_recursive(c, window, f, created);
+                }
+                None if self.lazy_attach => {
+                    let id = self.alloc_attach_marker(Some(node), vec![Arc::clone(window)]);
+                    let Node::Version { child, .. } = self.node_mut(node) else {
+                        unreachable!()
+                    };
+                    *child = Some(id);
                 }
                 None => {
                     let mut suppressed = state.suppressed().to_vec();
@@ -335,7 +446,16 @@ impl DependencyTree {
                     None if self.lazy => {
                         // Defer the completion-side version the same way
                         // cg_created defers the completion-side copy.
-                        let id = self.alloc(Node::Lazy { parent: Some(node) });
+                        let id = self.alloc_lazy(Some(node));
+                        let Node::Cg { completion, .. } = self.node_mut(node) else {
+                            unreachable!()
+                        };
+                        *completion = Some(id);
+                    }
+                    None if self.lazy_attach => {
+                        // A marker on a completion edge adds the group's
+                        // cell to the suppression at materialization time.
+                        let id = self.alloc_attach_marker(Some(node), vec![Arc::clone(window)]);
                         let Node::Cg { completion, .. } = self.node_mut(node) else {
                             unreachable!()
                         };
@@ -355,6 +475,13 @@ impl DependencyTree {
                 }
                 match abandon {
                     Some(a) => self.attach_recursive(a, window, f, created),
+                    None if self.lazy_attach => {
+                        let id = self.alloc_attach_marker(Some(node), vec![Arc::clone(window)]);
+                        let Node::Cg { abandon, .. } = self.node_mut(node) else {
+                            unreachable!()
+                        };
+                        *abandon = Some(id);
+                    }
                     None => {
                         let supp = self.suppression_above(node);
                         let state = f.fresh(window, supp);
@@ -368,6 +495,7 @@ impl DependencyTree {
                 }
             }
             Node::Lazy { .. } => unreachable!("attach never descends into lazy vertices"),
+            Node::PendingAttach { .. } => unreachable!("handled above"),
         }
     }
 
@@ -398,7 +526,9 @@ impl DependencyTree {
                     }
                     cur = p;
                 }
-                Node::Lazy { .. } => unreachable!("lazy vertices have no children"),
+                Node::Lazy { .. } | Node::PendingAttach { .. } => {
+                    unreachable!("thunk vertices have no children")
+                }
             }
         }
     }
@@ -446,7 +576,7 @@ impl DependencyTree {
         let old_child = *child;
 
         let copy = if self.lazy {
-            old_child.map(|_| self.alloc(Node::Lazy { parent: None }))
+            old_child.map(|_| self.alloc_lazy(None))
         } else {
             old_child.and_then(|c| {
                 let mut twins = HashMap::new();
@@ -508,6 +638,15 @@ impl DependencyTree {
                 // A lazy branch mirrors the sibling abandon edge, whose
                 // windows the traversal collects anyway.
                 Node::Lazy { .. } => {}
+                // Pending-attach windows count: their fresh versions have
+                // not been created yet, but the lineage covers them.
+                Node::PendingAttach { windows: w, .. } => {
+                    for window in w {
+                        if !windows.iter().any(|x| x.id == window.id) {
+                            windows.push(Arc::clone(window));
+                        }
+                    }
+                }
             }
         }
         windows.sort_by_key(|w| w.id);
@@ -671,9 +810,16 @@ impl DependencyTree {
                         // A completed group whose own completion branch is
                         // still a thunk: realize it in the *source* tree
                         // first (fresh rebuild, exactly as cg_resolved
-                        // will when the in-flight splice op arrives).
+                        // will when the in-flight splice op arrives). A
+                        // pending-attach marker on the edge materializes
+                        // for the same reason — the splice is about to
+                        // detach it from the vertex that carries the
+                        // group's suppression.
                         match completion {
                             Some(c) if self.is_lazy(c) => self.rebuild_completion_fresh(src, c, f),
+                            Some(c) if self.is_pending_attach(c) => {
+                                Some(self.materialize_attach(c, f))
+                            }
                             other => other,
                         }
                     } else {
@@ -702,9 +848,7 @@ impl DependencyTree {
                     // abandon edge under the twin cell — laziness survives
                     // nested group creation.
                     if self.is_lazy(c) {
-                        let lz = self.alloc(Node::Lazy {
-                            parent: Some(new_id),
-                        });
+                        let lz = self.alloc_lazy(Some(new_id));
                         let Node::Cg { completion, .. } = self.node_mut(new_id) else {
                             unreachable!()
                         };
@@ -740,6 +884,15 @@ impl DependencyTree {
                 Some(new_id)
             }
             Node::Lazy { .. } => unreachable!("lazy vertices are copied at their parent CG edge"),
+            // A pending attach copies as a pending attach: the copy's
+            // suppression context is derived from its *own* parent chain at
+            // materialization time (which carries `extra` and the twins),
+            // so nothing but the window list needs to move — laziness
+            // survives subtree copies.
+            Node::PendingAttach { windows, .. } => {
+                let windows = windows.clone();
+                Some(self.alloc_attach_marker(None, windows))
+            }
         }
     }
 
@@ -759,7 +912,7 @@ impl DependencyTree {
     /// detects any overlap with the suppressed groups and rolls the clone
     /// back, exactly as an eager copy handles a late group update.
     fn materialize(&mut self, lazy: NodeId, f: &mut dyn VersionFactory) -> Option<NodeId> {
-        let Node::Lazy { parent } = self.node(lazy) else {
+        let Node::Lazy { parent, .. } = self.node(lazy) else {
             unreachable!("materialize takes a lazy vertex")
         };
         let cg = parent.expect("lazy vertices hang off a CG vertex");
@@ -797,7 +950,9 @@ impl DependencyTree {
                             }
                             break;
                         }
-                        Node::Cg { parent, .. } | Node::Lazy { parent, .. } => {
+                        Node::Cg { parent, .. }
+                        | Node::Lazy { parent, .. }
+                        | Node::PendingAttach { parent, .. } => {
                             owner = parent.expect("CG vertices have version ancestors");
                         }
                     }
@@ -873,11 +1028,85 @@ impl DependencyTree {
         head
     }
 
+    /// Materializes the *front* window of a pending-attach marker: creates
+    /// one fresh version — suppression derived from the parent at *this*
+    /// moment (a parent version's suppressed set plus recorded facts, or
+    /// the suppression above a parent CG vertex plus its cell on the
+    /// completion edge), exactly what an eager attach would have
+    /// accumulated — splices the version into the marker's slot, and keeps
+    /// any remaining windows pending *below* the new version. One top-k
+    /// pop therefore creates exactly one version; the rest of the lineage
+    /// stays thunked until it ranks itself. Returns the new version's
+    /// vertex.
+    ///
+    /// Deriving the suppression at materialization rather than attach time
+    /// is equivalent: facts can only be recorded on a version while it has
+    /// no dependent subtree (see [`cg_resolved`](Self::cg_resolved)), and a
+    /// marker *is* a dependent subtree, so no fact can appear between the
+    /// attach and the materialization on the same lineage — and the
+    /// remaining windows re-derive from the freshly created version, whose
+    /// suppressed set is precisely their eager-attach context.
+    fn materialize_attach(&mut self, marker: NodeId, f: &mut dyn VersionFactory) -> NodeId {
+        let (parent, window, remaining) = match self.node_mut(marker) {
+            Node::PendingAttach {
+                parent, windows, ..
+            } => {
+                let window = windows.remove(0);
+                (
+                    parent.expect("pending-attach markers always have a parent"),
+                    window,
+                    !windows.is_empty(),
+                )
+            }
+            _ => unreachable!("materialize_attach takes a pending-attach marker"),
+        };
+        self.pending_window_count -= 1;
+        let suppression = match self.node(parent) {
+            Node::Version { state, facts, .. } => {
+                let mut s = state.suppressed().to_vec();
+                s.extend(facts.iter().cloned());
+                s
+            }
+            Node::Cg {
+                cell, completion, ..
+            } => {
+                let on_completion_edge = *completion == Some(marker);
+                let cell = Arc::clone(cell);
+                let mut s = self.suppression_above(parent);
+                if on_completion_edge {
+                    s.push(cell);
+                }
+                s
+            }
+            Node::Lazy { .. } | Node::PendingAttach { .. } => {
+                unreachable!("thunk vertices have no children")
+            }
+        };
+        let state = f.fresh(&window, suppression);
+        let vid = self.alloc_version(Some(parent), state);
+        if remaining {
+            // The marker survives as the new version's child, holding the
+            // still-pending tail.
+            self.replace_child(parent, marker, vid);
+            self.set_parent(marker, vid);
+            let Node::Version { child, .. } = self.node_mut(vid) else {
+                unreachable!()
+            };
+            *child = Some(marker);
+        } else {
+            self.nodes[marker] = None;
+            self.free.push(marker);
+            self.replace_child(parent, marker, vid);
+        }
+        vid
+    }
+
     fn set_parent(&mut self, node: NodeId, parent: NodeId) {
         match self.node_mut(node) {
             Node::Version { parent: p, .. }
             | Node::Cg { parent: p, .. }
-            | Node::Lazy { parent: p, .. } => *p = Some(parent),
+            | Node::Lazy { parent: p, .. }
+            | Node::PendingAttach { parent: p, .. } => *p = Some(parent),
         }
     }
 
@@ -919,6 +1148,11 @@ impl DependencyTree {
                 if let Some(c) = *completion {
                     if self.is_lazy(c) {
                         self.rebuild_completion_fresh(vertex, c, f);
+                    } else if self.is_pending_attach(c) {
+                        // The splice is about to detach the winner from
+                        // this vertex; materialize the marker while the
+                        // group's cell is still on its suppression path.
+                        self.materialize_attach(c, f);
                     }
                 }
             }
@@ -974,7 +1208,9 @@ impl DependencyTree {
                                         facts.push(cell);
                                         break;
                                     }
-                                    Node::Cg { parent, .. } | Node::Lazy { parent, .. } => {
+                                    Node::Cg { parent, .. }
+                                    | Node::Lazy { parent, .. }
+                                    | Node::PendingAttach { parent, .. } => {
                                         owner = parent.expect("CG vertices have version ancestors");
                                     }
                                 }
@@ -991,7 +1227,9 @@ impl DependencyTree {
     fn set_root(&mut self, node: NodeId) {
         match self.node_mut(node) {
             Node::Version { parent, .. } | Node::Cg { parent, .. } => *parent = None,
-            Node::Lazy { .. } => unreachable!("lazy vertices never become root"),
+            Node::Lazy { .. } | Node::PendingAttach { .. } => {
+                unreachable!("thunk vertices never become root")
+            }
         }
         self.root = Some(node);
     }
@@ -1017,7 +1255,9 @@ impl DependencyTree {
                     *abandon = new;
                 }
             }
-            Node::Lazy { .. } => unreachable!("lazy vertices have no children"),
+            Node::Lazy { .. } | Node::PendingAttach { .. } => {
+                unreachable!("thunk vertices have no children")
+            }
         }
     }
 
@@ -1064,6 +1304,11 @@ impl DependencyTree {
                     // An unmaterialized branch dies for free: no version
                     // state was ever cloned for it.
                     self.lazy_versions_dropped += 1;
+                }
+                Node::PendingAttach { windows, .. } => {
+                    // Pending windows die for free too: their fresh
+                    // versions were never created.
+                    self.pending_window_count -= windows.len();
                 }
             }
         }
@@ -1117,9 +1362,7 @@ impl DependencyTree {
             self.set_parent(head, vnode);
             match self.node_mut(vnode) {
                 Node::Version { child, .. } => *child = Some(head),
-                Node::Cg { .. } | Node::Lazy { .. } => {
-                    unreachable!("rollback roots are versions")
-                }
+                _ => unreachable!("rollback roots are versions"),
             }
         }
         dropped
@@ -1147,7 +1390,9 @@ impl DependencyTree {
                     }
                     cur = *parent;
                 }
-                Node::Cg { parent, .. } | Node::Lazy { parent, .. } => cur = *parent,
+                Node::Cg { parent, .. }
+                | Node::Lazy { parent, .. }
+                | Node::PendingAttach { parent, .. } => cur = *parent,
             }
         }
         false
@@ -1252,7 +1497,7 @@ impl DependencyTree {
                 child,
                 ..
             } => (Arc::clone(state), facts.clone(), *child),
-            Node::Cg { .. } | Node::Lazy { .. } => unreachable!(),
+            _ => unreachable!("poisoned candidates are version vertices"),
         };
         let keep = |cells: &[Arc<CgCell>]| -> Vec<Arc<CgCell>> {
             cells
@@ -1299,14 +1544,24 @@ impl DependencyTree {
     }
 
     /// Removes the root version after it was emitted; its child becomes the
-    /// new root.
+    /// new root. A pending-attach child materializes first (the promoted
+    /// lineage *is* the surviving chain, and the root must be a real
+    /// version), which is why retirement takes the factory.
     ///
     /// # Panics
     ///
     /// Panics if the tree is empty or the root's child is an unresolved CG
     /// vertex (callers must check [`root_blocked_by_cg`](Self::root_blocked_by_cg)).
-    pub fn retire_root(&mut self) -> Arc<VersionState> {
+    pub fn retire_root(&mut self, f: &mut dyn VersionFactory) -> Arc<VersionState> {
         let root = self.root.expect("tree not empty");
+        let pending_child = match self.node(root) {
+            Node::Version { child: Some(c), .. } if self.is_pending_attach(*c) => Some(*c),
+            Node::Version { .. } => None,
+            _ => unreachable!("root is always a version"),
+        };
+        if let Some(marker) = pending_child {
+            self.materialize_attach(marker, f);
+        }
         let Some(Node::Version { state, child, .. }) = self.nodes[root].take() else {
             unreachable!("root is always a version")
         };
@@ -1361,7 +1616,8 @@ impl DependencyTree {
         // occupies the slot.
         enum Expect {
             Version(WvId),
-            Lazy,
+            Lazy(u64),
+            Attach(u64),
         }
         struct Cand(f64, Reverse<u64>, Reverse<usize>, NodeId, Expect);
         impl PartialEq for Cand {
@@ -1389,7 +1645,8 @@ impl DependencyTree {
         let push_candidate = |tree: &Self, heap: &mut BinaryHeap<Cand>, p: f64, n: NodeId| {
             let expect = match tree.node(n) {
                 Node::Version { state, .. } => Expect::Version(state.id()),
-                Node::Lazy { .. } => Expect::Lazy,
+                Node::Lazy { stamp, .. } => Expect::Lazy(*stamp),
+                Node::PendingAttach { stamp, .. } => Expect::Attach(*stamp),
                 Node::Cg { .. } => unreachable!("CG vertices are expanded, not queued"),
             };
             heap.push(Cand(
@@ -1410,25 +1667,30 @@ impl DependencyTree {
             // Stale entry (vertex freed or slot reused since the push)?
             let live = match (&expect, self.nodes.get(node).and_then(Option::as_ref)) {
                 (Expect::Version(wv), Some(Node::Version { state, .. })) => state.id() == *wv,
-                (Expect::Lazy, Some(Node::Lazy { .. })) => true,
+                (Expect::Lazy(s), Some(Node::Lazy { stamp, .. })) => stamp == s,
+                (Expect::Attach(s), Some(Node::PendingAttach { stamp, .. })) => stamp == s,
                 _ => false,
             };
             if !live {
                 continue;
             }
-            // A live candidate is either a version (schedule it) or an
-            // unmaterialized branch that just ranked inside the top k —
-            // clone it now and let its versions compete.
-            let expand = if matches!(expect, Expect::Lazy) {
-                self.materialize(node, f).map(|c| (prob, c))
-            } else {
-                let Node::Version { state, child, .. } = self.node(node) else {
-                    unreachable!("validated above")
-                };
-                if !state.is_finished() {
-                    result.push(Arc::clone(state));
+            // A live candidate is a version (schedule it), an
+            // unmaterialized branch that just ranked inside the top k
+            // (clone it now and let its versions compete), or a pending
+            // attach that just ranked (create its fresh chain now and let
+            // the head compete).
+            let expand = match expect {
+                Expect::Lazy(_) => self.materialize(node, f).map(|c| (prob, c)),
+                Expect::Attach(_) => Some((prob, self.materialize_attach(node, f))),
+                Expect::Version(_) => {
+                    let Node::Version { state, child, .. } = self.node(node) else {
+                        unreachable!("validated above")
+                    };
+                    if !state.is_finished() {
+                        result.push(Arc::clone(state));
+                    }
+                    child.map(|c| (prob, c))
                 }
-                child.map(|c| (prob, c))
             };
             // Expand downward, resolving CG vertices into their two
             // branches weighted by completion probability; versions and
@@ -1437,7 +1699,7 @@ impl DependencyTree {
             stack.extend(expand);
             while let Some((p, n)) = stack.pop() {
                 match self.node(n) {
-                    Node::Version { .. } | Node::Lazy { .. } => {
+                    Node::Version { .. } | Node::Lazy { .. } | Node::PendingAttach { .. } => {
                         push_candidate(self, &mut heap, p, n);
                     }
                     Node::Cg {
@@ -1460,10 +1722,23 @@ impl DependencyTree {
         result
     }
 
-    /// Tie-break window id of a heap candidate: a version's own window, or
-    /// — for an unmaterialized branch — the first window its
-    /// materialization source (the sibling abandon edge) covers.
+    /// Tie-break window id of a heap candidate: a version's own window, a
+    /// pending attach's first window, or — for an unmaterialized branch —
+    /// the first window its materialization source (the sibling abandon
+    /// edge) covers.
     fn candidate_window(&self, node: NodeId) -> u64 {
+        // Fast path for the overwhelmingly common candidates: no
+        // allocation, no traversal (this runs once per heap push per
+        // scheduling cycle).
+        match self.node(node) {
+            Node::Version { state, .. } => return state.window().id,
+            Node::PendingAttach { windows, .. } => {
+                if let Some(w) = windows.first() {
+                    return w.id;
+                }
+            }
+            Node::Lazy { .. } | Node::Cg { .. } => {}
+        }
         let mut stack = vec![node];
         while let Some(id) = stack.pop() {
             match self.node(id) {
@@ -1480,13 +1755,20 @@ impl DependencyTree {
                         stack.push(*a);
                     }
                 }
-                Node::Lazy { parent } => {
+                Node::Lazy { parent, .. } => {
                     let p = parent.expect("lazy vertices hang off a CG vertex");
                     let Node::Cg { abandon, .. } = self.node(p) else {
                         unreachable!()
                     };
                     if let Some(a) = abandon {
                         stack.push(*a);
+                    }
+                }
+                // A pending attach covers its windows in ascending order;
+                // the earliest is the tie-break.
+                Node::PendingAttach { windows, .. } => {
+                    if let Some(w) = windows.first() {
+                        return w.id;
                     }
                 }
             }
@@ -1511,6 +1793,7 @@ impl DependencyTree {
     #[doc(hidden)]
     pub fn assert_invariants(&self) {
         let mut seen_versions = 0;
+        let mut seen_pending_windows = 0;
         for (id, node) in self.nodes.iter().enumerate() {
             let Some(node) = node else { continue };
             match node {
@@ -1573,7 +1856,7 @@ impl DependencyTree {
                         self.assert_child_link(id, *a);
                     }
                 }
-                Node::Lazy { parent } => {
+                Node::Lazy { parent, .. } => {
                     let p = parent.expect("lazy vertices hang off a CG vertex");
                     let Node::Cg { completion, .. } = self.node(p) else {
                         panic!("lazy vertex parent must be a CG vertex")
@@ -1584,16 +1867,42 @@ impl DependencyTree {
                         "lazy vertices sit on completion edges only"
                     );
                 }
+                Node::PendingAttach {
+                    parent, windows, ..
+                } => {
+                    let p = parent.expect("pending-attach markers always have a parent");
+                    let points_back = match self.node(p) {
+                        Node::Version { child, .. } => *child == Some(id),
+                        Node::Cg {
+                            completion,
+                            abandon,
+                            ..
+                        } => *completion == Some(id) || *abandon == Some(id),
+                        Node::Lazy { .. } | Node::PendingAttach { .. } => false,
+                    };
+                    assert!(points_back, "pending-attach parent link is mutual");
+                    assert!(!windows.is_empty(), "pending-attach markers hold windows");
+                    assert!(
+                        windows.windows(2).all(|w| w[0].id < w[1].id),
+                        "pending windows accumulate in id order"
+                    );
+                    seen_pending_windows += windows.len();
+                }
             }
         }
         assert_eq!(seen_versions, self.version_count);
+        assert_eq!(
+            seen_pending_windows, self.pending_window_count,
+            "incremental pending-window counter tracks the arena"
+        );
     }
 
     fn parent_of(&self, node: NodeId) -> Option<NodeId> {
         match self.node(node) {
-            Node::Version { parent, .. } | Node::Cg { parent, .. } | Node::Lazy { parent, .. } => {
-                *parent
-            }
+            Node::Version { parent, .. }
+            | Node::Cg { parent, .. }
+            | Node::Lazy { parent, .. }
+            | Node::PendingAttach { parent, .. } => *parent,
         }
     }
 
@@ -1661,12 +1970,29 @@ mod tests {
             Self::with_lazy(false)
         }
 
-        /// Lazy fixture: completion branches defer until scheduled.
+        /// Lazy fixture: completion branches defer until scheduled
+        /// (window attach stays eager, pinning the PR-3 shapes).
         fn lazy() -> Self {
             Self::with_lazy(true)
         }
 
+        /// All-lazy fixture: lazy completion branches *and* lazy window
+        /// attach.
+        fn all_lazy() -> Self {
+            Self::with_tree(DependencyTree::with_modes(true, true))
+        }
+
+        /// Eager completion-branch copies with lazy window attach (the
+        /// odd quadrant: markers must survive subtree copies).
+        fn eager_branches_lazy_attach() -> Self {
+            Self::with_tree(DependencyTree::with_modes(false, true))
+        }
+
         fn with_lazy(lazy: bool) -> Self {
+            Self::with_tree(DependencyTree::with_lazy(lazy))
+        }
+
+        fn with_tree(tree: DependencyTree) -> Self {
             let query = Arc::new(
                 Query::builder("t")
                     .pattern(Pattern::builder().one("A", Expr::truth()).build().unwrap())
@@ -1675,7 +2001,7 @@ mod tests {
                     .unwrap(),
             );
             Fixture {
-                tree: DependencyTree::with_lazy(lazy),
+                tree,
                 factory: TestFactory {
                     query,
                     next_wv: 0,
@@ -1985,11 +2311,11 @@ mod tests {
         let mut f = Fixture::new();
         let w1 = f.open_window(0).remove(0);
         let w2 = f.open_window(1).remove(0);
-        let retired = f.tree.retire_root();
+        let retired = f.tree.retire_root(&mut f.factory);
         f.tree.assert_invariants();
         assert_eq!(retired.id(), w1.id());
         assert_eq!(f.tree.root_version().unwrap().id(), w2.id());
-        let last = f.tree.retire_root();
+        let last = f.tree.retire_root(&mut f.factory);
         assert_eq!(last.id(), w2.id());
         assert!(f.tree.is_empty());
     }
@@ -2334,6 +2660,178 @@ mod tests {
                 assert!(v.suppressed().iter().any(|c| c.id() == cg1.id()));
             }
         }
+    }
+
+    #[test]
+    fn lazy_attach_defers_leaf_versions() {
+        // Opening windows records them on one marker per lineage; no
+        // version state is created until the lineage is scheduled.
+        let mut f = Fixture::all_lazy();
+        let _w0 = f.open_window(0);
+        assert_eq!(f.tree.version_count(), 1, "the root is always real");
+        let w1 = f.open_window(1);
+        assert!(w1.is_empty(), "no eager version for w1");
+        assert_eq!(f.tree.pending_attach_count(), 1);
+        let w2 = f.open_window(2);
+        assert!(w2.is_empty());
+        assert_eq!(f.tree.pending_attach_count(), 1, "one marker per lineage");
+        assert_eq!(f.tree.pending_attach_windows(), 2);
+        assert_eq!(f.tree.version_count(), 1);
+    }
+
+    #[test]
+    fn pending_attach_materializes_one_version_per_schedule() {
+        let mut f = Fixture::all_lazy();
+        let _ = f.open_window(0);
+        let _ = f.open_window(1);
+        let _ = f.open_window(2);
+        // k = 2: the root plus exactly one materialized pending window;
+        // the third window stays thunked below the new version.
+        let top = f.tree.top_k(2, &|_c| 0.5, &mut f.factory);
+        f.tree.assert_invariants();
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].window().id, 0);
+        assert_eq!(top[1].window().id, 1);
+        assert_eq!(f.tree.version_count(), 2);
+        assert_eq!(f.tree.pending_attach_windows(), 1);
+        // k = 3 materializes the tail too.
+        let top = f.tree.top_k(3, &|_c| 0.5, &mut f.factory);
+        f.tree.assert_invariants();
+        assert_eq!(top.len(), 3);
+        assert_eq!(top[2].window().id, 2);
+        assert_eq!(f.tree.version_count(), 3);
+        assert_eq!(f.tree.pending_attach_count(), 0);
+    }
+
+    #[test]
+    fn retire_materializes_pending_child() {
+        let mut f = Fixture::all_lazy();
+        let w0 = f.open_window(0).remove(0);
+        let _ = f.open_window(1);
+        assert_eq!(f.tree.version_count(), 1);
+        let retired = f.tree.retire_root(&mut f.factory);
+        f.tree.assert_invariants();
+        assert_eq!(retired.id(), w0.id());
+        let root = f.tree.root_version().expect("w1 promoted");
+        assert_eq!(root.window().id, 1);
+        assert_eq!(f.tree.pending_attach_count(), 0);
+    }
+
+    #[test]
+    fn pending_attach_drops_free_with_losing_branch() {
+        // Windows pending under a CG's abandon side vanish for free when
+        // the group completes and the completion branch (rebuilt fresh)
+        // wins — and the rebuilt chain covers the pending windows.
+        let mut f = Fixture::all_lazy();
+        let w1 = f.open_window(0).remove(0);
+        let cg = f.create_cg(&w1);
+        let _ = f.open_window(1);
+        let _ = f.open_window(2);
+        assert_eq!(f.tree.version_count(), 1, "both dependents still pending");
+        cg.complete();
+        f.tree.cg_resolved(cg.id(), true, &mut f.factory);
+        f.tree.assert_invariants();
+        assert_eq!(f.tree.pending_attach_count(), 0);
+        assert_eq!(f.tree.version_count(), 3, "w1 + rebuilt w2, w3");
+        for v in f.tree.versions() {
+            if v.window().id > 0 {
+                assert!(
+                    v.suppressed().iter().any(|c| c.id() == cg.id()),
+                    "rebuilt chain suppresses the completed group"
+                );
+                assert_eq!(v.lock().pos, 0, "fresh, reprocesses from the start");
+            }
+        }
+    }
+
+    #[test]
+    fn pending_attach_abandonment_keeps_windows_pending() {
+        // An abandoned group splices its abandon side — including a
+        // marker — back up without materializing anything.
+        let mut f = Fixture::all_lazy();
+        let w1 = f.open_window(0).remove(0);
+        let cg = f.create_cg(&w1);
+        let _ = f.open_window(1);
+        cg.abandon();
+        f.tree.cg_resolved(cg.id(), false, &mut f.factory);
+        f.tree.assert_invariants();
+        assert_eq!(f.tree.version_count(), 1, "w2 still pending");
+        assert_eq!(f.tree.pending_attach_windows(), 1);
+        // Scheduling it later derives a clean suppression context.
+        let top = f.tree.top_k(2, &|_c| 0.5, &mut f.factory);
+        assert_eq!(top.len(), 2);
+        assert!(top[1].suppressed().is_empty());
+    }
+
+    #[test]
+    fn completion_edge_marker_materializes_with_cell_suppression() {
+        // Eager branch copies + lazy attach: a window attaching under a
+        // leaf CG vertex defers on both edges; the completion-edge marker
+        // must pick up the group's cell when it materializes.
+        let mut f = Fixture::eager_branches_lazy_attach();
+        let w1 = f.open_window(0).remove(0);
+        let cg = f.create_cg(&w1);
+        let created = f.open_window(1);
+        assert!(created.is_empty(), "both edges deferred");
+        assert_eq!(f.tree.pending_attach_count(), 2);
+        let top = f.tree.top_k(3, &|_c| 0.5, &mut f.factory);
+        f.tree.assert_invariants();
+        assert_eq!(top.len(), 3);
+        let suppressing = top
+            .iter()
+            .filter(|v| v.suppressed().iter().any(|c| c.id() == cg.id()))
+            .count();
+        assert_eq!(suppressing, 1, "completion-side copy suppresses the cell");
+        assert_eq!(f.tree.version_count(), 3);
+    }
+
+    #[test]
+    fn eager_branch_copy_carries_markers() {
+        // Eager branches + lazy attach: cg_created deep-copies the
+        // dependent subtree — a pending-attach marker in it must copy as
+        // a marker, not force materialization.
+        let mut f = Fixture::eager_branches_lazy_attach();
+        let w1 = f.open_window(0).remove(0);
+        let _ = f.open_window(1);
+        assert_eq!(f.tree.pending_attach_count(), 1);
+        let cg = f.create_cg(&w1);
+        f.tree.assert_invariants();
+        assert_eq!(
+            f.tree.pending_attach_count(),
+            2,
+            "the completion copy carries its own marker"
+        );
+        assert_eq!(f.tree.version_count(), 1, "no version materialized");
+        // Scheduling deep enough materializes both sides; exactly one
+        // suppresses the group.
+        let top = f.tree.top_k(3, &|_c| 0.5, &mut f.factory);
+        f.tree.assert_invariants();
+        assert_eq!(top.len(), 3);
+        let suppressing = top
+            .iter()
+            .filter(|v| v.suppressed().iter().any(|c| c.id() == cg.id()))
+            .count();
+        assert_eq!(suppressing, 1);
+    }
+
+    #[test]
+    fn rollback_teardown_drops_pending_windows() {
+        let mut f = Fixture::all_lazy();
+        let w1 = f.open_window(0).remove(0);
+        let _ = f.open_window(1);
+        let _ = f.open_window(2);
+        assert_eq!(f.tree.pending_attach_windows(), 2);
+        let newer = vec![
+            Arc::new(WindowInfo::new(1, 2, 2, 2)),
+            Arc::new(WindowInfo::new(2, 4, 4, 4)),
+        ];
+        let dropped = f
+            .tree
+            .rollback_rebuild(w1.id(), &newer, Vec::new(), &mut f.factory);
+        f.tree.assert_invariants();
+        assert_eq!(dropped, 0, "pending windows die free");
+        assert_eq!(f.tree.pending_attach_count(), 0);
+        assert_eq!(f.tree.version_count(), 3, "rollback rebuilds eagerly");
     }
 
     #[test]

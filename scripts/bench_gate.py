@@ -7,9 +7,13 @@ The gate is deliberately generous (default ±30 %): it exists to catch
 wholesale hot-path regressions (a 2x slowdown, a tree-size explosion), not
 to chase machine noise. Throughput may drop by at most `tolerance`;
 peak tree size may grow by at most `tolerance` (plus a small absolute
-slack for tiny trees). Cases present on only one side are reported but do
-not fail the gate, so adding a bench case does not require regenerating
-the baseline in the same commit.
+slack for tiny trees); cumulative predictor-refresh time may grow by at
+most `--refresh-tolerance` (default ±50 %, plus a millisecond of absolute
+slack — the vectorized refresh is cheap enough that timer noise dominates
+small values). Cases present on only one side are reported but do not
+fail the gate, so adding a bench case does not require regenerating the
+baseline in the same commit; the same applies per-field, so adding a
+summary field does not either.
 
 Regenerate the baseline (same env as CI) with:
 
@@ -28,6 +32,7 @@ def main() -> int:
     parser.add_argument("baseline")
     parser.add_argument("current")
     parser.add_argument("--tolerance", type=float, default=0.30)
+    parser.add_argument("--refresh-tolerance", type=float, default=0.50)
     args = parser.parse_args()
 
     with open(args.baseline) as f:
@@ -75,6 +80,19 @@ def main() -> int:
             )
             if c_tree > ceiling:
                 failures.append(f"{name}: peak tree {c_tree} > ceiling {ceiling:.0f}")
+
+        b_rt, c_rt = base.get("predictor_refresh_ms"), cur.get("predictor_refresh_ms")
+        if b_rt is not None and c_rt is not None:
+            ceiling = b_rt * (1.0 + args.refresh_tolerance) + 1.0
+            verdict = "ok" if c_rt <= ceiling else "REGRESSED"
+            print(
+                f"  {name:<28} refresh {c_rt:.3f} ms (baseline {b_rt:.3f}, "
+                f"ceiling {ceiling:.3f}) {verdict}"
+            )
+            if c_rt > ceiling:
+                failures.append(
+                    f"{name}: predictor refresh {c_rt:.3f} ms > ceiling {ceiling:.3f}"
+                )
 
     if failures:
         print("\nbench gate FAILED:")

@@ -92,6 +92,33 @@ proptest! {
         prop_assert!(model.completion_probability(0, 10) > 0.999);
     }
 
+    /// The vectorized predictor (completion-probability columns advanced
+    /// via v_{i+1} = T^ℓ·v_i) is output-identical to the dense
+    /// matrix-power formulation, whatever transitions were observed and
+    /// however the refreshes were interleaved.
+    #[test]
+    fn vectorized_predictor_matches_matrix_powers(
+        rounds in proptest::collection::vec(
+            proptest::collection::vec((0u32..6, 0u32..6), 0..60), 0..5),
+        delta in 0usize..6,
+        events_left in -5i64..400,
+    ) {
+        let mut model = MarkovModel::new(
+            5,
+            MarkovConfig { rho: 16, ell: 5, max_levels: 24, ..Default::default() },
+        );
+        // Refresh history: each round of observations is followed by a
+        // refresh opportunity, so the equivalence holds across arbitrary
+        // smoothing states, not just the prior.
+        for round in &rounds {
+            model.observe_batch(round);
+            model.refresh_if_due();
+        }
+        let fast = model.completion_probability(delta, events_left);
+        let slow = model.completion_probability_via_matrix_powers(delta, events_left);
+        prop_assert!((fast - slow).abs() <= 1e-9, "fast {fast} vs slow {slow}");
+    }
+
     /// More remaining events never decrease the completion probability
     /// (reaching the absorbing state is monotone in horizon length).
     #[test]
@@ -113,6 +140,53 @@ proptest! {
             prop_assert!(p >= last - 1e-9, "p({n}) = {p} < {last}");
             last = p;
         }
+    }
+}
+
+#[test]
+fn vectorized_predictor_matches_matrix_powers_on_grid() {
+    // Deterministic (δ × events_left × refresh-history) grid, denser than
+    // the property sweep and checked at every refresh depth: after each
+    // refresh the maintained vectors must agree with the dense powers at
+    // every state and horizon — including the interpolation endpoints
+    // (multiples of ℓ), their neighbours, and the saturation tail.
+    let mut model = MarkovModel::new(
+        4,
+        MarkovConfig {
+            rho: 8,
+            ell: 4,
+            max_levels: 16,
+            ..Default::default()
+        },
+    );
+    let horizons: Vec<i64> = vec![-3, 0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 63, 64, 65, 1000];
+    let assert_grid = |m: &MarkovModel, history: usize| {
+        for delta in 0..=4usize {
+            for &n in &horizons {
+                let fast = m.completion_probability(delta, n);
+                let slow = m.completion_probability_via_matrix_powers(delta, n);
+                assert!(
+                    (fast - slow).abs() <= 1e-9,
+                    "history={history} delta={delta} n={n}: {fast} vs {slow}"
+                );
+            }
+        }
+    };
+    assert_grid(&model, 0);
+    // Refresh history: advancing, stalling and mixed rounds, each ending
+    // in one or more smoothing steps.
+    let rounds: Vec<Vec<(u32, u32)>> = vec![
+        (0..8).map(|i| (4 - (i % 4), 3 - (i % 4))).collect(),
+        (0..24)
+            .map(|i| (3, if i % 3 == 0 { 3 } else { 2 }))
+            .collect(),
+        (0..8).map(|i| (2 - (i % 2), 2 - (i % 2))).collect(),
+        (0..16).map(|i| (1, (i % 2) as u32)).collect(),
+    ];
+    for (history, round) in rounds.iter().enumerate() {
+        model.observe_batch(round);
+        model.refresh_if_due();
+        assert_grid(&model, history + 1);
     }
 }
 

@@ -75,12 +75,19 @@ fn lazy_tree_clones_only_scheduled_branches() {
     // k = 1: only the root is ever scheduled, so no branch materializes
     // through scheduling — abandoned groups drop their thunks for free and
     // only completed groups force a clone. This is where the O(1) claim
-    // is sharpest.
-    let lazy = run_simulated(&query, events.clone(), &SpectreConfig::with_instances(1));
+    // is sharpest. Window attach is pinned eager on both sides so the
+    // version accounting isolates the branch machinery.
+    let lazy = run_simulated(
+        &query,
+        events.clone(),
+        &SpectreConfig::with_instances(1).with_lazy_attach(false),
+    );
     let eager = run_simulated(
         &query,
         events,
-        &SpectreConfig::with_instances(1).with_lazy_materialization(false),
+        &SpectreConfig::with_instances(1)
+            .with_lazy_materialization(false)
+            .with_lazy_attach(false),
     );
     assert_eq!(lazy.complex_events, eager.complex_events);
 
@@ -101,6 +108,59 @@ fn lazy_tree_clones_only_scheduled_branches() {
     assert!(
         lm.versions_materialized <= lm.versions_created,
         "materializations are a subset of creations"
+    );
+}
+
+#[test]
+fn sim_matches_sequential_across_lazy_attach_modes() {
+    // The attach-thunk rows of the equivalence matrix: lazy window attach
+    // (pending-attach markers materialized on schedule) × lazy completion
+    // branches × k all reproduce the sequential reference exactly — the
+    // deferral is pure mechanics.
+    let mut schema = Schema::new();
+    let events: Vec<_> = NyseGenerator::new(NyseConfig::small(2_000, 42), &mut schema).collect();
+    let query = Arc::new(queries::q1(&mut schema, 4, 120, Direction::Rising));
+    let expected = run_sequential(&query, &events).complex_events;
+    assert!(!expected.is_empty());
+
+    for attach in [true, false] {
+        for lazy in [true, false] {
+            for k in [1usize, 2, 4, 8] {
+                let config = SpectreConfig::with_instances(k)
+                    .with_lazy_materialization(lazy)
+                    .with_lazy_attach(attach);
+                let report = run_simulated(&query, events.clone(), &config);
+                assert_same_output(
+                    &format!("sim k={k} lazy={lazy} attach={attach}"),
+                    &report.complex_events,
+                    &expected,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn lazy_attach_creates_fewer_versions_than_eager_attach() {
+    // The attach-thunk win, observed end to end: at low k most lineages
+    // are never scheduled, so deferring the per-leaf fresh versions must
+    // shrink version creation at identical output.
+    let mut schema = Schema::new();
+    let events: Vec<_> = NyseGenerator::new(NyseConfig::small(2_000, 42), &mut schema).collect();
+    let query = Arc::new(queries::q1(&mut schema, 60, 120, Direction::Rising));
+
+    let deferred = run_simulated(&query, events.clone(), &SpectreConfig::with_instances(1));
+    let eager = run_simulated(
+        &query,
+        events,
+        &SpectreConfig::with_instances(1).with_lazy_attach(false),
+    );
+    assert_eq!(deferred.complex_events, eager.complex_events);
+    assert!(
+        deferred.metrics.versions_created < eager.metrics.versions_created,
+        "lazy attach created {} versions, eager attach {}",
+        deferred.metrics.versions_created,
+        eager.metrics.versions_created
     );
 }
 

@@ -93,6 +93,33 @@ fn threaded_matches_sequential_across_batch_sizes_shard_counts_and_lazy_modes() 
 }
 
 #[test]
+fn threaded_matches_sequential_across_lazy_attach_modes() {
+    // Attach-thunk rows under real threads: pending-attach markers
+    // materialize while instances concurrently mutate the live source
+    // state the fresh versions will read — any interleaving must still
+    // deliver the sequential output, with either branch mode.
+    let mut schema = Schema::new();
+    let events: Vec<_> = NyseGenerator::new(NyseConfig::small(1000, 83), &mut schema).collect();
+    let query = Arc::new(queries::q1(&mut schema, 3, 150, Direction::Rising));
+    let expected = run_sequential(&query, &events).complex_events;
+    for attach in [true, false] {
+        for lazy in [true, false] {
+            for k in [1usize, 2, 4, 8] {
+                let config = SpectreConfig::with_instances(k)
+                    .with_lazy_materialization(lazy)
+                    .with_lazy_attach(attach);
+                let report = run_threaded(&query, events.clone(), &config);
+                assert_same_output(
+                    &format!("threaded k={k} lazy={lazy} attach={attach}"),
+                    &report.complex_events,
+                    &expected,
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn threaded_reports_plausible_metrics() {
     let mut schema = Schema::new();
     let events: Vec<_> = NyseGenerator::new(NyseConfig::small(500, 73), &mut schema).collect();
