@@ -2,8 +2,10 @@
 //! NYSE workload (Q1), plus the SPECTRE simulator at several instance
 //! counts, plus the threaded runtime on paper-scale streams — the
 //! batched/sharded data path against the unbatched single-shard
-//! configuration, and a consumption-heavy fixture comparing the lazy
-//! dependency tree against eager subtree copies. These are the
+//! configuration, a consumption-heavy fixture comparing the lazy
+//! dependency tree against eager subtree copies, and a *streaming* mode:
+//! the same data-path workload fed straight from the generator into a
+//! [`SpectreEngine`] session with no `Vec` fixture at all. These are the
 //! regression-guard companions to the figure binaries in `src/bin/`.
 //!
 //! Set `SPECTRE_BENCH_SUMMARY=<path>` to additionally write a small JSON
@@ -15,7 +17,7 @@ use std::sync::Arc;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use spectre_baselines::{run_sequential, run_waitful, TrexEngine};
-use spectre_core::{run_simulated, run_threaded, SpectreConfig, ThreadedReport};
+use spectre_core::{run_simulated, run_threaded, MetricsSnapshot, SpectreConfig, SpectreEngine};
 use spectre_datasets::{NyseConfig, NyseGenerator};
 use spectre_events::{Event, Schema};
 use spectre_query::queries::{self, Direction};
@@ -62,22 +64,23 @@ fn bench_engines(c: &mut Criterion) {
     group.finish();
 }
 
-/// Paper-scale (default 1 M events, `SPECTRE_BENCH_EVENTS` to override)
-/// data-path-bound fixture: Q1's pattern and window without consumption,
-/// so no speculation machinery runs and the splitter→store→instance
-/// hand-off itself is what the numbers measure.
-fn threaded_fixture() -> (Arc<Query>, Vec<Event>) {
-    let mut schema = Schema::new();
-    let config = NyseConfig {
+/// NYSE generator configuration of the paper-scale threaded fixtures.
+fn paper_nyse_config(events: usize) -> NyseConfig {
+    NyseConfig {
         symbols: 300,
         leaders: 16,
-        events: spectre_bench::threaded_bench_events(),
+        events,
         seed: 42,
         ..NyseConfig::default()
-    };
-    let events: Vec<_> = NyseGenerator::new(config, &mut schema).collect();
-    let base = queries::q1(&mut schema, 3, 200, Direction::Rising);
-    let query = Arc::new(
+    }
+}
+
+/// The data-path-bound query: Q1's pattern and window without consumption,
+/// so no speculation machinery runs and the splitter→store→instance
+/// hand-off itself is what the numbers measure.
+fn datapath_query(schema: &mut Schema) -> Arc<Query> {
+    let base = queries::q1(schema, 3, 200, Direction::Rising);
+    Arc::new(
         Query::builder("Q1-NC")
             .pattern_arc(Arc::clone(base.pattern()))
             .window(base.window().clone())
@@ -85,7 +88,20 @@ fn threaded_fixture() -> (Arc<Query>, Vec<Event>) {
             .consumption(ConsumptionPolicy::None)
             .build()
             .expect("valid fixture query"),
-    );
+    )
+}
+
+/// Paper-scale (default 1 M events, `SPECTRE_BENCH_EVENTS` to override)
+/// data-path-bound fixture, materialized as a `Vec` for the legacy-path
+/// cases.
+fn threaded_fixture() -> (Arc<Query>, Vec<Event>) {
+    let mut schema = Schema::new();
+    let events: Vec<_> = NyseGenerator::new(
+        paper_nyse_config(spectre_bench::threaded_bench_events()),
+        &mut schema,
+    )
+    .collect();
+    let query = datapath_query(&mut schema);
     (query, events)
 }
 
@@ -157,11 +173,17 @@ fn consumption_configs() -> [(&'static str, SpectreConfig); 2] {
     ]
 }
 
-/// Last [`ThreadedReport`] per consumption case, stashed by
-/// [`bench_consumption`] so [`emit_summary`] can report speculation
-/// metrics without re-running the (expensive) cases.
-static CONSUMPTION_REPORTS: std::sync::Mutex<Vec<(&'static str, ThreadedReport)>> =
+/// Last metrics + output count per threaded case, stashed by
+/// [`bench_consumption`] / [`bench_streaming`] so [`emit_summary`] can
+/// report speculation metrics without re-running the (expensive) cases.
+static CASE_METRICS: std::sync::Mutex<Vec<(&'static str, MetricsSnapshot, usize)>> =
     std::sync::Mutex::new(Vec::new());
+
+fn stash_case(name: &'static str, metrics: MetricsSnapshot, outputs: usize) {
+    let mut stash = CASE_METRICS.lock().expect("metrics stash");
+    stash.retain(|(n, _, _)| *n != name);
+    stash.push((name, metrics, outputs));
+}
 
 fn bench_consumption(c: &mut Criterion) {
     let (query, events) = consumption_fixture();
@@ -175,13 +197,47 @@ fn bench_consumption(c: &mut Criterion) {
             b.iter(|| {
                 let report = run_threaded(&query, events.clone(), &config);
                 let out = report.complex_events.len();
-                let mut stash = CONSUMPTION_REPORTS.lock().expect("report stash");
-                stash.retain(|(n, _)| *n != name);
-                stash.push((name, report));
+                stash_case(name, report.metrics, out);
                 black_box(out)
             })
         });
     }
+    group.finish();
+}
+
+/// Streaming mode: the data-path workload fed straight from the NYSE
+/// generator into a threaded [`SpectreEngine`] session — no `Vec` fixture
+/// exists at any point; outputs are drained incrementally every generator
+/// chunk. The measured time therefore *includes* event generation, which
+/// is exactly the streaming deployment's cost profile.
+fn bench_streaming(c: &mut Criterion) {
+    let events_n = spectre_bench::threaded_bench_events();
+    let mut schema = Schema::new();
+    let query = datapath_query(&mut schema);
+    let mut group = c.benchmark_group(format!("threaded_streaming_{}k_events", events_n / 1000));
+    group.sample_size(2);
+    group.bench_function("streaming_k2", |b| {
+        b.iter(|| {
+            let config = SpectreConfig::with_batching(2, 64, 8);
+            let mut engine = SpectreEngine::builder(&query)
+                .config(config)
+                .threaded()
+                .build();
+            let mut source = NyseGenerator::new(paper_nyse_config(events_n), &mut schema);
+            let mut outputs = 0usize;
+            loop {
+                let fed = engine.ingest(source.by_ref().take(65_536));
+                outputs += engine.drain_outputs().len();
+                if fed < 65_536 {
+                    break;
+                }
+            }
+            let report = engine.finish();
+            outputs += report.complex_events.len();
+            stash_case("streaming_k2", report.metrics, outputs);
+            black_box(outputs)
+        })
+    });
     group.finish();
 }
 
@@ -212,10 +268,9 @@ fn emit_summary(_c: &mut Criterion) {
             ),
         ));
     }
-    // Speculation accounting from the runs bench_consumption already did.
-    let reports = std::mem::take(&mut *CONSUMPTION_REPORTS.lock().expect("report stash"));
-    for (name, report) in &reports {
-        let m = &report.metrics;
+    // Speculation accounting from the runs the threaded cases already did.
+    let reports = std::mem::take(&mut *CASE_METRICS.lock().expect("metrics stash"));
+    for (name, m, outputs) in &reports {
         let extra = format!(
             "\"peak_tree\": {}, \"versions_materialized\": {}, \
              \"lazy_versions_dropped\": {}, \"predictor_refreshes\": {}, \
@@ -225,7 +280,7 @@ fn emit_summary(_c: &mut Criterion) {
             m.lazy_versions_dropped,
             m.predictor_refreshes,
             m.predictor_refresh_nanos as f64 / 1e6,
-            report.complex_events.len()
+            outputs
         );
         match cases.iter_mut().find(|(n, _)| n == name) {
             Some((_, fields)) => *fields = format!("{fields}, {extra}"),
@@ -255,6 +310,7 @@ criterion_group!(
     end_to_end,
     bench_engines,
     bench_threaded,
+    bench_streaming,
     bench_consumption,
     emit_summary
 );

@@ -15,7 +15,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use spectre_bench::{bench_events, nyse_stream, print_row};
-use spectre_core::{run_simulated, SpectreConfig};
+use spectre_core::{SpectreConfig, SpectreEngine};
 use spectre_query::queries;
 
 fn main() {
@@ -72,14 +72,18 @@ fn main() {
                 ..Default::default()
             };
             let t = Instant::now();
-            let report = run_simulated(&query, events, &config);
+            let report = SpectreEngine::builder(&query)
+                .config(config)
+                .simulated()
+                .build()
+                .run(events);
             let wall = t.elapsed().as_secs_f64() * 1e3;
             let m = &report.metrics;
             print_row(
                 &[
                     query_name.to_string(),
                     name.clone(),
-                    format!("{}", report.rounds),
+                    format!("{}", report.rounds.unwrap_or(0)),
                     format!("{wall:.0}"),
                     format!("{}", m.rollbacks),
                     format!("{}", m.checkpoints_taken),

@@ -12,7 +12,7 @@ use std::time::Instant;
 
 use spectre_baselines::{run_sequential, TrexEngine};
 use spectre_bench::{bench_events, nyse_stream, print_row, sim_report, PER_INSTANCE_EVENT_RATE};
-use spectre_core::{run_threaded, SpectreConfig};
+use spectre_core::{SpectreConfig, SpectreEngine};
 use spectre_query::queries::{self, Direction};
 
 fn main() {
@@ -59,9 +59,14 @@ fn main() {
         &widths,
     );
 
-    // SPECTRE threaded on this machine.
+    // SPECTRE threaded on this machine (engine session, generator-free
+    // feed of the shared fixture).
     for k in [1usize, 2, 4] {
-        let report = run_threaded(&query, events.clone(), &SpectreConfig::with_instances(k));
+        let report = SpectreEngine::builder(&query)
+            .config(SpectreConfig::with_instances(k))
+            .threaded()
+            .build()
+            .run(events.iter().cloned());
         print_row(
             &[
                 format!("SPECTRE threaded k={k} (measured)"),

@@ -128,6 +128,9 @@ pub fn sim_report(query: &Arc<Query>, events: &[Event], config: &SpectreConfig) 
         batch_size: 1,
         ..config.clone()
     };
+    // `run_simulated` is itself a thin wrapper over a `SpectreEngine`
+    // session; the figure harness wants exactly its `SimReport` shape
+    // (virtual rounds drive the calibrated throughput).
     run_simulated(query, events.to_vec(), &config)
 }
 

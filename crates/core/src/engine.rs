@@ -1,0 +1,664 @@
+//! The incremental engine session: SPECTRE as a push/pull streaming engine.
+//!
+//! [`SpectreEngine`] replaces the one-shot `run_*` drivers' "hand me the
+//! whole `Vec<Event>`" surface with a session the caller feeds
+//! incrementally — the standard source/engine split of streaming systems.
+//! A session is constructed with a builder, fed with
+//! [`push`](SpectreEngine::push) / [`push_batch`](SpectreEngine::push_batch)
+//! / [`ingest`](SpectreEngine::ingest), queried with
+//! [`drain_outputs`](SpectreEngine::drain_outputs) (complex events as they
+//! are committed, not only at end of run) and
+//! [`metrics`](SpectreEngine::metrics), and closed with
+//! [`finish`](SpectreEngine::finish), which signals end-of-stream, drives
+//! the run to completion and returns a unified [`Report`].
+//!
+//! Two execution modes share the session surface:
+//!
+//! * [`simulated`](SpectreEngineBuilder::simulated) — the deterministic
+//!   virtual-time scheduler (splitter cycles and instance steps interleaved
+//!   on the calling thread; the mode behind the paper's scalability
+//!   figures), and
+//! * [`threaded`](SpectreEngineBuilder::threaded) — real OS threads: the
+//!   session holds `instances` worker threads for its whole lifetime, and
+//!   the calling thread acts as the splitter whenever it calls into the
+//!   session.
+//!
+//! Back-pressure is part of the API: the splitter's speculative bound
+//! ([`SpectreConfig::max_tree_versions`] over
+//! `DependencyTree::speculative_load`) propagates to the caller —
+//! [`push`](SpectreEngine::push) returns [`PushResult::Full`] (handing the
+//! event back) instead of buffering without bound, so a source can throttle
+//! while total memory stays bounded by the engine's feed capacity plus the
+//! speculative load cap, never by the stream length. That is what opens
+//! the paper's 24 M-event workload: a generator or TCP source streams
+//! through a session in constant space, where the legacy drivers needed a
+//! ~2 GB materialized fixture.
+//!
+//! The legacy [`run_simulated`](crate::run_simulated) /
+//! [`run_threaded`](crate::run_threaded) entrypoints survive as thin
+//! wrappers over a session (feed everything, then finish) with unchanged
+//! signatures and identical results.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use spectre_events::Schema;
+//! use spectre_datasets::{NyseConfig, NyseGenerator};
+//! use spectre_query::queries;
+//! use spectre_core::{SpectreConfig, SpectreEngine};
+//!
+//! let mut schema = Schema::new();
+//! let query = Arc::new(queries::q1(&mut schema, 2, 100, Default::default()));
+//! let mut engine = SpectreEngine::builder(&query)
+//!     .config(SpectreConfig::with_instances(4))
+//!     .simulated()
+//!     .build();
+//! // Feed the generator straight into the session — no Vec in between.
+//! engine.ingest(NyseGenerator::new(NyseConfig::small(500, 1), &mut schema));
+//! let early = engine.drain_outputs(); // whatever is committed so far
+//! let report = engine.finish();
+//! assert_eq!(report.input_events, 500);
+//! println!("{} + {} complex events", early.len(), report.complex_events.len());
+//! ```
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use spectre_events::Event;
+use spectre_query::{ComplexEvent, Query};
+
+use crate::config::SpectreConfig;
+use crate::instance::{InstanceCore, StepOutcome};
+use crate::metrics::MetricsSnapshot;
+use crate::shared::SharedState;
+use crate::splitter::Splitter;
+
+/// Outcome of a [`SpectreEngine::push`].
+#[derive(Debug)]
+#[must_use = "a Full result hands the event back; dropping it loses the event"]
+pub enum PushResult {
+    /// The event was queued for ingestion.
+    Accepted,
+    /// Speculative back-pressure: the feed is at capacity and the last
+    /// maintenance round could not drain it (the dependency tree is at its
+    /// [`SpectreConfig::max_tree_versions`] load bound). The event is
+    /// handed back; retry after more processing — e.g. another `push`
+    /// (each attempt runs a maintenance round) or a
+    /// [`drain_outputs`](SpectreEngine::drain_outputs) call.
+    Full(Event),
+}
+
+impl PushResult {
+    /// `true` if the event was queued.
+    pub fn is_accepted(&self) -> bool {
+        matches!(self, PushResult::Accepted)
+    }
+}
+
+/// Unified end-of-run report of an engine session (both modes), returned
+/// by [`SpectreEngine::finish`]. The legacy `SimReport` / `ThreadedReport`
+/// are reconstructed from this by the wrapper entrypoints.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Complex events committed since the last
+    /// [`drain_outputs`](SpectreEngine::drain_outputs) (all of them, in
+    /// window order, if the session never drained).
+    pub complex_events: Vec<ComplexEvent>,
+    /// Final metric counters.
+    pub metrics: MetricsSnapshot,
+    /// Events ingested over the whole session, counted by the splitter —
+    /// under streaming the stream length is unknown up front.
+    pub input_events: u64,
+    /// Wall-clock duration from session build to finish.
+    pub wall: Duration,
+    /// Virtual rounds until completion (simulated mode only).
+    pub rounds: Option<u64>,
+    /// Wall-clock time spent inside splitter maintenance cycles
+    /// (simulated mode only; basis of the Fig. 10(c) measurement).
+    pub splitter_wall: Option<Duration>,
+}
+
+impl Report {
+    /// Measured wall-clock throughput in events per second.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.input_events as f64 / secs
+        }
+    }
+}
+
+/// Builder for a [`SpectreEngine`] session; see
+/// [`SpectreEngine::builder`].
+#[derive(Debug, Clone)]
+pub struct SpectreEngineBuilder {
+    query: Arc<Query>,
+    config: SpectreConfig,
+    threaded: bool,
+}
+
+impl SpectreEngineBuilder {
+    /// Sets the runtime configuration (defaults to
+    /// [`SpectreConfig::default`]).
+    #[must_use]
+    pub fn config(mut self, config: SpectreConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Selects the threaded mode: `instances` worker threads are spawned
+    /// at [`build`](Self::build) and held by the session; the calling
+    /// thread runs splitter work inside `push`/`ingest`/`finish`.
+    #[must_use]
+    pub fn threaded(mut self) -> Self {
+        self.threaded = true;
+        self
+    }
+
+    /// Selects the deterministic virtual-time simulation mode (the
+    /// default): splitter cycles and instance steps interleave on the
+    /// calling thread exactly as in the legacy `run_simulated` loop.
+    #[must_use]
+    pub fn simulated(mut self) -> Self {
+        self.threaded = false;
+        self
+    }
+
+    /// Builds the session (threaded mode spawns the worker threads here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or the query is not
+    /// runnable on the speculative runtime (see
+    /// [`Splitter::new`](crate::splitter::Splitter::new)).
+    pub fn build(self) -> SpectreEngine {
+        let SpectreEngineBuilder {
+            query,
+            config,
+            threaded,
+        } = self;
+        config.validate();
+        let start = Instant::now();
+        let shared = SharedState::for_config(&config);
+        let splitter = Splitter::new(query, config.clone(), Arc::clone(&shared));
+        let driver = if threaded {
+            Driver::Threaded {
+                workers: spawn_workers(&shared, &config),
+            }
+        } else {
+            Driver::Simulated {
+                instances: (0..config.instances)
+                    .map(|i| {
+                        InstanceCore::new(i, config.consistency_check_freq)
+                            .with_checkpoints(config.checkpoint_freq)
+                            .with_batch(config.batch_size)
+                    })
+                    .collect(),
+                rounds: 0,
+                splitter_wall: Duration::ZERO,
+            }
+        };
+        // One maintenance cycle consumes at most `ingest_per_cycle` events,
+        // so a feed of that size never starves a cycle — the session
+        // behaves exactly like the legacy drivers, which ingested from a
+        // fully materialized Vec. Anything beyond it is pure buffering.
+        let capacity = config.ingest_per_cycle.max(config.batch_size);
+        SpectreEngine {
+            config,
+            shared,
+            splitter,
+            driver,
+            capacity,
+            start,
+        }
+    }
+}
+
+/// Mode-specific execution state of a session.
+enum Driver {
+    /// Virtual-time scheduler state (the legacy `run_simulated` loop,
+    /// suspended between calls into the session).
+    Simulated {
+        instances: Vec<InstanceCore>,
+        rounds: u64,
+        splitter_wall: Duration,
+    },
+    /// Worker threads running [`instance_worker`]; joined at finish (or
+    /// drop).
+    Threaded { workers: Vec<JoinHandle<()>> },
+}
+
+/// An incremental SPECTRE session: push events in, pull complex events
+/// out. See the [module docs](self) for the lifecycle and the example.
+pub struct SpectreEngine {
+    config: SpectreConfig,
+    shared: Arc<SharedState>,
+    splitter: Splitter,
+    driver: Driver,
+    /// Feed-queue capacity before a push runs (or waits for) maintenance.
+    capacity: usize,
+    start: Instant,
+}
+
+impl std::fmt::Debug for SpectreEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpectreEngine")
+            .field("mode", &self.mode_name())
+            .field("instances", &self.config.instances)
+            .field("events_ingested", &self.splitter.events_ingested())
+            .field("feed_len", &self.splitter.feed_len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SpectreEngine {
+    /// Starts building a session over `query`.
+    pub fn builder(query: &Arc<Query>) -> SpectreEngineBuilder {
+        SpectreEngineBuilder {
+            query: Arc::clone(query),
+            config: SpectreConfig::default(),
+            threaded: false,
+        }
+    }
+
+    fn mode_name(&self) -> &'static str {
+        match self.driver {
+            Driver::Simulated { .. } => "simulated",
+            Driver::Threaded { .. } => "threaded",
+        }
+    }
+
+    /// Offers one event to the session. Returns [`PushResult::Full`] —
+    /// handing the event back — when the feed is at capacity and the
+    /// maintenance round this call ran could not drain it (speculative
+    /// back-pressure); every retry runs another round, so a plain retry
+    /// loop always terminates.
+    pub fn push(&mut self, event: Event) -> PushResult {
+        if self.splitter.feed_len() >= self.capacity {
+            self.pump();
+            if self.splitter.feed_len() >= self.capacity {
+                return PushResult::Full(event);
+            }
+        }
+        self.splitter.feed(event);
+        PushResult::Accepted
+    }
+
+    /// Feeds a whole batch, blocking (i.e. running engine work) until
+    /// every event is accepted. Returns the number of events fed.
+    pub fn push_batch(&mut self, batch: impl IntoIterator<Item = Event>) -> u64 {
+        self.ingest(batch)
+    }
+
+    /// Feeds everything a source yields, blocking until every event is
+    /// accepted — the streaming replacement for handing the drivers a
+    /// `Vec`: any `Iterator<Item = Event>` (a dataset generator, a
+    /// `TcpSource`, a decoded file) plugs in directly and is consumed
+    /// incrementally, so memory stays bounded regardless of stream
+    /// length. Returns the number of events fed.
+    pub fn ingest(&mut self, source: impl IntoIterator<Item = Event>) -> u64 {
+        let mut fed = 0u64;
+        for mut event in source {
+            loop {
+                match self.push(event) {
+                    PushResult::Accepted => break,
+                    PushResult::Full(back) => event = back,
+                }
+            }
+            fed += 1;
+        }
+        fed
+    }
+
+    /// Takes the complex events committed since the last call (window
+    /// order, detection order within a window). Runs one maintenance round
+    /// first, so repeated calls make progress even without further pushes.
+    pub fn drain_outputs(&mut self) -> Vec<ComplexEvent> {
+        self.pump();
+        self.splitter.take_outputs()
+    }
+
+    /// A live snapshot of the shared metric counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Events ingested so far (excludes events still in the feed queue).
+    pub fn events_ingested(&self) -> u64 {
+        self.splitter.events_ingested()
+    }
+
+    /// Signals end-of-stream, drives the run to completion, shuts the
+    /// session down (threaded mode joins its workers) and returns the
+    /// unified [`Report`].
+    ///
+    /// # Panics
+    ///
+    /// Simulated mode panics if the run exceeds
+    /// `200 × input_events + 1_000_000` virtual rounds — a liveness guard;
+    /// a correct configuration always terminates far below it.
+    pub fn finish(mut self) -> Report {
+        self.splitter.end_of_stream();
+        let total = self.splitter.events_ingested() + self.splitter.feed_len() as u64;
+        match &mut self.driver {
+            Driver::Simulated { rounds, .. } => {
+                let limit = 200u64.saturating_mul(total) + 1_000_000;
+                let mut r = *rounds;
+                while !self.sim_round() {
+                    r += 1;
+                    assert!(r < limit, "simulation exceeded liveness bound");
+                }
+            }
+            Driver::Threaded { .. } => {
+                // The calling thread becomes the splitter, as in the legacy
+                // driver: yield whenever a cycle made no progress so the
+                // worker threads are not starved on small machines.
+                while !self.splitter.cycle() {
+                    if self.splitter.made_progress() {
+                        std::hint::spin_loop();
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+        // A worker that panicked mid-run must fail the session loudly, as
+        // the scoped threads of the old driver did — its statistics were
+        // never flushed and its processing cannot be trusted.
+        if let Some(payload) = self.join_workers().into_iter().next() {
+            std::panic::resume_unwind(payload);
+        }
+        let (rounds, splitter_wall) = match &self.driver {
+            Driver::Simulated {
+                rounds,
+                splitter_wall,
+                ..
+            } => (Some(*rounds), Some(*splitter_wall)),
+            Driver::Threaded { .. } => (None, None),
+        };
+        Report {
+            complex_events: self.splitter.take_outputs(),
+            metrics: self.shared.metrics.snapshot(),
+            input_events: self.splitter.events_ingested(),
+            wall: self.start.elapsed(),
+            rounds,
+            splitter_wall,
+        }
+    }
+
+    /// Convenience one-shot: feed everything, then [`finish`](Self::finish)
+    /// — what the legacy wrapper entrypoints do.
+    pub fn run(mut self, source: impl IntoIterator<Item = Event>) -> Report {
+        self.ingest(source);
+        self.finish()
+    }
+
+    /// One unit of engine work on the calling thread: a virtual-time round
+    /// (simulated) or a splitter maintenance cycle (threaded). Returns
+    /// `true` once the run is complete (only possible after end-of-stream).
+    fn pump(&mut self) -> bool {
+        match &mut self.driver {
+            Driver::Simulated { .. } => self.sim_round(),
+            Driver::Threaded { .. } => {
+                let done = self.splitter.cycle();
+                if !done && !self.splitter.made_progress() {
+                    std::thread::yield_now();
+                }
+                done
+            }
+        }
+    }
+
+    /// One round of the legacy `run_simulated` loop: a splitter cycle
+    /// every `sched_period` rounds, then one step per instance. The final
+    /// cycle (run complete) ends the round early, exactly as the legacy
+    /// loop broke before stepping.
+    fn sim_round(&mut self) -> bool {
+        let Driver::Simulated {
+            instances,
+            rounds,
+            splitter_wall,
+        } = &mut self.driver
+        else {
+            unreachable!("sim_round on a threaded session");
+        };
+        if rounds.is_multiple_of(self.config.sched_period as u64) {
+            let t = Instant::now();
+            let done = self.splitter.cycle();
+            *splitter_wall += t.elapsed();
+            if done {
+                return true;
+            }
+        }
+        for inst in instances.iter_mut() {
+            let _ = inst.step(&self.shared);
+        }
+        *rounds += 1;
+        false
+    }
+
+    /// Joins the worker threads (threaded mode; no-op otherwise),
+    /// returning the panic payloads of any that died. The shared `done`
+    /// flag must already be (or concurrently become) set.
+    fn join_workers(&mut self) -> Vec<Box<dyn std::any::Any + Send>> {
+        let mut panics = Vec::new();
+        if let Driver::Threaded { workers } = &mut self.driver {
+            for worker in workers.drain(..) {
+                if let Err(payload) = worker.join() {
+                    panics.push(payload);
+                }
+            }
+        }
+        panics
+    }
+}
+
+impl Drop for SpectreEngine {
+    /// Dropping an unfinished threaded session aborts it: the `done` flag
+    /// is raised so the workers exit their poll loop, and they are joined
+    /// (panic payloads are swallowed here — a drop must not panic).
+    /// A finished session already joined them; this is a no-op then.
+    fn drop(&mut self) {
+        if let Driver::Threaded { workers } = &self.driver {
+            if workers.is_empty() {
+                return;
+            }
+            self.shared.done.store(true, Ordering::Release);
+            let _ = self.join_workers();
+        }
+    }
+}
+
+/// Spawns the operator-instance worker threads for a threaded session.
+fn spawn_workers(shared: &Arc<SharedState>, config: &SpectreConfig) -> Vec<JoinHandle<()>> {
+    (0..config.instances)
+        .map(|i| {
+            let shared = Arc::clone(shared);
+            let check_freq = config.consistency_check_freq;
+            let checkpoint_freq = config.checkpoint_freq;
+            let batch_size = config.batch_size;
+            std::thread::spawn(move || {
+                let mut inst = InstanceCore::new(i, check_freq)
+                    .with_checkpoints(checkpoint_freq)
+                    .with_batch(batch_size);
+                instance_worker(&mut inst, &shared);
+            })
+        })
+        .collect()
+}
+
+/// The operator-instance worker loop — the single implementation of the
+/// idle-spin policy shared by the engine session and (through it) the
+/// legacy `run_threaded` wrapper: spin briefly on idle/stalled steps,
+/// degrade to yielding so oversubscribed machines still make progress,
+/// and flush the Markov statistics on shutdown.
+fn instance_worker(inst: &mut InstanceCore, shared: &SharedState) {
+    let mut idle_spins = 0u32;
+    while !shared.is_done() {
+        match inst.step(shared) {
+            StepOutcome::Idle | StepOutcome::Stalled => {
+                idle_spins += 1;
+                if idle_spins > 64 {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+            _ => idle_spins = 0,
+        }
+    }
+    inst.flush_stats(shared);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spectre_baselines::run_sequential;
+    use spectre_datasets::{NyseConfig, NyseGenerator};
+    use spectre_events::Schema;
+    use spectre_query::queries::{self, Direction};
+
+    fn fixture(events: usize, seed: u64) -> (Arc<Query>, Vec<Event>) {
+        let mut schema = Schema::new();
+        let events: Vec<_> =
+            NyseGenerator::new(NyseConfig::small(events, seed), &mut schema).collect();
+        let query = Arc::new(queries::q1(&mut schema, 3, 150, Direction::Rising));
+        (query, events)
+    }
+
+    #[test]
+    fn simulated_session_matches_sequential() {
+        let (query, events) = fixture(1500, 17);
+        let expected = run_sequential(&query, &events).complex_events;
+        let report = SpectreEngine::builder(&query)
+            .config(SpectreConfig::with_instances(4))
+            .simulated()
+            .build()
+            .run(events);
+        assert_eq!(report.complex_events, expected);
+        assert_eq!(report.input_events, 1500);
+        assert!(report.rounds.is_some(), "simulated mode reports rounds");
+        assert!(report.splitter_wall.is_some());
+    }
+
+    #[test]
+    fn threaded_session_matches_sequential() {
+        let (query, events) = fixture(1500, 17);
+        let expected = run_sequential(&query, &events).complex_events;
+        let report = SpectreEngine::builder(&query)
+            .config(SpectreConfig::with_instances(2))
+            .threaded()
+            .build()
+            .run(events);
+        assert_eq!(report.complex_events, expected);
+        assert_eq!(report.input_events, 1500);
+        assert!(report.rounds.is_none(), "threaded mode has no rounds");
+        assert!(report.throughput() > 0.0);
+    }
+
+    #[test]
+    fn drained_outputs_plus_final_report_cover_everything_once() {
+        let (query, events) = fixture(2000, 23);
+        let expected = run_sequential(&query, &events).complex_events;
+        assert!(!expected.is_empty());
+        let mut engine = SpectreEngine::builder(&query)
+            .config(SpectreConfig::with_instances(2))
+            .simulated()
+            .build();
+        let mut collected = Vec::new();
+        for chunk in events.chunks(97) {
+            engine.push_batch(chunk.to_vec());
+            collected.append(&mut engine.drain_outputs());
+        }
+        let streamed_before_finish = collected.len();
+        let report = engine.finish();
+        collected.extend(report.complex_events);
+        assert_eq!(collected, expected);
+        assert!(
+            streamed_before_finish > 0,
+            "outputs must be committed incrementally, not only at end of run"
+        );
+    }
+
+    #[test]
+    fn push_retry_loop_survives_backpressure() {
+        // A tiny speculative-load cap forces Full results mid-stream; a
+        // plain retry loop (each push attempt runs a maintenance round)
+        // must still terminate with the exact output.
+        let (query, events) = fixture(1200, 29);
+        let expected = run_sequential(&query, &events).complex_events;
+        let config = SpectreConfig {
+            max_tree_versions: 2,
+            ..SpectreConfig::with_instances(1)
+        };
+        let mut engine = SpectreEngine::builder(&query)
+            .config(config)
+            .simulated()
+            .build();
+        let mut rejected = 0u64;
+        for mut event in events {
+            loop {
+                match engine.push(event) {
+                    PushResult::Accepted => break,
+                    PushResult::Full(back) => {
+                        rejected += 1;
+                        event = back;
+                    }
+                }
+            }
+        }
+        let report = engine.finish();
+        assert_eq!(report.complex_events, expected);
+        assert!(
+            rejected > 0,
+            "a cap of 2 versions must exert visible back-pressure"
+        );
+    }
+
+    #[test]
+    fn empty_session_finishes_cleanly_in_both_modes() {
+        let (query, _) = fixture(1, 1);
+        for threaded in [false, true] {
+            let builder = SpectreEngine::builder(&query).config(SpectreConfig::with_instances(2));
+            let engine = if threaded {
+                builder.threaded().build()
+            } else {
+                builder.build()
+            };
+            let report = engine.finish();
+            assert!(report.complex_events.is_empty());
+            assert_eq!(report.input_events, 0);
+        }
+    }
+
+    #[test]
+    fn dropping_an_unfinished_threaded_session_joins_workers() {
+        let (query, events) = fixture(300, 31);
+        let mut engine = SpectreEngine::builder(&query)
+            .config(SpectreConfig::with_instances(2))
+            .threaded()
+            .build();
+        engine.push_batch(events);
+        drop(engine); // must not hang or leave threads spinning
+    }
+
+    #[test]
+    fn live_metrics_reflect_progress() {
+        let (query, events) = fixture(800, 37);
+        let mut engine = SpectreEngine::builder(&query)
+            .config(SpectreConfig::with_instances(2))
+            .simulated()
+            .build();
+        engine.ingest(events);
+        let mid = engine.metrics();
+        assert!(mid.sched_cycles > 0, "cycles ran during ingestion");
+        let report = engine.finish();
+        assert!(report.metrics.sched_cycles >= mid.sched_cycles);
+        assert!(report.metrics.windows_retired > 0);
+    }
+}

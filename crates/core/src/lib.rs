@@ -18,11 +18,21 @@
 //!   speculative outputs and roll back on consistency violations
 //!   (paper §3.3).
 //!
-//! Two drivers execute the same engine: [`run_simulated`] (deterministic
-//! virtual-time multicore simulation, used for the paper's scalability
-//! figures) and [`run_threaded`] (real OS threads). Both deliver exactly
-//! the sequential-semantics output: no false positives, no false negatives,
-//! in window order.
+//! The runtime is an incremental **engine session**, [`SpectreEngine`]:
+//! built with a builder (`SpectreEngine::builder(&query).config(cfg)
+//! .threaded()/.simulated().build()`), fed with `push` / `push_batch` /
+//! `ingest` (any `Iterator<Item = Event>` — a dataset generator, a TCP
+//! source — streams in without ever being materialized), drained with
+//! `drain_outputs` (complex events as they are committed), observed with
+//! `metrics`, and closed with `finish() -> Report`. Back-pressure is part
+//! of the surface: `push` returns `Full(event)` instead of buffering
+//! without bound, so memory stays bounded by the speculative-load cap
+//! regardless of stream length. Two execution modes share the session:
+//! deterministic virtual-time simulation (used for the paper's scalability
+//! figures) and real OS threads. The legacy one-shot drivers
+//! [`run_simulated`] and [`run_threaded`] survive as thin wrappers over a
+//! session. Every mode delivers exactly the sequential-semantics output:
+//! no false positives, no false negatives, in window order.
 //!
 //! ## The batched, sharded data path
 //!
@@ -86,15 +96,19 @@
 //! use spectre_events::Schema;
 //! use spectre_datasets::{NyseConfig, NyseGenerator};
 //! use spectre_query::queries;
-//! use spectre_core::{run_simulated, SpectreConfig};
+//! use spectre_core::{SpectreConfig, SpectreEngine};
 //!
 //! let mut schema = Schema::new();
-//! let events: Vec<_> =
-//!     NyseGenerator::new(NyseConfig::small(1000, 42), &mut schema).collect();
 //! let query = Arc::new(queries::q1(&mut schema, 3, 100, Default::default()));
-//! let report = run_simulated(&query, events, &SpectreConfig::with_instances(8));
-//! println!("{} complex events in {} rounds",
-//!          report.complex_events.len(), report.rounds);
+//! let mut engine = SpectreEngine::builder(&query)
+//!     .config(SpectreConfig::with_instances(8))
+//!     .simulated()
+//!     .build();
+//! // The generator streams straight into the session — no Vec fixture.
+//! engine.ingest(NyseGenerator::new(NyseConfig::small(1000, 42), &mut schema));
+//! let report = engine.finish();
+//! println!("{} complex events from {} input events",
+//!          report.complex_events.len(), report.input_events);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -103,6 +117,7 @@
 pub mod cg;
 pub mod config;
 pub mod elastic;
+pub mod engine;
 pub mod instance;
 pub mod markov;
 pub mod matrix;
@@ -117,6 +132,7 @@ pub mod tree;
 pub mod version;
 
 pub use config::{PredictorKind, SpectreConfig};
+pub use engine::{PushResult, Report, SpectreEngine, SpectreEngineBuilder};
 pub use metrics::MetricsSnapshot;
 pub use runtime::{run_threaded, ThreadedReport};
 pub use sim::{run_simulated, SimReport};

@@ -13,16 +13,14 @@
 //! what lets million-event speculative streams sustain throughput.
 
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use spectre_events::Event;
 use spectre_query::{ComplexEvent, Query};
 
 use crate::config::SpectreConfig;
-use crate::instance::{InstanceCore, StepOutcome};
+use crate::engine::SpectreEngine;
 use crate::metrics::MetricsSnapshot;
-use crate::shared::SharedState;
-use crate::splitter::Splitter;
 
 /// Result of a threaded run.
 #[derive(Debug, Clone)]
@@ -31,7 +29,9 @@ pub struct ThreadedReport {
     pub complex_events: Vec<ComplexEvent>,
     /// Metric counters.
     pub metrics: MetricsSnapshot,
-    /// Number of input events.
+    /// Number of input events, counted by the splitter as it ingests (so
+    /// the figure is exact even for sessions whose stream length is
+    /// unknown up front).
     pub input_events: u64,
     /// Wall-clock duration of the run.
     pub wall: Duration,
@@ -51,6 +51,12 @@ impl ThreadedReport {
 
 /// Runs SPECTRE with real threads: the calling thread becomes the splitter,
 /// `config.instances` worker threads run operator instances.
+///
+/// This is the legacy one-shot surface, kept (with an unchanged signature
+/// and identical results) as a thin wrapper over an incremental
+/// [`SpectreEngine`] session — `builder(query).threaded().build()`, feed
+/// everything, `finish()`. New code, and anything that cannot afford to
+/// materialize its stream as a `Vec`, should use the session directly.
 ///
 /// # Example
 ///
@@ -73,61 +79,16 @@ pub fn run_threaded(
     events: Vec<Event>,
     config: &SpectreConfig,
 ) -> ThreadedReport {
-    config.validate();
-    let start = Instant::now();
-    let input_events = events.len() as u64;
-    let shared = SharedState::for_config(config);
-    let mut splitter = Splitter::new(
-        Arc::clone(query),
-        events.into_iter(),
-        config.clone(),
-        Arc::clone(&shared),
-    );
-
-    std::thread::scope(|scope| {
-        for i in 0..config.instances {
-            let shared = Arc::clone(&shared);
-            let check_freq = config.consistency_check_freq;
-            let checkpoint_freq = config.checkpoint_freq;
-            let batch_size = config.batch_size;
-            scope.spawn(move || {
-                let mut inst = InstanceCore::new(i, check_freq)
-                    .with_checkpoints(checkpoint_freq)
-                    .with_batch(batch_size);
-                let mut idle_spins = 0u32;
-                while !shared.is_done() {
-                    match inst.step(&shared) {
-                        StepOutcome::Idle | StepOutcome::Stalled => {
-                            idle_spins += 1;
-                            if idle_spins > 64 {
-                                std::thread::yield_now();
-                            } else {
-                                std::hint::spin_loop();
-                            }
-                        }
-                        _ => idle_spins = 0,
-                    }
-                }
-                inst.flush_stats(&shared);
-            });
-        }
-        // Splitter on the calling thread. Yield whenever a cycle made no
-        // progress: on machines with fewer cores than threads, hot-looping
-        // here would starve the operator instances.
-        while !splitter.cycle() {
-            if splitter.made_progress() {
-                std::hint::spin_loop();
-            } else {
-                std::thread::yield_now();
-            }
-        }
-    });
-
+    let report = SpectreEngine::builder(query)
+        .config(config.clone())
+        .threaded()
+        .build()
+        .run(events);
     ThreadedReport {
-        complex_events: splitter.into_outputs(),
-        metrics: shared.metrics.snapshot(),
-        input_events,
-        wall: start.elapsed(),
+        complex_events: report.complex_events,
+        metrics: report.metrics,
+        input_events: report.input_events,
+        wall: report.wall,
     }
 }
 

@@ -26,16 +26,14 @@
 //! report expose how much cloning the predictor's ranking avoided.
 
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use spectre_events::Event;
 use spectre_query::{ComplexEvent, Query};
 
 use crate::config::SpectreConfig;
-use crate::instance::InstanceCore;
+use crate::engine::SpectreEngine;
 use crate::metrics::MetricsSnapshot;
-use crate::shared::SharedState;
-use crate::splitter::Splitter;
 
 /// Result of a simulated run.
 #[derive(Debug, Clone)]
@@ -47,7 +45,7 @@ pub struct SimReport {
     pub metrics: MetricsSnapshot,
     /// Virtual rounds until completion.
     pub rounds: u64,
-    /// Number of input events.
+    /// Number of input events, counted by the splitter as it ingests.
     pub input_events: u64,
     /// Wall-clock time spent inside splitter maintenance cycles (basis of
     /// the Fig. 10(c) scheduling-frequency measurement).
@@ -86,6 +84,12 @@ impl SimReport {
 
 /// Runs SPECTRE over a finite stream under the virtual-time scheduler.
 ///
+/// This is the legacy one-shot surface, kept (with an unchanged signature
+/// and identical results) as a thin wrapper over an incremental
+/// [`SpectreEngine`] session — `builder(query).simulated().build()`, feed
+/// everything, `finish()`. New code, and anything that cannot afford to
+/// materialize its stream as a `Vec`, should use the session directly.
+///
 /// # Panics
 ///
 /// Panics if the run exceeds `200 × events + 1_000_000` rounds — a
@@ -108,51 +112,20 @@ impl SimReport {
 /// assert!(report.rounds > 0);
 /// ```
 pub fn run_simulated(query: &Arc<Query>, events: Vec<Event>, config: &SpectreConfig) -> SimReport {
-    config.validate();
-    let start = Instant::now();
-    let input_events = events.len() as u64;
-    let k = config.instances;
-    let shared = SharedState::for_config(config);
-    let mut splitter = Splitter::new(
-        Arc::clone(query),
-        events.into_iter(),
-        config.clone(),
-        Arc::clone(&shared),
-    );
-    let mut instances: Vec<InstanceCore> = (0..k)
-        .map(|i| {
-            InstanceCore::new(i, config.consistency_check_freq)
-                .with_checkpoints(config.checkpoint_freq)
-                .with_batch(config.batch_size)
-        })
-        .collect();
-
-    let limit = 200u64.saturating_mul(input_events) + 1_000_000;
-    let mut rounds = 0u64;
-    let mut splitter_wall = Duration::ZERO;
-    loop {
-        if rounds.is_multiple_of(config.sched_period as u64) {
-            let t = Instant::now();
-            let done = splitter.cycle();
-            splitter_wall += t.elapsed();
-            if done {
-                break;
-            }
-        }
-        for inst in &mut instances {
-            let _ = inst.step(&shared);
-        }
-        rounds += 1;
-        assert!(rounds < limit, "simulation exceeded liveness bound");
-    }
-
+    let report = SpectreEngine::builder(query)
+        .config(config.clone())
+        .simulated()
+        .build()
+        .run(events);
     SimReport {
-        complex_events: splitter.into_outputs(),
-        metrics: shared.metrics.snapshot(),
-        rounds,
-        input_events,
-        splitter_wall,
-        total_wall: start.elapsed(),
+        complex_events: report.complex_events,
+        metrics: report.metrics,
+        rounds: report.rounds.expect("simulated sessions report rounds"),
+        input_events: report.input_events,
+        splitter_wall: report
+            .splitter_wall
+            .expect("simulated sessions report splitter wall time"),
+        total_wall: report.wall,
     }
 }
 

@@ -112,16 +112,31 @@ enum FillOutcome {
     /// Speculative back-pressure: the dependency tree is oversized and the
     /// root window is fully ingested; stop ingesting for this cycle.
     BackPressure,
-    /// The input stream is exhausted.
+    /// The feed queue is empty but end-of-stream has not been signalled;
+    /// stop ingesting until the session feeds more events.
+    SourceDry,
+    /// The feed queue is empty and [`Splitter::end_of_stream`] was called.
     SourceExhausted,
 }
 
 /// The splitter's state; driven by [`cycle`](Splitter::cycle).
-pub struct Splitter<I: Iterator<Item = Event>> {
+///
+/// The splitter is *feed-driven*: it owns no input iterator. A session
+/// (normally [`SpectreEngine`](crate::SpectreEngine)) pushes events into
+/// the feed queue with [`feed`](Self::feed) and signals the end of the
+/// stream explicitly with [`end_of_stream`](Self::end_of_stream); each
+/// [`cycle`](Self::cycle) then ingests from the queue under the usual
+/// per-cycle budget and speculative back-pressure. A queue that runs dry
+/// mid-stream simply pauses ingestion — maintenance, retirement and
+/// scheduling keep running — until more events arrive.
+pub struct Splitter {
     config: SpectreConfig,
     query: Arc<Query>,
     shared: Arc<SharedState>,
-    source: I,
+    /// Events fed by the session, not yet ingested.
+    feed: VecDeque<Event>,
+    /// `true` once the session signalled end-of-stream.
+    eos: bool,
     assigner: WindowAssigner,
     tree: DependencyTree,
     predictor: Box<dyn CompletionPredictor>,
@@ -157,8 +172,8 @@ pub struct Splitter<I: Iterator<Item = Event>> {
     progress: bool,
 }
 
-impl<I: Iterator<Item = Event>> Splitter<I> {
-    /// Creates a splitter over the given input stream.
+impl Splitter {
+    /// Creates a splitter with an empty feed queue.
     ///
     /// # Panics
     ///
@@ -168,12 +183,7 @@ impl<I: Iterator<Item = Event>> Splitter<I> {
     /// evaluation setting, §4.2); a version's groups resolve strictly in
     /// creation order, which the dependency-tree chain construction relies
     /// on. Queries with `max_active > 1` run on the sequential engines.
-    pub fn new(
-        query: Arc<Query>,
-        source: I,
-        config: SpectreConfig,
-        shared: Arc<SharedState>,
-    ) -> Self {
+    pub fn new(query: Arc<Query>, config: SpectreConfig, shared: Arc<SharedState>) -> Self {
         config.validate();
         assert_eq!(
             query.max_active(),
@@ -204,7 +214,8 @@ impl<I: Iterator<Item = Event>> Splitter<I> {
             config,
             query,
             shared,
-            source,
+            feed: VecDeque::new(),
+            eos: false,
             assigner,
             tree,
             predictor,
@@ -224,13 +235,53 @@ impl<I: Iterator<Item = Event>> Splitter<I> {
         }
     }
 
+    /// Queues one event for ingestion. The event is not touched until a
+    /// [`cycle`](Self::cycle) ingests it under the per-cycle budget and the
+    /// speculative back-pressure bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`end_of_stream`](Self::end_of_stream) was already called.
+    pub fn feed(&mut self, event: Event) {
+        assert!(!self.eos, "event fed after end_of_stream");
+        self.feed.push_back(event);
+    }
+
+    /// Signals that no further events will be fed. Idempotent. Once the
+    /// feed queue drains, the next cycle closes the remaining windows and
+    /// the run winds down to completion.
+    pub fn end_of_stream(&mut self) {
+        self.eos = true;
+    }
+
+    /// Number of fed events not yet ingested.
+    pub fn feed_len(&self) -> usize {
+        self.feed.len()
+    }
+
+    /// Number of events ingested from the feed so far (the stream position
+    /// of the next event). This is the authoritative input count: under
+    /// streaming the total length is unknown up front, so reports take it
+    /// from here at end of run.
+    pub fn events_ingested(&self) -> u64 {
+        self.next_pos
+    }
+
     /// Complex events emitted so far (window order, detection order within a
     /// window).
     pub fn outputs(&self) -> &[ComplexEvent] {
         &self.outputs
     }
 
-    /// Consumes the splitter, returning all emitted complex events.
+    /// Takes the complex events committed since the last call (window
+    /// order, detection order within a window) — the incremental output
+    /// path of the engine session.
+    pub fn take_outputs(&mut self) -> Vec<ComplexEvent> {
+        std::mem::take(&mut self.outputs)
+    }
+
+    /// Consumes the splitter, returning all emitted (undrained) complex
+    /// events.
     pub fn into_outputs(self) -> Vec<ComplexEvent> {
         self.outputs
     }
@@ -410,7 +461,7 @@ impl<I: Iterator<Item = Event>> Splitter<I> {
             self.flush_batch();
             match outcome {
                 FillOutcome::Full => {}
-                FillOutcome::BackPressure => return,
+                FillOutcome::BackPressure | FillOutcome::SourceDry => return,
                 FillOutcome::SourceExhausted => {
                     self.finish_ingest();
                     return;
@@ -443,8 +494,12 @@ impl<I: Iterator<Item = Event>> Splitter<I> {
                     return FillOutcome::BackPressure;
                 }
             }
-            let Some(event) = self.source.next() else {
-                return FillOutcome::SourceExhausted;
+            let Some(event) = self.feed.pop_front() else {
+                return if self.eos {
+                    FillOutcome::SourceExhausted
+                } else {
+                    FillOutcome::SourceDry
+                };
             };
             self.progress = true;
             let pos = self.next_pos;
@@ -763,7 +818,11 @@ mod tests {
         let k = config.instances;
         let check_freq = config.consistency_check_freq;
         let batch = config.batch_size;
-        let mut splitter = Splitter::new(query, events.into_iter(), config, Arc::clone(&shared));
+        let mut splitter = Splitter::new(query, config, Arc::clone(&shared));
+        for event in events {
+            splitter.feed(event);
+        }
+        splitter.end_of_stream();
         let mut instances: Vec<_> = (0..k)
             .map(|i| InstanceCore::new(i, check_freq).with_batch(batch))
             .collect();
@@ -859,7 +918,6 @@ mod tests {
         let shared = SharedState::new(1);
         let splitter = Splitter::new(
             ab_query(), // ws = 4
-            std::iter::empty::<Event>(),
             SpectreConfig::with_instances(1),
             shared,
         );
@@ -881,12 +939,11 @@ mod tests {
                 .unwrap(),
         );
         let shared = SharedState::new(1);
-        let mut splitter = Splitter::new(
-            time_query,
-            (0..4).map(|i| ev(i, 9.0)),
-            SpectreConfig::with_instances(1),
-            shared,
-        );
+        let mut splitter = Splitter::new(time_query, SpectreConfig::with_instances(1), shared);
+        for i in 0..4 {
+            splitter.feed(ev(i, 9.0));
+        }
+        splitter.end_of_stream();
         assert_eq!(splitter.avg_window_size(), 250.0);
         // The first cycle ingests the whole (short) stream and the final
         // flush closes the only window at 4 events: the measured length
@@ -897,14 +954,56 @@ mod tests {
 
     #[test]
     fn prediction_events_left_clamps_to_at_least_one() {
-        type S = Splitter<std::iter::Empty<Event>>;
-        assert_eq!(S::events_left(200.0, 10), 190);
+        assert_eq!(Splitter::events_left(200.0, 10), 190);
         // At or past the average the horizon floors at one expected
         // event, matching the model's own clamp.
-        assert_eq!(S::events_left(200.0, 200), 1);
-        assert_eq!(S::events_left(200.0, 5000), 1);
+        assert_eq!(Splitter::events_left(200.0, 200), 1);
+        assert_eq!(Splitter::events_left(200.0, 5000), 1);
         // A degenerate (zero) average must not produce a zero horizon.
-        assert_eq!(S::events_left(0.0, 0), 1);
+        assert_eq!(Splitter::events_left(0.0, 0), 1);
+    }
+
+    #[test]
+    fn dry_feed_pauses_ingestion_until_end_of_stream() {
+        // A feed that runs dry mid-stream pauses ingestion — cycles keep
+        // doing maintenance without terminating — and ingestion resumes
+        // seamlessly when more events arrive; explicit end-of-stream is
+        // what lets the run wind down.
+        let query = ab_query();
+        let events: Vec<Event> = (0..40)
+            .map(|i| ev(i, [1.0, 9.0, 2.0, 1.0, 2.0, 9.0][i as usize % 6]))
+            .collect();
+        let expected = spectre_baselines::run_sequential(&query, &events).complex_events;
+
+        let shared = SharedState::new(1);
+        let mut splitter = Splitter::new(
+            Arc::clone(&query),
+            SpectreConfig::with_instances(1),
+            Arc::clone(&shared),
+        );
+        let mut inst = InstanceCore::new(0, 64);
+        let (head, tail) = events.split_at(7);
+        for event in head {
+            splitter.feed(event.clone());
+        }
+        for _ in 0..20 {
+            assert!(!splitter.cycle(), "dry feed must not terminate the run");
+            let _ = inst.step(&shared);
+        }
+        assert_eq!(splitter.events_ingested(), 7);
+        for event in tail {
+            splitter.feed(event.clone());
+        }
+        splitter.end_of_stream();
+        for _ in 0..1_000_000u64 {
+            if splitter.cycle() {
+                assert_eq!(splitter.events_ingested(), 40);
+                assert_eq!(splitter.into_outputs(), expected);
+                return;
+            }
+            let _ = inst.step(&shared);
+        }
+        panic!("did not converge");
     }
 
     #[test]
@@ -918,7 +1017,11 @@ mod tests {
             ..Default::default()
         };
         let events: Vec<Event> = vec![ev(0, 1.0), ev(1, 2.0), ev(2, 9.0), ev(3, 9.0)];
-        let mut splitter = Splitter::new(query, events.into_iter(), config, Arc::clone(&shared));
+        let mut splitter = Splitter::new(query, config, Arc::clone(&shared));
+        for event in events {
+            splitter.feed(event);
+        }
+        splitter.end_of_stream();
         let mut inst = InstanceCore::new(0, 64);
         splitter.cycle();
         // one event ingested; process it, then stall

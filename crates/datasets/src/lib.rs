@@ -26,6 +26,7 @@ pub mod nyse;
 pub mod rand_stream;
 pub mod replay;
 
+pub use net::{FramedSource, StreamServer, TcpSource};
 pub use nyse::{NyseConfig, NyseGenerator};
 pub use rand_stream::{RandConfig, RandGenerator};
 pub use replay::ReplaySource;

@@ -3,10 +3,13 @@
 //! connection").
 //!
 //! [`StreamServer`] plays the client role of the paper (it *produces* the
-//! stream); [`TcpSource`] is the engine-side source: an
+//! stream); [`FramedSource`] is the engine-side source: an
 //! `Iterator<Item = Event>` decoding length-prefixed frames
-//! ([`spectre_events::codec`]) from a socket, suitable for feeding directly
-//! into `Splitter::new` or the run drivers.
+//! ([`spectre_events::codec`]) from any `Read` — [`TcpSource`] is its
+//! socket instantiation. Being plain iterators, both plug straight into a
+//! `SpectreEngine` session (`engine.ingest(source)`), which processes the
+//! stream incrementally under back-pressure: a live TCP feed of any length
+//! runs in bounded memory, never materialized as a `Vec`.
 //!
 //! # Example
 //!
@@ -91,21 +94,61 @@ impl StreamServer {
     }
 }
 
-/// Engine-side TCP event source: decodes framed events from a socket.
+/// Engine-side framed event source: decodes length-prefixed events from
+/// any byte reader — a socket, a file, an in-memory buffer.
 ///
-/// The iterator ends when the peer closes the connection and all buffered
+/// The iterator ends when the reader reports end-of-input and all buffered
 /// frames are drained. Malformed frames end the stream as well (the decode
-/// error is retrievable via [`TcpSource::error`]).
+/// error is retrievable via [`FramedSource::error`]).
+///
+/// # Example
+///
+/// Socket-free round trip through the wire framing:
+///
+/// ```
+/// use spectre_datasets::net::FramedSource;
+/// use spectre_events::codec::encode;
+/// use spectre_events::{Event, EventType};
+/// use bytes::BytesMut;
+///
+/// let mut wire = BytesMut::new();
+/// for seq in 0..10 {
+///     encode(&Event::builder(EventType::new(0)).seq(seq).ts(seq).build(), &mut wire);
+/// }
+/// let source = FramedSource::new(std::io::Cursor::new(wire.to_vec()));
+/// assert_eq!(source.count(), 10);
+/// ```
 #[derive(Debug)]
-pub struct TcpSource {
-    stream: TcpStream,
+pub struct FramedSource<R: Read> {
+    reader: R,
     decoder: Decoder,
     read_buf: Vec<u8>,
     eof: bool,
     error: Option<String>,
 }
 
-impl TcpSource {
+impl<R: Read> FramedSource<R> {
+    /// Wraps a byte reader speaking the codec framing.
+    pub fn new(reader: R) -> FramedSource<R> {
+        FramedSource {
+            reader,
+            decoder: Decoder::new(),
+            read_buf: vec![0u8; 64 * 1024],
+            eof: false,
+            error: None,
+        }
+    }
+
+    /// The decode or read error that ended the stream, if any.
+    pub fn error(&self) -> Option<&str> {
+        self.error.as_deref()
+    }
+}
+
+/// Engine-side TCP event source: [`FramedSource`] over a socket.
+pub type TcpSource = FramedSource<TcpStream>;
+
+impl FramedSource<TcpStream> {
     /// Connects to a [`StreamServer`] (or any peer speaking the codec).
     ///
     /// # Errors
@@ -114,22 +157,11 @@ impl TcpSource {
     pub fn connect(addr: SocketAddr) -> io::Result<TcpSource> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(TcpSource {
-            stream,
-            decoder: Decoder::new(),
-            read_buf: vec![0u8; 64 * 1024],
-            eof: false,
-            error: None,
-        })
-    }
-
-    /// The decode error that ended the stream, if any.
-    pub fn error(&self) -> Option<&str> {
-        self.error.as_deref()
+        Ok(FramedSource::new(stream))
     }
 }
 
-impl Iterator for TcpSource {
+impl<R: Read> Iterator for FramedSource<R> {
     type Item = Event;
 
     fn next(&mut self) -> Option<Event> {
@@ -145,7 +177,7 @@ impl Iterator for TcpSource {
             if self.eof {
                 return None;
             }
-            match self.stream.read(&mut self.read_buf) {
+            match self.reader.read(&mut self.read_buf) {
                 Ok(0) => self.eof = true,
                 Ok(n) => self.decoder.extend(&self.read_buf[..n]),
                 Err(e) => {

@@ -10,7 +10,7 @@
 use std::sync::Arc;
 
 use spectre_baselines::{run_sequential, run_waitful};
-use spectre_core::{run_simulated, SpectreConfig};
+use spectre_core::{SpectreConfig, SpectreEngine};
 use spectre_datasets::{NyseConfig, NyseGenerator};
 use spectre_events::Schema;
 use spectre_query::queries::{self, Direction};
@@ -36,14 +36,21 @@ fn main() {
         let query = Arc::new(queries::q1(&mut schema, q, ws, Direction::Rising));
 
         let seq = run_sequential(&query, &events);
-        let r1 = run_simulated(&query, events.clone(), &SpectreConfig::with_instances(1));
-        let r8 = run_simulated(&query, events.clone(), &SpectreConfig::with_instances(8));
+        let sim = |k: usize| {
+            SpectreEngine::builder(&query)
+                .config(SpectreConfig::with_instances(k))
+                .simulated()
+                .build()
+                .run(events.iter().cloned())
+        };
+        let r1 = sim(1);
+        let r8 = sim(8);
         let wait8 = run_waitful(&query, &events, 8);
 
         assert_eq!(r1.complex_events, seq.complex_events);
         assert_eq!(r8.complex_events, seq.complex_events);
 
-        let speedup = r1.rounds as f64 / r8.rounds.max(1) as f64;
+        let speedup = r1.rounds.unwrap_or(0) as f64 / r8.rounds.unwrap_or(0).max(1) as f64;
         println!("q = {q:>3}  ratio = {:.3}", q as f64 / ws as f64);
         println!(
             "  ground-truth completion probability: {:>5.1}%  ({} groups, {} matches)",

@@ -10,7 +10,7 @@
 use std::sync::Arc;
 
 use spectre_baselines::{run_sequential, TrexEngine};
-use spectre_core::{run_simulated, SpectreConfig};
+use spectre_core::{SpectreConfig, SpectreEngine};
 use spectre_datasets::{NyseConfig, NyseGenerator};
 use spectre_events::Schema;
 use spectre_query::queries::{self, StockVocab};
@@ -74,11 +74,17 @@ fn main() {
 
     // ...and SPECTRE parallelizes it despite the consumption policy.
     for k in [1usize, 4, 16] {
-        let report = run_simulated(&query, events.clone(), &SpectreConfig::with_instances(k));
+        let report = SpectreEngine::builder(&query)
+            .config(SpectreConfig::with_instances(k))
+            .simulated()
+            .build()
+            .run(events.iter().cloned());
         assert_eq!(report.complex_events, seq.complex_events);
         println!(
             "SPECTRE k={k:<2}: {:>9} rounds, {:>5} versions dropped, {:>3} rollbacks",
-            report.rounds, report.metrics.versions_dropped, report.metrics.rollbacks
+            report.rounds.unwrap_or(0),
+            report.metrics.versions_dropped,
+            report.metrics.rollbacks
         );
     }
     println!("\nall engines emit identical complex events ✔");

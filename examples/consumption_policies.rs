@@ -8,7 +8,7 @@
 use std::sync::Arc;
 
 use spectre_baselines::run_sequential;
-use spectre_core::{run_simulated, SpectreConfig};
+use spectre_core::{SpectreConfig, SpectreEngine};
 use spectre_events::{Event, Schema, Value};
 use spectre_query::queries::{self, StockVocab};
 use spectre_query::{ComplexEvent, ConsumptionPolicy, Query};
@@ -70,8 +70,15 @@ fn main() {
     );
 
     let config = SpectreConfig::with_instances(2);
-    let none = run_simulated(&qe_none, events.clone(), &config);
-    let selected = run_simulated(&qe, events.clone(), &config);
+    let sim = |query: &Arc<Query>| {
+        SpectreEngine::builder(query)
+            .config(config.clone())
+            .simulated()
+            .build()
+            .run(events.iter().cloned())
+    };
+    let none = sim(&qe_none);
+    let selected = sim(&qe);
 
     println!(
         "consumption policy NONE       → {:?}",

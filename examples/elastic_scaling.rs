@@ -15,7 +15,7 @@ use std::sync::Arc;
 
 use spectre_baselines::run_sequential;
 use spectre_core::elastic::{ElasticConfig, ElasticController};
-use spectre_core::{run_simulated, SpectreConfig};
+use spectre_core::{SpectreConfig, SpectreEngine};
 use spectre_datasets::{NyseConfig, NyseGenerator};
 use spectre_events::Schema;
 use spectre_query::queries::{self, Direction};
@@ -52,7 +52,11 @@ fn main() {
         controller.observe(stats.completion_probability());
         let k = controller.recommend();
 
-        let report = run_simulated(&query, events.clone(), &SpectreConfig::with_instances(k));
+        let report = SpectreEngine::builder(&query)
+            .config(SpectreConfig::with_instances(k))
+            .simulated()
+            .build()
+            .run(events.iter().cloned());
         println!("phase: {phase}");
         println!(
             "  completion probability : {:.0}%",
@@ -68,7 +72,7 @@ fn main() {
         // busy with events that ended up surviving.
         println!(
             "  events per round       : {:.2} (of {k} instances)",
-            report.metrics.events_processed as f64 / report.rounds as f64
+            report.metrics.events_processed as f64 / report.rounds.unwrap_or(1).max(1) as f64
         );
     }
 }

@@ -11,7 +11,7 @@
 use std::sync::Arc;
 
 use spectre_baselines::run_sequential;
-use spectre_core::{run_simulated, PredictorKind, SpectreConfig};
+use spectre_core::{PredictorKind, SpectreConfig, SpectreEngine};
 use spectre_datasets::{RandConfig, RandGenerator};
 use spectre_events::Schema;
 use spectre_query::queries;
@@ -65,14 +65,19 @@ fn main() {
             predictor,
             ..Default::default()
         };
-        let report = run_simulated(&query, events.clone(), &config);
+        let report = SpectreEngine::builder(&query)
+            .config(config)
+            .simulated()
+            .build()
+            .run(events.iter().cloned());
+        let rounds = report.rounds.unwrap_or(0);
         assert_eq!(report.complex_events, seq.complex_events);
         println!(
             "{:<10} {:>14} {:>12} {:>10}",
-            name, report.rounds, report.metrics.versions_dropped, report.metrics.rollbacks
+            name, rounds, report.metrics.versions_dropped, report.metrics.rollbacks
         );
-        if best.as_ref().is_none_or(|(_, r)| report.rounds < *r) {
-            best = Some((name, report.rounds));
+        if best.as_ref().is_none_or(|(_, r)| rounds < *r) {
+            best = Some((name, rounds));
         }
     }
     let (winner, _) = best.expect("at least one predictor");

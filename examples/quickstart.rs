@@ -9,7 +9,7 @@
 use std::sync::Arc;
 
 use spectre_baselines::run_sequential;
-use spectre_core::{run_simulated, SpectreConfig};
+use spectre_core::{SpectreConfig, SpectreEngine};
 use spectre_datasets::{NyseConfig, NyseGenerator};
 use spectre_events::Schema;
 use spectre_query::parse_query;
@@ -18,19 +18,19 @@ fn main() {
     // 1. A schema interns attribute / type / symbol names.
     let mut schema = Schema::new();
 
-    // 2. Generate a synthetic NYSE-like quote stream (the real trace the
-    //    paper uses is not redistributable; see DESIGN.md §5).
-    let events: Vec<_> = NyseGenerator::new(
-        NyseConfig {
-            symbols: 100,
-            leaders: 8,
-            events: 20_000,
-            seed: 7,
-            ..NyseConfig::default()
-        },
-        &mut schema,
-    )
-    .collect();
+    // 2. A synthetic NYSE-like quote stream (the real trace the paper
+    //    uses is not redistributable; see DESIGN.md §5). The generator is
+    //    a plain `Iterator<Item = Event>` and will be fed straight into
+    //    the engine — it is materialized here only so step 6 can verify
+    //    the output against the sequential reference.
+    let nyse = NyseConfig {
+        symbols: 100,
+        leaders: 8,
+        events: 20_000,
+        seed: 7,
+        ..NyseConfig::default()
+    };
+    let events: Vec<_> = NyseGenerator::new(nyse.clone(), &mut schema).collect();
 
     // 3. A query in the paper's extended MATCH_RECOGNIZE notation: three
     //    rising quotes after a rising quote of a leading symbol, within a
@@ -49,23 +49,43 @@ fn main() {
         .expect("valid query"),
     );
 
-    // 4. Run SPECTRE with 8 speculative operator instances (virtual-time
-    //    simulation; use spectre_core::run_threaded for OS threads).
-    let report = run_simulated(&query, events.clone(), &SpectreConfig::with_instances(8));
+    // 4. Open an engine session: 8 speculative operator instances under
+    //    the deterministic virtual-time scheduler (swap `.simulated()` for
+    //    `.threaded()` to run on real OS threads — same API, same output).
+    let mut engine = SpectreEngine::builder(&query)
+        .config(SpectreConfig::with_instances(8))
+        .simulated()
+        .build();
 
-    println!("complex events : {}", report.complex_events.len());
-    println!("virtual rounds : {}", report.rounds);
+    // 5. Stream the generator straight into the session — no Vec fixture —
+    //    draining complex events incrementally as their windows commit.
+    let mut source = NyseGenerator::new(nyse, &mut schema);
+    let mut complex_events = Vec::new();
+    loop {
+        let fed = engine.ingest(source.by_ref().take(4_096));
+        complex_events.extend(engine.drain_outputs());
+        if fed < 4_096 {
+            break;
+        }
+    }
+    let streamed_early = complex_events.len();
+    let report = engine.finish();
+    complex_events.extend(report.complex_events);
+
+    println!("complex events : {}", complex_events.len());
+    println!("  …of which {streamed_early} were drained before end-of-stream");
+    println!("input events   : {}", report.input_events);
     println!(
         "speculation    : {} versions created, {} dropped, {} rollbacks",
         report.metrics.versions_created, report.metrics.versions_dropped, report.metrics.rollbacks
     );
-    for ce in report.complex_events.iter().take(5) {
+    for ce in complex_events.iter().take(5) {
         println!("  {ce}");
     }
 
-    // 5. Exactness guarantee (paper §2.3): identical to sequential
+    // 6. Exactness guarantee (paper §2.3): identical to sequential
     //    processing — no false positives, no false negatives.
     let reference = run_sequential(&query, &events);
-    assert_eq!(report.complex_events, reference.complex_events);
+    assert_eq!(complex_events, reference.complex_events);
     println!("output matches the sequential reference ✔");
 }
