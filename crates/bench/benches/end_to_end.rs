@@ -241,6 +241,36 @@ fn bench_streaming(c: &mut Criterion) {
     group.finish();
 }
 
+/// Multi-query sessions: the data-path workload with N same-spec queries
+/// hosted in one threaded session. The shared spec group stores every
+/// window's events once regardless of N, so the incremental cost per extra
+/// query is pattern matching and retirement bookkeeping, not another copy
+/// of the data path; the gate watches exactly that.
+fn bench_multiquery(c: &mut Criterion) {
+    let (query, events) = threaded_fixture();
+    let mut group = c.benchmark_group(format!(
+        "threaded_multiquery_{}k_events",
+        events.len() / 1000
+    ));
+    group.sample_size(2);
+    for (n, name) in [(2usize, "multiquery_2q_k2"), (4, "multiquery_4q_k2")] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut builder =
+                    SpectreEngine::multi_builder().config(SpectreConfig::with_batching(2, 64, 8));
+                for _ in 0..n {
+                    builder.add_query(&query);
+                }
+                let report = builder.threaded().build().run(events.clone());
+                let out = report.complex_events.len();
+                stash_case(name, report.metrics, out);
+                black_box(out)
+            })
+        });
+    }
+    group.finish();
+}
+
 /// Writes the machine-readable bench summary for CI trend tracking when
 /// `SPECTRE_BENCH_SUMMARY` names a path: per threaded case, events/s (from
 /// the criterion shim's retained minimum) plus — for the consumption cases
@@ -311,6 +341,7 @@ criterion_group!(
     bench_engines,
     bench_threaded,
     bench_streaming,
+    bench_multiquery,
     bench_consumption,
     emit_summary
 );

@@ -34,6 +34,28 @@
 //! through a session in constant space, where the legacy drivers needed a
 //! ~2 GB materialized fixture.
 //!
+//! # Multi-query sessions
+//!
+//! One session hosts any number of concurrent queries over the shared
+//! splitter, store and instance pool: add queries up front with
+//! [`SpectreEngineBuilder::add_query`], or on a live session with
+//! [`deploy_query`](SpectreEngine::deploy_query) (matching starts at the
+//! next window boundary) and [`retire_query`](SpectreEngine::retire_query)
+//! (in-flight state is freed; the other queries are untouched).
+//! [`drain_outputs`](SpectreEngine::drain_outputs) tags each complex event
+//! with its [`QueryId`] — single-query callers can use
+//! [`drain_events`](SpectreEngine::drain_events) for the untagged stream —
+//! and [`finish`](SpectreEngine::finish) reports both the aggregate and a
+//! per-query breakdown ([`Report::queries`]). Queries with equal window
+//! specs share their window buffers in the store: each window's events are
+//! stored once, no matter how many queries consume them.
+//!
+//! Misuse that was formerly a panic or a silent no-op is surfaced through
+//! the fallible surface ([`try_push`](SpectreEngine::try_push) /
+//! [`try_drain_outputs`](SpectreEngine::try_drain_outputs) /
+//! [`try_finish`](SpectreEngine::try_finish)) as [`EngineError`]; the
+//! legacy infallible methods remain panic-compatible wrappers.
+//!
 //! The legacy [`run_simulated`](crate::run_simulated) /
 //! [`run_threaded`](crate::run_threaded) entrypoints survive as thin
 //! wrappers over a session (feed everything, then finish) with unchanged
@@ -56,12 +78,13 @@
 //!     .build();
 //! // Feed the generator straight into the session — no Vec in between.
 //! engine.ingest(NyseGenerator::new(NyseConfig::small(500, 1), &mut schema));
-//! let early = engine.drain_outputs(); // whatever is committed so far
+//! let early = engine.drain_events(); // whatever is committed so far
 //! let report = engine.finish();
 //! assert_eq!(report.input_events, 500);
 //! println!("{} + {} complex events", early.len(), report.complex_events.len());
 //! ```
 
+use std::collections::BTreeMap;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -73,8 +96,54 @@ use spectre_query::{ComplexEvent, Query};
 use crate::config::SpectreConfig;
 use crate::instance::{InstanceCore, StepOutcome};
 use crate::metrics::MetricsSnapshot;
-use crate::shared::SharedState;
+use crate::shared::{QueryId, SharedState};
 use crate::splitter::Splitter;
+
+/// A misuse of the engine session surface, reported by the `try_*` methods
+/// and the query-lifecycle calls. The legacy infallible methods panic with
+/// the [`Display`](std::fmt::Display) rendering of the same values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// The session was already finished ([`SpectreEngine::try_finish`]):
+    /// no further events can be pushed, outputs drained or queries
+    /// deployed/retired.
+    SessionFinished,
+    /// The [`QueryId`] names no currently deployed query — it was never
+    /// deployed in this session, or was already retired (ids are not
+    /// reused).
+    UnknownQuery(QueryId),
+    /// The query cannot run on the speculative runtime (e.g. it allows
+    /// more than one concurrently active partial match, where the runtime
+    /// requires `max_active = 1`).
+    QueryNotRunnable {
+        /// The query's name.
+        query: String,
+        /// Why the speculative runtime rejects it.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::SessionFinished => {
+                write!(f, "the engine session is already finished")
+            }
+            EngineError::UnknownQuery(qid) => {
+                write!(
+                    f,
+                    "no deployed query {qid} (never deployed, or already retired)"
+                )
+            }
+            EngineError::QueryNotRunnable { query, reason } => {
+                write!(f, "query {query:?} is not runnable: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
 
 /// Outcome of a [`SpectreEngine::push`].
 #[derive(Debug)]
@@ -98,17 +167,38 @@ impl PushResult {
     }
 }
 
+/// One query's share of a session [`Report`].
+#[derive(Debug, Clone)]
+pub struct QueryReport {
+    /// This query's complex events committed since the last
+    /// [`drain_outputs`](SpectreEngine::drain_outputs), in its window
+    /// order (detection order within a window).
+    pub complex_events: Vec<ComplexEvent>,
+    /// This query's share of the metric counters. Engine-scoped counters
+    /// (`sched_cycles`, `idle_steps`, `stalled_steps`,
+    /// `store_windows_opened`) are zero here; for the summable counters the
+    /// aggregate [`Report::metrics`] equals the sum over queries.
+    pub metrics: MetricsSnapshot,
+}
+
 /// Unified end-of-run report of an engine session (both modes), returned
 /// by [`SpectreEngine::finish`]. The legacy `SimReport` / `ThreadedReport`
 /// are reconstructed from this by the wrapper entrypoints.
 #[derive(Debug, Clone)]
 pub struct Report {
     /// Complex events committed since the last
-    /// [`drain_outputs`](SpectreEngine::drain_outputs) (all of them, in
-    /// window order, if the session never drained).
+    /// [`drain_outputs`](SpectreEngine::drain_outputs) (all of them, if
+    /// the session never drained), across all queries in commit order.
+    /// With a single deployed query this is exactly that query's stream in
+    /// window order — the legacy flat accessor.
     pub complex_events: Vec<ComplexEvent>,
-    /// Final metric counters.
+    /// Final metric counters, aggregated over the whole session.
     pub metrics: MetricsSnapshot,
+    /// Per-query breakdown (outputs and metric shares) for the queries
+    /// still deployed at finish. Queries retired mid-session are absent —
+    /// their remaining outputs were handed back by
+    /// [`retire_query`](SpectreEngine::retire_query).
+    pub queries: BTreeMap<QueryId, QueryReport>,
     /// Events ingested over the whole session, counted by the splitter —
     /// under streaming the stream length is unknown up front.
     pub input_events: u64,
@@ -134,15 +224,24 @@ impl Report {
 }
 
 /// Builder for a [`SpectreEngine`] session; see
-/// [`SpectreEngine::builder`].
+/// [`SpectreEngine::builder`] (single query) and
+/// [`SpectreEngine::multi_builder`] (start empty, add queries).
 #[derive(Debug, Clone)]
 pub struct SpectreEngineBuilder {
-    query: Arc<Query>,
+    queries: Vec<Arc<Query>>,
     config: SpectreConfig,
     threaded: bool,
 }
 
 impl SpectreEngineBuilder {
+    /// Adds a query to be deployed when the session is built, returning
+    /// the [`QueryId`] it will carry (ids are assigned densely in add
+    /// order; a session built from `builder(&q)` already holds `q` as
+    /// `QueryId(0)`).
+    pub fn add_query(&mut self, query: &Arc<Query>) -> QueryId {
+        self.queries.push(Arc::clone(query));
+        QueryId((self.queries.len() - 1) as u32)
+    }
     /// Sets the runtime configuration (defaults to
     /// [`SpectreConfig::default`]).
     #[must_use]
@@ -178,14 +277,19 @@ impl SpectreEngineBuilder {
     /// [`Splitter::new`](crate::splitter::Splitter::new)).
     pub fn build(self) -> SpectreEngine {
         let SpectreEngineBuilder {
-            query,
+            queries,
             config,
             threaded,
         } = self;
         config.validate();
         let start = Instant::now();
         let shared = SharedState::for_config(&config);
-        let splitter = Splitter::new(query, config.clone(), Arc::clone(&shared));
+        let mut splitter = Splitter::multi(config.clone(), Arc::clone(&shared));
+        for query in &queries {
+            if let Err(e) = splitter.deploy_query(Arc::clone(query)) {
+                panic!("{e}");
+            }
+        }
         let driver = if threaded {
             Driver::Threaded {
                 workers: spawn_workers(&shared, &config),
@@ -215,6 +319,7 @@ impl SpectreEngineBuilder {
             driver,
             capacity,
             start,
+            finished: false,
         }
     }
 }
@@ -243,6 +348,9 @@ pub struct SpectreEngine {
     /// Feed-queue capacity before a push runs (or waits for) maintenance.
     capacity: usize,
     start: Instant,
+    /// Set by [`try_finish`](Self::try_finish); further session calls
+    /// return [`EngineError::SessionFinished`].
+    finished: bool,
 }
 
 impl std::fmt::Debug for SpectreEngine {
@@ -257,10 +365,22 @@ impl std::fmt::Debug for SpectreEngine {
 }
 
 impl SpectreEngine {
-    /// Starts building a session over `query`.
+    /// Starts building a session over the single query `query` (deployed
+    /// as `QueryId(0)`) — the original single-query entrypoint, now a thin
+    /// wrapper over [`multi_builder`](Self::multi_builder).
     pub fn builder(query: &Arc<Query>) -> SpectreEngineBuilder {
+        let mut builder = Self::multi_builder();
+        builder.add_query(query);
+        builder
+    }
+
+    /// Starts building a session hosting any number of queries: add them
+    /// with [`SpectreEngineBuilder::add_query`] before
+    /// [`build`](SpectreEngineBuilder::build), or deploy onto the live
+    /// session with [`deploy_query`](Self::deploy_query).
+    pub fn multi_builder() -> SpectreEngineBuilder {
         SpectreEngineBuilder {
-            query: Arc::clone(query),
+            queries: Vec::new(),
             config: SpectreConfig::default(),
             threaded: false,
         }
@@ -278,15 +398,61 @@ impl SpectreEngine {
     /// maintenance round this call ran could not drain it (speculative
     /// back-pressure); every retry runs another round, so a plain retry
     /// loop always terminates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session was already finished; use
+    /// [`try_push`](Self::try_push) to handle that as an error.
     pub fn push(&mut self, event: Event) -> PushResult {
+        self.try_push(event).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`push`](Self::push): offering an event to a finished
+    /// session is [`EngineError::SessionFinished`] instead of a panic.
+    pub fn try_push(&mut self, event: Event) -> Result<PushResult, EngineError> {
+        if self.finished {
+            return Err(EngineError::SessionFinished);
+        }
         if self.splitter.feed_len() >= self.capacity {
             self.pump();
             if self.splitter.feed_len() >= self.capacity {
-                return PushResult::Full(event);
+                return Ok(PushResult::Full(event));
             }
         }
         self.splitter.feed(event);
-        PushResult::Accepted
+        Ok(PushResult::Accepted)
+    }
+
+    /// Deploys an additional query onto the live session. The query starts
+    /// matching at the next window boundary its spec group opens — events
+    /// already ingested (and windows already open) are not its. If an
+    /// already-deployed query has an equal window spec, the new query
+    /// shares its window buffers in the store from the start.
+    pub fn deploy_query(&mut self, query: &Arc<Query>) -> Result<QueryId, EngineError> {
+        if self.finished {
+            return Err(EngineError::SessionFinished);
+        }
+        self.splitter.deploy_query(Arc::clone(query))
+    }
+
+    /// Retires a deployed query mid-session: its in-flight speculative
+    /// versions are discarded, its scheduling slots freed and its window
+    /// state released (shared window buffers live on for other
+    /// subscribers), without disturbing the other queries' outputs or
+    /// back-pressure. Returns the query's committed-but-undrained complex
+    /// events.
+    pub fn retire_query(&mut self, qid: QueryId) -> Result<Vec<ComplexEvent>, EngineError> {
+        if self.finished {
+            return Err(EngineError::SessionFinished);
+        }
+        self.splitter
+            .retire_query(qid)
+            .ok_or(EngineError::UnknownQuery(qid))
+    }
+
+    /// Ids of the currently deployed queries, in deployment order.
+    pub fn query_ids(&self) -> Vec<QueryId> {
+        self.splitter.query_ids()
     }
 
     /// Feeds a whole batch, blocking (i.e. running engine work) until
@@ -315,17 +481,50 @@ impl SpectreEngine {
         fed
     }
 
-    /// Takes the complex events committed since the last call (window
-    /// order, detection order within a window). Runs one maintenance round
-    /// first, so repeated calls make progress even without further pushes.
-    pub fn drain_outputs(&mut self) -> Vec<ComplexEvent> {
-        self.pump();
-        self.splitter.take_outputs()
+    /// Takes the complex events committed since the last call, each tagged
+    /// with the query that produced it. The tagged stream is in commit
+    /// order; each query's subsequence is in its window order (detection
+    /// order within a window). Runs one maintenance round first, so
+    /// repeated calls make progress even without further pushes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session was already finished; use
+    /// [`try_drain_outputs`](Self::try_drain_outputs) to handle that as an
+    /// error.
+    pub fn drain_outputs(&mut self) -> Vec<(QueryId, ComplexEvent)> {
+        self.try_drain_outputs().unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// A live snapshot of the shared metric counters.
+    /// Fallible [`drain_outputs`](Self::drain_outputs): draining a
+    /// finished session is [`EngineError::SessionFinished`] instead of a
+    /// panic (a finished session's remaining outputs are in its
+    /// [`Report`]).
+    pub fn try_drain_outputs(&mut self) -> Result<Vec<(QueryId, ComplexEvent)>, EngineError> {
+        if self.finished {
+            return Err(EngineError::SessionFinished);
+        }
+        self.pump();
+        Ok(self.splitter.take_outputs())
+    }
+
+    /// [`drain_outputs`](Self::drain_outputs) without the query tags — the
+    /// convenience for single-query sessions (the common case), where the
+    /// tag is always `QueryId(0)`.
+    pub fn drain_events(&mut self) -> Vec<ComplexEvent> {
+        self.drain_outputs().into_iter().map(|(_, ce)| ce).collect()
+    }
+
+    /// A live snapshot of the shared metric counters, aggregated over all
+    /// queries.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.shared.metrics.snapshot()
+    }
+
+    /// Live per-query metric snapshots, in deployment order. See
+    /// [`QueryReport::metrics`] for which counters have per-query shares.
+    pub fn per_query_metrics(&self) -> Vec<(QueryId, MetricsSnapshot)> {
+        self.splitter.per_query_metrics()
     }
 
     /// Events ingested so far (excludes events still in the feed queue).
@@ -343,6 +542,18 @@ impl SpectreEngine {
     /// `200 × input_events + 1_000_000` virtual rounds — a liveness guard;
     /// a correct configuration always terminates far below it.
     pub fn finish(mut self) -> Report {
+        self.try_finish().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`finish`](Self::finish), usable on a borrowed session:
+    /// finishing twice is [`EngineError::SessionFinished`] instead of a
+    /// panic. After `Ok`, every further session call errors; dropping the
+    /// session is then a no-op.
+    pub fn try_finish(&mut self) -> Result<Report, EngineError> {
+        if self.finished {
+            return Err(EngineError::SessionFinished);
+        }
+        self.finished = true;
         self.splitter.end_of_stream();
         let total = self.splitter.events_ingested() + self.splitter.feed_len() as u64;
         match &mut self.driver {
@@ -381,14 +592,37 @@ impl SpectreEngine {
             } => (Some(*rounds), Some(*splitter_wall)),
             Driver::Threaded { .. } => (None, None),
         };
-        Report {
-            complex_events: self.splitter.take_outputs(),
+        let mut queries: BTreeMap<QueryId, QueryReport> = self
+            .splitter
+            .per_query_metrics()
+            .into_iter()
+            .map(|(qid, metrics)| {
+                (
+                    qid,
+                    QueryReport {
+                        complex_events: Vec::new(),
+                        metrics,
+                    },
+                )
+            })
+            .collect();
+        let tagged = self.splitter.take_outputs();
+        let mut complex_events = Vec::with_capacity(tagged.len());
+        for (qid, ce) in tagged {
+            if let Some(qr) = queries.get_mut(&qid) {
+                qr.complex_events.push(ce.clone());
+            }
+            complex_events.push(ce);
+        }
+        Ok(Report {
+            complex_events,
             metrics: self.shared.metrics.snapshot(),
             input_events: self.splitter.events_ingested(),
             wall: self.start.elapsed(),
             rounds,
             splitter_wall,
-        }
+            queries,
+        })
     }
 
     /// Convenience one-shot: feed everything, then [`finish`](Self::finish)
@@ -573,7 +807,7 @@ mod tests {
         let mut collected = Vec::new();
         for chunk in events.chunks(97) {
             engine.push_batch(chunk.to_vec());
-            collected.append(&mut engine.drain_outputs());
+            collected.append(&mut engine.drain_events());
         }
         let streamed_before_finish = collected.len();
         let report = engine.finish();
@@ -645,6 +879,64 @@ mod tests {
             .build();
         engine.push_batch(events);
         drop(engine); // must not hang or leave threads spinning
+    }
+
+    #[test]
+    fn finished_session_surfaces_errors_instead_of_panicking() {
+        let (query, events) = fixture(200, 41);
+        let mut engine = SpectreEngine::builder(&query)
+            .config(SpectreConfig::with_instances(1))
+            .simulated()
+            .build();
+        engine.ingest(events.clone());
+        let report = engine.try_finish().expect("first finish succeeds");
+        assert_eq!(report.input_events, 200);
+        assert_eq!(report.queries.len(), 1);
+        let q0 = &report.queries[&QueryId(0)];
+        assert_eq!(q0.complex_events, report.complex_events);
+        // Every further session call reports the misuse as a value.
+        assert_eq!(
+            engine.try_finish().unwrap_err(),
+            EngineError::SessionFinished
+        );
+        assert_eq!(
+            engine.try_push(events[0].clone()).unwrap_err(),
+            EngineError::SessionFinished
+        );
+        assert_eq!(
+            engine.try_drain_outputs().unwrap_err(),
+            EngineError::SessionFinished
+        );
+        assert_eq!(
+            engine.deploy_query(&query).unwrap_err(),
+            EngineError::SessionFinished
+        );
+        assert_eq!(
+            engine.retire_query(QueryId(0)).unwrap_err(),
+            EngineError::SessionFinished
+        );
+    }
+
+    #[test]
+    fn retiring_an_unknown_query_is_an_error() {
+        let (query, _) = fixture(1, 1);
+        let mut engine = SpectreEngine::builder(&query)
+            .config(SpectreConfig::with_instances(1))
+            .simulated()
+            .build();
+        assert_eq!(
+            engine.retire_query(QueryId(9)).unwrap_err(),
+            EngineError::UnknownQuery(QueryId(9))
+        );
+        let drained = engine.retire_query(QueryId(0)).unwrap();
+        assert!(drained.is_empty());
+        // Ids are never reused: the retired id stays unknown.
+        assert_eq!(
+            engine.retire_query(QueryId(0)).unwrap_err(),
+            EngineError::UnknownQuery(QueryId(0))
+        );
+        let report = engine.finish();
+        assert!(report.queries.is_empty());
     }
 
     #[test]

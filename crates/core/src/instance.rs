@@ -31,7 +31,8 @@ use spectre_events::Event;
 use spectre_query::{DetectorAction, MatchId, SelectionPolicy};
 
 use crate::cg::CgCell;
-use crate::shared::{SharedState, StatsBatch, TreeOp};
+use crate::metrics::Metrics;
+use crate::shared::{QueryId, SharedState, StatsBatch, TreeOp};
 use crate::store::EventRun;
 use crate::version::{VersionInner, VersionState};
 
@@ -61,10 +62,15 @@ pub struct InstanceCore {
     current: Option<Arc<VersionState>>,
     actions: Vec<DetectorAction>,
     stats: Vec<(u32, u32)>,
-    ops_buf: Vec<TreeOp>,
+    /// Query whose versions produced the buffered `stats` (one batch never
+    /// mixes queries; a version of another query forces a flush first).
+    stats_query: Option<QueryId>,
+    ops_buf: Vec<(QueryId, TreeOp)>,
     fetch: Vec<EventRun>,
     run_processed: u64,
     run_suppressed: u64,
+    /// Per-query counters of the version the run counters belong to.
+    run_qmetrics: Option<Arc<Metrics>>,
 }
 
 impl InstanceCore {
@@ -80,10 +86,12 @@ impl InstanceCore {
             current: None,
             actions: Vec::new(),
             stats: Vec::new(),
+            stats_query: None,
             ops_buf: Vec::new(),
             fetch: Vec::new(),
             run_processed: 0,
             run_suppressed: 0,
+            run_qmetrics: None,
         }
     }
 
@@ -131,11 +139,16 @@ impl InstanceCore {
     /// (amortizing per-event metric traffic over the batch).
     fn flush_run_counters(&mut self, shared: &SharedState) {
         use std::sync::atomic::Ordering;
+        let qmetrics = self.run_qmetrics.take();
         if self.run_processed > 0 {
             shared
                 .metrics
                 .events_processed
                 .fetch_add(self.run_processed, Ordering::Relaxed);
+            if let Some(qm) = &qmetrics {
+                qm.events_processed
+                    .fetch_add(self.run_processed, Ordering::Relaxed);
+            }
             self.run_processed = 0;
         }
         if self.run_suppressed > 0 {
@@ -143,6 +156,10 @@ impl InstanceCore {
                 .metrics
                 .events_suppressed
                 .fetch_add(self.run_suppressed, Ordering::Relaxed);
+            if let Some(qm) = &qmetrics {
+                qm.events_suppressed
+                    .fetch_add(self.run_suppressed, Ordering::Relaxed);
+            }
             self.run_suppressed = 0;
         }
     }
@@ -172,6 +189,7 @@ impl InstanceCore {
         }
 
         let window = Arc::clone(wv.window());
+        self.run_qmetrics = Some(Arc::clone(wv.query_metrics()));
         let mut inner = wv.lock();
 
         // Window end already reached?
@@ -188,7 +206,7 @@ impl InstanceCore {
         self.fetch.clear();
         let n = shared
             .store
-            .read_run(window.id, inner.pos, self.batch, &mut self.fetch);
+            .read_run(window.store_id, inner.pos, self.batch, &mut self.fetch);
         if n == 0 {
             // Not yet ingested (or the window is racing retirement, which a
             // later step resolves via the dropped flag): stall.
@@ -305,11 +323,17 @@ impl InstanceCore {
                         if let Some(i) = inner.open_cgs.iter().position(|(m, _)| *m == match_id) {
                             let (_, cg) = inner.open_cgs.swap_remove(i);
                             cg.complete();
-                            self.ops_buf.push(TreeOp::CgResolved {
-                                cg: cg.id(),
-                                completed: true,
-                            });
+                            self.ops_buf.push((
+                                wv.query_id(),
+                                TreeOp::CgResolved {
+                                    cg: cg.id(),
+                                    completed: true,
+                                },
+                            ));
                             shared.metrics.cgs_completed.fetch_add(1, Ordering::Relaxed);
+                            wv.query_metrics()
+                                .cgs_completed
+                                .fetch_add(1, Ordering::Relaxed);
                             // Remember the completion: checkpoint restores
                             // re-assert these as suppression facts for the
                             // rebuilt dependents.
@@ -327,11 +351,17 @@ impl InstanceCore {
                         if let Some(i) = inner.open_cgs.iter().position(|(m, _)| *m == match_id) {
                             let (_, cg) = inner.open_cgs.swap_remove(i);
                             cg.abandon();
-                            self.ops_buf.push(TreeOp::CgResolved {
-                                cg: cg.id(),
-                                completed: false,
-                            });
+                            self.ops_buf.push((
+                                wv.query_id(),
+                                TreeOp::CgResolved {
+                                    cg: cg.id(),
+                                    completed: false,
+                                },
+                            ));
                             shared.metrics.cgs_abandoned.fetch_add(1, Ordering::Relaxed);
+                            wv.query_metrics()
+                                .cgs_abandoned
+                                .fetch_add(1, Ordering::Relaxed);
                         }
                         if let Some(i) = inner.needs_new_cg.iter().position(|m| *m == match_id) {
                             inner.needs_new_cg.swap_remove(i);
@@ -346,11 +376,12 @@ impl InstanceCore {
             // are gathered by versions of independent windows — a
             // creation-time property, see `VersionState::stats_eligible`).
             if wv.stats_eligible() && !abandoned_any {
+                let qid = wv.query_id();
                 let new_delta = inner.open_cgs.first().map(|(_, cg)| cg.delta());
                 match (prev_delta, new_delta) {
-                    (Some(from), Some(to)) => self.record(shared, from, to),
-                    (Some(from), None) => self.record(shared, from, 0), // completed
-                    (None, Some(to)) if started_any => self.record(shared, max_delta, to),
+                    (Some(from), Some(to)) => self.record(shared, qid, from, to),
+                    (Some(from), None) => self.record(shared, qid, from, 0), // completed
+                    (None, Some(to)) if started_any => self.record(shared, qid, max_delta, to),
                     _ => {}
                 }
             }
@@ -387,6 +418,9 @@ impl InstanceCore {
                     .metrics
                     .checkpoints_taken
                     .fetch_add(1, Ordering::Relaxed);
+                wv.query_metrics()
+                    .checkpoints_taken
+                    .fetch_add(1, Ordering::Relaxed);
             }
         }
         true
@@ -407,14 +441,24 @@ impl InstanceCore {
             initial_delta,
         ));
         inner.open_cgs.push((match_id, Arc::clone(&cell)));
-        self.ops_buf.push(TreeOp::CgCreated {
-            creator: wv.id(),
-            cell,
-        });
+        self.ops_buf.push((
+            wv.query_id(),
+            TreeOp::CgCreated {
+                creator: wv.id(),
+                cell,
+            },
+        ));
         shared.metrics.cgs_created.fetch_add(1, Ordering::Relaxed);
+        wv.query_metrics()
+            .cgs_created
+            .fetch_add(1, Ordering::Relaxed);
     }
 
-    fn record(&mut self, shared: &SharedState, from: usize, to: usize) {
+    fn record(&mut self, shared: &SharedState, qid: QueryId, from: usize, to: usize) {
+        if self.stats_query != Some(qid) {
+            self.flush_stats(shared);
+            self.stats_query = Some(qid);
+        }
         self.stats
             .push((from.min(u32::MAX as usize) as u32, to as u32));
         if self.stats.len() >= 256 {
@@ -425,9 +469,13 @@ impl InstanceCore {
     /// Flushes buffered Markov observations.
     pub fn flush_stats(&mut self, shared: &SharedState) {
         if !self.stats.is_empty() {
-            shared.stats.push(StatsBatch {
-                transitions: std::mem::take(&mut self.stats),
-            });
+            let qid = self.stats_query.expect("buffered stats have an owner");
+            shared.stats.push((
+                qid,
+                StatsBatch {
+                    transitions: std::mem::take(&mut self.stats),
+                },
+            ));
         }
     }
 
@@ -451,11 +499,17 @@ impl InstanceCore {
                 if let Some(i) = inner.open_cgs.iter().position(|(m, _)| *m == match_id) {
                     let (_, cg) = inner.open_cgs.swap_remove(i);
                     cg.abandon();
-                    self.ops_buf.push(TreeOp::CgResolved {
-                        cg: cg.id(),
-                        completed: false,
-                    });
+                    self.ops_buf.push((
+                        wv.query_id(),
+                        TreeOp::CgResolved {
+                            cg: cg.id(),
+                            completed: false,
+                        },
+                    ));
                     shared.metrics.cgs_abandoned.fetch_add(1, Ordering::Relaxed);
+                    wv.query_metrics()
+                        .cgs_abandoned
+                        .fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
@@ -463,31 +517,42 @@ impl InstanceCore {
         // Defensive: no group may stay open past its window (paper §3.1).
         for (_, cg) in inner.open_cgs.drain(..) {
             cg.abandon();
-            self.ops_buf.push(TreeOp::CgResolved {
-                cg: cg.id(),
-                completed: false,
-            });
+            self.ops_buf.push((
+                wv.query_id(),
+                TreeOp::CgResolved {
+                    cg: cg.id(),
+                    completed: false,
+                },
+            ));
         }
         inner.needs_new_cg.clear();
         wv.mark_finished();
-        self.ops_buf.push(TreeOp::WvFinished { wv: wv.id() });
+        self.ops_buf
+            .push((wv.query_id(), TreeOp::WvFinished { wv: wv.id() }));
         self.flush_stats(shared);
     }
 
     fn rollback(&mut self, wv: &Arc<VersionState>, shared: &SharedState) {
         use std::sync::atomic::Ordering;
         shared.metrics.rollbacks.fetch_add(1, Ordering::Relaxed);
+        wv.query_metrics().rollbacks.fetch_add(1, Ordering::Relaxed);
         let outcome = wv.rollback_state();
         if outcome.restored_checkpoint {
             shared
                 .metrics
                 .checkpoint_restores
                 .fetch_add(1, Ordering::Relaxed);
+            wv.query_metrics()
+                .checkpoint_restores
+                .fetch_add(1, Ordering::Relaxed);
         }
-        self.ops_buf.push(TreeOp::WvRolledBack {
-            wv: wv.id(),
-            revoked: outcome.revoked,
-        });
+        self.ops_buf.push((
+            wv.query_id(),
+            TreeOp::WvRolledBack {
+                wv: wv.id(),
+                revoked: outcome.revoked,
+            },
+        ));
     }
 }
 
@@ -659,7 +724,8 @@ mod tests {
         assert!(inner.used.is_empty());
         // and the splitter was told
         let mut saw_rollback_op = false;
-        while let Some(op) = shared.ops.pop() {
+        while let Some((qid, op)) = shared.ops.pop() {
+            assert_eq!(qid, QueryId(0));
             if matches!(op, TreeOp::WvRolledBack { wv: w, .. } if w == WvId(0)) {
                 saw_rollback_op = true;
             }
@@ -727,7 +793,7 @@ mod tests {
         assert_eq!(snap.cgs_created, 0);
         // only the WvFinished op was queued
         let mut count = 0;
-        while let Some(op) = shared.ops.pop() {
+        while let Some((_, op)) = shared.ops.pop() {
             assert!(matches!(op, TreeOp::WvFinished { .. }));
             count += 1;
         }
@@ -844,7 +910,8 @@ mod tests {
             inst.step(&shared);
         }
         let mut transitions = Vec::new();
-        while let Some(batch) = shared.stats.pop() {
+        while let Some((qid, batch)) = shared.stats.pop() {
+            assert_eq!(qid, QueryId(0));
             transitions.extend(batch.transitions);
         }
         // A@0: start 2→1; noise@1: 1→1; B@2: 1→0.

@@ -23,16 +23,28 @@
 //! .threaded()/.simulated().build()`), fed with `push` / `push_batch` /
 //! `ingest` (any `Iterator<Item = Event>` — a dataset generator, a TCP
 //! source — streams in without ever being materialized), drained with
-//! `drain_outputs` (complex events as they are committed), observed with
-//! `metrics`, and closed with `finish() -> Report`. Back-pressure is part
-//! of the surface: `push` returns `Full(event)` instead of buffering
-//! without bound, so memory stays bounded by the speculative-load cap
-//! regardless of stream length. Two execution modes share the session:
-//! deterministic virtual-time simulation (used for the paper's scalability
-//! figures) and real OS threads. The legacy one-shot drivers
-//! [`run_simulated`] and [`run_threaded`] survive as thin wrappers over a
-//! session. Every mode delivers exactly the sequential-semantics output:
-//! no false positives, no false negatives, in window order.
+//! `drain_outputs` (complex events as they are committed, tagged with the
+//! producing query; `drain_events` for the untagged single-query stream),
+//! observed with `metrics`, and closed with `finish() -> Report`.
+//! Back-pressure is part of the surface: `push` returns `Full(event)`
+//! instead of buffering without bound, so memory stays bounded by the
+//! speculative-load cap regardless of stream length. Two execution modes
+//! share the session: deterministic virtual-time simulation (used for the
+//! paper's scalability figures) and real OS threads. The legacy one-shot
+//! drivers [`run_simulated`] and [`run_threaded`] survive as thin wrappers
+//! over a session. Every mode delivers exactly the sequential-semantics
+//! output: no false positives, no false negatives, in window order.
+//!
+//! One session hosts any number of **concurrent queries** over the shared
+//! splitter, store and instance pool ([`shared::QueryId`] keys the
+//! per-query state): add them with `SpectreEngineBuilder::add_query`, or
+//! deploy/retire on the live session mid-stream (`deploy_query` /
+//! `retire_query`). Queries with equal window specs share their window
+//! buffers — each window's events are stored once — and every query's
+//! output stream is bit-identical to what it would produce in a session
+//! of its own. Misuse of the session surface is reported as
+//! [`engine::EngineError`] through the fallible `try_*` methods; the
+//! legacy infallible methods stay panic-compatible.
 //!
 //! ## The batched, sharded data path
 //!
@@ -132,9 +144,12 @@ pub mod tree;
 pub mod version;
 
 pub use config::{PredictorKind, SpectreConfig};
-pub use engine::{PushResult, Report, SpectreEngine, SpectreEngineBuilder};
+pub use engine::{
+    EngineError, PushResult, QueryReport, Report, SpectreEngine, SpectreEngineBuilder,
+};
 pub use metrics::MetricsSnapshot;
 pub use runtime::{run_threaded, ThreadedReport};
+pub use shared::QueryId;
 pub use sim::{run_simulated, SimReport};
 pub use splitter::{EventBatch, Splitter};
 pub use store::WindowStore;

@@ -50,6 +50,13 @@ pub struct Metrics {
     pub checkpoints_taken: AtomicU64,
     /// Rollbacks served from a checkpoint instead of the window start.
     pub checkpoint_restores: AtomicU64,
+    /// Complex events committed (appended to the output stream at window
+    /// retirement).
+    pub outputs_emitted: AtomicU64,
+    /// Event buffers opened in the shared window store. Engine-global:
+    /// same-spec windows of different queries share one buffer, so in a
+    /// multi-query session this stays below the per-query window counts.
+    pub store_windows_opened: AtomicU64,
 }
 
 impl Metrics {
@@ -85,6 +92,8 @@ impl Metrics {
             stalled_steps: self.stalled_steps.load(Ordering::Relaxed),
             checkpoints_taken: self.checkpoints_taken.load(Ordering::Relaxed),
             checkpoint_restores: self.checkpoint_restores.load(Ordering::Relaxed),
+            outputs_emitted: self.outputs_emitted.load(Ordering::Relaxed),
+            store_windows_opened: self.store_windows_opened.load(Ordering::Relaxed),
         }
     }
 }
@@ -112,6 +121,8 @@ pub struct MetricsSnapshot {
     pub stalled_steps: u64,
     pub checkpoints_taken: u64,
     pub checkpoint_restores: u64,
+    pub outputs_emitted: u64,
+    pub store_windows_opened: u64,
 }
 
 impl MetricsSnapshot {

@@ -56,7 +56,10 @@ impl ThreadedReport {
 /// and identical results) as a thin wrapper over an incremental
 /// [`SpectreEngine`] session — `builder(query).threaded().build()`, feed
 /// everything, `finish()`. New code, and anything that cannot afford to
-/// materialize its stream as a `Vec`, should use the session directly.
+/// materialize its stream as a `Vec`, should use the session directly
+/// (which can also host several queries at once — see
+/// `SpectreEngine::multi_builder`; this wrapper is the single-query
+/// `QueryId(0)` special case).
 ///
 /// # Example
 ///

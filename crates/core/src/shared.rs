@@ -25,6 +25,21 @@ use crate::metrics::Metrics;
 use crate::store::WindowStore;
 use crate::version::{VersionState, WvId};
 
+/// Identifies one deployed query within an engine session.
+///
+/// Ids are allocated densely by the splitter in deployment order and are
+/// never reused, so a retired query's id stays invalid for the rest of the
+/// session. All cross-thread traffic ([`TreeOp`]s, [`StatsBatch`]es,
+/// committed outputs) is tagged with the owning query's id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QueryId(pub u32);
+
+impl std::fmt::Display for QueryId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
 /// A buffered dependency-tree update from an operator instance
 /// (the function calls of paper Fig. 4 / Fig. 8).
 #[derive(Debug)]
@@ -77,10 +92,13 @@ pub struct SharedState {
     pub store: WindowStore,
     /// Per-instance scheduling slot.
     pub slots: Vec<Mutex<Option<Arc<VersionState>>>>,
-    /// Buffered tree updates (instances → splitter).
-    pub ops: SegQueue<TreeOp>,
-    /// Buffered Markov observations (instances → splitter).
-    pub stats: SegQueue<StatsBatch>,
+    /// Buffered tree updates (instances → splitter), tagged with the query
+    /// whose tree they belong to. Ops for a query retired in the meantime
+    /// are dropped as stale when drained.
+    pub ops: SegQueue<(QueryId, TreeOp)>,
+    /// Buffered Markov observations (instances → splitter), tagged with the
+    /// query whose predictor they feed.
+    pub stats: SegQueue<(QueryId, StatsBatch)>,
     /// Number of events ingested so far, published once per
     /// [`EventBatch`](crate::splitter::EventBatch) flush. Diagnostics /
     /// monitoring watermark only: instances detect readable events through
@@ -174,11 +192,12 @@ mod tests {
     #[test]
     fn ops_queue_is_fifo() {
         let s = SharedState::new(1);
-        s.ops.push(TreeOp::WvFinished { wv: WvId(1) });
-        s.ops.push(TreeOp::WvFinished { wv: WvId(2) });
-        let TreeOp::WvFinished { wv } = s.ops.pop().unwrap() else {
+        s.ops.push((QueryId(0), TreeOp::WvFinished { wv: WvId(1) }));
+        s.ops.push((QueryId(7), TreeOp::WvFinished { wv: WvId(2) }));
+        let (qid, TreeOp::WvFinished { wv }) = s.ops.pop().unwrap() else {
             panic!()
         };
+        assert_eq!(qid, QueryId(0));
         assert_eq!(wv, WvId(1));
     }
 }

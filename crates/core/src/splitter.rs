@@ -3,14 +3,37 @@
 //!
 //! One maintenance cycle performs, in order (paper §4.2.1's "cycle"):
 //! (a) apply all buffered dependency-tree updates from the instances
-//! (drained in one batch), (b) feed the Markov model, (c) ingest input
-//! events in [`EventBatch`] units (opening and closing windows, flushing
-//! each batch to the window store with one write per touched window),
-//! (d) retire finished, confirmed root versions — emitting their buffered
-//! complex events in window order — and (e) select and schedule the top-k
-//! window versions.
+//! (drained in one batch and routed to the owning query), (b) feed each
+//! query's Markov model, (c) ingest input events in [`EventBatch`] units
+//! (opening and closing windows, flushing each batch to the window store
+//! with one write per touched window buffer), (d) retire finished,
+//! confirmed root versions per query — emitting their buffered complex
+//! events in window order — and (e) select and schedule the top-k window
+//! versions across all queries.
+//!
+//! # Multi-query sessions
+//!
+//! The splitter hosts any number of concurrently deployed queries over the
+//! one shared feed, store and instance pool. The split of state is strict:
+//!
+//! * **Per query** (`QueryState`, keyed by [`QueryId`]): window assigner
+//!   membership, dependency tree, completion predictor, live-window
+//!   bookkeeping, retirement acks, running window-size average, metric
+//!   counters and committed outputs.
+//! * **Shared** ([`SharedState`]): the feed queue, the sharded
+//!   [`WindowStore`](crate::store::WindowStore), the scheduling slots, the
+//!   op/stats queues and the aggregate metrics.
+//!
+//! Queries whose `WindowSpec`s compare equal share a `SpecGroup`: one
+//! assigner drives their (identical) window boundaries, and each window's
+//! events are stored **once** under a group-allocated `store_id` while every
+//! member query gets its own [`WindowInfo`] cell (query-local `id`, shared
+//! `store_id`). Deploying a query mid-stream subscribes it to windows from
+//! the next boundary on; retiring one drops its versions, releases its
+//! window references (buffers free when the last subscriber goes) and
+//! leaves the other queries untouched.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
@@ -20,8 +43,10 @@ use spectre_query::{ComplexEvent, Query, WindowClose};
 
 use crate::cg::{CgCell, CgId};
 use crate::config::{PredictorKind, SpectreConfig};
+use crate::engine::EngineError;
+use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::predictor::{CompletionPredictor, FixedPredictor, MarkovPredictor};
-use crate::shared::{SharedState, TreeOp};
+use crate::shared::{QueryId, SharedState, TreeOp};
 use crate::store::WindowInfo;
 use crate::tree::{DependencyTree, VersionFactory};
 use crate::version::{VersionState, WvId};
@@ -98,19 +123,171 @@ impl EventBatch {
     }
 }
 
-/// A not-yet-closed window together with the batch-relative index of the
-/// first batch event belonging to it.
-struct OpenWindow {
-    info: Arc<WindowInfo>,
+/// A not-yet-closed window of one spec group: the shared store buffer, the
+/// batch-relative index of its first pending event, and the subscribed
+/// members' window cells.
+struct GroupOpenWindow {
+    /// Group-local window id (the assigner's numbering), for close matching.
+    group_id: u64,
+    /// Shared store buffer id.
+    store_id: u64,
+    /// Batch-relative index of the first batch event belonging to the
+    /// window (reset to 0 at each flush).
     pending: usize,
+    /// Each subscribed member's own `WindowInfo` cell for this window.
+    infos: Vec<(QueryId, Arc<WindowInfo>)>,
+}
+
+/// One window-spec equivalence class: the queries whose specs compare
+/// equal, the single assigner driving their shared window boundaries, and
+/// the reference counts that keep each shared store buffer alive until its
+/// last subscriber retires the window.
+struct SpecGroup {
+    assigner: WindowAssigner,
+    /// Stream position at group creation; the assigner's positions are
+    /// relative to it (a group deployed mid-stream starts counting at its
+    /// own first event).
+    base_pos: u64,
+    /// Member queries (in deployment order). May be empty after retires;
+    /// an empty group opens no windows but stays reusable for later
+    /// same-spec deploys.
+    members: Vec<QueryId>,
+    /// Not-yet-closed windows, mirroring the assigner's open set.
+    open: Vec<GroupOpenWindow>,
+    /// Live subscriber count per store buffer; the buffer is removed from
+    /// the store when the count hits zero.
+    refs: HashMap<u64, usize>,
+}
+
+/// Per-query runtime state — everything that was hard-wired to the single
+/// query before the registry existed (see the [module docs](self)).
+struct QueryState {
+    id: QueryId,
+    query: Arc<Query>,
+    /// Index of the query's [`SpecGroup`] in the splitter's group list.
+    group: usize,
+    /// Group-window-id offset: this query's local window id is
+    /// `group_id - offset`, so a query deployed mid-stream numbers its own
+    /// windows 0, 1, 2, … exactly like a freshly started session would.
+    offset: u64,
+    tree: DependencyTree,
+    predictor: Box<dyn CompletionPredictor>,
+    /// Live (unretired) windows, oldest first.
+    live: VecDeque<Arc<WindowInfo>>,
+    /// Versions whose `WvFinished` op has been applied. Retirement requires
+    /// the ack: the op queue is FIFO per instance and an instance pushes all
+    /// of a version's consumption-group ops *before* its `WvFinished` (the
+    /// tagged queue preserves each query's subsequence order), so the ack
+    /// guarantees the dependency tree reflects every group the version
+    /// created or resolved.
+    finished_acked: HashSet<WvId>,
+    /// Running average window length (events), for the prediction input `n`.
+    avg_window_size: f64,
+    closed_windows: u64,
+    /// This query's share of the session counters (see
+    /// [`MetricsSnapshot`]); the engine-global aggregate is updated at the
+    /// same sites.
+    metrics: Arc<Metrics>,
+}
+
+impl QueryState {
+    /// Applies one buffered instance op to this query's tree.
+    fn apply_op(&mut self, global: &Metrics, op: TreeOp, factory: &mut SplitterFactory) {
+        match op {
+            TreeOp::CgCreated { creator, cell } => {
+                self.tree.cg_created(creator, cell, factory);
+            }
+            TreeOp::CgResolved { cg, completed } => {
+                let dropped = self.tree.cg_resolved(cg, completed, factory) as u64;
+                if dropped > 0 {
+                    global
+                        .versions_dropped
+                        .fetch_add(dropped, Ordering::Relaxed);
+                    self.metrics
+                        .versions_dropped
+                        .fetch_add(dropped, Ordering::Relaxed);
+                }
+            }
+            TreeOp::WvFinished { wv } => {
+                self.finished_acked.insert(wv);
+            }
+            TreeOp::WvRolledBack { wv, revoked } => {
+                // The version restarted; a previous finish ack is void.
+                self.finished_acked.remove(&wv);
+                if let Some(version) = self.tree.version(wv) {
+                    let window_id = version.window().id;
+                    // Completions surviving the rollback (the restored
+                    // checkpoint's, if one was restored; empty otherwise)
+                    // stay facts for the rebuilt dependents.
+                    let carried = version.lock().completed_cells.clone();
+                    let newer: Vec<Arc<WindowInfo>> = self
+                        .live
+                        .iter()
+                        .filter(|w| w.id > window_id)
+                        .cloned()
+                        .collect();
+                    let dropped = self.tree.rollback_rebuild(wv, &newer, carried, factory) as u64;
+                    if dropped > 0 {
+                        global
+                            .versions_dropped
+                            .fetch_add(dropped, Ordering::Relaxed);
+                        self.metrics
+                            .versions_dropped
+                            .fetch_add(dropped, Ordering::Relaxed);
+                    }
+                }
+                // Even when the version itself is already gone (stale op),
+                // its discarded completions may survive in state copies
+                // under other branches; revoke them.
+                self.revoke(global, &revoked, factory);
+            }
+        }
+    }
+
+    /// Revokes void consumption-group completions across this query's tree
+    /// (see [`DependencyTree::revoke_completions`]). Completions of already-
+    /// retired windows are confirmed by the final validation and are never
+    /// revoked.
+    fn revoke(&mut self, global: &Metrics, revoked: &[Arc<CgCell>], factory: &mut SplitterFactory) {
+        if revoked.is_empty() {
+            return;
+        }
+        let Some(oldest_live) = self.live.front().map(|w| w.id) else {
+            return;
+        };
+        let revocable: Vec<Arc<CgCell>> = revoked
+            .iter()
+            .filter(|c| c.window_id() >= oldest_live)
+            .cloned()
+            .collect();
+        if revocable.is_empty() {
+            return;
+        }
+        let live = &self.live;
+        let newer = |window_id: u64| -> Vec<Arc<WindowInfo>> {
+            live.iter().filter(|w| w.id > window_id).cloned().collect()
+        };
+        let dropped = self.tree.revoke_completions(&revocable, &newer, factory) as u64;
+        if dropped > 0 {
+            global
+                .versions_dropped
+                .fetch_add(dropped, Ordering::Relaxed);
+            self.metrics
+                .versions_dropped
+                .fetch_add(dropped, Ordering::Relaxed);
+            // Acks of replaced versions are dead.
+            let tree = &self.tree;
+            self.finished_acked.retain(|id| tree.version(*id).is_some());
+        }
+    }
 }
 
 /// Why [`Splitter::fill_batch`] stopped collecting events.
 enum FillOutcome {
     /// The batch reached its size cap.
     Full,
-    /// Speculative back-pressure: the dependency tree is oversized and the
-    /// root window is fully ingested; stop ingesting for this cycle.
+    /// Speculative back-pressure: some query's dependency tree is oversized
+    /// and its root window is fully ingested; stop ingesting for this cycle.
     BackPressure,
     /// The feed queue is empty but end-of-stream has not been signalled;
     /// stop ingesting until the session feeds more events.
@@ -129,51 +306,85 @@ enum FillOutcome {
 /// per-cycle budget and speculative back-pressure. A queue that runs dry
 /// mid-stream simply pauses ingestion — maintenance, retirement and
 /// scheduling keep running — until more events arrive.
+///
+/// Queries are deployed and retired through
+/// [`deploy_query`](Self::deploy_query) / [`retire_query`](Self::retire_query)
+/// (see the [module docs](self) for the state split).
 pub struct Splitter {
     config: SpectreConfig,
-    query: Arc<Query>,
     shared: Arc<SharedState>,
     /// Events fed by the session, not yet ingested.
     feed: VecDeque<Event>,
     /// `true` once the session signalled end-of-stream.
     eos: bool,
-    assigner: WindowAssigner,
-    tree: DependencyTree,
-    predictor: Box<dyn CompletionPredictor>,
-    /// Live (unretired) windows, oldest first.
-    live: VecDeque<Arc<WindowInfo>>,
-    /// Not-yet-closed windows (a suffix of `live`), with per-batch flush
-    /// bookkeeping. Mirrors the assigner's open set.
-    open_windows: Vec<OpenWindow>,
+    /// Window-spec equivalence classes (shared assigners + store buffers).
+    groups: Vec<SpecGroup>,
+    /// The query registry, ascending by id (commit order is id order).
+    queries: Vec<QueryState>,
+    next_query: u32,
+    /// Next shared store-buffer id (engine-global, never reused).
+    next_store_id: u64,
     /// The in-flight hand-off batch (sealed into an `Arc` at flush).
     batch: EventBatch,
-    /// Windows closed while the current batch was filling, with the
-    /// batch-relative ranges they own (distributed at flush).
+    /// Store buffers whose window closed while the current batch was
+    /// filling, with the batch-relative ranges they own (distributed at
+    /// flush).
     batch_closed: Vec<(u64, std::ops::Range<usize>)>,
     /// Reusable buffer for per-event window closes.
     closed_buf: Vec<WindowBounds>,
     /// Reusable buffer for draining the shared op queue.
-    ops_scratch: Vec<TreeOp>,
+    ops_scratch: Vec<(QueryId, TreeOp)>,
     /// Next stream position to assign (= events ingested so far).
     next_pos: u64,
-    /// Versions whose `WvFinished` op has been applied. Retirement requires
-    /// the ack: the op queue is FIFO and an instance pushes all of a
-    /// version's consumption-group ops *before* its `WvFinished`, so the ack
-    /// guarantees the dependency tree reflects every group the version
-    /// created or resolved. Retiring on the atomic `is_finished` flag alone
-    /// races with those queued ops (they would be dropped as stale and
-    /// dependent windows would never suppress the consumed events).
-    finished_acked: HashSet<WvId>,
-    /// Running average window length (events), for the prediction input `n`.
-    avg_window_size: f64,
-    closed_windows: u64,
-    outputs: Vec<ComplexEvent>,
+    /// Committed complex events, tagged with their query, in commit order.
+    outputs: Vec<(QueryId, ComplexEvent)>,
     ingest_done: bool,
     progress: bool,
 }
 
+/// Spec-derived warm-up window-size estimate, used by the prediction input
+/// `events_left` until the query's first window closes: exact for count
+/// windows; for time windows the duration in ticks stands in for the event
+/// count (the generators emit ~1 event per tick).
+fn warmup_window_size(query: &Query) -> f64 {
+    match query.window().close() {
+        WindowClose::Count(ws) => (ws as f64).max(1.0),
+        WindowClose::Time(duration) => (duration as f64).max(1.0),
+    }
+}
+
 impl Splitter {
-    /// Creates a splitter with an empty feed queue.
+    /// Creates a splitter hosting no queries yet, with an empty feed queue.
+    /// Deploy queries with [`deploy_query`](Self::deploy_query).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn multi(config: SpectreConfig, shared: Arc<SharedState>) -> Self {
+        config.validate();
+        let batch = EventBatch::with_capacity(0, config.batch_size);
+        Splitter {
+            config,
+            shared,
+            feed: VecDeque::new(),
+            eos: false,
+            groups: Vec::new(),
+            queries: Vec::new(),
+            next_query: 0,
+            next_store_id: 0,
+            batch,
+            batch_closed: Vec::new(),
+            closed_buf: Vec::new(),
+            ops_scratch: Vec::new(),
+            next_pos: 0,
+            outputs: Vec::new(),
+            ingest_done: false,
+            progress: false,
+        }
+    }
+
+    /// Creates a splitter hosting exactly `query` (the legacy single-query
+    /// constructor — [`multi`](Self::multi) plus one deploy).
     ///
     /// # Panics
     ///
@@ -184,55 +395,126 @@ impl Splitter {
     /// creation order, which the dependency-tree chain construction relies
     /// on. Queries with `max_active > 1` run on the sequential engines.
     pub fn new(query: Arc<Query>, config: SpectreConfig, shared: Arc<SharedState>) -> Self {
-        config.validate();
-        assert_eq!(
-            query.max_active(),
-            1,
-            "the speculative runtime requires max_active = 1"
-        );
-        let predictor: Box<dyn CompletionPredictor> = match &config.predictor {
+        let mut splitter = Self::multi(config, shared);
+        if let Err(e) = splitter.deploy_query(query) {
+            panic!("{e}");
+        }
+        splitter
+    }
+
+    /// Deploys a query: registers its `QueryState` and subscribes it to
+    /// the spec group matching its window spec (creating one if no deployed
+    /// query shares the spec). The query starts matching from the next
+    /// window its group opens — windows already open at deploy time are
+    /// not its.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::QueryNotRunnable`] if the query allows more than one
+    /// concurrently active partial match (see [`new`](Self::new)).
+    pub fn deploy_query(&mut self, query: Arc<Query>) -> Result<QueryId, EngineError> {
+        if query.max_active() != 1 {
+            return Err(EngineError::QueryNotRunnable {
+                query: query.name().to_string(),
+                reason: "the speculative runtime requires max_active = 1".to_string(),
+            });
+        }
+        let id = QueryId(self.next_query);
+        self.next_query += 1;
+        let spec = query.window();
+        let group = match self.groups.iter().position(|g| g.assigner.spec() == spec) {
+            Some(gi) => gi,
+            None => {
+                self.groups.push(SpecGroup {
+                    assigner: WindowAssigner::new(spec.clone()),
+                    base_pos: self.next_pos,
+                    members: Vec::new(),
+                    open: Vec::new(),
+                    refs: HashMap::new(),
+                });
+                self.groups.len() - 1
+            }
+        };
+        let g = &mut self.groups[group];
+        g.members.push(id);
+        let offset = g.assigner.windows_opened();
+        let predictor: Box<dyn CompletionPredictor> = match &self.config.predictor {
             PredictorKind::Markov(mc) => Box::new(MarkovPredictor::new(
                 query.pattern().max_delta(),
                 mc.clone(),
             )),
             PredictorKind::Fixed(p) => Box::new(FixedPredictor::new(*p)),
         };
-        // Warm-up window-size estimate, used by the prediction input
-        // `events_left` until the first window closes: exact for count
-        // windows; for time windows the duration in ticks stands in for
-        // the event count (the generators emit ~1 event per tick) — a
-        // spec-derived estimate instead of an arbitrary constant, so the
-        // first-cycle predictions are not fed a wildly wrong horizon.
-        let avg_window_size = match query.window().close() {
-            WindowClose::Count(ws) => (ws as f64).max(1.0),
-            WindowClose::Time(duration) => (duration as f64).max(1.0),
-        };
-        let assigner = WindowAssigner::new(query.window().clone());
-        let batch = EventBatch::with_capacity(0, config.batch_size);
-        let tree = DependencyTree::with_modes(config.lazy_materialization, config.lazy_attach);
-        Splitter {
-            config,
+        let avg_window_size = warmup_window_size(&query);
+        self.queries.push(QueryState {
+            id,
             query,
-            shared,
-            feed: VecDeque::new(),
-            eos: false,
-            assigner,
-            tree,
+            group,
+            offset,
+            tree: DependencyTree::with_modes(
+                self.config.lazy_materialization,
+                self.config.lazy_attach,
+            ),
             predictor,
             live: VecDeque::new(),
-            open_windows: Vec::new(),
-            batch,
-            batch_closed: Vec::new(),
-            closed_buf: Vec::new(),
-            ops_scratch: Vec::new(),
-            next_pos: 0,
             finished_acked: HashSet::new(),
             avg_window_size,
             closed_windows: 0,
-            outputs: Vec::new(),
-            ingest_done: false,
-            progress: false,
+            metrics: Arc::new(Metrics::new()),
+        });
+        Ok(id)
+    }
+
+    /// Retires a deployed query mid-session: drops its in-flight versions
+    /// (instances abort them at the next run boundary), clears its
+    /// scheduling slots, releases its window references (shared store
+    /// buffers are freed when their last subscriber goes) and removes its
+    /// registry entry. Returns the query's committed-but-undrained outputs,
+    /// or `None` for an unknown (never deployed or already retired) id.
+    /// The other queries are untouched.
+    pub fn retire_query(&mut self, qid: QueryId) -> Option<Vec<ComplexEvent>> {
+        let idx = self.queries.iter().position(|q| q.id == qid)?;
+        let qs = self.queries.remove(idx);
+        // Speculative work in flight is discarded: instances observe the
+        // dropped flag at the next step/run boundary and go idle.
+        for v in qs.tree.versions() {
+            v.mark_dropped();
         }
+        for slot in self.shared.slots.iter() {
+            let mut guard = slot.lock();
+            if guard.as_ref().is_some_and(|v| v.query_id() == qid) {
+                *guard = None;
+            }
+        }
+        // Unsubscribe from the spec group; the group itself stays (it may
+        // have other members, and an empty one is reusable).
+        let g = &mut self.groups[qs.group];
+        g.members.retain(|m| *m != qid);
+        for ow in &mut g.open {
+            ow.infos.retain(|(m, _)| *m != qid);
+        }
+        for w in &qs.live {
+            if let Some(r) = g.refs.get_mut(&w.store_id) {
+                *r -= 1;
+                if *r == 0 {
+                    g.refs.remove(&w.store_id);
+                    self.shared.store.remove_window(w.store_id);
+                }
+            }
+        }
+        // Queued ops/stats still tagged with this id are dropped as stale
+        // when drained. Hand back the outputs the session has not drained.
+        let mut mine = Vec::new();
+        let mut rest = Vec::with_capacity(self.outputs.len());
+        for (q, ce) in self.outputs.drain(..) {
+            if q == qid {
+                mine.push(ce);
+            } else {
+                rest.push((q, ce));
+            }
+        }
+        self.outputs = rest;
+        Some(mine)
     }
 
     /// Queues one event for ingestion. The event is not touched until a
@@ -267,22 +549,24 @@ impl Splitter {
         self.next_pos
     }
 
-    /// Complex events emitted so far (window order, detection order within a
-    /// window).
-    pub fn outputs(&self) -> &[ComplexEvent] {
+    /// Complex events committed so far and not yet taken, tagged with their
+    /// query (commit order; within one query: window order, detection order
+    /// within a window).
+    pub fn outputs(&self) -> &[(QueryId, ComplexEvent)] {
         &self.outputs
     }
 
-    /// Takes the complex events committed since the last call (window
-    /// order, detection order within a window) — the incremental output
-    /// path of the engine session.
-    pub fn take_outputs(&mut self) -> Vec<ComplexEvent> {
+    /// Takes the complex events committed since the last call, tagged with
+    /// their query — the incremental output path of the engine session.
+    /// Each query's subsequence is in its window order (detection order
+    /// within a window).
+    pub fn take_outputs(&mut self) -> Vec<(QueryId, ComplexEvent)> {
         std::mem::take(&mut self.outputs)
     }
 
-    /// Consumes the splitter, returning all emitted (undrained) complex
-    /// events.
-    pub fn into_outputs(self) -> Vec<ComplexEvent> {
+    /// Consumes the splitter, returning all committed (undrained) complex
+    /// events, tagged with their query.
+    pub fn into_outputs(self) -> Vec<(QueryId, ComplexEvent)> {
         self.outputs
     }
 
@@ -293,13 +577,37 @@ impl Splitter {
         self.progress
     }
 
-    /// Current dependency-tree size in window versions.
+    /// Current dependency-tree size in window versions, summed over all
+    /// deployed queries.
     pub fn tree_versions(&self) -> usize {
-        self.tree.version_count()
+        self.queries.iter().map(|q| q.tree.version_count()).sum()
+    }
+
+    /// Ids of the currently deployed queries, in deployment order.
+    pub fn query_ids(&self) -> Vec<QueryId> {
+        self.queries.iter().map(|q| q.id).collect()
+    }
+
+    /// `true` while `qid` is deployed.
+    pub fn has_query(&self, qid: QueryId) -> bool {
+        self.queries.iter().any(|q| q.id == qid)
+    }
+
+    /// Per-query metric snapshots (deployment order). Engine-scoped
+    /// counters (`sched_cycles`, `idle_steps`, `stalled_steps`,
+    /// `store_windows_opened`) are zero here — they have no per-query
+    /// attribution; `max_tree_versions` is each query's own tree high-water
+    /// mark, not a share of the aggregate.
+    pub fn per_query_metrics(&self) -> Vec<(QueryId, MetricsSnapshot)> {
+        self.queries
+            .iter()
+            .map(|q| (q.id, q.metrics.snapshot()))
+            .collect()
     }
 
     /// One maintenance + scheduling cycle. Returns `true` once all input is
-    /// ingested and every window retired (the shared `done` flag is set).
+    /// ingested and every deployed query's windows retired (the shared
+    /// `done` flag is set).
     pub fn cycle(&mut self) -> bool {
         self.progress = false;
         self.apply_ops();
@@ -307,21 +615,33 @@ impl Splitter {
         self.ingest();
         self.retire();
         self.schedule();
-        let (materialized, lazy_dropped) = self.tree.take_lazy_stats();
         let metrics = &self.shared.metrics;
-        if materialized > 0 {
-            metrics
-                .versions_materialized
-                .fetch_add(materialized, Ordering::Relaxed);
-        }
-        if lazy_dropped > 0 {
-            metrics
-                .lazy_versions_dropped
-                .fetch_add(lazy_dropped, Ordering::Relaxed);
+        let mut total_versions = 0u64;
+        for qs in &mut self.queries {
+            let (materialized, lazy_dropped) = qs.tree.take_lazy_stats();
+            if materialized > 0 {
+                metrics
+                    .versions_materialized
+                    .fetch_add(materialized, Ordering::Relaxed);
+                qs.metrics
+                    .versions_materialized
+                    .fetch_add(materialized, Ordering::Relaxed);
+            }
+            if lazy_dropped > 0 {
+                metrics
+                    .lazy_versions_dropped
+                    .fetch_add(lazy_dropped, Ordering::Relaxed);
+                qs.metrics
+                    .lazy_versions_dropped
+                    .fetch_add(lazy_dropped, Ordering::Relaxed);
+            }
+            let size = qs.tree.version_count() as u64;
+            qs.metrics.observe_tree_size(size);
+            total_versions += size;
         }
         metrics.sched_cycles.fetch_add(1, Ordering::Relaxed);
-        metrics.observe_tree_size(self.tree.version_count() as u64);
-        if self.ingest_done && self.tree.is_empty() {
+        metrics.observe_tree_size(total_versions);
+        if self.ingest_done && self.queries.iter().all(|q| q.tree.is_empty()) {
             self.shared.done.store(true, Ordering::Release);
             true
         } else {
@@ -329,123 +649,49 @@ impl Splitter {
         }
     }
 
-    fn factory(&self) -> SplitterFactory {
-        SplitterFactory {
-            shared: Arc::clone(&self.shared),
-            query: Arc::clone(&self.query),
-            acked_clones: Vec::new(),
-        }
-    }
-
-    /// Merges the factory's side effects back into the splitter (clones of
-    /// already-finished versions count as acked: their source's ops were
-    /// applied before the copy, and the clone itself never runs).
-    fn absorb(&mut self, factory: SplitterFactory) {
-        self.finished_acked.extend(factory.acked_clones);
-    }
-
     fn apply_ops(&mut self) {
         // One lock acquisition drains everything queued up to this point;
-        // ops pushed while we process land in the next cycle's drain.
+        // ops pushed while we process land in the next cycle's drain. The
+        // drain order preserves each instance's FIFO — and therefore each
+        // query's subsequence order, which retirement acks rely on.
         let mut ops = std::mem::take(&mut self.ops_scratch);
         self.shared.ops.pop_many(&mut ops, usize::MAX);
-        let mut factory = self.factory();
-        for op in ops.drain(..) {
+        let shared = Arc::clone(&self.shared);
+        for (qid, op) in ops.drain(..) {
             self.progress = true;
-            match op {
-                TreeOp::CgCreated { creator, cell } => {
-                    self.tree.cg_created(creator, cell, &mut factory);
-                }
-                TreeOp::CgResolved { cg, completed } => {
-                    let dropped = self.tree.cg_resolved(cg, completed, &mut factory);
-                    self.shared
-                        .metrics
-                        .versions_dropped
-                        .fetch_add(dropped as u64, Ordering::Relaxed);
-                }
-                TreeOp::WvFinished { wv } => {
-                    self.finished_acked.insert(wv);
-                }
-                TreeOp::WvRolledBack { wv, revoked } => {
-                    // The version restarted; a previous finish ack is void.
-                    self.finished_acked.remove(&wv);
-                    if let Some(version) = self.tree.version(wv) {
-                        let window_id = version.window().id;
-                        // Completions surviving the rollback (the restored
-                        // checkpoint's, if one was restored; empty
-                        // otherwise) stay facts for the rebuilt dependents.
-                        let carried = version.lock().completed_cells.clone();
-                        let newer: Vec<Arc<WindowInfo>> = self
-                            .live
-                            .iter()
-                            .filter(|w| w.id > window_id)
-                            .cloned()
-                            .collect();
-                        let dropped = self
-                            .tree
-                            .rollback_rebuild(wv, &newer, carried, &mut factory);
-                        self.shared
-                            .metrics
-                            .versions_dropped
-                            .fetch_add(dropped as u64, Ordering::Relaxed);
-                    }
-                    // Even when the version itself is already gone (stale
-                    // op), its discarded completions may survive in state
-                    // copies under other branches; revoke them.
-                    self.revoke(&revoked, &mut factory);
-                }
-            }
+            let Some(qs) = self.queries.iter_mut().find(|q| q.id == qid) else {
+                // Retired query: the op is stale, its tree is gone.
+                continue;
+            };
+            let mut factory = SplitterFactory::for_query(&shared, qs);
+            qs.apply_op(&shared.metrics, op, &mut factory);
+            qs.finished_acked.extend(factory.acked_clones);
         }
-        self.absorb(factory);
         self.ops_scratch = ops;
     }
 
-    /// Revokes void consumption-group completions tree-wide (see
-    /// [`DependencyTree::revoke_completions`]). Completions of already-
-    /// retired windows are confirmed by the final validation and are never
-    /// revoked.
-    fn revoke(&mut self, revoked: &[Arc<CgCell>], factory: &mut SplitterFactory) {
-        if revoked.is_empty() {
-            return;
-        }
-        let Some(oldest_live) = self.live.front().map(|w| w.id) else {
-            return;
-        };
-        let revocable: Vec<Arc<CgCell>> = revoked
-            .iter()
-            .filter(|c| c.window_id() >= oldest_live)
-            .cloned()
-            .collect();
-        if revocable.is_empty() {
-            return;
-        }
-        let live = &self.live;
-        let newer = |window_id: u64| -> Vec<Arc<WindowInfo>> {
-            live.iter().filter(|w| w.id > window_id).cloned().collect()
-        };
-        let dropped = self.tree.revoke_completions(&revocable, &newer, factory);
-        if dropped > 0 {
-            self.shared
-                .metrics
-                .versions_dropped
-                .fetch_add(dropped as u64, Ordering::Relaxed);
-            // Acks of replaced versions are dead.
-            let tree = &self.tree;
-            self.finished_acked.retain(|id| tree.version(*id).is_some());
-        }
-    }
-
     fn apply_stats(&mut self) {
-        while let Some(batch) = self.shared.stats.pop() {
-            self.predictor.observe_batch(&batch.transitions);
+        while let Some((qid, batch)) = self.shared.stats.pop() {
+            if let Some(qs) = self.queries.iter_mut().find(|q| q.id == qid) {
+                qs.predictor.observe_batch(&batch.transitions);
+            }
         }
-        let started = std::time::Instant::now();
-        if self.predictor.refresh() {
-            let metrics = &self.shared.metrics;
-            metrics.predictor_refreshes.fetch_add(1, Ordering::Relaxed);
-            metrics
-                .predictor_refresh_nanos
-                .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        for qs in &mut self.queries {
+            let started = std::time::Instant::now();
+            if qs.predictor.refresh() {
+                let nanos = started.elapsed().as_nanos() as u64;
+                let metrics = &self.shared.metrics;
+                metrics.predictor_refreshes.fetch_add(1, Ordering::Relaxed);
+                metrics
+                    .predictor_refresh_nanos
+                    .fetch_add(nanos, Ordering::Relaxed);
+                qs.metrics
+                    .predictor_refreshes
+                    .fetch_add(1, Ordering::Relaxed);
+                qs.metrics
+                    .predictor_refresh_nanos
+                    .fetch_add(nanos, Ordering::Relaxed);
+            }
         }
     }
 
@@ -470,9 +716,23 @@ impl Splitter {
         }
     }
 
+    /// Speculative back-pressure (paper §3.2.2): stall ingestion while any
+    /// query's tree is oversized — but never starve a root window of its
+    /// remaining events (it must be able to finish so the tree can shrink).
+    /// One slow query therefore throttles the whole shared feed; that is
+    /// the deliberate semantics of a shared-stream session (all queries see
+    /// the same prefix).
+    fn backpressured(&self) -> bool {
+        self.queries.iter().any(|q| {
+            q.tree.speculative_load() >= self.config.max_tree_versions
+                && q.live.front().is_none_or(|w| w.end_pos().is_some())
+        })
+    }
+
     /// Collects up to `cap` source events into the hand-off batch, applying
-    /// window opens/closes as they are discovered. The batch's event slices
-    /// are distributed to their windows by [`flush_batch`](Self::flush_batch).
+    /// window opens/closes of every spec group as they are discovered. The
+    /// batch's event slices are distributed to their store buffers by
+    /// [`flush_batch`](Self::flush_batch).
     fn fill_batch(&mut self, cap: usize) -> FillOutcome {
         debug_assert_eq!(
             self.batch.first_pos() + self.batch.len() as u64,
@@ -480,19 +740,13 @@ impl Splitter {
             "batch continues the stream"
         );
         while self.batch.len() < cap {
-            // Back-pressure: stall speculative fan-out while the tree is
-            // oversized — but never starve the root window of its remaining
-            // events (it must be able to finish so the tree can shrink).
             // The load counts windows pending on attach markers alongside
             // live versions: lazy attach keeps the version count low while
             // windows accumulate, and every completion-driven rebuild
             // spans all of them, so unbounded pending windows would blow
             // the cycle cost up exactly like unbounded versions.
-            if self.tree.speculative_load() >= self.config.max_tree_versions {
-                let root_fully_ingested = self.live.front().is_none_or(|w| w.end_pos().is_some());
-                if root_fully_ingested {
-                    return FillOutcome::BackPressure;
-                }
+            if self.backpressured() {
+                return FillOutcome::BackPressure;
             }
             let Some(event) = self.feed.pop_front() else {
                 return if self.eos {
@@ -504,42 +758,105 @@ impl Splitter {
             self.progress = true;
             let pos = self.next_pos;
             self.next_pos += 1;
-            let mut closed = std::mem::take(&mut self.closed_buf);
-            let opened = self.assigner.ingest(&event, &mut closed);
-            // Closes exclude the current event, which is not yet in the
-            // batch, so the closing window's slice is exactly the batch
-            // tail so far.
-            for bounds in closed.drain(..) {
-                self.close_window(bounds.id, pos);
+            for gi in 0..self.groups.len() {
+                let mut closed = std::mem::take(&mut self.closed_buf);
+                let opened = self.groups[gi].assigner.ingest(&event, &mut closed);
+                // Closes exclude the current event, which is not yet in
+                // the batch, so the closing window's slice is exactly the
+                // batch tail so far.
+                for bounds in closed.drain(..) {
+                    self.close_group_window(gi, bounds.id, pos);
+                }
+                self.closed_buf = closed;
+                if let Some(opened) = opened {
+                    // The window contains its start event — the one about
+                    // to be pushed, at batch-relative index `batch.len()`.
+                    self.open_group_window(gi, opened);
+                }
             }
-            self.closed_buf = closed;
             self.batch.push(event);
-            if let Some(opened) = opened {
-                let info = Arc::new(WindowInfo::new(
-                    opened.id,
-                    opened.start_pos,
-                    opened.start_seq,
-                    opened.start_ts,
-                ));
-                self.shared.store.open_window(opened.id, opened.start_pos);
-                self.live.push_back(Arc::clone(&info));
-                self.open_windows.push(OpenWindow {
-                    info: Arc::clone(&info),
-                    // The window contains its start event — the one just
-                    // pushed.
-                    pending: self.batch.len() - 1,
-                });
-                let mut factory = self.factory();
-                self.tree.new_window(&info, &mut factory);
-                self.absorb(factory);
-            }
         }
         FillOutcome::Full
     }
 
-    /// Seals the batch into one shared `Arc`, hands every touched window
-    /// its slice (one store write and one `Arc` clone per window), and
-    /// publishes the ingestion watermark once.
+    /// Opens group `gi`'s next window: allocates the shared store buffer
+    /// (once) and subscribes every current member with its own
+    /// query-local [`WindowInfo`] cell. A group without members opens
+    /// nothing — no buffer, no subscriptions.
+    fn open_group_window(&mut self, gi: usize, bounds: WindowBounds) {
+        let g = &mut self.groups[gi];
+        if g.members.is_empty() {
+            return;
+        }
+        let store_id = self.next_store_id;
+        self.next_store_id += 1;
+        let start_pos = g.base_pos + bounds.start_pos;
+        let members = g.members.clone();
+        g.refs.insert(store_id, members.len());
+        g.open.push(GroupOpenWindow {
+            group_id: bounds.id,
+            store_id,
+            pending: self.batch.len(),
+            infos: Vec::with_capacity(members.len()),
+        });
+        let ow = g.open.len() - 1;
+        self.shared.store.open_window(store_id, start_pos);
+        self.shared
+            .metrics
+            .store_windows_opened
+            .fetch_add(1, Ordering::Relaxed);
+        let shared = Arc::clone(&self.shared);
+        for qid in members {
+            let qs = self
+                .queries
+                .iter_mut()
+                .find(|q| q.id == qid)
+                .expect("group member is registered");
+            let info = Arc::new(WindowInfo::with_store(
+                bounds.id - qs.offset,
+                store_id,
+                start_pos,
+                bounds.start_seq,
+                bounds.start_ts,
+            ));
+            qs.live.push_back(Arc::clone(&info));
+            let mut factory = SplitterFactory::for_query(&shared, qs);
+            qs.tree.new_window(&info, &mut factory);
+            qs.finished_acked.extend(factory.acked_clones);
+            self.groups[gi].open[ow].infos.push((qid, info));
+        }
+    }
+
+    /// Closes group `gi`'s window `group_id` at exclusive end `end_pos`:
+    /// records the buffer's final batch slice (distributed at the next
+    /// flush), publishes the end position to every subscriber's cell and
+    /// feeds each subscriber's running window-size average (paper Fig. 5:
+    /// `Splitter.avgWindowSize`).
+    fn close_group_window(&mut self, gi: usize, group_id: u64, end_pos: u64) {
+        let batch_len = self.batch.len();
+        let g = &mut self.groups[gi];
+        let Some(i) = g.open.iter().position(|ow| ow.group_id == group_id) else {
+            return;
+        };
+        let ow = g.open.remove(i);
+        if ow.pending < batch_len {
+            self.batch_closed.push((ow.store_id, ow.pending..batch_len));
+        }
+        for (qid, info) in &ow.infos {
+            info.set_end_pos(end_pos);
+            let len = (end_pos - info.start_pos) as f64;
+            if let Some(qs) = self.queries.iter_mut().find(|q| q.id == *qid) {
+                qs.closed_windows += 1;
+                let n = qs.closed_windows as f64;
+                qs.avg_window_size += (len - qs.avg_window_size) / n;
+            }
+        }
+    }
+
+    /// Seals the batch into one shared `Arc`, hands every touched store
+    /// buffer its slice (one store write and one `Arc` clone per buffer —
+    /// not per subscribing query), and publishes the ingestion watermark
+    /// once.
     fn flush_batch(&mut self) {
         let len = self.batch.len();
         if len == 0 {
@@ -548,128 +865,158 @@ impl Splitter {
         }
         let next = EventBatch::with_capacity(self.next_pos, self.config.batch_size);
         let sealed = Arc::new(std::mem::replace(&mut self.batch, next));
-        for (id, range) in self.batch_closed.drain(..) {
-            self.shared.store.extend(id, &sealed, range);
+        for (store_id, range) in self.batch_closed.drain(..) {
+            self.shared.store.extend(store_id, &sealed, range);
         }
-        for ow in &mut self.open_windows {
-            self.shared
-                .store
-                .extend(ow.info.id, &sealed, ow.pending..len);
-            ow.pending = 0; // relative to the next batch
+        for g in &mut self.groups {
+            for ow in &mut g.open {
+                self.shared
+                    .store
+                    .extend(ow.store_id, &sealed, ow.pending..len);
+                ow.pending = 0; // relative to the next batch
+            }
         }
         self.shared.ingested.store(self.next_pos, Ordering::Release);
     }
 
     fn finish_ingest(&mut self) {
         let total = self.next_pos;
-        for closed in self.assigner.finish() {
-            self.close_window(closed.id, total);
+        for gi in 0..self.groups.len() {
+            let closed = self.groups[gi].assigner.finish();
+            for bounds in closed {
+                self.close_group_window(gi, bounds.id, total);
+            }
         }
         self.ingest_done = true;
         self.shared.ingest_done.store(true, Ordering::Release);
     }
 
-    /// Closes window `id` at exclusive end `end_pos`: records its final
-    /// batch slice (distributed at the next flush), publishes the end
-    /// position and feeds the running window-size average (paper Fig. 5:
-    /// `Splitter.avgWindowSize`).
-    fn close_window(&mut self, id: u64, end_pos: u64) {
-        if let Some(i) = self.open_windows.iter().position(|ow| ow.info.id == id) {
-            let ow = self.open_windows.remove(i);
-            if ow.pending < self.batch.len() {
-                self.batch_closed.push((id, ow.pending..self.batch.len()));
-            }
-            ow.info.set_end_pos(end_pos);
-            let len = (end_pos - ow.info.start_pos) as f64;
-            self.closed_windows += 1;
-            let n = self.closed_windows as f64;
-            self.avg_window_size += (len - self.avg_window_size) / n;
+    /// Retires finished, confirmed root windows of every query, in query-id
+    /// order (the deterministic commit order of one cycle).
+    fn retire(&mut self) {
+        for qi in 0..self.queries.len() {
+            while self.retire_root_of(qi) {}
         }
     }
 
-    fn retire(&mut self) {
-        loop {
-            let Some(root) = self.tree.root_version() else {
-                return;
-            };
-            if !root.is_finished()
-                || !self.finished_acked.contains(&root.id())
-                || self.tree.root_blocked_by_cg()
-            {
-                return;
-            }
-            let root = Arc::clone(root);
-            // Final validation: the surviving version must never have
-            // processed an event a suppressed (now final) group consumed.
-            if !root.is_consistent() {
-                self.shared
+    /// Tries to retire query `qi`'s root window. Returns `true` when a
+    /// window retired (there may be more behind it), `false` when the root
+    /// is not ready — or was rolled back by the final validation.
+    fn retire_root_of(&mut self, qi: usize) -> bool {
+        let shared = Arc::clone(&self.shared);
+        let qs = &mut self.queries[qi];
+        let Some(root) = qs.tree.root_version() else {
+            return false;
+        };
+        if !root.is_finished()
+            || !qs.finished_acked.contains(&root.id())
+            || qs.tree.root_blocked_by_cg()
+        {
+            return false;
+        }
+        let root = Arc::clone(root);
+        // Final validation: the surviving version must never have processed
+        // an event a suppressed (now final) group consumed.
+        if !root.is_consistent() {
+            shared.metrics.rollbacks.fetch_add(1, Ordering::Relaxed);
+            qs.metrics.rollbacks.fetch_add(1, Ordering::Relaxed);
+            qs.finished_acked.remove(&root.id());
+            let outcome = root.rollback_state();
+            if outcome.restored_checkpoint {
+                shared
                     .metrics
-                    .rollbacks
+                    .checkpoint_restores
                     .fetch_add(1, Ordering::Relaxed);
-                self.finished_acked.remove(&root.id());
-                let outcome = root.rollback_state();
-                if outcome.restored_checkpoint {
-                    self.shared
-                        .metrics
-                        .checkpoint_restores
-                        .fetch_add(1, Ordering::Relaxed);
-                }
-                let carried = root.lock().completed_cells.clone();
-                let newer: Vec<Arc<WindowInfo>> = self
-                    .live
-                    .iter()
-                    .filter(|w| w.id > root.window().id)
-                    .cloned()
-                    .collect();
-                let mut factory = self.factory();
-                let dropped = self
-                    .tree
-                    .rollback_rebuild(root.id(), &newer, carried, &mut factory);
-                self.revoke(&outcome.revoked, &mut factory);
-                self.absorb(factory);
-                self.shared
+                qs.metrics
+                    .checkpoint_restores
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            let carried = root.lock().completed_cells.clone();
+            let newer: Vec<Arc<WindowInfo>> = qs
+                .live
+                .iter()
+                .filter(|w| w.id > root.window().id)
+                .cloned()
+                .collect();
+            let mut factory = SplitterFactory::for_query(&shared, qs);
+            let dropped = qs
+                .tree
+                .rollback_rebuild(root.id(), &newer, carried, &mut factory)
+                as u64;
+            qs.revoke(&shared.metrics, &outcome.revoked, &mut factory);
+            qs.finished_acked.extend(factory.acked_clones);
+            if dropped > 0 {
+                shared
                     .metrics
                     .versions_dropped
-                    .fetch_add(dropped as u64, Ordering::Relaxed);
-                return;
+                    .fetch_add(dropped, Ordering::Relaxed);
+                qs.metrics
+                    .versions_dropped
+                    .fetch_add(dropped, Ordering::Relaxed);
             }
-            // Emit buffered complex events in detection order (paper §3.3).
-            {
-                let mut inner = root.lock();
-                self.outputs.append(&mut inner.outputs);
-            }
-            self.progress = true;
-            // Retirement materializes a pending-attach child, so it takes
-            // the factory too.
-            let mut factory = self.factory();
-            let retired = self.tree.retire_root(&mut factory);
-            self.absorb(factory);
-            self.finished_acked.remove(&retired.id());
-            // Acks of versions dropped from the tree are dead; prune them
-            // here (retirement is rare relative to cycles).
-            let tree = &self.tree;
-            self.finished_acked.retain(|id| tree.version(*id).is_some());
-            debug_assert_eq!(
-                self.live.front().map(|w| w.id),
-                Some(retired.window().id),
-                "windows retire in id order"
-            );
-            self.live.pop_front();
-            self.shared
-                .metrics
-                .windows_retired
-                .fetch_add(1, Ordering::Relaxed);
-            // The retired window's events are dead to it; payloads shared
-            // with younger windows stay alive through their own buffers.
-            self.shared.store.remove_window(retired.window().id);
+            return false;
         }
+        // Emit buffered complex events in detection order (paper §3.3).
+        let emitted = {
+            let mut inner = root.lock();
+            std::mem::take(&mut inner.outputs)
+        };
+        self.progress = true;
+        // Retirement materializes a pending-attach child, so it takes the
+        // factory too.
+        let mut factory = SplitterFactory::for_query(&shared, qs);
+        let retired = qs.tree.retire_root(&mut factory);
+        qs.finished_acked.extend(factory.acked_clones);
+        qs.finished_acked.remove(&retired.id());
+        // Acks of versions dropped from the tree are dead; prune them here
+        // (retirement is rare relative to cycles).
+        let tree = &qs.tree;
+        qs.finished_acked.retain(|id| tree.version(*id).is_some());
+        debug_assert_eq!(
+            qs.live.front().map(|w| w.id),
+            Some(retired.window().id),
+            "windows retire in id order"
+        );
+        qs.live.pop_front();
+        shared
+            .metrics
+            .windows_retired
+            .fetch_add(1, Ordering::Relaxed);
+        qs.metrics.windows_retired.fetch_add(1, Ordering::Relaxed);
+        let emitted_n = emitted.len() as u64;
+        if emitted_n > 0 {
+            shared
+                .metrics
+                .outputs_emitted
+                .fetch_add(emitted_n, Ordering::Relaxed);
+            qs.metrics
+                .outputs_emitted
+                .fetch_add(emitted_n, Ordering::Relaxed);
+        }
+        let qid = qs.id;
+        let group = qs.group;
+        let store_id = retired.window().store_id;
+        self.outputs.extend(emitted.into_iter().map(|ce| (qid, ce)));
+        // Release the window's shared buffer reference; the buffer dies
+        // with its last subscriber (payloads shared with younger windows
+        // stay alive through their own buffers).
+        let g = &mut self.groups[group];
+        if let Some(r) = g.refs.get_mut(&store_id) {
+            *r -= 1;
+            if *r == 0 {
+                g.refs.remove(&store_id);
+                self.shared.store.remove_window(store_id);
+            }
+        }
+        true
     }
 
-    /// Running average window length in events — the prediction input's
-    /// window-size term (paper Fig. 5: `Splitter.avgWindowSize`). Seeded
-    /// from the query's window spec until the first window closes.
+    /// Running average window length in events of the first deployed query
+    /// (`0.0` with no queries) — the prediction input's window-size term
+    /// (paper Fig. 5: `Splitter.avgWindowSize`). Seeded from the query's
+    /// window spec until its first window closes.
     pub fn avg_window_size(&self) -> f64 {
-        self.avg_window_size
+        self.queries.first().map_or(0.0, |q| q.avg_window_size)
     }
 
     /// Prediction input `n` for a consumption group at `pos_in_window`:
@@ -681,24 +1028,37 @@ impl Splitter {
         (avg_window_size as i64 - pos_in_window as i64).max(1)
     }
 
+    /// Selects and schedules the top-k window versions across all deployed
+    /// queries: each query's tree nominates its own top k with survival
+    /// probabilities (materializing lazy branches on first schedule), the
+    /// nominations merge on probability (stable, so each tree's internal
+    /// order — and query order on exact ties — is preserved), and the best
+    /// k overall take the instance slots via the usual two-pass assignment
+    /// (paper Fig. 7). With one deployed query this reduces exactly to the
+    /// single-query schedule.
     fn schedule(&mut self) {
-        let mut factory = self.factory();
-        let avg = self.avg_window_size;
-        let predictor = &*self.predictor;
-        let prob = move |cell: &CgCell| -> f64 {
-            let events_left = Self::events_left(avg, cell.pos_in_window());
-            predictor.predict(cell.delta(), events_left)
-        };
-        // Selecting the top k is also where lazy completion branches
-        // materialize: a branch clones its state only on first schedule.
-        let top = self.tree.top_k(self.config.instances, &prob, &mut factory);
-        self.absorb(factory);
+        let k = self.config.instances;
+        let shared = Arc::clone(&self.shared);
+        let mut cands: Vec<(f64, Arc<VersionState>)> = Vec::new();
+        for qs in &mut self.queries {
+            let mut factory = SplitterFactory::for_query(&shared, qs);
+            let avg = qs.avg_window_size;
+            let predictor = &*qs.predictor;
+            let prob = move |cell: &CgCell| -> f64 {
+                let events_left = Self::events_left(avg, cell.pos_in_window());
+                predictor.predict(cell.delta(), events_left)
+            };
+            cands.extend(qs.tree.top_k_scored(k, &prob, &mut factory));
+            qs.finished_acked.extend(factory.acked_clones);
+        }
+        cands.sort_by(|a, b| b.0.total_cmp(&a.0));
+        cands.truncate(k);
 
         // Two-pass assignment (paper Fig. 7): keep already-placed versions,
         // hand the rest to free instances.
         let mut to_place: Vec<Arc<VersionState>> = Vec::new();
         let mut kept: Vec<bool> = vec![false; self.shared.slots.len()];
-        'version: for v in &top {
+        'version: for (_, v) in &cands {
             for (i, slot) in self.shared.slots.iter().enumerate() {
                 if kept[i] {
                     continue;
@@ -721,14 +1081,29 @@ impl Splitter {
     }
 }
 
-/// The splitter's [`VersionFactory`]: allocates ids from the shared
-/// counters, keeps the `versions_created` metric, and records clones of
-/// already-finished versions so they can retire without a fresh
-/// `WvFinished` op (see [`Splitter::absorb`]).
+/// The splitter's [`VersionFactory`] for one query: allocates ids from the
+/// shared counters, keeps the `versions_created` metrics (aggregate and
+/// per-query), stamps new versions with the owning query, and records
+/// clones of already-finished versions so they can retire without a fresh
+/// `WvFinished` op.
 struct SplitterFactory {
     shared: Arc<SharedState>,
     query: Arc<Query>,
+    query_id: QueryId,
+    qmetrics: Arc<Metrics>,
     acked_clones: Vec<WvId>,
+}
+
+impl SplitterFactory {
+    fn for_query(shared: &Arc<SharedState>, qs: &QueryState) -> Self {
+        SplitterFactory {
+            shared: Arc::clone(shared),
+            query: Arc::clone(&qs.query),
+            query_id: qs.id,
+            qmetrics: Arc::clone(&qs.metrics),
+            acked_clones: Vec::new(),
+        }
+    }
 }
 
 impl VersionFactory for SplitterFactory {
@@ -741,11 +1116,16 @@ impl VersionFactory for SplitterFactory {
             .metrics
             .versions_created
             .fetch_add(1, Ordering::Relaxed);
-        VersionState::new(
+        self.qmetrics
+            .versions_created
+            .fetch_add(1, Ordering::Relaxed);
+        VersionState::for_query(
             self.shared.alloc_wv_id(),
             Arc::clone(window),
             Arc::clone(&self.query),
             suppressed,
+            self.query_id,
+            Arc::clone(&self.qmetrics),
         )
     }
 
@@ -766,6 +1146,9 @@ impl VersionFactory for SplitterFactory {
         )?;
         self.shared
             .metrics
+            .versions_created
+            .fetch_add(1, Ordering::Relaxed);
+        self.qmetrics
             .versions_created
             .fetch_add(1, Ordering::Relaxed);
         if version.is_finished() {
@@ -808,6 +1191,10 @@ mod tests {
         )
     }
 
+    fn untag(tagged: Vec<(QueryId, ComplexEvent)>) -> Vec<ComplexEvent> {
+        tagged.into_iter().map(|(_, ce)| ce).collect()
+    }
+
     /// Drives splitter + instances single-threadedly until done.
     fn drive_config(
         query: Arc<Query>,
@@ -828,7 +1215,7 @@ mod tests {
             .collect();
         for round in 0..1_000_000u64 {
             if splitter.cycle() {
-                return splitter.into_outputs();
+                return untag(splitter.into_outputs());
             }
             for inst in &mut instances {
                 let _ = inst.step(&shared);
@@ -908,6 +1295,71 @@ mod tests {
         let expected = spectre_baselines::run_sequential(&query, &events).complex_events;
         let got = drive(query, events, 1);
         assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn two_same_spec_queries_share_store_buffers() {
+        // Two queries with equal window specs: every window is stored once
+        // (one store buffer per group window), each query still gets its
+        // own outputs with its own local window ids.
+        let query_a = ab_query();
+        let query_b = ab_query();
+        let events: Vec<Event> = (0..60)
+            .map(|i| ev(i, [1.0, 9.0, 2.0, 1.0, 2.0, 9.0][i as usize % 6]))
+            .collect();
+        let expected = spectre_baselines::run_sequential(&query_a, &events).complex_events;
+        assert!(!expected.is_empty());
+
+        let config = SpectreConfig::with_instances(2);
+        let shared = SharedState::for_config(&config);
+        let mut splitter = Splitter::multi(config.clone(), Arc::clone(&shared));
+        let qa = splitter.deploy_query(Arc::clone(&query_a)).unwrap();
+        let qb = splitter.deploy_query(Arc::clone(&query_b)).unwrap();
+        assert_ne!(qa, qb);
+        for event in &events {
+            splitter.feed(event.clone());
+        }
+        splitter.end_of_stream();
+        let mut instances: Vec<_> = (0..2)
+            .map(|i| InstanceCore::new(i, config.consistency_check_freq))
+            .collect();
+        for _ in 0..1_000_000u64 {
+            if splitter.cycle() {
+                let outputs = splitter.into_outputs();
+                let a: Vec<ComplexEvent> = outputs
+                    .iter()
+                    .filter(|(q, _)| *q == qa)
+                    .map(|(_, ce)| ce.clone())
+                    .collect();
+                let b: Vec<ComplexEvent> = outputs
+                    .iter()
+                    .filter(|(q, _)| *q == qb)
+                    .map(|(_, ce)| ce.clone())
+                    .collect();
+                assert_eq!(a, expected, "query A");
+                assert_eq!(b, expected, "query B");
+                // Dedup: the session opened exactly as many store buffers
+                // as one query alone would have (windows stored once).
+                let snap = shared.metrics.snapshot();
+                assert_eq!(snap.store_windows_opened * 2, snap.windows_retired);
+                return;
+            }
+            for inst in &mut instances {
+                let _ = inst.step(&shared);
+            }
+        }
+        panic!("did not converge");
+    }
+
+    #[test]
+    fn retire_unknown_query_is_none() {
+        let mut splitter = Splitter::multi(SpectreConfig::with_instances(1), SharedState::new(1));
+        assert!(splitter.retire_query(QueryId(3)).is_none());
+        let qid = splitter.deploy_query(ab_query()).unwrap();
+        assert!(splitter.has_query(qid));
+        assert!(splitter.retire_query(qid).is_some());
+        assert!(!splitter.has_query(qid));
+        assert!(splitter.retire_query(qid).is_none(), "ids are not reused");
     }
 
     #[test]
@@ -998,7 +1450,7 @@ mod tests {
         for _ in 0..1_000_000u64 {
             if splitter.cycle() {
                 assert_eq!(splitter.events_ingested(), 40);
-                assert_eq!(splitter.into_outputs(), expected);
+                assert_eq!(untag(splitter.into_outputs()), expected);
                 return;
             }
             let _ = inst.step(&shared);

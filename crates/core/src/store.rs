@@ -51,8 +51,16 @@ pub const END_UNKNOWN: u64 = u64::MAX;
 /// Shared, immutable-except-end description of one window.
 #[derive(Debug)]
 pub struct WindowInfo {
-    /// Window id (windows are totally ordered by id, paper §3.1).
+    /// Query-local window id (a query's windows are totally ordered by id,
+    /// paper §3.1). Dependency-tree ordering, revocation filtering and
+    /// retirement order all compare these, so they restart at 0 for each
+    /// deployed query.
     pub id: u64,
+    /// Id of the event buffer in the shared [`WindowStore`]. Engine-global:
+    /// same-spec windows of different queries carry *distinct* `WindowInfo`
+    /// cells (their local `id`s differ) but the *same* `store_id`, so the
+    /// events are buffered once. In a single-query session `store_id == id`.
+    pub store_id: u64,
     /// Position of the window's start event.
     pub start_pos: u64,
     /// Sequence number of the start event.
@@ -65,10 +73,24 @@ pub struct WindowInfo {
 }
 
 impl WindowInfo {
-    /// Creates a window whose end is not yet known.
+    /// Creates a window whose end is not yet known, with `store_id == id`
+    /// (the single-query layout).
     pub fn new(id: u64, start_pos: u64, start_seq: Seq, start_ts: Timestamp) -> Self {
+        Self::with_store(id, id, start_pos, start_seq, start_ts)
+    }
+
+    /// Creates a window whose end is not yet known, reading its events from
+    /// the shared buffer `store_id` (which other queries' windows may share).
+    pub fn with_store(
+        id: u64,
+        store_id: u64,
+        start_pos: u64,
+        start_seq: Seq,
+        start_ts: Timestamp,
+    ) -> Self {
         WindowInfo {
             id,
+            store_id,
             start_pos,
             start_seq,
             start_ts,

@@ -1601,6 +1601,23 @@ impl DependencyTree {
         prob_of: &dyn Fn(&CgCell) -> f64,
         f: &mut dyn VersionFactory,
     ) -> Vec<Arc<VersionState>> {
+        self.top_k_scored(k, prob_of, f)
+            .into_iter()
+            .map(|(_, v)| v)
+            .collect()
+    }
+
+    /// [`top_k`](Self::top_k), but each selected version is returned with
+    /// the survival probability it was ranked at. A multi-query scheduler
+    /// merges the per-tree selections on these scores (a stable sort keeps
+    /// each tree's internal order, which is what makes the merged schedule
+    /// deterministic).
+    pub fn top_k_scored(
+        &mut self,
+        k: usize,
+        prob_of: &dyn Fn(&CgCell) -> f64,
+        f: &mut dyn VersionFactory,
+    ) -> Vec<(f64, Arc<VersionState>)> {
         use std::cmp::Reverse;
         use std::collections::BinaryHeap;
 
@@ -1687,7 +1704,7 @@ impl DependencyTree {
                         unreachable!("validated above")
                     };
                     if !state.is_finished() {
-                        result.push(Arc::clone(state));
+                        result.push((prob, Arc::clone(state)));
                     }
                     child.map(|c| (prob, c))
                 }

@@ -14,6 +14,8 @@ use spectre_events::Seq;
 use spectre_query::{ComplexEvent, MatchId, Query, WindowDetector};
 
 use crate::cg::{CgCell, CgId};
+use crate::metrics::Metrics;
+use crate::shared::QueryId;
 use crate::store::WindowInfo;
 
 /// Unique id of a window version.
@@ -111,6 +113,14 @@ pub struct VersionState {
     id: WvId,
     window: Arc<WindowInfo>,
     query: Arc<Query>,
+    /// The deployed query this version belongs to. Instances tag the
+    /// [`TreeOp`](crate::shared::TreeOp)s and stats they emit for this
+    /// version with it so the splitter can route them to the right
+    /// [`QueryState`](crate::splitter::Splitter) registry entry.
+    query_id: QueryId,
+    /// The owning query's metric counters; instances update these alongside
+    /// the engine-global aggregate.
+    qmetrics: Arc<Metrics>,
     suppressed: Vec<Arc<CgCell>>,
     /// `true` iff the version was created with *no* assumptions at all —
     /// a version of an independent window. Only these feed the Markov
@@ -145,6 +155,28 @@ impl VersionState {
         query: Arc<Query>,
         suppressed: Vec<Arc<CgCell>>,
     ) -> Arc<Self> {
+        Self::for_query(
+            id,
+            window,
+            query,
+            suppressed,
+            QueryId(0),
+            Arc::new(Metrics::new()),
+        )
+    }
+
+    /// Creates a fresh version attributed to a specific deployed query —
+    /// [`new`](Self::new) with an explicit query id and per-query metrics
+    /// handle. `new` is the single-query shorthand (query 0, throwaway
+    /// counters).
+    pub fn for_query(
+        id: WvId,
+        window: Arc<WindowInfo>,
+        query: Arc<Query>,
+        suppressed: Vec<Arc<CgCell>>,
+        query_id: QueryId,
+        qmetrics: Arc<Metrics>,
+    ) -> Arc<Self> {
         let stats_eligible = suppressed.is_empty();
         let suppressed = prune_dead_suppressed(&window, suppressed);
         let inner = VersionInner::new(Arc::clone(&query), window.id, suppressed.len());
@@ -152,6 +184,8 @@ impl VersionState {
             id,
             window,
             query,
+            query_id,
+            qmetrics,
             suppressed,
             stats_eligible,
             dropped: AtomicBool::new(false),
@@ -173,6 +207,16 @@ impl VersionState {
     /// The query.
     pub fn query(&self) -> &Arc<Query> {
         &self.query
+    }
+
+    /// The deployed query this version belongs to.
+    pub fn query_id(&self) -> QueryId {
+        self.query_id
+    }
+
+    /// The owning query's metric counters.
+    pub fn query_metrics(&self) -> &Arc<Metrics> {
+        &self.qmetrics
     }
 
     /// The consumption groups this version assumes completed; their events
@@ -353,6 +397,8 @@ impl VersionState {
             id,
             window: Arc::clone(&source.window),
             query: Arc::clone(&source.query),
+            query_id: source.query_id,
+            qmetrics: Arc::clone(&source.qmetrics),
             suppressed,
             // A speculative copy always assumes its branch's completion —
             // never a statistics source, even if pruning empties its set.

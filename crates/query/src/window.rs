@@ -10,7 +10,7 @@ use crate::expr::Expr;
 
 /// When a new window opens (paper §2.2: windows based on time, count or
 /// logical predicates).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum WindowOpen {
     /// A new window opens every `slide` events (`FROM EVERY s EVENTS`); the
     /// first window opens on the first event of the stream.
@@ -38,7 +38,12 @@ pub enum WindowClose {
 }
 
 /// A complete window specification: open condition plus scope.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Specs compare structurally (`PartialEq`): two queries whose specs are
+/// equal produce identical window boundaries over the same stream, which
+/// is what lets a multi-query engine share one assigner — and one stored
+/// copy of each window — between them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WindowSpec {
     open: WindowOpen,
     close: WindowClose,
@@ -212,6 +217,13 @@ impl WindowAssigner {
     /// Number of events observed so far.
     pub fn events_observed(&self) -> u64 {
         self.pos
+    }
+
+    /// Number of windows opened so far — also the id the next window will
+    /// get. A consumer subscribing mid-stream uses this as its id offset so
+    /// its own window numbering starts at zero from the next boundary.
+    pub fn windows_opened(&self) -> u64 {
+        self.next_id
     }
 
     /// Currently open windows, oldest first.

@@ -63,7 +63,7 @@ fn main() {
     let mut complex_events = Vec::new();
     loop {
         let fed = engine.ingest(source.by_ref().take(4_096));
-        complex_events.extend(engine.drain_outputs());
+        complex_events.extend(engine.drain_events());
         if fed < 4_096 {
             break;
         }

@@ -43,7 +43,7 @@ fn stream_in_chunks(
     let mut out = Vec::new();
     for chunk in events.chunks(chunk) {
         engine.ingest(chunk.iter().cloned());
-        out.append(&mut engine.drain_outputs());
+        out.append(&mut engine.drain_events());
     }
     let report = engine.finish();
     out.extend(report.complex_events);
@@ -75,7 +75,7 @@ fn stream_by_push(
             }
         }
         if i % 500 == 499 {
-            out.append(&mut engine.drain_outputs());
+            out.append(&mut engine.drain_events());
         }
     }
     out.extend(engine.finish().complex_events);
@@ -150,7 +150,7 @@ fn outputs_are_committed_incrementally() {
     let mut streamed = Vec::new();
     for chunk in events.chunks(200) {
         engine.ingest(chunk.iter().cloned());
-        streamed.append(&mut engine.drain_outputs());
+        streamed.append(&mut engine.drain_events());
     }
     let before_finish = streamed.len();
     streamed.extend(engine.finish().complex_events);
