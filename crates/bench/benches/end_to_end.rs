@@ -11,17 +11,30 @@
 //! Set `SPECTRE_BENCH_SUMMARY=<path>` to additionally write a small JSON
 //! summary (events/s and peak tree size per threaded case) for CI bench
 //! trend tracking; `scripts/bench_gate.py` diffs it against the checked-in
-//! baseline in `crates/bench/baseline/`.
+//! baseline in `crates/bench/baseline/`. Set `SPECTRE_BENCH_ONLY` to a
+//! comma-separated list of section tags (`engines`, `threaded`,
+//! `streaming`, `multiquery`, `consumption`, `reorder`) to run a subset —
+//! the criterion shim has no CLI filter, and CI smoke steps use this to
+//! gate one dimension without paying for the rest.
 
 use std::sync::Arc;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use spectre_baselines::{run_sequential, run_waitful, TrexEngine};
 use spectre_core::{run_simulated, run_threaded, MetricsSnapshot, SpectreConfig, SpectreEngine};
-use spectre_datasets::{NyseConfig, NyseGenerator};
+use spectre_datasets::{bounded_shuffle, NyseConfig, NyseGenerator};
 use spectre_events::{Event, Schema};
 use spectre_query::queries::{self, Direction};
 use spectre_query::{ConsumptionPolicy, Query};
+
+/// `true` when the section should run: always without `SPECTRE_BENCH_ONLY`,
+/// else only when the tag is in its comma-separated list.
+fn enabled(tag: &str) -> bool {
+    match std::env::var("SPECTRE_BENCH_ONLY") {
+        Ok(only) => only.split(',').any(|t| t.trim() == tag),
+        Err(_) => true,
+    }
+}
 
 fn fixture() -> (Arc<Query>, Vec<Event>) {
     let mut schema = Schema::new();
@@ -38,6 +51,9 @@ fn fixture() -> (Arc<Query>, Vec<Event>) {
 }
 
 fn bench_engines(c: &mut Criterion) {
+    if !enabled("engines") {
+        return;
+    }
     let (query, events) = fixture();
     let mut group = c.benchmark_group("q1_5k_events");
     group.sample_size(10);
@@ -106,6 +122,9 @@ fn threaded_fixture() -> (Arc<Query>, Vec<Event>) {
 }
 
 fn bench_threaded(c: &mut Criterion) {
+    if !enabled("threaded") {
+        return;
+    }
     let (query, events) = threaded_fixture();
     let mut group = c.benchmark_group(format!("threaded_e2e_{}k_events", events.len() / 1000));
     group.sample_size(3);
@@ -186,6 +205,9 @@ fn stash_case(name: &'static str, metrics: MetricsSnapshot, outputs: usize) {
 }
 
 fn bench_consumption(c: &mut Criterion) {
+    if !enabled("consumption") {
+        return;
+    }
     let (query, events) = consumption_fixture();
     let mut group = c.benchmark_group(format!(
         "threaded_consumption_{}k_events",
@@ -211,6 +233,9 @@ fn bench_consumption(c: &mut Criterion) {
 /// chunk. The measured time therefore *includes* event generation, which
 /// is exactly the streaming deployment's cost profile.
 fn bench_streaming(c: &mut Criterion) {
+    if !enabled("streaming") {
+        return;
+    }
     let events_n = spectre_bench::threaded_bench_events();
     let mut schema = Schema::new();
     let query = datapath_query(&mut schema);
@@ -247,6 +272,9 @@ fn bench_streaming(c: &mut Criterion) {
 /// query is pattern matching and retirement bookkeeping, not another copy
 /// of the data path; the gate watches exactly that.
 fn bench_multiquery(c: &mut Criterion) {
+    if !enabled("multiquery") {
+        return;
+    }
     let (query, events) = threaded_fixture();
     let mut group = c.benchmark_group(format!(
         "threaded_multiquery_{}k_events",
@@ -262,6 +290,48 @@ fn bench_multiquery(c: &mut Criterion) {
                     builder.add_query(&query);
                 }
                 let report = builder.threaded().build().run(events.clone());
+                let out = report.complex_events.len();
+                stash_case(name, report.metrics, out);
+                black_box(out)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Disorder sweep: the data-path workload arriving out of order, repaired
+/// by the reorder stage at bounded lateness `d` symbol-slots (the paper
+/// fixture interleaves 300 symbols at 200 ticks per slot, so `d = 64`
+/// means an event may trail up to 64 later arrivals). `d = 0` runs the
+/// stage on the in-order stream — its pure pass-through overhead against
+/// the `streaming_k2` case; the non-zero points price the actual buffering
+/// and watermark work. Case names keep the `1m` tag of the paper-scale
+/// default even when `SPECTRE_BENCH_EVENTS` shrinks the stream — the
+/// group title carries the actual size.
+fn bench_reorder(c: &mut Criterion) {
+    if !enabled("reorder") {
+        return;
+    }
+    let (query, events) = threaded_fixture();
+    // One symbol-slot of the paper fixture in timestamp ticks.
+    let slot = 60_000 / 300;
+    let mut group = c.benchmark_group(format!("threaded_reorder_{}k_events", events.len() / 1000));
+    group.sample_size(2);
+    for (d, name) in [
+        (0u64, "reorder_1m_d0"),
+        (64, "reorder_1m_d64"),
+        (1024, "reorder_1m_d1024"),
+    ] {
+        let delay = d * slot;
+        let shuffled = bounded_shuffle(&events, delay, 42);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let config = SpectreConfig::with_batching(2, 64, 8).with_reorder(delay);
+                let report = SpectreEngine::builder(&query)
+                    .config(config)
+                    .threaded()
+                    .build()
+                    .run(shuffled.clone());
                 let out = report.complex_events.len();
                 stash_case(name, report.metrics, out);
                 black_box(out)
@@ -343,6 +413,7 @@ criterion_group!(
     bench_streaming,
     bench_multiquery,
     bench_consumption,
+    bench_reorder,
     emit_summary
 );
 criterion_main!(end_to_end);

@@ -1,6 +1,7 @@
 //! Runtime configuration.
 
 use crate::markov::MarkovConfig;
+use crate::reorder::ReorderConfig;
 
 /// Which completion-probability predictor to use (paper §4.2.2 compares the
 /// adaptive Markov model against fixed probabilities, Fig. 11).
@@ -88,6 +89,15 @@ pub struct SpectreConfig {
     /// state at clean cuts (no open partial match) every ≥ `n` events and
     /// restores from the snapshot on rollback when it is still consistent.
     pub checkpoint_freq: Option<u32>,
+    /// Opt-in out-of-order ingestion: `Some` interposes a watermark-driven
+    /// [`ReorderBuffer`](crate::reorder::ReorderBuffer) between the session
+    /// surface (`push`/`push_batch`/`ingest`) and the splitter, so events
+    /// may arrive up to [`ReorderConfig::max_delay`] timestamp ticks out
+    /// of order and still produce the exact in-order output. Buffer-cap
+    /// back-pressure surfaces as the existing `PushResult::Full`. `None`
+    /// (the default) feeds the splitter directly — timestamps are assumed
+    /// monotone, exactly the pre-reorder behavior.
+    pub reorder: Option<ReorderConfig>,
 }
 
 impl Default for SpectreConfig {
@@ -104,6 +114,7 @@ impl Default for SpectreConfig {
             lazy_materialization: true,
             lazy_attach: true,
             checkpoint_freq: None,
+            reorder: None,
         }
     }
 }
@@ -180,12 +191,35 @@ impl SpectreConfig {
         self
     }
 
+    /// Returns the configuration with the reorder stage enabled at the
+    /// given bounded-lateness `max_delay` (timestamp ticks), with the
+    /// standard policies — periodic per-event watermarks, late events
+    /// dropped, a 4096-event buffer. Set
+    /// [`reorder`](Self::reorder) directly for a custom
+    /// [`ReorderConfig`].
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use spectre_core::SpectreConfig;
+    ///
+    /// let config = SpectreConfig::with_instances(4).with_reorder(1024);
+    /// assert_eq!(config.reorder.as_ref().unwrap().max_delay, 1024);
+    /// assert!(SpectreConfig::default().reorder.is_none());
+    /// ```
+    #[must_use]
+    pub fn with_reorder(mut self, max_delay: u64) -> Self {
+        self.reorder = Some(ReorderConfig::bounded(max_delay));
+        self
+    }
+
     /// Validates the configuration.
     ///
     /// # Panics
     ///
     /// Panics on zero instances, zero check frequency, zero scheduling
-    /// period or an out-of-range fixed probability.
+    /// period, an out-of-range fixed probability or an invalid reorder
+    /// configuration.
     pub fn validate(&self) {
         assert!(self.instances > 0, "need at least one operator instance");
         assert!(
@@ -202,6 +236,9 @@ impl SpectreConfig {
         );
         if let PredictorKind::Fixed(p) = self.predictor {
             assert!((0.0..=1.0).contains(&p), "fixed probability out of range");
+        }
+        if let Some(reorder) = &self.reorder {
+            reorder.validate();
         }
     }
 }
@@ -233,6 +270,14 @@ mod tests {
     #[should_panic(expected = "at least one operator instance")]
     fn zero_instances_rejected() {
         SpectreConfig::with_instances(0).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "reorder buffer capacity must be positive")]
+    fn zero_reorder_capacity_rejected() {
+        let mut config = SpectreConfig::with_instances(1).with_reorder(64);
+        config.reorder.as_mut().unwrap().capacity = 0;
+        config.validate();
     }
 
     #[test]

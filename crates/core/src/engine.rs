@@ -90,12 +90,13 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use spectre_events::Event;
+use spectre_events::{Event, StreamItem};
 use spectre_query::{ComplexEvent, Query};
 
 use crate::config::SpectreConfig;
 use crate::instance::{InstanceCore, StepOutcome};
 use crate::metrics::MetricsSnapshot;
+use crate::reorder::{Offer, ReorderBuffer};
 use crate::shared::{QueryId, SharedState};
 use crate::splitter::Splitter;
 
@@ -312,10 +313,18 @@ impl SpectreEngineBuilder {
         // behaves exactly like the legacy drivers, which ingested from a
         // fully materialized Vec. Anything beyond it is pure buffering.
         let capacity = config.ingest_per_cycle.max(config.batch_size);
+        let reorder = config
+            .reorder
+            .as_ref()
+            .map(|rc| ReorderBuffer::new(rc.clone()));
+        // Behind a reorder stage the splitter's feed is contractually
+        // timestamp-monotone; have it verify that in debug builds.
+        splitter.expect_monotone(reorder.is_some());
         SpectreEngine {
             config,
             shared,
             splitter,
+            reorder,
             driver,
             capacity,
             start,
@@ -344,6 +353,9 @@ pub struct SpectreEngine {
     config: SpectreConfig,
     shared: Arc<SharedState>,
     splitter: Splitter,
+    /// The watermark-driven reorder stage ahead of the splitter
+    /// ([`SpectreConfig::reorder`]); `None` feeds the splitter directly.
+    reorder: Option<ReorderBuffer>,
     driver: Driver,
     /// Feed-queue capacity before a push runs (or waits for) maintenance.
     capacity: usize,
@@ -413,6 +425,9 @@ impl SpectreEngine {
         if self.finished {
             return Err(EngineError::SessionFinished);
         }
+        if self.reorder.is_some() {
+            return Ok(self.push_reordered(event));
+        }
         if self.splitter.feed_len() >= self.capacity {
             self.pump();
             if self.splitter.feed_len() >= self.capacity {
@@ -421,6 +436,80 @@ impl SpectreEngine {
         }
         self.splitter.feed(event);
         Ok(PushResult::Accepted)
+    }
+
+    /// The push path behind a reorder stage: release whatever the
+    /// watermark already covers, make room if the buffer is at capacity
+    /// (one maintenance round, like the direct path), then offer the event
+    /// to the buffer. Buffer-cap back-pressure surfaces as the same
+    /// [`PushResult::Full`] as splitter back-pressure.
+    fn push_reordered(&mut self, event: Event) -> PushResult {
+        self.drain_reorder();
+        if self.reorder.as_ref().is_some_and(ReorderBuffer::is_full) {
+            self.pump();
+            self.drain_reorder();
+        }
+        let offer = self
+            .reorder
+            .as_mut()
+            .expect("push_reordered without a reorder stage")
+            .offer(event);
+        let result = match offer {
+            Offer::Buffered | Offer::DroppedLate => PushResult::Accepted,
+            Offer::AdmittedLate(late) => {
+                self.splitter.feed_late(late);
+                PushResult::Accepted
+            }
+            Offer::Rejected(back) => PushResult::Full(back),
+        };
+        self.flush_reorder_stats();
+        self.drain_reorder();
+        result
+    }
+
+    /// Moves watermark-released events from the reorder buffer into the
+    /// splitter feed, up to the feed capacity. No-op without a reorder
+    /// stage.
+    fn drain_reorder(&mut self) {
+        let Some(rb) = self.reorder.as_mut() else {
+            return;
+        };
+        while self.splitter.feed_len() < self.capacity {
+            match rb.pop_ready() {
+                Some(event) => self.splitter.feed(event),
+                None => break,
+            }
+        }
+    }
+
+    /// Publishes the reorder stage's counter deltas into the metrics (per
+    /// query view — see [`Splitter::record_reorder`]).
+    fn flush_reorder_stats(&mut self) {
+        if let Some(rb) = self.reorder.as_mut() {
+            let stats = rb.take_stats();
+            self.splitter.record_reorder(&stats);
+        }
+    }
+
+    /// Advances the reorder stage's watermark from an external punctuation:
+    /// the source asserts it will send no event with a timestamp below
+    /// `stream_ts`, so everything up to `stream_ts - max_delay` becomes
+    /// releasable. This is how
+    /// [`WatermarkPolicy::Punctuated`](crate::reorder::WatermarkPolicy::Punctuated)
+    /// streams make progress; under a periodic policy it is a way to flush
+    /// ahead of the
+    /// per-arrival cadence. No-op without a reorder stage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session was already finished.
+    pub fn advance_watermark(&mut self, stream_ts: u64) {
+        assert!(!self.finished, "session already finished");
+        if let Some(rb) = self.reorder.as_mut() {
+            rb.advance_watermark(stream_ts);
+            self.flush_reorder_stats();
+            self.drain_reorder();
+        }
     }
 
     /// Deploys an additional query onto the live session. The query starts
@@ -477,6 +566,32 @@ impl SpectreEngine {
                 }
             }
             fed += 1;
+        }
+        fed
+    }
+
+    /// [`ingest`](Self::ingest) for framed streams that interleave
+    /// watermark punctuations with events
+    /// ([`StreamItem`], as produced by
+    /// `spectre_datasets::FramedSource::items`): events are retry-pushed
+    /// like `ingest`, watermarks advance the reorder stage via
+    /// [`advance_watermark`](Self::advance_watermark). Returns the number
+    /// of *events* fed (watermarks are not counted).
+    pub fn ingest_items(&mut self, source: impl IntoIterator<Item = StreamItem>) -> u64 {
+        let mut fed = 0u64;
+        for item in source {
+            match item {
+                StreamItem::Event(mut event) => {
+                    loop {
+                        match self.push(event) {
+                            PushResult::Accepted => break,
+                            PushResult::Full(back) => event = back,
+                        }
+                    }
+                    fed += 1;
+                }
+                StreamItem::Watermark(ts) => self.advance_watermark(ts),
+            }
         }
         fed
     }
@@ -554,6 +669,22 @@ impl SpectreEngine {
             return Err(EngineError::SessionFinished);
         }
         self.finished = true;
+        // End-of-stream closes the reorder stage: the final watermark
+        // releases everything still buffered, in timestamp order, before
+        // the splitter learns the stream is over.
+        if let Some(rb) = self.reorder.as_mut() {
+            rb.finish();
+            loop {
+                self.drain_reorder();
+                if self.reorder.as_ref().is_none_or(ReorderBuffer::is_empty) {
+                    break;
+                }
+                // Feed at capacity with events still buffered: run engine
+                // work to make room, exactly like a blocked push.
+                self.pump();
+            }
+            self.flush_reorder_stats();
+        }
         self.splitter.end_of_stream();
         let total = self.splitter.events_ingested() + self.splitter.feed_len() as u64;
         match &mut self.driver {
@@ -852,6 +983,98 @@ mod tests {
             rejected > 0,
             "a cap of 2 versions must exert visible back-pressure"
         );
+    }
+
+    #[test]
+    fn reordered_session_matches_sequential_in_both_modes() {
+        // NYSE-small timestamps advance in fixed steps; reversing chunks of
+        // four bounds the disorder by three steps, within max_delay.
+        let (query, events) = fixture(1500, 17);
+        let step = events[1].ts() - events[0].ts();
+        let mut shuffled = events.clone();
+        for chunk in shuffled.chunks_mut(4) {
+            chunk.reverse();
+        }
+        let expected = run_sequential(&query, &events).complex_events;
+        for threaded in [false, true] {
+            let builder = SpectreEngine::builder(&query)
+                .config(SpectreConfig::with_instances(2).with_reorder(3 * step));
+            let engine = if threaded {
+                builder.threaded().build()
+            } else {
+                builder.simulated().build()
+            };
+            let report = engine.run(shuffled.clone());
+            assert_eq!(report.complex_events, expected);
+            assert_eq!(report.input_events, 1500);
+            assert_eq!(report.metrics.late_events_dropped, 0);
+            assert!(report.metrics.events_reordered > 0);
+            assert!(report.metrics.watermarks_advanced > 0);
+        }
+    }
+
+    #[test]
+    fn punctuated_stream_holds_events_until_the_watermark() {
+        let (query, events) = fixture(600, 17);
+        let config = SpectreConfig::with_instances(1);
+        let reorder = crate::reorder::ReorderConfig::bounded(0)
+            .with_watermark(crate::reorder::WatermarkPolicy::Punctuated)
+            .with_capacity(1024);
+        let expected = run_sequential(&query, &events).complex_events;
+        let mut engine = SpectreEngine::builder(&query)
+            .config(SpectreConfig {
+                reorder: Some(reorder),
+                ..config
+            })
+            .simulated()
+            .build();
+        engine.push_batch(events[..500].to_vec());
+        assert_eq!(
+            engine.events_ingested(),
+            0,
+            "without a punctuation nothing may pass the reorder stage"
+        );
+        engine.advance_watermark(events[499].ts());
+        engine.drain_outputs(); // run a maintenance round
+        assert!(engine.events_ingested() > 0);
+        engine.push_batch(events[500..].to_vec());
+        let report = engine.finish(); // final watermark releases the rest
+        assert_eq!(report.complex_events, expected);
+        assert_eq!(report.input_events, 600);
+    }
+
+    #[test]
+    fn reorder_buffer_backpressure_hands_the_event_back() {
+        let (query, events) = fixture(32, 7);
+        let reorder = crate::reorder::ReorderConfig::bounded(0)
+            .with_watermark(crate::reorder::WatermarkPolicy::Punctuated)
+            .with_capacity(4);
+        let mut engine = SpectreEngine::builder(&query)
+            .config(SpectreConfig {
+                reorder: Some(reorder),
+                ..SpectreConfig::with_instances(1)
+            })
+            .simulated()
+            .build();
+        let mut accepted = 0usize;
+        let mut rejected = None;
+        for event in events {
+            match engine.push(event) {
+                PushResult::Accepted => accepted += 1,
+                PushResult::Full(back) => {
+                    rejected = Some(back);
+                    break;
+                }
+            }
+        }
+        assert_eq!(accepted, 4, "a 4-slot buffer accepts exactly 4 events");
+        let back = rejected.expect("the fifth push must be rejected");
+        // A watermark at the rejected event's own timestamp unblocks the
+        // stream without making the re-offer late, so nothing is lost.
+        engine.advance_watermark(back.ts());
+        assert!(matches!(engine.push(back), PushResult::Accepted));
+        let report = engine.finish();
+        assert_eq!(report.input_events, 5);
     }
 
     #[test]

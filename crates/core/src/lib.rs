@@ -35,6 +35,14 @@
 //! over a session. Every mode delivers exactly the sequential-semantics
 //! output: no false positives, no false negatives, in window order.
 //!
+//! Streams need not arrive in timestamp order: the opt-in
+//! [`SpectreConfig::reorder`] knob interposes a watermark-driven
+//! [`reorder::ReorderBuffer`] ahead of the splitter — events arriving up
+//! to a bounded lateness out of order are buffered and released in
+//! timestamp order, later ones are resolved by a pluggable
+//! [`reorder::LatePolicy`], and the output stays bit-identical to the
+//! in-order run.
+//!
 //! One session hosts any number of **concurrent queries** over the shared
 //! splitter, store and instance pool ([`shared::QueryId`] keys the
 //! per-query state): add them with `SpectreEngineBuilder::add_query`, or
@@ -135,6 +143,7 @@ pub mod markov;
 pub mod matrix;
 pub mod metrics;
 pub mod predictor;
+pub mod reorder;
 pub mod runtime;
 pub mod shared;
 pub mod sim;
@@ -148,6 +157,7 @@ pub use engine::{
     EngineError, PushResult, QueryReport, Report, SpectreEngine, SpectreEngineBuilder,
 };
 pub use metrics::MetricsSnapshot;
+pub use reorder::{LatePolicy, ReorderConfig, WatermarkPolicy};
 pub use runtime::{run_threaded, ThreadedReport};
 pub use shared::QueryId;
 pub use sim::{run_simulated, SimReport};

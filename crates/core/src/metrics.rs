@@ -57,6 +57,20 @@ pub struct Metrics {
     /// same-spec windows of different queries share one buffer, so in a
     /// multi-query session this stays below the per-query window counts.
     pub store_windows_opened: AtomicU64,
+    /// Out-of-order arrivals the reorder stage repaired (events whose
+    /// timestamp was below the maximum already seen). Counted per query
+    /// view, like `windows_retired`: every deployed query records the
+    /// shared stage's delta, and the aggregate is the sum of the shares.
+    pub events_reordered: AtomicU64,
+    /// Late events (below the watermark) discarded under
+    /// `LatePolicy::Drop`. Per query view, like `events_reordered`.
+    pub late_events_dropped: AtomicU64,
+    /// Late events routed to still-open windows under `LatePolicy::Admit`.
+    /// Per query view, like `events_reordered`.
+    pub late_events_admitted: AtomicU64,
+    /// Watermark advances emitted by the reorder stage. Per query view,
+    /// like `events_reordered`.
+    pub watermarks_advanced: AtomicU64,
 }
 
 impl Metrics {
@@ -94,6 +108,10 @@ impl Metrics {
             checkpoint_restores: self.checkpoint_restores.load(Ordering::Relaxed),
             outputs_emitted: self.outputs_emitted.load(Ordering::Relaxed),
             store_windows_opened: self.store_windows_opened.load(Ordering::Relaxed),
+            events_reordered: self.events_reordered.load(Ordering::Relaxed),
+            late_events_dropped: self.late_events_dropped.load(Ordering::Relaxed),
+            late_events_admitted: self.late_events_admitted.load(Ordering::Relaxed),
+            watermarks_advanced: self.watermarks_advanced.load(Ordering::Relaxed),
         }
     }
 }
@@ -123,6 +141,10 @@ pub struct MetricsSnapshot {
     pub checkpoint_restores: u64,
     pub outputs_emitted: u64,
     pub store_windows_opened: u64,
+    pub events_reordered: u64,
+    pub late_events_dropped: u64,
+    pub late_events_admitted: u64,
+    pub watermarks_advanced: u64,
 }
 
 impl MetricsSnapshot {

@@ -46,6 +46,7 @@ use crate::config::{PredictorKind, SpectreConfig};
 use crate::engine::EngineError;
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::predictor::{CompletionPredictor, FixedPredictor, MarkovPredictor};
+use crate::reorder::ReorderStats;
 use crate::shared::{QueryId, SharedState, TreeOp};
 use crate::store::WindowInfo;
 use crate::tree::{DependencyTree, VersionFactory};
@@ -336,6 +337,15 @@ pub struct Splitter {
     ops_scratch: Vec<(QueryId, TreeOp)>,
     /// Next stream position to assign (= events ingested so far).
     next_pos: u64,
+    /// `true` when a reorder stage feeds this splitter: the feed is then
+    /// contractually timestamp-monotone (the window assigners and the
+    /// warm-up window sizing assume it), and [`feed`](Self::feed) verifies
+    /// the contract in debug builds. Admitted late events enter through
+    /// [`feed_late`](Self::feed_late), which bypasses the check.
+    expect_monotone: bool,
+    /// Timestamp of the last regularly fed event (tracked only under
+    /// `expect_monotone`).
+    last_fed_ts: Option<u64>,
     /// Committed complex events, tagged with their query, in commit order.
     outputs: Vec<(QueryId, ComplexEvent)>,
     ingest_done: bool,
@@ -377,6 +387,8 @@ impl Splitter {
             closed_buf: Vec::new(),
             ops_scratch: Vec::new(),
             next_pos: 0,
+            expect_monotone: false,
+            last_fed_ts: None,
             outputs: Vec::new(),
             ingest_done: false,
             progress: false,
@@ -526,7 +538,79 @@ impl Splitter {
     /// Panics if [`end_of_stream`](Self::end_of_stream) was already called.
     pub fn feed(&mut self, event: Event) {
         assert!(!self.eos, "event fed after end_of_stream");
+        if self.expect_monotone {
+            debug_assert!(
+                self.last_fed_ts.is_none_or(|last| event.ts() >= last),
+                "post-reorder stream must be timestamp-monotone: ts {} after ts {}",
+                event.ts(),
+                self.last_fed_ts.unwrap_or(0),
+            );
+            self.last_fed_ts = Some(event.ts());
+        }
         self.feed.push_back(event);
+    }
+
+    /// Queues an *admitted late* event — one the reorder stage's
+    /// `LatePolicy::Admit` routed past the watermark. It enters the feed
+    /// like any other event (reaching exactly the windows still open when
+    /// it is ingested) but is exempt from the timestamp-monotonicity
+    /// contract of [`feed`](Self::feed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`end_of_stream`](Self::end_of_stream) was already called.
+    pub fn feed_late(&mut self, event: Event) {
+        assert!(!self.eos, "event fed after end_of_stream");
+        self.feed.push_back(event);
+    }
+
+    /// Declares whether the feed is expected to be timestamp-monotone
+    /// (set by the engine when a reorder stage is configured). In debug
+    /// builds, [`feed`](Self::feed) then asserts the contract so a policy
+    /// bug fails loudly instead of silently corrupting time windows.
+    pub fn expect_monotone(&mut self, on: bool) {
+        self.expect_monotone = on;
+    }
+
+    /// Adds a reorder-stage counter delta to the metrics. Attribution
+    /// follows the `windows_retired` model: the stage is shared by the
+    /// whole session, every deployed query's view of the stream saw the
+    /// reordering, so each query's share grows by the delta and the
+    /// aggregate grows by the sum of the shares — the aggregate still
+    /// decomposes exactly. With no deployed queries there is no view to
+    /// attribute and the delta is discarded.
+    pub fn record_reorder(&mut self, stats: &ReorderStats) {
+        if stats.is_empty() || self.queries.is_empty() {
+            return;
+        }
+        let n = self.queries.len() as u64;
+        let global = &self.shared.metrics;
+        global
+            .events_reordered
+            .fetch_add(stats.reordered * n, Ordering::Relaxed);
+        global
+            .late_events_dropped
+            .fetch_add(stats.late_dropped * n, Ordering::Relaxed);
+        global
+            .late_events_admitted
+            .fetch_add(stats.late_admitted * n, Ordering::Relaxed);
+        global
+            .watermarks_advanced
+            .fetch_add(stats.watermarks * n, Ordering::Relaxed);
+        for qs in &self.queries {
+            qs.metrics
+                .events_reordered
+                .fetch_add(stats.reordered, Ordering::Relaxed);
+            qs.metrics
+                .late_events_dropped
+                .fetch_add(stats.late_dropped, Ordering::Relaxed);
+            qs.metrics
+                .late_events_admitted
+                .fetch_add(stats.late_admitted, Ordering::Relaxed);
+            qs.metrics
+                .watermarks_advanced
+                .fetch_add(stats.watermarks, Ordering::Relaxed);
+        }
     }
 
     /// Signals that no further events will be fed. Idempotent. Once the
@@ -1193,6 +1277,60 @@ mod tests {
 
     fn untag(tagged: Vec<(QueryId, ComplexEvent)>) -> Vec<ComplexEvent> {
         tagged.into_iter().map(|(_, ce)| ce).collect()
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "timestamp-monotone")]
+    fn non_monotone_feed_is_caught_behind_a_reorder_stage() {
+        let config = SpectreConfig::with_instances(1);
+        let shared = SharedState::for_config(&config);
+        let mut splitter = Splitter::new(ab_query(), config, shared);
+        splitter.expect_monotone(true);
+        splitter.feed(ev(0, 1.0)); // ts 0
+        splitter.feed(ev(5, 2.0)); // ts 5
+        splitter.feed(ev(3, 1.0)); // ts 3 regresses — contract violation
+    }
+
+    #[test]
+    fn feed_late_bypasses_the_monotone_contract() {
+        let config = SpectreConfig::with_instances(1);
+        let shared = SharedState::for_config(&config);
+        let mut splitter = Splitter::new(ab_query(), config, shared);
+        splitter.expect_monotone(true);
+        splitter.feed(ev(5, 1.0));
+        splitter.feed_late(ev(3, 2.0)); // admitted late: exempt
+        splitter.feed(ev(5, 1.0)); // equal ts is fine
+    }
+
+    #[test]
+    fn reorder_stats_decompose_over_deployed_queries() {
+        let config = SpectreConfig::with_instances(1);
+        let shared = SharedState::for_config(&config);
+        let mut splitter = Splitter::multi(config, Arc::clone(&shared));
+        let stats = crate::reorder::ReorderStats {
+            reordered: 3,
+            late_dropped: 2,
+            late_admitted: 1,
+            watermarks: 7,
+        };
+        // No queries deployed: nothing to attribute the delta to.
+        splitter.record_reorder(&stats);
+        assert_eq!(shared.metrics.snapshot().events_reordered, 0);
+        splitter.deploy_query(ab_query()).unwrap();
+        splitter.deploy_query(ab_query()).unwrap();
+        splitter.record_reorder(&stats);
+        let global = shared.metrics.snapshot();
+        assert_eq!(global.events_reordered, 6);
+        assert_eq!(global.late_events_dropped, 4);
+        assert_eq!(global.late_events_admitted, 2);
+        assert_eq!(global.watermarks_advanced, 14);
+        for (_, per) in splitter.per_query_metrics() {
+            assert_eq!(per.events_reordered, 3);
+            assert_eq!(per.late_events_dropped, 2);
+            assert_eq!(per.late_events_admitted, 1);
+            assert_eq!(per.watermarks_advanced, 7);
+        }
     }
 
     /// Drives splitter + instances single-threadedly until done.

@@ -1,0 +1,103 @@
+//! Bounded-disorder stream perturbation for the out-of-order test battery.
+//!
+//! The reorder stage's contract is *bounded lateness*: every event arrives
+//! at most `max_delay` timestamp ticks after the stream has progressed past
+//! it. [`bounded_shuffle`] manufactures adversarial-but-contractual inputs
+//! for that bound: each event is assigned the sort key
+//! `ts + uniform(0..=bound)` and the stream is stably re-sorted by that
+//! key. For any two events with original order `ts_i <= ts_j` the shuffled
+//! positions satisfy `key_i <= ts_i + bound` and `key_j >= ts_j`, so an
+//! event can overtake another only if their timestamps are within `bound`
+//! of each other — the produced disorder (as measured by
+//! [`max_disorder`]) never exceeds `bound`, while within that horizon the
+//! permutation is seed-driven and aggressive.
+//!
+//! `bound: 0` degenerates to the identity permutation, which makes the
+//! function usable as the single shuffle entry point of a sweep that
+//! includes the in-order baseline.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use spectre_events::Event;
+
+/// Returns the stream reordered with disorder bounded by `bound`
+/// timestamp ticks (see the [module docs](self) for the construction).
+/// Deterministic in `seed`; `bound: 0` returns the input order exactly.
+pub fn bounded_shuffle(events: &[Event], bound: u64, seed: u64) -> Vec<Event> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut keyed: Vec<(u64, Event)> = events
+        .iter()
+        .map(|ev| (ev.ts().saturating_add(rng.gen_range(0..=bound)), ev.clone()))
+        .collect();
+    keyed.sort_by_key(|(key, _)| *key);
+    keyed.into_iter().map(|(_, ev)| ev).collect()
+}
+
+/// The maximum disorder of a stream in timestamp ticks: the largest gap by
+/// which an event's timestamp trails the running maximum at its arrival
+/// position. `0` for a timestamp-monotone stream; a reorder stage with
+/// `max_delay >= max_disorder(stream)` loses no event.
+pub fn max_disorder(events: &[Event]) -> u64 {
+    let mut max_seen = 0u64;
+    let mut worst = 0u64;
+    for ev in events {
+        worst = worst.max(max_seen.saturating_sub(ev.ts()));
+        max_seen = max_seen.max(ev.ts());
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NyseConfig, NyseGenerator};
+    use spectre_events::Schema;
+
+    fn fixture(n: usize) -> Vec<Event> {
+        let mut schema = Schema::new();
+        NyseGenerator::new(NyseConfig::small(n, 7), &mut schema).collect()
+    }
+
+    #[test]
+    fn zero_bound_is_the_identity() {
+        let events = fixture(500);
+        assert_eq!(bounded_shuffle(&events, 0, 99), events);
+        assert_eq!(max_disorder(&events), 0, "NYSE timestamps are monotone");
+    }
+
+    #[test]
+    fn shuffle_respects_the_bound_and_actually_disorders() {
+        let events = fixture(1000);
+        // NYSE-small timestamps step by 1200 ticks: a bound at or below one
+        // step can only tie sort keys, which the stable sort resolves in
+        // arrival order — so only bounds above a step must actually perturb.
+        for bound in [2_400, 6_000, 60_000] {
+            for seed in [1, 2, 3] {
+                let shuffled = bounded_shuffle(&events, bound, seed);
+                let disorder = max_disorder(&shuffled);
+                assert!(
+                    disorder <= bound,
+                    "disorder {disorder} exceeds bound {bound}"
+                );
+                assert!(disorder > 0, "bound {bound} must actually perturb");
+                let mut sorted = shuffled.clone();
+                sorted.sort_by_key(Event::ts);
+                assert_eq!(sorted, events, "shuffle must be a permutation");
+            }
+        }
+    }
+
+    #[test]
+    fn shuffle_is_deterministic_in_the_seed() {
+        let events = fixture(300);
+        assert_eq!(
+            bounded_shuffle(&events, 10_000, 5),
+            bounded_shuffle(&events, 10_000, 5)
+        );
+        assert_ne!(
+            bounded_shuffle(&events, 10_000, 5),
+            bounded_shuffle(&events, 10_000, 6),
+            "different seeds must produce different permutations"
+        );
+    }
+}

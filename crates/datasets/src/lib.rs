@@ -21,12 +21,14 @@
 #![warn(missing_docs)]
 
 pub mod csv;
+pub mod disorder;
 pub mod net;
 pub mod nyse;
 pub mod rand_stream;
 pub mod replay;
 
-pub use net::{FramedSource, StreamServer, TcpSource};
+pub use disorder::{bounded_shuffle, max_disorder};
+pub use net::{FramedItems, FramedSource, StreamServer, TcpSource};
 pub use nyse::{NyseConfig, NyseGenerator};
 pub use rand_stream::{RandConfig, RandGenerator};
 pub use replay::ReplaySource;

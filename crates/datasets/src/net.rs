@@ -11,6 +11,14 @@
 //! stream incrementally under back-pressure: a live TCP feed of any length
 //! runs in bounded memory, never materialized as a `Vec`.
 //!
+//! Out-of-order streams carry **watermark frames** alongside events
+//! ([`spectre_events::codec::WATERMARK_MAGIC`]):
+//! [`StreamServer::spawn_items`] serves them,
+//! [`FramedSource::items`] yields them as
+//! [`StreamItem`]s for
+//! `SpectreEngine::ingest_items`, and the plain event iterator skips them,
+//! so event-only consumers work unchanged on punctuated streams.
+//!
 //! # Example
 //!
 //! ```
@@ -33,8 +41,8 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::thread::JoinHandle;
 
 use bytes::BytesMut;
-use spectre_events::codec::{encode, Decoder};
-use spectre_events::Event;
+use spectre_events::codec::{encode, encode_watermark, Decoder};
+use spectre_events::{Event, StreamItem};
 
 /// How many events are encoded per write burst.
 const BATCH: usize = 256;
@@ -55,6 +63,17 @@ impl StreamServer {
     ///
     /// Returns any error from binding the listener.
     pub fn spawn(events: Vec<Event>) -> io::Result<StreamServer> {
+        Self::spawn_items(events.into_iter().map(StreamItem::Event).collect())
+    }
+
+    /// [`spawn`](Self::spawn) for punctuated streams: serves events *and*
+    /// watermark frames, in order. The returned count tallies only events
+    /// (watermarks are punctuation, not payload).
+    ///
+    /// # Errors
+    ///
+    /// Returns any error from binding the listener.
+    pub fn spawn_items(items: Vec<StreamItem>) -> io::Result<StreamServer> {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
         let handle = std::thread::spawn(move || -> io::Result<u64> {
@@ -62,11 +81,16 @@ impl StreamServer {
             stream.set_nodelay(true)?;
             let mut buf = BytesMut::new();
             let mut sent = 0u64;
-            for chunk in events.chunks(BATCH) {
+            for chunk in items.chunks(BATCH) {
                 buf.clear();
-                for ev in chunk {
-                    encode(ev, &mut buf);
-                    sent += 1;
+                for item in chunk {
+                    match item {
+                        StreamItem::Event(ev) => {
+                            encode(ev, &mut buf);
+                            sent += 1;
+                        }
+                        StreamItem::Watermark(ts) => encode_watermark(*ts, &mut buf),
+                    }
                 }
                 stream.write_all(&buf)?;
             }
@@ -143,6 +167,64 @@ impl<R: Read> FramedSource<R> {
     pub fn error(&self) -> Option<&str> {
         self.error.as_deref()
     }
+
+    /// Attempts to decode the next stream item — an event or a watermark
+    /// punctuation — reading more bytes as needed. `None` at end of input
+    /// (or on error; see [`error`](Self::error)).
+    pub fn next_item(&mut self) -> Option<StreamItem> {
+        loop {
+            match self.decoder.next_item() {
+                Ok(Some(item)) => return Some(item),
+                Ok(None) => {}
+                Err(e) => {
+                    self.error = Some(e.to_string());
+                    return None;
+                }
+            }
+            if self.eof {
+                return None;
+            }
+            match self.reader.read(&mut self.read_buf) {
+                Ok(0) => self.eof = true,
+                Ok(n) => self.decoder.extend(&self.read_buf[..n]),
+                Err(e) => {
+                    self.error = Some(e.to_string());
+                    return None;
+                }
+            }
+        }
+    }
+
+    /// Converts the source into the item-level iterator, yielding
+    /// watermark punctuations alongside events — the view an engine with a
+    /// reorder stage ingests via `ingest_items`. (The plain
+    /// `Iterator<Item = Event>` view skips watermarks.)
+    pub fn items(self) -> FramedItems<R> {
+        FramedItems { source: self }
+    }
+}
+
+/// Item-level view of a [`FramedSource`]: an
+/// `Iterator<Item = StreamItem>` over events *and* watermark frames. Built
+/// with [`FramedSource::items`].
+#[derive(Debug)]
+pub struct FramedItems<R: Read> {
+    source: FramedSource<R>,
+}
+
+impl<R: Read> FramedItems<R> {
+    /// The decode or read error that ended the stream, if any.
+    pub fn error(&self) -> Option<&str> {
+        self.source.error()
+    }
+}
+
+impl<R: Read> Iterator for FramedItems<R> {
+    type Item = StreamItem;
+
+    fn next(&mut self) -> Option<StreamItem> {
+        self.source.next_item()
+    }
 }
 
 /// Engine-side TCP event source: [`FramedSource`] over a socket.
@@ -213,6 +295,44 @@ mod tests {
         let source = TcpSource::connect(server.addr()).unwrap();
         assert_eq!(source.count(), 0);
         assert_eq!(server.join(), 0);
+    }
+
+    #[test]
+    fn watermarked_stream_roundtrips_over_loopback() {
+        let mut schema = Schema::new();
+        let events: Vec<Event> =
+            NyseGenerator::new(NyseConfig::small(40, 9), &mut schema).collect();
+        // Punctuate every 10 events with the last timestamp seen.
+        let mut items = Vec::new();
+        for (i, ev) in events.iter().enumerate() {
+            let ts = ev.ts();
+            items.push(StreamItem::Event(ev.clone()));
+            if (i + 1) % 10 == 0 {
+                items.push(StreamItem::Watermark(ts));
+            }
+        }
+        let server = StreamServer::spawn_items(items.clone()).unwrap();
+        let source = TcpSource::connect(server.addr()).unwrap();
+        let received: Vec<StreamItem> = source.items().collect();
+        assert_eq!(received, items);
+        assert_eq!(server.join(), 40, "watermarks are not counted as events");
+    }
+
+    #[test]
+    fn event_iterator_skips_watermarks() {
+        let mut schema = Schema::new();
+        let events: Vec<Event> =
+            NyseGenerator::new(NyseConfig::small(25, 11), &mut schema).collect();
+        let mut items = vec![StreamItem::Watermark(0)];
+        for ev in &events {
+            items.push(StreamItem::Event(ev.clone()));
+            items.push(StreamItem::Watermark(ev.ts()));
+        }
+        let server = StreamServer::spawn_items(items).unwrap();
+        let source = TcpSource::connect(server.addr()).unwrap();
+        let received: Vec<Event> = source.collect();
+        assert_eq!(received, events);
+        server.join();
     }
 
     #[test]

@@ -19,6 +19,15 @@
 //!   payload        (8 bytes for F64/I64, 1 for Bool, 4 for Symbol,
 //!                   u32 len + bytes for Str)
 //! ```
+//!
+//! A second frame kind carries **watermark punctuations** for out-of-order
+//! streams: the length field holds the sentinel [`WATERMARK_MAGIC`]
+//! (`u32::MAX`, unreachable as a real length since frames are capped at
+//! [`MAX_FRAME_LEN`]), followed by the `u64` stream timestamp — a fixed
+//! 12-byte frame. [`Decoder::next_item`] yields both kinds as
+//! [`StreamItem`]s; [`Decoder::next_event`] transparently skips
+//! watermarks, so event-only consumers are unaffected by punctuated
+//! streams.
 
 use std::fmt;
 use std::sync::Arc;
@@ -31,6 +40,22 @@ use crate::Event;
 
 /// Maximum accepted frame length; guards against corrupt length prefixes.
 pub const MAX_FRAME_LEN: usize = 1 << 20;
+
+/// Length-field sentinel marking a watermark frame (`u32 magic | u64 ts`).
+/// Safely distinguishable from a real length: event frames are capped at
+/// [`MAX_FRAME_LEN`], far below it.
+pub const WATERMARK_MAGIC: u32 = u32::MAX;
+
+/// One decoded unit of a framed stream: an event, or a watermark
+/// punctuation asserting that no later event will carry a timestamp below
+/// the given stream timestamp.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamItem {
+    /// A regular event frame.
+    Event(Event),
+    /// A watermark punctuation with its stream timestamp.
+    Watermark(u64),
+}
 
 /// Error produced when decoding a malformed frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -105,6 +130,25 @@ pub fn encode_all<'a>(events: impl IntoIterator<Item = &'a Event>) -> Bytes {
     buf.freeze()
 }
 
+/// Appends one encoded watermark frame (see [`WATERMARK_MAGIC`]) to `out`.
+pub fn encode_watermark(stream_ts: u64, out: &mut BytesMut) {
+    out.put_u32_le(WATERMARK_MAGIC);
+    out.put_u64_le(stream_ts);
+}
+
+/// Encodes a batch of stream items — events and watermarks — into a single
+/// freshly allocated buffer.
+pub fn encode_items<'a>(items: impl IntoIterator<Item = &'a StreamItem>) -> Bytes {
+    let mut buf = BytesMut::new();
+    for item in items {
+        match item {
+            StreamItem::Event(ev) => encode(ev, &mut buf),
+            StreamItem::Watermark(ts) => encode_watermark(*ts, &mut buf),
+        }
+    }
+    buf.freeze()
+}
+
 /// Incremental frame decoder.
 ///
 /// Feed bytes with [`Decoder::extend`] and pull complete events with
@@ -131,7 +175,9 @@ impl Decoder {
         self.buf.len()
     }
 
-    /// Attempts to decode the next complete event.
+    /// Attempts to decode the next complete event, transparently skipping
+    /// watermark frames — the event-only view of a possibly punctuated
+    /// stream. Use [`next_item`](Self::next_item) to observe watermarks.
     ///
     /// Returns `Ok(None)` if the buffer holds no complete frame yet.
     ///
@@ -140,10 +186,38 @@ impl Decoder {
     /// Returns a [`DecodeError`] if the buffered bytes are malformed; the
     /// decoder should be discarded afterwards.
     pub fn next_event(&mut self) -> Result<Option<Event>, DecodeError> {
+        loop {
+            match self.next_item()? {
+                Some(StreamItem::Event(ev)) => return Ok(Some(ev)),
+                Some(StreamItem::Watermark(_)) => continue,
+                None => return Ok(None),
+            }
+        }
+    }
+
+    /// Attempts to decode the next complete stream item — an event frame
+    /// or a watermark punctuation.
+    ///
+    /// Returns `Ok(None)` if the buffer holds no complete frame yet.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] if the buffered bytes are malformed; the
+    /// decoder should be discarded afterwards.
+    pub fn next_item(&mut self) -> Result<Option<StreamItem>, DecodeError> {
         if self.buf.len() < 4 {
             return Ok(None);
         }
-        let len = u32::from_le_bytes(self.buf[0..4].try_into().expect("4 bytes")) as usize;
+        let len = u32::from_le_bytes(self.buf[0..4].try_into().expect("4 bytes"));
+        if len == WATERMARK_MAGIC {
+            if self.buf.len() < 4 + 8 {
+                return Ok(None);
+            }
+            self.buf.advance(4);
+            let ts = self.buf.get_u64_le();
+            return Ok(Some(StreamItem::Watermark(ts)));
+        }
+        let len = len as usize;
         if len > MAX_FRAME_LEN {
             return Err(DecodeError::FrameTooLarge(len));
         }
@@ -152,7 +226,7 @@ impl Decoder {
         }
         self.buf.advance(4);
         let mut frame = self.buf.split_to(len);
-        decode_frame(&mut frame).map(Some)
+        decode_frame(&mut frame).map(|ev| Some(StreamItem::Event(ev)))
     }
 }
 
@@ -262,12 +336,71 @@ mod tests {
 
     #[test]
     fn oversized_frame_is_rejected() {
+        // u32::MAX is the watermark sentinel, so the smallest invalid
+        // length is one past the cap.
+        let bad = MAX_FRAME_LEN as u32 + 1;
         let mut dec = Decoder::new();
-        dec.extend(&(u32::MAX).to_le_bytes());
+        dec.extend(&bad.to_le_bytes());
         assert_eq!(
             dec.next_event(),
-            Err(DecodeError::FrameTooLarge(u32::MAX as usize))
+            Err(DecodeError::FrameTooLarge(bad as usize))
         );
+    }
+
+    #[test]
+    fn watermark_frames_round_trip() {
+        let items = vec![
+            StreamItem::Event(sample(1)),
+            StreamItem::Watermark(10),
+            StreamItem::Event(sample(2)),
+            StreamItem::Watermark(u64::MAX),
+        ];
+        let bytes = encode_items(&items);
+        let mut dec = Decoder::new();
+        dec.extend(&bytes);
+        let mut out = Vec::new();
+        while let Some(item) = dec.next_item().unwrap() {
+            out.push(item);
+        }
+        assert_eq!(out, items);
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn next_event_skips_watermarks() {
+        let items = vec![
+            StreamItem::Watermark(5),
+            StreamItem::Event(sample(1)),
+            StreamItem::Watermark(20),
+            StreamItem::Watermark(30),
+            StreamItem::Event(sample(2)),
+            StreamItem::Watermark(40),
+        ];
+        let mut dec = Decoder::new();
+        dec.extend(&encode_items(&items));
+        assert_eq!(dec.next_event().unwrap(), Some(sample(1)));
+        assert_eq!(dec.next_event().unwrap(), Some(sample(2)));
+        assert_eq!(dec.next_event().unwrap(), None);
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn fragmented_watermark_frames_decode() {
+        let items = vec![
+            StreamItem::Watermark(7),
+            StreamItem::Event(sample(3)),
+            StreamItem::Watermark(99),
+        ];
+        let bytes = encode_items(&items);
+        let mut dec = Decoder::new();
+        let mut out = Vec::new();
+        for chunk in bytes.chunks(1) {
+            dec.extend(chunk);
+            while let Some(item) = dec.next_item().unwrap() {
+                out.push(item);
+            }
+        }
+        assert_eq!(out, items);
     }
 
     #[test]

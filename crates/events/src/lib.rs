@@ -38,6 +38,7 @@ mod value;
 pub mod codec;
 pub mod merge;
 
+pub use codec::StreamItem;
 pub use event::{Event, EventBuilder};
 pub use schema::{AttrKey, EventType, Schema, SymbolId};
 pub use value::Value;

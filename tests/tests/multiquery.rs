@@ -10,8 +10,8 @@
 use std::sync::Arc;
 
 use spectre_baselines::run_sequential;
-use spectre_core::{QueryId, Report, SpectreConfig, SpectreEngine};
-use spectre_datasets::{NyseConfig, NyseGenerator};
+use spectre_core::{QueryId, ReorderConfig, Report, SpectreConfig, SpectreEngine, WatermarkPolicy};
+use spectre_datasets::{bounded_shuffle, NyseConfig, NyseGenerator};
 use spectre_events::{Event, Schema};
 use spectre_integration::assert_same_output;
 use spectre_query::queries::{self, Direction};
@@ -168,6 +168,53 @@ fn deploying_mid_stream_leaves_running_queries_unchanged() {
 }
 
 #[test]
+fn deploying_during_a_disordered_burst_matches_solo_runs() {
+    // Queries deployed *while a disordered burst is still parked in the
+    // reorder buffer* must match their solo runs over the whole stream: a
+    // punctuated stage ingests nothing before the first watermark, so the
+    // late deployments still see every event once the buffer flushes — and
+    // the original query's output is untouched by the mid-burst deploys.
+    let (a, b, events) = fixture(1_500, 43);
+    let expected_a = run_sequential(&a, &events).complex_events;
+    let expected_b = run_sequential(&b, &events).complex_events;
+    assert!(!expected_a.is_empty() && !expected_b.is_empty());
+    let shuffled = bounded_shuffle(&events, 60_000, 7);
+    assert_ne!(shuffled, events, "the burst must actually be disordered");
+
+    let reorder = ReorderConfig::bounded(0)
+        .with_watermark(WatermarkPolicy::Punctuated)
+        .with_capacity(2_048);
+    let config = SpectreConfig {
+        reorder: Some(reorder),
+        ..SpectreConfig::with_instances(2)
+    };
+    let (mut engine, ids) = multi_session(&[&a], config, false);
+    engine.push_batch(shuffled[..750].to_vec());
+    assert_eq!(
+        engine.events_ingested(),
+        0,
+        "a punctuated stage parks the burst in the buffer"
+    );
+    let late_same = engine.deploy_query(&a).expect("deploy same-spec");
+    let late_diff = engine.deploy_query(&b).expect("deploy different-spec");
+    engine.push_batch(shuffled[750..].to_vec());
+    let report = engine.try_finish().expect("finish");
+    assert_same_output("original a", query_outputs(&report, ids[0]), &expected_a);
+    assert_same_output(
+        "mid-burst same-spec deploy",
+        query_outputs(&report, late_same),
+        &expected_a,
+    );
+    assert_same_output(
+        "mid-burst different-spec deploy",
+        query_outputs(&report, late_diff),
+        &expected_b,
+    );
+    assert_eq!(report.metrics.late_events_dropped, 0);
+    assert_eq!(report.input_events, 1_500);
+}
+
+#[test]
 fn retiring_mid_stream_leaves_surviving_queries_unchanged() {
     let (a, _, events) = fixture(1_500, 31);
     let expected = run_sequential(&a, &events).complex_events;
@@ -233,6 +280,10 @@ fn aggregate_metrics_are_the_sum_of_per_query_shares() {
         checkpoints_taken,
         checkpoint_restores,
         outputs_emitted,
+        events_reordered,
+        late_events_dropped,
+        late_events_admitted,
+        watermarks_advanced,
     );
     assert!(total.outputs_emitted > 0, "the run produced outputs");
     assert_eq!(
