@@ -13,7 +13,8 @@
 //! trend tracking; `scripts/bench_gate.py` diffs it against the checked-in
 //! baseline in `crates/bench/baseline/`. Set `SPECTRE_BENCH_ONLY` to a
 //! comma-separated list of section tags (`engines`, `threaded`,
-//! `streaming`, `multiquery`, `consumption`, `reorder`) to run a subset —
+//! `streaming`, `multiquery`, `consumption`, `reorder`, `scaling`) to run
+//! a subset —
 //! the criterion shim has no CLI filter, and CI smoke steps use this to
 //! gate one dimension without paying for the rest.
 
@@ -341,6 +342,54 @@ fn bench_reorder(c: &mut Criterion) {
     group.finish();
 }
 
+/// Multi-core scaling sweep: the consumption-heavy fixture (the paper's
+/// high-ratio regime, where the speculation machinery dominates) at
+/// `instances ∈ {1, 2, 4, 8}` under the default batched/sharded data path.
+/// This is the throughput-vs-instances curve of the paper's Fig. 10 run
+/// on real threads: `events_per_sec` per case lands in the bench summary,
+/// so `scripts/bench_gate.py` tracks the whole curve against
+/// `baseline/scaling_100k.json`. Every k must deliver *bit-identical*
+/// output — the k = 1 run of each iteration is the reference the larger
+/// instance counts are asserted against, so a scaling number from a run
+/// that diverged can never land in the summary. Wall-clock ratios between
+/// the k points are only meaningful on a host with ≥ 8 cores; on fewer
+/// cores the workers time-slice and the curve flattens (the parking idle
+/// tier keeps oversubscribed runs from burning the splitter's cycles).
+fn bench_scaling(c: &mut Criterion) {
+    if !enabled("scaling") {
+        return;
+    }
+    let (query, events) = consumption_fixture();
+    let mut group = c.benchmark_group(format!("threaded_scaling_{}k_events", events.len() / 1000));
+    group.sample_size(2);
+    let mut reference: Option<Vec<spectre_query::ComplexEvent>> = None;
+    for (k, name) in [
+        (1usize, "scaling_k1"),
+        (2, "scaling_k2"),
+        (4, "scaling_k4"),
+        (8, "scaling_k8"),
+    ] {
+        let reference = &mut reference;
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let config = SpectreConfig::with_batching(k, 64, 8);
+                let report = run_threaded(&query, events.clone(), &config);
+                let out = report.complex_events.len();
+                match reference.as_ref() {
+                    Some(expected) => assert_eq!(
+                        &report.complex_events, expected,
+                        "scaling sweep k={k} diverged from the k=1 output"
+                    ),
+                    None => *reference = Some(report.complex_events),
+                }
+                stash_case(name, report.metrics, out);
+                black_box(out)
+            })
+        });
+    }
+    group.finish();
+}
+
 /// Writes the machine-readable bench summary for CI trend tracking when
 /// `SPECTRE_BENCH_SUMMARY` names a path: per threaded case, events/s (from
 /// the criterion shim's retained minimum) plus — for the consumption cases
@@ -414,6 +463,7 @@ criterion_group!(
     bench_multiquery,
     bench_consumption,
     bench_reorder,
+    bench_scaling,
     emit_summary
 );
 criterion_main!(end_to_end);

@@ -8,8 +8,11 @@
 
 use std::sync::Arc;
 
-use spectre_bench::{bench_events, bench_ks, bench_repeats, nyse_stream, print_row, sim_report};
+use spectre_bench::{
+    bench_events, bench_ks, bench_repeats, nyse_source, print_row, sim_report_streamed,
+};
 use spectre_core::SpectreConfig;
+use spectre_events::Schema;
 use spectre_query::queries::{self, Direction};
 
 fn main() {
@@ -37,9 +40,11 @@ fn main() {
         let mut cycles = 0u64;
         let mut wall_ms = 0.0;
         for rep in 0..repeats {
-            let (mut schema, events) = nyse_stream(events_n, 42 + rep as u64);
+            // Generator-fed engine session: the stream is never materialized.
+            let mut schema = Schema::new();
+            let source = nyse_source(events_n, 42 + rep as u64, &mut schema);
             let query = Arc::new(queries::q1(&mut schema, q, ws, Direction::Rising));
-            let report = sim_report(&query, &events, &SpectreConfig::with_instances(k));
+            let report = sim_report_streamed(&query, source, &SpectreConfig::with_instances(k));
             let rate = report.scheduling_cycles_per_sec();
             if rate > best {
                 best = rate;

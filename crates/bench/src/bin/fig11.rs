@@ -11,10 +11,11 @@ use std::sync::Arc;
 
 use spectre_baselines::run_sequential;
 use spectre_bench::{
-    bench_events, bench_repeats, print_row, rand_stream, sim_report, Candlestick,
-    PER_INSTANCE_EVENT_RATE,
+    bench_events, bench_repeats, print_row, rand_source, rand_stream, sim_report_streamed,
+    Candlestick, PER_INSTANCE_EVENT_RATE,
 };
 use spectre_core::{PredictorKind, SpectreConfig};
+use spectre_events::Schema;
 use spectre_query::queries;
 
 fn main() {
@@ -37,7 +38,9 @@ fn main() {
             "# Figure 11({panel}): Q3 ratio {ratio} (pattern size {pattern_size}), \
              ws = {ws}, slide = {slide}, k = {k}, events = {events_n}"
         );
-        // Ground truth for context.
+        // Ground truth for context — the sequential baseline needs the
+        // full slice, so this is the one materialized stream; the model
+        // sweep below feeds generator sources into engine sessions.
         {
             let (mut schema, events, symbols) = rand_stream(events_n, 42);
             let query = Arc::new(queries::q3(
@@ -73,7 +76,9 @@ fn main() {
             let mut refreshes = 0u64;
             let mut refresh_nanos = 0u64;
             for rep in 0..repeats {
-                let (mut schema, events, symbols) = rand_stream(events_n, 42 + rep as u64);
+                let mut schema = Schema::new();
+                let source = rand_source(events_n, 42 + rep as u64, &mut schema);
+                let symbols = source.symbols().to_vec();
                 let query = Arc::new(queries::q3(
                     &mut schema,
                     symbols[0],
@@ -86,7 +91,7 @@ fn main() {
                     predictor: predictor.clone(),
                     ..Default::default()
                 };
-                let report = sim_report(&query, &events, &config);
+                let report = sim_report_streamed(&query, source, &config);
                 samples.push(report.throughput(PER_INSTANCE_EVENT_RATE));
                 refreshes = refreshes.max(report.metrics.predictor_refreshes);
                 refresh_nanos = refresh_nanos.max(report.metrics.predictor_refresh_nanos);

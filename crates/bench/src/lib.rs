@@ -19,7 +19,7 @@
 
 use std::sync::Arc;
 
-use spectre_core::{run_simulated, SimReport, SpectreConfig};
+use spectre_core::{run_simulated, SimReport, SpectreConfig, SpectreEngine};
 use spectre_datasets::{NyseConfig, NyseGenerator, RandConfig, RandGenerator};
 use spectre_events::{Event, Schema, SymbolId};
 use spectre_query::Query;
@@ -76,33 +76,62 @@ pub fn bench_ks() -> Vec<usize> {
         .unwrap_or_else(|| vec![1, 2, 4, 8, 16, 32])
 }
 
-/// Builds the synthetic NYSE stream used by the Q1/Q2 experiments.
-pub fn nyse_stream(events: usize, seed: u64) -> (Schema, Vec<Event>) {
-    let mut schema = Schema::new();
-    let config = NyseConfig {
-        // Scaled-down symbol universe keeps MLE density comparable to the
-        // paper (16 leaders / 3000 symbols) at shorter stream lengths.
+/// The NYSE generator configuration of the Q1/Q2 experiments.
+///
+/// The scaled-down symbol universe keeps MLE density comparable to the
+/// paper (16 leaders / 3000 symbols) at shorter stream lengths.
+fn nyse_config(events: usize, seed: u64) -> NyseConfig {
+    NyseConfig {
         symbols: 300,
         leaders: 16,
         events,
         seed,
         ..NyseConfig::default()
-    };
-    let stream: Vec<Event> = NyseGenerator::new(config, &mut schema).collect();
-    (schema, stream)
+    }
 }
 
-/// Builds the RAND stream used by the Q3 / Markov experiments.
-pub fn rand_stream(events: usize, seed: u64) -> (Schema, Vec<Event>, Vec<SymbolId>) {
-    let mut schema = Schema::new();
-    let config = RandConfig {
+fn rand_config(events: usize, seed: u64) -> RandConfig {
+    RandConfig {
         symbols: 300,
         leaders: 16,
         events,
         seed,
         ..RandConfig::default()
-    };
-    let gen = RandGenerator::new(config, &mut schema);
+    }
+}
+
+/// The NYSE event *source* of the Q1/Q2 experiments: an owned generator
+/// that streams straight into an engine session. Nothing is materialized —
+/// at paper scale (24 M quotes) the figure binaries never hold the stream
+/// in memory; only the sequential ground-truth passes do (the sequential
+/// baseline computes window ranges over the full slice).
+pub fn nyse_source(events: usize, seed: u64, schema: &mut Schema) -> NyseGenerator {
+    NyseGenerator::new(nyse_config(events, seed), schema)
+}
+
+/// The RAND event source of the Q3 / Markov experiments (streaming
+/// counterpart of [`rand_stream`]; `symbols()` on the returned generator
+/// gives the symbol universe the Q3 pattern is built from).
+pub fn rand_source(events: usize, seed: u64, schema: &mut Schema) -> RandGenerator {
+    RandGenerator::new(rand_config(events, seed), schema)
+}
+
+/// Builds the synthetic NYSE stream used by the Q1/Q2 experiments,
+/// materialized as a `Vec` — for the sequential ground-truth passes.
+/// Throughput measurements should feed [`nyse_source`] into the engine
+/// instead.
+pub fn nyse_stream(events: usize, seed: u64) -> (Schema, Vec<Event>) {
+    let mut schema = Schema::new();
+    let stream: Vec<Event> = nyse_source(events, seed, &mut schema).collect();
+    (schema, stream)
+}
+
+/// Builds the RAND stream used by the Q3 / Markov experiments, materialized
+/// as a `Vec` — for the sequential ground-truth passes. Throughput
+/// measurements should feed [`rand_source`] into the engine instead.
+pub fn rand_stream(events: usize, seed: u64) -> (Schema, Vec<Event>, Vec<SymbolId>) {
+    let mut schema = Schema::new();
+    let gen = rand_source(events, seed, &mut schema);
     let symbols = gen.symbols().to_vec();
     let stream: Vec<Event> = gen.collect();
     (schema, stream, symbols)
@@ -132,6 +161,47 @@ pub fn sim_report(query: &Arc<Query>, events: &[Event], config: &SpectreConfig) 
     // session; the figure harness wants exactly its `SimReport` shape
     // (virtual rounds drive the calibrated throughput).
     run_simulated(query, events.to_vec(), &config)
+}
+
+/// [`sim_report`] over a *streaming* source: the generator feeds the
+/// simulated engine session directly, with no `Vec` fixture at any point —
+/// the figure binaries' measurement path, which must scale to the paper's
+/// 24 M-quote stream without materializing it. Pins `batch_size` to 1 for
+/// the same calibration reason as [`sim_report`]; the virtual rounds and
+/// outputs are identical to the materialized path on the same stream.
+pub fn sim_report_streamed(
+    query: &Arc<Query>,
+    source: impl IntoIterator<Item = Event>,
+    config: &SpectreConfig,
+) -> SimReport {
+    let config = SpectreConfig {
+        batch_size: 1,
+        ..config.clone()
+    };
+    let report = SpectreEngine::builder(query)
+        .config(config)
+        .simulated()
+        .build()
+        .run(source);
+    SimReport {
+        complex_events: report.complex_events,
+        metrics: report.metrics,
+        rounds: report.rounds.expect("simulated sessions report rounds"),
+        input_events: report.input_events,
+        splitter_wall: report
+            .splitter_wall
+            .expect("simulated sessions report splitter wall time"),
+        total_wall: report.wall,
+    }
+}
+
+/// [`sim_throughput`] over a streaming source.
+pub fn sim_throughput_streamed(
+    query: &Arc<Query>,
+    source: impl IntoIterator<Item = Event>,
+    config: &SpectreConfig,
+) -> f64 {
+    sim_report_streamed(query, source, config).throughput(PER_INSTANCE_EVENT_RATE)
 }
 
 /// The paper's candlestick summary: 0th, 25th, 50th, 75th and 100th
@@ -243,5 +313,34 @@ mod tests {
         let (_, d, _) = rand_stream(100, 7);
         assert_eq!(c, d);
         assert_eq!(syms.len(), 300);
+    }
+
+    #[test]
+    fn sources_match_materialized_streams() {
+        let (_, expected) = nyse_stream(200, 9);
+        let mut schema = Schema::new();
+        let streamed: Vec<Event> = nyse_source(200, 9, &mut schema).collect();
+        assert_eq!(streamed, expected);
+        let (_, expected, syms) = rand_stream(200, 9);
+        let mut schema = Schema::new();
+        let gen = rand_source(200, 9, &mut schema);
+        assert_eq!(gen.symbols(), &syms[..]);
+        let streamed: Vec<Event> = gen.collect();
+        assert_eq!(streamed, expected);
+    }
+
+    #[test]
+    fn streamed_sim_report_matches_the_materialized_path() {
+        use spectre_query::queries::{self, Direction};
+        let (mut schema, events) = nyse_stream(2000, 11);
+        let query = Arc::new(queries::q1(&mut schema, 3, 200, Direction::Rising));
+        let config = SpectreConfig::with_instances(4);
+        let fixture = sim_report(&query, &events, &config);
+        let mut schema2 = Schema::new();
+        let source = nyse_source(2000, 11, &mut schema2);
+        let streamed = sim_report_streamed(&query, source, &config);
+        assert_eq!(streamed.complex_events, fixture.complex_events);
+        assert_eq!(streamed.rounds, fixture.rounds);
+        assert_eq!(streamed.input_events, fixture.input_events);
     }
 }

@@ -95,7 +95,7 @@ use spectre_query::{ComplexEvent, Query};
 
 use crate::config::SpectreConfig;
 use crate::instance::{InstanceCore, StepOutcome};
-use crate::metrics::MetricsSnapshot;
+use crate::metrics::{MetricsSnapshot, WorkerSnapshot};
 use crate::reorder::{Offer, ReorderBuffer};
 use crate::shared::{QueryId, SharedState};
 use crate::splitter::Splitter;
@@ -636,6 +636,15 @@ impl SpectreEngine {
         self.shared.metrics.snapshot()
     }
 
+    /// Live per-worker snapshots of the instance-hot counters (events
+    /// processed/suppressed, idle and stalled steps), in instance order.
+    /// The aggregate [`metrics`](Self::metrics) equals the base residual
+    /// plus the sum of these blocks — see
+    /// [`Metrics::with_workers`](crate::metrics::Metrics::with_workers).
+    pub fn worker_metrics(&self) -> Vec<WorkerSnapshot> {
+        self.shared.metrics.worker_snapshots()
+    }
+
     /// Live per-query metric snapshots, in deployment order. See
     /// [`QueryReport::metrics`] for which counters have per-query shares.
     pub fn per_query_metrics(&self) -> Vec<(QueryId, MetricsSnapshot)> {
@@ -834,6 +843,7 @@ impl Drop for SpectreEngine {
                 return;
             }
             self.shared.done.store(true, Ordering::Release);
+            self.shared.unpark_workers();
             let _ = self.join_workers();
         }
     }
@@ -848,6 +858,9 @@ fn spawn_workers(shared: &Arc<SharedState>, config: &SpectreConfig) -> Vec<JoinH
             let checkpoint_freq = config.checkpoint_freq;
             let batch_size = config.batch_size;
             std::thread::spawn(move || {
+                // Register for unparking before the first step: the worker
+                // may enter the parking tier before ever doing useful work.
+                shared.register_worker(i);
                 let mut inst = InstanceCore::new(i, check_freq)
                     .with_checkpoints(checkpoint_freq)
                     .with_batch(batch_size);
@@ -858,23 +871,53 @@ fn spawn_workers(shared: &Arc<SharedState>, config: &SpectreConfig) -> Vec<JoinH
 }
 
 /// The operator-instance worker loop — the single implementation of the
-/// idle-spin policy shared by the engine session and (through it) the
-/// legacy `run_threaded` wrapper: spin briefly on idle/stalled steps,
-/// degrade to yielding so oversubscribed machines still make progress,
-/// and flush the Markov statistics on shutdown.
+/// idle back-off policy shared by the engine session and (through it) the
+/// legacy `run_threaded` wrapper. Three tiers on idle/stalled steps:
+///
+/// 1. **Spin** (first 32 fruitless steps): a new assignment or fresh
+///    ingestion usually lands within microseconds mid-stream.
+/// 2. **Yield** (up to 64): give the splitter and the other workers the
+///    core — the path that keeps oversubscribed machines live.
+/// 3. **Park** (beyond 64): `park_timeout` with exponential back-off
+///    (50 µs doubling to ~1.6 ms), so an idle worker costs no CPU. The
+///    splitter unparks everyone whenever a cycle publishes slots, flushes
+///    events or sets `done` ([`SharedState::unpark_workers`]); the bounded
+///    timeout caps the cost of a lost wake-up at one period instead of a
+///    hang. Without this tier, an idle k=8 session pins 8 cores.
+///
+/// Statistics are flushed on shutdown.
 fn instance_worker(inst: &mut InstanceCore, shared: &SharedState) {
+    const SPIN_STEPS: u32 = 32;
+    const YIELD_STEPS: u32 = 64;
+    const PARK_MIN: Duration = Duration::from_micros(50);
+    const PARK_MAX: Duration = Duration::from_micros(1_600);
     let mut idle_spins = 0u32;
+    let mut park_for = PARK_MIN;
     while !shared.is_done() {
         match inst.step(shared) {
             StepOutcome::Idle | StepOutcome::Stalled => {
-                idle_spins += 1;
-                if idle_spins > 64 {
+                idle_spins = idle_spins.saturating_add(1);
+                if idle_spins <= SPIN_STEPS {
+                    std::hint::spin_loop();
+                } else if idle_spins <= YIELD_STEPS {
                     std::thread::yield_now();
                 } else {
-                    std::hint::spin_loop();
+                    // Re-check the shutdown flag after joining the parked
+                    // set: unpark_workers only wakes registered threads it
+                    // sees parked, so the order here (count up, re-check,
+                    // park) closes the race with a concurrent `done`.
+                    shared.note_parked();
+                    if !shared.is_done() {
+                        std::thread::park_timeout(park_for);
+                    }
+                    shared.note_unparked();
+                    park_for = (park_for * 2).min(PARK_MAX);
                 }
             }
-            _ => idle_spins = 0,
+            _ => {
+                idle_spins = 0;
+                park_for = PARK_MIN;
+            }
         }
     }
     inst.flush_stats(shared);

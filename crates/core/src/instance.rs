@@ -33,7 +33,7 @@ use spectre_query::{DetectorAction, MatchId, SelectionPolicy};
 use crate::cg::CgCell;
 use crate::metrics::Metrics;
 use crate::shared::{QueryId, SharedState, StatsBatch, TreeOp};
-use crate::store::EventRun;
+use crate::store::{EventRun, WindowBuf};
 use crate::version::{VersionInner, VersionState};
 
 /// Outcome of one instance step (used by the drivers for accounting and
@@ -60,6 +60,10 @@ pub struct InstanceCore {
     checkpoint_freq: Option<u32>,
     batch: usize,
     current: Option<Arc<VersionState>>,
+    /// Last observed publication sequence of this instance's scheduling
+    /// slot; lets the per-step pickup skip the slot lock while the
+    /// assignment is unchanged (see [`SlotCell`](crate::shared::SlotCell)).
+    slot_seq: u64,
     actions: Vec<DetectorAction>,
     stats: Vec<(u32, u32)>,
     /// Query whose versions produced the buffered `stats` (one batch never
@@ -71,6 +75,11 @@ pub struct InstanceCore {
     run_suppressed: u64,
     /// Per-query counters of the version the run counters belong to.
     run_qmetrics: Option<Arc<Metrics>>,
+    /// The scheduled window's store buffer, cached by `store_id` across
+    /// steps so the run-read path skips the store's shard-map lookup.
+    /// Cleared whenever the assignment changes or goes idle, so a retired
+    /// window's buffer is not pinned while the instance waits.
+    run_buf: Option<(u64, Arc<WindowBuf>)>,
 }
 
 impl InstanceCore {
@@ -84,6 +93,7 @@ impl InstanceCore {
             checkpoint_freq: None,
             batch: 1,
             current: None,
+            slot_seq: 0,
             actions: Vec::new(),
             stats: Vec::new(),
             stats_query: None,
@@ -92,6 +102,7 @@ impl InstanceCore {
             run_processed: 0,
             run_suppressed: 0,
             run_qmetrics: None,
+            run_buf: None,
         }
     }
 
@@ -136,55 +147,46 @@ impl InstanceCore {
     }
 
     /// Publishes the run's event counters with one atomic update each
-    /// (amortizing per-event metric traffic over the batch).
+    /// (amortizing per-event metric traffic over the batch), routed to this
+    /// worker's cache-padded counter block.
     fn flush_run_counters(&mut self, shared: &SharedState) {
-        use std::sync::atomic::Ordering;
         let qmetrics = self.run_qmetrics.take();
         if self.run_processed > 0 {
             shared
                 .metrics
-                .events_processed
-                .fetch_add(self.run_processed, Ordering::Relaxed);
+                .add_events_processed(self.index, self.run_processed);
             if let Some(qm) = &qmetrics {
-                qm.events_processed
-                    .fetch_add(self.run_processed, Ordering::Relaxed);
+                qm.add_events_processed(self.index, self.run_processed);
             }
             self.run_processed = 0;
         }
         if self.run_suppressed > 0 {
             shared
                 .metrics
-                .events_suppressed
-                .fetch_add(self.run_suppressed, Ordering::Relaxed);
+                .add_events_suppressed(self.index, self.run_suppressed);
             if let Some(qm) = &qmetrics {
-                qm.events_suppressed
-                    .fetch_add(self.run_suppressed, Ordering::Relaxed);
+                qm.add_events_suppressed(self.index, self.run_suppressed);
             }
             self.run_suppressed = 0;
         }
     }
 
     fn step_inner(&mut self, shared: &SharedState) -> StepOutcome {
-        use std::sync::atomic::Ordering;
-
-        // Pick up a scheduling change (Fig. 8 lines 7–9).
-        {
-            let slot = shared.slots[self.index].lock();
-            let differs = match (&self.current, &*slot) {
-                (Some(a), Some(b)) => !Arc::ptr_eq(a, b),
-                (None, None) => false,
-                _ => true,
-            };
-            if differs {
-                self.current = slot.clone();
-            }
+        // Pick up a scheduling change (Fig. 8 lines 7–9). Seq-gated: while
+        // the splitter hasn't republished this slot, the check is a single
+        // atomic load and the lock is never touched.
+        if let Some(update) = shared.slots[self.index].observe(&mut self.slot_seq) {
+            self.current = update;
+            self.run_buf = None;
         }
         let Some(wv) = self.current.clone() else {
-            shared.metrics.idle_steps.fetch_add(1, Ordering::Relaxed);
+            self.run_buf = None;
+            shared.metrics.add_idle_step(self.index);
             return StepOutcome::Idle;
         };
         if wv.is_dropped() || wv.is_finished() {
-            shared.metrics.idle_steps.fetch_add(1, Ordering::Relaxed);
+            self.run_buf = None;
+            shared.metrics.add_idle_step(self.index);
             return StepOutcome::Idle;
         }
 
@@ -200,17 +202,32 @@ impl InstanceCore {
             }
         }
 
-        // Fetch the next run under one store shard-lock acquisition. The
-        // per-window buffer only ever holds the window's own events, so the
-        // run can never overshoot the window end.
+        // Fetch the next run under one window-buffer lock acquisition,
+        // through the cached buffer handle when the instance is still on
+        // the same window. The per-window buffer only ever holds the
+        // window's own events, so the run can never overshoot the window
+        // end.
+        let buf = match &self.run_buf {
+            Some((id, buf)) if *id == window.store_id => Arc::clone(buf),
+            _ => match shared.store.window_buf(window.store_id) {
+                Some(buf) => {
+                    self.run_buf = Some((window.store_id, Arc::clone(&buf)));
+                    buf
+                }
+                None => {
+                    // Unknown buffer: the window is racing retirement; the
+                    // dropped flag resolves it at a later step.
+                    shared.metrics.add_stalled_step(self.index);
+                    return StepOutcome::Stalled;
+                }
+            },
+        };
         self.fetch.clear();
-        let n = shared
-            .store
-            .read_run(window.store_id, inner.pos, self.batch, &mut self.fetch);
+        let n = buf.read_run(inner.pos, self.batch, &mut self.fetch);
         if n == 0 {
             // Not yet ingested (or the window is racing retirement, which a
             // later step resolves via the dropped flag): stall.
-            shared.metrics.stalled_steps.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.add_stalled_step(self.index);
             return StepOutcome::Stalled;
         }
         let runs = std::mem::take(&mut self.fetch);
@@ -626,7 +643,7 @@ mod tests {
         let window = Arc::new(WindowInfo::new(0, 0, 0, 0));
         window.set_end_pos(events.len() as u64);
         let wv = VersionState::new(WvId(0), window, query(consumption), suppressed);
-        *shared.slots[0].lock() = Some(Arc::clone(&wv));
+        shared.slots[0].publish(Some(Arc::clone(&wv)));
         let inst = InstanceCore::new(0, 2);
         (shared, wv, inst)
     }
@@ -676,7 +693,7 @@ mod tests {
         let window = Arc::new(WindowInfo::new(0, 0, 0, 0));
         window.set_end_pos(1);
         let wv = VersionState::new(WvId(0), window, query(ConsumptionPolicy::All), vec![]);
-        *shared.slots[0].lock() = Some(Arc::clone(&wv));
+        shared.slots[0].publish(Some(Arc::clone(&wv)));
         let mut inst = InstanceCore::new(0, 2);
         assert_eq!(inst.step(&shared), StepOutcome::Stalled);
         let mut batch = crate::splitter::EventBatch::with_capacity(0, 1);

@@ -156,7 +156,7 @@ pub use config::{PredictorKind, SpectreConfig};
 pub use engine::{
     EngineError, PushResult, QueryReport, Report, SpectreEngine, SpectreEngineBuilder,
 };
-pub use metrics::MetricsSnapshot;
+pub use metrics::{MetricsSnapshot, WorkerSnapshot};
 pub use reorder::{LatePolicy, ReorderConfig, WatermarkPolicy};
 pub use runtime::{run_threaded, ThreadedReport};
 pub use shared::QueryId;

@@ -1,8 +1,53 @@
 //! Runtime metrics: the counters behind the paper's overhead analysis
 //! (Fig. 10(c) scheduling frequency, Fig. 10(f) tree size) plus speculation
 //! accounting.
+//!
+//! The instance-hot counters (events processed/suppressed, idle and stalled
+//! steps) are split into per-worker [`CachePadded`] blocks when the metrics
+//! are built with [`Metrics::with_workers`]: each operator instance then
+//! increments its own cache line instead of ping-ponging one shared line
+//! between cores, and [`Metrics::snapshot`] folds the blocks back into the
+//! aggregate. Metrics built without worker blocks (`new`/`default`, e.g.
+//! per-query views) fall back to the shared base atomics transparently.
 
+use crossbeam::utils::CachePadded;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The instance-hot counters, one cache-padded block per worker (see the
+/// module docs). Fields mirror the same-named [`Metrics`] counters.
+#[derive(Debug, Default)]
+pub struct WorkerCounters {
+    /// Events processed by this worker (excluding suppressed skips).
+    pub events_processed: AtomicU64,
+    /// Events this worker skipped because a suppressed group contained them.
+    pub events_suppressed: AtomicU64,
+    /// Idle steps taken by this worker (no version scheduled).
+    pub idle_steps: AtomicU64,
+    /// Stalled steps taken by this worker (version waiting for ingestion).
+    pub stalled_steps: AtomicU64,
+}
+
+impl WorkerCounters {
+    /// Takes a plain-value snapshot of this worker's block.
+    pub fn snapshot(&self) -> WorkerSnapshot {
+        WorkerSnapshot {
+            events_processed: self.events_processed.load(Ordering::Relaxed),
+            events_suppressed: self.events_suppressed.load(Ordering::Relaxed),
+            idle_steps: self.idle_steps.load(Ordering::Relaxed),
+            stalled_steps: self.stalled_steps.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-value snapshot of one worker's [`WorkerCounters`] block.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct WorkerSnapshot {
+    pub events_processed: u64,
+    pub events_suppressed: u64,
+    pub idle_steps: u64,
+    pub stalled_steps: u64,
+}
 
 /// Shared atomic counters, updated by splitter and instances.
 #[derive(Debug, Default)]
@@ -71,12 +116,79 @@ pub struct Metrics {
     /// Watermark advances emitted by the reorder stage. Per query view,
     /// like `events_reordered`.
     pub watermarks_advanced: AtomicU64,
+    /// Per-worker blocks for the instance-hot counters (empty unless built
+    /// with [`Metrics::with_workers`]). [`Metrics::snapshot`] adds these to
+    /// the base fields of the same names.
+    workers: Vec<CachePadded<WorkerCounters>>,
 }
 
 impl Metrics {
-    /// Creates zeroed metrics.
+    /// Creates zeroed metrics with no per-worker blocks: every counter,
+    /// including the instance-hot ones, lands on the shared base atomics.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates zeroed metrics with `workers` cache-padded per-worker blocks
+    /// for the instance-hot counters.
+    pub fn with_workers(workers: usize) -> Self {
+        Metrics {
+            workers: (0..workers).map(|_| CachePadded::default()).collect(),
+            ..Self::default()
+        }
+    }
+
+    /// This worker's counter block, or `None` when the metrics were built
+    /// without one (then the base atomics are the destination).
+    pub fn worker(&self, index: usize) -> Option<&WorkerCounters> {
+        self.workers.get(index).map(|w| &**w)
+    }
+
+    /// Number of per-worker blocks (0 for `new`/`default` metrics).
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Per-worker snapshots, in worker-index order (empty for metrics built
+    /// without worker blocks).
+    pub fn worker_snapshots(&self) -> Vec<WorkerSnapshot> {
+        self.workers.iter().map(|w| w.snapshot()).collect()
+    }
+
+    /// Adds `n` processed events to worker `index`'s block, or to the base
+    /// counter when no block exists.
+    pub fn add_events_processed(&self, index: usize, n: u64) {
+        match self.worker(index) {
+            Some(w) => w.events_processed.fetch_add(n, Ordering::Relaxed),
+            None => self.events_processed.fetch_add(n, Ordering::Relaxed),
+        };
+    }
+
+    /// Adds `n` suppressed events to worker `index`'s block, or to the base
+    /// counter when no block exists.
+    pub fn add_events_suppressed(&self, index: usize, n: u64) {
+        match self.worker(index) {
+            Some(w) => w.events_suppressed.fetch_add(n, Ordering::Relaxed),
+            None => self.events_suppressed.fetch_add(n, Ordering::Relaxed),
+        };
+    }
+
+    /// Counts one idle step for worker `index` (base counter when no block
+    /// exists).
+    pub fn add_idle_step(&self, index: usize) {
+        match self.worker(index) {
+            Some(w) => w.idle_steps.fetch_add(1, Ordering::Relaxed),
+            None => self.idle_steps.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+
+    /// Counts one stalled step for worker `index` (base counter when no
+    /// block exists).
+    pub fn add_stalled_step(&self, index: usize) {
+        match self.worker(index) {
+            Some(w) => w.stalled_steps.fetch_add(1, Ordering::Relaxed),
+            None => self.stalled_steps.fetch_add(1, Ordering::Relaxed),
+        };
     }
 
     /// Records a tree-size observation, keeping the maximum.
@@ -84,11 +196,23 @@ impl Metrics {
         self.max_tree_versions.fetch_max(size, Ordering::Relaxed);
     }
 
-    /// Takes a plain-value snapshot.
+    /// Takes a plain-value snapshot. The instance-hot counters fold every
+    /// per-worker block into the base value, so the snapshot is the same
+    /// aggregate whether or not the metrics were built `with_workers`.
     pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut events_processed = self.events_processed.load(Ordering::Relaxed);
+        let mut events_suppressed = self.events_suppressed.load(Ordering::Relaxed);
+        let mut idle_steps = self.idle_steps.load(Ordering::Relaxed);
+        let mut stalled_steps = self.stalled_steps.load(Ordering::Relaxed);
+        for w in &self.workers {
+            events_processed += w.events_processed.load(Ordering::Relaxed);
+            events_suppressed += w.events_suppressed.load(Ordering::Relaxed);
+            idle_steps += w.idle_steps.load(Ordering::Relaxed);
+            stalled_steps += w.stalled_steps.load(Ordering::Relaxed);
+        }
         MetricsSnapshot {
-            events_processed: self.events_processed.load(Ordering::Relaxed),
-            events_suppressed: self.events_suppressed.load(Ordering::Relaxed),
+            events_processed,
+            events_suppressed,
             cgs_created: self.cgs_created.load(Ordering::Relaxed),
             cgs_completed: self.cgs_completed.load(Ordering::Relaxed),
             cgs_abandoned: self.cgs_abandoned.load(Ordering::Relaxed),
@@ -102,8 +226,8 @@ impl Metrics {
             sched_cycles: self.sched_cycles.load(Ordering::Relaxed),
             max_tree_versions: self.max_tree_versions.load(Ordering::Relaxed),
             windows_retired: self.windows_retired.load(Ordering::Relaxed),
-            idle_steps: self.idle_steps.load(Ordering::Relaxed),
-            stalled_steps: self.stalled_steps.load(Ordering::Relaxed),
+            idle_steps,
+            stalled_steps,
             checkpoints_taken: self.checkpoints_taken.load(Ordering::Relaxed),
             checkpoint_restores: self.checkpoint_restores.load(Ordering::Relaxed),
             outputs_emitted: self.outputs_emitted.load(Ordering::Relaxed),
@@ -173,6 +297,44 @@ mod tests {
         assert_eq!(s.events_processed, 5);
         assert_eq!(s.rollbacks, 2);
         assert_eq!(s.cgs_created, 0);
+    }
+
+    #[test]
+    fn worker_blocks_fold_into_the_snapshot() {
+        let m = Metrics::with_workers(3);
+        assert_eq!(m.worker_count(), 3);
+        m.add_events_processed(0, 5);
+        m.add_events_processed(2, 7);
+        m.add_events_suppressed(1, 2);
+        m.add_idle_step(1);
+        m.add_stalled_step(2);
+        // Out-of-range worker indices land on the base atomics.
+        m.add_events_processed(9, 11);
+        let s = m.snapshot();
+        assert_eq!(s.events_processed, 23);
+        assert_eq!(s.events_suppressed, 2);
+        assert_eq!(s.idle_steps, 1);
+        assert_eq!(s.stalled_steps, 1);
+        // The aggregate is exactly the base residual plus the block sums.
+        let per: Vec<WorkerSnapshot> = m.worker_snapshots();
+        let block_sum: u64 = per.iter().map(|w| w.events_processed).sum();
+        let base = m.events_processed.load(Ordering::Relaxed);
+        assert_eq!(base + block_sum, s.events_processed);
+        assert_eq!(per[0].events_processed, 5);
+        assert_eq!(per[2].events_processed, 7);
+    }
+
+    #[test]
+    fn workerless_metrics_fall_back_to_base_atomics() {
+        let m = Metrics::new();
+        assert_eq!(m.worker_count(), 0);
+        assert!(m.worker(0).is_none());
+        m.add_events_processed(0, 4);
+        m.add_idle_step(3);
+        assert_eq!(m.events_processed.load(Ordering::Relaxed), 4);
+        assert_eq!(m.idle_steps.load(Ordering::Relaxed), 1);
+        assert_eq!(m.snapshot().events_processed, 4);
+        assert!(m.worker_snapshots().is_empty());
     }
 
     #[test]

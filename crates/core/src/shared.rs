@@ -13,8 +13,9 @@
 //! acquisition per batch), and the `ingested` watermark is published once
 //! per batch rather than once per event.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::thread::Thread;
 
 use crossbeam::queue::SegQueue;
 use parking_lot::Mutex;
@@ -85,13 +86,59 @@ pub struct StatsBatch {
     pub transitions: Vec<(u32, u32)>,
 }
 
+/// One instance's scheduling slot with seq-numbered publication.
+///
+/// The splitter [`publish`](SlotCell::publish)es assignments rarely (only
+/// when the top-k schedule actually moves a version), while every instance
+/// step starts by checking its slot. The sequence number makes the common
+/// unchanged case lock-free: [`observe`](SlotCell::observe) compares one
+/// atomic against the caller's cached value and touches the mutex only when
+/// a new assignment was published, so a polling instance no longer bounces
+/// the slot's lock line against the splitter's scheduling pass.
+#[derive(Debug, Default)]
+pub struct SlotCell {
+    seq: AtomicU64,
+    value: Mutex<Option<Arc<VersionState>>>,
+}
+
+impl SlotCell {
+    /// Publishes a new assignment and bumps the publication sequence.
+    pub fn publish(&self, v: Option<Arc<VersionState>>) {
+        let mut guard = self.value.lock();
+        *guard = v;
+        // Bumped under the lock, so an observer that wins the lock after
+        // seeing the new sequence is guaranteed to read the new value.
+        self.seq.fetch_add(1, Ordering::Release);
+    }
+
+    /// Checks for a publication newer than `last_seen`.
+    ///
+    /// Returns `None` without locking when nothing was published since the
+    /// caller's previous observation (the per-step common case). Otherwise
+    /// advances `last_seen` and returns the current assignment — possibly
+    /// `Some(None)` when the slot was cleared.
+    pub fn observe(&self, last_seen: &mut u64) -> Option<Option<Arc<VersionState>>> {
+        if self.seq.load(Ordering::Acquire) == *last_seen {
+            return None;
+        }
+        let guard = self.value.lock();
+        *last_seen = self.seq.load(Ordering::Acquire);
+        Some(guard.clone())
+    }
+
+    /// Clones the current assignment (test/diagnostic path; takes the lock).
+    pub fn load(&self) -> Option<Arc<VersionState>> {
+        self.value.lock().clone()
+    }
+}
+
 /// Everything splitter and instances share.
 #[derive(Debug)]
 pub struct SharedState {
     /// The sharded per-window event buffers.
     pub store: WindowStore,
     /// Per-instance scheduling slot.
-    pub slots: Vec<Mutex<Option<Arc<VersionState>>>>,
+    pub slots: Vec<SlotCell>,
     /// Buffered tree updates (instances → splitter), tagged with the query
     /// whose tree they belong to. Ops for a query retired in the meantime
     /// are dropped as stale when drained.
@@ -108,10 +155,18 @@ pub struct SharedState {
     pub ingest_done: AtomicBool,
     /// Set once all windows retired; instances shut down.
     pub done: AtomicBool,
-    /// Shared counters.
+    /// Shared counters (built with one per-worker block per instance, so
+    /// the instance-hot counters stay off shared cache lines).
     pub metrics: Metrics,
     next_cg: AtomicU64,
     next_wv: AtomicU64,
+    /// Worker thread handles, registered by each threaded worker on entry
+    /// (`None` for simulated instances, which never park).
+    worker_threads: Mutex<Vec<Option<Thread>>>,
+    /// How many workers are currently inside `park_timeout`. Lets
+    /// [`unpark_workers`](Self::unpark_workers) skip the registry lock in
+    /// the nobody-parked common case.
+    parked: AtomicUsize,
 }
 
 impl SharedState {
@@ -132,21 +187,59 @@ impl SharedState {
     pub fn with_shards(instances: usize, shards: usize) -> Arc<Self> {
         Arc::new(SharedState {
             store: WindowStore::new(shards),
-            slots: (0..instances).map(|_| Mutex::new(None)).collect(),
+            slots: (0..instances).map(|_| SlotCell::default()).collect(),
             ops: SegQueue::new(),
             stats: SegQueue::new(),
             ingested: AtomicU64::new(0),
             ingest_done: AtomicBool::new(false),
             done: AtomicBool::new(false),
-            metrics: Metrics::new(),
+            metrics: Metrics::with_workers(instances),
             next_cg: AtomicU64::new(0),
             next_wv: AtomicU64::new(0),
+            worker_threads: Mutex::new((0..instances).map(|_| None).collect()),
+            parked: AtomicUsize::new(0),
         })
     }
 
     /// Number of operator instances.
     pub fn instance_count(&self) -> usize {
         self.slots.len()
+    }
+
+    /// Registers the calling thread as worker `index`, making it reachable
+    /// by [`unpark_workers`](Self::unpark_workers). Threaded workers call
+    /// this on entry; simulated instances never do.
+    pub fn register_worker(&self, index: usize) {
+        let mut threads = self.worker_threads.lock();
+        if index < threads.len() {
+            threads[index] = Some(std::thread::current());
+        }
+    }
+
+    /// Brackets one `park_timeout` in the parked-worker count. The caller
+    /// must re-check its wake conditions *after* incrementing and before
+    /// parking; together with the bounded timeout that makes a missed
+    /// unpark cost at most one timeout, never a hang.
+    pub fn note_parked(&self) {
+        self.parked.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// See [`note_parked`](Self::note_parked).
+    pub fn note_unparked(&self) {
+        self.parked.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Wakes every parked worker. Cheap when nobody is parked (one atomic
+    /// load); otherwise unparks all registered worker threads — unpark
+    /// tokens are sticky, so racing with a worker about to park is safe.
+    pub fn unpark_workers(&self) {
+        if self.parked.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        let threads = self.worker_threads.lock();
+        for t in threads.iter().flatten() {
+            t.unpark();
+        }
     }
 
     /// Allocates a consumption-group id.
@@ -187,6 +280,34 @@ mod tests {
         let s = SharedState::for_config(&config);
         assert_eq!(s.instance_count(), 3);
         assert_eq!(s.store.shard_count(), 4);
+    }
+
+    #[test]
+    fn slot_observation_is_seq_gated() {
+        let cell = SlotCell::default();
+        let mut seen = cell.seq.load(Ordering::Relaxed);
+        // Nothing published yet: the lock-free fast path reports no change.
+        assert!(cell.observe(&mut seen).is_none());
+        cell.publish(None);
+        // A publication (even of "no assignment") is observed exactly once.
+        assert!(matches!(cell.observe(&mut seen), Some(None)));
+        assert!(cell.observe(&mut seen).is_none());
+        // A second observer with its own cursor still sees it.
+        let mut other = 0;
+        assert!(matches!(cell.observe(&mut other), Some(None)));
+    }
+
+    #[test]
+    fn unpark_workers_without_parked_workers_is_a_noop() {
+        let s = SharedState::new(2);
+        s.unpark_workers(); // fast path: nobody parked, no registry access
+        s.register_worker(0);
+        s.note_parked();
+        s.unpark_workers(); // slow path: delivers a (sticky) unpark token
+        s.note_unparked();
+        std::thread::park_timeout(std::time::Duration::from_secs(5));
+        // The token from unpark_workers makes the park return immediately;
+        // reaching this line (well before the 5 s timeout) is the assertion.
     }
 
     #[test]

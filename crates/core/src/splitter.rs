@@ -350,6 +350,13 @@ pub struct Splitter {
     outputs: Vec<(QueryId, ComplexEvent)>,
     ingest_done: bool,
     progress: bool,
+    /// Splitter-local mirror of the instance scheduling slots. The splitter
+    /// is the only publisher, so this shadow is authoritative: the kept-set
+    /// check in [`schedule`](Self::schedule) and the slot sweep in
+    /// [`retire_query`](Self::retire_query) read it instead of locking the
+    /// shared [`SlotCell`](crate::shared::SlotCell)s, and a slot is only
+    /// published (and its watchers woken) when its assignment changes.
+    sched_shadow: Vec<Option<Arc<VersionState>>>,
 }
 
 /// Spec-derived warm-up window-size estimate, used by the prediction input
@@ -373,6 +380,7 @@ impl Splitter {
     pub fn multi(config: SpectreConfig, shared: Arc<SharedState>) -> Self {
         config.validate();
         let batch = EventBatch::with_capacity(0, config.batch_size);
+        let sched_shadow = (0..shared.instance_count()).map(|_| None).collect();
         Splitter {
             config,
             shared,
@@ -392,6 +400,7 @@ impl Splitter {
             outputs: Vec::new(),
             ingest_done: false,
             progress: false,
+            sched_shadow,
         }
     }
 
@@ -472,7 +481,10 @@ impl Splitter {
             finished_acked: HashSet::new(),
             avg_window_size,
             closed_windows: 0,
-            metrics: Arc::new(Metrics::new()),
+            // Per-query views get worker blocks too: instances flush their
+            // run counters into them, so without the split the per-query
+            // lines would ping-pong between cores just like the aggregate.
+            metrics: Arc::new(Metrics::with_workers(self.shared.instance_count())),
         });
         Ok(id)
     }
@@ -492,10 +504,10 @@ impl Splitter {
         for v in qs.tree.versions() {
             v.mark_dropped();
         }
-        for slot in self.shared.slots.iter() {
-            let mut guard = slot.lock();
-            if guard.as_ref().is_some_and(|v| v.query_id() == qid) {
-                *guard = None;
+        for (i, cur) in self.sched_shadow.iter_mut().enumerate() {
+            if cur.as_ref().is_some_and(|v| v.query_id() == qid) {
+                *cur = None;
+                self.shared.slots[i].publish(None);
             }
         }
         // Unsubscribe from the spec group; the group itself stays (it may
@@ -725,12 +737,17 @@ impl Splitter {
         }
         metrics.sched_cycles.fetch_add(1, Ordering::Relaxed);
         metrics.observe_tree_size(total_versions);
-        if self.ingest_done && self.queries.iter().all(|q| q.tree.is_empty()) {
+        let finished = if self.ingest_done && self.queries.iter().all(|q| q.tree.is_empty()) {
             self.shared.done.store(true, Ordering::Release);
             true
         } else {
             false
-        }
+        };
+        // Wake parked workers: this cycle may have published slots, flushed
+        // fresh events into the store, or set the done flag. Free when
+        // nobody is parked (one atomic load).
+        self.shared.unpark_workers();
+        finished
     }
 
     fn apply_ops(&mut self) {
@@ -1139,16 +1156,17 @@ impl Splitter {
         cands.truncate(k);
 
         // Two-pass assignment (paper Fig. 7): keep already-placed versions,
-        // hand the rest to free instances.
+        // hand the rest to free instances. Both passes run against the
+        // splitter-local shadow — no slot locks — and only slots whose
+        // assignment actually changes are published.
         let mut to_place: Vec<Arc<VersionState>> = Vec::new();
-        let mut kept: Vec<bool> = vec![false; self.shared.slots.len()];
+        let mut kept: Vec<bool> = vec![false; self.sched_shadow.len()];
         'version: for (_, v) in &cands {
-            for (i, slot) in self.shared.slots.iter().enumerate() {
+            for (i, cur) in self.sched_shadow.iter().enumerate() {
                 if kept[i] {
                     continue;
                 }
-                let guard = slot.lock();
-                if guard.as_ref().is_some_and(|s| Arc::ptr_eq(s, v)) {
+                if cur.as_ref().is_some_and(|s| Arc::ptr_eq(s, v)) {
                     kept[i] = true;
                     continue 'version;
                 }
@@ -1156,11 +1174,20 @@ impl Splitter {
             to_place.push(Arc::clone(v));
         }
         let mut to_place = to_place.into_iter();
-        for (i, slot) in self.shared.slots.iter().enumerate() {
-            if kept[i] {
+        for (i, kept) in kept.iter().enumerate() {
+            if *kept {
                 continue;
             }
-            *slot.lock() = to_place.next();
+            let next = to_place.next();
+            let unchanged = match (&self.sched_shadow[i], &next) {
+                (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+                (None, None) => true,
+                _ => false,
+            };
+            if !unchanged {
+                self.shared.slots[i].publish(next.clone());
+                self.sched_shadow[i] = next;
+            }
         }
     }
 }

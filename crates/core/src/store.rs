@@ -9,26 +9,30 @@
 //! discovers the end position during ingestion) and all versions of the
 //! window (paper §2.2: window boundaries are kept in shared memory).
 //!
-//! # Sharding
+//! # Sharding and per-window locking
 //!
 //! Buffers live in [`WindowStore`], which is sharded by window-id hash:
 //! window `w` belongs to shard `w mod shards`. Window ids are allocated
 //! sequentially, so consecutive — and therefore concurrently live — windows
-//! land on *different* shards, and k instances working on k different
-//! windows take k different locks instead of serializing on one. With
-//! `shards = 1` the store degenerates to the original single-lock design;
-//! the output is identical for every shard count (the shard map is pure
-//! placement, never ordering).
+//! land on *different* shards. The shard lock guards only the window *map*
+//! (open/remove take it for writing; lookups read it); each buffer carries
+//! its own lock ([`WindowBuf`]), so the splitter appending to one window
+//! never blocks instances reading any other window — not even one on the
+//! same shard — and instances cache the buffer `Arc` across steps
+//! ([`WindowStore::window_buf`]) to skip the map lookup entirely. With
+//! `shards = 1` the store degenerates to a single map lock; the output is
+//! identical for every shard count (the shard map is pure placement, never
+//! ordering).
 //!
 //! # Batching
 //!
 //! A window's buffer is a list of *segments*, each a sub-range of one
 //! shared hand-off batch. Writers ([`WindowStore::extend`]) append one
 //! segment per (window, batch); readers ([`WindowStore::read_run`]) fetch
-//! up to a whole batch of events under a single shard read-lock. Event
-//! payloads live inside the batches and are shared by every overlapping
-//! window — per-event allocation and reference counting are gone from the
-//! hot path entirely.
+//! up to a whole batch of events under a single buffer-lock acquisition.
+//! Event payloads live inside the batches and are shared by every
+//! overlapping window — per-event allocation and reference counting are
+//! gone from the hot path entirely.
 //!
 //! Because every window's buffer references exactly the window's own
 //! events, pruning is trivial: retiring a window removes its buffer
@@ -153,19 +157,113 @@ struct Seg {
     range: Range<usize>,
 }
 
-/// One window's event buffer: the segments covering window-relative
-/// indices `[0, len)`, ascending.
-#[derive(Debug)]
-struct WindowBuf {
-    start_pos: u64,
+/// The mutable part of a window's buffer, behind the per-window lock.
+#[derive(Debug, Default)]
+struct BufState {
     len: u64,
     segs: Vec<Seg>,
 }
 
-/// One shard: the buffers of all live windows hashing to it.
+/// One window's event buffer: the segments covering window-relative
+/// indices `[0, len)`, ascending, behind a *per-window* lock.
+///
+/// Shard locks only guard the window map (open/remove); appends and reads
+/// synchronize here, per window. The splitter extending window `w` therefore
+/// never blocks an instance reading window `w'` on the same shard — shard
+/// traffic is read-mostly, and the write path of one window contends only
+/// with its own readers. Instances hold a clone of the buffer's `Arc`
+/// (via [`WindowStore::window_buf`]) across steps of the same window, so
+/// the per-step shard-map lookup disappears from the run-read hot path.
+#[derive(Debug)]
+pub struct WindowBuf {
+    start_pos: u64,
+    state: RwLock<BufState>,
+}
+
+impl WindowBuf {
+    fn new(start_pos: u64) -> Self {
+        WindowBuf {
+            start_pos,
+            state: RwLock::new(BufState::default()),
+        }
+    }
+
+    /// The stream position of the window's first event.
+    pub fn start_pos(&self) -> u64 {
+        self.start_pos
+    }
+
+    /// Number of events currently buffered.
+    pub fn len(&self) -> u64 {
+        self.state.read().len
+    }
+
+    /// `true` while nothing has been ingested into the buffer.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn extend(&self, batch: &Arc<EventBatch>, range: Range<usize>) {
+        let mut st = self.state.write();
+        let first = st.len;
+        st.len += range.len() as u64;
+        st.segs.push(Seg {
+            first,
+            batch: Arc::clone(batch),
+            range,
+        });
+    }
+
+    /// Collects up to `max` events starting at window-relative index `from`
+    /// into `out` as [`EventRun`] slices (appended; `out` is *not*
+    /// cleared). Returns the number of events covered — `0` when the events
+    /// are not yet ingested.
+    pub fn read_run(&self, from: u64, max: usize, out: &mut Vec<EventRun>) -> usize {
+        let st = self.state.read();
+        if from >= st.len {
+            return 0;
+        }
+        let mut idx = st
+            .segs
+            .partition_point(|s| s.first + s.range.len() as u64 <= from);
+        let mut remaining = max;
+        let mut covered = 0usize;
+        while remaining > 0 {
+            let Some(seg) = st.segs.get(idx) else { break };
+            let skip = (from.max(seg.first) - seg.first) as usize;
+            let take = (seg.range.len() - skip).min(remaining);
+            if take == 0 {
+                break;
+            }
+            let start = seg.range.start + skip;
+            out.push(EventRun {
+                batch: Arc::clone(&seg.batch),
+                range: start..start + take,
+            });
+            covered += take;
+            remaining -= take;
+            idx += 1;
+        }
+        covered
+    }
+
+    fn get(&self, idx: u64) -> Option<Event> {
+        let st = self.state.read();
+        let si = st
+            .segs
+            .partition_point(|s| s.first + s.range.len() as u64 <= idx);
+        let seg = st.segs.get(si)?;
+        let off = idx.checked_sub(seg.first)? as usize;
+        seg.batch.events().get(seg.range.start + off).cloned()
+    }
+}
+
+/// One shard: the buffers of all live windows hashing to it. The map holds
+/// `Arc`s so lookups can hand the buffer out and drop the shard lock
+/// immediately.
 #[derive(Debug, Default)]
 struct Shard {
-    windows: HashMap<u64, WindowBuf>,
+    windows: HashMap<u64, Arc<WindowBuf>>,
 }
 
 /// Sharded per-window event store (see the [module docs](self)).
@@ -230,31 +328,34 @@ impl WindowStore {
     /// no-op.
     pub fn open_window(&self, window_id: u64, start_pos: u64) {
         let mut shard = self.shard(window_id).write();
-        shard.windows.entry(window_id).or_insert_with(|| WindowBuf {
-            start_pos,
-            len: 0,
-            segs: Vec::new(),
-        });
+        shard
+            .windows
+            .entry(window_id)
+            .or_insert_with(|| Arc::new(WindowBuf::new(start_pos)));
+    }
+
+    /// Hands out `window_id`'s buffer, or `None` for an unknown (already
+    /// retired) window. Instances cache the `Arc` across the steps of one
+    /// scheduled window, skipping the shard-map lookup on every subsequent
+    /// run read.
+    pub fn window_buf(&self, window_id: u64) -> Option<Arc<WindowBuf>> {
+        let shard = self.shard(window_id).read();
+        shard.windows.get(&window_id).cloned()
     }
 
     /// Appends `batch[range]` to `window_id`'s buffer as one segment, under
-    /// one shard-lock acquisition and one `Arc` clone. The segment
-    /// continues the window's event sequence. Appending to an unknown
-    /// (already retired) window or an empty range is a no-op.
+    /// the window's own lock and one `Arc` clone (the shard lock is only
+    /// read to find the buffer). The segment continues the window's event
+    /// sequence. Appending to an unknown (already retired) window or an
+    /// empty range is a no-op.
     pub fn extend(&self, window_id: u64, batch: &Arc<EventBatch>, range: Range<usize>) {
         if range.is_empty() {
             return;
         }
         debug_assert!(range.end <= batch.len(), "segment range out of batch");
-        let mut shard = self.shard(window_id).write();
-        if let Some(buf) = shard.windows.get_mut(&window_id) {
-            let first = buf.len;
-            buf.len += range.len() as u64;
-            buf.segs.push(Seg {
-                first,
-                batch: Arc::clone(batch),
-                range,
-            });
+        let buf = self.window_buf(window_id);
+        if let Some(buf) = buf {
+            buf.extend(batch, range);
         }
     }
 
@@ -262,7 +363,8 @@ impl WindowStore {
     /// window-relative index `from` into `out` as [`EventRun`] slices
     /// (appended; `out` is *not* cleared). Returns the number of events
     /// covered — `0` when the events are not yet ingested or the window is
-    /// unknown.
+    /// unknown. (Map lookup + [`WindowBuf::read_run`]; hot-path callers
+    /// cache the buffer via [`window_buf`](Self::window_buf) instead.)
     pub fn read_run(
         &self,
         window_id: u64,
@@ -270,63 +372,29 @@ impl WindowStore {
         max: usize,
         out: &mut Vec<EventRun>,
     ) -> usize {
-        let shard = self.shard(window_id).read();
-        let Some(buf) = shard.windows.get(&window_id) else {
-            return 0;
-        };
-        if from >= buf.len {
-            return 0;
+        match self.window_buf(window_id) {
+            Some(buf) => buf.read_run(from, max, out),
+            None => 0,
         }
-        let mut idx = buf
-            .segs
-            .partition_point(|s| s.first + s.range.len() as u64 <= from);
-        let mut remaining = max;
-        let mut covered = 0usize;
-        while remaining > 0 {
-            let Some(seg) = buf.segs.get(idx) else { break };
-            let skip = (from.max(seg.first) - seg.first) as usize;
-            let take = (seg.range.len() - skip).min(remaining);
-            if take == 0 {
-                break;
-            }
-            let start = seg.range.start + skip;
-            out.push(EventRun {
-                batch: Arc::clone(&seg.batch),
-                range: start..start + take,
-            });
-            covered += take;
-            remaining -= take;
-            idx += 1;
-        }
-        covered
     }
 
     /// Fetches a copy of the event at window-relative index `idx` of
     /// `window_id` (test/diagnostic convenience; the hot path uses
     /// [`read_run`](Self::read_run)).
     pub fn get(&self, window_id: u64, idx: u64) -> Option<Event> {
-        let shard = self.shard(window_id).read();
-        let buf = shard.windows.get(&window_id)?;
-        let si = buf
-            .segs
-            .partition_point(|s| s.first + s.range.len() as u64 <= idx);
-        let seg = buf.segs.get(si)?;
-        let off = idx.checked_sub(seg.first)? as usize;
-        seg.batch.events().get(seg.range.start + off).cloned()
+        self.window_buf(window_id)?.get(idx)
     }
 
     /// Number of events currently buffered for `window_id`, or `None` if
     /// the window is unknown.
     pub fn window_len(&self, window_id: u64) -> Option<u64> {
-        let shard = self.shard(window_id).read();
-        shard.windows.get(&window_id).map(|b| b.len)
+        self.window_buf(window_id).map(|b| b.len())
     }
 
     /// The stream position of `window_id`'s first event, or `None` if the
     /// window is unknown.
     pub fn window_start(&self, window_id: u64) -> Option<u64> {
-        let shard = self.shard(window_id).read();
-        shard.windows.get(&window_id).map(|b| b.start_pos)
+        self.window_buf(window_id).map(|b| b.start_pos())
     }
 
     /// Drops `window_id`'s buffer (called at retirement; hand-off batches
@@ -351,7 +419,7 @@ impl WindowStore {
                 s.read()
                     .windows
                     .values()
-                    .map(|b| b.len as usize)
+                    .map(|b| b.len() as usize)
                     .sum::<usize>()
             })
             .sum()

@@ -1,8 +1,9 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
-//! Only [`queue::SegQueue`] is provided — the single crossbeam type the
-//! SPECTRE runtime uses for its cross-thread operation queues. The shim backs
-//! it with a mutex-protected `VecDeque`; it is linearizable and lock-based
+//! Two crossbeam types are provided: [`queue::SegQueue`], the cross-thread
+//! operation queue the SPECTRE runtime uses, and [`utils::CachePadded`],
+//! the false-sharing guard around per-worker counter blocks. The shim backs
+//! the queue with a mutex-protected `VecDeque`; it is linearizable and lock-based
 //! rather than lock-free, which is semantically equivalent. Because every
 //! `push`/`pop` takes the mutex, per-element traffic dominates threaded
 //! profiles at scale; [`queue::SegQueue::push_many`] and
@@ -15,6 +16,85 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+/// Utilities for concurrent programming (shim: only [`utils::CachePadded`]).
+pub mod utils {
+    use std::fmt;
+    use std::ops::{Deref, DerefMut};
+
+    /// Pads and aligns a value to the length of a cache line, preventing
+    /// false sharing when adjacent values are written by different cores.
+    ///
+    /// 128-byte alignment covers both the 64-byte line of most x86-64 parts
+    /// and the 128-byte spatial prefetcher pairs / Apple-silicon lines —
+    /// the same choice the real crate makes on these targets.
+    #[derive(Default, Clone, Copy, PartialEq, Eq)]
+    #[repr(align(128))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        /// Pads and aligns `value` to the length of a cache line.
+        pub const fn new(value: T) -> Self {
+            CachePadded { value }
+        }
+
+        /// Returns the inner value.
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> Deref for CachePadded<T> {
+        type Target = T;
+
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+
+    impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_tuple("CachePadded").field(&self.value).finish()
+        }
+    }
+
+    impl<T> From<T> for CachePadded<T> {
+        fn from(value: T) -> Self {
+            CachePadded::new(value)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn padded_values_are_cache_line_aligned() {
+            assert_eq!(std::mem::align_of::<CachePadded<u64>>(), 128);
+            let v: Vec<CachePadded<u64>> = (0..4).map(CachePadded::new).collect();
+            for (i, p) in v.iter().enumerate() {
+                assert_eq!(**p, i as u64);
+                assert_eq!((p as *const CachePadded<u64>) as usize % 128, 0);
+            }
+        }
+
+        #[test]
+        fn deref_and_into_inner_roundtrip() {
+            let mut p = CachePadded::new(41u32);
+            *p += 1;
+            assert_eq!(*p, 42);
+            assert_eq!(p.into_inner(), 42);
+        }
+    }
+}
 
 /// Concurrent queues (shim: only [`queue::SegQueue`]).
 pub mod queue {

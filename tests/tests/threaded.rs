@@ -6,7 +6,7 @@
 use std::sync::Arc;
 
 use spectre_baselines::run_sequential;
-use spectre_core::{run_threaded, SpectreConfig};
+use spectre_core::{run_threaded, SpectreConfig, SpectreEngine};
 use spectre_datasets::{NyseConfig, NyseGenerator, RandConfig, RandGenerator};
 use spectre_events::Schema;
 use spectre_integration::assert_same_output;
@@ -115,6 +115,68 @@ fn threaded_matches_sequential_across_lazy_attach_modes() {
                     &expected,
                 );
             }
+        }
+    }
+}
+
+#[test]
+fn threaded_aggregate_metrics_equal_the_sum_of_per_worker_blocks() {
+    // Each instance owns a cache-padded counter block for the hot metrics
+    // (events processed/suppressed, idle and stalled steps) so k workers
+    // never contend on one cache line. The decomposition must stay exact
+    // at every instance count: instances route every increment through
+    // their own block, so the aggregate snapshot — base residual plus the
+    // block sums — equals the plain block sums here, and the per-query
+    // share of a single-query session equals the aggregate. Runs under
+    // real threads, where a lost or double-counted increment would be a
+    // race, not an arithmetic slip.
+    let mut schema = Schema::new();
+    let events: Vec<_> = NyseGenerator::new(NyseConfig::small(1000, 83), &mut schema).collect();
+    let query = Arc::new(queries::q1(&mut schema, 3, 150, Direction::Rising));
+    let expected = run_sequential(&query, &events).complex_events;
+    for lazy in [true, false] {
+        for k in [1usize, 2, 4, 8] {
+            let config = SpectreConfig::with_batching(k, 64, 8).with_lazy_materialization(lazy);
+            let mut engine = SpectreEngine::builder(&query)
+                .config(config)
+                .threaded()
+                .build();
+            engine.ingest(events.iter().cloned());
+            let report = engine.try_finish().expect("fresh session finishes once");
+            assert_same_output(
+                &format!("engine k={k} lazy={lazy}"),
+                &report.complex_events,
+                &expected,
+            );
+            // Workers are joined after finish, so the block snapshots are
+            // final and race-free.
+            let workers = engine.worker_metrics();
+            assert_eq!(workers.len(), k, "one counter block per instance");
+            let m = &report.metrics;
+            let sums = workers.iter().fold([0u64; 4], |acc, w| {
+                [
+                    acc[0] + w.events_processed,
+                    acc[1] + w.events_suppressed,
+                    acc[2] + w.idle_steps,
+                    acc[3] + w.stalled_steps,
+                ]
+            });
+            let label = format!("k={k} lazy={lazy}");
+            assert_eq!(sums[0], m.events_processed, "events_processed {label}");
+            assert_eq!(sums[1], m.events_suppressed, "events_suppressed {label}");
+            assert_eq!(sums[2], m.idle_steps, "idle_steps {label}");
+            assert_eq!(sums[3], m.stalled_steps, "stalled_steps {label}");
+            assert!(m.events_processed >= events.len() as u64);
+            // Single-query session: the query's share of the summable hot
+            // counters is the whole aggregate.
+            let (_, qm) = report
+                .queries
+                .iter()
+                .map(|(qid, qr)| (*qid, &qr.metrics))
+                .next()
+                .expect("one deployed query");
+            assert_eq!(qm.events_processed, m.events_processed, "{label}");
+            assert_eq!(qm.events_suppressed, m.events_suppressed, "{label}");
         }
     }
 }
