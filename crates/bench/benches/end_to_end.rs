@@ -13,16 +13,20 @@
 //! trend tracking; `scripts/bench_gate.py` diffs it against the checked-in
 //! baseline in `crates/bench/baseline/`. Set `SPECTRE_BENCH_ONLY` to a
 //! comma-separated list of section tags (`engines`, `threaded`,
-//! `streaming`, `multiquery`, `consumption`, `reorder`, `scaling`) to run
-//! a subset —
+//! `streaming`, `multiquery`, `consumption`, `reorder`, `scaling`,
+//! `tenancy`) to run a subset —
 //! the criterion shim has no CLI filter, and CI smoke steps use this to
 //! gate one dimension without paying for the rest.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use spectre_baselines::{run_sequential, run_waitful, TrexEngine};
-use spectre_core::{run_simulated, run_threaded, MetricsSnapshot, SpectreConfig, SpectreEngine};
+use spectre_core::{
+    run_simulated, run_threaded, MetricsSnapshot, SpectreConfig, SpectreEngine, TenantId,
+    TenantQuota,
+};
 use spectre_datasets::{bounded_shuffle, NyseConfig, NyseGenerator};
 use spectre_events::{Event, Schema};
 use spectre_query::queries::{self, Direction};
@@ -390,6 +394,135 @@ fn bench_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// Extra raw JSON fields per summary case, merged by [`emit_summary`] —
+/// used by [`bench_tenancy`] to record the isolation ratio and per-tenant
+/// throughput next to the shim's timing fields.
+static CASE_EXTRAS: std::sync::Mutex<Vec<(&'static str, String)>> =
+    std::sync::Mutex::new(Vec::new());
+
+fn stash_extra(name: &'static str, fields: String) {
+    let mut stash = CASE_EXTRAS.lock().expect("extras stash");
+    stash.retain(|(n, _)| *n != name);
+    stash.push((name, fields));
+}
+
+/// Tenant isolation: a light (data-path) tenant sharing one session with a
+/// speculation-heavy tenant (the consumption fixture's q = 110, ws = 200
+/// query), against the light tenant's solo run. Each shared case records
+/// an `isolation_ratio` summary field — the fraction of its solo
+/// throughput the light tenant retains — plus both tenants' processed
+/// event counts from the per-tenant rollups; the capped case *asserts*
+/// the ratio stays above [`ISOLATION_FLOOR`], and the light tenant's
+/// outputs are asserted bit-identical to its solo run in every shared
+/// case (isolation never buys semantic drift).
+///
+/// What the floor can honestly be: a shared session is one feed and one
+/// splitter thread, and all queries see the same stream prefix
+/// (`Splitter::backpressured` — one slow query throttling the shared feed
+/// is *deliberate*). Session makespan therefore approaches the serial sum
+/// of the tenants' solo runs, so the ratio's architectural ceiling is
+/// `light_solo / (light_solo + heavy_solo)` — ≈ 0.2 for this pairing,
+/// whatever the schedule does. What tenancy adds within that envelope is
+/// slot fair-share (the light tenant is never starved of its weighted
+/// share of instances), a budget on schedule-driven speculative
+/// materializations, and exact per-tenant accounting; the floor guards
+/// against that bookkeeping ever collapsing the light tenant's service
+/// (a regression below it means tenancy overhead, not workload shape).
+const ISOLATION_FLOOR: f64 = 0.10;
+
+fn bench_tenancy(c: &mut Criterion) {
+    if !enabled("tenancy") {
+        return;
+    }
+    let events_n = spectre_bench::threaded_bench_events();
+    let mut schema = Schema::new();
+    let events: Vec<_> = NyseGenerator::new(paper_nyse_config(events_n), &mut schema).collect();
+    let light = datapath_query(&mut schema);
+    let heavy = Arc::new(queries::q1(&mut schema, 110, 200, Direction::Rising));
+    let mut group = c.benchmark_group(format!("threaded_tenancy_{}k_events", events.len() / 1000));
+    group.sample_size(2);
+    let light_tenant = TenantId(1);
+    let heavy_tenant = TenantId(2);
+
+    let mut light_solo_secs = f64::INFINITY;
+    let mut light_expected: Vec<spectre_query::ComplexEvent> = Vec::new();
+    {
+        let (solo, expected) = (&mut light_solo_secs, &mut light_expected);
+        group.bench_function("tenancy_light_solo_k4", |b| {
+            b.iter(|| {
+                let config = SpectreConfig::with_batching(4, 64, 8);
+                let start = Instant::now();
+                let report = run_threaded(&light, events.clone(), &config);
+                *solo = solo.min(start.elapsed().as_secs_f64());
+                let out = report.complex_events.len();
+                stash_case("tenancy_light_solo_k4", report.metrics, out);
+                *expected = report.complex_events;
+                black_box(out)
+            })
+        });
+    }
+
+    let cases: [(&'static str, Option<TenantQuota>); 2] = [
+        ("tenancy_pair_uncapped_k4", None),
+        (
+            "tenancy_pair_capped_k4",
+            Some(TenantQuota::default().with_max_versions(64)),
+        ),
+    ];
+    for (name, quota) in cases {
+        let mut shared_secs = f64::INFINITY;
+        {
+            let (shared, expected) = (&mut shared_secs, &light_expected);
+            group.bench_function(name, |b| {
+                b.iter(|| {
+                    let mut builder = SpectreEngine::multi_builder()
+                        .config(SpectreConfig::with_batching(4, 64, 8));
+                    let ql = builder.add_query_for(light_tenant, &light);
+                    builder.add_query_for(heavy_tenant, &heavy);
+                    if let Some(q) = quota.clone() {
+                        builder.set_quota(heavy_tenant, q);
+                    }
+                    let start = Instant::now();
+                    let report = builder.threaded().build().run(events.clone());
+                    let secs = start.elapsed().as_secs_f64();
+                    *shared = shared.min(secs);
+                    assert_eq!(
+                        &report.queries[&ql].complex_events, expected,
+                        "{name}: the light tenant's outputs diverged from its solo run"
+                    );
+                    let light_events = report.tenants[&light_tenant].events_processed;
+                    let heavy_events = report.tenants[&heavy_tenant].events_processed;
+                    stash_extra(
+                        name,
+                        format!(
+                            "\"light_events_processed\": {light_events}, \
+                             \"heavy_events_processed\": {heavy_events}"
+                        ),
+                    );
+                    let out = report.complex_events.len();
+                    stash_case(name, report.metrics, out);
+                    black_box(out)
+                })
+            });
+        }
+        let ratio = light_solo_secs / shared_secs;
+        println!("{name:<40} isolation ratio {ratio:.3} (light solo {light_solo_secs:.3}s, shared {shared_secs:.3}s)");
+        let mut stash = CASE_EXTRAS.lock().expect("extras stash");
+        if let Some((_, fields)) = stash.iter_mut().find(|(n, _)| *n == name) {
+            *fields = format!("{fields}, \"isolation_ratio\": {ratio:.3}");
+        }
+        drop(stash);
+        if name == "tenancy_pair_capped_k4" {
+            assert!(
+                ratio >= ISOLATION_FLOOR,
+                "capping the heavy tenant must keep the light tenant at \
+                 >= {ISOLATION_FLOOR} of its solo throughput, got {ratio:.3}"
+            );
+        }
+    }
+    group.finish();
+}
+
 /// Writes the machine-readable bench summary for CI trend tracking when
 /// `SPECTRE_BENCH_SUMMARY` names a path: per threaded case, events/s (from
 /// the criterion shim's retained minimum) plus — for the consumption cases
@@ -436,6 +569,14 @@ fn emit_summary(_c: &mut Criterion) {
             None => cases.push((name.to_string(), extra)),
         }
     }
+    // Bench-specific extra fields (isolation ratio, per-tenant rates).
+    let extras = std::mem::take(&mut *CASE_EXTRAS.lock().expect("extras stash"));
+    for (name, extra) in extras {
+        match cases.iter_mut().find(|(n, _)| n == name) {
+            Some((_, fields)) => *fields = format!("{fields}, {extra}"),
+            None => cases.push((name.to_string(), extra)),
+        }
+    }
     let body: Vec<String> = cases
         .iter()
         .map(|(name, fields)| format!("    \"{name}\": {{ {fields} }}"))
@@ -464,6 +605,7 @@ criterion_group!(
     bench_consumption,
     bench_reorder,
     bench_scaling,
+    bench_tenancy,
     emit_summary
 );
 criterion_main!(end_to_end);

@@ -213,33 +213,151 @@ impl SpectreConfig {
         self
     }
 
+    /// Validates the configuration, reporting the first violated
+    /// constraint as an error.
+    /// [`crate::SpectreEngineBuilder::try_build`] surfaces this as
+    /// [`EngineError::InvalidConfig`](crate::EngineError::InvalidConfig)
+    /// instead of panicking.
+    pub fn try_validate(&self) -> Result<(), String> {
+        if self.instances == 0 {
+            return Err("need at least one operator instance".into());
+        }
+        if self.consistency_check_freq == 0 {
+            return Err("consistency check frequency must be positive".into());
+        }
+        if self.sched_period == 0 {
+            return Err("scheduling period must be positive".into());
+        }
+        if self.ingest_per_cycle == 0 {
+            return Err("ingest batch must be positive".into());
+        }
+        if self.batch_size == 0 {
+            return Err("hand-off batch size must be positive".into());
+        }
+        if self.store_shards == 0 {
+            return Err("store shard count must be positive".into());
+        }
+        if self.checkpoint_freq == Some(0) {
+            return Err("checkpoint interval must be positive".into());
+        }
+        if let PredictorKind::Fixed(p) = self.predictor {
+            if !(0.0..=1.0).contains(&p) {
+                return Err("fixed probability out of range".into());
+            }
+        }
+        if let Some(reorder) = &self.reorder {
+            reorder.try_validate()?;
+        }
+        Ok(())
+    }
+
     /// Validates the configuration.
     ///
     /// # Panics
     ///
     /// Panics on zero instances, zero check frequency, zero scheduling
     /// period, an out-of-range fixed probability or an invalid reorder
-    /// configuration.
+    /// configuration. [`try_validate`](Self::try_validate) is the
+    /// non-panicking equivalent.
     pub fn validate(&self) {
-        assert!(self.instances > 0, "need at least one operator instance");
-        assert!(
-            self.consistency_check_freq > 0,
-            "consistency check frequency must be positive"
-        );
-        assert!(self.sched_period > 0, "scheduling period must be positive");
-        assert!(self.ingest_per_cycle > 0, "ingest batch must be positive");
-        assert!(self.batch_size > 0, "hand-off batch size must be positive");
-        assert!(self.store_shards > 0, "store shard count must be positive");
-        assert!(
-            self.checkpoint_freq != Some(0),
-            "checkpoint interval must be positive"
-        );
-        if let PredictorKind::Fixed(p) = self.predictor {
-            assert!((0.0..=1.0).contains(&p), "fixed probability out of range");
+        if let Err(msg) = self.try_validate() {
+            panic!("{msg}");
         }
-        if let Some(reorder) = &self.reorder {
-            reorder.validate();
+    }
+}
+
+/// Resource policy for one tenant: how much of the shared session a
+/// tenant's queries may use.
+///
+/// Quotas are pure policy — they never change what a query computes, only
+/// how the splitter divides the k instance slots and the speculation
+/// budget between tenants (see the "Multi-tenancy" section of
+/// `docs/ARCHITECTURE.md`). The default quota (weight 1, no caps) for
+/// every tenant reproduces the pre-tenancy schedule exactly.
+#[derive(Debug, Clone)]
+pub struct TenantQuota {
+    /// Relative share of the k instance slots in each scheduling cycle.
+    /// Shares are proportional to weight over the sum of the weights of
+    /// tenants that have schedulable work, so an idle tenant's share
+    /// flows to the busy ones (deficit-round-robin carryover).
+    pub weight: u32,
+    /// Cap on the tenant's total speculative load (live window versions
+    /// across all its queries' dependency trees). Once a tenant is at its
+    /// cap, the top-k selection stops materializing *new* versions (lazy
+    /// branches, pending window attaches) for it — already-live versions
+    /// still run. `None` leaves the tenant bounded only by the global
+    /// [`SpectreConfig::max_tree_versions`].
+    pub max_versions: Option<usize>,
+    /// Cap on concurrently deployed queries owned by the tenant.
+    /// Deploying beyond it fails with
+    /// [`EngineError::QuotaExceeded`](crate::EngineError::QuotaExceeded).
+    /// `None` means unlimited.
+    pub max_queries: Option<usize>,
+}
+
+impl Default for TenantQuota {
+    fn default() -> Self {
+        TenantQuota {
+            weight: 1,
+            max_versions: None,
+            max_queries: None,
         }
+    }
+}
+
+impl TenantQuota {
+    /// Returns the quota with the given scheduling weight.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use spectre_core::TenantQuota;
+    ///
+    /// let quota = TenantQuota::default().with_weight(3);
+    /// assert_eq!(quota.weight, 3);
+    /// ```
+    #[must_use]
+    pub fn with_weight(mut self, weight: u32) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// Returns the quota with the given speculation-budget cap.
+    #[must_use]
+    pub fn with_max_versions(mut self, cap: usize) -> Self {
+        self.max_versions = Some(cap);
+        self
+    }
+
+    /// Returns the quota with the given deployed-query cap.
+    #[must_use]
+    pub fn with_max_queries(mut self, cap: usize) -> Self {
+        self.max_queries = Some(cap);
+        self
+    }
+
+    /// Validates the quota against the session configuration it will run
+    /// under. Surfaced by the builder as
+    /// [`EngineError::InvalidConfig`](crate::EngineError::InvalidConfig).
+    pub fn try_validate(&self, config: &SpectreConfig) -> Result<(), String> {
+        if self.weight == 0 {
+            return Err("tenant weight must be positive".into());
+        }
+        if self.max_versions == Some(0) {
+            return Err("tenant version cap must be positive".into());
+        }
+        if let Some(cap) = self.max_versions {
+            if cap > config.max_tree_versions {
+                return Err(format!(
+                    "tenant version cap {cap} exceeds max_tree_versions {}",
+                    config.max_tree_versions
+                ));
+            }
+        }
+        if self.max_queries == Some(0) {
+            return Err("tenant query cap must be positive".into());
+        }
+        Ok(())
     }
 }
 
@@ -288,5 +406,53 @@ mod tests {
             ..Default::default()
         }
         .validate();
+    }
+
+    #[test]
+    fn try_validate_reports_instead_of_panicking() {
+        assert!(SpectreConfig::default().try_validate().is_ok());
+        let err = SpectreConfig::with_instances(0).try_validate().unwrap_err();
+        assert!(err.contains("at least one operator instance"));
+        let err = SpectreConfig::with_batching(1, 0, 1)
+            .try_validate()
+            .unwrap_err();
+        assert!(err.contains("hand-off batch size"));
+    }
+
+    #[test]
+    fn default_quota_validates_under_any_config() {
+        let config = SpectreConfig::default();
+        assert!(TenantQuota::default().try_validate(&config).is_ok());
+        assert!(TenantQuota::default()
+            .with_weight(7)
+            .with_max_versions(config.max_tree_versions)
+            .with_max_queries(1)
+            .try_validate(&config)
+            .is_ok());
+    }
+
+    #[test]
+    fn degenerate_quotas_are_rejected() {
+        let config = SpectreConfig::default();
+        let err = TenantQuota::default()
+            .with_weight(0)
+            .try_validate(&config)
+            .unwrap_err();
+        assert!(err.contains("weight must be positive"));
+        let err = TenantQuota::default()
+            .with_max_versions(0)
+            .try_validate(&config)
+            .unwrap_err();
+        assert!(err.contains("version cap must be positive"));
+        let err = TenantQuota::default()
+            .with_max_queries(0)
+            .try_validate(&config)
+            .unwrap_err();
+        assert!(err.contains("query cap must be positive"));
+        let err = TenantQuota::default()
+            .with_max_versions(config.max_tree_versions + 1)
+            .try_validate(&config)
+            .unwrap_err();
+        assert!(err.contains("exceeds max_tree_versions"));
     }
 }

@@ -61,6 +61,21 @@
 //! wrappers over a session (feed everything, then finish) with unchanged
 //! signatures and identical results.
 //!
+//! # Multi-tenant sessions
+//!
+//! Queries can be owned by tenants
+//! ([`add_query_for`](SpectreEngineBuilder::add_query_for) /
+//! [`deploy_query_for`](SpectreEngine::deploy_query_for)), with per-tenant
+//! [`TenantQuota`]s (scheduling weight, speculation cap, query cap) set via
+//! [`set_quota`](SpectreEngineBuilder::set_quota) /
+//! [`set_tenant_quota`](SpectreEngine::set_tenant_quota). The splitter
+//! splits instance slots between tenants by weighted fair share (see
+//! [`Splitter::schedule`](crate::splitter::Splitter)); sessions that never
+//! name a tenant run entirely under [`TenantId::DEFAULT`] and behave
+//! bit-identically to the untenanted engine. Rollups per tenant come from
+//! [`tenant_metrics`](SpectreEngine::tenant_metrics) and
+//! [`Report::tenants`].
+//!
 //! # Example
 //!
 //! ```
@@ -93,11 +108,11 @@ use std::time::{Duration, Instant};
 use spectre_events::{Event, StreamItem};
 use spectre_query::{ComplexEvent, Query};
 
-use crate::config::SpectreConfig;
+use crate::config::{SpectreConfig, TenantQuota};
 use crate::instance::{InstanceCore, StepOutcome};
 use crate::metrics::{MetricsSnapshot, WorkerSnapshot};
 use crate::reorder::{Offer, ReorderBuffer};
-use crate::shared::{QueryId, SharedState};
+use crate::shared::{QueryId, SharedState, TenantId};
 use crate::splitter::Splitter;
 
 /// A misuse of the engine session surface, reported by the `try_*` methods
@@ -123,6 +138,19 @@ pub enum EngineError {
         /// Why the speculative runtime rejects it.
         reason: String,
     },
+    /// Deploying the query would exceed the owning tenant's
+    /// [`TenantQuota::max_queries`] cap.
+    QuotaExceeded {
+        /// The tenant at its cap.
+        tenant: TenantId,
+        /// The cap that would be exceeded.
+        max_queries: usize,
+    },
+    /// The session configuration or a tenant quota violates a constraint
+    /// (the message is the constraint; see [`SpectreConfig::try_validate`]
+    /// and [`TenantQuota::try_validate`]). The infallible
+    /// [`SpectreEngineBuilder::build`] panics with the same message.
+    InvalidConfig(String),
 }
 
 impl std::fmt::Display for EngineError {
@@ -139,6 +167,15 @@ impl std::fmt::Display for EngineError {
             }
             EngineError::QueryNotRunnable { query, reason } => {
                 write!(f, "query {query:?} is not runnable: {reason}")
+            }
+            EngineError::QuotaExceeded {
+                tenant,
+                max_queries,
+            } => {
+                write!(f, "tenant {tenant} is at its query quota ({max_queries})")
+            }
+            EngineError::InvalidConfig(msg) => {
+                write!(f, "invalid configuration: {msg}")
             }
         }
     }
@@ -171,6 +208,8 @@ impl PushResult {
 /// One query's share of a session [`Report`].
 #[derive(Debug, Clone)]
 pub struct QueryReport {
+    /// The tenant that owned the query.
+    pub tenant: TenantId,
     /// This query's complex events committed since the last
     /// [`drain_outputs`](SpectreEngine::drain_outputs), in its window
     /// order (detection order within a window).
@@ -200,6 +239,15 @@ pub struct Report {
     /// their remaining outputs were handed back by
     /// [`retire_query`](SpectreEngine::retire_query).
     pub queries: BTreeMap<QueryId, QueryReport>,
+    /// Per-tenant metric rollups for every tenant the session ever saw,
+    /// including tenants whose queries all retired (their counters live
+    /// on in the rollup). For the summable counters the aggregate
+    /// [`metrics`](Self::metrics) equals the sum over tenants whenever no
+    /// query was retired mid-session; retired queries' shares stay in
+    /// their tenant's rollup, so the tenant decomposition is exact even
+    /// then (up to counters still in flight on worker threads at the
+    /// moment of a mid-stream retire).
+    pub tenants: BTreeMap<TenantId, MetricsSnapshot>,
     /// Events ingested over the whole session, counted by the splitter —
     /// under streaming the stream length is unknown up front.
     pub input_events: u64,
@@ -229,20 +277,36 @@ impl Report {
 /// [`SpectreEngine::multi_builder`] (start empty, add queries).
 #[derive(Debug, Clone)]
 pub struct SpectreEngineBuilder {
-    queries: Vec<Arc<Query>>,
+    queries: Vec<(TenantId, Arc<Query>)>,
+    quotas: Vec<(TenantId, TenantQuota)>,
     config: SpectreConfig,
     threaded: bool,
 }
 
 impl SpectreEngineBuilder {
-    /// Adds a query to be deployed when the session is built, returning
-    /// the [`QueryId`] it will carry (ids are assigned densely in add
-    /// order; a session built from `builder(&q)` already holds `q` as
-    /// `QueryId(0)`).
+    /// Adds a query (owned by the default tenant) to be deployed when the
+    /// session is built, returning the [`QueryId`] it will carry (ids are
+    /// assigned densely in add order; a session built from `builder(&q)`
+    /// already holds `q` as `QueryId(0)`).
     pub fn add_query(&mut self, query: &Arc<Query>) -> QueryId {
-        self.queries.push(Arc::clone(query));
+        self.add_query_for(TenantId::DEFAULT, query)
+    }
+
+    /// Adds a query owned by `tenant` to be deployed when the session is
+    /// built. Id assignment is the same dense add order as
+    /// [`add_query`](Self::add_query) regardless of tenant.
+    pub fn add_query_for(&mut self, tenant: TenantId, query: &Arc<Query>) -> QueryId {
+        self.queries.push((tenant, Arc::clone(query)));
         QueryId((self.queries.len() - 1) as u32)
     }
+
+    /// Sets `tenant`'s [`TenantQuota`] (validated and applied at build
+    /// time, before any query deploys). The last call per tenant wins.
+    pub fn set_quota(&mut self, tenant: TenantId, quota: TenantQuota) -> &mut Self {
+        self.quotas.push((tenant, quota));
+        self
+    }
+
     /// Sets the runtime configuration (defaults to
     /// [`SpectreConfig::default`]).
     #[must_use]
@@ -273,23 +337,42 @@ impl SpectreEngineBuilder {
     ///
     /// # Panics
     ///
-    /// Panics if the configuration is invalid or the query is not
-    /// runnable on the speculative runtime (see
-    /// [`Splitter::new`](crate::splitter::Splitter::new)).
+    /// Panics on any [`try_build`](Self::try_build) error: invalid
+    /// configuration or quota, a query not runnable on the speculative
+    /// runtime, or a tenant over its query quota.
     pub fn build(self) -> SpectreEngine {
+        self.try_build().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds the session, reporting configuration and quota problems as
+    /// values instead of panicking (threaded mode spawns the worker
+    /// threads here).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidConfig`] for a configuration or quota that
+    /// violates a constraint, [`EngineError::QueryNotRunnable`] for a
+    /// query the speculative runtime rejects, and
+    /// [`EngineError::QuotaExceeded`] when the added queries overrun a
+    /// tenant's [`TenantQuota::max_queries`].
+    pub fn try_build(self) -> Result<SpectreEngine, EngineError> {
         let SpectreEngineBuilder {
             queries,
+            quotas,
             config,
             threaded,
         } = self;
-        config.validate();
+        if let Err(msg) = config.try_validate() {
+            return Err(EngineError::InvalidConfig(msg));
+        }
         let start = Instant::now();
         let shared = SharedState::for_config(&config);
         let mut splitter = Splitter::multi(config.clone(), Arc::clone(&shared));
-        for query in &queries {
-            if let Err(e) = splitter.deploy_query(Arc::clone(query)) {
-                panic!("{e}");
-            }
+        for (tenant, quota) in quotas {
+            splitter.set_tenant_quota(tenant, quota)?;
+        }
+        for (tenant, query) in &queries {
+            splitter.deploy_query_for(*tenant, Arc::clone(query))?;
         }
         let driver = if threaded {
             Driver::Threaded {
@@ -320,7 +403,7 @@ impl SpectreEngineBuilder {
         // Behind a reorder stage the splitter's feed is contractually
         // timestamp-monotone; have it verify that in debug builds.
         splitter.expect_monotone(reorder.is_some());
-        SpectreEngine {
+        Ok(SpectreEngine {
             config,
             shared,
             splitter,
@@ -329,7 +412,7 @@ impl SpectreEngineBuilder {
             capacity,
             start,
             finished: false,
-        }
+        })
     }
 }
 
@@ -393,6 +476,7 @@ impl SpectreEngine {
     pub fn multi_builder() -> SpectreEngineBuilder {
         SpectreEngineBuilder {
             queries: Vec::new(),
+            quotas: Vec::new(),
             config: SpectreConfig::default(),
             threaded: false,
         }
@@ -518,10 +602,43 @@ impl SpectreEngine {
     /// already-deployed query has an equal window spec, the new query
     /// shares its window buffers in the store from the start.
     pub fn deploy_query(&mut self, query: &Arc<Query>) -> Result<QueryId, EngineError> {
+        self.deploy_query_for(TenantId::DEFAULT, query)
+    }
+
+    /// [`deploy_query`](Self::deploy_query) with an explicit owning
+    /// tenant. Fails with [`EngineError::QuotaExceeded`] when the tenant
+    /// is at its [`TenantQuota::max_queries`] cap.
+    pub fn deploy_query_for(
+        &mut self,
+        tenant: TenantId,
+        query: &Arc<Query>,
+    ) -> Result<QueryId, EngineError> {
         if self.finished {
             return Err(EngineError::SessionFinished);
         }
-        self.splitter.deploy_query(Arc::clone(query))
+        self.splitter.deploy_query_for(tenant, Arc::clone(query))
+    }
+
+    /// Sets (or replaces) `tenant`'s quota on the live session. The new
+    /// weight and speculation cap take effect at the next scheduling
+    /// cycle; the query cap applies to subsequent deploys (queries over a
+    /// newly lowered cap stay deployed).
+    pub fn set_tenant_quota(
+        &mut self,
+        tenant: TenantId,
+        quota: TenantQuota,
+    ) -> Result<(), EngineError> {
+        if self.finished {
+            return Err(EngineError::SessionFinished);
+        }
+        self.splitter.set_tenant_quota(tenant, quota)
+    }
+
+    /// Live per-tenant metric rollups, in first-deploy order: each
+    /// tenant's live queries' shares plus the residual of its retired
+    /// queries. See [`Report::tenants`] for the decomposition guarantee.
+    pub fn tenant_metrics(&self) -> Vec<(TenantId, MetricsSnapshot)> {
+        self.splitter.tenant_metrics()
     }
 
     /// Retires a deployed query mid-session: its in-flight speculative
@@ -737,15 +854,22 @@ impl SpectreEngine {
             .per_query_metrics()
             .into_iter()
             .map(|(qid, metrics)| {
+                let tenant = self
+                    .splitter
+                    .query_tenant(qid)
+                    .expect("per_query_metrics lists only deployed queries");
                 (
                     qid,
                     QueryReport {
+                        tenant,
                         complex_events: Vec::new(),
                         metrics,
                     },
                 )
             })
             .collect();
+        let tenants: BTreeMap<TenantId, MetricsSnapshot> =
+            self.splitter.tenant_metrics().into_iter().collect();
         let tagged = self.splitter.take_outputs();
         let mut complex_events = Vec::with_capacity(tagged.len());
         for (qid, ce) in tagged {
@@ -762,6 +886,7 @@ impl SpectreEngine {
             rounds,
             splitter_wall,
             queries,
+            tenants,
         })
     }
 

@@ -54,6 +54,19 @@
 //! [`engine::EngineError`] through the fallible `try_*` methods; the
 //! legacy infallible methods stay panic-compatible.
 //!
+//! Sessions are **tenant-aware**: each query belongs to a
+//! [`shared::TenantId`] (the default tenant unless deployed with
+//! `add_query_for` / `deploy_query_for`), and per-tenant
+//! [`config::TenantQuota`]s set a scheduling weight (weighted fair share
+//! of the k instance slots, deficit-round-robin carryover), a speculation
+//! cap (`max_versions`) and a query cap. Queries also derive a
+//! conservative per-event prefilter from their pattern
+//! ([`spectre_query::EventFilter`]): windows containing no relevant event
+//! are skipped outright ([`MetricsSnapshot::windows_skipped`]). Sessions
+//! with at most one tenant schedule bit-identically to the untenanted
+//! engine, and per-tenant rollups ([`SpectreEngine::tenant_metrics`],
+//! [`engine::Report::tenants`]) sum exactly to the aggregate counters.
+//!
 //! ## The batched, sharded data path
 //!
 //! The hot path moves data in batches end to end (see
@@ -152,14 +165,14 @@ pub mod store;
 pub mod tree;
 pub mod version;
 
-pub use config::{PredictorKind, SpectreConfig};
+pub use config::{PredictorKind, SpectreConfig, TenantQuota};
 pub use engine::{
     EngineError, PushResult, QueryReport, Report, SpectreEngine, SpectreEngineBuilder,
 };
 pub use metrics::{MetricsSnapshot, WorkerSnapshot};
 pub use reorder::{LatePolicy, ReorderConfig, WatermarkPolicy};
 pub use runtime::{run_threaded, ThreadedReport};
-pub use shared::QueryId;
+pub use shared::{QueryId, TenantId};
 pub use sim::{run_simulated, SimReport};
 pub use splitter::{EventBatch, Splitter};
 pub use store::WindowStore;

@@ -102,6 +102,11 @@ pub struct Metrics {
     /// same-spec windows of different queries share one buffer, so in a
     /// multi-query session this stays below the per-query window counts.
     pub store_windows_opened: AtomicU64,
+    /// Windows a query never attached because its ingestion prefilter
+    /// proved no contained event could match (see the per-query filters in
+    /// the splitter): the window spec opened it, but the query paid no
+    /// window-attach or tree cost for it.
+    pub windows_skipped: AtomicU64,
     /// Out-of-order arrivals the reorder stage repaired (events whose
     /// timestamp was below the maximum already seen). Counted per query
     /// view, like `windows_retired`: every deployed query records the
@@ -232,6 +237,7 @@ impl Metrics {
             checkpoint_restores: self.checkpoint_restores.load(Ordering::Relaxed),
             outputs_emitted: self.outputs_emitted.load(Ordering::Relaxed),
             store_windows_opened: self.store_windows_opened.load(Ordering::Relaxed),
+            windows_skipped: self.windows_skipped.load(Ordering::Relaxed),
             events_reordered: self.events_reordered.load(Ordering::Relaxed),
             late_events_dropped: self.late_events_dropped.load(Ordering::Relaxed),
             late_events_admitted: self.late_events_admitted.load(Ordering::Relaxed),
@@ -265,6 +271,7 @@ pub struct MetricsSnapshot {
     pub checkpoint_restores: u64,
     pub outputs_emitted: u64,
     pub store_windows_opened: u64,
+    pub windows_skipped: u64,
     pub events_reordered: u64,
     pub late_events_dropped: u64,
     pub late_events_admitted: u64,
@@ -272,6 +279,68 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
+    /// Folds `other` into `self`: every summable counter adds, the
+    /// high-water mark `max_tree_versions` takes the maximum. The
+    /// per-tenant rollups ([`crate::SpectreEngine::tenant_metrics`]) are
+    /// built with this, so a new counter added here keeps the
+    /// tenant-decomposition invariant by construction.
+    pub fn accumulate(&mut self, other: &MetricsSnapshot) {
+        let MetricsSnapshot {
+            events_processed,
+            events_suppressed,
+            cgs_created,
+            cgs_completed,
+            cgs_abandoned,
+            versions_created,
+            versions_dropped,
+            versions_materialized,
+            lazy_versions_dropped,
+            predictor_refreshes,
+            predictor_refresh_nanos,
+            rollbacks,
+            sched_cycles,
+            max_tree_versions,
+            windows_retired,
+            idle_steps,
+            stalled_steps,
+            checkpoints_taken,
+            checkpoint_restores,
+            outputs_emitted,
+            store_windows_opened,
+            windows_skipped,
+            events_reordered,
+            late_events_dropped,
+            late_events_admitted,
+            watermarks_advanced,
+        } = *other;
+        self.events_processed += events_processed;
+        self.events_suppressed += events_suppressed;
+        self.cgs_created += cgs_created;
+        self.cgs_completed += cgs_completed;
+        self.cgs_abandoned += cgs_abandoned;
+        self.versions_created += versions_created;
+        self.versions_dropped += versions_dropped;
+        self.versions_materialized += versions_materialized;
+        self.lazy_versions_dropped += lazy_versions_dropped;
+        self.predictor_refreshes += predictor_refreshes;
+        self.predictor_refresh_nanos += predictor_refresh_nanos;
+        self.rollbacks += rollbacks;
+        self.sched_cycles += sched_cycles;
+        self.max_tree_versions = self.max_tree_versions.max(max_tree_versions);
+        self.windows_retired += windows_retired;
+        self.idle_steps += idle_steps;
+        self.stalled_steps += stalled_steps;
+        self.checkpoints_taken += checkpoints_taken;
+        self.checkpoint_restores += checkpoint_restores;
+        self.outputs_emitted += outputs_emitted;
+        self.store_windows_opened += store_windows_opened;
+        self.windows_skipped += windows_skipped;
+        self.events_reordered += events_reordered;
+        self.late_events_dropped += late_events_dropped;
+        self.late_events_admitted += late_events_admitted;
+        self.watermarks_advanced += watermarks_advanced;
+    }
+
     /// Fraction of processing that survived (was not spent on later-dropped
     /// versions); a rough utility measure of the speculation.
     pub fn cg_completion_ratio(&self) -> f64 {
@@ -344,6 +413,27 @@ mod tests {
         m.observe_tree_size(4);
         m.observe_tree_size(17);
         assert_eq!(m.snapshot().max_tree_versions, 17);
+    }
+
+    #[test]
+    fn accumulate_sums_counters_and_maxes_the_high_water_mark() {
+        let mut acc = MetricsSnapshot {
+            events_processed: 3,
+            max_tree_versions: 10,
+            windows_skipped: 1,
+            ..Default::default()
+        };
+        acc.accumulate(&MetricsSnapshot {
+            events_processed: 4,
+            max_tree_versions: 7,
+            windows_skipped: 2,
+            outputs_emitted: 5,
+            ..Default::default()
+        });
+        assert_eq!(acc.events_processed, 7);
+        assert_eq!(acc.max_tree_versions, 10);
+        assert_eq!(acc.windows_skipped, 3);
+        assert_eq!(acc.outputs_emitted, 5);
     }
 
     #[test]

@@ -145,19 +145,30 @@ impl ReorderConfig {
         self
     }
 
+    /// Validates the configuration, reporting the first violated
+    /// constraint as an error.
+    pub fn try_validate(&self) -> Result<(), String> {
+        if self.capacity == 0 {
+            return Err("reorder buffer capacity must be positive".into());
+        }
+        if let WatermarkPolicy::Periodic { period } = self.watermark {
+            if period == 0 {
+                return Err("watermark period must be positive".into());
+            }
+        }
+        Ok(())
+    }
+
     /// Validates the configuration.
     ///
     /// # Panics
     ///
     /// Panics on a zero buffer capacity or a zero periodic watermark
-    /// period.
+    /// period. [`try_validate`](Self::try_validate) is the non-panicking
+    /// equivalent.
     pub fn validate(&self) {
-        assert!(
-            self.capacity > 0,
-            "reorder buffer capacity must be positive"
-        );
-        if let WatermarkPolicy::Periodic { period } = self.watermark {
-            assert!(period > 0, "watermark period must be positive");
+        if let Err(msg) = self.try_validate() {
+            panic!("{msg}");
         }
     }
 }

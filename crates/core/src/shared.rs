@@ -41,6 +41,31 @@ impl std::fmt::Display for QueryId {
     }
 }
 
+/// Identifies one tenant — an owner of deployed queries — within an
+/// engine session.
+///
+/// Tenancy is a pure policy layer over the shared mechanism (splitter,
+/// store, instance pool): every query belongs to exactly one tenant, and
+/// the splitter's top-k schedule divides the instance slots and the
+/// speculation budget between tenants by their
+/// [`TenantQuota`](crate::config::TenantQuota) weights. Sessions that
+/// never mention tenants run everything under [`TenantId::DEFAULT`] and
+/// behave bit-identically to the pre-tenancy engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TenantId(pub u32);
+
+impl TenantId {
+    /// The implicit owner of queries deployed through the tenant-less
+    /// surface (`add_query`, `deploy_query`).
+    pub const DEFAULT: TenantId = TenantId(0);
+}
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
 /// A buffered dependency-tree update from an operator instance
 /// (the function calls of paper Fig. 4 / Fig. 8).
 #[derive(Debug)]

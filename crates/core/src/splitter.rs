@@ -32,6 +32,25 @@
 //! the next boundary on; retiring one drops its versions, releases its
 //! window references (buffers free when the last subscriber goes) and
 //! leaves the other queries untouched.
+//!
+//! # Multi-tenant sessions
+//!
+//! Every query belongs to a [`TenantId`] (the default tenant when deployed
+//! through [`deploy_query`](Splitter::deploy_query)). Tenancy is pure
+//! policy on top of the mechanisms above:
+//!
+//! * **Scheduling** — the scheduling cycle splits the k
+//!   instance slots between tenants by weighted fair share with
+//!   deficit-round-robin carryover; a session with at most one active
+//!   tenant reduces bit-identically to the untenanted merge.
+//! * **Speculation** — a tenant's [`TenantQuota::max_versions`] caps how
+//!   many window versions its queries may materialize, so one speculative
+//!   tenant cannot monopolize the shared version budget.
+//! * **Ingestion filters** — each query derives a conservative
+//!   [`EventFilter`] from its pattern at deploy time; windows whose events
+//!   the filter all rejects are never attached to the query's tree
+//!   (counted as `windows_skipped`), while the shared store buffers stay
+//!   byte-identical for every other subscriber.
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::Ordering;
@@ -39,18 +58,22 @@ use std::sync::Arc;
 
 use spectre_events::Event;
 use spectre_query::window::{WindowAssigner, WindowBounds};
-use spectre_query::{ComplexEvent, Query, WindowClose};
+use spectre_query::{ComplexEvent, EventFilter, Query, WindowClose};
 
 use crate::cg::{CgCell, CgId};
-use crate::config::{PredictorKind, SpectreConfig};
+use crate::config::{PredictorKind, SpectreConfig, TenantQuota};
 use crate::engine::EngineError;
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::predictor::{CompletionPredictor, FixedPredictor, MarkovPredictor};
 use crate::reorder::ReorderStats;
-use crate::shared::{QueryId, SharedState, TreeOp};
+use crate::shared::{QueryId, SharedState, TenantId, TreeOp};
 use crate::store::WindowInfo;
 use crate::tree::{DependencyTree, VersionFactory};
 use crate::version::{VersionState, WvId};
+
+/// A probability-ranked nomination list, as produced per tenant by the
+/// quota-aware schedule.
+type RankedNominations = Vec<(f64, Arc<VersionState>)>;
 
 /// One splitter→store hand-off unit: a run of consecutive stream events
 /// starting at stream position [`first_pos`](Self::first_pos).
@@ -160,10 +183,30 @@ struct SpecGroup {
     refs: HashMap<u64, usize>,
 }
 
+/// Per-tenant policy and bookkeeping (see the [module docs](self)):
+/// quota, owned queries, scheduler carryover credit, and the metric
+/// residual of retired queries that keeps
+/// [`tenant_metrics`](Splitter::tenant_metrics) summing exactly to the
+/// aggregate across the tenant's whole lifetime.
+struct TenantState {
+    id: TenantId,
+    quota: TenantQuota,
+    /// Queries owned by this tenant (deployment order).
+    queries: Vec<QueryId>,
+    /// Deficit-round-robin carryover, in instance slots: the fractional
+    /// share a tenant was owed but not granted in earlier cycles. Bounded
+    /// by k and reset to zero whenever the tenant has nothing to schedule.
+    credit: f64,
+    /// Accumulated snapshots of this tenant's retired queries.
+    retired: MetricsSnapshot,
+}
+
 /// Per-query runtime state — everything that was hard-wired to the single
 /// query before the registry existed (see the [module docs](self)).
 struct QueryState {
     id: QueryId,
+    /// Owning tenant (scheduling share, quotas, metric rollups).
+    tenant: TenantId,
     query: Arc<Query>,
     /// Index of the query's [`SpecGroup`] in the splitter's group list.
     group: usize,
@@ -173,8 +216,20 @@ struct QueryState {
     offset: u64,
     tree: DependencyTree,
     predictor: Box<dyn CompletionPredictor>,
-    /// Live (unretired) windows, oldest first.
+    /// Pattern-derived event prefilter, or `None` when the pattern admits
+    /// unconstrained events (then every window attaches eagerly, exactly
+    /// the pre-filter behavior).
+    filter: Option<EventFilter>,
+    /// Live (unretired) windows *attached to the tree*, oldest first.
+    /// Windows whose events the filter has so far all rejected are in
+    /// [`deferred`](Self::deferred) instead.
     live: VecDeque<Arc<WindowInfo>>,
+    /// Open windows not yet attached: no event of theirs has passed the
+    /// filter. Always a suffix of the window sequence (a relevant event
+    /// attaches *all* deferred windows at once — it is in every open
+    /// window — so attached windows are strictly older than deferred
+    /// ones). A window still deferred at close is skipped entirely.
+    deferred: VecDeque<Arc<WindowInfo>>,
     /// Versions whose `WvFinished` op has been applied. Retirement requires
     /// the ack: the op queue is FIFO per instance and an instance pushes all
     /// of a version's consumption-group ops *before* its `WvFinished` (the
@@ -322,6 +377,14 @@ pub struct Splitter {
     groups: Vec<SpecGroup>,
     /// The query registry, ascending by id (commit order is id order).
     queries: Vec<QueryState>,
+    /// Registry index: query id → position in [`queries`](Self::queries).
+    /// Keeps the hot paths (op routing, window open/close, stats) O(1)
+    /// instead of scanning the registry per touch.
+    query_index: HashMap<QueryId, usize>,
+    /// Tenant registry, in first-deploy order.
+    tenants: Vec<TenantState>,
+    /// Tenant id → position in [`tenants`](Self::tenants).
+    tenant_index: HashMap<TenantId, usize>,
     next_query: u32,
     /// Next shared store-buffer id (engine-global, never reused).
     next_store_id: u64,
@@ -388,6 +451,9 @@ impl Splitter {
             eos: false,
             groups: Vec::new(),
             queries: Vec::new(),
+            query_index: HashMap::new(),
+            tenants: Vec::new(),
+            tenant_index: HashMap::new(),
             next_query: 0,
             next_store_id: 0,
             batch,
@@ -423,22 +489,84 @@ impl Splitter {
         splitter
     }
 
-    /// Deploys a query: registers its `QueryState` and subscribes it to
-    /// the spec group matching its window spec (creating one if no deployed
-    /// query shares the spec). The query starts matching from the next
-    /// window its group opens — windows already open at deploy time are
-    /// not its.
+    /// Deploys a query for the default tenant — see
+    /// [`deploy_query_for`](Self::deploy_query_for).
+    pub fn deploy_query(&mut self, query: Arc<Query>) -> Result<QueryId, EngineError> {
+        self.deploy_query_for(TenantId::DEFAULT, query)
+    }
+
+    /// Index of `tenant`'s registry entry, creating one (default quota)
+    /// on first sight.
+    fn tenant_entry(&mut self, tenant: TenantId) -> usize {
+        match self.tenant_index.get(&tenant) {
+            Some(&ti) => ti,
+            None => {
+                let ti = self.tenants.len();
+                self.tenants.push(TenantState {
+                    id: tenant,
+                    quota: TenantQuota::default(),
+                    queries: Vec::new(),
+                    credit: 0.0,
+                    retired: MetricsSnapshot::default(),
+                });
+                self.tenant_index.insert(tenant, ti);
+                ti
+            }
+        }
+    }
+
+    /// Sets (or replaces) `tenant`'s quota, registering the tenant if it
+    /// has no queries yet.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidConfig`] if the quota is degenerate or
+    /// exceeds the session configuration's global caps (see
+    /// [`TenantQuota::try_validate`]).
+    pub fn set_tenant_quota(
+        &mut self,
+        tenant: TenantId,
+        quota: TenantQuota,
+    ) -> Result<(), EngineError> {
+        if let Err(msg) = quota.try_validate(&self.config) {
+            return Err(EngineError::InvalidConfig(msg));
+        }
+        let ti = self.tenant_entry(tenant);
+        self.tenants[ti].quota = quota;
+        Ok(())
+    }
+
+    /// Deploys a query owned by `tenant`: registers its `QueryState` and
+    /// subscribes it to the spec group matching its window spec (creating
+    /// one if no deployed query shares the spec). The query starts
+    /// matching from the next window its group opens — windows already
+    /// open at deploy time are not its.
     ///
     /// # Errors
     ///
     /// [`EngineError::QueryNotRunnable`] if the query allows more than one
-    /// concurrently active partial match (see [`new`](Self::new)).
-    pub fn deploy_query(&mut self, query: Arc<Query>) -> Result<QueryId, EngineError> {
+    /// concurrently active partial match (see [`new`](Self::new));
+    /// [`EngineError::QuotaExceeded`] if the tenant is at its
+    /// [`TenantQuota::max_queries`] cap.
+    pub fn deploy_query_for(
+        &mut self,
+        tenant: TenantId,
+        query: Arc<Query>,
+    ) -> Result<QueryId, EngineError> {
         if query.max_active() != 1 {
             return Err(EngineError::QueryNotRunnable {
                 query: query.name().to_string(),
                 reason: "the speculative runtime requires max_active = 1".to_string(),
             });
+        }
+        let ti = self.tenant_entry(tenant);
+        if let Some(cap) = self.tenants[ti].quota.max_queries {
+            if self.tenants[ti].queries.len() >= cap {
+                return Err(EngineError::QuotaExceeded {
+                    tenant,
+                    max_queries: cap,
+                });
+            }
         }
         let id = QueryId(self.next_query);
         self.next_query += 1;
@@ -467,8 +595,12 @@ impl Splitter {
             PredictorKind::Fixed(p) => Box::new(FixedPredictor::new(*p)),
         };
         let avg_window_size = warmup_window_size(&query);
+        let filter = EventFilter::for_query(&query);
+        self.query_index.insert(id, self.queries.len());
+        self.tenants[ti].queries.push(id);
         self.queries.push(QueryState {
             id,
+            tenant,
             query,
             group,
             offset,
@@ -477,7 +609,9 @@ impl Splitter {
                 self.config.lazy_attach,
             ),
             predictor,
+            filter,
             live: VecDeque::new(),
+            deferred: VecDeque::new(),
             finished_acked: HashSet::new(),
             avg_window_size,
             closed_windows: 0,
@@ -497,8 +631,18 @@ impl Splitter {
     /// or `None` for an unknown (never deployed or already retired) id.
     /// The other queries are untouched.
     pub fn retire_query(&mut self, qid: QueryId) -> Option<Vec<ComplexEvent>> {
-        let idx = self.queries.iter().position(|q| q.id == qid)?;
+        let idx = self.query_index.remove(&qid)?;
         let qs = self.queries.remove(idx);
+        // `Vec::remove` shifted everything behind the gap down one slot.
+        for (i, q) in self.queries.iter().enumerate().skip(idx) {
+            self.query_index.insert(q.id, i);
+        }
+        // The tenant keeps the retired query's counters as a residual so
+        // its rollup stays exact across the retire.
+        let ti = self.tenant_index[&qs.tenant];
+        let tenant = &mut self.tenants[ti];
+        tenant.queries.retain(|m| *m != qid);
+        tenant.retired.accumulate(&qs.metrics.snapshot());
         // Speculative work in flight is discarded: instances observe the
         // dropped flag at the next step/run boundary and go idle.
         for v in qs.tree.versions() {
@@ -517,7 +661,7 @@ impl Splitter {
         for ow in &mut g.open {
             ow.infos.retain(|(m, _)| *m != qid);
         }
-        for w in &qs.live {
+        for w in qs.live.iter().chain(qs.deferred.iter()) {
             if let Some(r) = g.refs.get_mut(&w.store_id) {
                 *r -= 1;
                 if *r == 0 {
@@ -686,7 +830,33 @@ impl Splitter {
 
     /// `true` while `qid` is deployed.
     pub fn has_query(&self, qid: QueryId) -> bool {
-        self.queries.iter().any(|q| q.id == qid)
+        self.query_index.contains_key(&qid)
+    }
+
+    /// Owning tenant of `qid`, or `None` for an unknown (retired) id.
+    pub fn query_tenant(&self, qid: QueryId) -> Option<TenantId> {
+        let &qi = self.query_index.get(&qid)?;
+        Some(self.queries[qi].tenant)
+    }
+
+    /// Per-tenant metric rollups, in first-deploy order: each tenant's
+    /// retired-query residual plus its live queries' snapshots, combined
+    /// with [`MetricsSnapshot::accumulate`]. Every summable counter
+    /// decomposes exactly over these rollups the same way it decomposes
+    /// over [`per_query_metrics`](Self::per_query_metrics).
+    pub fn tenant_metrics(&self) -> Vec<(TenantId, MetricsSnapshot)> {
+        self.tenants
+            .iter()
+            .map(|t| {
+                let mut acc = t.retired;
+                for qid in &t.queries {
+                    if let Some(&qi) = self.query_index.get(qid) {
+                        acc.accumulate(&self.queries[qi].metrics.snapshot());
+                    }
+                }
+                (t.id, acc)
+            })
+            .collect()
     }
 
     /// Per-query metric snapshots (deployment order). Engine-scoped
@@ -760,10 +930,11 @@ impl Splitter {
         let shared = Arc::clone(&self.shared);
         for (qid, op) in ops.drain(..) {
             self.progress = true;
-            let Some(qs) = self.queries.iter_mut().find(|q| q.id == qid) else {
+            let Some(&qi) = self.query_index.get(&qid) else {
                 // Retired query: the op is stale, its tree is gone.
                 continue;
             };
+            let qs = &mut self.queries[qi];
             let mut factory = SplitterFactory::for_query(&shared, qs);
             qs.apply_op(&shared.metrics, op, &mut factory);
             qs.finished_acked.extend(factory.acked_clones);
@@ -773,8 +944,8 @@ impl Splitter {
 
     fn apply_stats(&mut self) {
         while let Some((qid, batch)) = self.shared.stats.pop() {
-            if let Some(qs) = self.queries.iter_mut().find(|q| q.id == qid) {
-                qs.predictor.observe_batch(&batch.transitions);
+            if let Some(&qi) = self.query_index.get(&qid) {
+                self.queries[qi].predictor.observe_batch(&batch.transitions);
             }
         }
         for qs in &mut self.queries {
@@ -869,10 +1040,16 @@ impl Splitter {
                     self.close_group_window(gi, bounds.id, pos);
                 }
                 self.closed_buf = closed;
+                // The current event proves relevance for the group's
+                // deferred windows — all still open (a window closing
+                // while deferred was just skipped above), so all of them
+                // contain it. Attach before any window opening *on* this
+                // event so each tree's window sequence stays ascending.
+                self.flush_deferred(gi, &event);
                 if let Some(opened) = opened {
                     // The window contains its start event — the one about
                     // to be pushed, at batch-relative index `batch.len()`.
-                    self.open_group_window(gi, opened);
+                    self.open_group_window(gi, opened, &event);
                 }
             }
             self.batch.push(event);
@@ -880,11 +1057,43 @@ impl Splitter {
         FillOutcome::Full
     }
 
+    /// Attaches every deferred window of group `gi`'s members for which
+    /// `event` is relevant. Deferral is all-or-nothing per query: the
+    /// event is in every open window, so one relevant event attaches the
+    /// query's whole deferred suffix (oldest first, keeping the tree's
+    /// window ids ascending). The per-query fast path is one
+    /// `VecDeque::is_empty` check.
+    fn flush_deferred(&mut self, gi: usize, event: &Event) {
+        let shared = Arc::clone(&self.shared);
+        for mi in 0..self.groups[gi].members.len() {
+            let qid = self.groups[gi].members[mi];
+            let qi = *self
+                .query_index
+                .get(&qid)
+                .expect("group member is registered");
+            let qs = &mut self.queries[qi];
+            if qs.deferred.is_empty() {
+                continue;
+            }
+            if qs.filter.as_ref().is_some_and(|f| !f.relevant(event)) {
+                continue;
+            }
+            let mut factory = SplitterFactory::for_query(&shared, qs);
+            while let Some(info) = qs.deferred.pop_front() {
+                qs.live.push_back(Arc::clone(&info));
+                qs.tree.new_window(&info, &mut factory);
+            }
+            qs.finished_acked.extend(factory.acked_clones);
+        }
+    }
+
     /// Opens group `gi`'s next window: allocates the shared store buffer
     /// (once) and subscribes every current member with its own
     /// query-local [`WindowInfo`] cell. A group without members opens
-    /// nothing — no buffer, no subscriptions.
-    fn open_group_window(&mut self, gi: usize, bounds: WindowBounds) {
+    /// nothing — no buffer, no subscriptions. `event` is the window's
+    /// start event: a member whose filter rejects it defers the attach
+    /// (the buffer and close bookkeeping are shared and unaffected).
+    fn open_group_window(&mut self, gi: usize, bounds: WindowBounds, event: &Event) {
         let g = &mut self.groups[gi];
         if g.members.is_empty() {
             return;
@@ -908,11 +1117,11 @@ impl Splitter {
             .fetch_add(1, Ordering::Relaxed);
         let shared = Arc::clone(&self.shared);
         for qid in members {
-            let qs = self
-                .queries
-                .iter_mut()
-                .find(|q| q.id == qid)
+            let qi = *self
+                .query_index
+                .get(&qid)
                 .expect("group member is registered");
+            let qs = &mut self.queries[qi];
             let info = Arc::new(WindowInfo::with_store(
                 bounds.id - qs.offset,
                 store_id,
@@ -920,10 +1129,17 @@ impl Splitter {
                 bounds.start_seq,
                 bounds.start_ts,
             ));
-            qs.live.push_back(Arc::clone(&info));
-            let mut factory = SplitterFactory::for_query(&shared, qs);
-            qs.tree.new_window(&info, &mut factory);
-            qs.finished_acked.extend(factory.acked_clones);
+            if qs.filter.as_ref().is_some_and(|f| !f.relevant(event)) {
+                // The start event is irrelevant to this member: defer the
+                // attach until a relevant event arrives (or skip the
+                // window outright if none does before it closes).
+                qs.deferred.push_back(Arc::clone(&info));
+            } else {
+                qs.live.push_back(Arc::clone(&info));
+                let mut factory = SplitterFactory::for_query(&shared, qs);
+                qs.tree.new_window(&info, &mut factory);
+                qs.finished_acked.extend(factory.acked_clones);
+            }
             self.groups[gi].open[ow].infos.push((qid, info));
         }
     }
@@ -943,13 +1159,43 @@ impl Splitter {
         if ow.pending < batch_len {
             self.batch_closed.push((ow.store_id, ow.pending..batch_len));
         }
+        let mut skips = 0u64;
         for (qid, info) in &ow.infos {
             info.set_end_pos(end_pos);
             let len = (end_pos - info.start_pos) as f64;
-            if let Some(qs) = self.queries.iter_mut().find(|q| q.id == *qid) {
-                qs.closed_windows += 1;
-                let n = qs.closed_windows as f64;
-                qs.avg_window_size += (len - qs.avg_window_size) / n;
+            let Some(&qi) = self.query_index.get(qid) else {
+                continue;
+            };
+            let qs = &mut self.queries[qi];
+            qs.closed_windows += 1;
+            let n = qs.closed_windows as f64;
+            qs.avg_window_size += (len - qs.avg_window_size) / n;
+            // Still deferred at close: no event of the window passed the
+            // filter, so the query can never match in it — skip it
+            // entirely (no versions, no retirement, buffer ref released).
+            if let Some(di) = qs.deferred.iter().position(|w| Arc::ptr_eq(w, info)) {
+                qs.deferred.remove(di);
+                qs.metrics.windows_skipped.fetch_add(1, Ordering::Relaxed);
+                skips += 1;
+            }
+        }
+        if skips > 0 {
+            self.shared
+                .metrics
+                .windows_skipped
+                .fetch_add(skips, Ordering::Relaxed);
+            let g = &mut self.groups[gi];
+            for _ in 0..skips {
+                if let Some(r) = g.refs.get_mut(&ow.store_id) {
+                    *r -= 1;
+                    if *r == 0 {
+                        g.refs.remove(&ow.store_id);
+                        // A batch slice may still be queued for this
+                        // buffer; `WindowStore::extend` drops slices for
+                        // removed windows, so the flush stays correct.
+                        self.shared.store.remove_window(ow.store_id);
+                    }
+                }
             }
         }
     }
@@ -1129,31 +1375,153 @@ impl Splitter {
         (avg_window_size as i64 - pos_in_window as i64).max(1)
     }
 
+    /// Query `qi`'s tree nominates its top `k` versions with survival
+    /// probabilities (materializing lazy branches on first schedule) into
+    /// `out`, decrementing `budget` by every version the nomination
+    /// materialized — the per-tenant speculation budget's enforcement
+    /// point (an exhausted budget leaves lazy branches unmaterialized
+    /// instead of creating version state).
+    fn nominate(
+        &mut self,
+        qi: usize,
+        k: usize,
+        budget: &mut usize,
+        out: &mut Vec<(f64, Arc<VersionState>)>,
+        shared: &Arc<SharedState>,
+    ) {
+        let qs = &mut self.queries[qi];
+        let mut factory = SplitterFactory::for_query(shared, qs);
+        let avg = qs.avg_window_size;
+        let predictor = &*qs.predictor;
+        let prob = move |cell: &CgCell| -> f64 {
+            let events_left = Self::events_left(avg, cell.pos_in_window());
+            predictor.predict(cell.delta(), events_left)
+        };
+        out.extend(
+            qs.tree
+                .top_k_scored_budgeted(k, &prob, &mut factory, budget),
+        );
+        qs.finished_acked.extend(factory.acked_clones);
+    }
+
+    /// Remaining per-cycle speculation budget of tenant `ti`: its
+    /// [`TenantQuota::max_versions`] cap minus the versions its queries'
+    /// trees already hold (`usize::MAX` when uncapped).
+    fn tenant_budget(&self, ti: usize) -> usize {
+        let t = &self.tenants[ti];
+        let Some(cap) = t.quota.max_versions else {
+            return usize::MAX;
+        };
+        let used: usize = t
+            .queries
+            .iter()
+            .filter_map(|qid| self.query_index.get(qid))
+            .map(|&qi| self.queries[qi].tree.version_count())
+            .sum();
+        cap.saturating_sub(used)
+    }
+
     /// Selects and schedules the top-k window versions across all deployed
-    /// queries: each query's tree nominates its own top k with survival
-    /// probabilities (materializing lazy branches on first schedule), the
-    /// nominations merge on probability (stable, so each tree's internal
-    /// order — and query order on exact ties — is preserved), and the best
-    /// k overall take the instance slots via the usual two-pass assignment
-    /// (paper Fig. 7). With one deployed query this reduces exactly to the
+    /// queries.
+    ///
+    /// With at most one active tenant (the untenanted and single-tenant
+    /// cases): each query's tree nominates its own top k, the nominations
+    /// merge on probability (stable, so each tree's internal order — and
+    /// query order on exact ties — is preserved), and the best k overall
+    /// take the instance slots via the usual two-pass assignment (paper
+    /// Fig. 7). With one deployed query this reduces exactly to the
     /// single-query schedule.
+    ///
+    /// With several active tenants, the k slots are split by weighted
+    /// fair share with deficit-round-robin carryover: each tenant merges
+    /// its own nominations into a ranked list (of at most k, under its
+    /// speculation budget), tenants with work accrue
+    /// `k · weight / Σ weights` credit per cycle (clamped to k; reset
+    /// when idle, so the share is work-conserving), and slots go one at a
+    /// time to the highest-credit tenant with nominations left — lowest
+    /// tenant id on ties. The chosen versions are then ranked on
+    /// probability again so slot assignment stays probability-ordered.
     fn schedule(&mut self) {
         let k = self.config.instances;
         let shared = Arc::clone(&self.shared);
+        let mut active: Vec<usize> = (0..self.tenants.len())
+            .filter(|&ti| !self.tenants[ti].queries.is_empty())
+            .collect();
+        active.sort_by_key(|&ti| self.tenants[ti].id);
         let mut cands: Vec<(f64, Arc<VersionState>)> = Vec::new();
-        for qs in &mut self.queries {
-            let mut factory = SplitterFactory::for_query(&shared, qs);
-            let avg = qs.avg_window_size;
-            let predictor = &*qs.predictor;
-            let prob = move |cell: &CgCell| -> f64 {
-                let events_left = Self::events_left(avg, cell.pos_in_window());
-                predictor.predict(cell.delta(), events_left)
-            };
-            cands.extend(qs.tree.top_k_scored(k, &prob, &mut factory));
-            qs.finished_acked.extend(factory.acked_clones);
+        if active.len() <= 1 {
+            let mut budget = active
+                .first()
+                .map_or(usize::MAX, |&ti| self.tenant_budget(ti));
+            for qi in 0..self.queries.len() {
+                self.nominate(qi, k, &mut budget, &mut cands, &shared);
+            }
+            cands.sort_by(|a, b| b.0.total_cmp(&a.0));
+            cands.truncate(k);
+        } else {
+            // Per-tenant ranked nomination lists, each under its own
+            // speculation budget.
+            let mut lists: Vec<(usize, RankedNominations)> = Vec::new();
+            for &ti in &active {
+                let mut budget = self.tenant_budget(ti);
+                let mut list = Vec::new();
+                let members = self.tenants[ti].queries.clone();
+                for qid in members {
+                    let qi = *self
+                        .query_index
+                        .get(&qid)
+                        .expect("tenant member is registered");
+                    self.nominate(qi, k, &mut budget, &mut list, &shared);
+                }
+                list.sort_by(|a, b| b.0.total_cmp(&a.0));
+                list.truncate(k);
+                lists.push((ti, list));
+            }
+            // Credit accrual: only tenants with nominations share the
+            // cycle (work-conserving); everyone else resets to zero so
+            // idle stretches cannot bank scheduling debt.
+            let total_weight: f64 = lists
+                .iter()
+                .filter(|(_, l)| !l.is_empty())
+                .map(|&(ti, _)| f64::from(self.tenants[ti].quota.weight))
+                .sum();
+            let mut has_work = vec![false; self.tenants.len()];
+            for (ti, list) in &lists {
+                has_work[*ti] = !list.is_empty();
+            }
+            for (ti, t) in self.tenants.iter_mut().enumerate() {
+                if has_work[ti] {
+                    let share = k as f64 * f64::from(t.quota.weight) / total_weight;
+                    t.credit = (t.credit + share).min(k as f64);
+                } else {
+                    t.credit = 0.0;
+                }
+            }
+            // Grant loop: one slot at a time to the highest-credit tenant
+            // with nominations left (lists are in ascending tenant-id
+            // order, and strict comparison keeps the earliest on ties).
+            let mut taken = vec![0usize; lists.len()];
+            while cands.len() < k {
+                let mut best: Option<(usize, f64)> = None;
+                for (li, (ti, list)) in lists.iter().enumerate() {
+                    if taken[li] >= list.len() {
+                        continue;
+                    }
+                    let credit = self.tenants[*ti].credit;
+                    if best.is_none_or(|(_, c)| credit > c) {
+                        best = Some((li, credit));
+                    }
+                }
+                let Some((li, _)) = best else {
+                    break;
+                };
+                let (ti, list) = &lists[li];
+                cands.push(list[taken[li]].clone());
+                taken[li] += 1;
+                self.tenants[*ti].credit -= 1.0;
+            }
+            cands.sort_by(|a, b| b.0.total_cmp(&a.0));
         }
-        cands.sort_by(|a, b| b.0.total_cmp(&a.0));
-        cands.truncate(k);
 
         // Two-pass assignment (paper Fig. 7): keep already-placed versions,
         // hand the rest to free instances. Both passes run against the

@@ -1618,6 +1618,33 @@ impl DependencyTree {
         prob_of: &dyn Fn(&CgCell) -> f64,
         f: &mut dyn VersionFactory,
     ) -> Vec<(f64, Arc<VersionState>)> {
+        let mut unbounded = usize::MAX;
+        self.top_k_scored_budgeted(k, prob_of, f, &mut unbounded)
+    }
+
+    /// [`top_k_scored`](Self::top_k_scored) under a materialization
+    /// budget: each on-demand version creation (a lazy completion branch
+    /// or a pending window attach that ranks inside the top k) deducts the
+    /// versions it created from `*budget`, and once the budget hits zero
+    /// the selection stops materializing *new* state — exhausted
+    /// candidates are skipped, their thunks stay in the tree for a later
+    /// cycle, and already-live versions keep competing unhindered.
+    ///
+    /// This is the enforcement point for per-tenant speculation caps
+    /// ([`TenantQuota::max_versions`](crate::config::TenantQuota)): the
+    /// splitter threads one shared budget through all of a tenant's trees
+    /// in a scheduling cycle. A `usize::MAX` budget never reaches zero, so
+    /// the unbudgeted selection is byte-for-byte this one. Liveness is
+    /// unaffected: completion-driven materialization and the root-retire
+    /// attach stay unconditional, so a budget of zero can delay but never
+    /// wedge progress.
+    pub fn top_k_scored_budgeted(
+        &mut self,
+        k: usize,
+        prob_of: &dyn Fn(&CgCell) -> f64,
+        f: &mut dyn VersionFactory,
+        budget: &mut usize,
+    ) -> Vec<(f64, Arc<VersionState>)> {
         use std::cmp::Reverse;
         use std::collections::BinaryHeap;
 
@@ -1697,8 +1724,30 @@ impl DependencyTree {
             // attach that just ranked (create its fresh chain now and let
             // the head compete).
             let expand = match expect {
-                Expect::Lazy(_) => self.materialize(node, f).map(|c| (prob, c)),
-                Expect::Attach(_) => Some((prob, self.materialize_attach(node, f))),
+                // Materializing arms are budget-gated: an exhausted budget
+                // skips the candidate (the thunk survives for a later
+                // cycle; nothing schedulable hides below an unmaterialized
+                // vertex, so skipping loses no live candidates).
+                Expect::Lazy(_) => {
+                    if *budget == 0 {
+                        continue;
+                    }
+                    let before = self.version_count;
+                    let expand = self.materialize(node, f).map(|c| (prob, c));
+                    let created = self.version_count.saturating_sub(before);
+                    *budget = budget.saturating_sub(created);
+                    expand
+                }
+                Expect::Attach(_) => {
+                    if *budget == 0 {
+                        continue;
+                    }
+                    let before = self.version_count;
+                    let expand = Some((prob, self.materialize_attach(node, f)));
+                    let created = self.version_count.saturating_sub(before);
+                    *budget = budget.saturating_sub(created);
+                    expand
+                }
                 Expect::Version(_) => {
                     let Node::Version { state, child, .. } = self.node(node) else {
                         unreachable!("validated above")

@@ -15,6 +15,9 @@
 //! * [`WindowDetector`] — per-window pattern detection with the feedback
 //!   actions of paper Fig. 8 (consumption-group creation / completion /
 //!   abandonment),
+//! * [`EventFilter`] — a conservative per-event relevance prefilter
+//!   derived from the pattern (used by the engine's splitter to skip
+//!   windows a query cannot match in),
 //! * [`parse_query`] — a parser for the paper's extended `MATCH_RECOGNIZE`
 //!   notation (Fig. 9),
 //! * [`queries`] — ready-made builders for the paper's queries Q1, Q2, Q3
@@ -41,6 +44,7 @@ mod matcher;
 mod policy;
 mod query;
 
+pub mod filter;
 pub mod parser;
 pub mod pattern;
 pub mod queries;
@@ -49,6 +53,7 @@ pub mod window;
 pub use complex::ComplexEvent;
 pub use detector::{DetectorAction, MatchId, WindowDetector};
 pub use expr::{BinOp, ElemRef, EvalContext, Expr, UnaryOp};
+pub use filter::EventFilter;
 pub use matcher::{FeedOutcome, PartialMatch};
 pub use parser::{parse_query, ParseError};
 pub use pattern::{ElemId, ElemMatcher, Pattern, PatternBuilder, Step, StepId, StepKind};

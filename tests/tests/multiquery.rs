@@ -215,6 +215,51 @@ fn deploying_during_a_disordered_burst_matches_solo_runs() {
 }
 
 #[test]
+fn retiring_during_a_disordered_burst_matches_solo_runs() {
+    // The mirror image of the deploy-mid-burst test: retire a query *while
+    // a disordered burst is still parked in the reorder buffer*. The
+    // punctuated stage has ingested nothing yet, so the retired query saw
+    // no event of the burst — and the survivors' outputs over the whole
+    // stream must stay bit-identical to their solo runs.
+    let (a, b, events) = fixture(1_500, 47);
+    let expected_a = run_sequential(&a, &events).complex_events;
+    let expected_b = run_sequential(&b, &events).complex_events;
+    assert!(!expected_a.is_empty() && !expected_b.is_empty());
+    let shuffled = bounded_shuffle(&events, 60_000, 7);
+    assert_ne!(shuffled, events, "the burst must actually be disordered");
+
+    let reorder = ReorderConfig::bounded(0)
+        .with_watermark(WatermarkPolicy::Punctuated)
+        .with_capacity(2_048);
+    let config = SpectreConfig {
+        reorder: Some(reorder),
+        ..SpectreConfig::with_instances(2)
+    };
+    let (mut engine, ids) = multi_session(&[&a, &a, &b], config, false);
+    engine.push_batch(shuffled[..750].to_vec());
+    assert_eq!(
+        engine.events_ingested(),
+        0,
+        "a punctuated stage parks the burst in the buffer"
+    );
+    let drained = engine.retire_query(ids[1]).expect("retire mid-burst");
+    assert!(
+        drained.is_empty(),
+        "nothing was ingested, so the retired query had committed nothing"
+    );
+    engine.push_batch(shuffled[750..].to_vec());
+    let report = engine.try_finish().expect("finish");
+    assert_same_output("survivor a", query_outputs(&report, ids[0]), &expected_a);
+    assert_same_output("survivor b", query_outputs(&report, ids[2]), &expected_b);
+    assert!(
+        !report.queries.contains_key(&ids[1]),
+        "retired queries do not reappear in the report"
+    );
+    assert_eq!(report.metrics.late_events_dropped, 0);
+    assert_eq!(report.input_events, 1_500);
+}
+
+#[test]
 fn retiring_mid_stream_leaves_surviving_queries_unchanged() {
     let (a, _, events) = fixture(1_500, 31);
     let expected = run_sequential(&a, &events).complex_events;
