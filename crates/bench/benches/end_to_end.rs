@@ -14,9 +14,12 @@
 //! baseline in `crates/bench/baseline/`. Set `SPECTRE_BENCH_ONLY` to a
 //! comma-separated list of section tags (`engines`, `threaded`,
 //! `streaming`, `multiquery`, `consumption`, `reorder`, `scaling`,
-//! `tenancy`) to run a subset —
+//! `tenancy`, `server`) to run a subset —
 //! the criterion shim has no CLI filter, and CI smoke steps use this to
-//! gate one dimension without paying for the rest.
+//! gate one dimension without paying for the rest. The `server` tag runs
+//! the spectre-server front-end end to end: two loopback clients
+//! streaming strided halves of the stream through the framed wire
+//! protocol into one hosted session.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -31,6 +34,7 @@ use spectre_datasets::{bounded_shuffle, NyseConfig, NyseGenerator};
 use spectre_events::{Event, Schema};
 use spectre_query::queries::{self, Direction};
 use spectre_query::{ConsumptionPolicy, Query};
+use spectre_server::{FeedClient, IngestOrder, Server, ServerConfig};
 
 /// `true` when the section should run: always without `SPECTRE_BENCH_ONLY`,
 /// else only when the tag is in its comma-separated list.
@@ -523,6 +527,67 @@ fn bench_tenancy(c: &mut Criterion) {
     group.finish();
 }
 
+/// The server front-end over the paper-scale stream: two loopback
+/// clients stream strided halves through the framed wire protocol —
+/// socket reads, decode, the middleware chain, credit round-trips, the
+/// bounded feed channel, the sequence merge — into one threaded session,
+/// then the session drains to its final report. Compares directly against
+/// `batched64_8shards_k2` in the `threaded` section: the delta is the
+/// whole network front-end.
+fn bench_server(c: &mut Criterion) {
+    if !enabled("server") {
+        return;
+    }
+    let mut schema = Schema::new();
+    let events: Vec<Event> = NyseGenerator::new(
+        paper_nyse_config(spectre_bench::threaded_bench_events()),
+        &mut schema,
+    )
+    .collect();
+    let query = datapath_query(&mut schema);
+    let mut group = c.benchmark_group(format!("threaded_server_{}k_events", events.len() / 1000));
+    group.sample_size(2);
+    group.bench_function("server_2clients_k2", |b| {
+        b.iter(|| {
+            let cfg = ServerConfig {
+                engine: SpectreConfig::with_batching(2, 64, 8),
+                threaded: true,
+                order: IngestOrder::Seq,
+                ..ServerConfig::default()
+            };
+            let handle = Server::start(
+                cfg,
+                schema.clone(),
+                vec![(TenantId::DEFAULT, Arc::clone(&query))],
+            )
+            .expect("server starts");
+            let addr = handle.ingest_addr();
+            let clients: Vec<_> = (0..2u64)
+                .map(|i| {
+                    let events = events.clone();
+                    std::thread::spawn(move || {
+                        let mut client = FeedClient::connect(addr, 0).expect("connect");
+                        for event in events.iter().filter(|e| e.seq() % 2 == i) {
+                            client.send_event(event).expect("send");
+                        }
+                        client.finish().expect("finish");
+                    })
+                })
+                .collect();
+            for client in clients {
+                client.join().expect("client thread");
+            }
+            handle.drain();
+            let outcome = handle.join().expect("drain");
+            assert_eq!(outcome.report.input_events, events.len() as u64);
+            let outputs: usize = outcome.outputs.values().map(Vec::len).sum();
+            stash_case("server_2clients_k2", outcome.report.metrics, outputs);
+            black_box(outputs)
+        })
+    });
+    group.finish();
+}
+
 /// Writes the machine-readable bench summary for CI trend tracking when
 /// `SPECTRE_BENCH_SUMMARY` names a path: per threaded case, events/s (from
 /// the criterion shim's retained minimum) plus — for the consumption cases
@@ -606,6 +671,7 @@ criterion_group!(
     bench_reorder,
     bench_scaling,
     bench_tenancy,
+    bench_server,
     emit_summary
 );
 criterion_main!(end_to_end);

@@ -270,6 +270,58 @@ impl Report {
             self.input_events as f64 / secs
         }
     }
+
+    /// Renders the report as a single-line JSON summary — counts and core
+    /// counters, not the complex events themselves. This is what a server
+    /// front-end flushes on graceful drain; hand-rolled (the workspace has
+    /// no JSON dependency) and stable enough for scripts to parse.
+    pub fn summary_json(&self) -> String {
+        use std::fmt::Write as _;
+        let m = &self.metrics;
+        let mut s = String::with_capacity(512);
+        let _ = write!(
+            s,
+            "{{\"input_events\":{},\"complex_events\":{},\"wall_ms\":{},\
+             \"events_per_sec\":{:.1},\"events_processed\":{},\
+             \"outputs_emitted\":{},\"versions_created\":{},\"rollbacks\":{},\
+             \"windows_retired\":{},\"watermarks_advanced\":{},\"queries\":[",
+            self.input_events,
+            self.complex_events.len(),
+            self.wall.as_millis(),
+            self.throughput(),
+            m.events_processed,
+            m.outputs_emitted,
+            m.versions_created,
+            m.rollbacks,
+            m.windows_retired,
+            m.watermarks_advanced,
+        );
+        for (i, (qid, qr)) in self.queries.iter().enumerate() {
+            let _ = write!(
+                s,
+                "{}{{\"query\":{},\"tenant\":{},\"complex_events\":{},\
+                 \"events_processed\":{}}}",
+                if i == 0 { "" } else { "," },
+                qid.0,
+                qr.tenant.0,
+                qr.complex_events.len(),
+                qr.metrics.events_processed,
+            );
+        }
+        s.push_str("],\"tenants\":[");
+        for (i, (tid, tm)) in self.tenants.iter().enumerate() {
+            let _ = write!(
+                s,
+                "{}{{\"tenant\":{},\"events_processed\":{},\"outputs_emitted\":{}}}",
+                if i == 0 { "" } else { "," },
+                tid.0,
+                tm.events_processed,
+                tm.outputs_emitted,
+            );
+        }
+        s.push_str("]}");
+        s
+    }
 }
 
 /// Builder for a [`SpectreEngine`] session; see
@@ -771,6 +823,34 @@ impl SpectreEngine {
     /// Events ingested so far (excludes events still in the feed queue).
     pub fn events_ingested(&self) -> u64 {
         self.splitter.events_ingested()
+    }
+
+    /// The tenant owning a deployed query, or `None` for an unknown or
+    /// retired id.
+    pub fn query_tenant(&self, qid: QueryId) -> Option<TenantId> {
+        self.splitter.query_tenant(qid)
+    }
+
+    /// `true` once [`try_finish`](Self::try_finish) succeeded; every
+    /// further session call errors with [`EngineError::SessionFinished`].
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Runs one unit of engine work (a virtual-time round or a splitter
+    /// maintenance cycle) without pushing or draining — how an idle driver
+    /// (e.g. a server feed thread with no pending frames) keeps the session
+    /// progressing between arrivals.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::SessionFinished`] if the session already finished.
+    pub fn maintain(&mut self) -> Result<(), EngineError> {
+        if self.finished {
+            return Err(EngineError::SessionFinished);
+        }
+        self.pump();
+        Ok(())
     }
 
     /// Signals end-of-stream, drives the run to completion, shuts the
@@ -1328,6 +1408,35 @@ mod tests {
         );
         let report = engine.finish();
         assert!(report.queries.is_empty());
+    }
+
+    #[test]
+    fn maintain_and_report_summary_support_a_server_driver() {
+        let (query, events) = fixture(400, 19);
+        let mut engine = SpectreEngine::builder(&query)
+            .config(SpectreConfig::with_instances(1))
+            .simulated()
+            .build();
+        assert_eq!(engine.query_tenant(QueryId(0)), Some(TenantId::DEFAULT));
+        assert_eq!(engine.query_tenant(QueryId(7)), None);
+        assert!(!engine.is_finished());
+        engine.ingest(events);
+        // Idle maintenance (no pushes) still makes engine progress.
+        let before = engine.metrics().sched_cycles;
+        for _ in 0..64 {
+            engine.maintain().unwrap();
+        }
+        assert!(engine.metrics().sched_cycles >= before);
+        let report = engine.try_finish().unwrap();
+        assert!(engine.is_finished());
+        assert_eq!(engine.maintain().unwrap_err(), EngineError::SessionFinished);
+        let json = report.summary_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"input_events\":400"), "{json}");
+        assert!(
+            json.contains("\"queries\":[{\"query\":0,\"tenant\":0,"),
+            "{json}"
+        );
     }
 
     #[test]

@@ -168,9 +168,24 @@ impl<R: Read> FramedSource<R> {
         self.error.as_deref()
     }
 
+    /// Records the torn-frame error when the input ended mid-frame: the
+    /// decoder still buffers a partial frame no further bytes can ever
+    /// complete. Without this check a truncated stream (a peer dying
+    /// mid-write, a cut-short file) would end *silently*, indistinguishable
+    /// from a clean close.
+    fn check_torn_at_eof(&mut self) {
+        let torn = self.decoder.buffered();
+        if torn > 0 {
+            self.error = Some(format!(
+                "stream truncated mid-frame ({torn} undecodable bytes at end of input)"
+            ));
+        }
+    }
+
     /// Attempts to decode the next stream item — an event or a watermark
     /// punctuation — reading more bytes as needed. `None` at end of input
-    /// (or on error; see [`error`](Self::error)).
+    /// (or on error; see [`error`](Self::error)). An input that ends in the
+    /// middle of a frame is an error, not a clean end.
     pub fn next_item(&mut self) -> Option<StreamItem> {
         loop {
             match self.decoder.next_item() {
@@ -182,6 +197,7 @@ impl<R: Read> FramedSource<R> {
                 }
             }
             if self.eof {
+                self.check_torn_at_eof();
                 return None;
             }
             match self.reader.read(&mut self.read_buf) {
@@ -257,6 +273,7 @@ impl<R: Read> Iterator for FramedSource<R> {
                 }
             }
             if self.eof {
+                self.check_torn_at_eof();
                 return None;
             }
             match self.reader.read(&mut self.read_buf) {
@@ -333,6 +350,49 @@ mod tests {
         let received: Vec<Event> = source.collect();
         assert_eq!(received, events);
         server.join();
+    }
+
+    #[test]
+    fn truncated_stream_surfaces_decode_error() {
+        let mut schema = Schema::new();
+        let events: Vec<Event> =
+            NyseGenerator::new(NyseConfig::small(20, 7), &mut schema).collect();
+        let mut wire = BytesMut::new();
+        for ev in &events {
+            encode(ev, &mut wire);
+        }
+        // Chop the stream mid-frame: the last event loses its final bytes.
+        let cut = wire.len() - 3;
+        let mut source = FramedSource::new(std::io::Cursor::new(wire[..cut].to_vec()));
+        let decoded: Vec<Event> = source.by_ref().collect();
+        assert_eq!(decoded, events[..events.len() - 1]);
+        let err = source.error().expect("torn tail must surface as an error");
+        assert!(err.contains("truncated"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn truncated_item_stream_surfaces_decode_error() {
+        // A watermark frame cut short: sentinel magic present, timestamp torn.
+        let mut wire = BytesMut::new();
+        encode_watermark(42, &mut wire);
+        let cut = wire.len() - 2;
+        let mut items = FramedSource::new(std::io::Cursor::new(wire[..cut].to_vec())).items();
+        assert!(items.next().is_none());
+        let err = items
+            .error()
+            .expect("torn watermark must surface as an error");
+        assert!(err.contains("truncated"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn oversized_length_prefix_surfaces_decode_error() {
+        let bad = (spectre_events::codec::MAX_FRAME_LEN as u32 + 1).to_le_bytes();
+        let mut source = FramedSource::new(std::io::Cursor::new(bad.to_vec()));
+        assert!(source.next().is_none());
+        let err = source
+            .error()
+            .expect("oversized length must surface as an error");
+        assert!(err.contains("exceeds maximum"), "unexpected error: {err}");
     }
 
     #[test]

@@ -28,6 +28,19 @@
 //! [`StreamItem`]s; [`Decoder::next_event`] transparently skips
 //! watermarks, so event-only consumers are unaffected by punctuated
 //! streams.
+//!
+//! The server front-end (`spectre-server`) adds four more length-sentinel
+//! frames, split by direction. Client → server: [`HELLO_MAGIC`] declares
+//! the connection's tenant (`u32 magic | u64 tenant`) and [`BYE_MAGIC`]
+//! (bare `u32 magic`) marks a clean end of the client's stream, letting the
+//! server distinguish a finished client from one that died mid-slice.
+//! Server → client: [`CREDIT_MAGIC`] grants the client `n` more event
+//! frames (`u32 magic | u64 n` — the back-pressure window) and
+//! [`THROTTLE_MAGIC`] advises a pause (`u32 magic | u64 nanoseconds`, the
+//! rate limiter's signal). [`Decoder::next_client_frame`] /
+//! [`Decoder::next_server_frame`] decode each direction; a frame of the
+//! wrong direction is [`DecodeError::UnexpectedFrame`], never silently
+//! skipped.
 
 use std::fmt;
 use std::sync::Arc;
@@ -46,6 +59,30 @@ pub const MAX_FRAME_LEN: usize = 1 << 20;
 /// [`MAX_FRAME_LEN`], far below it.
 pub const WATERMARK_MAGIC: u32 = u32::MAX;
 
+/// Length-field sentinel of a server → client **credit** frame
+/// (`u32 magic | u64 n`): the server grants the client permission to send
+/// `n` more event frames. See the module docs for the direction split.
+pub const CREDIT_MAGIC: u32 = u32::MAX - 1;
+
+/// Length-field sentinel of a server → client **throttle** frame
+/// (`u32 magic | u64 nanos`): the rate limiter advises the client to pause
+/// for the given number of nanoseconds before sending more.
+pub const THROTTLE_MAGIC: u32 = u32::MAX - 2;
+
+/// Length-field sentinel of a client → server **hello** frame
+/// (`u32 magic | u64 tenant`): declares the tenant the connection's events
+/// belong to. Optional; connections without one land on the default tenant.
+pub const HELLO_MAGIC: u32 = u32::MAX - 3;
+
+/// Length-field sentinel of a client → server **bye** frame (bare `u32`
+/// magic, no payload): a clean end-of-stream marker. A connection that
+/// closes without one disconnected abnormally.
+pub const BYE_MAGIC: u32 = u32::MAX - 4;
+
+/// Smallest length-field value reserved as a frame-kind sentinel; length
+/// prefixes at or above it are never event-frame lengths.
+const SENTINEL_FLOOR: u32 = BYE_MAGIC;
+
 /// One decoded unit of a framed stream: an event, or a watermark
 /// punctuation asserting that no later event will carry a timestamp below
 /// the given stream timestamp.
@@ -55,6 +92,27 @@ pub enum StreamItem {
     Event(Event),
     /// A watermark punctuation with its stream timestamp.
     Watermark(u64),
+}
+
+/// One frame of the client → server direction: stream payload (events and
+/// watermarks), a tenant declaration, or a clean end-of-stream marker.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientFrame {
+    /// An event or watermark frame — the stream payload.
+    Item(StreamItem),
+    /// A [`HELLO_MAGIC`] tenant declaration.
+    Hello(u64),
+    /// A [`BYE_MAGIC`] clean end-of-stream marker.
+    Bye,
+}
+
+/// One frame of the server → client direction: flow-control feedback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerFrame {
+    /// A [`CREDIT_MAGIC`] grant of `n` more event frames.
+    Credit(u64),
+    /// A [`THROTTLE_MAGIC`] advisory pause, in nanoseconds.
+    Throttle(u64),
 }
 
 /// Error produced when decoding a malformed frame.
@@ -68,6 +126,10 @@ pub enum DecodeError {
     BadTag(u8),
     /// A string payload was not valid UTF-8.
     BadUtf8,
+    /// A sentinel frame that does not belong in the direction being
+    /// decoded (e.g. a server → client credit frame showing up on the
+    /// ingestion path). The payload is the offending length-field value.
+    UnexpectedFrame(u32),
 }
 
 impl fmt::Display for DecodeError {
@@ -77,6 +139,9 @@ impl fmt::Display for DecodeError {
             DecodeError::Truncated => write!(f, "frame truncated"),
             DecodeError::BadTag(t) => write!(f, "unknown value tag {t}"),
             DecodeError::BadUtf8 => write!(f, "string payload was not valid utf-8"),
+            DecodeError::UnexpectedFrame(m) => {
+                write!(f, "sentinel frame {m:#x} not valid in this direction")
+            }
         }
     }
 }
@@ -134,6 +199,29 @@ pub fn encode_all<'a>(events: impl IntoIterator<Item = &'a Event>) -> Bytes {
 pub fn encode_watermark(stream_ts: u64, out: &mut BytesMut) {
     out.put_u32_le(WATERMARK_MAGIC);
     out.put_u64_le(stream_ts);
+}
+
+/// Appends one encoded credit frame (see [`CREDIT_MAGIC`]) to `out`.
+pub fn encode_credit(events: u64, out: &mut BytesMut) {
+    out.put_u32_le(CREDIT_MAGIC);
+    out.put_u64_le(events);
+}
+
+/// Appends one encoded throttle frame (see [`THROTTLE_MAGIC`]) to `out`.
+pub fn encode_throttle(pause_nanos: u64, out: &mut BytesMut) {
+    out.put_u32_le(THROTTLE_MAGIC);
+    out.put_u64_le(pause_nanos);
+}
+
+/// Appends one encoded hello frame (see [`HELLO_MAGIC`]) to `out`.
+pub fn encode_hello(tenant: u64, out: &mut BytesMut) {
+    out.put_u32_le(HELLO_MAGIC);
+    out.put_u64_le(tenant);
+}
+
+/// Appends one encoded bye frame (see [`BYE_MAGIC`]) to `out`.
+pub fn encode_bye(out: &mut BytesMut) {
+    out.put_u32_le(BYE_MAGIC);
 }
 
 /// Encodes a batch of stream items — events and watermarks — into a single
@@ -196,7 +284,10 @@ impl Decoder {
     }
 
     /// Attempts to decode the next complete stream item — an event frame
-    /// or a watermark punctuation.
+    /// or a watermark punctuation. Direction-specific sentinel frames
+    /// (credit, throttle, hello, bye) are
+    /// [`DecodeError::UnexpectedFrame`]: this is the engine-side stream
+    /// payload view, which those frames never belong to.
     ///
     /// Returns `Ok(None)` if the buffer holds no complete frame yet.
     ///
@@ -205,17 +296,88 @@ impl Decoder {
     /// Returns a [`DecodeError`] if the buffered bytes are malformed; the
     /// decoder should be discarded afterwards.
     pub fn next_item(&mut self) -> Result<Option<StreamItem>, DecodeError> {
+        match self.next_raw()? {
+            None => Ok(None),
+            Some(RawFrame::Event(ev)) => Ok(Some(StreamItem::Event(ev))),
+            Some(RawFrame::Watermark(ts)) => Ok(Some(StreamItem::Watermark(ts))),
+            Some(RawFrame::Credit(_)) => Err(DecodeError::UnexpectedFrame(CREDIT_MAGIC)),
+            Some(RawFrame::Throttle(_)) => Err(DecodeError::UnexpectedFrame(THROTTLE_MAGIC)),
+            Some(RawFrame::Hello(_)) => Err(DecodeError::UnexpectedFrame(HELLO_MAGIC)),
+            Some(RawFrame::Bye) => Err(DecodeError::UnexpectedFrame(BYE_MAGIC)),
+        }
+    }
+
+    /// Attempts to decode the next complete client → server frame — a
+    /// stream item, a hello tenant declaration, or a bye end-of-stream
+    /// marker. Server → client feedback frames (credit, throttle) are
+    /// [`DecodeError::UnexpectedFrame`]. This is the view a server's
+    /// per-connection read loop decodes.
+    ///
+    /// Returns `Ok(None)` if the buffer holds no complete frame yet.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] if the buffered bytes are malformed; the
+    /// decoder should be discarded afterwards.
+    pub fn next_client_frame(&mut self) -> Result<Option<ClientFrame>, DecodeError> {
+        match self.next_raw()? {
+            None => Ok(None),
+            Some(RawFrame::Event(ev)) => Ok(Some(ClientFrame::Item(StreamItem::Event(ev)))),
+            Some(RawFrame::Watermark(ts)) => Ok(Some(ClientFrame::Item(StreamItem::Watermark(ts)))),
+            Some(RawFrame::Hello(tenant)) => Ok(Some(ClientFrame::Hello(tenant))),
+            Some(RawFrame::Bye) => Ok(Some(ClientFrame::Bye)),
+            Some(RawFrame::Credit(_)) => Err(DecodeError::UnexpectedFrame(CREDIT_MAGIC)),
+            Some(RawFrame::Throttle(_)) => Err(DecodeError::UnexpectedFrame(THROTTLE_MAGIC)),
+        }
+    }
+
+    /// Attempts to decode the next complete server → client feedback frame
+    /// — a credit grant or a throttle advisory. Anything else (including
+    /// event frames) is [`DecodeError::UnexpectedFrame`]. This is the view
+    /// a client decodes on its receive side.
+    ///
+    /// Returns `Ok(None)` if the buffer holds no complete frame yet.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] if the buffered bytes are malformed; the
+    /// decoder should be discarded afterwards.
+    pub fn next_server_frame(&mut self) -> Result<Option<ServerFrame>, DecodeError> {
+        match self.next_raw()? {
+            None => Ok(None),
+            Some(RawFrame::Credit(n)) => Ok(Some(ServerFrame::Credit(n))),
+            Some(RawFrame::Throttle(nanos)) => Ok(Some(ServerFrame::Throttle(nanos))),
+            Some(RawFrame::Event(_)) => Err(DecodeError::UnexpectedFrame(0)),
+            Some(RawFrame::Watermark(_)) => Err(DecodeError::UnexpectedFrame(WATERMARK_MAGIC)),
+            Some(RawFrame::Hello(_)) => Err(DecodeError::UnexpectedFrame(HELLO_MAGIC)),
+            Some(RawFrame::Bye) => Err(DecodeError::UnexpectedFrame(BYE_MAGIC)),
+        }
+    }
+
+    /// Decodes the next complete frame of any kind; the direction-specific
+    /// views above map the raw kinds to their surface.
+    fn next_raw(&mut self) -> Result<Option<RawFrame>, DecodeError> {
         if self.buf.len() < 4 {
             return Ok(None);
         }
         let len = u32::from_le_bytes(self.buf[0..4].try_into().expect("4 bytes"));
-        if len == WATERMARK_MAGIC {
+        if len >= SENTINEL_FLOOR {
+            if len == BYE_MAGIC {
+                self.buf.advance(4);
+                return Ok(Some(RawFrame::Bye));
+            }
+            // The other sentinels all carry one u64 payload.
             if self.buf.len() < 4 + 8 {
                 return Ok(None);
             }
             self.buf.advance(4);
-            let ts = self.buf.get_u64_le();
-            return Ok(Some(StreamItem::Watermark(ts)));
+            let v = self.buf.get_u64_le();
+            return Ok(Some(match len {
+                WATERMARK_MAGIC => RawFrame::Watermark(v),
+                CREDIT_MAGIC => RawFrame::Credit(v),
+                THROTTLE_MAGIC => RawFrame::Throttle(v),
+                _ => RawFrame::Hello(v),
+            }));
         }
         let len = len as usize;
         if len > MAX_FRAME_LEN {
@@ -226,8 +388,19 @@ impl Decoder {
         }
         self.buf.advance(4);
         let mut frame = self.buf.split_to(len);
-        decode_frame(&mut frame).map(|ev| Some(StreamItem::Event(ev)))
+        decode_frame(&mut frame).map(|ev| Some(RawFrame::Event(ev)))
     }
+}
+
+/// Internal decoded frame of any kind; the public decoder methods map this
+/// to the direction-specific surfaces.
+enum RawFrame {
+    Event(Event),
+    Watermark(u64),
+    Credit(u64),
+    Throttle(u64),
+    Hello(u64),
+    Bye,
 }
 
 fn decode_frame(buf: &mut BytesMut) -> Result<Event, DecodeError> {
@@ -423,5 +596,106 @@ mod tests {
         let mut dec = Decoder::new();
         dec.extend(&bytes);
         assert_eq!(dec.next_event().unwrap(), Some(ev));
+    }
+
+    #[test]
+    fn client_frames_round_trip() {
+        let mut buf = BytesMut::new();
+        encode_hello(7, &mut buf);
+        encode(&sample(1), &mut buf);
+        encode_watermark(10, &mut buf);
+        encode_bye(&mut buf);
+        let mut dec = Decoder::new();
+        dec.extend(&buf);
+        assert_eq!(
+            dec.next_client_frame().unwrap(),
+            Some(ClientFrame::Hello(7))
+        );
+        assert_eq!(
+            dec.next_client_frame().unwrap(),
+            Some(ClientFrame::Item(StreamItem::Event(sample(1))))
+        );
+        assert_eq!(
+            dec.next_client_frame().unwrap(),
+            Some(ClientFrame::Item(StreamItem::Watermark(10)))
+        );
+        assert_eq!(dec.next_client_frame().unwrap(), Some(ClientFrame::Bye));
+        assert_eq!(dec.next_client_frame().unwrap(), None);
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn server_frames_round_trip_even_fragmented() {
+        let mut buf = BytesMut::new();
+        encode_credit(4096, &mut buf);
+        encode_throttle(1_500_000, &mut buf);
+        let mut dec = Decoder::new();
+        let mut out = Vec::new();
+        for chunk in buf.chunks(1) {
+            dec.extend(chunk);
+            while let Some(f) = dec.next_server_frame().unwrap() {
+                out.push(f);
+            }
+        }
+        assert_eq!(
+            out,
+            vec![ServerFrame::Credit(4096), ServerFrame::Throttle(1_500_000)]
+        );
+    }
+
+    #[test]
+    fn feedback_frames_are_rejected_on_the_stream_view() {
+        let mut buf = BytesMut::new();
+        encode_credit(1, &mut buf);
+        let mut dec = Decoder::new();
+        dec.extend(&buf);
+        assert_eq!(
+            dec.next_item(),
+            Err(DecodeError::UnexpectedFrame(CREDIT_MAGIC))
+        );
+        let mut buf = BytesMut::new();
+        encode_hello(2, &mut buf);
+        let mut dec = Decoder::new();
+        dec.extend(&buf);
+        assert_eq!(
+            dec.next_item(),
+            Err(DecodeError::UnexpectedFrame(HELLO_MAGIC))
+        );
+    }
+
+    #[test]
+    fn wrong_direction_frames_are_rejected() {
+        // A credit frame on the client → server path …
+        let mut buf = BytesMut::new();
+        encode_credit(1, &mut buf);
+        let mut dec = Decoder::new();
+        dec.extend(&buf);
+        assert_eq!(
+            dec.next_client_frame(),
+            Err(DecodeError::UnexpectedFrame(CREDIT_MAGIC))
+        );
+        // … and an event frame on the server → client path.
+        let mut buf = BytesMut::new();
+        encode(&sample(1), &mut buf);
+        let mut dec = Decoder::new();
+        dec.extend(&buf);
+        assert_eq!(
+            dec.next_server_frame(),
+            Err(DecodeError::UnexpectedFrame(0))
+        );
+    }
+
+    #[test]
+    fn partial_sentinel_frames_wait_for_more_bytes() {
+        let mut buf = BytesMut::new();
+        encode_credit(99, &mut buf);
+        let mut dec = Decoder::new();
+        dec.extend(&buf[..7]); // magic + 3 of the 8 payload bytes
+        assert_eq!(dec.next_server_frame().unwrap(), None);
+        dec.extend(&buf[7..]);
+        assert_eq!(
+            dec.next_server_frame().unwrap(),
+            Some(ServerFrame::Credit(99))
+        );
     }
 }

@@ -1,0 +1,65 @@
+//! `spectre-ctl` — one-shot control-socket client for spectre-server.
+//!
+//! Joins every argument after `--connect ADDR` into one command line,
+//! sends it, prints the reply, and exits 0 on `OK …`, 1 on `ERR …` or any
+//! transport failure.
+//!
+//! ```text
+//! spectre-ctl --connect ADDR PING
+//! spectre-ctl --connect ADDR DEPLOY TENANT 2 PATTERN (A B) ...
+//! spectre-ctl --connect ADDR DRAIN
+//! ```
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn run() -> Result<bool, String> {
+    let mut argv = std::env::args().skip(1);
+    let mut connect = None;
+    let mut words: Vec<String> = Vec::new();
+    while let Some(arg) = argv.next() {
+        if arg == "--connect" {
+            connect = Some(
+                argv.next()
+                    .ok_or_else(|| "--connect needs a value".to_string())?,
+            );
+        } else {
+            words.push(arg);
+        }
+    }
+    let connect = connect.ok_or("usage: spectre-ctl --connect ADDR <COMMAND...>")?;
+    if words.is_empty() {
+        return Err("no command given".into());
+    }
+    let stream = TcpStream::connect(&connect).map_err(|e| format!("connect {connect}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .map_err(|e| e.to_string())?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    writer
+        .write_all(format!("{}\n", words.join(" ")).as_bytes())
+        .map_err(|e| e.to_string())?;
+    let mut reply = String::new();
+    BufReader::new(stream)
+        .read_line(&mut reply)
+        .map_err(|e| e.to_string())?;
+    let reply = reply.trim_end();
+    if reply.is_empty() {
+        return Err("server closed the connection without replying".into());
+    }
+    println!("{reply}");
+    Ok(reply.starts_with("OK"))
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("spectre-ctl: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! `spectre-feed` — a credit-aware load client for spectre-server.
+//!
+//! Generates the seeded NYSE fixture stream and streams a strided slice
+//! of it (`--stride I/D` sends the events whose sequence number is
+//! congruent to `I` mod `D`), so `D` cooperating processes cover the
+//! whole stream exactly once and the server's sequencer merges them back
+//! into the original order.
+//!
+//! ```text
+//! spectre-feed --connect ADDR [--events N] [--seed S] [--stride I/D]
+//!              [--tenant T] [--watermark-every N]
+//! ```
+//!
+//! Prints `SENT <n>` and exits 0 after a clean finish.
+
+use std::process::ExitCode;
+
+use spectre_datasets::nyse::{NyseConfig, NyseGenerator};
+use spectre_events::Schema;
+use spectre_server::FeedClient;
+
+struct Args {
+    connect: String,
+    events: usize,
+    seed: u64,
+    stride_index: u64,
+    stride_of: u64,
+    tenant: u32,
+    watermark_every: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        connect: String::new(),
+        events: 100_000,
+        seed: 17,
+        stride_index: 0,
+        stride_of: 1,
+        tenant: 0,
+        watermark_every: 0,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            argv.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--connect" => args.connect = value("--connect")?,
+            "--events" => {
+                args.events = value("--events")?
+                    .parse()
+                    .map_err(|_| "bad --events".to_string())?;
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "bad --seed".to_string())?;
+            }
+            "--stride" => {
+                let spec = value("--stride")?;
+                let (i, d) = spec.split_once('/').ok_or("usage: --stride I/D")?;
+                args.stride_index = i.parse().map_err(|_| "bad stride index".to_string())?;
+                args.stride_of = d.parse().map_err(|_| "bad stride divisor".to_string())?;
+                if args.stride_of == 0 || args.stride_index >= args.stride_of {
+                    return Err("stride needs I < D, D > 0".into());
+                }
+            }
+            "--tenant" => {
+                args.tenant = value("--tenant")?
+                    .parse()
+                    .map_err(|_| "bad --tenant".to_string())?;
+            }
+            "--watermark-every" => {
+                args.watermark_every = value("--watermark-every")?
+                    .parse()
+                    .map_err(|_| "bad --watermark-every".to_string())?;
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if args.connect.is_empty() {
+        return Err("--connect ADDR is required".into());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("spectre-feed: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut schema = Schema::new();
+    let generator = NyseGenerator::new(NyseConfig::small(args.events, args.seed), &mut schema);
+    let mut client = match FeedClient::connect(&args.connect, args.tenant) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("spectre-feed: connect {}: {e}", args.connect);
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut sent = 0u64;
+    for event in generator {
+        if event.seq() % args.stride_of != args.stride_index {
+            continue;
+        }
+        if let Err(e) = client.send_event(&event) {
+            eprintln!("spectre-feed: send: {e}");
+            return ExitCode::FAILURE;
+        }
+        sent += 1;
+        if args.watermark_every > 0 && sent.is_multiple_of(args.watermark_every) {
+            if let Err(e) = client.send_watermark(event.ts()) {
+                eprintln!("spectre-feed: watermark: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Err(e) = client.finish() {
+        eprintln!("spectre-feed: finish: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("SENT {sent}");
+    ExitCode::SUCCESS
+}

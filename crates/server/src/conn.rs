@@ -1,0 +1,203 @@
+//! The per-connection read loop: framed decode, middleware chain, credit
+//! back to the client, forward to the feed thread.
+//!
+//! Credit protocol: the server grants an initial window of
+//! `credit_window` events and replenishes as the feed thread releases
+//! events into the engine (or the rate limiter drops them — a spent
+//! client credit must always come back, or the client stalls). The target
+//! invariant is `granted − (released + dropped) ≤ window`: a client can
+//! never have more than one window of events in flight between its socket
+//! and the engine.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::SyncSender;
+use std::sync::Arc;
+
+use bytes::BytesMut;
+use spectre_events::codec::{encode_credit, encode_throttle, ClientFrame, Decoder};
+use spectre_events::StreamItem;
+
+use crate::feed::{ConnGate, Msg};
+use crate::middleware::{ConnInfo, Decision};
+use crate::stats::ServerCounters;
+use crate::ServerShared;
+
+/// Runs one connection to completion. Returns `true` for a clean close
+/// (BYE then EOF). The caller (listener) wraps this in `catch_unwind` and
+/// reports the close to the stack and the feed thread.
+pub(crate) fn serve_conn(
+    stream: &TcpStream,
+    conn: &ConnInfo,
+    gate: &Arc<ConnGate>,
+    shared: &Arc<ServerShared>,
+    tx: &SyncSender<Msg>,
+) -> bool {
+    if stream.set_nodelay(true).is_err()
+        || stream.set_read_timeout(Some(shared.cfg.read_tick)).is_err()
+    {
+        return false;
+    }
+    if shared.stack.on_accept(conn) != Decision::Forward {
+        return false;
+    }
+    let window = shared.cfg.credit_window;
+    let mut credited = window;
+    let mut forwarded = 0u64; // event frames handed to the feed thread
+    let mut dropped = 0u64; // event frames discarded by the chain
+    let mut saw_bye = false;
+    let mut decoder = Decoder::new();
+    let mut read_buf = vec![0u8; 64 * 1024];
+    let mut wbuf = BytesMut::new();
+    // Initial grant: the client may send a full window before any release.
+    encode_credit(window, &mut wbuf);
+    ServerCounters::add(&shared.counters.credits_granted, window);
+    if write_out(stream, &mut wbuf).is_err() {
+        return false;
+    }
+    loop {
+        match (&mut (&*stream)).read(&mut read_buf) {
+            Ok(0) => return saw_bye,
+            Ok(n) => {
+                decoder.extend(&read_buf[..n]);
+                loop {
+                    let frame = match decoder.next_client_frame() {
+                        Ok(Some(frame)) => frame,
+                        Ok(None) => break,
+                        Err(e) => {
+                            ServerCounters::bump(&shared.counters.decode_errors);
+                            eprintln!(
+                                "spectre-server: connection {} ({}): {e}; closing",
+                                conn.id, conn.peer
+                            );
+                            return false;
+                        }
+                    };
+                    let now_ms = shared.now_ms();
+                    conn.touch(now_ms);
+                    match shared.stack.on_frame(conn, &frame, now_ms) {
+                        Decision::Forward => {}
+                        Decision::Drop => {
+                            if matches!(frame, ClientFrame::Item(StreamItem::Event(_))) {
+                                dropped += 1;
+                            }
+                            continue;
+                        }
+                        Decision::Throttle(nanos) => {
+                            encode_throttle(nanos, &mut wbuf);
+                        }
+                        Decision::Close => return false,
+                    }
+                    match frame {
+                        ClientFrame::Hello(tenant) => {
+                            conn.set_tenant(u32::try_from(tenant).unwrap_or(u32::MAX));
+                        }
+                        ClientFrame::Bye => saw_bye = true,
+                        ClientFrame::Item(item) => {
+                            // The chaos hook: a poisoned tenant's events
+                            // blow up the connection thread, exercising
+                            // the panic layer end to end.
+                            if matches!(item, StreamItem::Event(_)) {
+                                if let Some(poison) = shared.cfg.chaos_panic_tenant {
+                                    assert!(
+                                        conn.tenant() != poison,
+                                        "chaos: poisoned tenant {poison} on connection {}",
+                                        conn.id
+                                    );
+                                }
+                                forwarded += 1;
+                            }
+                            if tx
+                                .send(Msg::Item {
+                                    conn: conn.id,
+                                    item,
+                                })
+                                .is_err()
+                            {
+                                // Feed thread gone: the server is done.
+                                return false;
+                            }
+                        }
+                    }
+                }
+                replenish(
+                    stream,
+                    conn,
+                    gate,
+                    shared,
+                    &mut wbuf,
+                    &mut credited,
+                    forwarded,
+                    dropped,
+                );
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                let now_ms = shared.now_ms();
+                if shared.stack.on_tick(conn, now_ms) == Decision::Close {
+                    return false;
+                }
+                if shared.past_drain_deadline(now_ms) {
+                    eprintln!(
+                        "spectre-server: connection {} ({}) still open past the drain \
+                         grace period, closing",
+                        conn.id, conn.peer
+                    );
+                    return false;
+                }
+                replenish(
+                    stream,
+                    conn,
+                    gate,
+                    shared,
+                    &mut wbuf,
+                    &mut credited,
+                    forwarded,
+                    dropped,
+                );
+            }
+            Err(_) => return false,
+        }
+    }
+}
+
+/// Sends a credit top-up when enough releases have accumulated (or the
+/// client is about to run dry). Any buffered throttle frames flush too.
+#[allow(clippy::too_many_arguments)]
+fn replenish(
+    stream: &TcpStream,
+    _conn: &ConnInfo,
+    gate: &Arc<ConnGate>,
+    shared: &Arc<ServerShared>,
+    wbuf: &mut BytesMut,
+    credited: &mut u64,
+    forwarded: u64,
+    dropped: u64,
+) {
+    let window = shared.cfg.credit_window;
+    let released = gate.released.load(Ordering::Acquire);
+    let target = released + dropped + window;
+    let grant = target.saturating_sub(*credited);
+    // The client's remaining allowance is what we granted minus every
+    // event it has sent (forwarded or dropped, it spent a credit either
+    // way).
+    let remaining = credited.saturating_sub(forwarded + dropped);
+    if grant > 0 && (grant * 2 >= window || remaining * 4 <= window) {
+        encode_credit(grant, wbuf);
+        *credited += grant;
+        ServerCounters::add(&shared.counters.credits_granted, grant);
+    }
+    let _ = write_out(stream, wbuf);
+}
+
+fn write_out(stream: &TcpStream, wbuf: &mut BytesMut) -> std::io::Result<()> {
+    if wbuf.is_empty() {
+        return Ok(());
+    }
+    let res = (&mut (&*stream)).write_all(wbuf);
+    wbuf.clear();
+    res
+}

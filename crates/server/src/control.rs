@@ -1,0 +1,211 @@
+//! The line-protocol control socket: live operations without a restart.
+//!
+//! One command per line, one reply line per command (`OK …` or `ERR …`):
+//!
+//! ```text
+//! PING
+//! QUERIES
+//! STATS
+//! DEPLOY [TENANT <n>] <MATCH_RECOGNIZE query text on one line>
+//! RETIRE <query-id>
+//! QUOTA <tenant> [WEIGHT <w>] [MAX_VERSIONS <v>] [MAX_QUERIES <q>]
+//! DRAIN
+//! ```
+//!
+//! Engine-touching commands are forwarded to the feed thread (the
+//! engine's single owner) and answered with its reply. `DRAIN` starts the
+//! graceful shutdown: stop accepting, let open connections finish (up to
+//! the grace period), end-of-stream the engine, flush the final report.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{channel, SyncSender};
+use std::sync::Arc;
+use std::time::Duration;
+
+use spectre_core::TenantQuota;
+
+use crate::feed::{ControlCmd, Msg};
+use crate::ServerShared;
+
+/// Serves control connections until the server stops. Each connection is
+/// handled on its own thread (an idle admin session must not block the
+/// next one).
+pub(crate) fn control_loop(listener: TcpListener, shared: Arc<ServerShared>, tx: SyncSender<Msg>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.stopping.load(Ordering::Acquire) {
+                    break;
+                }
+                let shared = Arc::clone(&shared);
+                let tx = tx.clone();
+                std::thread::spawn(move || serve_control_conn(stream, &shared, &tx));
+            }
+            Err(_) => {
+                if shared.stopping.load(Ordering::Acquire) {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+fn serve_control_conn(stream: TcpStream, shared: &Arc<ServerShared>, tx: &SyncSender<Msg>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(60)));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { return };
+        let reply = handle_line(line.trim(), shared, tx);
+        if writer.write_all(reply.as_bytes()).is_err() || writer.write_all(b"\n").is_err() {
+            return;
+        }
+    }
+}
+
+fn handle_line(line: &str, shared: &Arc<ServerShared>, tx: &SyncSender<Msg>) -> String {
+    if line.is_empty() {
+        return "ERR empty command".into();
+    }
+    let (verb, rest) = match line.split_once(char::is_whitespace) {
+        Some((v, r)) => (v, r.trim()),
+        None => (line, ""),
+    };
+    match verb.to_ascii_uppercase().as_str() {
+        "PING" => "OK pong".into(),
+        "DRAIN" => {
+            crate::initiate_drain(shared, tx);
+            "OK draining".into()
+        }
+        "QUERIES" => roundtrip(tx, ControlCmd::Queries),
+        "STATS" => roundtrip(tx, ControlCmd::Stats),
+        "DEPLOY" => match parse_deploy(rest) {
+            Ok(cmd) => roundtrip(tx, cmd),
+            Err(msg) => format!("ERR {msg}"),
+        },
+        "RETIRE" => match rest.parse::<u32>() {
+            Ok(qid) => roundtrip(tx, ControlCmd::Retire { qid }),
+            Err(_) => "ERR usage: RETIRE <query-id>".into(),
+        },
+        "QUOTA" => match parse_quota(rest) {
+            Ok(cmd) => roundtrip(tx, cmd),
+            Err(msg) => format!("ERR {msg}"),
+        },
+        other => format!("ERR unknown command {other}"),
+    }
+}
+
+fn parse_deploy(rest: &str) -> Result<ControlCmd, String> {
+    let (tenant, text) = match rest
+        .strip_prefix("TENANT ")
+        .or_else(|| rest.strip_prefix("tenant "))
+    {
+        Some(after) => {
+            let (id, text) = after
+                .split_once(char::is_whitespace)
+                .ok_or("usage: DEPLOY [TENANT <n>] <query text>")?;
+            let tenant: u32 = id.parse().map_err(|_| format!("bad tenant id {id:?}"))?;
+            (tenant, text.trim())
+        }
+        None => (0, rest),
+    };
+    if text.is_empty() {
+        return Err("usage: DEPLOY [TENANT <n>] <query text>".into());
+    }
+    Ok(ControlCmd::Deploy {
+        tenant,
+        text: text.to_string(),
+    })
+}
+
+fn parse_quota(rest: &str) -> Result<ControlCmd, String> {
+    let mut tokens = rest.split_whitespace();
+    let tenant: u32 = tokens
+        .next()
+        .ok_or("usage: QUOTA <tenant> [WEIGHT <w>] [MAX_VERSIONS <v>] [MAX_QUERIES <q>]")?
+        .parse()
+        .map_err(|_| "bad tenant id".to_string())?;
+    let mut quota = TenantQuota::default();
+    while let Some(key) = tokens.next() {
+        let value = tokens
+            .next()
+            .ok_or_else(|| format!("missing value for {key}"))?;
+        match key.to_ascii_uppercase().as_str() {
+            "WEIGHT" => {
+                quota =
+                    quota.with_weight(value.parse().map_err(|_| format!("bad weight {value:?}"))?);
+            }
+            "MAX_VERSIONS" => {
+                quota = quota.with_max_versions(
+                    value
+                        .parse()
+                        .map_err(|_| format!("bad max_versions {value:?}"))?,
+                );
+            }
+            "MAX_QUERIES" => {
+                quota = quota.with_max_queries(
+                    value
+                        .parse()
+                        .map_err(|_| format!("bad max_queries {value:?}"))?,
+                );
+            }
+            other => return Err(format!("unknown quota field {other}")),
+        }
+    }
+    Ok(ControlCmd::Quota { tenant, quota })
+}
+
+/// Sends a command to the feed thread and waits (bounded) for its reply.
+fn roundtrip(tx: &SyncSender<Msg>, cmd: ControlCmd) -> String {
+    let (reply_tx, reply_rx) = channel();
+    if tx
+        .send(Msg::Control {
+            cmd,
+            reply: reply_tx,
+        })
+        .is_err()
+    {
+        return "ERR server is shut down".into();
+    }
+    match reply_rx.recv_timeout(Duration::from_secs(10)) {
+        Ok(Ok(msg)) => format!("OK {msg}"),
+        Ok(Err(e)) => format!("ERR {e}"),
+        Err(_) => "ERR control reply timed out".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deploy_and_quota_lines_parse() {
+        match parse_deploy("TENANT 3 PATTERN (A) DEFINE A AS (TRUE)").unwrap() {
+            ControlCmd::Deploy { tenant, text } => {
+                assert_eq!(tenant, 3);
+                assert!(text.starts_with("PATTERN"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse_deploy("PATTERN (A) DEFINE A AS (TRUE)").unwrap() {
+            ControlCmd::Deploy { tenant, .. } => assert_eq!(tenant, 0),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_deploy("").is_err());
+        match parse_quota("5 WEIGHT 4 MAX_QUERIES 2").unwrap() {
+            ControlCmd::Quota { tenant, quota } => {
+                assert_eq!(tenant, 5);
+                assert_eq!(quota.weight, 4);
+                assert_eq!(quota.max_queries, Some(2));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_quota("5 WEIGHT").is_err());
+        assert!(parse_quota("5 COLOR red").is_err());
+    }
+}

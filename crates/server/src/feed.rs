@@ -1,0 +1,390 @@
+//! The feed thread: single owner of the engine session.
+//!
+//! Every connection thread funnels its decoded stream items into one
+//! bounded channel; this thread is the only one that touches the
+//! [`SpectreEngine`]. Back-pressure composes end to end: the engine's
+//! [`PushResult::Full`](spectre_core::PushResult) blocks the feed thread
+//! in its retry loop (each retry runs a maintenance round), the bounded
+//! channel then blocks the connection threads, which stop reading their
+//! sockets and stop granting credit — so a fast client is ultimately
+//! throttled by the engine's speculative bound, never by unbounded
+//! buffering.
+//!
+//! In [`IngestOrder::Seq`] mode a sequencer releases events to the engine
+//! in dense sequence-number order, which makes the merged multi-client
+//! stream deterministic (bit-identical to a solo session fed the ordered
+//! stream). Credit is released only when an event leaves the sequencer,
+//! so the reorder buffer is bounded by the sum of the per-connection
+//! credit windows.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::Instant;
+
+use spectre_core::{PushResult, QueryId, Report, SpectreEngine, TenantId, TenantQuota};
+use spectre_events::{Event, Schema, StreamItem};
+use spectre_query::parser::parse_query;
+use spectre_query::ComplexEvent;
+
+use crate::error::ServerError;
+use crate::stats::{PublishedStats, ServerCounters};
+use crate::{IngestOrder, ServerShared};
+
+/// Per-connection credit gate: the feed thread counts events released to
+/// the engine (or dropped as stale); the connection thread turns the count
+/// into credit frames back to its client.
+#[derive(Debug, Default)]
+pub(crate) struct ConnGate {
+    /// Events of this connection released by the feed thread.
+    pub released: AtomicU64,
+}
+
+/// A command the control plane forwards to the feed thread (the engine
+/// and the schema live there).
+#[derive(Debug)]
+pub(crate) enum ControlCmd {
+    /// Parse and deploy a query for a tenant.
+    Deploy { tenant: u32, text: String },
+    /// Retire a deployed query.
+    Retire { qid: u32 },
+    /// Set a tenant's quota.
+    Quota { tenant: u32, quota: TenantQuota },
+    /// List deployed queries.
+    Queries,
+    /// One-line ingestion statistics.
+    Stats,
+}
+
+/// Messages into the feed thread.
+pub(crate) enum Msg {
+    /// A connection opened; its gate is registered for credit accounting.
+    Opened { conn: u64, gate: Arc<ConnGate> },
+    /// A decoded stream item from a connection.
+    Item { conn: u64, item: StreamItem },
+    /// A connection closed (`clean` = BYE before EOF).
+    Closed { conn: u64, clean: bool },
+    /// A control command with a reply channel.
+    Control {
+        cmd: ControlCmd,
+        reply: Sender<Result<String, ServerError>>,
+    },
+    /// Begin graceful drain: stop expecting new connections, finish when
+    /// the open ones are gone.
+    Drain,
+}
+
+/// What a drained server leaves behind.
+#[derive(Debug)]
+pub struct ServerOutcome {
+    /// The engine's final report.
+    pub report: Report,
+    /// Every committed complex event, per query in commit order — the
+    /// mid-run drains concatenated with the final report's remainder.
+    pub outputs: BTreeMap<QueryId, Vec<ComplexEvent>>,
+    /// The final report as a one-line JSON summary.
+    pub summary_json: String,
+}
+
+/// Sequence-order release buffer for [`IngestOrder::Seq`].
+struct Sequencer {
+    next: u64,
+    pending: BTreeMap<u64, (u64, Event)>,
+}
+
+/// The feed loop. Returns once a drain completes (all connections closed
+/// after [`Msg::Drain`]) with the final outcome.
+pub(crate) fn feed_loop(
+    mut engine: SpectreEngine,
+    mut schema: Schema,
+    rx: Receiver<Msg>,
+    shared: Arc<ServerShared>,
+) -> Result<ServerOutcome, ServerError> {
+    let mut gates: HashMap<u64, Arc<ConnGate>> = HashMap::new();
+    let mut open_conns = 0usize;
+    let mut draining = false;
+    let mut outputs: BTreeMap<QueryId, Vec<ComplexEvent>> = BTreeMap::new();
+    let mut outputs_total = 0u64;
+    let mut sequencer = match shared.cfg.order {
+        IngestOrder::Seq => Some(Sequencer {
+            next: 0,
+            pending: BTreeMap::new(),
+        }),
+        IngestOrder::Arrival => None,
+    };
+    let mut last_publish = Instant::now();
+    publish(&engine, &shared, outputs_total, false);
+    loop {
+        let mut disconnected = false;
+        match rx.recv_timeout(shared.cfg.read_tick) {
+            Ok(msg) => {
+                handle_msg(
+                    msg,
+                    &mut engine,
+                    &mut schema,
+                    &shared,
+                    &mut gates,
+                    &mut open_conns,
+                    &mut draining,
+                    &mut sequencer,
+                );
+                // Opportunistically drain a burst without sleeping again.
+                for _ in 0..256 {
+                    match rx.try_recv() {
+                        Ok(msg) => handle_msg(
+                            msg,
+                            &mut engine,
+                            &mut schema,
+                            &shared,
+                            &mut gates,
+                            &mut open_conns,
+                            &mut draining,
+                            &mut sequencer,
+                        ),
+                        Err(_) => break,
+                    }
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                // No traffic: keep the engine progressing anyway.
+                let _ = engine.maintain();
+            }
+            Err(RecvTimeoutError::Disconnected) => disconnected = true,
+        }
+        if let Ok(tagged) = engine.try_drain_outputs() {
+            for (qid, ce) in tagged {
+                outputs_total += 1;
+                outputs.entry(qid).or_default().push(ce);
+            }
+        }
+        if last_publish.elapsed() >= shared.cfg.publish_every {
+            publish(&engine, &shared, outputs_total, false);
+            last_publish = Instant::now();
+        }
+        if (draining && open_conns == 0) || disconnected {
+            break;
+        }
+    }
+    // End of service: flush whatever the sequencer still holds (a drain
+    // with a died client can leave gaps), then finish the session.
+    if let Some(seq) = sequencer.as_mut() {
+        flush_sequencer(seq, &mut engine, &gates, &shared);
+    }
+    let report = engine.try_finish()?;
+    for (qid, qr) in &report.queries {
+        let slot = outputs.entry(*qid).or_default();
+        outputs_total += qr.complex_events.len() as u64;
+        slot.extend(qr.complex_events.iter().cloned());
+    }
+    let mut stats = snapshot_stats(&engine, outputs_total, true);
+    stats.snapshot = report.metrics;
+    stats.input_events = report.input_events;
+    shared.stats.publish(stats);
+    let summary_json = report.summary_json();
+    Ok(ServerOutcome {
+        report,
+        outputs,
+        summary_json,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn handle_msg(
+    msg: Msg,
+    engine: &mut SpectreEngine,
+    schema: &mut Schema,
+    shared: &Arc<ServerShared>,
+    gates: &mut HashMap<u64, Arc<ConnGate>>,
+    open_conns: &mut usize,
+    draining: &mut bool,
+    sequencer: &mut Option<Sequencer>,
+) {
+    match msg {
+        Msg::Opened { conn, gate } => {
+            gates.insert(conn, gate);
+            *open_conns += 1;
+        }
+        Msg::Item { conn, item } => match item {
+            StreamItem::Event(event) => match sequencer {
+                Some(seq) => {
+                    seq.pending.insert(event.seq(), (conn, event));
+                    release_ready(seq, engine, gates, shared);
+                }
+                None => {
+                    push_blocking(engine, event);
+                    release_credit(gates, conn, 1);
+                }
+            },
+            StreamItem::Watermark(ts) => {
+                // Watermarks are punctuation, not payload: they bypass the
+                // sequencer (which orders events by seq) and advance the
+                // reorder stage directly.
+                if !engine.is_finished() {
+                    engine.advance_watermark(ts);
+                }
+            }
+        },
+        Msg::Closed { conn, clean } => {
+            *open_conns = open_conns.saturating_sub(1);
+            if !clean {
+                // An abnormal disconnect may have taken undelivered
+                // sequence numbers with it; flush past the gaps so the
+                // survivors' buffered events keep flowing.
+                if let Some(seq) = sequencer.as_mut() {
+                    flush_sequencer(seq, engine, gates, shared);
+                }
+            }
+            gates.remove(&conn);
+        }
+        Msg::Control { cmd, reply } => {
+            let _ = reply.send(handle_control(cmd, engine, schema));
+        }
+        Msg::Drain => *draining = true,
+    }
+}
+
+/// Pushes one event, retrying through back-pressure (each retry runs a
+/// maintenance round, so this always terminates).
+fn push_blocking(engine: &mut SpectreEngine, mut event: Event) {
+    loop {
+        match engine.try_push(event) {
+            Ok(PushResult::Accepted) => return,
+            Ok(PushResult::Full(back)) => event = back,
+            Err(_) => return, // finished mid-drain: drop the straggler
+        }
+    }
+}
+
+fn release_credit(gates: &HashMap<u64, Arc<ConnGate>>, conn: u64, n: u64) {
+    if let Some(gate) = gates.get(&conn) {
+        gate.released.fetch_add(n, Ordering::Release);
+    }
+}
+
+/// Releases the dense prefix the sequencer now holds; drops stale
+/// duplicates below the release point (their credit is still returned, or
+/// the sender would stall).
+fn release_ready(
+    seq: &mut Sequencer,
+    engine: &mut SpectreEngine,
+    gates: &HashMap<u64, Arc<ConnGate>>,
+    shared: &ServerShared,
+) {
+    while let Some((&key, _)) = seq.pending.iter().next() {
+        if key < seq.next {
+            let (conn, _) = seq.pending.remove(&key).expect("key just observed");
+            ServerCounters::bump(&shared.counters.seq_stale_dropped);
+            release_credit(gates, conn, 1);
+            continue;
+        }
+        if key != seq.next {
+            break;
+        }
+        let (conn, event) = seq.pending.remove(&key).expect("key just observed");
+        push_blocking(engine, event);
+        release_credit(gates, conn, 1);
+        seq.next += 1;
+    }
+}
+
+/// Releases everything the sequencer holds, in order, skipping gaps —
+/// used when a disconnect or drain guarantees the missing numbers can
+/// never arrive.
+fn flush_sequencer(
+    seq: &mut Sequencer,
+    engine: &mut SpectreEngine,
+    gates: &HashMap<u64, Arc<ConnGate>>,
+    shared: &ServerShared,
+) {
+    let mut gaps = 0u64;
+    while let Some((&key, _)) = seq.pending.iter().next() {
+        if key > seq.next {
+            gaps += 1;
+            seq.next = key;
+        }
+        let (conn, event) = seq.pending.remove(&key).expect("key just observed");
+        if key < seq.next {
+            ServerCounters::bump(&shared.counters.seq_stale_dropped);
+            release_credit(gates, conn, 1);
+            continue;
+        }
+        push_blocking(engine, event);
+        release_credit(gates, conn, 1);
+        seq.next += 1;
+    }
+    ServerCounters::add(&shared.counters.seq_gaps_skipped, gaps);
+}
+
+fn handle_control(
+    cmd: ControlCmd,
+    engine: &mut SpectreEngine,
+    schema: &mut Schema,
+) -> Result<String, ServerError> {
+    match cmd {
+        ControlCmd::Deploy { tenant, text } => {
+            let query = parse_query(&text, schema)
+                .map_err(|e| ServerError::Control(format!("bad query: {e}")))?;
+            let qid = engine.deploy_query_for(TenantId(tenant), &Arc::new(query))?;
+            Ok(format!("deployed {qid}"))
+        }
+        ControlCmd::Retire { qid } => {
+            let drained = engine.retire_query(QueryId(qid))?;
+            Ok(format!(
+                "retired q{qid} ({} undrained outputs)",
+                drained.len()
+            ))
+        }
+        ControlCmd::Quota { tenant, quota } => {
+            engine.set_tenant_quota(TenantId(tenant), quota)?;
+            Ok(format!("quota set for t{tenant}"))
+        }
+        ControlCmd::Queries => {
+            let rows: Vec<String> = engine
+                .query_ids()
+                .into_iter()
+                .map(|qid| {
+                    let tenant = engine
+                        .query_tenant(qid)
+                        .map(|t| t.to_string())
+                        .unwrap_or_else(|| "?".into());
+                    format!("{qid}:{tenant}")
+                })
+                .collect();
+            Ok(if rows.is_empty() {
+                "none".into()
+            } else {
+                rows.join(" ")
+            })
+        }
+        ControlCmd::Stats => Ok(format!(
+            "input_events={} queries={}",
+            engine.events_ingested(),
+            engine.query_ids().len()
+        )),
+    }
+}
+
+fn snapshot_stats(engine: &SpectreEngine, outputs: u64, finished: bool) -> PublishedStats {
+    PublishedStats {
+        snapshot: engine.metrics(),
+        per_query: engine
+            .per_query_metrics()
+            .into_iter()
+            .map(|(qid, m)| {
+                let tenant = engine.query_tenant(qid).unwrap_or(TenantId::DEFAULT);
+                (qid, tenant, m)
+            })
+            .collect(),
+        tenants: engine.tenant_metrics(),
+        input_events: engine.events_ingested(),
+        outputs,
+        finished,
+    }
+}
+
+fn publish(engine: &SpectreEngine, shared: &ServerShared, outputs: u64, finished: bool) {
+    shared
+        .stats
+        .publish(snapshot_stats(engine, outputs, finished));
+}

@@ -1,0 +1,84 @@
+//! Hand-rolled HTTP/1.0 sidecar: `GET /metrics` and `GET /healthz`.
+//!
+//! No HTTP dependency exists in the workspace, and none is needed: the
+//! sidecar answers exactly two fixed routes, reads only the request line,
+//! and closes after every response (`Connection: close`), which is all a
+//! Prometheus scraper requires.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::prom;
+use crate::ServerShared;
+
+/// Serves scrape requests until the server stops.
+pub(crate) fn http_loop(listener: TcpListener, shared: Arc<ServerShared>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.stopping.load(Ordering::Acquire) {
+                    break;
+                }
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    let _ = serve_request(stream, &shared);
+                });
+            }
+            Err(_) => {
+                if shared.stopping.load(Ordering::Acquire) {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+fn serve_request(mut stream: TcpStream, shared: &Arc<ServerShared>) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    // Read until the end of the headers (or 8 KiB, whichever first); only
+    // the request line matters.
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 1024];
+    while !buf.windows(4).any(|w| w == b"\r\n\r\n") && buf.len() < 8192 {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(_) => break,
+        }
+    }
+    let request = String::from_utf8_lossy(&buf);
+    let path = request
+        .lines()
+        .next()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .unwrap_or("/");
+    let (status, content_type, body) = match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            prom::render(shared),
+        ),
+        "/healthz" => {
+            let body = if shared.draining.load(Ordering::Acquire) {
+                "draining\n"
+            } else {
+                "ok\n"
+            };
+            ("200 OK", "text/plain; charset=utf-8", body.to_string())
+        }
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n".to_string(),
+        ),
+    };
+    let response = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())
+}

@@ -1,0 +1,71 @@
+//! The accept loop: thread per connection, panics contained.
+//!
+//! Every connection handler runs under `catch_unwind` inside its own
+//! thread — a panicking connection (a decode bug, a poisoned middleware,
+//! the chaos hook) is caught, reported to the panic layer, and closed
+//! abnormally; the accept loop and every other connection continue
+//! untouched.
+
+use std::net::TcpListener;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::SyncSender;
+use std::sync::Arc;
+
+use crate::conn::serve_conn;
+use crate::feed::{ConnGate, Msg};
+use crate::middleware::ConnInfo;
+use crate::ServerShared;
+
+/// Accepts connections until draining starts. Connection threads outlive
+/// the loop; the feed thread tracks them through `Opened`/`Closed`
+/// messages.
+pub(crate) fn accept_loop(listener: TcpListener, shared: Arc<ServerShared>, tx: SyncSender<Msg>) {
+    let mut next_id = 0u64;
+    loop {
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                if !shared.accepting.load(Ordering::Acquire) {
+                    // Drain started: refuse (the wake-up dummy connection
+                    // lands here too) and stop accepting.
+                    break;
+                }
+                let id = next_id;
+                next_id += 1;
+                let shared = Arc::clone(&shared);
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    let conn = ConnInfo::new(id, peer, shared.now_ms());
+                    let gate = Arc::new(ConnGate::default());
+                    if tx
+                        .send(Msg::Opened {
+                            conn: id,
+                            gate: Arc::clone(&gate),
+                        })
+                        .is_err()
+                    {
+                        return;
+                    }
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        serve_conn(&stream, &conn, &gate, &shared, &tx)
+                    }));
+                    let clean = match result {
+                        Ok(clean) => clean,
+                        Err(_) => {
+                            shared.stack.on_panic(&conn);
+                            false
+                        }
+                    };
+                    shared.stack.on_close(&conn, clean);
+                    let _ = tx.send(Msg::Closed { conn: id, clean });
+                });
+            }
+            Err(_) => {
+                if !shared.accepting.load(Ordering::Acquire) {
+                    break;
+                }
+                // Transient accept error; keep serving.
+            }
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! `spectre-server` — a standing SPECTRE ingestion server.
+//!
+//! Binds the ingestion, metrics, and control sockets, hosts one engine
+//! session, and runs until a `DRAIN` control command or a SIGINT/SIGTERM
+//! starts the graceful drain. The final report prints to stdout as one
+//! JSON line (and to `--report PATH` when given).
+//!
+//! ```text
+//! spectre-server [--listen ADDR] [--http ADDR] [--control ADDR]
+//!                [--instances K] [--threaded] [--order seq|arrival]
+//!                [--credit N] [--rate-limit EPS[,BURST][,drop|throttle]]
+//!                [--idle-timeout-ms N]
+//!                [--q1 Q,WS,rising|falling[,TENANT]]...
+//!                [--query TEXT]... [--report PATH]
+//! ```
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use spectre_core::TenantId;
+use spectre_events::Schema;
+use spectre_query::parser::parse_query;
+use spectre_query::queries::{self, Direction, StockVocab};
+use spectre_query::Query;
+use spectre_server::{IngestOrder, OverLimitPolicy, RateLimitConfig, Server, ServerConfig};
+
+/// Set by the signal handler; the main loop polls it.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_sig: i32) {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+extern "C" {
+    /// libc `signal(2)` — the only platform call the binary needs, so the
+    /// full libc crate stays out of the dependency tree.
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+}
+
+fn install_signal_handlers() {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    // SAFETY: `on_signal` only stores to an atomic, which is
+    // async-signal-safe; the handler pointer outlives the process.
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+}
+
+struct Args {
+    cfg: ServerConfig,
+    queries: Vec<(TenantId, Arc<Query>)>,
+    report_path: Option<String>,
+}
+
+fn parse_args(schema: &mut Schema) -> Result<Args, String> {
+    let mut cfg = ServerConfig::default();
+    let mut queries: Vec<(TenantId, Arc<Query>)> = Vec::new();
+    let mut report_path = None;
+    let mut argv = std::env::args().skip(1);
+    let parse_addr = |v: String| -> Result<SocketAddr, String> {
+        v.parse().map_err(|_| format!("bad address {v:?}"))
+    };
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            argv.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--listen" => cfg.ingest_addr = parse_addr(value("--listen")?)?,
+            "--http" => cfg.http_addr = parse_addr(value("--http")?)?,
+            "--control" => cfg.control_addr = parse_addr(value("--control")?)?,
+            "--instances" => {
+                cfg.engine.instances = value("--instances")?
+                    .parse()
+                    .map_err(|_| "bad --instances".to_string())?;
+            }
+            "--threaded" => cfg.threaded = true,
+            "--order" => {
+                cfg.order = match value("--order")?.as_str() {
+                    "seq" => IngestOrder::Seq,
+                    "arrival" => IngestOrder::Arrival,
+                    other => return Err(format!("bad --order {other:?} (seq|arrival)")),
+                };
+            }
+            "--credit" => {
+                cfg.credit_window = value("--credit")?
+                    .parse()
+                    .map_err(|_| "bad --credit".to_string())?;
+            }
+            "--rate-limit" => cfg.rate_limit = Some(parse_rate_limit(&value("--rate-limit")?)?),
+            "--idle-timeout-ms" => {
+                cfg.idle_timeout = Duration::from_millis(
+                    value("--idle-timeout-ms")?
+                        .parse()
+                        .map_err(|_| "bad --idle-timeout-ms".to_string())?,
+                );
+            }
+            "--q1" => {
+                let (tenant, query) = parse_q1(&value("--q1")?, schema)?;
+                queries.push((tenant, Arc::new(query)));
+            }
+            "--query" => {
+                let text = value("--query")?;
+                let query = parse_query(&text, schema).map_err(|e| format!("bad --query: {e}"))?;
+                queries.push((TenantId::DEFAULT, Arc::new(query)));
+            }
+            "--report" => report_path = Some(value("--report")?),
+            "--help" | "-h" => return Err("see the crate docs for usage".into()),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if queries.is_empty() {
+        // A server with nothing deployed is still useful: queries can be
+        // DEPLOYed over the control socket. Default to the paper's Q1 so
+        // the common case needs no flags at all.
+        queries.push((
+            TenantId::DEFAULT,
+            Arc::new(queries::q1(schema, 2, 2000, Direction::Rising)),
+        ));
+    }
+    Ok(Args {
+        cfg,
+        queries,
+        report_path,
+    })
+}
+
+/// `EPS[,BURST][,drop|throttle]`
+fn parse_rate_limit(spec: &str) -> Result<RateLimitConfig, String> {
+    let mut eps = None;
+    let mut burst = None;
+    let mut policy = OverLimitPolicy::Throttle;
+    for part in spec.split(',') {
+        match part {
+            "drop" => policy = OverLimitPolicy::Drop,
+            "throttle" => policy = OverLimitPolicy::Throttle,
+            num => {
+                let v: f64 = num
+                    .parse()
+                    .map_err(|_| format!("bad rate-limit number {num:?}"))?;
+                if eps.is_none() {
+                    eps = Some(v);
+                } else {
+                    burst = Some(v);
+                }
+            }
+        }
+    }
+    let eps = eps.ok_or("usage: --rate-limit EPS[,BURST][,drop|throttle]")?;
+    Ok(RateLimitConfig::per_conn(
+        eps,
+        burst.unwrap_or(eps.max(1.0)),
+        policy,
+    ))
+}
+
+/// `Q,WS,rising|falling[,TENANT]`
+fn parse_q1(spec: &str, schema: &mut Schema) -> Result<(TenantId, Query), String> {
+    let parts: Vec<&str> = spec.split(',').collect();
+    if parts.len() < 3 || parts.len() > 4 {
+        return Err("usage: --q1 Q,WS,rising|falling[,TENANT]".into());
+    }
+    let q: usize = parts[0].parse().map_err(|_| "bad Q".to_string())?;
+    let ws: u64 = parts[1].parse().map_err(|_| "bad WS".to_string())?;
+    let direction = match parts[2] {
+        "rising" | "up" => Direction::Rising,
+        "falling" | "down" => Direction::Falling,
+        other => return Err(format!("bad direction {other:?}")),
+    };
+    let tenant = match parts.get(3) {
+        Some(t) => TenantId(t.parse().map_err(|_| "bad tenant".to_string())?),
+        None => TenantId::DEFAULT,
+    };
+    Ok((tenant, queries::q1(schema, q, ws, direction)))
+}
+
+fn main() -> ExitCode {
+    let mut schema = Schema::new();
+    StockVocab::install(&mut schema);
+    let args = match parse_args(&mut schema) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("spectre-server: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    install_signal_handlers();
+    let handle = match Server::start(args.cfg, schema, args.queries) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("spectre-server: failed to start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The READY banner is machine-readable: the smoke harness parses the
+    // addresses off it.
+    println!("LISTEN {}", handle.ingest_addr());
+    println!("HTTP {}", handle.http_addr());
+    println!("CONTROL {}", handle.control_addr());
+    println!("READY");
+    while !SHUTDOWN.load(Ordering::SeqCst) && !handle.is_finished() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    handle.drain();
+    match handle.join() {
+        Ok(outcome) => {
+            println!("{}", outcome.summary_json);
+            if let Some(path) = args.report_path {
+                if let Err(e) = std::fs::write(&path, &outcome.summary_json) {
+                    eprintln!("spectre-server: failed to write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("spectre-server: drain failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

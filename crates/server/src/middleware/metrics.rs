@@ -1,0 +1,91 @@
+//! Traffic-counting layer — innermost, so it observes exactly the frames
+//! the outer layers let through.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use spectre_events::codec::ClientFrame;
+use spectre_events::StreamItem;
+
+use super::{ConnInfo, ConnMiddleware, Decision, LayerKind};
+use crate::stats::ServerCounters;
+
+/// Counts connections and admitted frames into the shared server
+/// counters (and the per-connection tallies on [`ConnInfo`]).
+#[derive(Debug)]
+pub struct MetricsLayer {
+    counters: Arc<ServerCounters>,
+}
+
+impl MetricsLayer {
+    /// A metrics layer reporting into the shared server counters.
+    pub fn new(counters: Arc<ServerCounters>) -> MetricsLayer {
+        MetricsLayer { counters }
+    }
+}
+
+impl ConnMiddleware for MetricsLayer {
+    fn kind(&self) -> LayerKind {
+        LayerKind::Metrics
+    }
+
+    fn on_accept(&self, _conn: &ConnInfo) -> Decision {
+        ServerCounters::bump(&self.counters.accepted);
+        ServerCounters::bump(&self.counters.active);
+        Decision::Forward
+    }
+
+    fn on_frame(&self, conn: &ConnInfo, frame: &ClientFrame, _now_ms: u64) -> Decision {
+        ServerCounters::bump(&self.counters.frames);
+        conn.frames.fetch_add(1, Ordering::Relaxed);
+        match frame {
+            ClientFrame::Item(StreamItem::Event(_)) => {
+                ServerCounters::bump(&self.counters.events);
+                conn.events.fetch_add(1, Ordering::Relaxed);
+            }
+            ClientFrame::Item(StreamItem::Watermark(_)) => {
+                ServerCounters::bump(&self.counters.watermarks);
+            }
+            ClientFrame::Hello(_) | ClientFrame::Bye => {}
+        }
+        Decision::Forward
+    }
+
+    fn on_close(&self, _conn: &ConnInfo, clean: bool) {
+        self.counters.active.fetch_sub(1, Ordering::Relaxed);
+        if clean {
+            ServerCounters::bump(&self.counters.closed_clean);
+        } else {
+            ServerCounters::bump(&self.counters.closed_abnormal);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::middleware::test_conn;
+    use spectre_events::{Event, EventType};
+
+    #[test]
+    fn admitted_traffic_is_tallied() {
+        let counters = Arc::new(ServerCounters::default());
+        let layer = MetricsLayer::new(Arc::clone(&counters));
+        let conn = test_conn(1);
+        layer.on_accept(&conn);
+        let ev = ClientFrame::Item(StreamItem::Event(
+            Event::builder(EventType::new(0)).seq(0).ts(0).build(),
+        ));
+        layer.on_frame(&conn, &ev, 0);
+        layer.on_frame(&conn, &ClientFrame::Item(StreamItem::Watermark(5)), 0);
+        layer.on_frame(&conn, &ClientFrame::Bye, 0);
+        layer.on_close(&conn, true);
+        assert_eq!(ServerCounters::get(&counters.accepted), 1);
+        assert_eq!(ServerCounters::get(&counters.active), 0);
+        assert_eq!(ServerCounters::get(&counters.frames), 3);
+        assert_eq!(ServerCounters::get(&counters.events), 1);
+        assert_eq!(ServerCounters::get(&counters.watermarks), 1);
+        assert_eq!(ServerCounters::get(&counters.closed_clean), 1);
+        assert_eq!(conn.events.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,415 @@
+//! The ordered per-connection middleware chain.
+//!
+//! Every connection is wrapped in one [`MiddlewareStack`] — a fixed
+//! sequence of [`ConnMiddleware`] layers that see the connection's
+//! lifecycle (`on_accept` / `on_frame` / `on_tick` / `on_close` /
+//! `on_panic`) in declared order and short-circuit on the first
+//! non-[`Forward`](Decision::Forward) decision. The canonical order is
+//! declared in exactly one place ([`LayerKind::rank`]) and validated at
+//! construction: panic isolation outermost, then rate limiting, then
+//! timeouts, then metrics — the conventional HTTP-middleware ordering
+//! (panics must be caught around everything; a rate-limited frame must not
+//! reset the idle timer or count as served traffic). A stack declared out
+//! of rank order, or with a duplicated layer, is a configuration error,
+//! not a silently reordered chain.
+
+mod metrics;
+mod panic;
+mod rate_limit;
+mod timeout;
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use spectre_events::codec::ClientFrame;
+
+use crate::error::ServerError;
+use crate::stats::ServerCounters;
+
+pub use metrics::MetricsLayer;
+pub use panic::PanicLayer;
+pub use rate_limit::{OverLimitPolicy, RateLimitConfig, RateLimitLayer, TokenBucket};
+pub use timeout::TimeoutLayer;
+
+/// Per-connection identity and activity state the layers observe. The
+/// mutable fields are atomics because the connection thread updates them
+/// while layers (held behind `&self`) read them.
+#[derive(Debug)]
+pub struct ConnInfo {
+    /// Server-assigned connection id (dense accept order).
+    pub id: u64,
+    /// The client's socket address.
+    pub peer: SocketAddr,
+    /// Tenant declared by the connection's `HELLO` frame
+    /// (`TenantId::DEFAULT` until one arrives).
+    tenant: AtomicU32,
+    /// Milliseconds (on the server's monotonic clock) of the last frame.
+    last_activity_ms: AtomicU64,
+    /// Client frames seen on this connection.
+    pub frames: AtomicU64,
+    /// Event frames forwarded on this connection.
+    pub events: AtomicU64,
+}
+
+impl ConnInfo {
+    /// A fresh connection record, last active "now".
+    pub fn new(id: u64, peer: SocketAddr, now_ms: u64) -> ConnInfo {
+        ConnInfo {
+            id,
+            peer,
+            tenant: AtomicU32::new(0),
+            last_activity_ms: AtomicU64::new(now_ms),
+            frames: AtomicU64::new(0),
+            events: AtomicU64::new(0),
+        }
+    }
+
+    /// The connection's declared tenant (raw id; 0 is the default tenant).
+    pub fn tenant(&self) -> u32 {
+        self.tenant.load(Ordering::Relaxed)
+    }
+
+    /// Records the tenant from a `HELLO` frame.
+    pub fn set_tenant(&self, tenant: u32) {
+        self.tenant.store(tenant, Ordering::Relaxed);
+    }
+
+    /// Marks activity at `now_ms` (resets the idle clock).
+    pub fn touch(&self, now_ms: u64) {
+        self.last_activity_ms.store(now_ms, Ordering::Relaxed);
+    }
+
+    /// Milliseconds since the last activity, saturating.
+    pub fn idle_for(&self, now_ms: u64) -> u64 {
+        now_ms.saturating_sub(self.last_activity_ms.load(Ordering::Relaxed))
+    }
+}
+
+/// A layer's verdict on a connection event. The stack short-circuits on
+/// the first non-`Forward` decision, so an inner layer never sees what an
+/// outer layer rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Pass the frame (or connection) on to the next layer.
+    Forward,
+    /// Discard this frame; the connection stays open.
+    Drop,
+    /// Forward the frame but advise the client to pause for the given
+    /// number of nanoseconds (sent as a throttle frame).
+    Throttle(u64),
+    /// Close the connection (abnormally).
+    Close,
+}
+
+/// The canonical middleware layers, in their only legal order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayerKind {
+    /// Panic isolation — must be outermost so it wraps everything.
+    Panic,
+    /// Token-bucket rate limiting.
+    RateLimit,
+    /// Idle/read timeouts.
+    Timeout,
+    /// Per-connection and aggregate traffic counters — innermost, so it
+    /// counts only what the outer layers let through.
+    Metrics,
+}
+
+impl LayerKind {
+    /// The layer's position in the canonical order (strictly increasing
+    /// through a valid stack). Declared here and nowhere else.
+    pub fn rank(self) -> u8 {
+        match self {
+            LayerKind::Panic => 0,
+            LayerKind::RateLimit => 1,
+            LayerKind::Timeout => 2,
+            LayerKind::Metrics => 3,
+        }
+    }
+
+    /// Stable name used in logs and `/metrics` labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            LayerKind::Panic => "panic",
+            LayerKind::RateLimit => "rate_limit",
+            LayerKind::Timeout => "timeout",
+            LayerKind::Metrics => "metrics",
+        }
+    }
+}
+
+/// One layer of the per-connection middleware chain. All hooks default to
+/// no-ops so a layer implements only what it observes. Layers are shared
+/// across connection threads: `&self` plus interior atomics.
+pub trait ConnMiddleware: Send + Sync {
+    /// Which canonical layer this is (fixes its place in the order).
+    fn kind(&self) -> LayerKind;
+
+    /// A connection was accepted. `Close` refuses it.
+    fn on_accept(&self, _conn: &ConnInfo) -> Decision {
+        Decision::Forward
+    }
+
+    /// A client frame arrived (before it is forwarded to the feed).
+    fn on_frame(&self, _conn: &ConnInfo, _frame: &ClientFrame, _now_ms: u64) -> Decision {
+        Decision::Forward
+    }
+
+    /// The read loop's periodic tick fired with no frame (read timeout).
+    fn on_tick(&self, _conn: &ConnInfo, _now_ms: u64) -> Decision {
+        Decision::Forward
+    }
+
+    /// The connection ended; `clean` means a `BYE` frame preceded EOF.
+    fn on_close(&self, _conn: &ConnInfo, _clean: bool) {}
+
+    /// The connection's thread panicked (already caught by the listener).
+    fn on_panic(&self, _conn: &ConnInfo) {}
+}
+
+/// Per-layer outcome counters, exported on `/metrics`.
+#[derive(Debug, Default)]
+pub struct LayerCounters {
+    /// Frames this layer passed through.
+    pub forwarded: AtomicU64,
+    /// Frames this layer discarded.
+    pub dropped: AtomicU64,
+    /// Frames this layer throttled (forwarded with a pause advisory).
+    pub throttled: AtomicU64,
+    /// Connections this layer closed.
+    pub closed: AtomicU64,
+}
+
+/// The validated, ordered chain of layers a server runs every connection
+/// through.
+pub struct MiddlewareStack {
+    layers: Vec<Arc<dyn ConnMiddleware>>,
+    counters: Vec<LayerCounters>,
+}
+
+impl std::fmt::Debug for MiddlewareStack {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<_> = self.layers.iter().map(|l| l.kind().name()).collect();
+        f.debug_struct("MiddlewareStack")
+            .field("layers", &names)
+            .finish()
+    }
+}
+
+impl MiddlewareStack {
+    /// Builds a stack from layers, validating the declared order: ranks
+    /// must be strictly increasing (the canonical order, no duplicates).
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Config`] naming the two conflicting layers.
+    pub fn new(layers: Vec<Arc<dyn ConnMiddleware>>) -> Result<MiddlewareStack, ServerError> {
+        for pair in layers.windows(2) {
+            let (a, b) = (pair[0].kind(), pair[1].kind());
+            if a.rank() >= b.rank() {
+                let relation = if a.rank() == b.rank() {
+                    "duplicates"
+                } else {
+                    "must come after"
+                };
+                return Err(ServerError::Config(format!(
+                    "middleware conflict: layer {:?} {relation} layer {:?} \
+                     (canonical order: panic < rate_limit < timeout < metrics)",
+                    b.name(),
+                    a.name(),
+                )));
+            }
+        }
+        let counters = layers.iter().map(|_| LayerCounters::default()).collect();
+        Ok(MiddlewareStack { layers, counters })
+    }
+
+    /// The standard stack: panic isolation, optional rate limiting, idle
+    /// timeout, metrics — in that order.
+    pub fn standard(
+        rate: Option<RateLimitConfig>,
+        idle_timeout_ms: u64,
+        counters: Arc<ServerCounters>,
+    ) -> MiddlewareStack {
+        let mut layers: Vec<Arc<dyn ConnMiddleware>> =
+            vec![Arc::new(PanicLayer::new(Arc::clone(&counters)))];
+        if let Some(cfg) = rate {
+            layers.push(Arc::new(RateLimitLayer::new(cfg, Arc::clone(&counters))));
+        }
+        layers.push(Arc::new(TimeoutLayer::new(
+            idle_timeout_ms,
+            Arc::clone(&counters),
+        )));
+        layers.push(Arc::new(MetricsLayer::new(counters)));
+        MiddlewareStack::new(layers).expect("the standard stack is ordered by construction")
+    }
+
+    /// Runs `on_accept` through the chain; first non-forward wins.
+    pub fn on_accept(&self, conn: &ConnInfo) -> Decision {
+        for (layer, counters) in self.layers.iter().zip(&self.counters) {
+            let d = layer.on_accept(conn);
+            if d != Decision::Forward {
+                ServerCounters::bump(&counters.closed);
+                return d;
+            }
+        }
+        Decision::Forward
+    }
+
+    /// Runs `on_frame` through the chain; first non-forward wins (a
+    /// `Throttle` still forwards, so the chain continues past it and the
+    /// largest requested pause is reported).
+    pub fn on_frame(&self, conn: &ConnInfo, frame: &ClientFrame, now_ms: u64) -> Decision {
+        let mut pause = None::<u64>;
+        for (layer, counters) in self.layers.iter().zip(&self.counters) {
+            match layer.on_frame(conn, frame, now_ms) {
+                Decision::Forward => ServerCounters::bump(&counters.forwarded),
+                Decision::Drop => {
+                    ServerCounters::bump(&counters.dropped);
+                    return Decision::Drop;
+                }
+                Decision::Throttle(nanos) => {
+                    ServerCounters::bump(&counters.throttled);
+                    pause = Some(pause.unwrap_or(0).max(nanos));
+                }
+                Decision::Close => {
+                    ServerCounters::bump(&counters.closed);
+                    return Decision::Close;
+                }
+            }
+        }
+        match pause {
+            Some(nanos) => Decision::Throttle(nanos),
+            None => Decision::Forward,
+        }
+    }
+
+    /// Runs the periodic tick through the chain.
+    pub fn on_tick(&self, conn: &ConnInfo, now_ms: u64) -> Decision {
+        for (layer, counters) in self.layers.iter().zip(&self.counters) {
+            let d = layer.on_tick(conn, now_ms);
+            if d == Decision::Close {
+                ServerCounters::bump(&counters.closed);
+                return d;
+            }
+        }
+        Decision::Forward
+    }
+
+    /// Notifies every layer of the connection's end.
+    pub fn on_close(&self, conn: &ConnInfo, clean: bool) {
+        for layer in &self.layers {
+            layer.on_close(conn, clean);
+        }
+    }
+
+    /// Notifies every layer of a caught connection panic.
+    pub fn on_panic(&self, conn: &ConnInfo) {
+        for layer in &self.layers {
+            layer.on_panic(conn);
+        }
+    }
+
+    /// Per-layer outcome counters as `(name, forwarded, dropped,
+    /// throttled, closed)` rows for `/metrics`.
+    pub fn layer_counters(&self) -> Vec<(&'static str, u64, u64, u64, u64)> {
+        self.layers
+            .iter()
+            .zip(&self.counters)
+            .map(|(layer, c)| {
+                (
+                    layer.kind().name(),
+                    ServerCounters::get(&c.forwarded),
+                    ServerCounters::get(&c.dropped),
+                    ServerCounters::get(&c.throttled),
+                    ServerCounters::get(&c.closed),
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+pub(crate) fn test_conn(id: u64) -> ConnInfo {
+    ConnInfo::new(id, "127.0.0.1:0".parse().expect("literal addr"), 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Bare(LayerKind);
+    impl ConnMiddleware for Bare {
+        fn kind(&self) -> LayerKind {
+            self.0
+        }
+    }
+
+    fn stack_of(kinds: &[LayerKind]) -> Result<MiddlewareStack, ServerError> {
+        MiddlewareStack::new(
+            kinds
+                .iter()
+                .map(|&k| Arc::new(Bare(k)) as Arc<dyn ConnMiddleware>)
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn canonical_order_is_accepted() {
+        let s = stack_of(&[
+            LayerKind::Panic,
+            LayerKind::RateLimit,
+            LayerKind::Timeout,
+            LayerKind::Metrics,
+        ])
+        .expect("canonical order is valid");
+        assert_eq!(s.layer_counters().len(), 4);
+        // Subsets keep the order and stay valid.
+        stack_of(&[LayerKind::Panic, LayerKind::Metrics]).expect("subset is valid");
+    }
+
+    #[test]
+    fn out_of_order_layers_conflict() {
+        let err = stack_of(&[LayerKind::RateLimit, LayerKind::Panic]).unwrap_err();
+        assert!(err.to_string().contains("middleware conflict"), "{err}");
+        assert!(err.to_string().contains("must come after"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_layers_conflict() {
+        let err = stack_of(&[LayerKind::Timeout, LayerKind::Timeout]).unwrap_err();
+        assert!(err.to_string().contains("duplicates"), "{err}");
+    }
+
+    #[test]
+    fn first_non_forward_decision_wins() {
+        struct Dropper;
+        impl ConnMiddleware for Dropper {
+            fn kind(&self) -> LayerKind {
+                LayerKind::RateLimit
+            }
+            fn on_frame(&self, _: &ConnInfo, _: &ClientFrame, _: u64) -> Decision {
+                Decision::Drop
+            }
+        }
+        struct Closer;
+        impl ConnMiddleware for Closer {
+            fn kind(&self) -> LayerKind {
+                LayerKind::Timeout
+            }
+            fn on_frame(&self, _: &ConnInfo, _: &ClientFrame, _: u64) -> Decision {
+                Decision::Close
+            }
+        }
+        let stack = MiddlewareStack::new(vec![Arc::new(Dropper), Arc::new(Closer)]).unwrap();
+        let conn = test_conn(1);
+        let frame = ClientFrame::Bye;
+        // The dropper runs first and short-circuits: the closer never sees
+        // the frame, so the verdict is Drop, not Close.
+        assert_eq!(stack.on_frame(&conn, &frame, 0), Decision::Drop);
+        let rows = stack.layer_counters();
+        assert_eq!(rows[0], ("rate_limit", 0, 1, 0, 0));
+        assert_eq!(rows[1], ("timeout", 0, 0, 0, 0));
+    }
+}

@@ -1,0 +1,55 @@
+//! Panic isolation — the outermost layer.
+//!
+//! The actual containment is mechanical: the listener runs every
+//! connection handler under `catch_unwind`, so a poisoned connection can
+//! never take down the accept loop or the feed thread. This layer is the
+//! stack's record of those events: it counts caught panics and logs the
+//! connection they killed.
+
+use std::sync::Arc;
+
+use super::{ConnInfo, ConnMiddleware, LayerKind};
+use crate::stats::ServerCounters;
+
+/// Counts and logs connection panics caught by the listener.
+#[derive(Debug)]
+pub struct PanicLayer {
+    counters: Arc<ServerCounters>,
+}
+
+impl PanicLayer {
+    /// A panic layer reporting into the shared server counters.
+    pub fn new(counters: Arc<ServerCounters>) -> PanicLayer {
+        PanicLayer { counters }
+    }
+}
+
+impl ConnMiddleware for PanicLayer {
+    fn kind(&self) -> LayerKind {
+        LayerKind::Panic
+    }
+
+    fn on_panic(&self, conn: &ConnInfo) {
+        ServerCounters::bump(&self.counters.panics_caught);
+        eprintln!(
+            "spectre-server: connection {} ({}) panicked; connection dropped, server continues",
+            conn.id, conn.peer
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::middleware::test_conn;
+
+    #[test]
+    fn caught_panics_are_counted() {
+        let counters = Arc::new(ServerCounters::default());
+        let layer = PanicLayer::new(Arc::clone(&counters));
+        let conn = test_conn(3);
+        layer.on_panic(&conn);
+        layer.on_panic(&conn);
+        assert_eq!(ServerCounters::get(&counters.panics_caught), 2);
+    }
+}

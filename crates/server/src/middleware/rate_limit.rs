@@ -1,0 +1,271 @@
+//! Token-bucket rate limiting, per connection and per tenant.
+//!
+//! Each connection gets its own bucket; connections declaring the same
+//! tenant additionally share a per-tenant bucket, so one tenant cannot
+//! exceed its aggregate budget by opening many connections. Over-limit
+//! event frames are either dropped or forwarded with a throttle advisory,
+//! per [`OverLimitPolicy`]. Only event frames spend tokens — watermarks,
+//! hello and bye are control traffic and always pass.
+//!
+//! Time enters as caller-supplied milliseconds (the server's monotonic
+//! clock), which makes the bucket arithmetic deterministic under test.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use spectre_events::codec::ClientFrame;
+use spectre_events::StreamItem;
+
+use super::{ConnInfo, ConnMiddleware, Decision, LayerKind};
+use crate::stats::ServerCounters;
+
+/// What to do with an event frame that exceeds the budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverLimitPolicy {
+    /// Forward the frame but send the client a throttle advisory sized to
+    /// when the next token becomes available.
+    Throttle,
+    /// Discard the frame (it still consumed no token).
+    Drop,
+}
+
+/// Rate-limiter configuration.
+#[derive(Debug, Clone)]
+pub struct RateLimitConfig {
+    /// Budget per connection, in events per second.
+    pub per_conn_eps: f64,
+    /// Aggregate budget per tenant, in events per second (`None` disables
+    /// the tenant dimension).
+    pub per_tenant_eps: Option<f64>,
+    /// Burst capacity, in events (bucket size); applies to both
+    /// dimensions.
+    pub burst: f64,
+    /// Over-limit policy.
+    pub policy: OverLimitPolicy,
+}
+
+impl RateLimitConfig {
+    /// A per-connection limit of `eps` events/s with a burst of `burst`
+    /// events and the given policy; no tenant dimension.
+    pub fn per_conn(eps: f64, burst: f64, policy: OverLimitPolicy) -> RateLimitConfig {
+        RateLimitConfig {
+            per_conn_eps: eps,
+            per_tenant_eps: None,
+            burst,
+            policy,
+        }
+    }
+}
+
+/// A classic token bucket over caller-supplied millisecond time.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    capacity: f64,
+    tokens: f64,
+    per_ms: f64,
+    last_ms: u64,
+}
+
+impl TokenBucket {
+    /// A bucket refilling at `eps` tokens/second, holding at most `burst`,
+    /// starting full at time `now_ms`.
+    pub fn new(eps: f64, burst: f64, now_ms: u64) -> TokenBucket {
+        TokenBucket {
+            capacity: burst,
+            tokens: burst,
+            per_ms: eps / 1000.0,
+            last_ms: now_ms,
+        }
+    }
+
+    /// Attempts to take one token at `now_ms`. On refusal returns the
+    /// nanoseconds until a token will be available.
+    ///
+    /// # Errors
+    ///
+    /// `Err(wait_nanos)` when the bucket is empty.
+    pub fn try_take(&mut self, now_ms: u64) -> Result<(), u64> {
+        let elapsed = now_ms.saturating_sub(self.last_ms);
+        self.last_ms = now_ms;
+        self.tokens = (self.tokens + elapsed as f64 * self.per_ms).min(self.capacity);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            Ok(())
+        } else {
+            let deficit = 1.0 - self.tokens;
+            let wait_ms = if self.per_ms > 0.0 {
+                deficit / self.per_ms
+            } else {
+                1000.0
+            };
+            Err((wait_ms * 1_000_000.0) as u64)
+        }
+    }
+}
+
+/// The rate-limiting layer: per-connection buckets plus optional shared
+/// per-tenant buckets.
+#[derive(Debug)]
+pub struct RateLimitLayer {
+    cfg: RateLimitConfig,
+    counters: Arc<ServerCounters>,
+    conns: Mutex<HashMap<u64, TokenBucket>>,
+    tenants: Mutex<HashMap<u32, TokenBucket>>,
+}
+
+impl RateLimitLayer {
+    /// A layer enforcing `cfg`, reporting into the shared counters.
+    pub fn new(cfg: RateLimitConfig, counters: Arc<ServerCounters>) -> RateLimitLayer {
+        RateLimitLayer {
+            cfg,
+            counters,
+            conns: Mutex::new(HashMap::new()),
+            tenants: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Takes from the connection bucket, then (only if that succeeded)
+    /// from the tenant bucket. Returns the wait hint on refusal.
+    fn take(&self, conn: &ConnInfo, now_ms: u64) -> Result<(), u64> {
+        {
+            let mut conns = self.conns.lock().expect("rate limiter poisoned");
+            conns
+                .entry(conn.id)
+                .or_insert_with(|| TokenBucket::new(self.cfg.per_conn_eps, self.cfg.burst, now_ms))
+                .try_take(now_ms)?;
+        }
+        if let Some(tenant_eps) = self.cfg.per_tenant_eps {
+            let mut tenants = self.tenants.lock().expect("rate limiter poisoned");
+            tenants
+                .entry(conn.tenant())
+                .or_insert_with(|| TokenBucket::new(tenant_eps, self.cfg.burst, now_ms))
+                .try_take(now_ms)?;
+        }
+        Ok(())
+    }
+}
+
+impl ConnMiddleware for RateLimitLayer {
+    fn kind(&self) -> LayerKind {
+        LayerKind::RateLimit
+    }
+
+    fn on_frame(&self, conn: &ConnInfo, frame: &ClientFrame, now_ms: u64) -> Decision {
+        if !matches!(frame, ClientFrame::Item(StreamItem::Event(_))) {
+            return Decision::Forward;
+        }
+        match self.take(conn, now_ms) {
+            Ok(()) => Decision::Forward,
+            Err(wait_nanos) => match self.cfg.policy {
+                OverLimitPolicy::Throttle => {
+                    ServerCounters::bump(&self.counters.rate_throttled);
+                    Decision::Throttle(wait_nanos)
+                }
+                OverLimitPolicy::Drop => {
+                    ServerCounters::bump(&self.counters.rate_dropped);
+                    Decision::Drop
+                }
+            },
+        }
+    }
+
+    fn on_close(&self, conn: &ConnInfo, _clean: bool) {
+        self.conns
+            .lock()
+            .expect("rate limiter poisoned")
+            .remove(&conn.id);
+        // Tenant buckets survive their connections: the aggregate budget
+        // is per tenant, not per connection set.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::middleware::test_conn;
+    use spectre_events::{Event, EventType};
+
+    fn event_frame(seq: u64) -> ClientFrame {
+        ClientFrame::Item(StreamItem::Event(
+            Event::builder(EventType::new(0)).seq(seq).ts(seq).build(),
+        ))
+    }
+
+    #[test]
+    fn bucket_enforces_budget_exactly_under_synthetic_time() {
+        // 100 events/s, burst 10, clock starts at 0: 10 immediate takes
+        // succeed, the 11th waits 10ms for the next token.
+        let mut bucket = TokenBucket::new(100.0, 10.0, 0);
+        for _ in 0..10 {
+            bucket.try_take(0).expect("burst capacity");
+        }
+        let wait = bucket.try_take(0).unwrap_err();
+        assert_eq!(wait, 10_000_000, "one token at 100/s is 10ms away");
+        // 10ms later exactly one token has refilled.
+        bucket.try_take(10).expect("refilled token");
+        bucket.try_take(10).unwrap_err();
+        // A long idle period refills only to capacity.
+        for _ in 0..10 {
+            bucket.try_take(100_000).expect("capacity refilled");
+        }
+        bucket.try_take(100_000).unwrap_err();
+    }
+
+    #[test]
+    fn over_limit_events_follow_the_policy() {
+        for (policy, expect_drop) in [
+            (OverLimitPolicy::Drop, true),
+            (OverLimitPolicy::Throttle, false),
+        ] {
+            let counters = Arc::new(ServerCounters::default());
+            let layer = RateLimitLayer::new(
+                RateLimitConfig::per_conn(1000.0, 2.0, policy),
+                Arc::clone(&counters),
+            );
+            let conn = test_conn(1);
+            assert_eq!(layer.on_frame(&conn, &event_frame(0), 0), Decision::Forward);
+            assert_eq!(layer.on_frame(&conn, &event_frame(1), 0), Decision::Forward);
+            let verdict = layer.on_frame(&conn, &event_frame(2), 0);
+            if expect_drop {
+                assert_eq!(verdict, Decision::Drop);
+                assert_eq!(ServerCounters::get(&counters.rate_dropped), 1);
+            } else {
+                assert!(
+                    matches!(verdict, Decision::Throttle(n) if n > 0),
+                    "{verdict:?}"
+                );
+                assert_eq!(ServerCounters::get(&counters.rate_throttled), 1);
+            }
+            // Control frames never spend tokens, even with an empty bucket.
+            assert_eq!(
+                layer.on_frame(&conn, &ClientFrame::Bye, 0),
+                Decision::Forward
+            );
+        }
+    }
+
+    #[test]
+    fn tenant_bucket_is_shared_across_connections() {
+        let counters = Arc::new(ServerCounters::default());
+        let cfg = RateLimitConfig {
+            per_conn_eps: 1_000_000.0,
+            per_tenant_eps: Some(1000.0),
+            burst: 3.0,
+            policy: OverLimitPolicy::Drop,
+        };
+        let layer = RateLimitLayer::new(cfg, counters);
+        let a = test_conn(1);
+        let b = test_conn(2);
+        a.set_tenant(7);
+        b.set_tenant(7);
+        // Two connections of the same tenant drain the one shared bucket.
+        assert_eq!(layer.on_frame(&a, &event_frame(0), 0), Decision::Forward);
+        assert_eq!(layer.on_frame(&b, &event_frame(1), 0), Decision::Forward);
+        assert_eq!(layer.on_frame(&a, &event_frame(2), 0), Decision::Forward);
+        assert_eq!(layer.on_frame(&b, &event_frame(3), 0), Decision::Drop);
+        // A different tenant has its own budget.
+        let c = test_conn(3);
+        c.set_tenant(8);
+        assert_eq!(layer.on_frame(&c, &event_frame(4), 0), Decision::Forward);
+    }
+}

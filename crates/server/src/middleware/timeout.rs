@@ -1,0 +1,67 @@
+//! Idle-timeout layer: closes connections that stop sending.
+//!
+//! The connection read loop wakes on a short read timeout and runs the
+//! stack's tick hook; this layer compares the connection's last-activity
+//! clock against the configured idle budget and closes overdue
+//! connections. Activity is any decoded frame (the read loop touches the
+//! clock before the chain runs).
+
+use std::sync::Arc;
+
+use super::{ConnInfo, ConnMiddleware, Decision, LayerKind};
+use crate::stats::ServerCounters;
+
+/// Closes connections idle for longer than the configured budget.
+#[derive(Debug)]
+pub struct TimeoutLayer {
+    idle_ms: u64,
+    counters: Arc<ServerCounters>,
+}
+
+impl TimeoutLayer {
+    /// A layer closing connections idle for more than `idle_ms`
+    /// milliseconds.
+    pub fn new(idle_ms: u64, counters: Arc<ServerCounters>) -> TimeoutLayer {
+        TimeoutLayer { idle_ms, counters }
+    }
+}
+
+impl ConnMiddleware for TimeoutLayer {
+    fn kind(&self) -> LayerKind {
+        LayerKind::Timeout
+    }
+
+    fn on_tick(&self, conn: &ConnInfo, now_ms: u64) -> Decision {
+        if conn.idle_for(now_ms) > self.idle_ms {
+            ServerCounters::bump(&self.counters.idle_closed);
+            eprintln!(
+                "spectre-server: connection {} ({}) idle for over {}ms, closing",
+                conn.id, conn.peer, self.idle_ms
+            );
+            Decision::Close
+        } else {
+            Decision::Forward
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::middleware::test_conn;
+
+    #[test]
+    fn idle_connections_are_closed_after_the_budget() {
+        let counters = Arc::new(ServerCounters::default());
+        let layer = TimeoutLayer::new(100, Arc::clone(&counters));
+        let conn = test_conn(1);
+        conn.touch(1000);
+        assert_eq!(layer.on_tick(&conn, 1050), Decision::Forward);
+        assert_eq!(layer.on_tick(&conn, 1100), Decision::Forward);
+        assert_eq!(layer.on_tick(&conn, 1101), Decision::Close);
+        assert_eq!(ServerCounters::get(&counters.idle_closed), 1);
+        // Fresh activity resets the clock.
+        conn.touch(2000);
+        assert_eq!(layer.on_tick(&conn, 2100), Decision::Forward);
+    }
+}

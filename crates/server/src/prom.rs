@@ -1,0 +1,275 @@
+//! Prometheus text-exposition rendering of the engine and server metrics.
+//!
+//! The engine block destructures [`MetricsSnapshot`] exhaustively, so
+//! adding a counter to the engine without exporting it here is a compile
+//! error, not a silently incomplete scrape.
+
+use std::fmt::Write;
+
+use spectre_core::MetricsSnapshot;
+
+use crate::stats::ServerCounters;
+use crate::ServerShared;
+
+fn counter(out: &mut String, name: &str, value: u64) {
+    let _ = writeln!(out, "# TYPE {name} counter\n{name} {value}");
+}
+
+fn gauge(out: &mut String, name: &str, value: u64) {
+    let _ = writeln!(out, "# TYPE {name} gauge\n{name} {value}");
+}
+
+/// Renders the full scrape body from the latest published engine stats
+/// plus the live server counters.
+pub(crate) fn render(shared: &ServerShared) -> String {
+    let stats = shared.stats.read();
+    let mut out = String::with_capacity(4096);
+
+    // Engine aggregate: every MetricsSnapshot field, spelled out once.
+    let MetricsSnapshot {
+        events_processed,
+        events_suppressed,
+        cgs_created,
+        cgs_completed,
+        cgs_abandoned,
+        versions_created,
+        versions_dropped,
+        versions_materialized,
+        lazy_versions_dropped,
+        predictor_refreshes,
+        predictor_refresh_nanos,
+        rollbacks,
+        sched_cycles,
+        max_tree_versions,
+        windows_retired,
+        idle_steps,
+        stalled_steps,
+        checkpoints_taken,
+        checkpoint_restores,
+        outputs_emitted,
+        store_windows_opened,
+        windows_skipped,
+        events_reordered,
+        late_events_dropped,
+        late_events_admitted,
+        watermarks_advanced,
+    } = stats.snapshot;
+    counter(
+        &mut out,
+        "spectre_engine_events_processed",
+        events_processed,
+    );
+    counter(
+        &mut out,
+        "spectre_engine_events_suppressed",
+        events_suppressed,
+    );
+    counter(&mut out, "spectre_engine_cgs_created", cgs_created);
+    counter(&mut out, "spectre_engine_cgs_completed", cgs_completed);
+    counter(&mut out, "spectre_engine_cgs_abandoned", cgs_abandoned);
+    counter(
+        &mut out,
+        "spectre_engine_versions_created",
+        versions_created,
+    );
+    counter(
+        &mut out,
+        "spectre_engine_versions_dropped",
+        versions_dropped,
+    );
+    counter(
+        &mut out,
+        "spectre_engine_versions_materialized",
+        versions_materialized,
+    );
+    counter(
+        &mut out,
+        "spectre_engine_lazy_versions_dropped",
+        lazy_versions_dropped,
+    );
+    counter(
+        &mut out,
+        "spectre_engine_predictor_refreshes",
+        predictor_refreshes,
+    );
+    counter(
+        &mut out,
+        "spectre_engine_predictor_refresh_nanos",
+        predictor_refresh_nanos,
+    );
+    counter(&mut out, "spectre_engine_rollbacks", rollbacks);
+    counter(&mut out, "spectre_engine_sched_cycles", sched_cycles);
+    gauge(
+        &mut out,
+        "spectre_engine_max_tree_versions",
+        max_tree_versions,
+    );
+    counter(&mut out, "spectre_engine_windows_retired", windows_retired);
+    counter(&mut out, "spectre_engine_idle_steps", idle_steps);
+    counter(&mut out, "spectre_engine_stalled_steps", stalled_steps);
+    counter(
+        &mut out,
+        "spectre_engine_checkpoints_taken",
+        checkpoints_taken,
+    );
+    counter(
+        &mut out,
+        "spectre_engine_checkpoint_restores",
+        checkpoint_restores,
+    );
+    counter(&mut out, "spectre_engine_outputs_emitted", outputs_emitted);
+    counter(
+        &mut out,
+        "spectre_engine_store_windows_opened",
+        store_windows_opened,
+    );
+    counter(&mut out, "spectre_engine_windows_skipped", windows_skipped);
+    counter(
+        &mut out,
+        "spectre_engine_events_reordered",
+        events_reordered,
+    );
+    counter(
+        &mut out,
+        "spectre_engine_late_events_dropped",
+        late_events_dropped,
+    );
+    counter(
+        &mut out,
+        "spectre_engine_late_events_admitted",
+        late_events_admitted,
+    );
+    counter(
+        &mut out,
+        "spectre_engine_watermarks_advanced",
+        watermarks_advanced,
+    );
+    counter(&mut out, "spectre_engine_input_events", stats.input_events);
+    counter(&mut out, "spectre_engine_complex_events", stats.outputs);
+    gauge(
+        &mut out,
+        "spectre_server_finished",
+        u64::from(stats.finished),
+    );
+
+    // Per-query and per-tenant shares (the summable headline counters).
+    let _ = writeln!(out, "# TYPE spectre_engine_query_events_processed counter");
+    for (qid, tenant, m) in &stats.per_query {
+        let _ = writeln!(
+            out,
+            "spectre_engine_query_events_processed{{query=\"{}\",tenant=\"{}\"}} {}",
+            qid.0, tenant.0, m.events_processed
+        );
+    }
+    let _ = writeln!(out, "# TYPE spectre_engine_query_outputs_emitted counter");
+    for (qid, tenant, m) in &stats.per_query {
+        let _ = writeln!(
+            out,
+            "spectre_engine_query_outputs_emitted{{query=\"{}\",tenant=\"{}\"}} {}",
+            qid.0, tenant.0, m.outputs_emitted
+        );
+    }
+    let _ = writeln!(out, "# TYPE spectre_engine_tenant_events_processed counter");
+    for (tenant, m) in &stats.tenants {
+        let _ = writeln!(
+            out,
+            "spectre_engine_tenant_events_processed{{tenant=\"{}\"}} {}",
+            tenant.0, m.events_processed
+        );
+    }
+
+    // Server front-end counters.
+    let c = &shared.counters;
+    counter(
+        &mut out,
+        "spectre_server_connections_accepted",
+        ServerCounters::get(&c.accepted),
+    );
+    gauge(
+        &mut out,
+        "spectre_server_connections_active",
+        ServerCounters::get(&c.active),
+    );
+    counter(
+        &mut out,
+        "spectre_server_connections_closed_clean",
+        ServerCounters::get(&c.closed_clean),
+    );
+    counter(
+        &mut out,
+        "spectre_server_connections_closed_abnormal",
+        ServerCounters::get(&c.closed_abnormal),
+    );
+    counter(
+        &mut out,
+        "spectre_server_panics_caught",
+        ServerCounters::get(&c.panics_caught),
+    );
+    counter(
+        &mut out,
+        "spectre_server_frames",
+        ServerCounters::get(&c.frames),
+    );
+    counter(
+        &mut out,
+        "spectre_server_events",
+        ServerCounters::get(&c.events),
+    );
+    counter(
+        &mut out,
+        "spectre_server_watermarks",
+        ServerCounters::get(&c.watermarks),
+    );
+    counter(
+        &mut out,
+        "spectre_server_rate_limited_dropped",
+        ServerCounters::get(&c.rate_dropped),
+    );
+    counter(
+        &mut out,
+        "spectre_server_rate_limited_throttled",
+        ServerCounters::get(&c.rate_throttled),
+    );
+    counter(
+        &mut out,
+        "spectre_server_idle_closed",
+        ServerCounters::get(&c.idle_closed),
+    );
+    counter(
+        &mut out,
+        "spectre_server_decode_errors",
+        ServerCounters::get(&c.decode_errors),
+    );
+    counter(
+        &mut out,
+        "spectre_server_credits_granted",
+        ServerCounters::get(&c.credits_granted),
+    );
+    counter(
+        &mut out,
+        "spectre_server_seq_stale_dropped",
+        ServerCounters::get(&c.seq_stale_dropped),
+    );
+    counter(
+        &mut out,
+        "spectre_server_seq_gaps_skipped",
+        ServerCounters::get(&c.seq_gaps_skipped),
+    );
+
+    // Per-middleware-layer outcome counters.
+    let _ = writeln!(out, "# TYPE spectre_server_layer_outcomes counter");
+    for (layer, forwarded, dropped, throttled, closed) in shared.stack.layer_counters() {
+        for (outcome, v) in [
+            ("forwarded", forwarded),
+            ("dropped", dropped),
+            ("throttled", throttled),
+            ("closed", closed),
+        ] {
+            let _ = writeln!(
+                out,
+                "spectre_server_layer_outcomes{{layer=\"{layer}\",outcome=\"{outcome}\"}} {v}"
+            );
+        }
+    }
+    out
+}
